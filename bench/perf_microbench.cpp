@@ -1,0 +1,117 @@
+// Google-benchmark microbenchmarks: per-decision cost of each dispatch
+// policy, the LI math kernels across cluster sizes, the samplers, and
+// end-to-end simulation throughput (jobs/second) for each staleness model.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/aggressive_schedule.h"
+#include "core/ksubset_analysis.h"
+#include "core/load_interpretation.h"
+#include "core/sampler.h"
+#include "driver/experiment.h"
+#include "policy/policy_factory.h"
+#include "sim/rng.h"
+
+namespace {
+
+std::vector<double> random_loads(int n, stale::sim::Rng& rng) {
+  std::vector<double> loads(static_cast<std::size_t>(n));
+  for (double& b : loads) b = static_cast<double>(rng.next_below(20));
+  return loads;
+}
+
+void BM_BasicLiProbabilities(benchmark::State& state) {
+  stale::sim::Rng rng(1);
+  const auto loads = random_loads(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stale::core::basic_li_probabilities(
+        std::span<const double>(loads), 9.0));
+  }
+}
+BENCHMARK(BM_BasicLiProbabilities)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_AggressiveSchedule(benchmark::State& state) {
+  stale::sim::Rng rng(2);
+  const auto loads = random_loads(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stale::core::make_aggressive_schedule(loads));
+  }
+}
+BENCHMARK(BM_AggressiveSchedule)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_KsubsetRankProbabilities(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stale::core::ksubset_rank_probabilities(
+        static_cast<int>(state.range(0)), 3));
+  }
+}
+BENCHMARK(BM_KsubsetRankProbabilities)->Arg(10)->Arg(1000);
+
+void BM_DiscreteSampler(benchmark::State& state) {
+  stale::sim::Rng rng(3);
+  std::vector<double> p(static_cast<std::size_t>(state.range(0)), 1.0);
+  const stale::core::DiscreteSampler sampler{std::span<const double>(p)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_DiscreteSampler)->Arg(10)->Arg(1000);
+
+void BM_AliasSampler(benchmark::State& state) {
+  stale::sim::Rng rng(4);
+  std::vector<double> p(static_cast<std::size_t>(state.range(0)), 1.0);
+  const stale::core::AliasSampler sampler{std::span<const double>(p)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSampler)->Arg(10)->Arg(1000);
+
+void BM_PolicyDecision(benchmark::State& state,
+                       const std::string& spec) {
+  const auto policy = stale::policy::make_policy(spec);
+  stale::sim::Rng rng(5);
+  std::vector<int> loads(10);
+  for (int i = 0; i < 10; ++i) loads[static_cast<std::size_t>(i)] = i % 4;
+  stale::policy::DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 9.0;
+  context.age = 2.0;
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    context.info_version = ++version;  // worst case: no caching possible
+    benchmark::DoNotOptimize(policy->select(context, rng));
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyDecision, random, "random");
+BENCHMARK_CAPTURE(BM_PolicyDecision, k_subset_2, "k_subset:2");
+BENCHMARK_CAPTURE(BM_PolicyDecision, basic_li, "basic_li");
+BENCHMARK_CAPTURE(BM_PolicyDecision, aggressive_li, "aggressive_li");
+BENCHMARK_CAPTURE(BM_PolicyDecision, basic_li_k3, "basic_li_k:3");
+
+void BM_TrialThroughput(benchmark::State& state,
+                        stale::driver::UpdateModel model) {
+  stale::driver::ExperimentConfig config;
+  config.model = model;
+  config.update_interval = 4.0;
+  config.num_jobs = 20'000;
+  config.warmup_jobs = 1'000;
+  config.policy = "basic_li";
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stale::driver::run_trial(config, seed++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.num_jobs));
+}
+BENCHMARK_CAPTURE(BM_TrialThroughput, periodic,
+                  stale::driver::UpdateModel::kPeriodic);
+BENCHMARK_CAPTURE(BM_TrialThroughput, continuous,
+                  stale::driver::UpdateModel::kContinuous);
+BENCHMARK_CAPTURE(BM_TrialThroughput, update_on_access,
+                  stale::driver::UpdateModel::kUpdateOnAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Example: an LSF/DQS-style batch scheduler for a heterogeneous workstation
+// cluster (the paper's Section 1 motivation: "production load sharing
+// programs such as LSF or DQS").
+//
+//   build/examples/cluster_scheduler [jobs]
+//
+// Nodes heartbeat their run-queue lengths every HEARTBEAT seconds to the
+// master (a periodic bulletin board). Node speeds differ (two fast, four
+// standard, two slow). The master routes each submitted job with one of:
+//   - shortest-apparent-queue (what naive schedulers do),
+//   - uniform random,
+//   - rate-weighted Basic LI via LoadInterpreter, with the arrival rate
+//     *learned online* by an EWMA estimator rather than configured.
+// Midway through, a flash crowd doubles the submission rate — the estimator
+// adapts, and LI keeps the slow nodes from drowning.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "core/interpreter.h"
+#include "loadinfo/periodic_board.h"
+#include "queueing/cluster.h"
+#include "queueing/metrics.h"
+#include "sim/rng.h"
+
+namespace {
+
+const std::vector<double> kNodeSpeeds = {2.0, 2.0, 1.0, 1.0,
+                                         1.0, 1.0, 0.5, 0.5};  // total 9
+constexpr double kHeartbeat = 6.0;       // seconds between load reports
+constexpr double kBaseLoad = 0.55;       // offered load before the crowd
+constexpr double kCrowdLoad = 0.85;      // offered load during the crowd
+
+enum class Router { kShortestQueue, kRandom, kWeightedLi };
+
+const char* router_name(Router r) {
+  switch (r) {
+    case Router::kShortestQueue:
+      return "shortest-apparent-queue";
+    case Router::kRandom:
+      return "uniform-random";
+    case Router::kWeightedLi:
+      return "weighted-basic-li (ewma rate)";
+  }
+  return "?";
+}
+
+double run(Router router, long jobs, std::uint64_t seed) {
+  const int n = static_cast<int>(kNodeSpeeds.size());
+  double capacity = 0.0;
+  for (double c : kNodeSpeeds) capacity += c;
+
+  stale::sim::Rng rng(seed);
+  stale::queueing::Cluster cluster(kNodeSpeeds, 0.0);
+  stale::loadinfo::PeriodicBoard board(n, kHeartbeat);
+  stale::queueing::ResponseMetrics metrics(
+      static_cast<std::uint64_t>(jobs / 5));
+
+  stale::core::LoadInterpreter li(stale::core::LoadInterpreter::Options{
+      .mode = stale::core::LiMode::kBasic,
+      .num_servers = n,
+      // Learn the submission rate online; start from full capacity (the
+      // conservative prior the paper recommends).
+      .rate = stale::core::RateSource::ewma(/*time_constant=*/30.0,
+                                            /*initial_rate=*/capacity),
+      .server_rates = kNodeSpeeds,
+  });
+
+  double t = 0.0;
+  const double crowd_start_job = 0.5 * static_cast<double>(jobs);
+  for (long job = 0; job < jobs; ++job) {
+    const double offered =
+        static_cast<double>(job) >= crowd_start_job ? kCrowdLoad : kBaseLoad;
+    t += -std::log(rng.next_double_open0()) / (offered * capacity);
+    board.sync(cluster, t);
+
+    int node = 0;
+    switch (router) {
+      case Router::kShortestQueue: {
+        int best = 1 << 30;
+        const auto& loads = board.loads();
+        for (int i = 0; i < n; ++i) {
+          if (loads[static_cast<std::size_t>(i)] < best) {
+            best = loads[static_cast<std::size_t>(i)];
+            node = i;
+          }
+        }
+        break;
+      }
+      case Router::kRandom:
+        node = static_cast<int>(rng.next_below(kNodeSpeeds.size()));
+        break;
+      case Router::kWeightedLi:
+        li.on_arrival(t);  // feeds the EWMA rate estimator
+        li.report_loads(std::span<const int>(board.loads()), board.age(t));
+        node = li.pick(rng);
+        break;
+    }
+
+    const double work = -std::log(rng.next_double_open0());  // mean 1 cpu-sec
+    const double finish = cluster.assign(t, node, work);
+    metrics.record(finish - t);
+  }
+  return metrics.mean_response();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long jobs = argc > 1 ? std::atol(argv[1]) : 200'000;
+  std::printf(
+      "Batch cluster: 8 nodes (speeds 2x,2x,1x,1x,1x,1x,0.5x,0.5x), "
+      "heartbeat every %.0fs,\n%ld jobs; offered load steps %.0f%% -> %.0f%% "
+      "halfway (flash crowd)\n\n",
+      kHeartbeat, jobs, kBaseLoad * 100, kCrowdLoad * 100);
+  std::printf("%-32s  %s\n", "router", "mean turnaround (cpu-seconds)");
+  for (Router router :
+       {Router::kShortestQueue, Router::kRandom, Router::kWeightedLi}) {
+    double total = 0.0;
+    const int trials = 3;
+    for (int trial = 0; trial < trials; ++trial) {
+      total += run(router, jobs, 0xC1u + static_cast<std::uint64_t>(trial));
+    }
+    std::printf("%-32s  %.3f\n", router_name(router), total / trials);
+  }
+  std::printf(
+      "\nShortest-apparent-queue herds onto whichever node reported idle at\n"
+      "the last heartbeat; uniform random drowns the half-speed nodes; the\n"
+      "interpreter — knowing report age, learned arrival rate, and node\n"
+      "speeds — does neither.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Example: trace-driven evaluation (the paper's "more realistic workloads"
+// future work). Generates a synthetic diurnal request trace — a slow
+// sinusoidal rate swing with heavy-tailed sizes, something no Poisson model
+// matches — writes it to a temp file, replays it through the balancer with
+// three strategies, and reports mean latency.
+//
+//   build/examples/trace_replay [jobs]
+//
+// The interesting twist: during the trace's rush-hour peaks the true arrival
+// rate exceeds the long-run average, exactly the regime where LI's
+// conservative max-throughput rate estimate earns its keep.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/interpreter.h"
+#include "loadinfo/periodic_board.h"
+#include "queueing/cluster.h"
+#include "queueing/metrics.h"
+#include "sim/rng.h"
+#include "workload/trace.h"
+
+namespace {
+
+constexpr int kServers = 10;
+constexpr double kHeartbeat = 4.0;
+
+// Writes a diurnal trace: thinned non-homogeneous Poisson with rate
+// base * (1 + 0.6 sin(2 pi t / period)), Bounded-Pareto-ish sizes.
+std::string write_trace(long jobs, std::uint64_t seed) {
+  const std::string path = "/tmp/staleload_trace.txt";
+  std::ofstream out(path);
+  stale::sim::Rng rng(seed);
+  const double base_rate = 0.8 * kServers;  // long-run 80% load
+  const double peak_rate = base_rate * 1.6;
+  const double period = 500.0;
+  double t = 0.0;
+  out << "# synthetic diurnal trace: rate swings +-60% around " << base_rate
+      << "\n";
+  long written = 0;
+  while (written < jobs) {
+    // Thinning: candidate events at the peak rate, accepted with
+    // probability rate(t) / peak_rate.
+    t += -std::log(rng.next_double_open0()) / peak_rate;
+    const double rate =
+        base_rate * (1.0 + 0.6 * std::sin(2.0 * M_PI * t / period));
+    if (rng.next_double() * peak_rate > rate) continue;
+    // Pareto(alpha ~ 1.43) size with mean 1 before clipping at 50.
+    double size = 0.3 * std::pow(rng.next_double_open0(), -0.7);
+    if (size > 50.0) size = 50.0;
+    out << t << " " << size << "\n";
+    ++written;
+  }
+  return path;
+}
+
+enum class Strategy { kRandom, kGreedy, kBasicLi };
+
+double replay(const std::vector<stale::workload::TraceRecord>& records,
+              Strategy strategy) {
+  stale::sim::Rng rng(0x7ACE);
+  stale::queueing::Cluster cluster(kServers);
+  stale::loadinfo::PeriodicBoard board(kServers, kHeartbeat);
+  stale::queueing::ResponseMetrics metrics(records.size() / 5);
+
+  stale::core::LoadInterpreter li(stale::core::LoadInterpreter::Options{
+      .mode = stale::core::LiMode::kBasic,
+      .num_servers = kServers,
+      .rate = stale::core::RateSource::conservative_max(kServers),
+      .server_rates = {},
+  });
+
+  for (const auto& record : records) {
+    board.sync(cluster, record.arrival);
+    int server = 0;
+    switch (strategy) {
+      case Strategy::kRandom:
+        server = static_cast<int>(rng.next_below(kServers));
+        break;
+      case Strategy::kGreedy: {
+        int best = 1 << 30;
+        const auto& loads = board.loads();
+        for (int i = 0; i < kServers; ++i) {
+          if (loads[static_cast<std::size_t>(i)] < best) {
+            best = loads[static_cast<std::size_t>(i)];
+            server = i;
+          }
+        }
+        break;
+      }
+      case Strategy::kBasicLi:
+        li.report_loads(std::span<const int>(board.loads()),
+                        board.age(record.arrival));
+        server = li.pick(rng);
+        break;
+    }
+    const double finish = cluster.assign(record.arrival, server, record.size);
+    metrics.record(finish - record.arrival);
+  }
+  return metrics.mean_response();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long jobs = argc > 1 ? std::atol(argv[1]) : 200'000;
+  const std::string path = write_trace(jobs, 0xD1A1);
+  const auto records = stale::workload::load_trace(path);
+  std::printf(
+      "Trace replay: %zu jobs from %s (diurnal rate swing, heavy-ish sizes)\n"
+      "%d servers, heartbeat every %.0f time units\n\n",
+      records.size(), path.c_str(), kServers, kHeartbeat);
+  std::printf("%-26s  %s\n", "strategy", "mean response");
+  std::printf("%-26s  %.3f\n", "uniform-random",
+              replay(records, Strategy::kRandom));
+  std::printf("%-26s  %.3f\n", "shortest-apparent-queue",
+              replay(records, Strategy::kGreedy));
+  std::printf("%-26s  %.3f\n", "basic-li (rate=capacity)",
+              replay(records, Strategy::kBasicLi));
+  std::printf(
+      "\nThe trace's rate is non-stationary, yet interpreting heartbeat age\n"
+      "against the cluster's capacity still beats both extremes.\n");
+  return 0;
+}

@@ -1,0 +1,261 @@
+#include "analysis/fluid_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+namespace stale::analysis {
+
+namespace {
+
+void validate(double lambda, int d) {
+  if (lambda <= 0.0 || lambda >= 1.0) {
+    throw std::invalid_argument("fluid model: need 0 < lambda < 1");
+  }
+  if (d < 1) {
+    throw std::invalid_argument("fluid model: need d >= 1");
+  }
+}
+
+// Shared phase-wise mean-field integrator. The dispatch algorithm is
+// supplied as a rate schedule: prepare(q) is called at each phase start with
+// the board marginal, then rates(t, out) fills the per-class arrival rates
+// for elapsed phase time t. Algorithms with phase-constant rates simply
+// ignore t.
+class PhasedFluid {
+ public:
+  using PrepareFn = std::function<void(const std::vector<double>& marginal)>;
+  using RatesFn = std::function<void(double t, std::vector<double>& rates)>;
+
+  PhasedFluid(double lambda, double phase_length, const FluidOptions& options,
+              bool rates_vary_in_time, PrepareFn prepare, RatesFn rates)
+      : lambda_(lambda),
+        phase_length_(phase_length),
+        options_(options),
+        rates_vary_(rates_vary_in_time),
+        prepare_(std::move(prepare)),
+        rates_fn_(std::move(rates)) {
+    if (phase_length <= 0.0) {
+      throw std::invalid_argument("fluid model: phase_length must be > 0");
+    }
+    if (options.max_length < 2) {
+      throw std::invalid_argument("fluid model: max_length must be >= 2");
+    }
+    size_ = static_cast<std::size_t>(options.max_length + 1);
+    state_.assign(size_, std::vector<double>(size_, 0.0));
+    state_[0][0] = 1.0;  // empty cluster, empty board
+    marginal_.assign(size_, 0.0);
+    previous_marginal_.assign(size_, 0.0);
+    rates_.assign(size_, 0.0);
+    scratch_.assign(size_, 0.0);
+    steps_per_phase_ = std::max(
+        1, static_cast<int>(std::ceil(phase_length / options.time_step)));
+    dt_ = phase_length / steps_per_phase_;
+  }
+
+  FluidResult run() {
+    FluidResult result;
+    for (int phase = 0; phase < options_.max_phases; ++phase) {
+      run_phase(false, nullptr);
+      reset_board();
+      double change = 0.0;
+      for (std::size_t k = 0; k < size_; ++k) {
+        const double mass = std::accumulate(state_[k].begin(),
+                                            state_[k].end(), 0.0);
+        change += std::fabs(mass - previous_marginal_[k]);
+        previous_marginal_[k] = mass;
+      }
+      if (previous_marginal_[size_ - 1] > options_.cap_mass_tolerance) {
+        throw std::runtime_error(
+            "fluid model: probability mass reached the length cap; raise "
+            "FluidOptions::max_length");
+      }
+      if (change < options_.convergence_tol) {
+        result.converged = true;
+        result.phases_to_converge = phase + 1;
+        break;
+      }
+    }
+    double avg_queue = 0.0;
+    run_phase(true, &avg_queue);
+    reset_board();
+    result.mean_queue = avg_queue;
+    result.mean_response = avg_queue / lambda_;
+    if (!result.converged) result.phases_to_converge = options_.max_phases;
+    return result;
+  }
+
+ private:
+  void run_phase(bool measure, double* avg_queue) {
+    for (std::size_t k = 0; k < size_; ++k) {
+      marginal_[k] = std::accumulate(state_[k].begin(), state_[k].end(), 0.0);
+    }
+    prepare_(marginal_);
+    rates_fn_(0.0, rates_);
+
+    double queue_time_integral = 0.0;
+    for (int step = 0; step < steps_per_phase_; ++step) {
+      if (rates_vary_ && step > 0) {
+        rates_fn_(static_cast<double>(step) * dt_, rates_);
+      }
+      if (measure) {
+        double mean_queue = 0.0;
+        for (std::size_t k = 0; k < size_; ++k) {
+          if (marginal_[k] <= 0.0) continue;
+          for (std::size_t j = 1; j < size_; ++j) {
+            mean_queue += static_cast<double>(j) * state_[k][j];
+          }
+        }
+        queue_time_integral += mean_queue * dt_;
+      }
+      for (std::size_t k = 0; k < size_; ++k) {
+        if (marginal_[k] <= 0.0) continue;
+        const double r = rates_[k];
+        auto& p = state_[k];
+        // M/M/1 forward equations, arrival rate r, unit service, absorbing
+        // cap (arrivals into the cap stay there).
+        scratch_[0] = p[1] - r * p[0];
+        for (std::size_t j = 1; j + 1 < size_; ++j) {
+          scratch_[j] = r * (p[j - 1] - p[j]) + (p[j + 1] - p[j]);
+        }
+        scratch_[size_ - 1] = r * p[size_ - 2] - p[size_ - 1];
+        for (std::size_t j = 0; j < size_; ++j) p[j] += dt_ * scratch_[j];
+      }
+    }
+    if (measure) *avg_queue = queue_time_integral / phase_length_;
+  }
+
+  // Re-seed the board from the true lengths: new class k' = current length.
+  void reset_board() {
+    std::vector<std::vector<double>> next(size_,
+                                          std::vector<double>(size_, 0.0));
+    for (std::size_t k = 0; k < size_; ++k) {
+      for (std::size_t j = 0; j < size_; ++j) {
+        next[j][j] += state_[k][j];
+      }
+    }
+    state_.swap(next);
+  }
+
+  double lambda_;
+  double phase_length_;
+  FluidOptions options_;
+  bool rates_vary_;
+  PrepareFn prepare_;
+  RatesFn rates_fn_;
+  std::size_t size_ = 0;
+  int steps_per_phase_ = 0;
+  double dt_ = 0.0;
+  std::vector<std::vector<double>> state_;
+  std::vector<double> marginal_;
+  std::vector<double> previous_marginal_;
+  std::vector<double> rates_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace
+
+std::vector<double> power_of_d_tail_fixed_point(double lambda, int d,
+                                                int max_length) {
+  validate(lambda, d);
+  if (max_length < 1) {
+    throw std::invalid_argument("fluid model: max_length must be >= 1");
+  }
+  std::vector<double> tail;
+  tail.push_back(1.0);  // s_0: every server has length >= 0
+  // s_i = lambda^{(d^i - 1)/(d - 1)}; for d = 1 the exponent is i.
+  double exponent = 0.0;
+  for (int i = 1; i <= max_length; ++i) {
+    exponent = exponent * d + 1.0;
+    const double s = std::pow(lambda, exponent);
+    if (s < 1e-15) break;
+    tail.push_back(s);
+  }
+  return tail;
+}
+
+double power_of_d_response_time(double lambda, int d, int max_length) {
+  const auto tail = power_of_d_tail_fixed_point(lambda, d, max_length);
+  const double mean_queue =
+      std::accumulate(tail.begin() + 1, tail.end(), 0.0);
+  return mean_queue / lambda;
+}
+
+FluidResult fluid_periodic_dchoices(double lambda, int d, double phase_length,
+                                    const FluidOptions& options) {
+  validate(lambda, d);
+  // Phase-constant rates: r_k = lambda (S_k^d - S_{k+1}^d) / q_k, where the
+  // request goes to the minimum board value of d uniform samples and splits
+  // evenly within the tied class.
+  std::vector<double> q;
+  auto prepare = [&q](const std::vector<double>& marginal) { q = marginal; };
+  auto rates = [&q, lambda, d](double, std::vector<double>& out) {
+    const std::size_t size = q.size();
+    std::vector<double> suffix(size + 1, 0.0);
+    for (std::size_t k = size; k-- > 0;) suffix[k] = suffix[k + 1] + q[k];
+    for (std::size_t k = 0; k < size; ++k) {
+      out[k] = q[k] > 0.0 ? lambda *
+                                (std::pow(suffix[k], d) -
+                                 std::pow(suffix[k + 1], d)) /
+                                q[k]
+                          : 0.0;
+    }
+  };
+  PhasedFluid integrator(lambda, phase_length, options,
+                         /*rates_vary_in_time=*/false, prepare, rates);
+  return integrator.run();
+}
+
+FluidResult fluid_periodic_aggressive_li(double lambda, double phase_length,
+                                         const FluidOptions& options) {
+  validate(lambda, 1);
+  // Water-filling schedule over the board marginal: deficit[v] = expected
+  // arrivals per server needed to lift every class below integer level v up
+  // to v; prefix_mass[v] = mass of classes with board value <= v. Both are
+  // recomputed at each phase start.
+  std::vector<double> q;
+  std::vector<double> deficit;      // deficit[v], v = 0..size
+  std::vector<double> prefix_mass;  // prefix_mass[v] = sum_{k<=v} q_k
+  auto prepare = [&](const std::vector<double>& marginal) {
+    q = marginal;
+    const std::size_t size = q.size();
+    prefix_mass.assign(size, 0.0);
+    double mass = 0.0;
+    for (std::size_t k = 0; k < size; ++k) {
+      mass += q[k];
+      prefix_mass[k] = mass;
+    }
+    deficit.assign(size + 1, 0.0);
+    // deficit[v+1] = deficit[v] + prefix_mass[v] (raising the level by one
+    // costs one arrival per server already below it).
+    for (std::size_t v = 0; v < size; ++v) {
+      deficit[v + 1] = deficit[v] + prefix_mass[v];
+    }
+  };
+  auto rates = [&](double t, std::vector<double>& out) {
+    const std::size_t size = q.size();
+    const double consumed = lambda * t;  // expected arrivals per server
+    // Current integer water level: largest v with deficit[v] <= consumed.
+    const auto it = std::upper_bound(deficit.begin(), deficit.end(),
+                                     consumed);
+    std::size_t level =
+        static_cast<std::size_t>(it - deficit.begin());  // first v with > x
+    level = level > 0 ? level - 1 : 0;
+    // Classes with board value <= level are filling (ties at the starting
+    // minimum have zero deficit, so the initial group covers them all).
+    const double group_mass =
+        level < size ? prefix_mass[level] : prefix_mass[size - 1];
+    for (std::size_t k = 0; k < size; ++k) {
+      out[k] = (q[k] > 0.0 && k <= level && group_mass > 0.0)
+                   ? lambda / group_mass
+                   : 0.0;
+    }
+  };
+  PhasedFluid integrator(lambda, phase_length, options,
+                         /*rates_vary_in_time=*/true, prepare, rates);
+  return integrator.run();
+}
+
+}  // namespace stale::analysis

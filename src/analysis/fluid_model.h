@@ -1,0 +1,82 @@
+// Fluid-limit (mean-field) analytic models for the systems the paper
+// simulates, following Mitzenmacher's methodology ("How Useful Is Old
+// Information", cited throughout the paper): as the number of servers grows,
+// the empirical queue-length distribution evolves deterministically, so
+// expected response times can be *computed* rather than simulated. This
+// gives an independent check of the simulator (bench
+// ablation_fluid_vs_simulation) and closed-ish forms for the fresh-info
+// limit.
+//
+// Implemented systems:
+//  1. Power-of-d with fresh information (T -> 0): the classic fixed point
+//       s_i = lambda^{(d^i - 1)/(d - 1)}
+//     where s_i is the fraction of servers with queue length >= i; mean
+//     response time follows from Little's law.
+//  2. Periodic update + d-choices (the paper's k-subset under the bulletin
+//     board): servers are classed by their *board* (phase-start) length k;
+//     within a phase each class receives Poisson arrivals at the fixed rate
+//       r_k = lambda * (S_k^d - S_{k+1}^d) / q_k,
+//     where q_k is the fraction of servers whose board shows k and
+//     S_k = sum_{m >= k} q_m (a request goes to the minimum board value of d
+//     uniform samples, split evenly within the tied class). Each class's
+//     length distribution then evolves by the M/M/1 forward equations; at
+//     each phase boundary the board is re-seeded from the true lengths. The
+//     model is integrated phase over phase until the phase-start state
+//     converges, then the time-averaged mean queue length over one phase
+//     yields the mean response time.
+//
+// d = 1 reduces to uniform random dispatch and must reproduce M/M/1
+// regardless of T — one of the unit tests.
+#pragma once
+
+#include <vector>
+
+namespace stale::analysis {
+
+struct FluidOptions {
+  // Queue-length truncation. Must exceed the longest queue the system
+  // reaches with non-negligible mass; integration throws if more than
+  // `cap_mass_tolerance` probability accumulates at the cap.
+  int max_length = 80;
+  double time_step = 0.002;       // forward-Euler step
+  int max_phases = 5000;          // phase iterations before giving up (short
+                                  // phases at high load mix slowly)
+  double convergence_tol = 1e-8;  // L1 change of the phase-start state
+  double cap_mass_tolerance = 1e-4;
+};
+
+// Fraction-of-servers-with-length >= i fixed point of the fresh-information
+// power-of-d system, s_0 = 1, s_i = lambda^{(d^i - 1)/(d - 1)}, truncated
+// when s_i underflows. Requires 0 < lambda < 1, d >= 1.
+std::vector<double> power_of_d_tail_fixed_point(double lambda, int d,
+                                                int max_length = 200);
+
+// Mean response time of the fresh-information power-of-d system via
+// Little's law: E[N per server] / lambda.
+double power_of_d_response_time(double lambda, int d, int max_length = 200);
+
+// Result of the periodic-update fluid integration.
+struct FluidResult {
+  double mean_response = 0.0;  // time-averaged, cyclo-stationary
+  double mean_queue = 0.0;     // per server
+  int phases_to_converge = 0;
+  bool converged = false;
+};
+
+// Fluid model of the periodic bulletin board with d-choices dispatch.
+// Requires 0 < lambda < 1, d >= 1, T > 0.
+FluidResult fluid_periodic_dchoices(double lambda, int d, double phase_length,
+                                    const FluidOptions& options = {});
+
+// Fluid model of the periodic bulletin board with Aggressive LI dispatch
+// (Mitzenmacher's Time-Based algorithm — the analytic model the paper cites
+// for it). Within a phase the water level v(t) solves
+//     sum_k q_k * max(0, v - k) = lambda * t
+// over the board marginal q; servers whose board value lies below the level
+// receive rate lambda / (mass below the level), everyone else zero — the
+// continuum limit of "spread arrivals uniformly over the group of least-
+// loaded servers, expanding the group as each board level fills".
+FluidResult fluid_periodic_aggressive_li(double lambda, double phase_length,
+                                         const FluidOptions& options = {});
+
+}  // namespace stale::analysis

@@ -1,0 +1,117 @@
+#include "core/aggressive_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace stale::core {
+
+namespace {
+
+void validate_loads(std::span<const double> loads) {
+  if (loads.empty()) {
+    throw std::invalid_argument("AggressiveLI: empty load vector");
+  }
+  for (double b : loads) {
+    if (b < 0.0 || !std::isfinite(b)) {
+      throw std::invalid_argument("AggressiveLI: loads must be finite, >= 0");
+    }
+  }
+}
+
+}  // namespace
+
+AggressiveSchedule make_aggressive_schedule(std::span<const double> loads) {
+  validate_loads(loads);
+  const std::size_t n = loads.size();
+
+  AggressiveSchedule schedule;
+  schedule.order.resize(n);
+  std::iota(schedule.order.begin(), schedule.order.end(), 0);
+  std::sort(schedule.order.begin(), schedule.order.end(),
+            [&](int a, int b) {
+              if (loads[static_cast<std::size_t>(a)] !=
+                  loads[static_cast<std::size_t>(b)]) {
+                return loads[static_cast<std::size_t>(a)] <
+                       loads[static_cast<std::size_t>(b)];
+              }
+              return a < b;  // deterministic tie-break
+            });
+
+  // C_j = j * b_{j+1} - sum_{i<=j} b_i, computed with a running prefix sum.
+  schedule.cum_jobs.reserve(n > 0 ? n - 1 : 0);
+  double prefix = 0.0;
+  for (std::size_t j = 1; j < n; ++j) {
+    prefix += loads[static_cast<std::size_t>(schedule.order[j - 1])];
+    const double next_level =
+        loads[static_cast<std::size_t>(schedule.order[j])];
+    schedule.cum_jobs.push_back(static_cast<double>(j) * next_level - prefix);
+  }
+  return schedule;
+}
+
+AggressiveSchedule make_aggressive_schedule(std::span<const int> loads) {
+  std::vector<double> as_double(loads.begin(), loads.end());
+  return make_aggressive_schedule(as_double);
+}
+
+int aggressive_group_at(const AggressiveSchedule& schedule,
+                        double jobs_elapsed) {
+  if (jobs_elapsed < 0.0) {
+    throw std::invalid_argument("AggressiveLI: negative jobs_elapsed");
+  }
+  // Group j is in effect while jobs_elapsed < C_j. Note ties in the load
+  // vector give zero-length subintervals (C_j == C_{j-1}), which this search
+  // skips naturally.
+  const auto it = std::upper_bound(schedule.cum_jobs.begin(),
+                                   schedule.cum_jobs.end(), jobs_elapsed);
+  return static_cast<int>(it - schedule.cum_jobs.begin()) + 1;
+}
+
+int aggressive_stationary_group(const AggressiveSchedule& schedule,
+                                double expected_arrivals) {
+  if (expected_arrivals < 0.0) {
+    throw std::invalid_argument("AggressiveLI: negative expected_arrivals");
+  }
+  // Smallest j with C_j >= K; n when even C_{n-1} < K.
+  const auto it =
+      std::lower_bound(schedule.cum_jobs.begin(), schedule.cum_jobs.end(),
+                       expected_arrivals);
+  return static_cast<int>(it - schedule.cum_jobs.begin()) + 1;
+}
+
+std::vector<double> aggressive_group_probabilities(
+    const AggressiveSchedule& schedule, int group) {
+  if (group < 1 || group > schedule.size()) {
+    throw std::invalid_argument("AggressiveLI: group out of range");
+  }
+  std::vector<double> p(schedule.order.size(), 0.0);
+  const double share = 1.0 / static_cast<double>(group);
+  for (int j = 0; j < group; ++j) {
+    p[static_cast<std::size_t>(schedule.order[static_cast<std::size_t>(j)])] =
+        share;
+  }
+  return p;
+}
+
+std::vector<double> aggressive_li_probabilities(std::span<const double> loads,
+                                                double lambda_total,
+                                                double elapsed) {
+  if (lambda_total < 0.0 || elapsed < 0.0) {
+    throw std::invalid_argument("AggressiveLI: negative rate or elapsed time");
+  }
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  const int group = aggressive_group_at(schedule, lambda_total * elapsed);
+  return aggressive_group_probabilities(schedule, group);
+}
+
+std::vector<double> aggressive_li_stationary_probabilities(
+    std::span<const double> loads, double expected_arrivals) {
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  const int group =
+      aggressive_stationary_group(schedule, expected_arrivals);
+  return aggressive_group_probabilities(schedule, group);
+}
+
+}  // namespace stale::core

@@ -1,0 +1,66 @@
+// Aggressive LI (paper Eq. 5, Section 4.1.1) — equivalent to Mitzenmacher's
+// Time-Based algorithm.
+//
+// Instead of equalizing queue lengths only by the *end* of the phase (Basic
+// LI), Aggressive LI water-fills as early as possible: sort servers by
+// reported load b_1 <= ... <= b_n; during subinterval j all arrivals are
+// spread uniformly over the j least-loaded servers, and subinterval j lasts
+// exactly long enough for its arrivals to lift those j servers to b_{j+1}.
+// The final subinterval (j = n) is uniform over everyone and lasts for the
+// remainder of the phase (the paper's "sentinel" b_{n+1}).
+//
+// The schedule is naturally expressed in *expected arrivals consumed so far*:
+//   C_j = sum_{i<=j} (b_{j+1} - b_i)   for j = 1..n-1   (non-decreasing)
+// and the group in effect after x expected arrivals is the smallest j with
+// x < C_j (or n when x >= C_{n-1}).
+//
+// Under the continuous / update-on-access models the paper prescribes the
+// *stationary* rule: with information of age T and K = lambda_total * T
+// expected arrivals since the snapshot, use the last subinterval the schedule
+// would have reached, i.e. the smallest j with C_j >= K (n if none).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace stale::core {
+
+struct AggressiveSchedule {
+  // Server indices sorted by reported load ascending (ties by index).
+  std::vector<int> order;
+  // cum_jobs[j-1] = C_j for j = 1..n-1 (empty when n == 1).
+  std::vector<double> cum_jobs;
+
+  int size() const { return static_cast<int>(order.size()); }
+};
+
+// Builds the schedule from a reported load vector.
+AggressiveSchedule make_aggressive_schedule(std::span<const double> loads);
+AggressiveSchedule make_aggressive_schedule(std::span<const int> loads);
+
+// Group (1-based j) in effect after `jobs_elapsed` expected arrivals of the
+// phase have passed: the periodic-update rule. jobs_elapsed >= 0.
+int aggressive_group_at(const AggressiveSchedule& schedule,
+                        double jobs_elapsed);
+
+// Stationary group for information of "age" `expected_arrivals` = K: the
+// smallest j with C_j >= K (continuous / update-on-access rule).
+int aggressive_stationary_group(const AggressiveSchedule& schedule,
+                                double expected_arrivals);
+
+// Probability vector for a group: uniform over the `group` least-loaded
+// servers, zero elsewhere. Aligned with the original load vector.
+std::vector<double> aggressive_group_probabilities(
+    const AggressiveSchedule& schedule, int group);
+
+// One-call convenience for the periodic model: probabilities for a request
+// arriving `elapsed` time units into a phase of length `phase_length`, given
+// the board snapshot `loads` and the aggregate arrival-rate estimate.
+std::vector<double> aggressive_li_probabilities(
+    std::span<const double> loads, double lambda_total, double elapsed);
+
+// One-call convenience for the continuous / update-on-access models.
+std::vector<double> aggressive_li_stationary_probabilities(
+    std::span<const double> loads, double expected_arrivals);
+
+}  // namespace stale::core

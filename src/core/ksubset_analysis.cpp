@@ -1,0 +1,31 @@
+#include "core/ksubset_analysis.h"
+
+#include <stdexcept>
+
+namespace stale::core {
+
+std::vector<double> ksubset_rank_probabilities(int n, int k) {
+  if (n < 1 || k < 1 || k > n) {
+    throw std::invalid_argument("ksubset_rank_probabilities: need 1<=k<=n");
+  }
+  std::vector<double> p(static_cast<std::size_t>(n), 0.0);
+  // P(1) = C(n-1, k-1) / C(n, k) = k / n, and successive ranks satisfy
+  //   P(i+1) / P(i) = C(n-i-1, k-1) / C(n-i, k-1) = (n-i-k+1) / (n-i),
+  // letting us fill the vector with a running product (no factorials, no
+  // overflow).
+  double prob = static_cast<double>(k) / static_cast<double>(n);
+  for (int i = 1; i <= n - k + 1; ++i) {
+    p[static_cast<std::size_t>(i - 1)] = prob;
+    prob *= static_cast<double>(n - i - k + 1) / static_cast<double>(n - i);
+  }
+  return p;
+}
+
+double ksubset_rank_probability(int n, int k, int rank) {
+  if (rank < 1 || rank > n) {
+    throw std::invalid_argument("ksubset_rank_probability: bad rank");
+  }
+  return ksubset_rank_probabilities(n, k)[static_cast<std::size_t>(rank - 1)];
+}
+
+}  // namespace stale::core

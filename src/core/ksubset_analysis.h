@@ -1,0 +1,23 @@
+// Analytic properties of Mitzenmacher's k-subset algorithm (paper Section 2,
+// Eq. 1 and Figure 1): with n servers ordered by reported load (rank 1 =
+// least loaded) and a request dispatched to the least-loaded of a uniformly
+// random k-subset, the probability the request lands on the rank-i server is
+//
+//   P(i) = C(n - i, k - 1) / C(n, k)   for i <= n - k + 1,   0 otherwise,
+//
+// assuming no ties. These closed forms seed Figure 1 and validate the
+// simulated k-subset policy.
+#pragma once
+
+#include <vector>
+
+namespace stale::core {
+
+// Probability that a k-subset request is dispatched to the rank-i server
+// (i is 1-based; element [0] of the result is rank 1). Requires 1<=k<=n.
+std::vector<double> ksubset_rank_probabilities(int n, int k);
+
+// Single-rank version of the above (rank is 1-based).
+double ksubset_rank_probability(int n, int k, int rank);
+
+}  // namespace stale::core

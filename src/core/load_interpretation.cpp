@@ -1,0 +1,147 @@
+#include "core/load_interpretation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace stale::core {
+
+namespace {
+
+// Below this K the closed form degenerates numerically; use the K -> 0 limit.
+constexpr double kTinyArrivals = 1e-12;
+
+void validate(std::span<const double> loads, double expected_arrivals) {
+  if (loads.empty()) {
+    throw std::invalid_argument("LI: empty load vector");
+  }
+  if (expected_arrivals < 0.0 || !std::isfinite(expected_arrivals)) {
+    throw std::invalid_argument("LI: expected_arrivals must be finite, >= 0");
+  }
+  for (double b : loads) {
+    if (b < 0.0 || !std::isfinite(b)) {
+      throw std::invalid_argument("LI: loads must be finite, >= 0");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> basic_li_probabilities_weighted(
+    std::span<const double> loads, std::span<const double> rates,
+    double expected_arrivals) {
+  validate(loads, expected_arrivals);
+  if (rates.size() != loads.size()) {
+    throw std::invalid_argument("LI: rates/loads size mismatch");
+  }
+  for (double c : rates) {
+    if (c <= 0.0 || !std::isfinite(c)) {
+      throw std::invalid_argument("LI: rates must be finite, > 0");
+    }
+  }
+
+  const std::size_t n = loads.size();
+  // Sort server indices by normalized load b_i / c_i ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return loads[a] * rates[b] < loads[b] * rates[a];  // b_a/c_a < b_b/c_b
+  });
+
+  std::vector<double> p(n, 0.0);
+  const double K = expected_arrivals;
+
+  if (K <= kTinyArrivals) {
+    // K -> 0 limit: all mass on the minimum-normalized-load set, shared
+    // proportionally to service rate.
+    const std::size_t first = order[0];
+    const double min_norm = loads[first] / rates[first];
+    double rate_sum = 0.0;
+    for (std::size_t i : order) {
+      if (loads[i] / rates[i] <= min_norm + 1e-12) rate_sum += rates[i];
+    }
+    for (std::size_t i : order) {
+      if (loads[i] / rates[i] <= min_norm + 1e-12) p[i] = rates[i] / rate_sum;
+    }
+    return p;
+  }
+
+  // Find the largest prefix m (Eq. 3 generalized): K arrivals suffice to lift
+  // servers order[0..m-1] to the normalized level of order[m-1].
+  std::size_t m = 1;
+  double load_sum = loads[order[0]];
+  double rate_sum = rates[order[0]];
+  for (std::size_t j = 2; j <= n; ++j) {
+    const std::size_t idx = order[j - 1];
+    const double cand_load_sum = load_sum + loads[idx];
+    const double cand_rate_sum = rate_sum + rates[idx];
+    const double level_j = loads[idx] / rates[idx];
+    // Jobs needed to lift the first j servers to level_j:
+    const double need = level_j * cand_rate_sum - cand_load_sum;
+    if (need <= K) {
+      m = j;
+      load_sum = cand_load_sum;
+      rate_sum = cand_rate_sum;
+    } else {
+      break;  // loads are sorted, so later prefixes need even more
+    }
+  }
+
+  // Common level after distributing K arrivals over the first m servers.
+  const double level = (load_sum + K) / rate_sum;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t idx = order[j];
+    p[idx] = (level * rates[idx] - loads[idx]) / K;
+    // Guard tiny negative values from floating-point cancellation.
+    if (p[idx] < 0.0) p[idx] = 0.0;
+  }
+
+  // Renormalize to absorb FP drift (sum is 1 up to rounding by construction).
+  const double total = std::accumulate(p.begin(), p.end(), 0.0);
+  for (double& v : p) v /= total;
+  return p;
+}
+
+std::vector<double> basic_li_probabilities(std::span<const double> loads,
+                                           double expected_arrivals) {
+  static thread_local std::vector<double> unit_rates;
+  unit_rates.assign(loads.size(), 1.0);
+  return basic_li_probabilities_weighted(loads, unit_rates,
+                                         expected_arrivals);
+}
+
+std::vector<double> basic_li_probabilities(std::span<const int> loads,
+                                           double expected_arrivals) {
+  std::vector<double> as_double(loads.begin(), loads.end());
+  return basic_li_probabilities(as_double, expected_arrivals);
+}
+
+std::vector<double> hybrid_li_first_interval_probabilities(
+    std::span<const double> loads) {
+  validate(loads, 0.0);
+  const double peak = *std::max_element(loads.begin(), loads.end());
+  std::vector<double> p(loads.size(), 0.0);
+  double deficit_sum = 0.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    p[i] = peak - loads[i];
+    deficit_sum += p[i];
+  }
+  if (deficit_sum <= 0.0) {
+    // All loads equal: the first subinterval is empty; return uniform.
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(loads.size()));
+    return p;
+  }
+  for (double& v : p) v /= deficit_sum;
+  return p;
+}
+
+double hybrid_li_first_interval_jobs(std::span<const double> loads) {
+  validate(loads, 0.0);
+  const double peak = *std::max_element(loads.begin(), loads.end());
+  double total = 0.0;
+  for (double b : loads) total += peak - b;
+  return total;
+}
+
+}  // namespace stale::core

@@ -1,0 +1,83 @@
+// Arrival-rate estimation for LI.
+//
+// The paper assumes clients are *told* lambda, and Section 5.6 shows that
+// underestimates are dangerous while overestimates are nearly free; its
+// recommended practical rule is "use the system's maximum achievable
+// throughput as the estimate". These estimators close the loop for systems
+// that must learn the rate online; the conservative estimator implements the
+// paper's rule.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace stale::core {
+
+class RateEstimator {
+ public:
+  virtual ~RateEstimator() = default;
+
+  // Informs the estimator that one arrival happened at absolute time `t`
+  // (non-decreasing across calls).
+  virtual void on_arrival(double t) = 0;
+
+  // Current estimate of the aggregate arrival rate (jobs per time unit).
+  virtual double rate() const = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+using RateEstimatorPtr = std::unique_ptr<RateEstimator>;
+
+// Always reports `max_throughput` (the paper's conservative rule: if the
+// actual load is lower, LI merely becomes more uniform — which is fine at
+// low load; if it is higher, the system is unstable no matter what).
+class ConservativeRateEstimator final : public RateEstimator {
+ public:
+  explicit ConservativeRateEstimator(double max_throughput);
+
+  void on_arrival(double) override {}
+  double rate() const override { return max_throughput_; }
+  std::string describe() const override;
+
+ private:
+  double max_throughput_;
+};
+
+// Exponentially weighted moving average of instantaneous rates, with the
+// given averaging time constant (larger = smoother). The estimate after an
+// inter-arrival gap g blends toward 1/g with weight 1 - exp(-g / tau).
+class EwmaRateEstimator final : public RateEstimator {
+ public:
+  EwmaRateEstimator(double time_constant, double initial_rate);
+
+  void on_arrival(double t) override;
+  double rate() const override { return rate_; }
+  std::string describe() const override;
+
+ private:
+  double tau_;
+  double rate_;
+  double last_arrival_ = -1.0;
+};
+
+// Counts arrivals in a sliding window of fixed duration; the estimate is
+// count / window. Exact but O(window occupancy) memory.
+class WindowedRateEstimator final : public RateEstimator {
+ public:
+  WindowedRateEstimator(double window, double initial_rate);
+
+  void on_arrival(double t) override;
+  double rate() const override;
+  std::string describe() const override;
+
+ private:
+  double window_;
+  double initial_rate_;
+  std::deque<double> arrivals_;
+  double now_ = 0.0;
+};
+
+}  // namespace stale::core

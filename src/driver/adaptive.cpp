@@ -1,0 +1,38 @@
+#include "driver/adaptive.h"
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace stale::driver {
+
+AdaptiveResult run_until_confident(const ExperimentConfig& config,
+                                   const AdaptiveOptions& options) {
+  if (options.relative_precision <= 0.0) {
+    throw std::invalid_argument("run_until_confident: precision must be > 0");
+  }
+  if (options.min_trials < 2 || options.max_trials < options.min_trials) {
+    throw std::invalid_argument(
+        "run_until_confident: need 2 <= min_trials <= max_trials");
+  }
+
+  AdaptiveResult outcome;
+  for (int trial = 0; trial < options.max_trials; ++trial) {
+    const std::uint64_t seed = sim::trial_seed(config.base_seed, trial);
+    const TrialResult result = run_trial(config, seed);
+    outcome.result.across_trials.add(result.mean_response);
+    outcome.result.trial_means.push_back(result.mean_response);
+    outcome.trials_used = trial + 1;
+    if (outcome.trials_used >= options.min_trials) {
+      const double mean = outcome.result.mean();
+      const double half_width = outcome.result.ci90();
+      if (mean > 0.0 && half_width / mean <= options.relative_precision) {
+        outcome.converged = true;
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace stale::driver

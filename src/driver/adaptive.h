@@ -1,0 +1,33 @@
+// Adaptive-precision experiment runner: keeps adding independent trials
+// until the 90% confidence half-width shrinks below a target fraction of the
+// mean (or a trial budget runs out). Useful when sweeping regimes whose
+// variance differs by orders of magnitude — heavy load and heavy-tailed jobs
+// need many more trials than light load — without paying the worst case
+// everywhere.
+#pragma once
+
+#include "driver/experiment.h"
+
+namespace stale::driver {
+
+struct AdaptiveOptions {
+  // Stop when ci90_half_width / mean <= relative_precision.
+  double relative_precision = 0.05;
+  int min_trials = 3;
+  int max_trials = 50;
+};
+
+struct AdaptiveResult {
+  ExperimentResult result;
+  bool converged = false;  // precision target met within the budget
+  int trials_used = 0;
+};
+
+// Runs config-many-trials adaptively; config.trials is ignored in favour of
+// the options' bounds. Seeds follow the same trial_seed(base_seed, i)
+// sequence as run_experiment, so a converged adaptive run is a prefix-
+// extension of the fixed-trial run.
+AdaptiveResult run_until_confident(const ExperimentConfig& config,
+                                   const AdaptiveOptions& options = {});
+
+}  // namespace stale::driver

@@ -1,0 +1,127 @@
+#include "driver/cli.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::driver {
+
+namespace {
+
+const std::vector<std::string> kStandardSwitches = {"paper", "fast", "csv"};
+const std::vector<std::string> kStandardFlags = {"jobs", "warmup", "trials",
+                                                 "seed"};
+
+bool contains(const std::vector<std::string>& list, const std::string& item) {
+  return std::find(list.begin(), list.end(), item) != list.end();
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv,
+         const std::vector<std::string>& extra_flags,
+         const std::vector<std::string>& extra_switches) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Cli: unexpected positional arg '" + arg +
+                                  "'");
+    }
+    arg = arg.substr(2);
+    std::string value = "1";
+    const auto eq = arg.find('=');
+    bool has_inline_value = eq != std::string::npos;
+    if (has_inline_value) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    const bool is_switch =
+        contains(kStandardSwitches, arg) || contains(extra_switches, arg);
+    const bool is_flag =
+        contains(kStandardFlags, arg) || contains(extra_flags, arg);
+    if (!is_switch && !is_flag) {
+      throw std::invalid_argument("Cli: unknown flag '--" + arg + "'");
+    }
+    if (is_flag && !has_inline_value) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("Cli: flag '--" + arg +
+                                    "' expects a value");
+      }
+      value = argv[++i];
+    }
+    values_[arg] = value;
+  }
+  if (has("paper") && has("fast")) {
+    throw std::invalid_argument("Cli: --paper and --fast are exclusive");
+  }
+}
+
+bool Cli::has(const std::string& flag) const {
+  return values_.count(flag) > 0;
+}
+
+std::string Cli::get(const std::string& flag,
+                     const std::string& fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Cli::get_double(const std::string& flag, double fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const double value = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("Cli: bad numeric value for --" + flag);
+  }
+  return value;
+}
+
+std::int64_t Cli::get_int(const std::string& flag,
+                          std::int64_t fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const std::int64_t value = std::stoll(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("Cli: bad integer value for --" + flag);
+  }
+  return value;
+}
+
+void Cli::apply_run_scale(ExperimentConfig& config) const {
+  if (has("paper")) {
+    config.num_jobs = 500'000;
+    config.warmup_jobs = 100'000;
+    config.trials = 10;
+  } else if (has("fast")) {
+    config.num_jobs = 20'000;
+    config.warmup_jobs = 5'000;
+    config.trials = 2;
+  } else {
+    config.num_jobs = 120'000;
+    config.warmup_jobs = 30'000;
+    config.trials = 5;
+  }
+  config.num_jobs =
+      static_cast<std::uint64_t>(get_int("jobs", static_cast<std::int64_t>(
+                                                     config.num_jobs)));
+  config.warmup_jobs = static_cast<std::uint64_t>(
+      get_int("warmup", static_cast<std::int64_t>(config.warmup_jobs)));
+  config.trials =
+      static_cast<int>(get_int("trials", config.trials));
+  config.base_seed = static_cast<std::uint64_t>(
+      get_int("seed", static_cast<std::int64_t>(config.base_seed)));
+}
+
+std::string Cli::scale_description() const {
+  ExperimentConfig probe;
+  apply_run_scale(probe);
+  std::ostringstream os;
+  os << (has("paper") ? "paper" : has("fast") ? "fast" : "default")
+     << " scale: " << probe.num_jobs << " jobs (" << probe.warmup_jobs
+     << " warmup), " << probe.trials << " trials, seed " << probe.base_seed;
+  return os.str();
+}
+
+}  // namespace stale::driver

@@ -1,0 +1,48 @@
+// Minimal CLI flag parsing shared by all bench binaries.
+//
+// Every figure bench accepts:
+//   --paper           paper-fidelity run lengths (500k jobs, 100k warmup,
+//                     10 trials — hours on one core for the big sweeps)
+//   --fast            smoke-test lengths (20k jobs, 5k warmup, 2 trials)
+//   (default)         reduced lengths that keep every qualitative shape
+//                     (120k jobs, 30k warmup, 5 trials)
+//   --jobs N --warmup N --trials N --seed S   manual overrides
+//   --csv             machine-readable output
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace stale::driver {
+
+class Cli {
+ public:
+  // Parses argv. Throws std::invalid_argument on unknown flags unless they
+  // are listed in `extra_flags` (flags that take a value) or `extra_switches`
+  // (boolean flags).
+  Cli(int argc, const char* const* argv,
+      const std::vector<std::string>& extra_flags = {},
+      const std::vector<std::string>& extra_switches = {});
+
+  bool has(const std::string& flag) const;
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+
+  bool csv() const { return has("csv"); }
+
+  // Applies --paper/--fast/--jobs/--warmup/--trials/--seed to `config`.
+  void apply_run_scale(ExperimentConfig& config) const;
+
+  // One-line description of the selected scale, for bench headers.
+  std::string scale_description() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace stale::driver

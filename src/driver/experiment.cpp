@@ -1,0 +1,251 @@
+#include "driver/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rate_estimator.h"
+#include "driver/update_on_access.h"
+#include "loadinfo/continuous_view.h"
+#include "loadinfo/individual_board.h"
+#include "loadinfo/periodic_board.h"
+#include "policy/policy_factory.h"
+#include "queueing/cluster.h"
+#include "queueing/load_stats.h"
+#include "queueing/metrics.h"
+#include "sim/rng.h"
+#include "workload/bursty_process.h"
+#include "workload/job_size.h"
+
+namespace stale::driver {
+
+std::string update_model_name(UpdateModel model) {
+  switch (model) {
+    case UpdateModel::kPeriodic:
+      return "periodic";
+    case UpdateModel::kContinuous:
+      return "continuous";
+    case UpdateModel::kUpdateOnAccess:
+      return "update_on_access";
+    case UpdateModel::kIndividual:
+      return "individual";
+  }
+  throw std::logic_error("update_model_name: bad enum");
+}
+
+namespace {
+
+void validate(const ExperimentConfig& config) {
+  if (config.num_servers < 1) {
+    throw std::invalid_argument("ExperimentConfig: num_servers must be >= 1");
+  }
+  if (config.lambda <= 0.0) {
+    throw std::invalid_argument("ExperimentConfig: lambda must be > 0");
+  }
+  if (config.update_interval <= 0.0) {
+    throw std::invalid_argument("ExperimentConfig: update_interval must be > 0");
+  }
+  if (config.warmup_jobs >= config.num_jobs) {
+    throw std::invalid_argument("ExperimentConfig: warmup >= num_jobs");
+  }
+  if (config.trials < 1) {
+    throw std::invalid_argument("ExperimentConfig: trials must be >= 1");
+  }
+}
+
+// Builds the online rate estimator named by config.rate_estimator, or null
+// for "told" (the fixed believed_total_rate is used instead).
+core::RateEstimatorPtr make_rate_estimator(const ExperimentConfig& config) {
+  const std::string& spec = config.rate_estimator;
+  if (spec == "told") return nullptr;
+  const double max_throughput = static_cast<double>(config.num_servers);
+  if (spec == "conservative") {
+    return std::make_unique<core::ConservativeRateEstimator>(max_throughput);
+  }
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const double param =
+      colon == std::string::npos ? 0.0 : std::stod(spec.substr(colon + 1));
+  if (kind == "ewma") {
+    return std::make_unique<core::EwmaRateEstimator>(param, max_throughput);
+  }
+  if (kind == "windowed") {
+    return std::make_unique<core::WindowedRateEstimator>(param,
+                                                         max_throughput);
+  }
+  throw std::invalid_argument("ExperimentConfig: unknown rate_estimator '" +
+                              spec + "'");
+}
+
+
+// Fills the percentile fields of `result` from retained samples, if any.
+void fill_percentiles(const queueing::ResponseMetrics& metrics,
+                      TrialResult& result) {
+  if (metrics.samples().empty()) return;
+  std::vector<double> sorted = metrics.samples();
+  std::sort(sorted.begin(), sorted.end());
+  result.p50_response = sim::percentile_sorted(sorted, 0.50);
+  result.p95_response = sim::percentile_sorted(sorted, 0.95);
+  result.p99_response = sim::percentile_sorted(sorted, 0.99);
+}
+
+TrialResult run_board_trial(const ExperimentConfig& config,
+                            std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const bool continuous = config.model == UpdateModel::kContinuous;
+  const double history_window =
+      continuous ? loadinfo::ContinuousView::history_window_for(
+                       config.delay_kind, config.update_interval)
+                 : 0.0;
+  queueing::Cluster cluster(config.num_servers, history_window);
+  queueing::ResponseMetrics metrics(config.warmup_jobs,
+                                    config.keep_response_samples);
+  const auto policy = policy::make_policy(config.policy);
+  const auto job_size = workload::make_job_size(config.job_size);
+  const auto estimator = make_rate_estimator(config);
+  const double believed_rate = config.believed_total_rate();
+  const double arrival_rate = config.total_rate();
+
+  loadinfo::PeriodicBoard board(config.num_servers, config.update_interval);
+  sim::Rng offsets_rng = rng.split();
+  loadinfo::IndividualBoard individual(config.num_servers,
+                                       config.update_interval, offsets_rng);
+  loadinfo::ContinuousView view(config.delay_kind, config.update_interval,
+                                config.know_actual_age);
+  queueing::LoadImbalanceStats imbalance;
+
+  double t = 0.0;
+  for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
+    t += -std::log(rng.next_double_open0()) / arrival_rate;
+
+    policy::DispatchContext context;
+    if (estimator) {
+      estimator->on_arrival(t);
+      context.lambda_total = estimator->rate();
+    } else {
+      context.lambda_total = believed_rate;
+    }
+    switch (config.model) {
+      case UpdateModel::kPeriodic:
+        board.sync(cluster, t);
+        context.loads = board.loads();
+        context.age = board.age(t);
+        context.phase_length = board.phase_length();
+        context.phase_elapsed = context.age;
+        context.info_version = board.version();
+        break;
+      case UpdateModel::kIndividual:
+        individual.sync(cluster, t);
+        context.loads = individual.loads();
+        context.age = individual.mean_age(t);
+        context.info_version = individual.version();
+        break;
+      case UpdateModel::kContinuous:
+        cluster.advance_to(t);
+        view.observe(cluster, t, rng);
+        context.loads = view.loads();
+        context.age = view.reported_age();
+        context.info_version = view.version();
+        break;
+      case UpdateModel::kUpdateOnAccess:
+        throw std::logic_error("run_board_trial: wrong model");
+    }
+
+    const int server = policy->select(context, rng);
+    const double size = job_size->sample(rng);
+    // Snapshot the true pre-dispatch queue lengths (arrival epochs give
+    // unbiased time averages) once the warmup has passed.
+    cluster.advance_to(t);
+    if (job >= config.warmup_jobs) imbalance.observe(cluster.loads());
+    const double departure = cluster.assign(t, server, size);
+    metrics.record(departure - t);
+  }
+
+  TrialResult result{
+      .mean_response = metrics.mean_response(),
+      .measured_jobs = metrics.measured_jobs(),
+      .total_jobs = metrics.total_jobs(),
+      .sim_end_time = t,
+      .mean_queue_stddev = imbalance.mean_within_snapshot_stddev(),
+      .mean_queue_max = imbalance.mean_snapshot_max(),
+      .mean_queue_length = imbalance.mean_queue_length()};
+  fill_percentiles(metrics, result);
+  return result;
+}
+
+TrialResult run_update_on_access_trial(const ExperimentConfig& config,
+                                       std::uint64_t seed) {
+  sim::Rng rng(seed);
+  queueing::Cluster cluster(config.num_servers, 0.0);
+  const auto policy = policy::make_policy(config.policy);
+  const auto job_size = workload::make_job_size(config.job_size);
+  const double arrival_rate = config.total_rate();
+
+  // Client population sized so the mean per-client gap is the target T; the
+  // gap is then chosen so the aggregate rate is exactly lambda * n despite
+  // the rounding of the client count.
+  const int clients = std::max(
+      1, static_cast<int>(std::llround(arrival_rate * config.update_interval)));
+  const double per_client_gap = static_cast<double>(clients) / arrival_rate;
+
+  workload::ArrivalProcessPtr gaps;
+  if (config.bursty) {
+    gaps = std::make_unique<workload::BurstyProcess>(
+        per_client_gap, config.burst_mean_length,
+        config.burst_within_gap_fraction * per_client_gap);
+  } else {
+    gaps = std::make_unique<workload::PoissonProcess>(1.0 / per_client_gap);
+  }
+
+  // Extend the run so every client launches at least min_jobs_per_client
+  // jobs, scaling the warmup share proportionally (paper Section 5.3).
+  std::uint64_t num_jobs = config.num_jobs;
+  std::uint64_t warmup = config.warmup_jobs;
+  if (config.min_jobs_per_client > 0) {
+    const std::uint64_t needed =
+        config.min_jobs_per_client * static_cast<std::uint64_t>(clients);
+    if (needed > num_jobs) {
+      warmup = needed * warmup / num_jobs;
+      num_jobs = needed;
+    }
+  }
+
+  queueing::ResponseMetrics metrics(warmup, config.keep_response_samples);
+  UpdateOnAccessEngine engine(cluster, *policy, *gaps, *job_size,
+                              config.believed_total_rate(), clients, rng);
+  double t = 0.0;
+  for (std::uint64_t job = 0; job < num_jobs; ++job) {
+    t = engine.step(metrics);
+  }
+  TrialResult result{.mean_response = metrics.mean_response(),
+                     .measured_jobs = metrics.measured_jobs(),
+                     .total_jobs = metrics.total_jobs(),
+                     .sim_end_time = t};
+  fill_percentiles(metrics, result);
+  return result;
+}
+
+}  // namespace
+
+TrialResult run_trial(const ExperimentConfig& config, std::uint64_t seed) {
+  validate(config);
+  if (config.model == UpdateModel::kUpdateOnAccess) {
+    return run_update_on_access_trial(config, seed);
+  }
+  return run_board_trial(config, seed);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  validate(config);
+  ExperimentResult result;
+  result.trial_means.reserve(static_cast<std::size_t>(config.trials));
+  for (int trial = 0; trial < config.trials; ++trial) {
+    const std::uint64_t seed = sim::trial_seed(config.base_seed, trial);
+    const TrialResult outcome = run_trial(config, seed);
+    result.across_trials.add(outcome.mean_response);
+    result.trial_means.push_back(outcome.mean_response);
+  }
+  return result;
+}
+
+}  // namespace stale::driver

@@ -1,0 +1,118 @@
+// Experiment configuration and the seeded trial runner that reproduces the
+// paper's methodology: simulate N job arrivals into an n-server FIFO cluster
+// under a staleness model + dispatch policy, discard the first W jobs as
+// warmup, report the mean response time; repeat over independent seeds and
+// summarize with 90% confidence intervals (and box stats for the
+// heavy-tailed workloads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadinfo/delay_distribution.h"
+#include "sim/stats.h"
+
+namespace stale::driver {
+
+enum class UpdateModel {
+  kPeriodic,        // Section 3.1 bulletin board
+  kContinuous,      // Section 3.1 delayed view
+  kUpdateOnAccess,  // Section 3.2 per-client snapshots
+  kIndividual,      // extension: per-server de-phased refresh
+};
+
+std::string update_model_name(UpdateModel model);
+
+struct ExperimentConfig {
+  // --- system ---
+  int num_servers = 10;
+  double lambda = 0.9;  // per-server offered load (fraction of service rate)
+
+  // --- staleness model ---
+  UpdateModel model = UpdateModel::kPeriodic;
+  double update_interval = 1.0;  // T, in units of mean service time
+  // Continuous model only:
+  loadinfo::DelayKind delay_kind = loadinfo::DelayKind::kConstant;
+  bool know_actual_age = false;  // Figure 7 vs Figure 6
+  // Update-on-access only:
+  bool bursty = false;                       // Figure 9
+  double burst_mean_length = 10.0;           // mean requests per burst
+  double burst_within_gap_fraction = 0.01;   // within-burst gap = frac * T
+  // Minimum jobs each client must launch; the run is extended if needed
+  // (paper: "each client launches at least 1,000 jobs"). 0 disables.
+  std::uint64_t min_jobs_per_client = 0;
+
+  // --- algorithm ---
+  std::string policy = "basic_li";  // see policy/policy_factory.h
+
+  // --- workload ---
+  std::string job_size = "exp:1";  // see workload/job_size.h
+
+  // --- arrival-rate knowledge (Figures 12-13) ---
+  // The policy is told lambda_total = n * lambda_estimate * error_factor,
+  // where lambda_estimate defaults to the true per-server lambda.
+  double lambda_error_factor = 1.0;
+  double lambda_estimate_per_server = -1.0;  // < 0: use the true lambda
+  // Online estimation ablation: "told" (default, uses the fields above),
+  // "conservative" (believe n * 1.0, the paper's max-throughput rule),
+  // "ewma:TAU" or "windowed:W" (learn the rate from observed arrivals).
+  std::string rate_estimator = "told";
+
+  // --- run lengths ---
+  std::uint64_t num_jobs = 120'000;
+  std::uint64_t warmup_jobs = 30'000;
+  int trials = 5;
+  std::uint64_t base_seed = 0x5EEDBA5EULL;
+
+  // Retain per-job response times so TrialResult carries tail percentiles
+  // (p50/p95/p99). Costs 8 bytes per measured job.
+  bool keep_response_samples = false;
+
+  // Aggregate arrival rate lambda * n.
+  double total_rate() const { return lambda * num_servers; }
+
+  // What the policy believes the aggregate rate is.
+  double believed_total_rate() const {
+    const double per_server = lambda_estimate_per_server >= 0.0
+                                  ? lambda_estimate_per_server
+                                  : lambda;
+    return per_server * num_servers * lambda_error_factor;
+  }
+};
+
+struct TrialResult {
+  double mean_response = 0.0;
+  std::uint64_t measured_jobs = 0;
+  std::uint64_t total_jobs = 0;
+  double sim_end_time = 0.0;
+  // Queue-length dispersion at arrival epochs (unbiased by PASTA), sampled
+  // after warmup: the herd effect shows up here as an exploding stddev/max
+  // long before the mean queue length moves. Collected by the board-model
+  // trials (periodic/continuous/individual).
+  double mean_queue_stddev = 0.0;
+  double mean_queue_max = 0.0;
+  double mean_queue_length = 0.0;
+  // Response-time percentiles; populated only when
+  // ExperimentConfig::keep_response_samples is set.
+  double p50_response = 0.0;
+  double p95_response = 0.0;
+  double p99_response = 0.0;
+};
+
+struct ExperimentResult {
+  sim::RunningStats across_trials;  // of per-trial mean response times
+  std::vector<double> trial_means;
+
+  double mean() const { return across_trials.mean(); }
+  double ci90() const { return across_trials.ci90_half_width(); }
+  sim::BoxStats box() const { return sim::BoxStats::from_sample(trial_means); }
+};
+
+// Runs one simulation trial with the given seed.
+TrialResult run_trial(const ExperimentConfig& config, std::uint64_t seed);
+
+// Runs config.trials independent trials (seeds derived from base_seed).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace stale::driver

@@ -1,0 +1,42 @@
+// Receiver-driven rebalancing (the paper's stated future work, following
+// Eager/Lazowska/Zahorjan-style receiver-initiated policies): in addition to
+// the sender-driven dispatch under study, a server that goes idle probes a
+// few peers and steals a waiting job from the most backlogged one.
+//
+// Unlike the dispatcher, the *receiver* acts on fresh information (a probe is
+// a direct exchange between two machines), so stealing repairs exactly the
+// mistakes stale sender-side information causes. The interesting question —
+// answered by bench/ablation_receiver_driven — is how much of LI's advantage
+// survives once receivers can clean up after bad placement, and whether
+// LI + stealing beats naive + stealing.
+//
+// Implemented on the generic event kernel (migration requires moving queued
+// jobs between servers, which the lazy-departure engine's precomputed
+// departure times cannot express).
+#pragma once
+
+#include <cstdint>
+
+#include "driver/experiment.h"
+
+namespace stale::driver {
+
+struct StealingOptions {
+  bool enabled = true;
+  // Servers probed when idle; the most backlogged probed server is chosen.
+  int probe_count = 3;
+  // Extra latency a migrated job pays (network transfer + context); the
+  // thief is occupied by the transfer.
+  double migration_delay = 0.0;
+  // Minimum *waiting* jobs (excluding the one in service) a victim must have.
+  int min_waiting_to_steal = 1;
+};
+
+// Runs one periodic-update trial with receiver-driven stealing layered on
+// top of config.policy. Only the periodic model is supported (stealing under
+// the other models is an orthogonal axis the ablation does not sweep).
+TrialResult run_receiver_driven_trial(const ExperimentConfig& config,
+                                      const StealingOptions& options,
+                                      std::uint64_t seed);
+
+}  // namespace stale::driver

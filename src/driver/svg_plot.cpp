@@ -1,0 +1,260 @@
+#include "driver/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::driver {
+
+namespace {
+
+// Categorical palette (Okabe-Ito, colorblind safe).
+const char* kPalette[] = {"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+                          "#E69F00", "#56B4E9", "#F0E442", "#000000"};
+constexpr int kPaletteSize = 8;
+
+struct AxisScale {
+  double lo;
+  double hi;
+  bool log;
+
+  // Maps a data value to [0, 1].
+  double unit(double v) const {
+    if (log) {
+      return (std::log10(v) - std::log10(lo)) /
+             (std::log10(hi) - std::log10(lo));
+    }
+    return (v - lo) / (hi - lo);
+  }
+};
+
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::fabs(v) < 0.01 || std::fabs(v) >= 100000.0)) {
+    os << std::scientific << std::setprecision(1) << v;
+  } else {
+    os << std::defaultfloat << std::setprecision(4) << v;
+  }
+  return os.str();
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Tick positions: powers of ten on log axes, ~6 "nice" steps on linear.
+std::vector<double> make_ticks(const AxisScale& scale) {
+  std::vector<double> ticks;
+  if (scale.log) {
+    const int lo = static_cast<int>(std::floor(std::log10(scale.lo)));
+    const int hi = static_cast<int>(std::ceil(std::log10(scale.hi)));
+    for (int e = lo; e <= hi; ++e) {
+      const double v = std::pow(10.0, e);
+      if (v >= scale.lo * 0.999 && v <= scale.hi * 1.001) ticks.push_back(v);
+    }
+    if (ticks.size() < 2) ticks = {scale.lo, scale.hi};
+    return ticks;
+  }
+  const double span = scale.hi - scale.lo;
+  const double raw_step = span / 6.0;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = magnitude;
+  for (double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (magnitude * m >= raw_step) {
+      step = magnitude * m;
+      break;
+    }
+  }
+  const double first = std::ceil(scale.lo / step) * step;
+  for (double v = first; v <= scale.hi + step * 1e-9; v += step) {
+    ticks.push_back(v);
+  }
+  return ticks;
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::vector<PlotSeries>& series,
+                              const PlotOptions& options) {
+  if (series.empty()) {
+    throw std::invalid_argument("render_line_chart: no series");
+  }
+  double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+  std::size_t total_points = 0;
+  for (const PlotSeries& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if ((options.log_x && x <= 0.0) || (options.log_y && y <= 0.0)) {
+        throw std::invalid_argument(
+            "render_line_chart: non-positive value on a log axis");
+      }
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+      ++total_points;
+    }
+  }
+  if (total_points == 0) {
+    throw std::invalid_argument("render_line_chart: no points");
+  }
+  if (x_lo == x_hi) {
+    x_lo -= 0.5;
+    x_hi += 0.5;
+  }
+  if (y_lo == y_hi) {
+    y_lo = y_lo == 0.0 ? -0.5 : y_lo * 0.9;
+    y_hi = y_hi == 0.0 ? 0.5 : y_hi * 1.1;
+  }
+  if (!options.log_y && y_lo > 0.0 && y_lo < 0.3 * y_hi) y_lo = 0.0;
+
+  const AxisScale xs{x_lo, x_hi, options.log_x};
+  const AxisScale ys{y_lo, y_hi, options.log_y};
+
+  const double margin_left = 64, margin_right = 170, margin_top = 40,
+               margin_bottom = 52;
+  const double plot_w = options.width - margin_left - margin_right;
+  const double plot_h = options.height - margin_top - margin_bottom;
+  auto px = [&](double x) { return margin_left + xs.unit(x) * plot_w; };
+  auto py = [&](double y) { return margin_top + (1.0 - ys.unit(y)) * plot_h; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\" viewBox=\"0 0 "
+      << options.width << " " << options.height << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << "<text x=\"" << options.width / 2.0 << "\" y=\"22\" "
+      << "text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"15\" "
+      << "font-weight=\"bold\">" << escape(options.title) << "</text>\n";
+
+  // Axes frame.
+  svg << "<rect x=\"" << margin_left << "\" y=\"" << margin_top
+      << "\" width=\"" << plot_w << "\" height=\"" << plot_h
+      << "\" fill=\"none\" stroke=\"#333\"/>\n";
+
+  // Ticks, gridlines, labels.
+  for (double tick : make_ticks(xs)) {
+    const double x = px(tick);
+    svg << "<line x1=\"" << x << "\" y1=\"" << margin_top << "\" x2=\"" << x
+        << "\" y2=\"" << margin_top + plot_h
+        << "\" stroke=\"#ddd\" stroke-width=\"1\"/>\n"
+        << "<text x=\"" << x << "\" y=\"" << margin_top + plot_h + 18
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+        << "font-size=\"11\">" << fmt_num(tick) << "</text>\n";
+  }
+  for (double tick : make_ticks(ys)) {
+    const double y = py(tick);
+    svg << "<line x1=\"" << margin_left << "\" y1=\"" << y << "\" x2=\""
+        << margin_left + plot_w << "\" y2=\"" << y
+        << "\" stroke=\"#ddd\" stroke-width=\"1\"/>\n"
+        << "<text x=\"" << margin_left - 6 << "\" y=\"" << y + 4
+        << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+        << "font-size=\"11\">" << fmt_num(tick) << "</text>\n";
+  }
+  svg << "<text x=\"" << margin_left + plot_w / 2.0 << "\" y=\""
+      << options.height - 12
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+      << "font-size=\"13\">" << escape(options.x_label) << "</text>\n"
+      << "<text x=\"16\" y=\"" << margin_top + plot_h / 2.0
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+      << "font-size=\"13\" transform=\"rotate(-90 16 "
+      << margin_top + plot_h / 2.0 << ")\">" << escape(options.y_label)
+      << "</text>\n";
+
+  // Series polylines + legend.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const char* color = kPalette[i % kPaletteSize];
+    std::ostringstream pts;
+    for (const auto& [x, y] : series[i].points) {
+      pts << px(x) << "," << py(y) << " ";
+    }
+    svg << "<polyline points=\"" << pts.str()
+        << "\" fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"2\"/>\n";
+    for (const auto& [x, y] : series[i].points) {
+      svg << "<circle cx=\"" << px(x) << "\" cy=\"" << py(y)
+          << "\" r=\"2.6\" fill=\"" << color << "\"/>\n";
+    }
+    const double legend_y = margin_top + 14 + 18.0 * static_cast<double>(i);
+    const double legend_x = margin_left + plot_w + 12;
+    svg << "<line x1=\"" << legend_x << "\" y1=\"" << legend_y << "\" x2=\""
+        << legend_x + 22 << "\" y2=\"" << legend_y << "\" stroke=\"" << color
+        << "\" stroke-width=\"2\"/>\n"
+        << "<text x=\"" << legend_x + 28 << "\" y=\"" << legend_y + 4
+        << "\" font-family=\"sans-serif\" font-size=\"12\">"
+        << escape(series[i].label) << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::vector<PlotSeries> parse_sweep_csv(const std::string& text) {
+  std::vector<PlotSeries> series;
+  std::istringstream in(text);
+  std::string line;
+
+  auto split = [](const std::string& row) {
+    std::vector<std::string> cells;
+    std::istringstream fields(row);
+    std::string cell;
+    while (std::getline(fields, cell, ',')) cells.push_back(cell);
+    return cells;
+  };
+  auto parse_cell = [](const std::string& cell, double& out) {
+    // Accept "1.23" or "1.23+-0.04".
+    const auto pm = cell.find("+-");
+    const std::string head = pm == std::string::npos ? cell
+                                                     : cell.substr(0, pm);
+    std::size_t pos = 0;
+    try {
+      out = std::stod(head, &pos);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return pos == head.size() && !head.empty();
+  };
+
+  for (std::string raw; std::getline(in, raw);) {
+    if (raw.empty() || raw[0] == '#') continue;
+    const auto cells = split(raw);
+    if (cells.size() < 2) continue;
+    double x = 0.0;
+    if (!parse_cell(cells[0], x)) {
+      // Header row: (re)start the series set — a later panel replaces an
+      // earlier one when multi-panel output is piped through whole.
+      series.clear();
+      for (std::size_t i = 1; i < cells.size(); ++i) {
+        series.push_back(PlotSeries{cells[i], {}});
+      }
+      continue;
+    }
+    if (series.empty()) continue;  // data before any header: skip
+    for (std::size_t i = 1; i < cells.size() && i - 1 < series.size(); ++i) {
+      double y = 0.0;
+      if (parse_cell(cells[i], y)) {
+        series[i - 1].points.emplace_back(x, y);
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace stale::driver

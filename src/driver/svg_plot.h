@@ -1,0 +1,45 @@
+// Dependency-free SVG line charts, so the figure benches can be rendered to
+// images matching the paper's plots:
+//
+//   build/bench/fig02_periodic_update --csv |
+//       build/tools/plot_sweep --out fig02.svg --log-x --log-y
+//
+// The emitter draws axes with "nice" ticks (linear or log10), one polyline
+// per series in a distinguishable palette, and a legend.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stale::driver {
+
+struct PlotSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct PlotOptions {
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  bool log_x = false;
+  bool log_y = false;
+  int width = 760;
+  int height = 500;
+};
+
+// Renders the chart as a complete SVG document. Throws std::invalid_argument
+// on empty input or non-positive values on a log axis.
+std::string render_line_chart(const std::vector<PlotSeries>& series,
+                              const PlotOptions& options);
+
+// Parses the CSV a sweep bench emits with --csv: a header row naming the
+// x column then one column per series, and data rows whose cells are either
+// plain numbers or "mean+-ci" (the CI is dropped). Rows and non-numeric
+// cells that do not parse are skipped; comment lines (leading '#') and panel
+// markers ("## ...") are ignored, so a whole multi-panel bench output can be
+// piped through (the last panel wins unless split upstream).
+std::vector<PlotSeries> parse_sweep_csv(const std::string& text);
+
+}  // namespace stale::driver

@@ -1,0 +1,69 @@
+#include "driver/sweep.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "driver/table.h"
+
+namespace stale::driver {
+
+void run_sweep(const ExperimentConfig& base, const std::string& x_label,
+               const std::vector<double>& x_values,
+               const std::vector<std::string>& policies,
+               const std::function<void(ExperimentConfig&, double)>& mutate,
+               std::ostream& os, const SweepOptions& options) {
+  std::vector<std::string> columns{x_label};
+  for (const auto& policy : policies) columns.push_back(policy);
+  Table table(std::move(columns));
+
+  for (double x : x_values) {
+    std::vector<std::string> row{Table::fmt(x, 3)};
+    for (const auto& policy : policies) {
+      ExperimentConfig config = base;
+      mutate(config, x);
+      config.policy = policy;
+      const ExperimentResult result = run_experiment(config);
+      if (options.box_stats) {
+        const sim::BoxStats box = result.box();
+        std::ostringstream cell;
+        cell << Table::fmt(box.median, options.precision) << " ["
+             << Table::fmt(box.p25, options.precision) << ","
+             << Table::fmt(box.p75, options.precision) << "] ("
+             << Table::fmt(box.min, options.precision) << ".."
+             << Table::fmt(box.max, options.precision) << ")";
+        row.push_back(cell.str());
+      } else {
+        row.push_back(Table::fmt_ci(result.mean(), result.ci90(),
+                                    options.precision));
+      }
+      if (options.progress != nullptr) {
+        *options.progress << "." << std::flush;
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  if (options.progress != nullptr) *options.progress << "\n";
+  table.print(os, options.csv);
+}
+
+void run_t_sweep(const ExperimentConfig& base,
+                 const std::vector<double>& t_values,
+                 const std::vector<std::string>& policies, std::ostream& os,
+                 const SweepOptions& options) {
+  run_sweep(
+      base, "T", t_values, policies,
+      [](ExperimentConfig& config, double t) { config.update_interval = t; },
+      os, options);
+}
+
+std::vector<double> default_t_grid(double max_t) {
+  static constexpr double kGrid[] = {0.1, 0.25, 0.5, 1.0,  2.0,  4.0,
+                                     8.0, 16.0, 32.0, 64.0, 128.0};
+  std::vector<double> values;
+  for (double t : kGrid) {
+    if (t <= max_t) values.push_back(t);
+  }
+  return values;
+}
+
+}  // namespace stale::driver

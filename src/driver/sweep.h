@@ -1,0 +1,44 @@
+// Sweep helpers shared by the figure benches: run a grid of (x-value x
+// policy) experiments and print one row per x-value with one column per
+// policy — exactly the series layout of the paper's figures.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace stale::driver {
+
+struct SweepOptions {
+  bool csv = false;
+  // Cell contents: mean with 90% CI half-width ("1.234+-0.05"), or the
+  // five-number box summary used for the heavy-tailed figures.
+  bool box_stats = false;
+  int precision = 4;
+  std::ostream* progress = nullptr;  // optional per-cell progress dots
+};
+
+// Runs `mutate(config, x)`-customized experiments for every x in `x_values`
+// and every policy in `policies`, printing a table whose first column is
+// `x_label`. `mutate` is applied to a copy of `base` before setting the
+// policy; typically it sets update_interval or lambda.
+void run_sweep(const ExperimentConfig& base, const std::string& x_label,
+               const std::vector<double>& x_values,
+               const std::vector<std::string>& policies,
+               const std::function<void(ExperimentConfig&, double)>& mutate,
+               std::ostream& os, const SweepOptions& options = {});
+
+// Common case: sweep the update interval T.
+void run_t_sweep(const ExperimentConfig& base,
+                 const std::vector<double>& t_values,
+                 const std::vector<std::string>& policies, std::ostream& os,
+                 const SweepOptions& options = {});
+
+// The default T grid used by the periodic/continuous figures (log-spaced,
+// mirroring the paper's x-axes). `max_t` trims the grid for slow modes.
+std::vector<double> default_t_grid(double max_t);
+
+}  // namespace stale::driver

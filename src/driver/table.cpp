@@ -1,0 +1,75 @@
+#include "driver/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::driver {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::fmt_ci(double mean, double half_width, int precision) {
+  std::ostringstream os;
+  // "+-" rather than the UTF-8 plus-minus sign keeps setw alignment exact.
+  os << std::fixed << std::setprecision(precision) << mean << "+-"
+     << half_width;
+  return os.str();
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) os << ",";
+        os << cells[i];
+      }
+      os << "\n";
+    };
+    emit(columns_);
+    for (const auto& row : rows_) emit(row);
+    return;
+  }
+
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    os << "\n";
+  };
+  emit(columns_);
+  std::vector<std::string> rule;
+  rule.reserve(columns_.size());
+  for (std::size_t w : widths) rule.emplace_back(w, '-');
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace stale::driver

@@ -1,0 +1,31 @@
+// Aligned-text / CSV table emitter used by every bench binary, so figure
+// output is readable in a terminal and trivially machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stale::driver {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Adds a row; `cells` must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt_ci(double mean, double half_width,
+                            int precision = 4);
+
+  // Writes the table: aligned text (csv == false) or RFC-ish CSV.
+  void print(std::ostream& os, bool csv) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stale::driver

@@ -1,0 +1,60 @@
+#include "driver/update_on_access.h"
+
+#include <stdexcept>
+
+namespace stale::driver {
+
+UpdateOnAccessEngine::UpdateOnAccessEngine(
+    queueing::Cluster& cluster, policy::SelectionPolicy& policy,
+    workload::ArrivalProcess& gaps, const sim::Distribution& job_size,
+    double believed_total_rate, int num_clients, sim::Rng& rng)
+    : cluster_(cluster),
+      policy_(policy),
+      gaps_(gaps),
+      job_size_(job_size),
+      believed_total_rate_(believed_total_rate),
+      rng_(rng) {
+  if (num_clients < 1) {
+    throw std::invalid_argument("UpdateOnAccessEngine: need >= 1 client");
+  }
+  clients_.resize(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    // Every client starts with the truthful time-zero snapshot (the cluster
+    // is empty) and fires for the first time after one sampled gap, which
+    // de-phases the population.
+    clients_[static_cast<std::size_t>(c)].snapshot.assign(
+        static_cast<std::size_t>(cluster.size()), 0);
+    next_.push(Pending{gaps_.next_gap(rng_), c});
+  }
+}
+
+double UpdateOnAccessEngine::step(queueing::ResponseMetrics& metrics) {
+  const Pending pending = next_.top();
+  next_.pop();
+  const double t = pending.when;
+  Client& client = clients_[static_cast<std::size_t>(pending.client)];
+
+  cluster_.advance_to(t);
+
+  policy::DispatchContext context;
+  context.loads = client.snapshot;
+  context.age = t - client.snapshot_time;
+  context.lambda_total = believed_total_rate_;
+  context.info_version = ++version_;
+
+  const int server = policy_.select(context, rng_);
+  const double size = job_size_.sample(rng_);
+  const double departure = cluster_.assign(t, server, size);
+  metrics.record(departure - t);
+
+  // The reply piggybacks the post-dispatch load vector (what a server-side
+  // reporter would observe immediately after accepting the job).
+  const auto loads = cluster_.loads();
+  client.snapshot.assign(loads.begin(), loads.end());
+  client.snapshot_time = t;
+
+  next_.push(Pending{t + gaps_.next_gap(rng_), pending.client});
+  return t;
+}
+
+}  // namespace stale::driver

@@ -1,0 +1,69 @@
+// Update-on-access client engine (paper Sections 3.2, 5.3-5.4).
+//
+// Explicitly modeled clients issue requests; when a request is dispatched,
+// the reply carries a snapshot of all servers' current queue lengths, and the
+// client uses that snapshot to place its *next* request. The mean information
+// age therefore equals the per-client inter-request time. The number of
+// clients is chosen so the aggregate arrival rate is lambda * n:
+//     clients = max(1, round(lambda * n * T)),
+// and the per-client mean gap is clients / (lambda * n), so the aggregate
+// rate is exact even after rounding.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "policy/policy.h"
+#include "queueing/cluster.h"
+#include "queueing/metrics.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+#include "workload/arrival_process.h"
+
+namespace stale::driver {
+
+class UpdateOnAccessEngine {
+ public:
+  // `gaps` generates per-client inter-request gaps (Poisson for Figure 8,
+  // bursty for Figure 9); its mean_gap() must equal clients / (lambda * n).
+  UpdateOnAccessEngine(queueing::Cluster& cluster,
+                       policy::SelectionPolicy& policy,
+                       workload::ArrivalProcess& gaps,
+                       const sim::Distribution& job_size,
+                       double believed_total_rate, int num_clients,
+                       sim::Rng& rng);
+
+  // Dispatches exactly one request (the globally next client to fire) and
+  // records its response time into `metrics`. Returns the dispatch time.
+  double step(queueing::ResponseMetrics& metrics);
+
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+
+ private:
+  struct Client {
+    std::vector<int> snapshot;  // loads seen by the previous reply
+    double snapshot_time = 0.0;
+  };
+
+  struct Pending {
+    double when;
+    int client;
+    bool operator>(const Pending& other) const {
+      if (when != other.when) return when > other.when;
+      return client > other.client;
+    }
+  };
+
+  queueing::Cluster& cluster_;
+  policy::SelectionPolicy& policy_;
+  workload::ArrivalProcess& gaps_;
+  const sim::Distribution& job_size_;
+  double believed_total_rate_;
+  sim::Rng& rng_;
+  std::vector<Client> clients_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> next_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace stale::driver

@@ -1,0 +1,44 @@
+#include "loadinfo/continuous_view.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stale::loadinfo {
+
+ContinuousView::ContinuousView(DelayKind kind, double mean_delay,
+                               bool know_actual_age)
+    : mean_delay_(mean_delay),
+      know_actual_age_(know_actual_age),
+      max_delay_(history_window_for(kind, mean_delay)),
+      delay_(make_delay_distribution(kind, mean_delay)) {
+  if (mean_delay < 0.0) {
+    throw std::invalid_argument("ContinuousView: negative mean delay");
+  }
+}
+
+double ContinuousView::history_window_for(DelayKind kind, double mean_delay) {
+  switch (kind) {
+    case DelayKind::kConstant:
+      return mean_delay;
+    case DelayKind::kUniformHalf:
+      return 1.5 * mean_delay;
+    case DelayKind::kUniformFull:
+      return 2.0 * mean_delay;
+    case DelayKind::kExponential:
+      return 40.0 * mean_delay;  // P(d > 40T) ~ 4e-18: clamping unobservable
+  }
+  throw std::logic_error("history_window_for: bad enum");
+}
+
+void ContinuousView::observe(const queueing::Cluster& cluster, double t,
+                             sim::Rng& rng) {
+  double d = delay_->sample(rng);
+  d = std::min(d, max_delay_);
+  d = std::min(d, t);  // nothing existed before time 0: clamp early requests
+  actual_delay_ = d;
+  reported_age_ = know_actual_age_ ? d : std::min(mean_delay_, t);
+  cluster.loads_at(t - d, loads_);
+  ++version_;
+}
+
+}  // namespace stale::loadinfo

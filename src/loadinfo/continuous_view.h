@@ -1,0 +1,51 @@
+// Continuous-update view (paper Sections 3.1 and 5.2): each arriving request
+// sees the cluster's state as it was `d` time units ago, with `d` drawn per
+// request from a delay distribution of mean T. Depending on configuration,
+// the policy is told either the mean delay T (Figure 6: "clients only know
+// the average") or the actual sampled `d` (Figure 7: "clients know the age
+// of information actually encountered").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "loadinfo/delay_distribution.h"
+#include "queueing/cluster.h"
+#include "sim/rng.h"
+
+namespace stale::loadinfo {
+
+class ContinuousView {
+ public:
+  // `mean_delay` is T. The cluster must be constructed with a history window
+  // of at least history_window_for(kind, mean_delay).
+  ContinuousView(DelayKind kind, double mean_delay, bool know_actual_age);
+
+  // Recommended cluster history window for exact past-load queries. For the
+  // unbounded exponential delay this caps the support at a quantile so far
+  // out (40 mean delays, P ~ 4e-18) that clamping is unobservable.
+  static double history_window_for(DelayKind kind, double mean_delay);
+
+  // Samples this request's delay and materializes the view for an arrival at
+  // time `t`. Returns the loads via loads(); reported_age() is what the
+  // policy is told.
+  void observe(const queueing::Cluster& cluster, double t, sim::Rng& rng);
+
+  const std::vector<int>& loads() const { return loads_; }
+  double reported_age() const { return reported_age_; }
+  double actual_delay() const { return actual_delay_; }
+  std::uint64_t version() const { return version_; }
+
+ private:
+  double mean_delay_;
+  bool know_actual_age_;
+  double max_delay_;
+  sim::DistributionPtr delay_;
+  std::vector<int> loads_;
+  double reported_age_ = 0.0;
+  double actual_delay_ = 0.0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace stale::loadinfo

@@ -1,0 +1,49 @@
+#include "loadinfo/delay_distribution.h"
+
+#include <stdexcept>
+
+namespace stale::loadinfo {
+
+DelayKind parse_delay_kind(const std::string& name) {
+  if (name == "constant") return DelayKind::kConstant;
+  if (name == "uniform_half") return DelayKind::kUniformHalf;
+  if (name == "uniform_full") return DelayKind::kUniformFull;
+  if (name == "exponential") return DelayKind::kExponential;
+  throw std::invalid_argument("parse_delay_kind: unknown kind '" + name + "'");
+}
+
+std::string delay_kind_name(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kConstant:
+      return "constant";
+    case DelayKind::kUniformHalf:
+      return "uniform_half";
+    case DelayKind::kUniformFull:
+      return "uniform_full";
+    case DelayKind::kExponential:
+      return "exponential";
+  }
+  throw std::logic_error("delay_kind_name: bad enum");
+}
+
+sim::DistributionPtr make_delay_distribution(DelayKind kind,
+                                             double mean_delay) {
+  if (mean_delay < 0.0) {
+    throw std::invalid_argument("make_delay_distribution: negative mean");
+  }
+  switch (kind) {
+    case DelayKind::kConstant:
+      return std::make_unique<sim::Deterministic>(mean_delay);
+    case DelayKind::kUniformHalf:
+      return std::make_unique<sim::Uniform>(0.5 * mean_delay,
+                                            1.5 * mean_delay);
+    case DelayKind::kUniformFull:
+      return std::make_unique<sim::Uniform>(0.0, 2.0 * mean_delay);
+    case DelayKind::kExponential:
+      if (mean_delay == 0.0) return std::make_unique<sim::Deterministic>(0.0);
+      return std::make_unique<sim::Exponential>(mean_delay);
+  }
+  throw std::logic_error("make_delay_distribution: bad enum");
+}
+
+}  // namespace stale::loadinfo

@@ -1,0 +1,28 @@
+// Delay distributions for the continuous-update model (paper Section 5.2,
+// Figure 6): the four families with common mean T, in order of increasing
+// variance — constant(T), uniform(T/2, 3T/2), uniform(0, 2T), exponential(T).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/distributions.h"
+
+namespace stale::loadinfo {
+
+enum class DelayKind {
+  kConstant,       // delay == T
+  kUniformHalf,    // uniform(T/2, 3T/2)
+  kUniformFull,    // uniform(0, 2T)
+  kExponential,    // exponential(T)
+};
+
+// Parses "constant", "uniform_half", "uniform_full", "exponential".
+DelayKind parse_delay_kind(const std::string& name);
+std::string delay_kind_name(DelayKind kind);
+
+// Builds the concrete distribution for a mean delay of `mean_delay`.
+sim::DistributionPtr make_delay_distribution(DelayKind kind,
+                                             double mean_delay);
+
+}  // namespace stale::loadinfo

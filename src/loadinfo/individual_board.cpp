@@ -1,0 +1,52 @@
+#include "loadinfo/individual_board.h"
+
+#include <stdexcept>
+
+namespace stale::loadinfo {
+
+IndividualBoard::IndividualBoard(int num_servers, double update_interval,
+                                 sim::Rng& rng)
+    : interval_(update_interval) {
+  if (num_servers <= 0) {
+    throw std::invalid_argument("IndividualBoard: need at least one server");
+  }
+  if (update_interval <= 0.0) {
+    throw std::invalid_argument("IndividualBoard: interval must be > 0");
+  }
+  snapshot_.assign(static_cast<std::size_t>(num_servers), 0);
+  last_refresh_.assign(static_cast<std::size_t>(num_servers), 0.0);
+  next_refresh_.resize(static_cast<std::size_t>(num_servers));
+  for (double& next : next_refresh_) {
+    next = rng.next_double() * update_interval;
+  }
+}
+
+void IndividualBoard::sync(queueing::Cluster& cluster, double t) {
+  // Refresh entries in global time order so that each snapshot reads the
+  // cluster exactly at its boundary.
+  while (true) {
+    int due = -1;
+    double due_time = t;
+    for (std::size_t i = 0; i < next_refresh_.size(); ++i) {
+      if (next_refresh_[i] <= due_time) {
+        due = static_cast<int>(i);
+        due_time = next_refresh_[i];
+      }
+    }
+    if (due < 0) break;
+    cluster.advance_to(due_time);
+    snapshot_[static_cast<std::size_t>(due)] =
+        cluster.loads()[static_cast<std::size_t>(due)];
+    last_refresh_[static_cast<std::size_t>(due)] = due_time;
+    next_refresh_[static_cast<std::size_t>(due)] = due_time + interval_;
+    ++version_;
+  }
+}
+
+double IndividualBoard::mean_age(double t) const {
+  double total = 0.0;
+  for (double last : last_refresh_) total += t - last;
+  return total / static_cast<double>(last_refresh_.size());
+}
+
+}  // namespace stale::loadinfo

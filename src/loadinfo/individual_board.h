@@ -1,0 +1,39 @@
+// Individual-update board (extension; the model Mitzenmacher examined and
+// the paper omitted "for compactness"): each server refreshes its own board
+// entry on its own period-T schedule, with per-server phase offsets, so
+// entries have different ages. LI policies receive the mean entry age.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queueing/cluster.h"
+#include "sim/rng.h"
+
+namespace stale::loadinfo {
+
+class IndividualBoard {
+ public:
+  // Offsets are drawn uniformly in [0, T) from `rng` so servers are
+  // de-phased, mirroring staggered heartbeat timers in real systems.
+  IndividualBoard(int num_servers, double update_interval, sim::Rng& rng);
+
+  // Refreshes every entry whose boundary passed by time `t`.
+  void sync(queueing::Cluster& cluster, double t);
+
+  const std::vector<int>& loads() const { return snapshot_; }
+  double entry_age(int server, double t) const {
+    return t - last_refresh_[static_cast<std::size_t>(server)];
+  }
+  double mean_age(double t) const;
+  std::uint64_t version() const { return version_; }
+
+ private:
+  double interval_;
+  std::vector<double> next_refresh_;
+  std::vector<double> last_refresh_;
+  std::vector<int> snapshot_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace stale::loadinfo

@@ -1,0 +1,36 @@
+#include "loadinfo/periodic_board.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stale::loadinfo {
+
+PeriodicBoard::PeriodicBoard(int num_servers, double update_interval)
+    : interval_(update_interval) {
+  if (num_servers <= 0) {
+    throw std::invalid_argument("PeriodicBoard: need at least one server");
+  }
+  if (update_interval <= 0.0) {
+    throw std::invalid_argument("PeriodicBoard: update interval must be > 0");
+  }
+  snapshot_.assign(static_cast<std::size_t>(num_servers), 0);
+}
+
+void PeriodicBoard::sync(queueing::Cluster& cluster, double t) {
+  if (t < phase_start_) {
+    throw std::invalid_argument("PeriodicBoard::sync: time went backwards");
+  }
+  // Step through the (usually zero or one) phase boundaries crossed since the
+  // last sync. Stepping rather than jumping keeps every intermediate
+  // snapshot exact even when several empty phases pass between arrivals.
+  while (t - phase_start_ >= interval_) {
+    const double boundary = phase_start_ + interval_;
+    cluster.advance_to(boundary);
+    const auto loads = cluster.loads();
+    snapshot_.assign(loads.begin(), loads.end());
+    phase_start_ = boundary;
+    ++version_;
+  }
+}
+
+}  // namespace stale::loadinfo

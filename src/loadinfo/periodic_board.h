@@ -1,0 +1,39 @@
+// Periodic-update bulletin board (paper Section 3.1): every T time units the
+// board is refreshed with the true queue lengths of all servers; every
+// arrival during the following phase sees that same snapshot. Phase k covers
+// [k*T, (k+1)*T) with the snapshot taken at k*T.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queueing/cluster.h"
+
+namespace stale::loadinfo {
+
+class PeriodicBoard {
+ public:
+  // `update_interval` is T. The board's first snapshot is taken at time 0
+  // (an empty cluster).
+  PeriodicBoard(int num_servers, double update_interval);
+
+  // Brings the board up to date for an observation at time `t`, refreshing
+  // it at every phase boundary in (last_refresh, t]. The cluster is advanced
+  // to each boundary so snapshots are exact.
+  void sync(queueing::Cluster& cluster, double t);
+
+  const std::vector<int>& loads() const { return snapshot_; }
+  double phase_start() const { return phase_start_; }
+  double phase_length() const { return interval_; }
+  double age(double t) const { return t - phase_start_; }
+  // Bumped on every refresh; policies key caches on it.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  double interval_;
+  double phase_start_ = 0.0;
+  std::uint64_t version_ = 1;
+  std::vector<int> snapshot_;
+};
+
+}  // namespace stale::loadinfo

@@ -1,0 +1,23 @@
+#include "policy/aggressive_li_policy.h"
+
+namespace stale::policy {
+
+int AggressiveLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  if (!schedule_ || cached_version_ != context.info_version) {
+    schedule_.emplace(core::make_aggressive_schedule(context.loads));
+    cached_version_ = context.info_version;
+  }
+  int group;
+  if (context.periodic()) {
+    group = core::aggressive_group_at(
+        *schedule_, context.lambda_total * context.phase_elapsed);
+  } else {
+    group = core::aggressive_stationary_group(
+        *schedule_, context.lambda_total * context.age);
+  }
+  // Uniform over the `group` least-loaded servers.
+  const auto pick = rng.next_below(static_cast<std::uint64_t>(group));
+  return schedule_->order[static_cast<std::size_t>(pick)];
+}
+
+}  // namespace stale::policy

@@ -1,0 +1,35 @@
+// Aggressive Load Interpretation (paper Section 4.1.1, Eq. 5; equivalent to
+// Mitzenmacher's Time-Based algorithm).
+//
+// Periodic update model: build the water-filling schedule from the board
+// snapshot once per phase; a request arriving `elapsed` into the phase is
+// dispatched uniformly over the group of least-loaded servers in effect
+// after lambda * elapsed expected arrivals.
+//
+// Continuous / update-on-access models (Section 4.2): always use the *last*
+// subinterval the schedule would have reached given K = lambda * age — the
+// stationary rule, which makes Aggressive LI *less* aggressive than Basic LI
+// for old information (exactly the behaviour Figure 6 shows).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/aggressive_schedule.h"
+#include "policy/policy.h"
+
+namespace stale::policy {
+
+class AggressiveLiPolicy final : public SelectionPolicy {
+ public:
+  AggressiveLiPolicy() = default;
+
+  int select(const DispatchContext& context, sim::Rng& rng) override;
+  std::string name() const override { return "aggressive_li"; }
+
+ private:
+  std::uint64_t cached_version_ = 0;
+  std::optional<core::AggressiveSchedule> schedule_;
+};
+
+}  // namespace stale::policy

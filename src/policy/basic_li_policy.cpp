@@ -1,0 +1,20 @@
+#include "policy/basic_li_policy.h"
+
+#include "core/load_interpretation.h"
+
+namespace stale::policy {
+
+int BasicLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  const double expected_arrivals = context.basic_li_expected_arrivals();
+  if (!sampler_ || cached_version_ != context.info_version ||
+      cached_arrivals_ != expected_arrivals) {
+    const std::vector<double> p =
+        core::basic_li_probabilities(context.loads, expected_arrivals);
+    sampler_.emplace(std::span<const double>(p));
+    cached_version_ = context.info_version;
+    cached_arrivals_ = expected_arrivals;
+  }
+  return sampler_->sample(rng);
+}
+
+}  // namespace stale::policy

@@ -1,0 +1,33 @@
+// Basic Load Interpretation (paper Section 4.1, Eqs. 2-4).
+//
+// Periodic update model: once per phase, compute the probability vector that
+// equalizes expected queue lengths by the end of the phase (K = lambda * T)
+// and sample every request of the phase from it. The vector is cached on the
+// context's info_version.
+//
+// Continuous / update-on-access models (Section 4.2): same equation with
+// K = lambda * age, recomputed whenever the view changes (every request).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/sampler.h"
+#include "policy/policy.h"
+
+namespace stale::policy {
+
+class BasicLiPolicy final : public SelectionPolicy {
+ public:
+  BasicLiPolicy() = default;
+
+  int select(const DispatchContext& context, sim::Rng& rng) override;
+  std::string name() const override { return "basic_li"; }
+
+ private:
+  std::uint64_t cached_version_ = 0;
+  double cached_arrivals_ = -1.0;
+  std::optional<core::DiscreteSampler> sampler_;
+};
+
+}  // namespace stale::policy

@@ -1,0 +1,29 @@
+#include "policy/hybrid_li_policy.h"
+
+#include <vector>
+
+#include "core/load_interpretation.h"
+
+namespace stale::policy {
+
+int HybridLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  if (!first_sampler_ || cached_version_ != context.info_version) {
+    std::vector<double> loads(context.loads.begin(), context.loads.end());
+    first_interval_jobs_ = core::hybrid_li_first_interval_jobs(loads);
+    const std::vector<double> p =
+        core::hybrid_li_first_interval_probabilities(loads);
+    first_sampler_.emplace(std::span<const double>(p));
+    cached_version_ = context.info_version;
+  }
+  // Expected arrivals consumed so far in this window: elapsed time under
+  // periodic update, information age otherwise.
+  const double consumed =
+      context.lambda_total *
+      (context.periodic() ? context.phase_elapsed : context.age);
+  if (consumed < first_interval_jobs_) {
+    return first_sampler_->sample(rng);
+  }
+  return static_cast<int>(rng.next_below(context.loads.size()));
+}
+
+}  // namespace stale::policy

@@ -1,0 +1,43 @@
+#include "policy/k_subset_policy.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace stale::policy {
+
+KSubsetPolicy::KSubsetPolicy(int k) : k_(k) {
+  if (k < 1) throw std::invalid_argument("KSubsetPolicy: k must be >= 1");
+}
+
+int KSubsetPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  const int n = static_cast<int>(context.loads.size());
+  const int k = std::min(k_, n);
+  scratch_.resize(static_cast<std::size_t>(k));
+  sample_distinct(n, k, rng, scratch_);
+
+  int best = scratch_[0];
+  int best_load = context.loads[static_cast<std::size_t>(best)];
+  int ties = 1;
+  for (int i = 1; i < k; ++i) {
+    const int candidate = scratch_[static_cast<std::size_t>(i)];
+    const int load = context.loads[static_cast<std::size_t>(candidate)];
+    if (load < best_load) {
+      best = candidate;
+      best_load = load;
+      ties = 1;
+    } else if (load == best_load) {
+      // Reservoir-style uniform tie-break among equal minima.
+      ++ties;
+      if (rng.next_below(static_cast<std::uint64_t>(ties)) == 0) {
+        best = candidate;
+      }
+    }
+  }
+  return best;
+}
+
+std::string KSubsetPolicy::name() const {
+  return "k_subset:" + std::to_string(k_);
+}
+
+}  // namespace stale::policy

@@ -1,0 +1,27 @@
+// Mitzenmacher's k-subset algorithm (paper Section 2): sample k servers
+// uniformly without replacement and dispatch to the one with the lowest
+// *reported* load, breaking ties uniformly at random. k = 1 degenerates to
+// oblivious random; k = n to "go to the apparent global minimum" (the
+// herd-effect-prone greedy rule).
+#pragma once
+
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace stale::policy {
+
+class KSubsetPolicy final : public SelectionPolicy {
+ public:
+  explicit KSubsetPolicy(int k);
+
+  int select(const DispatchContext& context, sim::Rng& rng) override;
+  std::string name() const override;
+  int info_demand() const override { return k_; }
+
+ private:
+  int k_;
+  std::vector<int> scratch_;
+};
+
+}  // namespace stale::policy

@@ -1,0 +1,43 @@
+#include "policy/li_subset_policy.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/load_interpretation.h"
+#include "core/sampler.h"
+
+namespace stale::policy {
+
+LiSubsetPolicy::LiSubsetPolicy(int k) : k_(k) {
+  if (k < 1) throw std::invalid_argument("LiSubsetPolicy: k must be >= 1");
+}
+
+int LiSubsetPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  const int n = static_cast<int>(context.loads.size());
+  const int k = std::min(k_, n);
+  indices_.resize(static_cast<std::size_t>(k));
+  sample_distinct(n, k, rng, indices_);
+
+  subset_loads_.resize(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    subset_loads_[static_cast<std::size_t>(i)] =
+        context.loads[static_cast<std::size_t>(
+            indices_[static_cast<std::size_t>(i)])];
+  }
+
+  // The k sampled servers see, in expectation, k/n of the cluster's arrivals
+  // over the interpretation window.
+  const double subset_arrivals = context.basic_li_expected_arrivals() *
+                                 static_cast<double>(k) /
+                                 static_cast<double>(n);
+  const std::vector<double> p = core::basic_li_probabilities(
+      std::span<const double>(subset_loads_), subset_arrivals);
+  const core::DiscreteSampler sampler{std::span<const double>(p)};
+  return indices_[static_cast<std::size_t>(sampler.sample(rng))];
+}
+
+std::string LiSubsetPolicy::name() const {
+  return "basic_li_k:" + std::to_string(k_);
+}
+
+}  // namespace stale::policy

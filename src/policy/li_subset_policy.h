@@ -1,0 +1,29 @@
+// Basic LI-k (paper Section 5.7): Basic Load Interpretation restricted to a
+// random k-subset of the load information. Per request: sample k servers,
+// run Eqs. 2-4 over just their reported loads with the expected arrivals
+// prorated to the subset (K * k / n), and sample the resulting k-point
+// distribution. k = n recovers full Basic LI; k = 1 degenerates to oblivious
+// random.
+#pragma once
+
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace stale::policy {
+
+class LiSubsetPolicy final : public SelectionPolicy {
+ public:
+  explicit LiSubsetPolicy(int k);
+
+  int select(const DispatchContext& context, sim::Rng& rng) override;
+  std::string name() const override;
+  int info_demand() const override { return k_; }
+
+ private:
+  int k_;
+  std::vector<int> indices_;
+  std::vector<double> subset_loads_;
+};
+
+}  // namespace stale::policy

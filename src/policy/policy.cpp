@@ -1,0 +1,29 @@
+#include "policy/policy.h"
+
+#include <stdexcept>
+
+namespace stale::policy {
+
+void sample_distinct(int n, int k, sim::Rng& rng, std::span<int> out) {
+  if (k < 0 || k > n || out.size() != static_cast<std::size_t>(k)) {
+    throw std::invalid_argument("sample_distinct: need 0 <= k <= n");
+  }
+  // Floyd's algorithm: for j = n-k..n-1 pick t in [0, j]; insert t unless
+  // already chosen, else insert j. Yields a uniform k-subset with exactly k
+  // draws. Membership test is a linear scan over at most k elements — k is
+  // tiny (<= 3 in the paper's sweeps) so this beats any hash set.
+  int filled = 0;
+  for (int j = n - k; j < n; ++j) {
+    const int t = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    bool seen = false;
+    for (int i = 0; i < filled; ++i) {
+      if (out[static_cast<std::size_t>(i)] == t) {
+        seen = true;
+        break;
+      }
+    }
+    out[static_cast<std::size_t>(filled++)] = seen ? j : t;
+  }
+}
+
+}  // namespace stale::policy

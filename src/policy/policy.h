@@ -1,0 +1,77 @@
+// The dispatch-policy interface shared by every algorithm in the study.
+//
+// Per arriving request the staleness model assembles a DispatchContext — the
+// stale load vector plus everything the paper lets an algorithm know (the
+// information's age, the phase geometry under periodic update, and the
+// arrival-rate estimate) — and the policy returns a server index.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace stale::policy {
+
+struct DispatchContext {
+  // Reported (stale) queue length of each server. Always the full vector;
+  // subset-based policies sample their own subset so that "restricted
+  // information" is a property of the algorithm, as in the paper.
+  std::span<const int> loads;
+
+  // Age of the load information this request sees. Under periodic update
+  // this equals phase_elapsed; under continuous update it is either the
+  // actual sampled delay (Figure 7) or the mean delay (Figure 6), depending
+  // on the model configuration; under update-on-access it is the actual
+  // snapshot age.
+  double age = 0.0;
+
+  // Estimated aggregate arrival rate across the cluster (lambda * n), after
+  // any misestimation factor the experiment applies (Figures 12-13).
+  double lambda_total = 0.0;
+
+  // Periodic-update phase geometry; phase_length <= 0 for the other models.
+  double phase_length = 0.0;
+  double phase_elapsed = 0.0;
+
+  // Monotone counter bumped whenever `loads` changes (per phase under
+  // periodic update, per request otherwise). Lets policies cache derived
+  // structures (probability vectors, schedules) across requests of a phase.
+  std::uint64_t info_version = 0;
+
+  bool periodic() const { return phase_length > 0.0; }
+
+  // Expected number of arrivals between when the information was valid and
+  // "now" — the K each LI variant interprets against. Under periodic update
+  // Basic LI uses the whole phase (lambda * T); elsewhere lambda * age.
+  double basic_li_expected_arrivals() const {
+    return lambda_total * (periodic() ? phase_length : age);
+  }
+};
+
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  // Chooses a server for one arriving request.
+  virtual int select(const DispatchContext& context, sim::Rng& rng) = 0;
+
+  // Human-readable name used in tables ("k_subset:2", "basic_li", ...).
+  virtual std::string name() const = 0;
+
+  // How many servers' load values the policy actually reads per request
+  // (the paper's "amount of load information"); kAllServers for full-vector
+  // policies.
+  static constexpr int kAllServers = -1;
+  virtual int info_demand() const { return kAllServers; }
+};
+
+using PolicyPtr = std::unique_ptr<SelectionPolicy>;
+
+// Samples `k` distinct indices uniformly from [0, n) into `out` (size k).
+// Order is not specified. O(k) expected time, no O(n) scratch.
+void sample_distinct(int n, int k, sim::Rng& rng, std::span<int> out);
+
+}  // namespace stale::policy

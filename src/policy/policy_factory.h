@@ -1,0 +1,26 @@
+// String-spec factory for dispatch policies, so experiment configs and bench
+// CLIs can name algorithms:
+//   "random"            oblivious uniform random
+//   "k_subset:K"        Mitzenmacher's k-subset
+//   "threshold:K:T"     threshold over a K-sample ("all" for K = n)
+//   "basic_li"          Basic Load Interpretation
+//   "aggressive_li"     Aggressive Load Interpretation
+//   "hybrid_li"         Hybrid Load Interpretation
+//   "basic_li_k:K"      Basic LI over a random K-subset of information
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace stale::policy {
+
+// Throws std::invalid_argument on unknown or malformed specs.
+PolicyPtr make_policy(const std::string& spec);
+
+// All specs the factory understands, with placeholder parameters (used by
+// --help output and tests).
+std::vector<std::string> known_policy_specs();
+
+}  // namespace stale::policy

@@ -1,0 +1,9 @@
+#include "policy/random_policy.h"
+
+namespace stale::policy {
+
+int RandomPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  return static_cast<int>(rng.next_below(context.loads.size()));
+}
+
+}  // namespace stale::policy

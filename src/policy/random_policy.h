@@ -1,0 +1,17 @@
+// Oblivious uniform-random dispatch — the paper's "k = 1" baseline. Splits a
+// Poisson stream into n independent M/M/1 (or M/G/1) queues, giving the
+// closed-form validation target E[T] = 1 / (1 - lambda) for exponential jobs.
+#pragma once
+
+#include "policy/policy.h"
+
+namespace stale::policy {
+
+class RandomPolicy final : public SelectionPolicy {
+ public:
+  int select(const DispatchContext& context, sim::Rng& rng) override;
+  std::string name() const override { return "random"; }
+  int info_demand() const override { return 0; }
+};
+
+}  // namespace stale::policy

@@ -1,0 +1,71 @@
+#include "policy/threshold_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace stale::policy {
+
+ThresholdPolicy::ThresholdPolicy(int k, int threshold)
+    : k_(k), threshold_(threshold) {
+  if (k < 1 && k != kAllServers) {
+    throw std::invalid_argument("ThresholdPolicy: k must be >= 1 or kAll");
+  }
+  if (threshold < 0) {
+    throw std::invalid_argument("ThresholdPolicy: threshold must be >= 0");
+  }
+}
+
+int ThresholdPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  const int n = static_cast<int>(context.loads.size());
+  const int k = k_ == kAllServers ? n : std::min(k_, n);
+  scratch_.resize(static_cast<std::size_t>(k));
+  if (k == n) {
+    for (int i = 0; i < n; ++i) scratch_[static_cast<std::size_t>(i)] = i;
+  } else {
+    sample_distinct(n, k, rng, scratch_);
+  }
+
+  // Uniform choice among sampled servers at/below the threshold, selected
+  // with one pass of reservoir sampling.
+  int light_count = 0;
+  int light_choice = -1;
+  int best = scratch_[0];
+  int best_load = context.loads[static_cast<std::size_t>(best)];
+  int best_ties = 1;
+  for (int i = 0; i < k; ++i) {
+    const int candidate = scratch_[static_cast<std::size_t>(i)];
+    const int load = context.loads[static_cast<std::size_t>(candidate)];
+    if (load <= threshold_) {
+      ++light_count;
+      if (rng.next_below(static_cast<std::uint64_t>(light_count)) == 0) {
+        light_choice = candidate;
+      }
+    }
+    if (i > 0) {
+      if (load < best_load) {
+        best = candidate;
+        best_load = load;
+        best_ties = 1;
+      } else if (load == best_load) {
+        ++best_ties;
+        if (rng.next_below(static_cast<std::uint64_t>(best_ties)) == 0) {
+          best = candidate;
+        }
+      }
+    }
+  }
+  return light_count > 0 ? light_choice : best;
+}
+
+std::string ThresholdPolicy::name() const {
+  // Built with appends rather than operator+ chains: GCC 12's -Wrestrict
+  // false-positives (PR105329) on the temporary-concat pattern at -O3.
+  std::string base = "threshold:";
+  base += (k_ == kAllServers ? std::string("all") : std::to_string(k_));
+  base += ':';
+  base += std::to_string(threshold_);
+  return base;
+}
+
+}  // namespace stale::policy

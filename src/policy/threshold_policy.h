@@ -1,0 +1,36 @@
+// The threshold algorithm (paper Sections 2 and 5.1, Figure 5): classify
+// servers as lightly loaded (reported load <= threshold) or heavily loaded,
+// and dispatch uniformly at random among the lightly loaded ones.
+//
+// Like the paper we combine the rule with a k-sample: the dispatcher samples
+// k servers, keeps those at or below the threshold, and picks uniformly among
+// them; if the whole sample is heavy it falls back to the least-loaded member
+// of the sample. The threshold is thus an aggressiveness dial: threshold 0
+// behaves like plain k-subset under load (everyone is "heavy"), while a huge
+// threshold behaves like oblivious random (everyone is "light") — which is
+// exactly the family Figure 5 sweeps.
+#pragma once
+
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace stale::policy {
+
+class ThresholdPolicy final : public SelectionPolicy {
+ public:
+  // `k` servers sampled per request; `threshold` in queue-length units.
+  // Pass k == SelectionPolicy::kAllServers (or k >= n) to consider everyone.
+  ThresholdPolicy(int k, int threshold);
+
+  int select(const DispatchContext& context, sim::Rng& rng) override;
+  std::string name() const override;
+  int info_demand() const override { return k_; }
+
+ private:
+  int k_;
+  int threshold_;
+  std::vector<int> scratch_;
+};
+
+}  // namespace stale::policy

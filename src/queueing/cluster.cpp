@@ -1,0 +1,52 @@
+#include "queueing/cluster.h"
+
+#include <stdexcept>
+
+namespace stale::queueing {
+
+Cluster::Cluster(int n, double history_window) {
+  if (n <= 0) throw std::invalid_argument("Cluster: need at least one server");
+  servers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) servers_.emplace_back(1.0, history_window);
+  loads_.assign(static_cast<std::size_t>(n), 0);
+  total_rate_ = static_cast<double>(n);
+}
+
+Cluster::Cluster(std::vector<double> rates, double history_window) {
+  if (rates.empty()) {
+    throw std::invalid_argument("Cluster: need at least one server");
+  }
+  servers_.reserve(rates.size());
+  for (double rate : rates) {
+    servers_.emplace_back(rate, history_window);
+    total_rate_ += rate;
+  }
+  loads_.assign(rates.size(), 0);
+}
+
+void Cluster::advance_to(double t) {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i].advance_to(t);
+    loads_[i] = servers_[i].length();
+  }
+  advanced_time_ = t;
+}
+
+double Cluster::assign(double t, int server, double job_size) {
+  if (server < 0 || server >= size()) {
+    throw std::out_of_range("Cluster::assign: bad server index");
+  }
+  advance_to(t);
+  const double departure = servers_[static_cast<std::size_t>(server)].assign(t, job_size);
+  loads_[static_cast<std::size_t>(server)] += 1;
+  return departure;
+}
+
+void Cluster::loads_at(double t, std::vector<int>& out) const {
+  out.resize(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    out[i] = servers_[i].length_at(t);
+  }
+}
+
+}  // namespace stale::queueing

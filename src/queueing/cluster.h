@@ -1,0 +1,49 @@
+// A cluster of FIFO servers behind a dispatcher. Owns per-server state and
+// exposes current and historical queue-length vectors to the staleness
+// models. All operations must be invoked with non-decreasing time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "queueing/fifo_server.h"
+
+namespace stale::queueing {
+
+class Cluster {
+ public:
+  // Homogeneous cluster of `n` unit-rate servers.
+  Cluster(int n, double history_window = 0.0);
+
+  // Heterogeneous cluster with explicit per-server rates (extension;
+  // the paper's experiments use rate 1 everywhere).
+  Cluster(std::vector<double> rates, double history_window);
+
+  int size() const { return static_cast<int>(servers_.size()); }
+
+  // Advances every server to time t and refreshes the cached load vector.
+  void advance_to(double t);
+
+  // Dispatches a job of `size` to `server` at time `t`. Advances the cluster
+  // first. Returns the job's departure time.
+  double assign(double t, int server, double job_size);
+
+  // Queue lengths as of the last advance (valid until the next mutation).
+  std::span<const int> loads() const { return loads_; }
+
+  // Queue lengths at past time `t` (requires a history window).
+  void loads_at(double t, std::vector<int>& out) const;
+
+  const FifoServer& server(int i) const { return servers_.at(i); }
+
+  double advanced_time() const { return advanced_time_; }
+  double total_rate() const { return total_rate_; }
+
+ private:
+  std::vector<FifoServer> servers_;
+  std::vector<int> loads_;
+  double advanced_time_ = 0.0;
+  double total_rate_ = 0.0;
+};
+
+}  // namespace stale::queueing

@@ -1,0 +1,92 @@
+#include "queueing/fifo_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stale::queueing {
+
+FifoServer::FifoServer(double rate, double history_window)
+    : rate_(rate), history_window_(history_window) {
+  if (rate <= 0.0) throw std::invalid_argument("FifoServer: rate must be > 0");
+  if (history_window < 0.0) {
+    throw std::invalid_argument("FifoServer: negative history window");
+  }
+}
+
+void FifoServer::record(double t, int len) {
+  if (history_window_ <= 0.0) return;
+  history_.emplace_back(t, len);
+}
+
+void FifoServer::prune(double before) {
+  if (history_window_ <= 0.0) return;
+  // Keep the last entry at/before `before` so queries at the window edge
+  // still resolve; advance the logical start past everything older.
+  while (history_begin_ + 1 < history_.size() &&
+         history_[history_begin_ + 1].first <= before) {
+    ++history_begin_;
+  }
+  // Physically compact once the dead prefix dominates.
+  if (history_begin_ > 64 && history_begin_ * 2 > history_.size()) {
+    history_.erase(history_.begin(),
+                   history_.begin() + static_cast<std::ptrdiff_t>(history_begin_));
+    history_begin_ = 0;
+  }
+}
+
+void FifoServer::advance_to(double t) {
+  if (t < advanced_time_) {
+    throw std::invalid_argument("FifoServer::advance_to: time went backwards");
+  }
+  while (!departures_.empty() && departures_.front() <= t) {
+    const double dep = departures_.front();
+    departures_.pop_front();
+    ++completed_;
+    record(dep, length());
+    if (departures_.empty()) {
+      busy_accum_ += dep - busy_since_;
+      busy_since_ = -1.0;
+    }
+  }
+  advanced_time_ = t;
+  prune(t - history_window_);
+}
+
+double FifoServer::assign(double t, double size) {
+  advance_to(t);
+  const double start = departures_.empty() ? t : departures_.back();
+  const double departure = start + size / rate_;
+  if (departures_.empty()) busy_since_ = t;
+  departures_.push_back(departure);
+  record(t, length());
+  return departure;
+}
+
+int FifoServer::length_at(double t) const {
+  if (history_window_ <= 0.0) {
+    throw std::logic_error("FifoServer::length_at: history tracking disabled");
+  }
+  if (t > advanced_time_) {
+    throw std::invalid_argument("FifoServer::length_at: time in the future");
+  }
+  // Last history entry with time <= t gives the length from then until the
+  // next change. Before any recorded change the server was empty.
+  auto first = history_.begin() + static_cast<std::ptrdiff_t>(history_begin_);
+  auto it = std::upper_bound(
+      first, history_.end(), t,
+      [](double value, const auto& entry) { return value < entry.first; });
+  if (it == first) return 0;
+  return std::prev(it)->second;
+}
+
+double FifoServer::ready_time(double t) const {
+  return departures_.empty() ? t : departures_.back();
+}
+
+double FifoServer::busy_time() const {
+  double busy = busy_accum_;
+  if (busy_since_ >= 0.0) busy += advanced_time_ - busy_since_;
+  return busy;
+}
+
+}  // namespace stale::queueing

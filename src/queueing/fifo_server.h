@@ -1,0 +1,76 @@
+// A single FIFO server with unit-configurable service rate and exact lazy
+// departure accounting.
+//
+// Because service is FIFO, non-preemptive and work-conserving, a job's
+// departure time is fully determined at dispatch:
+//     departure = max(arrival, time server frees up) + size / rate.
+// The server therefore never needs departure *events*; it keeps the pending
+// departure times in a deque and pops them lazily as simulated time advances.
+// A pruned history of queue-length changes supports exact queries of the
+// queue length at past instants, which the continuous-update staleness model
+// needs ("what did this server look like d time units ago?").
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace stale::queueing {
+
+class FifoServer {
+ public:
+  // `rate` is the service rate (work units per time unit); `history_window`
+  // is how far back queue-length queries may reach (0 disables history
+  // tracking entirely, saving memory when no delayed views are used).
+  explicit FifoServer(double rate = 1.0, double history_window = 0.0);
+
+  // Advances the server's notion of time to `t` (monotone non-decreasing),
+  // retiring departures with time <= t. Must be called with non-decreasing t.
+  void advance_to(double t);
+
+  // Accepts a job of the given size at time `t` (caller must have called
+  // advance_to(t) first, or t >= the last advanced time: assign advances
+  // internally). Returns the job's departure time.
+  double assign(double t, double size);
+
+  // Queue length (jobs in service + waiting) after all departures <= the
+  // last advanced time have been retired.
+  int length() const { return static_cast<int>(departures_.size()); }
+
+  // Queue length at a past instant `t`, which must be >= advanced_time -
+  // history_window and <= advanced_time. Requires history tracking.
+  int length_at(double t) const;
+
+  // Time at which the server would start a job assigned now (== last pending
+  // departure, or the current time when idle).
+  double ready_time(double t) const;
+
+  // Total work (remaining service demand) is not tracked; the paper's
+  // algorithms all use queue length as the load metric.
+
+  double rate() const { return rate_; }
+  double advanced_time() const { return advanced_time_; }
+  std::size_t completed_jobs() const { return completed_; }
+  double busy_time() const;  // total time spent non-idle so far (advanced)
+
+ private:
+  void record(double t, int len);
+  void prune(double before);
+
+  double rate_;
+  double history_window_;
+  double advanced_time_ = 0.0;
+  std::deque<double> departures_;  // pending departure times, ascending
+  std::size_t completed_ = 0;
+
+  // (time, queue length from `time` onward); ascending by time. Maintained
+  // only when history_window_ > 0.
+  std::vector<std::pair<double, int>> history_;
+  std::size_t history_begin_ = 0;  // logical start (pruned prefix)
+
+  // Busy-time accounting: accumulated across retired departures.
+  double busy_accum_ = 0.0;
+  double busy_since_ = -1.0;  // start of current busy period, <0 when idle
+};
+
+}  // namespace stale::queueing

@@ -1,0 +1,47 @@
+#include "queueing/load_stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stale::queueing {
+
+LoadImbalanceStats::LoadImbalanceStats(std::uint64_t stride)
+    : stride_(stride) {
+  if (stride == 0) {
+    throw std::invalid_argument("LoadImbalanceStats: stride must be >= 1");
+  }
+}
+
+void LoadImbalanceStats::observe(std::span<const int> loads) {
+  if (++calls_ % stride_ != 0) return;
+  take_sample(loads);
+}
+
+void LoadImbalanceStats::take_sample(std::span<const int> loads) {
+  if (loads.empty()) return;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int max = loads[0];
+  for (int len : loads) {
+    sum += len;
+    sum_sq += static_cast<double>(len) * len;
+    if (len > max) max = len;
+  }
+  const double n = static_cast<double>(loads.size());
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  stddevs_.add(std::sqrt(variance > 0.0 ? variance : 0.0));
+  maxima_.add(static_cast<double>(max));
+  means_.add(mean);
+  ++snapshots_;
+}
+
+double LoadImbalanceStats::mean_within_snapshot_stddev() const {
+  return stddevs_.mean();
+}
+
+double LoadImbalanceStats::mean_snapshot_max() const { return maxima_.mean(); }
+
+double LoadImbalanceStats::mean_queue_length() const { return means_.mean(); }
+
+}  // namespace stale::queueing

@@ -1,0 +1,43 @@
+// Queue-length imbalance instrumentation: snapshots the cluster's
+// queue-length vector at (Poisson) arrival epochs — by PASTA these samples
+// are unbiased estimates of the time-average state — and accumulates
+// dispersion statistics. This makes the herd effect directly visible: under
+// a herding policy the *spread* of queue lengths explodes long before the
+// mean does. Backs the ablation_herd_imbalance bench.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/stats.h"
+
+namespace stale::queueing {
+
+class LoadImbalanceStats {
+ public:
+  // Samples every `stride`-th observe() call (stride >= 1); pass the
+  // pre-dispatch load vector of each arrival.
+  explicit LoadImbalanceStats(std::uint64_t stride = 1);
+
+  void observe(std::span<const int> loads);
+
+  // Across all sampled snapshots: the within-snapshot standard deviation of
+  // queue lengths (averaged), the mean per-snapshot maximum, and the mean
+  // queue length.
+  double mean_within_snapshot_stddev() const;
+  double mean_snapshot_max() const;
+  double mean_queue_length() const;
+  std::uint64_t snapshots() const { return snapshots_; }
+
+ private:
+  void take_sample(std::span<const int> loads);
+
+  std::uint64_t stride_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t snapshots_ = 0;
+  sim::RunningStats stddevs_;
+  sim::RunningStats maxima_;
+  sim::RunningStats means_;
+};
+
+}  // namespace stale::queueing

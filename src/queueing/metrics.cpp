@@ -1,0 +1,15 @@
+#include "queueing/metrics.h"
+
+namespace stale::queueing {
+
+ResponseMetrics::ResponseMetrics(std::uint64_t warmup_jobs, bool keep_samples)
+    : warmup_(warmup_jobs), keep_samples_(keep_samples) {}
+
+void ResponseMetrics::record(double response_time) {
+  ++seen_;
+  if (seen_ <= warmup_) return;
+  stats_.add(response_time);
+  if (keep_samples_) samples_.push_back(response_time);
+}
+
+}  // namespace stale::queueing

@@ -1,0 +1,43 @@
+// Response-time metrics collection with warmup discarding, matching the
+// paper's methodology: run N arrivals, ignore the first W, report the mean
+// response time of the rest (plus richer percentiles for the heavy-tailed
+// experiments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace stale::queueing {
+
+class ResponseMetrics {
+ public:
+  // `warmup_jobs`: number of initial jobs whose response times are discarded.
+  // `keep_samples`: when true, retains every measured response time so
+  // percentiles can be computed (needed for box plots); otherwise only the
+  // running summary is kept.
+  explicit ResponseMetrics(std::uint64_t warmup_jobs, bool keep_samples = false);
+
+  // Records the response time of the next finished-dispatch job. Ordering is
+  // by *arrival*, matching "we use the first W of the jobs to bring the
+  // system to a steady-state".
+  void record(double response_time);
+
+  std::uint64_t total_jobs() const { return seen_; }
+  std::uint64_t measured_jobs() const { return stats_.count(); }
+  double mean_response() const { return stats_.mean(); }
+  const sim::RunningStats& stats() const { return stats_; }
+
+  // Measured samples (empty unless keep_samples was set).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::uint64_t warmup_;
+  bool keep_samples_;
+  std::uint64_t seen_ = 0;
+  sim::RunningStats stats_;
+  std::vector<double> samples_;
+};
+
+}  // namespace stale::queueing

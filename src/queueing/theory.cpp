@@ -1,0 +1,58 @@
+#include "queueing/theory.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stale::queueing::theory {
+
+namespace {
+
+void require_stable(double rho) {
+  if (rho < 0.0 || rho >= 1.0) {
+    throw std::invalid_argument("queueing theory: need 0 <= rho < 1");
+  }
+}
+
+}  // namespace
+
+double mm1_response_time(double rho) {
+  require_stable(rho);
+  return 1.0 / (1.0 - rho);
+}
+
+double mg1_response_time(double rho, double service_second_moment) {
+  require_stable(rho);
+  if (service_second_moment < 1.0) {
+    // E[S^2] >= E[S]^2 = 1 by Jensen; anything smaller is a unit mismatch.
+    throw std::invalid_argument("mg1_response_time: E[S^2] must be >= 1");
+  }
+  return 1.0 + rho * service_second_moment / (2.0 * (1.0 - rho));
+}
+
+double md1_response_time(double rho) { return mg1_response_time(rho, 1.0); }
+
+double erlang_c(std::size_t servers, double rho) {
+  require_stable(rho);
+  if (servers == 0) {
+    throw std::invalid_argument("erlang_c: need at least one server");
+  }
+  const double c = static_cast<double>(servers);
+  const double a = c * rho;  // offered load in Erlangs
+
+  // Work with the Erlang B recursion (numerically stable):
+  //   B(0) = 1;  B(k) = a B(k-1) / (k + a B(k-1)),
+  // then convert: C = B / (1 - rho (1 - B)).
+  double b = 1.0;
+  for (std::size_t k = 1; k <= servers; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double mmc_response_time(std::size_t servers, double rho) {
+  const double waiting_probability = erlang_c(servers, rho);
+  const double c = static_cast<double>(servers);
+  return 1.0 + waiting_probability / (c * (1.0 - rho));
+}
+
+}  // namespace stale::queueing::theory

@@ -1,0 +1,34 @@
+// Closed-form queueing theory used to validate the simulator and to give
+// library users analytic baselines:
+//   - M/M/1 mean response time (random-split baseline),
+//   - M/G/1 via Pollaczek-Khinchine (deterministic / heavy-tailed jobs),
+//   - M/M/c via Erlang C (the ideal central-queue lower bound the paper's
+//     dispatchers approximate from stale information).
+// All formulas take the per-server utilization rho in [0, 1) and express
+// time in units of the mean service time (the paper's convention).
+#pragma once
+
+#include <cstddef>
+
+namespace stale::queueing::theory {
+
+// Mean response time (wait + service) of an M/M/1 queue: 1 / (1 - rho).
+double mm1_response_time(double rho);
+
+// Mean response time of an M/G/1 queue via Pollaczek-Khinchine:
+//   E[T] = E[S] + lambda * E[S^2] / (2 (1 - rho)),
+// with E[S] = 1 and `service_second_moment` = E[S^2] in service-time units.
+double mg1_response_time(double rho, double service_second_moment);
+
+// Convenience: M/D/1 (deterministic unit service, E[S^2] = 1).
+double md1_response_time(double rho);
+
+// Erlang C: probability an arriving job waits in an M/M/c system with
+// per-server utilization rho (total arrival rate = c * rho, unit service).
+double erlang_c(std::size_t servers, double rho);
+
+// Mean response time of an M/M/c central-queue system (ideal JSQ-ish lower
+// bound): 1 + ErlangC / (c (1 - rho)).
+double mmc_response_time(std::size_t servers, double rho);
+
+}  // namespace stale::queueing::theory

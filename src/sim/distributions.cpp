@@ -1,0 +1,181 @@
+#include "sim/distributions.h"
+
+#include <sstream>
+#include <vector>
+
+namespace stale::sim {
+
+namespace {
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+Deterministic::Deterministic(double value) : value_(value) {
+  require(value >= 0.0, "Deterministic: value must be >= 0");
+}
+
+std::string Deterministic::describe() const {
+  std::ostringstream os;
+  os << "det:" << value_;
+  return os.str();
+}
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  require(mean > 0.0, "Exponential: mean must be > 0");
+}
+
+std::string Exponential::describe() const {
+  std::ostringstream os;
+  os << "exp:" << mean_;
+  return os.str();
+}
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  require(lo >= 0.0 && hi >= lo, "Uniform: need 0 <= lo <= hi");
+}
+
+std::string Uniform::describe() const {
+  std::ostringstream os;
+  os << "uniform:" << lo_ << ":" << hi_;
+  return os.str();
+}
+
+BoundedPareto::BoundedPareto(double alpha, double k, double p)
+    : alpha_(alpha), k_(k), p_(p), tail_(1.0 - std::pow(k / p, alpha)) {
+  require(alpha > 0.0, "BoundedPareto: alpha must be > 0");
+  require(k > 0.0 && p > k, "BoundedPareto: need 0 < k < p");
+}
+
+BoundedPareto BoundedPareto::with_mean(double alpha, double mean,
+                                       double max_over_mean) {
+  require(mean > 0.0 && max_over_mean > 1.0,
+          "BoundedPareto::with_mean: need mean > 0 and max_over_mean > 1");
+  const double p = max_over_mean * mean;
+  // mean(k) is continuous and strictly increasing in k on (0, p); bisect.
+  double lo = p * 1e-12;
+  double hi = p * (1.0 - 1e-12);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (BoundedPareto(alpha, mid, p).mean() < mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return BoundedPareto(alpha, 0.5 * (lo + hi), p);
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  // Inverse CDF: F(x) = (1 - (k/x)^alpha) / tail  =>
+  //   x = k * (1 - u * tail)^(-1/alpha)
+  const double u = rng.next_double();
+  return k_ * std::pow(1.0 - u * tail_, -1.0 / alpha_);
+}
+
+double BoundedPareto::mean() const {
+  // E[X] = integral_k^p x f(x) dx.
+  if (alpha_ == 1.0) {
+    return k_ / tail_ * std::log(p_ / k_) * 1.0;
+  }
+  const double c = alpha_ * std::pow(k_, alpha_) / tail_;
+  return c * (std::pow(k_, 1.0 - alpha_) - std::pow(p_, 1.0 - alpha_)) /
+         (alpha_ - 1.0);
+}
+
+double BoundedPareto::variance() const {
+  // E[X^2] via the same moment integral with exponent 2.
+  double second;
+  if (alpha_ == 2.0) {
+    second = alpha_ * std::pow(k_, alpha_) / tail_ * std::log(p_ / k_);
+  } else {
+    const double c = alpha_ * std::pow(k_, alpha_) / tail_;
+    second = c * (std::pow(k_, 2.0 - alpha_) - std::pow(p_, 2.0 - alpha_)) /
+             (alpha_ - 2.0);
+  }
+  const double m = mean();
+  return second - m * m;
+}
+
+std::string BoundedPareto::describe() const {
+  std::ostringstream os;
+  os << "bp:" << alpha_ << ":" << k_ << ":" << p_;
+  return os.str();
+}
+
+Hyperexponential::Hyperexponential(double prob1, double mean1, double mean2)
+    : prob1_(prob1), mean1_(mean1), mean2_(mean2) {
+  require(prob1 >= 0.0 && prob1 <= 1.0, "Hyperexponential: prob1 in [0,1]");
+  require(mean1 > 0.0 && mean2 > 0.0, "Hyperexponential: means must be > 0");
+}
+
+double Hyperexponential::sample(Rng& rng) const {
+  const double mean = rng.next_double() < prob1_ ? mean1_ : mean2_;
+  return -mean * std::log(rng.next_double_open0());
+}
+
+double Hyperexponential::mean() const {
+  return prob1_ * mean1_ + (1.0 - prob1_) * mean2_;
+}
+
+double Hyperexponential::variance() const {
+  const double second =
+      2.0 * (prob1_ * mean1_ * mean1_ + (1.0 - prob1_) * mean2_ * mean2_);
+  const double m = mean();
+  return second - m * m;
+}
+
+std::string Hyperexponential::describe() const {
+  std::ostringstream os;
+  os << "hyper:" << prob1_ << ":" << mean1_ << ":" << mean2_;
+  return os.str();
+}
+
+DistributionPtr parse_distribution(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string token;
+  std::istringstream in(spec);
+  while (std::getline(in, token, ':')) parts.push_back(token);
+  require(!parts.empty(), "parse_distribution: empty spec");
+
+  auto num = [&](std::size_t i) -> double {
+    require(i < parts.size(), "parse_distribution: missing parameter");
+    std::size_t pos = 0;
+    const double v = std::stod(parts[i], &pos);
+    require(pos == parts[i].size(), "parse_distribution: bad number");
+    return v;
+  };
+
+  const std::string& kind = parts[0];
+  if (kind == "det") {
+    require(parts.size() == 2, "det takes 1 parameter");
+    return std::make_unique<Deterministic>(num(1));
+  }
+  if (kind == "exp") {
+    require(parts.size() == 2, "exp takes 1 parameter");
+    return std::make_unique<Exponential>(num(1));
+  }
+  if (kind == "uniform") {
+    require(parts.size() == 3, "uniform takes 2 parameters");
+    return std::make_unique<Uniform>(num(1), num(2));
+  }
+  if (kind == "bp") {
+    require(parts.size() == 4, "bp takes 3 parameters");
+    return std::make_unique<BoundedPareto>(num(1), num(2), num(3));
+  }
+  if (kind == "bpmean") {
+    require(parts.size() == 4, "bpmean takes 3 parameters");
+    return std::make_unique<BoundedPareto>(
+        BoundedPareto::with_mean(num(1), num(2), num(3)));
+  }
+  if (kind == "hyper") {
+    require(parts.size() == 4, "hyper takes 3 parameters");
+    return std::make_unique<Hyperexponential>(num(1), num(2), num(3));
+  }
+  throw std::invalid_argument("parse_distribution: unknown kind '" + kind +
+                              "'");
+}
+
+}  // namespace stale::sim

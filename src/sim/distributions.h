@@ -1,0 +1,139 @@
+// Random variate distributions used for service times, inter-arrival gaps and
+// information delays. All transformations are implemented explicitly (inverse
+// CDF where possible) so results are bit-reproducible across platforms.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace stale::sim {
+
+// Type-erased interface. One virtual call per sample is negligible next to the
+// rest of the per-job work, and it lets experiment configs pick distributions
+// from string specs at run time.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual double sample(Rng& rng) const = 0;
+  virtual double mean() const = 0;
+  // Variance; +inf if undefined/infinite.
+  virtual double variance() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+// Degenerate distribution: always `value`.
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value);
+
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  std::string describe() const override;
+
+ private:
+  double value_;
+};
+
+// Exponential with the given mean (rate = 1/mean).
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean);
+
+  double sample(Rng& rng) const override {
+    return -mean_ * std::log(rng.next_double_open0());
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_; }
+  std::string describe() const override;
+
+ private:
+  double mean_;
+};
+
+// Uniform on [lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+
+  double sample(Rng& rng) const override {
+    return lo_ + (hi_ - lo_) * rng.next_double();
+  }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  std::string describe() const override;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+// Bounded Pareto on [k, p] with shape alpha (paper Eq. 6):
+//   f(x) = alpha * k^alpha * x^{-alpha-1} / (1 - (k/p)^alpha)
+// Heavy-tailed but with finite support, used for the Section 5.5 workloads.
+class BoundedPareto final : public Distribution {
+ public:
+  BoundedPareto(double alpha, double k, double p);
+
+  // Constructs a BoundedPareto with the given shape whose mean is `mean` and
+  // whose maximum is `max_over_mean * mean`, solving for the lower bound k.
+  static BoundedPareto with_mean(double alpha, double mean,
+                                 double max_over_mean);
+
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string describe() const override;
+
+  double alpha() const { return alpha_; }
+  double k() const { return k_; }
+  double p() const { return p_; }
+
+ private:
+  double alpha_;
+  double k_;
+  double p_;
+  double tail_;  // 1 - (k/p)^alpha, cached for sampling
+};
+
+// Two-branch hyperexponential: with probability `prob1` exponential(mean1),
+// else exponential(mean2). A simple high-variance alternative used in tests
+// and ablations.
+class Hyperexponential final : public Distribution {
+ public:
+  Hyperexponential(double prob1, double mean1, double mean2);
+
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string describe() const override;
+
+ private:
+  double prob1_;
+  double mean1_;
+  double mean2_;
+};
+
+// Parses a distribution spec string:
+//   "det:V"            Deterministic(V)
+//   "exp:MEAN"         Exponential(MEAN)
+//   "uniform:LO:HI"    Uniform(LO, HI)
+//   "bp:ALPHA:K:P"     BoundedPareto(ALPHA, K, P)
+//   "bpmean:ALPHA:MEAN:MAXOVERMEAN"  BoundedPareto::with_mean
+//   "hyper:P:M1:M2"    Hyperexponential(P, M1, M2)
+// Throws std::invalid_argument on malformed specs.
+DistributionPtr parse_distribution(const std::string& spec);
+
+}  // namespace stale::sim

@@ -1,0 +1,74 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::sim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi
+  ++counts_[bin];
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    os << bin_lo(b) << "\t" << counts_[b] << "\t" << std::string(bar, '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+void IntCounter::add(std::size_t value) {
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  ++counts_[value];
+  ++total_;
+}
+
+std::size_t IntCounter::count(std::size_t value) const {
+  return value < counts_.size() ? counts_[value] : 0;
+}
+
+std::size_t IntCounter::max_value() const {
+  return counts_.empty() ? 0 : counts_.size() - 1;
+}
+
+double IntCounter::fraction(std::size_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+}  // namespace stale::sim

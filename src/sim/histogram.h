@@ -1,0 +1,61 @@
+// Fixed-bin-width histogram plus a helper for integer-valued samples
+// (e.g. queue lengths). Used by tests and the distribution-shape benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stale::sim {
+
+// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+// overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  // Fraction of all observations (including under/overflow) in `bin`.
+  double fraction(std::size_t bin) const;
+
+  // Left edge of `bin`.
+  double bin_lo(std::size_t bin) const;
+
+  // Multi-line ASCII rendering, `width` characters for the largest bar.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+// Counts occurrences of small non-negative integers (index = value).
+class IntCounter {
+ public:
+  void add(std::size_t value);
+
+  std::size_t count(std::size_t value) const;
+  std::size_t total() const { return total_; }
+  std::size_t max_value() const;
+  double fraction(std::size_t value) const;
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace stale::sim

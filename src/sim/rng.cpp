@@ -1,0 +1,81 @@
+#include "sim/rng.h"
+
+namespace stale::sim {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire (2019): multiply-shift with rejection of the biased low range.
+  using u128 = unsigned __int128;
+  std::uint64_t x = next_u64();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+void Rng::long_jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next_u64();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Rng Rng::split() {
+  // Seed a child from our stream; mix through SplitMix64 inside the
+  // constructor so consecutive splits are decorrelated.
+  return Rng(next_u64());
+}
+
+std::uint64_t trial_seed(std::uint64_t base_seed, int trial) {
+  SplitMix64 sm(base_seed ^ (0x9e3779b97f4a7c15ULL *
+                             static_cast<std::uint64_t>(trial + 1)));
+  return sm.next();
+}
+
+}  // namespace stale::sim

@@ -1,0 +1,84 @@
+// Deterministic, platform-independent pseudo-random number generation.
+//
+// The simulator must produce bit-identical results for a given seed on any
+// platform, so we avoid the standard library's distributions (whose algorithms
+// are implementation-defined) and implement both the engine (xoshiro256++) and
+// the variate transformations ourselves (see distributions.h).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace stale::sim {
+
+// Splitmix64: used to expand a single 64-bit seed into engine state.
+// Passes through every 64-bit value exactly once over its period.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256++ engine (Blackman & Vigna). Fast, high quality, 2^256-1 period.
+// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the four state words from `seed` via SplitMix64, as the xoshiro
+  // authors recommend. A zero seed is fine (SplitMix64 never emits all-zero
+  // state four times in a row).
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in (0, 1] — safe as input to -log(u).
+  double next_double_open0() { return 1.0 - next_double(); }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  // method: unbiased and branch-light.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Long-jump: advances the engine by 2^192 steps, giving an independent
+  // stream. Used to derive per-trial / per-component streams from one seed.
+  void long_jump();
+
+  // Convenience: a new engine seeded independently from this one.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Derives the seed for trial `trial` of an experiment from a base seed.
+// Distinct trials get decorrelated streams even for adjacent trial numbers.
+std::uint64_t trial_seed(std::uint64_t base_seed, int trial);
+
+}  // namespace stale::sim

@@ -1,0 +1,70 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stale::sim {
+
+EventHandle Simulator::schedule_at(double when, EventFn fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_after(double delay, EventFn fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulator::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  return callbacks_.erase(handle.id) > 0;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    if (callbacks_.count(top.id) > 0) {
+      out = top;
+      return true;
+    }
+    queue_.pop();  // cancelled; discard
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  queue_.pop();
+  auto it = callbacks_.find(entry.id);
+  EventFn fn = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = entry.when;
+  fn(*this);
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t fired = 0;
+  while (step()) ++fired;
+  return fired;
+}
+
+std::uint64_t Simulator::run_until(double until) {
+  std::uint64_t fired = 0;
+  Entry entry;
+  while (pop_next(entry) && entry.when <= until) {
+    step();
+    ++fired;
+  }
+  if (until > now_) now_ = until;
+  return fired;
+}
+
+}  // namespace stale::sim

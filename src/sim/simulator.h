@@ -1,0 +1,75 @@
+// Generic discrete-event simulation kernel.
+//
+// The figure-generating experiments use the specialized lazy-departure engine
+// in queueing/ + driver/ for speed, but this kernel is the general substrate:
+// it runs the examples, the update-on-access client engine tests, and the
+// cross-engine validation suite. Events at equal timestamps fire in
+// scheduling order (stable FIFO tie-break), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace stale::sim {
+
+class Simulator;
+
+using EventFn = std::function<void(Simulator&)>;
+
+// Opaque handle used to cancel a scheduled event.
+struct EventHandle {
+  std::uint64_t id = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  double now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(double when, EventFn fn);
+
+  // Schedules `fn` after `delay` (must be >= 0).
+  EventHandle schedule_after(double delay, EventFn fn);
+
+  // Cancels a pending event. Returns false if the event already ran or was
+  // cancelled. Cancellation is O(1) (lazy: the callback is dropped and the
+  // heap entry is skipped when popped).
+  bool cancel(EventHandle handle);
+
+  // Runs until the queue is empty. Returns the number of events fired.
+  std::uint64_t run();
+
+  // Fires events with time <= `until`, then advances now() to `until`.
+  std::uint64_t run_until(double until);
+
+  // Fires the single next event, if any. Returns false when idle.
+  bool step();
+
+  std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t id;
+    // Min-heap by (when, id): earlier time first, FIFO among ties.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  // Pops heap entries until a live one is found. Returns false when empty.
+  bool pop_next(Entry& out);
+
+  double now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, EventFn> callbacks_;
+};
+
+}  // namespace stale::sim

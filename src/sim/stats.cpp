@@ -1,0 +1,96 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stale::sim {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci90_half_width() const {
+  if (count_ < 2) return 0.0;
+  const double se = stddev() / std::sqrt(static_cast<double>(count_));
+  return student_t90(count_ - 1) * se;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double student_t90(std::size_t df) {
+  // 0.95 one-sided quantiles of Student's t (two-sided 90% interval).
+  static constexpr double kTable[] = {
+      6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+      1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+      1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  if (df <= 60) {
+    // Interpolate between t(30)=1.697 and t(60)=1.671.
+    const double frac = static_cast<double>(df - 30) / 30.0;
+    return 1.697 + frac * (1.671 - 1.697);
+  }
+  if (df <= 120) {
+    const double frac = static_cast<double>(df - 60) / 60.0;
+    return 1.671 + frac * (1.658 - 1.671);
+  }
+  return 1.645;  // normal limit
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  return sorted[idx] + frac * (sorted[idx + 1] - sorted[idx]);
+}
+
+BoxStats BoxStats::from_sample(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("BoxStats: empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return BoxStats{
+      .min = sorted.front(),
+      .p25 = percentile_sorted(sorted, 0.25),
+      .median = percentile_sorted(sorted, 0.50),
+      .p75 = percentile_sorted(sorted, 0.75),
+      .max = sorted.back(),
+  };
+}
+
+}  // namespace stale::sim

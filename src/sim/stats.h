@@ -1,0 +1,60 @@
+// Summary statistics used to aggregate per-trial simulation results:
+// running mean/variance (Welford), Student-t 90% confidence intervals (the
+// interval the paper plots), and percentile/box statistics (used for the
+// Bounded Pareto experiments, Figures 10-11).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stale::sim {
+
+// Numerically stable running summary of a stream of observations.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Half-width of the two-sided 90% Student-t confidence interval on the
+  // mean. 0 for fewer than two observations.
+  double ci90_half_width() const;
+
+  // Merges another summary into this one (parallel-friendly combine).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Two-sided 90% Student-t critical value for `df` degrees of freedom
+// (i.e. the 0.95 quantile). Exact table for df <= 30, asymptotic beyond.
+double student_t90(std::size_t df);
+
+// Linear-interpolated percentile of `sorted` (ascending), q in [0, 1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+// Five-number summary used for the paper's box plots (Figures 10-11).
+struct BoxStats {
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+
+  // Computes the summary from an unsorted sample (copies and sorts).
+  static BoxStats from_sample(std::span<const double> sample);
+};
+
+}  // namespace stale::sim

@@ -1,0 +1,25 @@
+#include "workload/arrival_process.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::workload {
+
+PoissonProcess::PoissonProcess(double rate) : rate_(rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("PoissonProcess: rate must be > 0");
+  }
+}
+
+double PoissonProcess::next_gap(sim::Rng& rng) {
+  return -std::log(rng.next_double_open0()) / rate_;
+}
+
+std::string PoissonProcess::describe() const {
+  std::ostringstream os;
+  os << "poisson(rate=" << rate_ << ")";
+  return os.str();
+}
+
+}  // namespace stale::workload

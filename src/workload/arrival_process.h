@@ -1,0 +1,42 @@
+// Arrival processes. The open system model (paper Section 5) is a Poisson
+// stream of aggregate rate lambda * n; the update-on-access experiments
+// (Sections 5.3-5.4) decompose it into independent per-client streams.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace stale::workload {
+
+// A point process generating successive inter-arrival gaps.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // The next inter-arrival gap (>= 0).
+  virtual double next_gap(sim::Rng& rng) = 0;
+
+  // Long-run mean gap.
+  virtual double mean_gap() const = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+using ArrivalProcessPtr = std::unique_ptr<ArrivalProcess>;
+
+// Poisson process with the given rate (exponential gaps of mean 1/rate).
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  explicit PoissonProcess(double rate);
+
+  double next_gap(sim::Rng& rng) override;
+  double mean_gap() const override { return 1.0 / rate_; }
+  std::string describe() const override;
+
+ private:
+  double rate_;
+};
+
+}  // namespace stale::workload

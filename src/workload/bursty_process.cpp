@@ -1,0 +1,44 @@
+#include "workload/bursty_process.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::workload {
+
+BurstyProcess::BurstyProcess(double mean_gap, double mean_burst_length,
+                             double within_burst_gap)
+    : mean_gap_(mean_gap),
+      burst_length_(mean_burst_length),
+      within_gap_(within_burst_gap) {
+  if (mean_gap <= 0.0 || mean_burst_length < 1.0 || within_burst_gap < 0.0) {
+    throw std::invalid_argument(
+        "BurstyProcess: need mean_gap > 0, burst length >= 1, within >= 0");
+  }
+  continue_prob_ = 1.0 - 1.0 / mean_burst_length;
+  // Solve T = continue_prob * g_in + (1 - continue_prob) * g_out for g_out.
+  const double inside_share = continue_prob_ * within_gap_;
+  if (inside_share >= mean_gap) {
+    throw std::invalid_argument(
+        "BurstyProcess: within-burst gaps alone exceed the target mean gap");
+  }
+  between_gap_ = (mean_gap - inside_share) / (1.0 - continue_prob_);
+}
+
+double BurstyProcess::next_gap(sim::Rng& rng) {
+  // Memoryless burst membership: after each request the burst continues with
+  // probability 1 - 1/B, making burst lengths geometric with mean B.
+  const bool continues = rng.next_double() < continue_prob_;
+  const double mean = continues ? within_gap_ : between_gap_;
+  if (mean == 0.0) return 0.0;
+  return -mean * std::log(rng.next_double_open0());
+}
+
+std::string BurstyProcess::describe() const {
+  std::ostringstream os;
+  os << "bursty(T=" << mean_gap_ << ",B=" << burst_length_
+     << ",g_in=" << within_gap_ << ")";
+  return os.str();
+}
+
+}  // namespace stale::workload

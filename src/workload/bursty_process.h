@@ -1,0 +1,39 @@
+// Bursty per-client arrivals (paper Section 5.4): a client with long-run
+// mean inter-request time T issues bursts of requests whose within-burst
+// gaps are exponential with a small mean, separated by much longer
+// exponential think times. Burst lengths are geometric with the configured
+// mean, and the between-burst mean is solved so the long-run mean gap stays
+// exactly T:
+//     T = (1 - 1/B) * g_in + (1/B) * g_out
+// where B = mean burst length, g_in = within-burst mean gap.
+#pragma once
+
+#include "workload/arrival_process.h"
+
+namespace stale::workload {
+
+class BurstyProcess final : public ArrivalProcess {
+ public:
+  // `mean_gap`: the long-run mean inter-request time T.
+  // `mean_burst_length`: expected requests per burst (B >= 1).
+  // `within_burst_gap`: mean gap between requests inside a burst; must
+  // satisfy (1 - 1/B) * within_burst_gap < mean_gap so that the solved
+  // between-burst gap is positive.
+  BurstyProcess(double mean_gap, double mean_burst_length,
+                double within_burst_gap);
+
+  double next_gap(sim::Rng& rng) override;
+  double mean_gap() const override { return mean_gap_; }
+  std::string describe() const override;
+
+  double between_burst_gap() const { return between_gap_; }
+
+ private:
+  double mean_gap_;
+  double burst_length_;
+  double within_gap_;
+  double between_gap_;
+  double continue_prob_;  // P(burst continues) = 1 - 1/B
+};
+
+}  // namespace stale::workload

@@ -1,0 +1,17 @@
+#include "workload/job_size.h"
+
+namespace stale::workload {
+
+sim::DistributionPtr make_job_size(const std::string& spec) {
+  if (spec == "pareto_fig10") {
+    return std::make_unique<sim::BoundedPareto>(
+        sim::BoundedPareto::with_mean(1.1, 1.0, 1000.0));
+  }
+  if (spec == "pareto_fig11") {
+    return std::make_unique<sim::BoundedPareto>(
+        sim::BoundedPareto::with_mean(1.5, 1.0, 1024.0));
+  }
+  return sim::parse_distribution(spec);
+}
+
+}  // namespace stale::workload

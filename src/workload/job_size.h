@@ -1,0 +1,21 @@
+// Job-size (service-demand) distributions. These are the sim distributions
+// re-exported behind a small factory that also provides the paper's named
+// workloads:
+//   "exp:1"                       the default exponential(1) service times
+//   "pareto_fig10"                Bounded Pareto, alpha = 1.1, max = 1000x
+//                                 mean, mean = 1 (Figure 10)
+//   "pareto_fig11"                Bounded Pareto, alpha = 1.5, max = 1024x
+//                                 mean, mean = 1 (Figure 11)
+// plus any raw spec understood by sim::parse_distribution.
+#pragma once
+
+#include <string>
+
+#include "sim/distributions.h"
+
+namespace stale::workload {
+
+// Returns a job-size distribution for a named workload or raw spec.
+sim::DistributionPtr make_job_size(const std::string& spec);
+
+}  // namespace stale::workload

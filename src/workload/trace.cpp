@@ -1,0 +1,120 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::workload {
+
+std::vector<TraceRecord> parse_trace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_number = 0;
+  double last_arrival = -1.0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    TraceRecord record{0.0, 1.0};
+    if (!(fields >> record.arrival)) {
+      throw std::invalid_argument("trace line " + std::to_string(line_number) +
+                                  ": bad arrival time");
+    }
+    if (!(fields >> record.size)) {
+      record.size = 1.0;  // size column optional
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      throw std::invalid_argument("trace line " + std::to_string(line_number) +
+                                  ": unexpected extra field");
+    }
+    if (record.arrival < last_arrival) {
+      throw std::invalid_argument("trace line " + std::to_string(line_number) +
+                                  ": arrival time went backwards");
+    }
+    if (record.size <= 0.0) {
+      throw std::invalid_argument("trace line " + std::to_string(line_number) +
+                                  ": job size must be > 0");
+    }
+    last_arrival = record.arrival;
+    records.push_back(record);
+  }
+  return records;
+}
+
+std::vector<TraceRecord> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_trace: cannot open '" + path + "'");
+  }
+  return parse_trace(in);
+}
+
+TraceProcess::TraceProcess(std::vector<TraceRecord> records,
+                           double rate_scale) {
+  if (records.size() < 2) {
+    throw std::invalid_argument("TraceProcess: need at least two arrivals");
+  }
+  if (rate_scale <= 0.0) {
+    throw std::invalid_argument("TraceProcess: rate_scale must be > 0");
+  }
+  gaps_.reserve(records.size() - 1);
+  double total = 0.0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const double gap = (records[i].arrival - records[i - 1].arrival) /
+                       rate_scale;
+    gaps_.push_back(gap);
+    total += gap;
+  }
+  mean_gap_ = total / static_cast<double>(gaps_.size());
+  if (mean_gap_ <= 0.0) {
+    throw std::invalid_argument("TraceProcess: trace has zero total duration");
+  }
+}
+
+double TraceProcess::next_gap(sim::Rng&) {
+  const double gap = gaps_[next_];
+  next_ = (next_ + 1) % gaps_.size();
+  return gap;
+}
+
+double TraceProcess::mean_gap() const { return mean_gap_; }
+
+std::string TraceProcess::describe() const {
+  std::ostringstream os;
+  os << "trace(" << gaps_.size() << " gaps, mean " << mean_gap_ << ")";
+  return os.str();
+}
+
+TraceSizes::TraceSizes(std::vector<TraceRecord> records) {
+  if (records.empty()) {
+    throw std::invalid_argument("TraceSizes: empty trace");
+  }
+  sizes_.reserve(records.size());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const TraceRecord& record : records) {
+    sizes_.push_back(record.size);
+    sum += record.size;
+    sum_sq += record.size * record.size;
+  }
+  mean_ = sum / static_cast<double>(sizes_.size());
+  variance_ = sum_sq / static_cast<double>(sizes_.size()) - mean_ * mean_;
+  if (variance_ < 0.0) variance_ = 0.0;
+}
+
+double TraceSizes::sample(sim::Rng&) const {
+  const double size = sizes_[next_];
+  next_ = (next_ + 1) % sizes_.size();
+  return size;
+}
+
+std::string TraceSizes::describe() const {
+  std::ostringstream os;
+  os << "trace_sizes(" << sizes_.size() << " jobs, mean " << mean_ << ")";
+  return os.str();
+}
+
+}  // namespace stale::workload

@@ -1,0 +1,70 @@
+// Trace-driven workloads (paper future work: "evaluate and adapt the LI
+// principles to more realistic workloads"). A trace is a text file with one
+// job per line:
+//     <arrival-time> [job-size]
+// Arrival times must be non-decreasing; job size defaults to 1.0. Lines
+// starting with '#' and blank lines are ignored.
+//
+// TraceProcess replays the inter-arrival gaps (optionally rescaled to a
+// target mean rate); TraceSizes replays the job sizes. Both loop over the
+// trace when exhausted, so a finite trace can drive an arbitrarily long
+// simulation (the wrap is a documented approximation).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/distributions.h"
+#include "workload/arrival_process.h"
+
+namespace stale::workload {
+
+struct TraceRecord {
+  double arrival;
+  double size;
+};
+
+// Parses a trace from a stream. Throws std::invalid_argument on malformed
+// lines or time going backwards.
+std::vector<TraceRecord> parse_trace(std::istream& in);
+
+// Loads a trace file from disk. Throws std::runtime_error if unreadable.
+std::vector<TraceRecord> load_trace(const std::string& path);
+
+// Replays a trace's inter-arrival gaps. With `rate_scale` != 1 all gaps are
+// divided by it (doubling the scale doubles the arrival rate).
+class TraceProcess final : public ArrivalProcess {
+ public:
+  explicit TraceProcess(std::vector<TraceRecord> records,
+                        double rate_scale = 1.0);
+
+  double next_gap(sim::Rng&) override;
+  double mean_gap() const override;
+  std::string describe() const override;
+
+ private:
+  std::vector<double> gaps_;
+  double mean_gap_;
+  std::size_t next_ = 0;
+};
+
+// Replays a trace's job sizes as a Distribution (wraps around; ignores the
+// Rng). mean()/variance() are the trace's empirical moments.
+class TraceSizes final : public sim::Distribution {
+ public:
+  explicit TraceSizes(std::vector<TraceRecord> records);
+
+  double sample(sim::Rng&) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  std::string describe() const override;
+
+ private:
+  std::vector<double> sizes_;
+  double mean_;
+  double variance_;
+  mutable std::size_t next_ = 0;
+};
+
+}  // namespace stale::workload

@@ -1,0 +1,179 @@
+#include "core/aggressive_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace stale::core {
+namespace {
+
+TEST(AggressiveScheduleTest, HandComputedCumulativeJobs) {
+  // b = {0, 2, 4}: C_1 = 1*2 - 0 = 2, C_2 = 2*4 - (0+2) = 6.
+  const std::vector<double> loads = {0.0, 2.0, 4.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  ASSERT_EQ(schedule.cum_jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(schedule.cum_jobs[0], 2.0);
+  EXPECT_DOUBLE_EQ(schedule.cum_jobs[1], 6.0);
+  EXPECT_EQ(schedule.order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AggressiveScheduleTest, OrderSortsByLoadWithIndexTieBreak) {
+  const std::vector<double> loads = {3.0, 1.0, 3.0, 0.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  EXPECT_EQ(schedule.order, (std::vector<int>{3, 1, 0, 2}));
+}
+
+TEST(AggressiveScheduleTest, GroupAtWalksTheSchedule) {
+  const std::vector<double> loads = {0.0, 2.0, 4.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  EXPECT_EQ(aggressive_group_at(schedule, 0.0), 1);
+  EXPECT_EQ(aggressive_group_at(schedule, 1.9), 1);
+  EXPECT_EQ(aggressive_group_at(schedule, 2.0), 2);  // boundary -> next group
+  EXPECT_EQ(aggressive_group_at(schedule, 5.9), 2);
+  EXPECT_EQ(aggressive_group_at(schedule, 6.0), 3);
+  EXPECT_EQ(aggressive_group_at(schedule, 1e9), 3);
+}
+
+TEST(AggressiveScheduleTest, StationaryGroupIsSmallestCovering) {
+  const std::vector<double> loads = {0.0, 2.0, 4.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  EXPECT_EQ(aggressive_stationary_group(schedule, 0.0), 1);
+  EXPECT_EQ(aggressive_stationary_group(schedule, 2.0), 1);  // C_1 == K
+  EXPECT_EQ(aggressive_stationary_group(schedule, 2.1), 2);
+  EXPECT_EQ(aggressive_stationary_group(schedule, 6.0), 2);
+  EXPECT_EQ(aggressive_stationary_group(schedule, 6.1), 3);
+}
+
+TEST(AggressiveScheduleTest, TiesCreateZeroLengthSubintervals) {
+  const std::vector<double> loads = {5.0, 5.0, 5.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  EXPECT_DOUBLE_EQ(schedule.cum_jobs[0], 0.0);
+  EXPECT_DOUBLE_EQ(schedule.cum_jobs[1], 0.0);
+  // With everything tied, any elapsed work puts us in the uniform group.
+  EXPECT_EQ(aggressive_group_at(schedule, 0.0), 3);
+  EXPECT_EQ(aggressive_group_at(schedule, 0.1), 3);
+  // The stationary rule covers K > 0 with the full group as well.
+  EXPECT_EQ(aggressive_stationary_group(schedule, 0.5), 3);
+}
+
+TEST(AggressiveScheduleTest, PartialTiesSkipAhead) {
+  // b = {1, 1, 4}: C_1 = 0 (tie), C_2 = 2*4 - 2 = 6.
+  const std::vector<double> loads = {1.0, 1.0, 4.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  EXPECT_EQ(aggressive_group_at(schedule, 0.0), 2);  // both minima share
+  EXPECT_EQ(aggressive_group_at(schedule, 5.9), 2);
+  EXPECT_EQ(aggressive_group_at(schedule, 6.0), 3);
+}
+
+TEST(AggressiveScheduleTest, GroupProbabilitiesUniformOverGroup) {
+  const std::vector<double> loads = {4.0, 0.0, 2.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  const auto p = aggressive_group_probabilities(schedule, 2);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);  // least loaded
+  EXPECT_DOUBLE_EQ(p[2], 0.5);  // second least
+  EXPECT_EQ(p[0], 0.0);
+}
+
+TEST(AggressiveScheduleTest, GroupProbabilitiesValidateGroup) {
+  const std::vector<double> loads = {1.0, 2.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  EXPECT_THROW(aggressive_group_probabilities(schedule, 0),
+               std::invalid_argument);
+  EXPECT_THROW(aggressive_group_probabilities(schedule, 3),
+               std::invalid_argument);
+}
+
+TEST(AggressiveScheduleTest, SingleServer) {
+  const std::vector<double> loads = {7.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+  EXPECT_TRUE(schedule.cum_jobs.empty());
+  EXPECT_EQ(aggressive_group_at(schedule, 0.0), 1);
+  EXPECT_EQ(aggressive_stationary_group(schedule, 100.0), 1);
+}
+
+TEST(AggressiveScheduleTest, RejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(make_aggressive_schedule(std::span<const double>(empty)),
+               std::invalid_argument);
+  const std::vector<double> negative = {-1.0};
+  EXPECT_THROW(make_aggressive_schedule(std::span<const double>(negative)),
+               std::invalid_argument);
+  const std::vector<double> fine = {1.0, 2.0};
+  const AggressiveSchedule schedule = make_aggressive_schedule(fine);
+  EXPECT_THROW(aggressive_group_at(schedule, -1.0), std::invalid_argument);
+  EXPECT_THROW(aggressive_stationary_group(schedule, -1.0),
+               std::invalid_argument);
+}
+
+TEST(AggressiveLiTest, PeriodicConvenienceMatchesSchedule) {
+  const std::vector<double> loads = {0.0, 2.0, 4.0};
+  // lambda_total * elapsed = 3 expected arrivals -> group 2.
+  const auto p = aggressive_li_probabilities(loads, 6.0, 0.5);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+  EXPECT_EQ(p[2], 0.0);
+}
+
+TEST(AggressiveLiTest, StationaryConvenienceMatchesSchedule) {
+  const std::vector<double> loads = {0.0, 2.0, 4.0};
+  const auto p = aggressive_li_stationary_probabilities(loads, 6.5);
+  for (double v : p) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(AggressiveLiTest, FreshInformationIsGreedy) {
+  const std::vector<double> loads = {3.0, 1.0, 2.0};
+  const auto p = aggressive_li_probabilities(loads, 9.0, 0.0);
+  EXPECT_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  EXPECT_EQ(p[2], 0.0);
+}
+
+// Property sweep: the schedule's invariants over random vectors.
+class AggressivePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggressivePropertyTest, ScheduleInvariants) {
+  const int n = GetParam();
+  sim::Rng rng(0xA66 ^ static_cast<std::uint64_t>(n));
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> loads(static_cast<std::size_t>(n));
+    for (double& b : loads) b = std::floor(rng.next_double() * 12.0);
+    const AggressiveSchedule schedule = make_aggressive_schedule(loads);
+
+    // order is a permutation sorted by load.
+    std::vector<int> sorted = schedule.order;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < n; ++i) ASSERT_EQ(sorted[static_cast<std::size_t>(i)], i);
+    for (std::size_t j = 1; j < schedule.order.size(); ++j) {
+      ASSERT_LE(loads[static_cast<std::size_t>(schedule.order[j - 1])],
+                loads[static_cast<std::size_t>(schedule.order[j])]);
+    }
+
+    // cum_jobs is non-negative and non-decreasing.
+    double prev = 0.0;
+    for (double c : schedule.cum_jobs) {
+      ASSERT_GE(c, prev - 1e-12);
+      prev = c;
+    }
+
+    // Group is non-decreasing in elapsed work; stationary group likewise
+    // non-decreasing in K.
+    int prev_group = 0;
+    for (double x = 0.0; x <= prev + 1.0; x += (prev + 1.0) / 17.0) {
+      const int group = aggressive_group_at(schedule, x);
+      ASSERT_GE(group, prev_group);
+      ASSERT_GE(group, 1);
+      ASSERT_LE(group, n);
+      prev_group = group;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AggressivePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50));
+
+}  // namespace
+}  // namespace stale::core

@@ -1,0 +1,104 @@
+#include "queueing/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "queueing/metrics.h"
+
+namespace stale::queueing {
+namespace {
+
+TEST(ClusterTest, LoadsTrackAssignments) {
+  Cluster cluster(3);
+  cluster.assign(0.0, 0, 1.0);
+  cluster.assign(0.0, 0, 1.0);
+  cluster.assign(0.0, 2, 1.0);
+  const auto loads = cluster.loads();
+  EXPECT_EQ(loads[0], 2);
+  EXPECT_EQ(loads[1], 0);
+  EXPECT_EQ(loads[2], 1);
+}
+
+TEST(ClusterTest, AdvanceRetiresDepartures) {
+  Cluster cluster(2);
+  cluster.assign(0.0, 0, 1.0);
+  cluster.assign(0.0, 1, 3.0);
+  cluster.advance_to(2.0);
+  EXPECT_EQ(cluster.loads()[0], 0);
+  EXPECT_EQ(cluster.loads()[1], 1);
+}
+
+TEST(ClusterTest, AssignReturnsDepartureTime) {
+  Cluster cluster(2);
+  EXPECT_DOUBLE_EQ(cluster.assign(1.0, 0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(cluster.assign(1.5, 0, 2.0), 5.0);  // queued behind first
+}
+
+TEST(ClusterTest, RejectsBadServerIndex) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.assign(0.0, -1, 1.0), std::out_of_range);
+  EXPECT_THROW(cluster.assign(0.0, 2, 1.0), std::out_of_range);
+}
+
+TEST(ClusterTest, RejectsEmptyCluster) {
+  EXPECT_THROW(Cluster(0), std::invalid_argument);
+  EXPECT_THROW(Cluster(std::vector<double>{}, 0.0), std::invalid_argument);
+}
+
+TEST(ClusterTest, HeterogeneousRatesAffectDepartures) {
+  Cluster cluster(std::vector<double>{1.0, 4.0}, 0.0);
+  EXPECT_DOUBLE_EQ(cluster.assign(0.0, 0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(cluster.assign(0.0, 1, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cluster.total_rate(), 5.0);
+}
+
+TEST(ClusterTest, LoadsAtReconstructsHistory) {
+  Cluster cluster(2, 100.0);
+  cluster.assign(1.0, 0, 5.0);
+  cluster.assign(2.0, 1, 1.0);
+  cluster.advance_to(10.0);
+  std::vector<int> past;
+  cluster.loads_at(0.5, past);
+  EXPECT_EQ(past, (std::vector<int>{0, 0}));
+  cluster.loads_at(2.5, past);
+  EXPECT_EQ(past, (std::vector<int>{1, 1}));
+  cluster.loads_at(4.0, past);
+  EXPECT_EQ(past, (std::vector<int>{1, 0}));
+  cluster.loads_at(7.0, past);
+  EXPECT_EQ(past, (std::vector<int>{0, 0}));
+}
+
+TEST(ClusterTest, TotalRateCountsServers) {
+  Cluster cluster(7);
+  EXPECT_DOUBLE_EQ(cluster.total_rate(), 7.0);
+  EXPECT_EQ(cluster.size(), 7);
+}
+
+TEST(ResponseMetricsTest, DiscardsWarmupJobs) {
+  ResponseMetrics metrics(2);
+  metrics.record(100.0);
+  metrics.record(100.0);
+  metrics.record(3.0);
+  metrics.record(5.0);
+  EXPECT_EQ(metrics.total_jobs(), 4u);
+  EXPECT_EQ(metrics.measured_jobs(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.mean_response(), 4.0);
+}
+
+TEST(ResponseMetricsTest, KeepsSamplesWhenAsked) {
+  ResponseMetrics metrics(1, /*keep_samples=*/true);
+  metrics.record(9.0);
+  metrics.record(1.0);
+  metrics.record(2.0);
+  EXPECT_EQ(metrics.samples(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ResponseMetricsTest, NoSamplesByDefault) {
+  ResponseMetrics metrics(0);
+  metrics.record(1.0);
+  EXPECT_TRUE(metrics.samples().empty());
+}
+
+}  // namespace
+}  // namespace stale::queueing

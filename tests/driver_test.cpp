@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "driver/cli.h"
+#include "driver/experiment.h"
+#include "driver/sweep.h"
+#include "driver/table.h"
+
+namespace stale::driver {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.num_jobs = 20'000;
+  config.warmup_jobs = 5'000;
+  config.trials = 2;
+  return config;
+}
+
+TEST(ExperimentConfigTest, ValidationCatchesBadValues) {
+  ExperimentConfig config = small_config();
+  config.num_servers = 0;
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+
+  config = small_config();
+  config.lambda = 0.0;
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+
+  config = small_config();
+  config.warmup_jobs = config.num_jobs;
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+
+  config = small_config();
+  config.trials = 0;
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+
+  config = small_config();
+  config.update_interval = 0.0;
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+}
+
+TEST(ExperimentConfigTest, BelievedRateAppliesOverridesAndErrors) {
+  ExperimentConfig config;
+  config.num_servers = 10;
+  config.lambda = 0.9;
+  EXPECT_DOUBLE_EQ(config.believed_total_rate(), 9.0);
+  config.lambda_error_factor = 2.0;
+  EXPECT_DOUBLE_EQ(config.believed_total_rate(), 18.0);
+  config.lambda_estimate_per_server = 1.0;
+  EXPECT_DOUBLE_EQ(config.believed_total_rate(), 20.0);
+}
+
+TEST(RunTrialTest, DeterministicForSameSeed) {
+  const ExperimentConfig config = small_config();
+  const TrialResult a = run_trial(config, 12345);
+  const TrialResult b = run_trial(config, 12345);
+  EXPECT_EQ(a.mean_response, b.mean_response);
+  EXPECT_EQ(a.measured_jobs, b.measured_jobs);
+  EXPECT_EQ(a.sim_end_time, b.sim_end_time);
+}
+
+TEST(RunTrialTest, DifferentSeedsDiffer) {
+  const ExperimentConfig config = small_config();
+  EXPECT_NE(run_trial(config, 1).mean_response,
+            run_trial(config, 2).mean_response);
+}
+
+TEST(RunTrialTest, CountsJobsCorrectly) {
+  const ExperimentConfig config = small_config();
+  const TrialResult result = run_trial(config, 7);
+  EXPECT_EQ(result.total_jobs, config.num_jobs);
+  EXPECT_EQ(result.measured_jobs, config.num_jobs - config.warmup_jobs);
+  EXPECT_GT(result.sim_end_time, 0.0);
+}
+
+TEST(RunTrialTest, SimulatedDurationMatchesArrivalRate) {
+  ExperimentConfig config = small_config();
+  config.lambda = 0.5;  // aggregate rate 5 -> 20k jobs ~ 4000 time units
+  const TrialResult result = run_trial(config, 11);
+  EXPECT_NEAR(result.sim_end_time, 4000.0, 200.0);
+}
+
+TEST(RunTrialTest, EveryModelRuns) {
+  for (UpdateModel model :
+       {UpdateModel::kPeriodic, UpdateModel::kContinuous,
+        UpdateModel::kUpdateOnAccess, UpdateModel::kIndividual}) {
+    ExperimentConfig config = small_config();
+    config.model = model;
+    config.update_interval = 2.0;
+    const TrialResult result = run_trial(config, 3);
+    EXPECT_GT(result.mean_response, 0.9) << update_model_name(model);
+    EXPECT_LT(result.mean_response, 100.0) << update_model_name(model);
+  }
+}
+
+TEST(RunTrialTest, EveryPolicyRunsUnderEveryModel) {
+  const std::vector<std::string> policies = {
+      "random",   "k_subset:2", "threshold:2:4", "basic_li",
+      "hybrid_li", "aggressive_li", "basic_li_k:3"};
+  for (UpdateModel model :
+       {UpdateModel::kPeriodic, UpdateModel::kContinuous,
+        UpdateModel::kUpdateOnAccess}) {
+    for (const auto& policy : policies) {
+      ExperimentConfig config = small_config();
+      config.num_jobs = 5'000;
+      config.warmup_jobs = 1'000;
+      config.model = model;
+      config.policy = policy;
+      const TrialResult result = run_trial(config, 5);
+      EXPECT_GT(result.mean_response, 0.5)
+          << update_model_name(model) << "/" << policy;
+    }
+  }
+}
+
+TEST(RunExperimentTest, AggregatesAcrossTrials) {
+  ExperimentConfig config = small_config();
+  config.trials = 4;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.trial_means.size(), 4u);
+  EXPECT_EQ(result.across_trials.count(), 4u);
+  EXPECT_GT(result.ci90(), 0.0);
+  const sim::BoxStats box = result.box();
+  EXPECT_LE(box.min, box.median);
+  EXPECT_LE(box.median, box.max);
+}
+
+TEST(UpdateOnAccessTest, MinJobsPerClientExtendsRun) {
+  ExperimentConfig config = small_config();
+  config.model = UpdateModel::kUpdateOnAccess;
+  config.update_interval = 100.0;  // 900 clients at lambda * n = 9
+  config.num_jobs = 10'000;
+  config.warmup_jobs = 2'000;
+  config.min_jobs_per_client = 20;  // needs 18k jobs > 10k
+  const TrialResult result = run_trial(config, 9);
+  EXPECT_GE(result.total_jobs, 18'000u);
+}
+
+TEST(UpdateOnAccessTest, BurstyVariantRuns) {
+  ExperimentConfig config = small_config();
+  config.model = UpdateModel::kUpdateOnAccess;
+  config.bursty = true;
+  config.update_interval = 10.0;
+  const TrialResult result = run_trial(config, 13);
+  EXPECT_GT(result.mean_response, 0.9);
+}
+
+TEST(TableTest, AlignedOutputContainsHeadersAndRule) {
+  Table table({"x", "value"});
+  table.add_row({"1", "2.5"});
+  std::ostringstream os;
+  table.print(os, /*csv=*/false);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(text.find("--"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.print(os, /*csv=*/true);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_ci(1.5, 0.25, 2), "1.50+-0.25");
+}
+
+TEST(CliTest, ParsesStandardFlags) {
+  const char* argv[] = {"bench", "--fast", "--csv", "--seed", "77"};
+  Cli cli(5, argv);
+  EXPECT_TRUE(cli.has("fast"));
+  EXPECT_TRUE(cli.csv());
+  ExperimentConfig config;
+  cli.apply_run_scale(config);
+  EXPECT_EQ(config.num_jobs, 20'000u);
+  EXPECT_EQ(config.trials, 2);
+  EXPECT_EQ(config.base_seed, 77u);
+}
+
+TEST(CliTest, PaperScaleAndInlineValues) {
+  const char* argv[] = {"bench", "--paper", "--trials=3"};
+  Cli cli(3, argv);
+  ExperimentConfig config;
+  cli.apply_run_scale(config);
+  EXPECT_EQ(config.num_jobs, 500'000u);
+  EXPECT_EQ(config.trials, 3);  // explicit override wins
+}
+
+TEST(CliTest, DefaultScale) {
+  const char* argv[] = {"bench"};
+  Cli cli(1, argv);
+  ExperimentConfig config;
+  cli.apply_run_scale(config);
+  EXPECT_EQ(config.num_jobs, 120'000u);
+  EXPECT_EQ(config.trials, 5);
+  EXPECT_NE(cli.scale_description().find("default"), std::string::npos);
+}
+
+TEST(CliTest, ExtraFlagsAndSwitches) {
+  const char* argv[] = {"bench", "--t-max", "32", "--box"};
+  Cli cli(4, argv, {"t-max"}, {"box"});
+  EXPECT_DOUBLE_EQ(cli.get_double("t-max", 0.0), 32.0);
+  EXPECT_TRUE(cli.has("box"));
+}
+
+TEST(CliTest, RejectsBadInput) {
+  const char* unknown[] = {"bench", "--bogus"};
+  EXPECT_THROW(Cli(2, unknown), std::invalid_argument);
+  const char* missing[] = {"bench", "--jobs"};
+  EXPECT_THROW(Cli(2, missing), std::invalid_argument);
+  const char* positional[] = {"bench", "123"};
+  EXPECT_THROW(Cli(2, positional), std::invalid_argument);
+  const char* both[] = {"bench", "--paper", "--fast"};
+  EXPECT_THROW(Cli(3, both), std::invalid_argument);
+}
+
+TEST(SweepTest, ProducesOneRowPerXValue) {
+  ExperimentConfig base = small_config();
+  base.num_jobs = 4'000;
+  base.warmup_jobs = 1'000;
+  base.trials = 2;
+  std::ostringstream os;
+  run_t_sweep(base, {1.0, 4.0}, {"random", "basic_li"}, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("T"), std::string::npos);
+  EXPECT_NE(text.find("basic_li"), std::string::npos);
+  EXPECT_NE(text.find("1.000"), std::string::npos);
+  EXPECT_NE(text.find("4.000"), std::string::npos);
+  // Header + rule + 2 data rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(SweepTest, BoxStatsCellsContainQuartiles) {
+  ExperimentConfig base = small_config();
+  base.num_jobs = 4'000;
+  base.warmup_jobs = 1'000;
+  base.trials = 3;
+  std::ostringstream os;
+  SweepOptions options;
+  options.box_stats = true;
+  run_t_sweep(base, {1.0}, {"random"}, os, options);
+  EXPECT_NE(os.str().find("["), std::string::npos);
+  EXPECT_NE(os.str().find(".."), std::string::npos);
+}
+
+TEST(DefaultTGridTest, RespectsCap) {
+  const auto grid = default_t_grid(16.0);
+  EXPECT_EQ(grid.front(), 0.1);
+  EXPECT_EQ(grid.back(), 16.0);
+  for (double t : grid) EXPECT_LE(t, 16.0);
+  EXPECT_GT(default_t_grid(128.0).size(), grid.size());
+}
+
+TEST(UpdateModelNameTest, AllNamesDistinct) {
+  EXPECT_EQ(update_model_name(UpdateModel::kPeriodic), "periodic");
+  EXPECT_EQ(update_model_name(UpdateModel::kContinuous), "continuous");
+  EXPECT_EQ(update_model_name(UpdateModel::kUpdateOnAccess),
+            "update_on_access");
+  EXPECT_EQ(update_model_name(UpdateModel::kIndividual), "individual");
+}
+
+}  // namespace
+}  // namespace stale::driver

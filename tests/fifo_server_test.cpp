@@ -1,0 +1,148 @@
+#include "queueing/fifo_server.h"
+
+#include <gtest/gtest.h>
+
+namespace stale::queueing {
+namespace {
+
+TEST(FifoServerTest, SingleJobDepartsAfterService) {
+  FifoServer server;
+  EXPECT_DOUBLE_EQ(server.assign(1.0, 2.5), 3.5);
+  EXPECT_EQ(server.length(), 1);
+  server.advance_to(3.5);
+  EXPECT_EQ(server.length(), 0);
+  EXPECT_EQ(server.completed_jobs(), 1u);
+}
+
+TEST(FifoServerTest, JobsQueueFifo) {
+  FifoServer server;
+  EXPECT_DOUBLE_EQ(server.assign(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(server.assign(0.1, 1.0), 2.0);  // waits behind job 1
+  EXPECT_DOUBLE_EQ(server.assign(0.2, 1.0), 3.0);
+  EXPECT_EQ(server.length(), 3);
+  server.advance_to(2.5);
+  EXPECT_EQ(server.length(), 1);
+}
+
+TEST(FifoServerTest, IdleGapResetsReadyTime) {
+  FifoServer server;
+  server.assign(0.0, 1.0);     // departs at 1
+  server.advance_to(5.0);      // long idle gap
+  EXPECT_DOUBLE_EQ(server.assign(5.0, 1.0), 6.0);
+}
+
+TEST(FifoServerTest, ServiceRateScalesServiceTime) {
+  FifoServer server(2.0);
+  EXPECT_DOUBLE_EQ(server.assign(0.0, 1.0), 0.5);
+}
+
+TEST(FifoServerTest, ReadyTimeTracksBacklog) {
+  FifoServer server;
+  EXPECT_DOUBLE_EQ(server.ready_time(0.0), 0.0);
+  server.assign(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(server.ready_time(0.5), 2.0);
+}
+
+TEST(FifoServerTest, AdvanceBackwardsThrows) {
+  FifoServer server;
+  server.advance_to(2.0);
+  EXPECT_THROW(server.advance_to(1.0), std::invalid_argument);
+}
+
+TEST(FifoServerTest, RejectsBadConstruction) {
+  EXPECT_THROW(FifoServer(0.0), std::invalid_argument);
+  EXPECT_THROW(FifoServer(-1.0), std::invalid_argument);
+  EXPECT_THROW(FifoServer(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(FifoServerTest, HistoryReconstructsPastLengths) {
+  FifoServer server(1.0, 100.0);
+  server.assign(1.0, 2.0);  // length 1 during [1, 3)
+  server.assign(2.0, 2.0);  // length 2 during [2, 3), departs at 5
+  server.advance_to(10.0);
+  EXPECT_EQ(server.length_at(0.5), 0);
+  EXPECT_EQ(server.length_at(1.0), 1);
+  EXPECT_EQ(server.length_at(1.5), 1);
+  EXPECT_EQ(server.length_at(2.5), 2);
+  EXPECT_EQ(server.length_at(3.0), 1);  // first departure at exactly 3
+  EXPECT_EQ(server.length_at(4.9), 1);
+  EXPECT_EQ(server.length_at(5.0), 0);
+  EXPECT_EQ(server.length_at(9.0), 0);
+}
+
+TEST(FifoServerTest, HistoryQueryAtCurrentTimeMatchesLength) {
+  FifoServer server(1.0, 50.0);
+  server.assign(0.0, 10.0);
+  server.assign(1.0, 10.0);
+  server.advance_to(5.0);
+  EXPECT_EQ(server.length_at(5.0), server.length());
+}
+
+TEST(FifoServerTest, HistoryDisabledThrows) {
+  FifoServer server;
+  server.assign(0.0, 1.0);
+  EXPECT_THROW(server.length_at(0.5), std::logic_error);
+}
+
+TEST(FifoServerTest, HistoryFutureQueryThrows) {
+  FifoServer server(1.0, 10.0);
+  server.advance_to(1.0);
+  EXPECT_THROW(server.length_at(2.0), std::invalid_argument);
+}
+
+TEST(FifoServerTest, HistoryPruningKeepsWindowQueriesExact) {
+  // Drive many jobs through, then query across the retained window; pruning
+  // must never disturb results inside the window.
+  // Dyadic times keep the arithmetic exact: job i arrives at 0.25 * (i+1)
+  // and is served in 0.125, so the queue alternates 1 (during service) and 0.
+  FifoServer server(1.0, 5.0);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t = 0.25 * (i + 1);
+    server.assign(t, 0.125);
+  }
+  server.advance_to(t);
+  EXPECT_EQ(server.length_at(t), server.length());
+  EXPECT_EQ(server.length_at(t - 4.0), 1);       // == an arrival instant
+  EXPECT_EQ(server.length_at(t - 4.0 + 0.0625), 1);  // mid-service
+  EXPECT_EQ(server.length_at(t - 4.0 + 0.1875), 0);  // between jobs
+}
+
+TEST(FifoServerTest, BusyTimeSingleJob) {
+  FifoServer server;
+  server.assign(1.0, 2.0);  // busy [1, 3)
+  server.advance_to(10.0);
+  EXPECT_DOUBLE_EQ(server.busy_time(), 2.0);
+}
+
+TEST(FifoServerTest, BusyTimeMergesOverlappingJobs) {
+  FifoServer server;
+  server.assign(0.0, 1.0);   // busy [0,1)
+  server.assign(0.5, 1.0);   // extends busy period to [0,2)
+  server.advance_to(3.0);
+  server.assign(3.0, 1.0);   // busy [3,4)
+  server.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(server.busy_time(), 3.0);
+}
+
+TEST(FifoServerTest, BusyTimeIncludesOngoingWork) {
+  FifoServer server;
+  server.assign(0.0, 10.0);
+  server.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(server.busy_time(), 4.0);
+}
+
+TEST(FifoServerTest, UtilizationApproachesOfferedLoad) {
+  // Deterministic arrivals at rate 0.5, unit-mean service 0.5 => rho = 0.25.
+  FifoServer server;
+  double t = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    t += 2.0;
+    server.assign(t, 0.5);
+  }
+  server.advance_to(t + 10.0);
+  EXPECT_NEAR(server.busy_time() / server.advanced_time(), 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace stale::queueing

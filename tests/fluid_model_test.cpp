@@ -1,0 +1,169 @@
+#include "analysis/fluid_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "driver/experiment.h"
+#include "queueing/theory.h"
+
+namespace stale::analysis {
+namespace {
+
+TEST(PowerOfDFixedPointTest, DOneIsGeometric) {
+  // d = 1: s_i = lambda^i, the M/M/1 stationary tail.
+  const auto tail = power_of_d_tail_fixed_point(0.5, 1);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(tail[i], std::pow(0.5, static_cast<double>(i)), 1e-12);
+  }
+}
+
+TEST(PowerOfDFixedPointTest, DTwoDoublyExponential) {
+  // s_i = lambda^{2^i - 1}.
+  const auto tail = power_of_d_tail_fixed_point(0.9, 2);
+  EXPECT_NEAR(tail[1], 0.9, 1e-12);
+  EXPECT_NEAR(tail[2], std::pow(0.9, 3.0), 1e-12);
+  EXPECT_NEAR(tail[3], std::pow(0.9, 7.0), 1e-12);
+  EXPECT_NEAR(tail[4], std::pow(0.9, 15.0), 1e-12);
+}
+
+TEST(PowerOfDFixedPointTest, ResponseTimeDOneIsMm1) {
+  for (double lambda : {0.3, 0.5, 0.9}) {
+    EXPECT_NEAR(power_of_d_response_time(lambda, 1),
+                queueing::theory::mm1_response_time(lambda),
+                1e-6 * queueing::theory::mm1_response_time(lambda));
+  }
+}
+
+TEST(PowerOfDFixedPointTest, MoreChoicesShortenResponse) {
+  const double lambda = 0.9;
+  double previous = power_of_d_response_time(lambda, 1);
+  for (int d = 2; d <= 5; ++d) {
+    const double current = power_of_d_response_time(lambda, d);
+    EXPECT_LT(current, previous) << "d=" << d;
+    previous = current;
+  }
+  EXPECT_GT(previous, 1.0);  // response time includes service
+}
+
+TEST(PowerOfDFixedPointTest, RejectsBadArguments) {
+  EXPECT_THROW(power_of_d_tail_fixed_point(0.0, 2), std::invalid_argument);
+  EXPECT_THROW(power_of_d_tail_fixed_point(1.0, 2), std::invalid_argument);
+  EXPECT_THROW(power_of_d_tail_fixed_point(0.5, 0), std::invalid_argument);
+}
+
+TEST(FluidPeriodicTest, DOneReproducesMm1RegardlessOfT) {
+  // Random dispatch does not look at the board, so T must not matter and
+  // the answer is M/M/1.
+  for (double t : {0.5, 4.0}) {
+    const FluidResult result = fluid_periodic_dchoices(0.8, 1, t);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.mean_response,
+                queueing::theory::mm1_response_time(0.8), 0.08)
+        << "T=" << t;
+  }
+}
+
+TEST(FluidPeriodicTest, FreshLimitMatchesPowerOfDFixedPoint) {
+  FluidOptions options;
+  options.max_phases = 4000;  // tiny phases need many to relax
+  const FluidResult result = fluid_periodic_dchoices(0.9, 2, 0.05, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.mean_response, power_of_d_response_time(0.9, 2), 0.1);
+}
+
+TEST(FluidPeriodicTest, StalenessDegradesDTwo) {
+  const double fresh =
+      fluid_periodic_dchoices(0.9, 2, 0.5).mean_response;
+  const double stale =
+      fluid_periodic_dchoices(0.9, 2, 8.0).mean_response;
+  EXPECT_GT(stale, fresh * 1.3);
+}
+
+TEST(FluidPeriodicTest, MatchesLargeClusterSimulation) {
+  // The fluid model is the n -> infinity limit; an n = 100 simulation should
+  // land within a few percent. This is the strongest cross-validation in
+  // the suite: an analytic method vs. the discrete-event engine.
+  const FluidResult fluid = fluid_periodic_dchoices(0.9, 2, 4.0);
+  ASSERT_TRUE(fluid.converged);
+
+  driver::ExperimentConfig config;
+  config.num_servers = 100;
+  config.lambda = 0.9;
+  config.update_interval = 4.0;
+  config.policy = "k_subset:2";
+  config.num_jobs = 400'000;
+  config.warmup_jobs = 100'000;
+  config.trials = 3;
+  const double simulated = driver::run_experiment(config).mean();
+  EXPECT_NEAR(simulated, fluid.mean_response, 0.06 * fluid.mean_response)
+      << "fluid=" << fluid.mean_response << " simulated=" << simulated;
+}
+
+TEST(FluidAggressiveTest, MatchesLargeClusterSimulation) {
+  // Same cross-validation for the paper's own algorithm: the fluid
+  // prediction for Aggressive LI vs. an n = 100 simulation.
+  FluidOptions options;
+  options.max_length = 100;
+  const FluidResult fluid = fluid_periodic_aggressive_li(0.9, 4.0, options);
+  ASSERT_TRUE(fluid.converged);
+
+  driver::ExperimentConfig config;
+  config.num_servers = 100;
+  config.lambda = 0.9;
+  config.update_interval = 4.0;
+  config.policy = "aggressive_li";
+  config.num_jobs = 400'000;
+  config.warmup_jobs = 100'000;
+  config.trials = 3;
+  const double simulated = driver::run_experiment(config).mean();
+  EXPECT_NEAR(simulated, fluid.mean_response, 0.08 * fluid.mean_response)
+      << "fluid=" << fluid.mean_response << " simulated=" << simulated;
+}
+
+TEST(FluidAggressiveTest, BeatsDChoicesAtModerateStaleness) {
+  // Figure 2's analytic echo: at T = 4 the Time-Based/Aggressive fluid
+  // response is below the 2-choices fluid response.
+  const double aggressive =
+      fluid_periodic_aggressive_li(0.9, 4.0).mean_response;
+  const double two_choices =
+      fluid_periodic_dchoices(0.9, 2, 4.0).mean_response;
+  EXPECT_LT(aggressive, two_choices);
+}
+
+TEST(FluidAggressiveTest, ApproachesMm1FromBelowAsTGrows) {
+  // With an ancient board the schedule spends almost the whole phase in the
+  // uniform group, so the response tends to M/M/1 (= 10 at 0.9) from below.
+  FluidOptions options;
+  options.max_length = 120;
+  const double stale =
+      fluid_periodic_aggressive_li(0.9, 16.0, options).mean_response;
+  const double fresher =
+      fluid_periodic_aggressive_li(0.9, 2.0, options).mean_response;
+  EXPECT_GT(stale, fresher);
+  EXPECT_LT(stale, queueing::theory::mm1_response_time(0.9));
+}
+
+TEST(FluidAggressiveTest, RejectsBadArguments) {
+  EXPECT_THROW(fluid_periodic_aggressive_li(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(fluid_periodic_aggressive_li(0.9, 0.0), std::invalid_argument);
+}
+
+TEST(FluidPeriodicTest, CapOverflowIsDetected) {
+  FluidOptions options;
+  options.max_length = 12;  // far too small for lambda = 0.9 at T = 8
+  EXPECT_THROW(fluid_periodic_dchoices(0.9, 3, 8.0, options),
+               std::runtime_error);
+}
+
+TEST(FluidPeriodicTest, RejectsBadArguments) {
+  EXPECT_THROW(fluid_periodic_dchoices(0.9, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(fluid_periodic_dchoices(0.9, 0, 1.0), std::invalid_argument);
+  FluidOptions options;
+  options.max_length = 1;
+  EXPECT_THROW(fluid_periodic_dchoices(0.9, 2, 1.0, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::analysis

@@ -1,0 +1,82 @@
+#include "sim/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace stale::sim {
+namespace {
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(0.99);  // bin 0
+  h.add(5.0);   // bin 5
+  h.add(9.99);  // bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, FractionsIncludeOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.25);
+  h.add(5.0);
+  h.add(-1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 3.0);
+}
+
+TEST(HistogramTest, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  const std::string text = h.render(10);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(IntCounterTest, CountsAndFractions) {
+  IntCounter counter;
+  counter.add(0);
+  counter.add(2);
+  counter.add(2);
+  counter.add(5);
+  EXPECT_EQ(counter.count(0), 1u);
+  EXPECT_EQ(counter.count(1), 0u);
+  EXPECT_EQ(counter.count(2), 2u);
+  EXPECT_EQ(counter.count(99), 0u);
+  EXPECT_EQ(counter.max_value(), 5u);
+  EXPECT_EQ(counter.total(), 4u);
+  EXPECT_DOUBLE_EQ(counter.fraction(2), 0.5);
+}
+
+TEST(IntCounterTest, EmptyCounter) {
+  IntCounter counter;
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(counter.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(counter.fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace stale::sim

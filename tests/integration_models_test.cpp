@@ -1,0 +1,199 @@
+// Integration tests for the continuous-update, update-on-access and
+// heavy-tailed workloads — the Sections 5.2-5.5 claims.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace stale::driver {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig config;
+  config.num_jobs = 120'000;
+  config.warmup_jobs = 30'000;
+  config.trials = 3;
+  return config;
+}
+
+double mean_response(ExperimentConfig config) {
+  return run_experiment(config).mean();
+}
+
+TEST(ContinuousModelTest, BasicLiOutperformsAggressiveLi) {
+  // Section 4.2/5.2: under continuous update the "aggressive" algorithm is
+  // effectively stuck in its last (most conservative) subinterval, so Basic
+  // generally outperforms Aggressive.
+  ExperimentConfig config = base_config();
+  config.model = UpdateModel::kContinuous;
+  config.delay_kind = loadinfo::DelayKind::kConstant;
+  config.update_interval = 4.0;
+  config.policy = "basic_li";
+  const double basic = mean_response(config);
+  config.policy = "aggressive_li";
+  const double aggressive = mean_response(config);
+  EXPECT_LT(basic, aggressive * 1.02);
+}
+
+TEST(ContinuousModelTest, LiBeatsKSubsetForConstantDelay) {
+  ExperimentConfig config = base_config();
+  config.model = UpdateModel::kContinuous;
+  config.delay_kind = loadinfo::DelayKind::kConstant;
+  config.update_interval = 8.0;
+  double best_k = 1e9;
+  for (const char* policy : {"random", "k_subset:2", "k_subset:3"}) {
+    config.policy = policy;
+    best_k = std::min(best_k, mean_response(config));
+  }
+  config.policy = "basic_li";
+  EXPECT_LT(mean_response(config), best_k);
+}
+
+TEST(ContinuousModelTest, KnowingActualAgeHelps) {
+  // Figure 7 vs Figure 6: with a high-variance delay distribution, knowing
+  // each request's actual information age improves Basic LI.
+  ExperimentConfig config = base_config();
+  config.model = UpdateModel::kContinuous;
+  config.delay_kind = loadinfo::DelayKind::kExponential;
+  config.update_interval = 8.0;
+  config.policy = "basic_li";
+  config.know_actual_age = false;
+  const double average_only = mean_response(config);
+  config.know_actual_age = true;
+  const double knows = mean_response(config);
+  EXPECT_LT(knows, average_only);
+}
+
+TEST(ContinuousModelTest, DelayVarianceHelpsKSubset) {
+  // Mitzenmacher's observation (quoted in Section 5.2): for a given mean
+  // delay, k-subset performs better when some requests see fresher data.
+  ExperimentConfig config = base_config();
+  config.model = UpdateModel::kContinuous;
+  config.update_interval = 8.0;
+  config.policy = "k_subset:2";
+  config.delay_kind = loadinfo::DelayKind::kConstant;
+  const double constant = mean_response(config);
+  config.delay_kind = loadinfo::DelayKind::kExponential;
+  const double exponential = mean_response(config);
+  EXPECT_LT(exponential, constant);
+}
+
+TEST(UpdateOnAccessTest, AllAlgorithmsReasonable) {
+  // Section 5.3: per-client updates desynchronize clients enough that even
+  // aggressive algorithms avoid the herd effect.
+  ExperimentConfig config = base_config();
+  config.model = UpdateModel::kUpdateOnAccess;
+  config.update_interval = 8.0;
+  config.policy = "random";
+  const double random = mean_response(config);
+  for (const char* policy : {"k_subset:2", "k_subset:10", "basic_li"}) {
+    config.policy = policy;
+    EXPECT_LT(mean_response(config), random * 1.25) << policy;
+  }
+}
+
+TEST(UpdateOnAccessTest, BasicLiBestOrTied) {
+  ExperimentConfig config = base_config();
+  config.model = UpdateModel::kUpdateOnAccess;
+  config.update_interval = 8.0;
+  config.policy = "basic_li";
+  const double li = mean_response(config);
+  for (const char* policy : {"random", "k_subset:2", "k_subset:10"}) {
+    config.policy = policy;
+    EXPECT_LT(li, mean_response(config) * 1.05) << policy;
+  }
+}
+
+TEST(UpdateOnAccessTest, BurstyClientsStillExploitLoadInformation) {
+  // Section 5.4: although a client's load picture is on average T = 16 old,
+  // bursts mean the average request sees a much fresher picture, so the
+  // load-using algorithms significantly outperform oblivious random even at
+  // this large average staleness — and Basic LI stays best or tied.
+  ExperimentConfig config = base_config();
+  config.model = UpdateModel::kUpdateOnAccess;
+  config.update_interval = 16.0;
+  config.bursty = true;
+  config.policy = "random";
+  const double random = mean_response(config);
+  config.policy = "basic_li";
+  const double li = mean_response(config);
+  EXPECT_GT(random, 1.5 * li);
+  config.policy = "k_subset:2";
+  EXPECT_GT(mean_response(config) * 1.05, li);
+}
+
+TEST(IndividualModelTest, BehavesLikePeriodicQualitatively) {
+  // The extension model: LI beats random, greedy herds.
+  ExperimentConfig config = base_config();
+  config.model = UpdateModel::kIndividual;
+  config.update_interval = 8.0;
+  config.policy = "random";
+  const double random = mean_response(config);
+  config.policy = "basic_li";
+  EXPECT_LT(mean_response(config), random);
+  config.policy = "k_subset:10";
+  EXPECT_GT(mean_response(config), random);
+}
+
+TEST(ThresholdModelTest, ThresholdActsLikeAggressivenessDial) {
+  // Figure 5: threshold 0 behaves like plain k-subset; a huge threshold
+  // behaves like oblivious random. Run at lambda = 0.8 with extra trials —
+  // the equivalences are exact in distribution, but at 0.9 the per-trial
+  // variance of the mean would swamp an 8% band.
+  ExperimentConfig config = base_config();
+  config.lambda = 0.8;
+  config.trials = 6;
+  config.update_interval = 8.0;
+  config.policy = "threshold:2:0";
+  const double thresh0 = mean_response(config);
+  config.policy = "k_subset:2";
+  const double k2 = mean_response(config);
+  EXPECT_NEAR(thresh0, k2, k2 * 0.08);
+
+  config.policy = "threshold:2:1000000";
+  const double huge = mean_response(config);
+  config.policy = "random";
+  const double random = mean_response(config);
+  EXPECT_NEAR(huge, random, random * 0.08);
+}
+
+TEST(ThresholdModelTest, LiBeatsBestThreshold) {
+  ExperimentConfig config = base_config();
+  config.update_interval = 8.0;
+  double best_threshold = 1e9;
+  for (const char* policy :
+       {"threshold:2:0", "threshold:2:4", "threshold:2:16"}) {
+    config.policy = policy;
+    best_threshold = std::min(best_threshold, mean_response(config));
+  }
+  config.policy = "basic_li";
+  EXPECT_LT(mean_response(config), best_threshold);
+}
+
+TEST(HeavyTailTest, ResponseTimesLargerThanExponentialCase) {
+  // Section 5.5: under Bounded Pareto jobs the absolute queueing times are
+  // larger than under exponential jobs at the same utilization.
+  ExperimentConfig config = base_config();
+  config.lambda = 0.7;
+  config.update_interval = 4.0;
+  config.policy = "random";
+  const double exponential = mean_response(config);
+  config.job_size = "pareto_fig10";
+  config.trials = 5;
+  const double pareto = mean_response(config);
+  EXPECT_GT(pareto, 2.0 * exponential);
+}
+
+TEST(HeavyTailTest, LiStillBeatsRandomUnderPareto) {
+  ExperimentConfig config = base_config();
+  config.lambda = 0.7;
+  config.update_interval = 4.0;
+  config.job_size = "pareto_fig11";
+  config.trials = 5;
+  config.policy = "random";
+  const double random = mean_response(config);
+  config.policy = "basic_li";
+  EXPECT_LT(mean_response(config), random);
+}
+
+}  // namespace
+}  // namespace stale::driver

@@ -1,0 +1,253 @@
+// Integration tests validating the simulation engine against closed-form
+// queueing theory and reproducing the paper's headline qualitative claims.
+// Run lengths are chosen so each test takes well under a second yet the
+// asserted effects are far larger than the simulation noise.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace stale::driver {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig config;
+  config.num_jobs = 150'000;
+  config.warmup_jobs = 40'000;
+  config.trials = 3;
+  return config;
+}
+
+double mean_response(ExperimentConfig config) {
+  return run_experiment(config).mean();
+}
+
+// --- engine validation against closed forms -------------------------------
+
+TEST(QueueTheoryTest, RandomSplitIsMm1) {
+  // Random dispatch splits the Poisson stream: each server is M/M/1 with
+  // utilization lambda, so E[T] = 1 / (1 - lambda).
+  for (double lambda : {0.3, 0.5, 0.8}) {
+    ExperimentConfig config = base_config();
+    config.lambda = lambda;
+    config.policy = "random";
+    const double expected = 1.0 / (1.0 - lambda);
+    EXPECT_NEAR(mean_response(config), expected, expected * 0.05)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(QueueTheoryTest, RandomSplitMd1MatchesPollaczekKhinchine) {
+  // Deterministic service: E[T] = 1 + rho / (2 (1 - rho)).
+  ExperimentConfig config = base_config();
+  config.lambda = 0.8;
+  config.policy = "random";
+  config.job_size = "det:1";
+  const double expected = 1.0 + 0.8 / (2.0 * 0.2);
+  EXPECT_NEAR(mean_response(config), expected, expected * 0.05);
+}
+
+TEST(QueueTheoryTest, RandomSplitMg1HyperexponentialMatchesPk) {
+  // P-K: E[W] = lambda * E[S^2] / (2 (1 - rho)).
+  ExperimentConfig config = base_config();
+  config.lambda = 0.7;
+  config.policy = "random";
+  config.job_size = "hyper:0.5:0.5:1.5";  // mean 1.0
+  const double second_moment = 2.0 * (0.5 * 0.25 + 0.5 * 2.25);
+  const double expected = 1.0 + 0.7 * second_moment / (2.0 * 0.3);
+  EXPECT_NEAR(mean_response(config), expected, expected * 0.06);
+}
+
+TEST(QueueTheoryTest, FreshGreedyApproachesJsqPerformance) {
+  // k = n with nearly fresh info (T = 0.1) is join-shortest-queue-like:
+  // far better than random at heavy load.
+  ExperimentConfig config = base_config();
+  config.lambda = 0.9;
+  config.update_interval = 0.1;
+  config.policy = "k_subset:10";
+  const double greedy = mean_response(config);
+  config.policy = "random";
+  const double random = mean_response(config);
+  EXPECT_LT(greedy, 0.4 * random);
+}
+
+TEST(QueueTheoryTest, PowerOfTwoChoicesBeatsRandomWhenFresh) {
+  ExperimentConfig config = base_config();
+  config.lambda = 0.9;
+  config.update_interval = 0.1;
+  config.policy = "k_subset:2";
+  const double two_choices = mean_response(config);
+  config.policy = "random";
+  const double random = mean_response(config);
+  EXPECT_LT(two_choices, 0.6 * random);
+}
+
+// --- the paper's qualitative claims ----------------------------------------
+
+TEST(PaperClaimsTest, HerdEffectRuinsGreedyUnderStaleness) {
+  // Claim (Section 1): sending to the apparent minimum behaves badly when
+  // information is old — much worse than ignoring the information.
+  ExperimentConfig config = base_config();
+  config.update_interval = 16.0;
+  config.policy = "k_subset:10";
+  const double greedy = mean_response(config);
+  config.policy = "random";
+  const double random = mean_response(config);
+  EXPECT_GT(greedy, 2.0 * random);
+}
+
+TEST(PaperClaimsTest, LiMatchesAggressiveAlgorithmsWhenFresh) {
+  // Claim (1): with fresh information LI matches the most aggressive
+  // algorithm instead of paying a conservativeness penalty.
+  ExperimentConfig config = base_config();
+  config.update_interval = 0.1;
+  config.policy = "k_subset:10";
+  const double greedy = mean_response(config);
+  config.policy = "aggressive_li";
+  const double aggressive_li = mean_response(config);
+  EXPECT_LT(aggressive_li, greedy * 1.15);
+}
+
+TEST(PaperClaimsTest, LiBeatsEveryKSubsetAtModerateStaleness) {
+  // Claim (2): at moderate information age LI outperforms the best of the
+  // other algorithms (the paper reports up to ~60%).
+  ExperimentConfig config = base_config();
+  config.update_interval = 8.0;
+  double best_other = 1e9;
+  for (const char* policy : {"random", "k_subset:2", "k_subset:3"}) {
+    config.policy = policy;
+    best_other = std::min(best_other, mean_response(config));
+  }
+  config.policy = "basic_li";
+  const double basic = mean_response(config);
+  config.policy = "aggressive_li";
+  const double aggressive = mean_response(config);
+  EXPECT_LT(std::min(basic, aggressive), best_other * 0.9);
+}
+
+TEST(PaperClaimsTest, LiStillBeatsRandomAtHighStaleness) {
+  // Claim (3): when information is quite old LI still significantly
+  // outperforms random distribution.
+  ExperimentConfig config = base_config();
+  config.update_interval = 32.0;
+  config.policy = "random";
+  const double random = mean_response(config);
+  config.policy = "aggressive_li";
+  EXPECT_LT(mean_response(config), random);
+}
+
+TEST(PaperClaimsTest, LiNeverPathologicalEvenWhenAncient) {
+  // Claim (4): LI avoids pathological behaviour even for extremely old
+  // information — it degrades to (at worst) random.
+  ExperimentConfig config = base_config();
+  config.update_interval = 128.0;
+  config.policy = "random";
+  const double random = mean_response(config);
+  for (const char* policy : {"basic_li", "aggressive_li", "hybrid_li"}) {
+    config.policy = policy;
+    EXPECT_LT(mean_response(config), random * 1.1) << policy;
+  }
+}
+
+TEST(PaperClaimsTest, KSubsetDegradesWithStalenessButLiDoesNot) {
+  // The crossover structure of Figure 2: k = 2's response time grows much
+  // more from T = 0.1 to T = 32 than Basic LI's.
+  ExperimentConfig fresh = base_config();
+  fresh.update_interval = 0.1;
+  ExperimentConfig stale_cfg = base_config();
+  stale_cfg.update_interval = 32.0;
+
+  fresh.policy = stale_cfg.policy = "k_subset:2";
+  const double k2_growth =
+      mean_response(stale_cfg) / mean_response(fresh);
+  fresh.policy = stale_cfg.policy = "basic_li";
+  const double li_growth = mean_response(stale_cfg) / mean_response(fresh);
+  EXPECT_GT(k2_growth, li_growth);
+}
+
+TEST(PaperClaimsTest, UnderestimatingArrivalRateHurtsMost) {
+  // Section 5.6: dividing the believed rate by 8 degrades LI badly, while
+  // multiplying by 2 costs little.
+  ExperimentConfig config = base_config();
+  config.update_interval = 8.0;
+  config.policy = "basic_li";
+  const double exact = mean_response(config);
+  config.lambda_error_factor = 0.125;
+  const double under = mean_response(config);
+  config.lambda_error_factor = 2.0;
+  const double over = mean_response(config);
+  EXPECT_GT(under, exact * 1.5);
+  EXPECT_LT(over, exact * 1.25);
+}
+
+TEST(PaperClaimsTest, ConservativeMaxThroughputEstimateIsNearlyFree) {
+  // Section 5.6 / Figure 13: assuming lambda-hat = 1.0 per server costs
+  // under a few percent across loads.
+  for (double lambda : {0.5, 0.9}) {
+    ExperimentConfig config = base_config();
+    config.lambda = lambda;
+    config.update_interval = 10.0;
+    config.policy = "basic_li";
+    const double exact = mean_response(config);
+    config.lambda_estimate_per_server = 1.0;
+    const double conservative = mean_response(config);
+    EXPECT_LT(conservative, exact * 1.10) << "lambda=" << lambda;
+  }
+}
+
+TEST(PaperClaimsTest, LiSubsetBeatsPlainKSubsetUnderPeriodicStaleness) {
+  // Section 5.7 / Figure 14: at the same information budget k, interpreting
+  // the k loads beats greedily taking their minimum once info is stale.
+  ExperimentConfig config = base_config();
+  config.update_interval = 8.0;
+  config.policy = "k_subset:3";
+  const double plain = mean_response(config);
+  config.policy = "basic_li_k:3";
+  const double interpreted = mean_response(config);
+  EXPECT_LT(interpreted, plain);
+}
+
+TEST(PaperClaimsTest, MoreInformationHelpsLi) {
+  // Section 5.7: unlike k-subset (where more info can hurt), LI improves
+  // monotonically (weakly) with more information.
+  ExperimentConfig config = base_config();
+  config.update_interval = 4.0;
+  config.policy = "basic_li_k:2";
+  const double li2 = mean_response(config);
+  config.policy = "basic_li";
+  const double full = mean_response(config);
+  EXPECT_LT(full, li2 * 1.05);
+}
+
+TEST(PaperClaimsTest, LightLoadShrinksEveryGap) {
+  // Figure 3: at lambda = 0.5 the spread between algorithms narrows.
+  ExperimentConfig config = base_config();
+  config.lambda = 0.5;
+  config.update_interval = 8.0;
+  config.policy = "random";
+  const double random = mean_response(config);
+  config.policy = "basic_li";
+  const double li = mean_response(config);
+  EXPECT_LT(li, random);
+  EXPECT_GT(li, random * 0.5);  // gains are modest at light load
+}
+
+TEST(PaperClaimsTest, HundredServerClusterBehavesLikeTen) {
+  // Figure 4: same qualitative ordering at n = 100.
+  ExperimentConfig config = base_config();
+  config.num_servers = 100;
+  config.num_jobs = 200'000;
+  config.warmup_jobs = 50'000;
+  config.trials = 2;
+  config.update_interval = 8.0;
+  config.policy = "k_subset:100";
+  const double greedy = mean_response(config);
+  config.policy = "basic_li";
+  const double li = mean_response(config);
+  config.policy = "random";
+  const double random = mean_response(config);
+  EXPECT_GT(greedy, random);  // herd effect persists
+  EXPECT_LT(li, random);      // LI still wins
+}
+
+}  // namespace
+}  // namespace stale::driver

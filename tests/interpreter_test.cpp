@@ -1,0 +1,148 @@
+#include "core/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/load_interpretation.h"
+
+namespace stale::core {
+namespace {
+
+LoadInterpreter::Options basic_options(int n, double lambda_total) {
+  LoadInterpreter::Options options;
+  options.mode = LiMode::kBasic;
+  options.num_servers = n;
+  options.rate = RateSource::told(lambda_total);
+  return options;
+}
+
+TEST(LoadInterpreterTest, UniformBeforeFirstReport) {
+  LoadInterpreter li(basic_options(4, 4.0));
+  for (double p : li.probabilities()) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(LoadInterpreterTest, MatchesCoreMathAfterReport) {
+  LoadInterpreter li(basic_options(3, 6.0));
+  const std::vector<int> loads = {0, 2, 4};
+  li.report_loads(std::span<const int>(loads), /*age=*/0.5);  // K = 3
+  const auto expected =
+      basic_li_probabilities(std::span<const int>(loads), 3.0);
+  const auto& actual = li.probabilities();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-12);
+  }
+}
+
+TEST(LoadInterpreterTest, PickSamplesInterpretedDistribution) {
+  LoadInterpreter li(basic_options(3, 6.0));
+  const std::vector<int> loads = {0, 5, 5};
+  li.report_loads(std::span<const int>(loads), 0.0);  // fresh: all to min
+  sim::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(li.pick(rng), 0);
+  }
+}
+
+TEST(LoadInterpreterTest, AggressiveModeUsesStationaryRule) {
+  LoadInterpreter::Options options;
+  options.mode = LiMode::kAggressive;
+  options.num_servers = 3;
+  options.rate = RateSource::told(1.0);
+  LoadInterpreter li(std::move(options));
+  const std::vector<int> loads = {0, 2, 4};
+  li.report_loads(std::span<const int>(loads), /*age=*/3.0);  // K = 3 -> group 2
+  const auto& p = li.probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+  EXPECT_EQ(p[2], 0.0);
+}
+
+TEST(LoadInterpreterTest, HybridModeSwitchesToUniform) {
+  LoadInterpreter::Options options;
+  options.mode = LiMode::kHybrid;
+  options.num_servers = 3;
+  options.rate = RateSource::told(1.0);
+  LoadInterpreter li(std::move(options));
+  const std::vector<int> loads = {1, 3, 5};  // first-interval jobs = 6
+  li.report_loads(std::span<const int>(loads), /*age=*/2.0);  // K = 2 < 6
+  EXPECT_NEAR(li.probabilities()[0], 4.0 / 6.0, 1e-12);
+  li.report_loads(std::span<const int>(loads), /*age=*/10.0);  // K = 10 >= 6
+  for (double p : li.probabilities()) EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+}
+
+TEST(LoadInterpreterTest, OnArrivalAgesTheReport) {
+  LoadInterpreter li(basic_options(2, 2.0));
+  li.on_arrival(10.0);
+  const std::vector<int> loads = {0, 4};
+  li.report_loads(std::span<const int>(loads), 0.0);  // anchored at t = 10
+  li.on_arrival(12.0);
+  EXPECT_DOUBLE_EQ(li.report_age(), 2.0);
+  // K = 4: level = (0 + 4 + 4)/2 = 4 -> p = {1.0, 0.0}.
+  EXPECT_DOUBLE_EQ(li.probabilities()[0], 1.0);
+}
+
+TEST(LoadInterpreterTest, EstimatorDrivesExpectedArrivals) {
+  LoadInterpreter::Options options;
+  options.mode = LiMode::kBasic;
+  options.num_servers = 2;
+  options.rate = RateSource::conservative_max(2.0);
+  LoadInterpreter li(std::move(options));
+  EXPECT_DOUBLE_EQ(li.current_rate_estimate(), 2.0);
+  const std::vector<int> loads = {0, 2};
+  li.report_loads(std::span<const int>(loads), /*age=*/2.0);  // K = 4
+  // level = (0 + 2 + 4)/2 = 3 -> p = {3/4, 1/4}.
+  EXPECT_NEAR(li.probabilities()[0], 0.75, 1e-12);
+  EXPECT_NEAR(li.probabilities()[1], 0.25, 1e-12);
+}
+
+TEST(LoadInterpreterTest, HeterogeneousRatesUseWeightedMath) {
+  LoadInterpreter::Options options;
+  options.mode = LiMode::kBasic;
+  options.num_servers = 2;
+  options.rate = RateSource::told(4.0);
+  options.server_rates = {1.0, 3.0};
+  LoadInterpreter li(std::move(options));
+  const std::vector<int> loads = {0, 0};
+  li.report_loads(std::span<const int>(loads), /*age=*/1.0);  // K = 4
+  EXPECT_NEAR(li.probabilities()[0], 0.25, 1e-12);
+  EXPECT_NEAR(li.probabilities()[1], 0.75, 1e-12);
+}
+
+TEST(LoadInterpreterTest, RejectsBadConfiguration) {
+  LoadInterpreter::Options no_servers;
+  no_servers.rate = RateSource::told(1.0);
+  EXPECT_THROW(LoadInterpreter(std::move(no_servers)), std::invalid_argument);
+
+  LoadInterpreter::Options no_rate;
+  no_rate.num_servers = 2;
+  EXPECT_THROW(LoadInterpreter(std::move(no_rate)), std::invalid_argument);
+
+  LoadInterpreter::Options bad_rates;
+  bad_rates.num_servers = 2;
+  bad_rates.rate = RateSource::told(1.0);
+  bad_rates.server_rates = {1.0};
+  EXPECT_THROW(LoadInterpreter(std::move(bad_rates)), std::invalid_argument);
+
+  LoadInterpreter::Options hetero_aggressive;
+  hetero_aggressive.mode = LiMode::kAggressive;
+  hetero_aggressive.num_servers = 2;
+  hetero_aggressive.rate = RateSource::told(1.0);
+  hetero_aggressive.server_rates = {1.0, 2.0};
+  EXPECT_THROW(LoadInterpreter(std::move(hetero_aggressive)),
+               std::invalid_argument);
+}
+
+TEST(LoadInterpreterTest, RejectsBadReports) {
+  LoadInterpreter li(basic_options(2, 1.0));
+  const std::vector<int> wrong_size = {1, 2, 3};
+  EXPECT_THROW(li.report_loads(std::span<const int>(wrong_size), 0.0),
+               std::invalid_argument);
+  const std::vector<int> fine = {1, 2};
+  EXPECT_THROW(li.report_loads(std::span<const int>(fine), -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::core

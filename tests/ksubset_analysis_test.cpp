@@ -1,0 +1,104 @@
+#include "core/ksubset_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace stale::core {
+namespace {
+
+// Direct binomial-coefficient evaluation of Eq. 1 for cross-checking the
+// running-product implementation.
+double binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+TEST(KsubsetAnalysisTest, MatchesDirectBinomialFormula) {
+  for (int n : {2, 5, 10, 25}) {
+    for (int k = 1; k <= n; ++k) {
+      const auto p = ksubset_rank_probabilities(n, k);
+      for (int rank = 1; rank <= n; ++rank) {
+        const double expected = binomial(n - rank, k - 1) / binomial(n, k);
+        ASSERT_NEAR(p[static_cast<std::size_t>(rank - 1)], expected, 1e-12)
+            << "n=" << n << " k=" << k << " rank=" << rank;
+      }
+    }
+  }
+}
+
+TEST(KsubsetAnalysisTest, DistributionsSumToOne) {
+  for (int n : {1, 3, 10, 100}) {
+    for (int k = 1; k <= n; k += std::max(1, n / 7)) {
+      const auto p = ksubset_rank_probabilities(n, k);
+      const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+      ASSERT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(KsubsetAnalysisTest, KOneIsUniform) {
+  const auto p = ksubset_rank_probabilities(10, 1);
+  for (double v : p) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(KsubsetAnalysisTest, KEqualsNIsDeterministicGreedy) {
+  const auto p = ksubset_rank_probabilities(10, 10);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  for (std::size_t i = 1; i < p.size(); ++i) EXPECT_EQ(p[i], 0.0);
+}
+
+TEST(KsubsetAnalysisTest, TopRankShareIsKOverN) {
+  // The Figure 1 anchor: P(rank 1) = k / n (0.2 for n = 10, k = 2 — the
+  // intercept that pins the paper's default n).
+  EXPECT_DOUBLE_EQ(ksubset_rank_probability(10, 2, 1), 0.2);
+  EXPECT_DOUBLE_EQ(ksubset_rank_probability(10, 3, 1), 0.3);
+  EXPECT_DOUBLE_EQ(ksubset_rank_probability(100, 2, 1), 0.02);
+}
+
+TEST(KsubsetAnalysisTest, HeaviestKMinusOneServersGetNothing) {
+  const int n = 10;
+  for (int k = 2; k <= n; ++k) {
+    const auto p = ksubset_rank_probabilities(n, k);
+    for (int rank = n - k + 2; rank <= n; ++rank) {
+      ASSERT_EQ(p[static_cast<std::size_t>(rank - 1)], 0.0)
+          << "k=" << k << " rank=" << rank;
+    }
+    ASSERT_GT(p[static_cast<std::size_t>(n - k)], 0.0);
+  }
+}
+
+TEST(KsubsetAnalysisTest, MonotoneDecreasingInRank) {
+  for (int k : {2, 3, 5}) {
+    const auto p = ksubset_rank_probabilities(10, k);
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      ASSERT_LE(p[i], p[i - 1] + 1e-15);
+    }
+  }
+}
+
+TEST(KsubsetAnalysisTest, LargerKConcentratesOnLowRanks) {
+  // Figure 1's qualitative message: as k grows, more of the mass lands on
+  // the lowest-ranked servers.
+  const auto k2 = ksubset_rank_probabilities(10, 2);
+  const auto k5 = ksubset_rank_probabilities(10, 5);
+  EXPECT_GT(k5[0], k2[0]);
+  EXPECT_GT(k5[0] + k5[1], k2[0] + k2[1]);
+}
+
+TEST(KsubsetAnalysisTest, RejectsBadArguments) {
+  EXPECT_THROW(ksubset_rank_probabilities(0, 1), std::invalid_argument);
+  EXPECT_THROW(ksubset_rank_probabilities(5, 0), std::invalid_argument);
+  EXPECT_THROW(ksubset_rank_probabilities(5, 6), std::invalid_argument);
+  EXPECT_THROW(ksubset_rank_probability(5, 2, 0), std::invalid_argument);
+  EXPECT_THROW(ksubset_rank_probability(5, 2, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::core

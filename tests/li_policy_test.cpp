@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/load_interpretation.h"
+#include "policy/aggressive_li_policy.h"
+#include "policy/basic_li_policy.h"
+#include "policy/hybrid_li_policy.h"
+#include "policy/li_subset_policy.h"
+
+namespace stale::policy {
+namespace {
+
+// Empirical selection frequencies of a policy under a fixed context.
+std::vector<double> frequencies(SelectionPolicy& policy,
+                                const DispatchContext& context, int draws,
+                                std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<int> counts(context.loads.size(), 0);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(policy.select(context, rng))];
+  }
+  std::vector<double> freq(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    freq[i] = static_cast<double>(counts[i]) / draws;
+  }
+  return freq;
+}
+
+TEST(BasicLiPolicyTest, PeriodicFrequenciesMatchEq4) {
+  BasicLiPolicy policy;
+  const std::vector<int> loads = {0, 2, 4};
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 5.0;
+  context.phase_length = 2.0;  // K = 10
+  context.phase_elapsed = 0.3;
+  context.age = 0.3;
+  context.info_version = 1;
+  const auto expected =
+      core::basic_li_probabilities(std::span<const int>(loads), 10.0);
+  const auto freq = frequencies(policy, context, 200000, 21);
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    EXPECT_NEAR(freq[i], expected[i], 0.01) << "server " << i;
+  }
+}
+
+TEST(BasicLiPolicyTest, PeriodicDistributionConstantAcrossPhase) {
+  // Within one phase (same info_version), Basic LI's distribution must not
+  // depend on when in the phase the request arrives.
+  BasicLiPolicy policy;
+  const std::vector<int> loads = {0, 3};
+  DispatchContext early;
+  early.loads = loads;
+  early.lambda_total = 2.0;
+  early.phase_length = 4.0;
+  early.phase_elapsed = 0.0;
+  early.age = 0.0;
+  early.info_version = 7;
+  DispatchContext late = early;
+  late.phase_elapsed = 3.9;
+  late.age = 3.9;
+  const auto f_early = frequencies(policy, early, 100000, 22);
+  const auto f_late = frequencies(policy, late, 100000, 23);
+  EXPECT_NEAR(f_early[0], f_late[0], 0.01);
+}
+
+TEST(BasicLiPolicyTest, ContinuousUsesAge) {
+  BasicLiPolicy policy;
+  const std::vector<int> loads = {0, 4};
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 2.0;
+  context.age = 0.0;  // fresh: everything to the minimum
+  context.info_version = 1;
+  sim::Rng rng(24);
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(policy.select(context, rng), 0);
+
+  context.age = 1e6;  // ancient: uniform
+  context.info_version = 2;
+  const auto freq = frequencies(policy, context, 100000, 25);
+  EXPECT_NEAR(freq[0], 0.5, 0.01);
+}
+
+TEST(AggressiveLiPolicyTest, PeriodicWalksGroupsWithinPhase) {
+  AggressiveLiPolicy policy;
+  const std::vector<int> loads = {0, 2, 4};  // C_1 = 2, C_2 = 6
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 1.0;
+  context.phase_length = 10.0;
+  context.info_version = 3;
+
+  context.phase_elapsed = 1.0;  // 1 expected arrival -> group 1
+  sim::Rng rng(26);
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(policy.select(context, rng), 0);
+
+  context.phase_elapsed = 3.0;  // group 2: uniform over servers {0, 1}
+  const auto freq = frequencies(policy, context, 100000, 27);
+  EXPECT_NEAR(freq[0], 0.5, 0.01);
+  EXPECT_NEAR(freq[1], 0.5, 0.01);
+  EXPECT_EQ(freq[2], 0.0);
+
+  context.phase_elapsed = 7.0;  // group 3: uniform over everyone
+  const auto freq3 = frequencies(policy, context, 100000, 28);
+  for (double f : freq3) EXPECT_NEAR(f, 1.0 / 3.0, 0.01);
+}
+
+TEST(AggressiveLiPolicyTest, StationaryRuleUnderContinuousModel) {
+  AggressiveLiPolicy policy;
+  const std::vector<int> loads = {0, 2, 4};
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 1.0;
+  context.age = 3.0;  // K = 3: smallest j with C_j >= 3 is 2
+  context.info_version = 4;
+  const auto freq = frequencies(policy, context, 100000, 29);
+  EXPECT_NEAR(freq[0], 0.5, 0.01);
+  EXPECT_NEAR(freq[1], 0.5, 0.01);
+  EXPECT_EQ(freq[2], 0.0);
+}
+
+TEST(HybridLiPolicyTest, DeficitProportionalThenUniform) {
+  HybridLiPolicy policy;
+  const std::vector<int> loads = {1, 3, 5};  // deficits 4, 2, 0; D = 6
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 1.0;
+  context.phase_length = 20.0;
+  context.info_version = 5;
+
+  context.phase_elapsed = 2.0;  // 2 expected arrivals < 6: first interval
+  const auto f1 = frequencies(policy, context, 100000, 30);
+  EXPECT_NEAR(f1[0], 4.0 / 6.0, 0.01);
+  EXPECT_NEAR(f1[1], 2.0 / 6.0, 0.01);
+  EXPECT_EQ(f1[2], 0.0);
+
+  context.phase_elapsed = 10.0;  // 10 >= 6: uniform
+  const auto f2 = frequencies(policy, context, 100000, 31);
+  for (double f : f2) EXPECT_NEAR(f, 1.0 / 3.0, 0.01);
+}
+
+TEST(LiSubsetPolicyTest, FullSubsetMatchesBasicLi) {
+  LiSubsetPolicy subset(3);
+  BasicLiPolicy full;
+  const std::vector<int> loads = {0, 2, 4};
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 5.0;
+  context.phase_length = 2.0;
+  context.info_version = 6;
+  const auto f_subset = frequencies(subset, context, 200000, 32);
+  const auto f_full = frequencies(full, context, 200000, 33);
+  for (std::size_t i = 0; i < f_subset.size(); ++i) {
+    EXPECT_NEAR(f_subset[i], f_full[i], 0.012) << "server " << i;
+  }
+}
+
+TEST(LiSubsetPolicyTest, KOneIsObliviousRandom) {
+  LiSubsetPolicy policy(1);
+  const std::vector<int> loads = {100, 0, 100};
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 2.7;
+  context.age = 1.0;
+  const auto freq = frequencies(policy, context, 100000, 34);
+  for (double f : freq) EXPECT_NEAR(f, 1.0 / 3.0, 0.012);
+}
+
+TEST(LiSubsetPolicyTest, RestrictedInformationStillBiasesDown) {
+  // With k = 2 of 4 servers, the least-loaded server must receive the most
+  // traffic and the most-loaded the least.
+  LiSubsetPolicy policy(2);
+  const std::vector<int> loads = {0, 3, 6, 9};
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 3.6;
+  context.age = 2.0;
+  const auto freq = frequencies(policy, context, 200000, 35);
+  EXPECT_GT(freq[0], freq[1]);
+  EXPECT_GT(freq[1], freq[2]);
+  EXPECT_GT(freq[2], freq[3]);
+}
+
+TEST(LiSubsetPolicyTest, NameAndValidation) {
+  EXPECT_EQ(LiSubsetPolicy(2).name(), "basic_li_k:2");
+  EXPECT_EQ(LiSubsetPolicy(2).info_demand(), 2);
+  EXPECT_THROW(LiSubsetPolicy(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::policy

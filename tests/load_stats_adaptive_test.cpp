@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "driver/adaptive.h"
+#include "driver/experiment.h"
+#include "queueing/load_stats.h"
+
+namespace stale {
+namespace {
+
+TEST(LoadImbalanceStatsTest, HandComputedSnapshot) {
+  queueing::LoadImbalanceStats stats;
+  const std::vector<int> loads = {0, 2, 4};  // mean 2, var 8/3, max 4
+  stats.observe(loads);
+  EXPECT_EQ(stats.snapshots(), 1u);
+  EXPECT_NEAR(stats.mean_within_snapshot_stddev(), std::sqrt(8.0 / 3.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(stats.mean_snapshot_max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean_queue_length(), 2.0);
+}
+
+TEST(LoadImbalanceStatsTest, BalancedSnapshotHasZeroSpread) {
+  queueing::LoadImbalanceStats stats;
+  const std::vector<int> loads = {3, 3, 3, 3};
+  stats.observe(loads);
+  EXPECT_DOUBLE_EQ(stats.mean_within_snapshot_stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_snapshot_max(), 3.0);
+}
+
+TEST(LoadImbalanceStatsTest, StrideSkipsObservations) {
+  queueing::LoadImbalanceStats stats(3);
+  const std::vector<int> loads = {1, 1};
+  for (int i = 0; i < 10; ++i) stats.observe(loads);
+  EXPECT_EQ(stats.snapshots(), 3u);  // calls 3, 6, 9
+}
+
+TEST(LoadImbalanceStatsTest, AveragesAcrossSnapshots) {
+  queueing::LoadImbalanceStats stats;
+  stats.observe(std::vector<int>{0, 0});
+  stats.observe(std::vector<int>{0, 4});
+  EXPECT_DOUBLE_EQ(stats.mean_snapshot_max(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean_within_snapshot_stddev(), 1.0);  // (0 + 2) / 2
+  EXPECT_DOUBLE_EQ(stats.mean_queue_length(), 1.0);
+}
+
+TEST(LoadImbalanceStatsTest, RejectsZeroStride) {
+  EXPECT_THROW(queueing::LoadImbalanceStats(0), std::invalid_argument);
+}
+
+TEST(ImbalanceInDriverTest, HerdingInflatesQueueSpread) {
+  // The instrumented claim behind ablation_herd_imbalance: at stale T the
+  // k = n policy's queue-length dispersion dwarfs Basic LI's.
+  driver::ExperimentConfig config;
+  config.num_jobs = 80'000;
+  config.warmup_jobs = 20'000;
+  config.trials = 1;
+  config.update_interval = 16.0;
+
+  config.policy = "k_subset:10";
+  const auto herding = driver::run_trial(config, 7);
+  config.policy = "basic_li";
+  const auto li = driver::run_trial(config, 7);
+
+  EXPECT_GT(herding.mean_queue_stddev, 3.0 * li.mean_queue_stddev);
+  EXPECT_GT(herding.mean_queue_max, li.mean_queue_max);
+  EXPECT_GT(li.mean_queue_stddev, 0.0);
+}
+
+TEST(PercentilesInDriverTest, TailFieldsPopulatedOnDemand) {
+  driver::ExperimentConfig config;
+  config.num_jobs = 40'000;
+  config.warmup_jobs = 10'000;
+  config.trials = 1;
+  config.update_interval = 4.0;
+
+  const auto without = driver::run_trial(config, 3);
+  EXPECT_EQ(without.p99_response, 0.0);  // not collected by default
+
+  config.keep_response_samples = true;
+  const auto with = driver::run_trial(config, 3);
+  EXPECT_GT(with.p50_response, 0.9);
+  EXPECT_GE(with.p95_response, with.p50_response);
+  EXPECT_GE(with.p99_response, with.p95_response);
+  // For exponential-ish response distributions the p99 is well above the
+  // mean; and the mean itself is unchanged by sample retention.
+  EXPECT_GT(with.p99_response, with.mean_response);
+  EXPECT_EQ(with.mean_response, without.mean_response);
+}
+
+TEST(PercentilesInDriverTest, HerdingInflatesTheTailMoreThanTheMean) {
+  driver::ExperimentConfig config;
+  config.num_jobs = 80'000;
+  config.warmup_jobs = 20'000;
+  config.trials = 1;
+  config.update_interval = 16.0;
+  config.keep_response_samples = true;
+
+  config.policy = "k_subset:10";
+  const auto herd = driver::run_trial(config, 11);
+  config.policy = "basic_li";
+  const auto li = driver::run_trial(config, 11);
+  EXPECT_GT(herd.p99_response, 2.0 * li.p99_response);
+}
+
+TEST(AdaptiveRunnerTest, ConvergesOnLowVarianceConfig) {
+  driver::ExperimentConfig config;
+  config.lambda = 0.5;  // low variance: few trials needed
+  config.num_jobs = 60'000;
+  config.warmup_jobs = 15'000;
+  driver::AdaptiveOptions options;
+  options.relative_precision = 0.05;
+  options.min_trials = 3;
+  options.max_trials = 20;
+  const auto outcome = driver::run_until_confident(config, options);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_GE(outcome.trials_used, 3);
+  EXPECT_LE(outcome.trials_used, 20);
+  const double mean = outcome.result.mean();
+  EXPECT_LE(outcome.result.ci90() / mean, 0.05);
+}
+
+TEST(AdaptiveRunnerTest, RespectsTrialBudget) {
+  driver::ExperimentConfig config;
+  config.lambda = 0.9;
+  config.num_jobs = 20'000;
+  config.warmup_jobs = 5'000;
+  driver::AdaptiveOptions options;
+  options.relative_precision = 1e-6;  // unreachable
+  options.min_trials = 2;
+  options.max_trials = 4;
+  const auto outcome = driver::run_until_confident(config, options);
+  EXPECT_FALSE(outcome.converged);
+  EXPECT_EQ(outcome.trials_used, 4);
+}
+
+TEST(AdaptiveRunnerTest, SeedSequenceMatchesFixedRunner) {
+  // The adaptive runner must be a prefix extension of run_experiment: its
+  // first trials use the same seeds, hence produce the same means.
+  driver::ExperimentConfig config;
+  config.num_jobs = 20'000;
+  config.warmup_jobs = 5'000;
+  config.trials = 3;
+  const auto fixed = driver::run_experiment(config);
+  driver::AdaptiveOptions options;
+  options.relative_precision = 1e-9;
+  options.min_trials = 3;
+  options.max_trials = 3;
+  const auto adaptive = driver::run_until_confident(config, options);
+  ASSERT_EQ(adaptive.result.trial_means.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(adaptive.result.trial_means[i], fixed.trial_means[i]);
+  }
+}
+
+TEST(AdaptiveRunnerTest, RejectsBadOptions) {
+  driver::ExperimentConfig config;
+  driver::AdaptiveOptions options;
+  options.relative_precision = 0.0;
+  EXPECT_THROW(driver::run_until_confident(config, options),
+               std::invalid_argument);
+  options.relative_precision = 0.05;
+  options.min_trials = 1;
+  EXPECT_THROW(driver::run_until_confident(config, options),
+               std::invalid_argument);
+  options.min_trials = 5;
+  options.max_trials = 4;
+  EXPECT_THROW(driver::run_until_confident(config, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale

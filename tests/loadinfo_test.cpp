@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "loadinfo/continuous_view.h"
+#include "loadinfo/delay_distribution.h"
+#include "loadinfo/individual_board.h"
+#include "loadinfo/periodic_board.h"
+#include "queueing/cluster.h"
+#include "sim/rng.h"
+
+namespace stale::loadinfo {
+namespace {
+
+TEST(DelayDistributionTest, ParseAndNameRoundTrip) {
+  for (DelayKind kind :
+       {DelayKind::kConstant, DelayKind::kUniformHalf, DelayKind::kUniformFull,
+        DelayKind::kExponential}) {
+    EXPECT_EQ(parse_delay_kind(delay_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_delay_kind("bogus"), std::invalid_argument);
+}
+
+TEST(DelayDistributionTest, AllKindsHaveMeanT) {
+  const double t = 3.0;
+  for (DelayKind kind :
+       {DelayKind::kConstant, DelayKind::kUniformHalf, DelayKind::kUniformFull,
+        DelayKind::kExponential}) {
+    const auto dist = make_delay_distribution(kind, t);
+    EXPECT_NEAR(dist->mean(), t, 1e-12) << delay_kind_name(kind);
+  }
+}
+
+TEST(DelayDistributionTest, VarianceOrderingMatchesPaper) {
+  const double t = 2.0;
+  const double v_const =
+      make_delay_distribution(DelayKind::kConstant, t)->variance();
+  const double v_half =
+      make_delay_distribution(DelayKind::kUniformHalf, t)->variance();
+  const double v_full =
+      make_delay_distribution(DelayKind::kUniformFull, t)->variance();
+  const double v_exp =
+      make_delay_distribution(DelayKind::kExponential, t)->variance();
+  EXPECT_LT(v_const, v_half);
+  EXPECT_LT(v_half, v_full);
+  EXPECT_LT(v_full, v_exp);
+}
+
+TEST(PeriodicBoardTest, SnapshotFrozenWithinPhase) {
+  queueing::Cluster cluster(2);
+  PeriodicBoard board(2, 10.0);
+  cluster.assign(1.0, 0, 100.0);
+  board.sync(cluster, 2.0);
+  EXPECT_EQ(board.loads(), (std::vector<int>{0, 0}));  // snapshot from t = 0
+  EXPECT_DOUBLE_EQ(board.age(2.0), 2.0);
+}
+
+TEST(PeriodicBoardTest, RefreshesAtBoundary) {
+  queueing::Cluster cluster(2);
+  PeriodicBoard board(2, 10.0);
+  cluster.assign(1.0, 0, 100.0);
+  cluster.assign(2.0, 0, 100.0);
+  board.sync(cluster, 10.5);
+  EXPECT_EQ(board.loads(), (std::vector<int>{2, 0}));
+  EXPECT_DOUBLE_EQ(board.phase_start(), 10.0);
+  EXPECT_DOUBLE_EQ(board.age(10.5), 0.5);
+}
+
+TEST(PeriodicBoardTest, SkipsEmptyPhasesExactly) {
+  queueing::Cluster cluster(1);
+  PeriodicBoard board(1, 1.0);
+  cluster.assign(0.5, 0, 0.2);  // departs at 0.7
+  board.sync(cluster, 5.25);    // crosses boundaries 1..5
+  EXPECT_EQ(board.loads()[0], 0);
+  EXPECT_DOUBLE_EQ(board.phase_start(), 5.0);
+}
+
+TEST(PeriodicBoardTest, SnapshotTakenExactlyAtBoundary) {
+  queueing::Cluster cluster(1);
+  PeriodicBoard board(1, 10.0);
+  cluster.assign(0.0, 0, 12.0);  // still in service at t = 10
+  board.sync(cluster, 10.1);
+  EXPECT_EQ(board.loads()[0], 1);
+  // Next phase: the job departed at 12, before the t = 20 boundary.
+  board.sync(cluster, 20.1);
+  EXPECT_EQ(board.loads()[0], 0);
+}
+
+TEST(PeriodicBoardTest, VersionBumpsPerRefresh) {
+  queueing::Cluster cluster(1);
+  PeriodicBoard board(1, 1.0);
+  const auto v0 = board.version();
+  board.sync(cluster, 0.5);
+  EXPECT_EQ(board.version(), v0);
+  board.sync(cluster, 3.5);  // three boundaries crossed
+  EXPECT_EQ(board.version(), v0 + 3);
+}
+
+TEST(PeriodicBoardTest, RejectsBadArgumentsAndBackwardTime) {
+  EXPECT_THROW(PeriodicBoard(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PeriodicBoard(1, 0.0), std::invalid_argument);
+  queueing::Cluster cluster(1);
+  PeriodicBoard board(1, 1.0);
+  board.sync(cluster, 5.0);
+  EXPECT_THROW(board.sync(cluster, 4.0), std::invalid_argument);
+}
+
+TEST(IndividualBoardTest, EntriesRefreshIndependently) {
+  queueing::Cluster cluster(2);
+  sim::Rng rng(1);
+  IndividualBoard board(2, 10.0, rng);
+  cluster.assign(0.1, 0, 100.0);
+  cluster.assign(0.1, 1, 100.0);
+  // After a full interval both entries must have refreshed at least once.
+  board.sync(cluster, 10.0);
+  EXPECT_EQ(board.loads(), (std::vector<int>{1, 1}));
+  EXPECT_LE(board.mean_age(10.0), 10.0);
+  EXPECT_GE(board.mean_age(10.0), 0.0);
+}
+
+TEST(IndividualBoardTest, AgesDifferAcrossEntries) {
+  queueing::Cluster cluster(8);
+  sim::Rng rng(2);
+  IndividualBoard board(8, 5.0, rng);
+  board.sync(cluster, 20.0);
+  bool any_differ = false;
+  for (int i = 1; i < 8; ++i) {
+    if (board.entry_age(i, 20.0) != board.entry_age(0, 20.0)) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(ContinuousViewTest, ConstantDelayReadsExactPast) {
+  queueing::Cluster cluster(
+      2, ContinuousView::history_window_for(DelayKind::kConstant, 2.0));
+  ContinuousView view(DelayKind::kConstant, 2.0, /*know_actual_age=*/false);
+  sim::Rng rng(3);
+  cluster.assign(1.0, 0, 100.0);  // server 0 loaded from t = 1 on
+  cluster.advance_to(2.5);
+  view.observe(cluster, 2.5, rng);  // sees state at t = 0.5
+  EXPECT_EQ(view.loads(), (std::vector<int>{0, 0}));
+  cluster.advance_to(4.0);
+  view.observe(cluster, 4.0, rng);  // sees state at t = 2.0
+  EXPECT_EQ(view.loads(), (std::vector<int>{1, 0}));
+}
+
+TEST(ContinuousViewTest, ReportedAgeDependsOnKnowledgeMode) {
+  const double mean_delay = 4.0;
+  queueing::Cluster cluster(
+      1, ContinuousView::history_window_for(DelayKind::kUniformFull,
+                                            mean_delay));
+  cluster.advance_to(100.0);
+
+  ContinuousView average_only(DelayKind::kUniformFull, mean_delay, false);
+  sim::Rng rng(4);
+  average_only.observe(cluster, 100.0, rng);
+  EXPECT_DOUBLE_EQ(average_only.reported_age(), mean_delay);
+
+  ContinuousView knows(DelayKind::kUniformFull, mean_delay, true);
+  sim::Rng rng2(5);
+  bool saw_non_mean = false;
+  for (int i = 0; i < 50; ++i) {
+    knows.observe(cluster, 100.0, rng2);
+    EXPECT_DOUBLE_EQ(knows.reported_age(), knows.actual_delay());
+    if (knows.reported_age() != mean_delay) saw_non_mean = true;
+  }
+  EXPECT_TRUE(saw_non_mean);
+}
+
+TEST(ContinuousViewTest, EarlyRequestsClampDelayToTimeZero) {
+  queueing::Cluster cluster(
+      1, ContinuousView::history_window_for(DelayKind::kConstant, 10.0));
+  ContinuousView view(DelayKind::kConstant, 10.0, true);
+  sim::Rng rng(6);
+  cluster.advance_to(3.0);
+  view.observe(cluster, 3.0, rng);  // delay 10 clamped to 3
+  EXPECT_DOUBLE_EQ(view.actual_delay(), 3.0);
+}
+
+TEST(ContinuousViewTest, VersionBumpsPerObservation) {
+  queueing::Cluster cluster(
+      1, ContinuousView::history_window_for(DelayKind::kConstant, 1.0));
+  ContinuousView view(DelayKind::kConstant, 1.0, false);
+  sim::Rng rng(7);
+  const auto v0 = view.version();
+  cluster.advance_to(1.0);
+  view.observe(cluster, 1.0, rng);
+  view.observe(cluster, 1.0, rng);
+  EXPECT_EQ(view.version(), v0 + 2);
+}
+
+TEST(ContinuousViewTest, HistoryWindowCoversEachKind) {
+  EXPECT_DOUBLE_EQ(
+      ContinuousView::history_window_for(DelayKind::kConstant, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(
+      ContinuousView::history_window_for(DelayKind::kUniformHalf, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(
+      ContinuousView::history_window_for(DelayKind::kUniformFull, 2.0), 4.0);
+  EXPECT_GT(ContinuousView::history_window_for(DelayKind::kExponential, 2.0),
+            20.0);
+}
+
+}  // namespace
+}  // namespace stale::loadinfo

@@ -1,0 +1,233 @@
+#include "policy/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "policy/k_subset_policy.h"
+#include "policy/policy_factory.h"
+#include "policy/random_policy.h"
+#include "policy/threshold_policy.h"
+#include "core/ksubset_analysis.h"
+
+namespace stale::policy {
+namespace {
+
+DispatchContext make_context(const std::vector<int>& loads) {
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = static_cast<double>(loads.size()) * 0.9;
+  return context;
+}
+
+TEST(SampleDistinctTest, ProducesDistinctInRange) {
+  sim::Rng rng(1);
+  std::vector<int> out(5);
+  for (int rep = 0; rep < 1000; ++rep) {
+    sample_distinct(10, 5, rng, out);
+    std::set<int> seen(out.begin(), out.end());
+    ASSERT_EQ(seen.size(), 5u);
+    ASSERT_GE(*seen.begin(), 0);
+    ASSERT_LT(*seen.rbegin(), 10);
+  }
+}
+
+TEST(SampleDistinctTest, FullDrawIsPermutation) {
+  sim::Rng rng(2);
+  std::vector<int> out(6);
+  sample_distinct(6, 6, rng, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SampleDistinctTest, EachElementEquallyLikely) {
+  sim::Rng rng(3);
+  constexpr int kReps = 60000;
+  std::vector<int> counts(10, 0);
+  std::vector<int> out(3);
+  for (int rep = 0; rep < kReps; ++rep) {
+    sample_distinct(10, 3, rng, out);
+    for (int v : out) ++counts[static_cast<std::size_t>(v)];
+  }
+  const double expected = kReps * 3.0 / 10.0;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.05);
+  }
+}
+
+TEST(SampleDistinctTest, RejectsBadArguments) {
+  sim::Rng rng(4);
+  std::vector<int> out(3);
+  EXPECT_THROW(sample_distinct(2, 3, rng, out), std::invalid_argument);
+  std::vector<int> wrong(2);
+  EXPECT_THROW(sample_distinct(10, 3, rng, wrong), std::invalid_argument);
+}
+
+TEST(RandomPolicyTest, IgnoresLoadsAndIsUniform) {
+  RandomPolicy policy;
+  const std::vector<int> loads = {100, 0, 100, 100};
+  const DispatchContext context = make_context(loads);
+  sim::Rng rng(5);
+  std::vector<int> counts(4, 0);
+  constexpr int kReps = 80000;
+  for (int i = 0; i < kReps; ++i) {
+    ++counts[static_cast<std::size_t>(policy.select(context, rng))];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kReps / 4.0, kReps * 0.01);
+  EXPECT_EQ(policy.name(), "random");
+  EXPECT_EQ(policy.info_demand(), 0);
+}
+
+TEST(KSubsetPolicyTest, FullSubsetPicksGlobalMinimum) {
+  KSubsetPolicy policy(4);
+  const std::vector<int> loads = {3, 1, 2, 5};
+  const DispatchContext context = make_context(loads);
+  sim::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(policy.select(context, rng), 1);
+  }
+}
+
+TEST(KSubsetPolicyTest, TiesBrokenUniformly) {
+  KSubsetPolicy policy(3);
+  const std::vector<int> loads = {0, 0, 0};
+  const DispatchContext context = make_context(loads);
+  sim::Rng rng(7);
+  std::vector<int> counts(3, 0);
+  constexpr int kReps = 60000;
+  for (int i = 0; i < kReps; ++i) {
+    ++counts[static_cast<std::size_t>(policy.select(context, rng))];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kReps / 3.0, kReps * 0.015);
+}
+
+TEST(KSubsetPolicyTest, EmpiricalRankDistributionMatchesEq1) {
+  // With distinct loads, the chance the request lands on the rank-i server
+  // must follow Eq. 1. This ties the simulated policy to the analytic model.
+  constexpr int kN = 10;
+  constexpr int kK = 3;
+  KSubsetPolicy policy(kK);
+  std::vector<int> loads(kN);
+  for (int i = 0; i < kN; ++i) loads[static_cast<std::size_t>(i)] = i;  // rank == index + 1
+  const DispatchContext context = make_context(loads);
+  const auto expected = core::ksubset_rank_probabilities(kN, kK);
+  sim::Rng rng(8);
+  constexpr int kReps = 300000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kReps; ++i) {
+    ++counts[static_cast<std::size_t>(policy.select(context, rng))];
+  }
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(i)]) / kReps,
+                expected[static_cast<std::size_t>(i)], 0.006)
+        << "rank " << i + 1;
+  }
+}
+
+TEST(KSubsetPolicyTest, KLargerThanNClampsToN) {
+  KSubsetPolicy policy(99);
+  const std::vector<int> loads = {5, 2, 7};
+  const DispatchContext context = make_context(loads);
+  sim::Rng rng(9);
+  EXPECT_EQ(policy.select(context, rng), 1);
+}
+
+TEST(KSubsetPolicyTest, NameAndInfoDemand) {
+  KSubsetPolicy policy(2);
+  EXPECT_EQ(policy.name(), "k_subset:2");
+  EXPECT_EQ(policy.info_demand(), 2);
+  EXPECT_THROW(KSubsetPolicy(0), std::invalid_argument);
+}
+
+TEST(ThresholdPolicyTest, PicksUniformlyAmongLightServers) {
+  ThresholdPolicy policy(SelectionPolicy::kAllServers, 2);
+  const std::vector<int> loads = {1, 5, 2, 9};
+  const DispatchContext context = make_context(loads);
+  sim::Rng rng(10);
+  std::vector<int> counts(4, 0);
+  constexpr int kReps = 60000;
+  for (int i = 0; i < kReps; ++i) {
+    ++counts[static_cast<std::size_t>(policy.select(context, rng))];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_NEAR(counts[0], kReps / 2.0, kReps * 0.015);
+  EXPECT_NEAR(counts[2], kReps / 2.0, kReps * 0.015);
+}
+
+TEST(ThresholdPolicyTest, FallsBackToLeastLoadedOfSample) {
+  ThresholdPolicy policy(SelectionPolicy::kAllServers, 0);
+  const std::vector<int> loads = {4, 2, 9};  // nobody at/below threshold 0
+  const DispatchContext context = make_context(loads);
+  sim::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(policy.select(context, rng), 1);
+  }
+}
+
+TEST(ThresholdPolicyTest, HugeThresholdIsObliviousRandom) {
+  ThresholdPolicy policy(SelectionPolicy::kAllServers, 1 << 20);
+  const std::vector<int> loads = {100, 0, 50};
+  const DispatchContext context = make_context(loads);
+  sim::Rng rng(12);
+  std::vector<int> counts(3, 0);
+  constexpr int kReps = 60000;
+  for (int i = 0; i < kReps; ++i) {
+    ++counts[static_cast<std::size_t>(policy.select(context, rng))];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kReps / 3.0, kReps * 0.015);
+}
+
+TEST(ThresholdPolicyTest, SampledVariantOnlySeesKServers) {
+  // With k = 1 the threshold rule degenerates to uniform random regardless
+  // of the threshold.
+  ThresholdPolicy policy(1, 0);
+  const std::vector<int> loads = {9, 0, 9, 9};
+  const DispatchContext context = make_context(loads);
+  sim::Rng rng(13);
+  std::vector<int> counts(4, 0);
+  constexpr int kReps = 40000;
+  for (int i = 0; i < kReps; ++i) {
+    ++counts[static_cast<std::size_t>(policy.select(context, rng))];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kReps / 4.0, kReps * 0.02);
+}
+
+TEST(ThresholdPolicyTest, NameAndValidation) {
+  EXPECT_EQ(ThresholdPolicy(2, 8).name(), "threshold:2:8");
+  EXPECT_EQ(ThresholdPolicy(SelectionPolicy::kAllServers, 8).name(),
+            "threshold:all:8");
+  EXPECT_THROW(ThresholdPolicy(0, 1), std::invalid_argument);
+  EXPECT_THROW(ThresholdPolicy(2, -1), std::invalid_argument);
+}
+
+TEST(PolicyFactoryTest, BuildsEveryKind) {
+  EXPECT_EQ(make_policy("random")->name(), "random");
+  EXPECT_EQ(make_policy("k_subset:3")->name(), "k_subset:3");
+  EXPECT_EQ(make_policy("threshold:2:16")->name(), "threshold:2:16");
+  EXPECT_EQ(make_policy("threshold:all:4")->name(), "threshold:all:4");
+  EXPECT_EQ(make_policy("basic_li")->name(), "basic_li");
+  EXPECT_EQ(make_policy("aggressive_li")->name(), "aggressive_li");
+  EXPECT_EQ(make_policy("hybrid_li")->name(), "hybrid_li");
+  EXPECT_EQ(make_policy("basic_li_k:2")->name(), "basic_li_k:2");
+}
+
+TEST(PolicyFactoryTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(make_policy(""), std::invalid_argument);
+  EXPECT_THROW(make_policy("unknown"), std::invalid_argument);
+  EXPECT_THROW(make_policy("k_subset"), std::invalid_argument);
+  EXPECT_THROW(make_policy("k_subset:x"), std::invalid_argument);
+  EXPECT_THROW(make_policy("k_subset:2:3"), std::invalid_argument);
+  EXPECT_THROW(make_policy("threshold:2"), std::invalid_argument);
+  EXPECT_THROW(make_policy("basic_li:1"), std::invalid_argument);
+}
+
+TEST(PolicyFactoryTest, KnownSpecsListIsNonEmpty) {
+  EXPECT_GE(known_policy_specs().size(), 7u);
+}
+
+}  // namespace
+}  // namespace stale::policy

@@ -1,0 +1,95 @@
+#include "core/rate_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace stale::core {
+namespace {
+
+TEST(ConservativeRateEstimatorTest, AlwaysReportsMaxThroughput) {
+  ConservativeRateEstimator estimator(10.0);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 10.0);
+  estimator.on_arrival(1.0);
+  estimator.on_arrival(1.5);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 10.0);
+}
+
+TEST(ConservativeRateEstimatorTest, RejectsBadRate) {
+  EXPECT_THROW(ConservativeRateEstimator(0.0), std::invalid_argument);
+}
+
+TEST(EwmaRateEstimatorTest, ConvergesToPoissonRate) {
+  EwmaRateEstimator estimator(50.0, 1.0);
+  sim::Rng rng(42);
+  const double rate = 8.0;
+  double t = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    t += -std::log(rng.next_double_open0()) / rate;
+    estimator.on_arrival(t);
+  }
+  // EWMA of 1/gap over exponential gaps is biased high relative to the rate
+  // (E[1/gap] diverges pointwise; smoothing tames it); accept a loose band.
+  EXPECT_GT(estimator.rate(), 0.5 * rate);
+  EXPECT_LT(estimator.rate(), 2.0 * rate);
+}
+
+TEST(EwmaRateEstimatorTest, TracksDeterministicRateExactly) {
+  EwmaRateEstimator estimator(5.0, 1.0);
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    t += 0.25;  // rate 4
+    estimator.on_arrival(t);
+  }
+  EXPECT_NEAR(estimator.rate(), 4.0, 0.01);
+}
+
+TEST(EwmaRateEstimatorTest, FirstArrivalEstablishesBaselineOnly) {
+  EwmaRateEstimator estimator(5.0, 3.0);
+  estimator.on_arrival(100.0);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 3.0);
+}
+
+TEST(EwmaRateEstimatorTest, RejectsBadParameters) {
+  EXPECT_THROW(EwmaRateEstimator(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(EwmaRateEstimator(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(WindowedRateEstimatorTest, ExactOnDeterministicStream) {
+  WindowedRateEstimator estimator(10.0, 1.0);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    t += 0.5;  // rate 2
+    estimator.on_arrival(t);
+  }
+  EXPECT_NEAR(estimator.rate(), 2.0, 0.11);  // quantization of the window
+}
+
+TEST(WindowedRateEstimatorTest, UsesInitialRateBeforeWindowFills) {
+  WindowedRateEstimator estimator(100.0, 7.0);
+  estimator.on_arrival(1.0);
+  estimator.on_arrival(2.0);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 7.0);
+}
+
+TEST(WindowedRateEstimatorTest, AccurateOnPoissonStream) {
+  WindowedRateEstimator estimator(200.0, 1.0);
+  sim::Rng rng(7);
+  const double rate = 9.0;
+  double t = 0.0;
+  while (t < 2000.0) {
+    t += -std::log(rng.next_double_open0()) / rate;
+    estimator.on_arrival(t);
+  }
+  EXPECT_NEAR(estimator.rate(), rate, 0.5);
+}
+
+TEST(WindowedRateEstimatorTest, RejectsBadParameters) {
+  EXPECT_THROW(WindowedRateEstimator(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(WindowedRateEstimator(1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::core

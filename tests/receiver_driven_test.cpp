@@ -1,0 +1,142 @@
+#include "driver/receiver_driven.h"
+
+#include <gtest/gtest.h>
+
+namespace stale::driver {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.num_jobs = 60'000;
+  config.warmup_jobs = 15'000;
+  config.trials = 1;
+  return config;
+}
+
+double mean_with(const ExperimentConfig& config,
+                 const StealingOptions& options, int trials = 3) {
+  double total = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    total += run_receiver_driven_trial(config, options,
+                                       sim::trial_seed(config.base_seed,
+                                                       trial))
+                 .mean_response;
+  }
+  return total / trials;
+}
+
+TEST(ReceiverDrivenTest, DisabledMatchesPlainEngineStatistically) {
+  // With stealing off, the engine is just another event-kernel
+  // implementation of the periodic experiment; compare to the lazy engine.
+  ExperimentConfig config = small_config();
+  config.lambda = 0.8;
+  config.update_interval = 4.0;
+  config.policy = "basic_li";
+  StealingOptions off;
+  off.enabled = false;
+  const double kernel = mean_with(config, off, 3);
+  config.trials = 3;
+  const double lazy = run_experiment(config).mean();
+  EXPECT_NEAR(kernel, lazy, 0.1 * std::max(kernel, lazy));
+}
+
+TEST(ReceiverDrivenTest, JobAccountingIsExact) {
+  ExperimentConfig config = small_config();
+  config.num_jobs = 10'000;
+  config.warmup_jobs = 2'000;
+  StealingOptions options;
+  const TrialResult result = run_receiver_driven_trial(config, options, 42);
+  EXPECT_EQ(result.total_jobs, 10'000u);
+  EXPECT_EQ(result.measured_jobs, 8'000u);
+  EXPECT_GT(result.mean_response, 1.0);
+}
+
+TEST(ReceiverDrivenTest, DeterministicPerSeed) {
+  const ExperimentConfig config = small_config();
+  StealingOptions options;
+  const auto a = run_receiver_driven_trial(config, options, 7);
+  const auto b = run_receiver_driven_trial(config, options, 7);
+  EXPECT_EQ(a.mean_response, b.mean_response);
+  EXPECT_EQ(a.sim_end_time, b.sim_end_time);
+}
+
+TEST(ReceiverDrivenTest, StealingRescuesHerdingPolicy) {
+  // k = n at stale T herds catastrophically; receiver-initiated stealing
+  // repairs most of the damage because receivers act on fresh state.
+  ExperimentConfig config = small_config();
+  config.update_interval = 16.0;
+  config.policy = "k_subset:10";
+  StealingOptions off;
+  off.enabled = false;
+  StealingOptions on;
+  const double without = mean_with(config, off);
+  const double with = mean_with(config, on);
+  EXPECT_LT(with, 0.5 * without);
+}
+
+TEST(ReceiverDrivenTest, StealingHelpsRandomToo) {
+  ExperimentConfig config = small_config();
+  config.update_interval = 8.0;
+  config.policy = "random";
+  StealingOptions off;
+  off.enabled = false;
+  const double without = mean_with(config, off);
+  const double with = mean_with(config, StealingOptions{});
+  EXPECT_LT(with, without);
+}
+
+TEST(ReceiverDrivenTest, LiStillHelpsOnTopOfStealing) {
+  // Good sender-side placement should remain useful even with receivers
+  // cleaning up: LI+steal <= random+steal (within noise).
+  ExperimentConfig config = small_config();
+  config.update_interval = 8.0;
+  StealingOptions on;
+  config.policy = "random";
+  const double random_steal = mean_with(config, on);
+  config.policy = "basic_li";
+  const double li_steal = mean_with(config, on);
+  EXPECT_LT(li_steal, random_steal * 1.05);
+}
+
+TEST(ReceiverDrivenTest, MigrationCostReducesTheBenefit) {
+  ExperimentConfig config = small_config();
+  config.update_interval = 16.0;
+  config.policy = "k_subset:10";
+  StealingOptions cheap;
+  cheap.migration_delay = 0.0;
+  StealingOptions expensive;
+  expensive.migration_delay = 2.0;  // two mean service times per transfer
+  EXPECT_LT(mean_with(config, cheap), mean_with(config, expensive));
+}
+
+TEST(ReceiverDrivenTest, ValidatesArguments) {
+  ExperimentConfig config = small_config();
+  StealingOptions options;
+
+  config.model = UpdateModel::kContinuous;
+  EXPECT_THROW(run_receiver_driven_trial(config, options, 1),
+               std::invalid_argument);
+
+  config = small_config();
+  config.num_servers = 1;
+  EXPECT_THROW(run_receiver_driven_trial(config, options, 1),
+               std::invalid_argument);
+
+  config = small_config();
+  options.probe_count = 0;
+  EXPECT_THROW(run_receiver_driven_trial(config, options, 1),
+               std::invalid_argument);
+
+  options = StealingOptions{};
+  options.migration_delay = -1.0;
+  EXPECT_THROW(run_receiver_driven_trial(config, options, 1),
+               std::invalid_argument);
+
+  options = StealingOptions{};
+  options.min_waiting_to_steal = 0;
+  EXPECT_THROW(run_receiver_driven_trial(config, options, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::driver

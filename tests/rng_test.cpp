@@ -1,0 +1,135 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace stale::sim {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceSequence) {
+  // Reference values for seed 1234567 from the public-domain splitmix64.c.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.next(), 9817491932198370423ULL);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpen0NeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.next_double_open0(), 0.0);
+    ASSERT_LE(rng.next_double_open0(), 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(13);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowIsApproximatelyUniform) {
+  Rng rng(17);
+  constexpr int kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.next_below(kBound)];
+  }
+  // Chi-square with 9 dof; 99.9% critical value ~27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBound;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, SplitProducesDecorrelatedStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, LongJumpChangesStream) {
+  Rng a(29);
+  Rng b(29);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(TrialSeedTest, DistinctAcrossTrials) {
+  std::set<std::uint64_t> seeds;
+  for (int trial = 0; trial < 1000; ++trial) {
+    seeds.insert(trial_seed(0xABCD, trial));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(TrialSeedTest, DependsOnBaseSeed) {
+  EXPECT_NE(trial_seed(1, 0), trial_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace stale::sim

@@ -1,0 +1,123 @@
+#include "core/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace stale::core {
+namespace {
+
+// Draws `draws` samples and returns empirical frequencies.
+template <typename Sampler>
+std::vector<double> empirical(const Sampler& sampler, int size, int draws,
+                              std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<int> counts(static_cast<std::size_t>(size), 0);
+  for (int i = 0; i < draws; ++i) {
+    const int idx = sampler.sample(rng);
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, size);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  std::vector<double> freq(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    freq[i] = static_cast<double>(counts[i]) / draws;
+  }
+  return freq;
+}
+
+TEST(DiscreteSamplerTest, MatchesTargetDistribution) {
+  const std::vector<double> p = {0.1, 0.2, 0.3, 0.4};
+  const DiscreteSampler sampler{std::span<const double>(p)};
+  const auto freq = empirical(sampler, 4, 200000, 101);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(freq[i], p[i], 0.01);
+  }
+}
+
+TEST(DiscreteSamplerTest, NormalizesUnnormalizedInput) {
+  const std::vector<double> p = {2.0, 6.0};
+  const DiscreteSampler sampler{std::span<const double>(p)};
+  const auto freq = empirical(sampler, 2, 100000, 103);
+  EXPECT_NEAR(freq[0], 0.25, 0.01);
+  EXPECT_NEAR(freq[1], 0.75, 0.01);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  const std::vector<double> p = {0.0, 1.0, 0.0};
+  const DiscreteSampler sampler{std::span<const double>(p)};
+  sim::Rng rng(107);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(sampler.sample(rng), 1);
+  }
+}
+
+TEST(DiscreteSamplerTest, SingleElement) {
+  const std::vector<double> p = {1.0};
+  const DiscreteSampler sampler{std::span<const double>(p)};
+  sim::Rng rng(109);
+  EXPECT_EQ(sampler.sample(rng), 0);
+}
+
+TEST(DiscreteSamplerTest, RejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(DiscreteSampler{std::span<const double>(empty)},
+               std::invalid_argument);
+  const std::vector<double> negative = {0.5, -0.5};
+  EXPECT_THROW(DiscreteSampler{std::span<const double>(negative)},
+               std::invalid_argument);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{std::span<const double>(zeros)},
+               std::invalid_argument);
+}
+
+TEST(AliasSamplerTest, MatchesTargetDistribution) {
+  const std::vector<double> p = {0.05, 0.15, 0.5, 0.05, 0.25};
+  const AliasSampler sampler{std::span<const double>(p)};
+  const auto freq = empirical(sampler, 5, 300000, 211);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(freq[i], p[i], 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, UniformInput) {
+  const std::vector<double> p(8, 0.125);
+  const AliasSampler sampler{std::span<const double>(p)};
+  const auto freq = empirical(sampler, 8, 200000, 213);
+  for (double f : freq) EXPECT_NEAR(f, 0.125, 0.01);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  const std::vector<double> p = {0.0, 0.7, 0.3, 0.0};
+  const AliasSampler sampler{std::span<const double>(p)};
+  sim::Rng rng(217);
+  for (int i = 0; i < 20000; ++i) {
+    const int idx = sampler.sample(rng);
+    ASSERT_TRUE(idx == 1 || idx == 2);
+  }
+}
+
+TEST(AliasSamplerTest, AgreesWithDiscreteSampler) {
+  const std::vector<double> p = {0.3, 0.1, 0.05, 0.25, 0.2, 0.1};
+  const DiscreteSampler discrete{std::span<const double>(p)};
+  const AliasSampler alias{std::span<const double>(p)};
+  const auto f1 = empirical(discrete, 6, 200000, 301);
+  const auto f2 = empirical(alias, 6, 200000, 302);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(f1[i], f2[i], 0.012);
+  }
+}
+
+TEST(AliasSamplerTest, RejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(AliasSampler{std::span<const double>(empty)},
+               std::invalid_argument);
+  const std::vector<double> zeros = {0.0};
+  EXPECT_THROW(AliasSampler{std::span<const double>(zeros)},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::core

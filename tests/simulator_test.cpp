@@ -1,0 +1,120 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stale::sim {
+namespace {
+
+TEST(SimulatorTest, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(3.0, [&](Simulator&) { fired.push_back(3); });
+  sim.schedule_at(1.0, [&](Simulator&) { fired.push_back(1); });
+  sim.schedule_at(2.0, [&](Simulator&) { fired.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&fired, i](Simulator&) { fired.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double inner_fire_time = -1.0;
+  sim.schedule_at(2.0, [&](Simulator& s) {
+    s.schedule_after(3.0, [&](Simulator& s2) { inner_fire_time = s2.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(inner_fire_time, 5.0);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle handle =
+      sim.schedule_at(1.0, [&](Simulator&) { fired = true; });
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelFromInsideEvent) {
+  Simulator sim;
+  bool second_fired = false;
+  const EventHandle second =
+      sim.schedule_at(2.0, [&](Simulator&) { second_fired = true; });
+  sim.schedule_at(1.0, [&](Simulator& s) { s.cancel(second); });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired](Simulator& s) { fired.push_back(s.now()); });
+  }
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, EventAtExactRunUntilBoundaryFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&](Simulator&) { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&](Simulator&) { ++count; });
+  sim.schedule_at(2.0, [&](Simulator&) { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [](Simulator&) {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [](Simulator&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [](Simulator&) {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, EventsCanScheduleChains) {
+  // A self-perpetuating event chain: each event schedules the next until a
+  // counter runs out — the standard arrival-process pattern.
+  Simulator sim;
+  int remaining = 100;
+  std::function<void(Simulator&)> tick = [&](Simulator& s) {
+    if (--remaining > 0) s.schedule_after(0.5, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  EXPECT_EQ(sim.run(), 100u);
+  EXPECT_DOUBLE_EQ(sim.now(), 49.5);
+}
+
+}  // namespace
+}  // namespace stale::sim

@@ -1,0 +1,126 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stale::sim {
+namespace {
+
+TEST(RunningStatsTest, EmptySummaryIsZeroed) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.ci90_half_width(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MatchesHandComputedMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, Ci90MatchesHandComputation) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.add(x);
+  // sd = sqrt(2.5), se = sd/sqrt(5), t(4, 0.95) = 2.132.
+  const double expected = 2.132 * std::sqrt(2.5) / std::sqrt(5.0);
+  EXPECT_NEAR(stats.ci90_half_width(), expected, 1e-9);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 9.5, 4.0, -1.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 3 ? a : b).add(xs[i]);
+    whole.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(StudentTTest, KnownQuantiles) {
+  EXPECT_NEAR(student_t90(1), 6.314, 1e-9);
+  EXPECT_NEAR(student_t90(4), 2.132, 1e-9);
+  EXPECT_NEAR(student_t90(9), 1.833, 1e-9);
+  EXPECT_NEAR(student_t90(30), 1.697, 1e-9);
+  EXPECT_NEAR(student_t90(1000000), 1.645, 1e-9);
+}
+
+TEST(StudentTTest, MonotoneDecreasingInDf) {
+  double prev = student_t90(1);
+  for (std::size_t df = 2; df <= 200; ++df) {
+    const double t = student_t90(df);
+    EXPECT_LE(t, prev + 1e-12) << "df=" << df;
+    prev = t;
+  }
+  EXPECT_GE(prev, 1.645);
+}
+
+TEST(PercentileTest, ExactOnSmallSorted) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(percentile_sorted(xs, 0.0), 1.0);
+  EXPECT_EQ(percentile_sorted(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_EQ(percentile_sorted(xs, 0.5), 7.0);
+}
+
+TEST(PercentileTest, RejectsEmpty) {
+  EXPECT_THROW(percentile_sorted({}, 0.5), std::invalid_argument);
+}
+
+TEST(BoxStatsTest, FiveNumberSummary) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0, 3.0, 7.0};
+  const BoxStats box = BoxStats::from_sample(xs);
+  EXPECT_EQ(box.min, 1.0);
+  EXPECT_EQ(box.median, 5.0);
+  EXPECT_EQ(box.max, 9.0);
+  EXPECT_DOUBLE_EQ(box.p25, 3.0);
+  EXPECT_DOUBLE_EQ(box.p75, 7.0);
+}
+
+TEST(BoxStatsTest, RejectsEmpty) {
+  EXPECT_THROW(BoxStats::from_sample({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::sim

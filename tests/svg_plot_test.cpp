@@ -1,0 +1,123 @@
+#include "driver/svg_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace stale::driver {
+namespace {
+
+std::vector<PlotSeries> sample_series() {
+  return {PlotSeries{"alpha", {{1.0, 2.0}, {2.0, 4.0}, {4.0, 8.0}}},
+          PlotSeries{"beta", {{1.0, 3.0}, {2.0, 3.5}, {4.0, 5.0}}}};
+}
+
+std::size_t count(const std::string& text, const std::string& needle) {
+  std::size_t total = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++total;
+  }
+  return total;
+}
+
+TEST(RenderLineChartTest, EmitsValidSvgSkeleton) {
+  PlotOptions options;
+  options.title = "A <Title> & more";
+  const std::string svg = render_line_chart(sample_series(), options);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("A &lt;Title&gt; &amp; more"), std::string::npos);
+}
+
+TEST(RenderLineChartTest, OnePolylinePerSeriesPlusLegend) {
+  const std::string svg = render_line_chart(sample_series(), {});
+  EXPECT_EQ(count(svg, "<polyline"), 2u);
+  EXPECT_NE(svg.find(">alpha</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">beta</text>"), std::string::npos);
+  // One marker circle per point.
+  EXPECT_EQ(count(svg, "<circle"), 6u);
+}
+
+TEST(RenderLineChartTest, LogAxesAcceptPositiveData) {
+  PlotOptions options;
+  options.log_x = true;
+  options.log_y = true;
+  EXPECT_NO_THROW(render_line_chart(sample_series(), options));
+}
+
+TEST(RenderLineChartTest, LogAxisRejectsNonPositive) {
+  PlotOptions options;
+  options.log_y = true;
+  std::vector<PlotSeries> series = {PlotSeries{"s", {{1.0, 0.0}}}};
+  EXPECT_THROW(render_line_chart(series, options), std::invalid_argument);
+}
+
+TEST(RenderLineChartTest, RejectsEmptyInput) {
+  EXPECT_THROW(render_line_chart({}, {}), std::invalid_argument);
+  std::vector<PlotSeries> empty_points = {PlotSeries{"s", {}}};
+  EXPECT_THROW(render_line_chart(empty_points, {}), std::invalid_argument);
+}
+
+TEST(RenderLineChartTest, SinglePointDoesNotDivideByZero) {
+  std::vector<PlotSeries> series = {PlotSeries{"s", {{1.0, 1.0}}}};
+  EXPECT_NO_THROW(render_line_chart(series, {}));
+}
+
+TEST(ParseSweepCsvTest, ParsesHeaderAndCiCells) {
+  const std::string csv =
+      "T,random,basic_li\n"
+      "0.5,9.58+-0.82,2.49+-0.12\n"
+      "2,9.58+-0.82,3.33+-0.13\n";
+  const auto series = parse_sweep_csv(csv);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].label, "random");
+  EXPECT_EQ(series[1].label, "basic_li");
+  ASSERT_EQ(series[1].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[1].points[0].first, 0.5);
+  EXPECT_DOUBLE_EQ(series[1].points[0].second, 2.49);
+  EXPECT_DOUBLE_EQ(series[1].points[1].second, 3.33);
+}
+
+TEST(ParseSweepCsvTest, SkipsCommentsAndKeepsLastPanel) {
+  const std::string csv =
+      "# Figure 6 header\n"
+      "T,first\n"
+      "1,1.0\n"
+      "T,second\n"
+      "1,5.0\n"
+      "2,6.0\n";
+  const auto series = parse_sweep_csv(csv);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].label, "second");
+  EXPECT_EQ(series[0].points.size(), 2u);
+}
+
+TEST(ParseSweepCsvTest, IgnoresUnparsableCells) {
+  const std::string csv =
+      "T,a\n"
+      "1,not_a_number\n"
+      "2,4.0\n";
+  const auto series = parse_sweep_csv(csv);
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].points[0].second, 4.0);
+}
+
+TEST(ParseSweepCsvTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(parse_sweep_csv("").empty());
+  EXPECT_TRUE(parse_sweep_csv("# just a comment\n").empty());
+}
+
+TEST(ParseSweepCsvTest, RoundTripsWithRenderer) {
+  const std::string csv =
+      "T,random,basic_li\n"
+      "0.5,9.58+-0.82,2.49+-0.12\n"
+      "8,9.58+-0.82,4.75+-0.20\n";
+  const auto series = parse_sweep_csv(csv);
+  PlotOptions options;
+  options.log_x = true;
+  const std::string svg = render_line_chart(series, options);
+  EXPECT_EQ(count(svg, "<polyline"), 2u);
+}
+
+}  // namespace
+}  // namespace stale::driver

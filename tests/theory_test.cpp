@@ -1,0 +1,101 @@
+#include "queueing/theory.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace stale::queueing::theory {
+namespace {
+
+TEST(Mm1Test, KnownValues) {
+  EXPECT_DOUBLE_EQ(mm1_response_time(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mm1_response_time(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(mm1_response_time(0.9), 10.0);
+}
+
+TEST(Mm1Test, RejectsUnstable) {
+  EXPECT_THROW(mm1_response_time(1.0), std::invalid_argument);
+  EXPECT_THROW(mm1_response_time(-0.1), std::invalid_argument);
+}
+
+TEST(Mg1Test, ExponentialServiceReducesToMm1) {
+  // Exponential(1): E[S^2] = 2, P-K gives 1 + rho / (1 - rho) = M/M/1.
+  for (double rho : {0.3, 0.6, 0.9}) {
+    EXPECT_NEAR(mg1_response_time(rho, 2.0), mm1_response_time(rho), 1e-12);
+  }
+}
+
+TEST(Mg1Test, DeterministicHalvesTheWait) {
+  // M/D/1 waiting time is half the M/M/1 waiting time.
+  const double rho = 0.8;
+  const double md1_wait = md1_response_time(rho) - 1.0;
+  const double mm1_wait = mm1_response_time(rho) - 1.0;
+  EXPECT_NEAR(md1_wait, 0.5 * mm1_wait, 1e-12);
+}
+
+TEST(Mg1Test, WaitGrowsWithServiceVariance) {
+  const double rho = 0.7;
+  EXPECT_LT(mg1_response_time(rho, 1.0), mg1_response_time(rho, 2.0));
+  EXPECT_LT(mg1_response_time(rho, 2.0), mg1_response_time(rho, 50.0));
+}
+
+TEST(Mg1Test, RejectsImpossibleSecondMoment) {
+  EXPECT_THROW(mg1_response_time(0.5, 0.5), std::invalid_argument);
+}
+
+TEST(ErlangCTest, SingleServerIsRho) {
+  // For c = 1 the waiting probability is exactly rho.
+  for (double rho : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(erlang_c(1, rho), rho, 1e-12);
+  }
+}
+
+TEST(ErlangCTest, KnownTwoServerValue) {
+  // C(2, rho) = 2 rho^2 / (1 + rho) for per-server utilization rho.
+  const double rho = 0.75;
+  EXPECT_NEAR(erlang_c(2, rho), 2.0 * rho * rho / (1.0 + rho), 1e-12);
+}
+
+TEST(ErlangCTest, MoreServersWaitLess) {
+  double prev = 1.0;
+  for (std::size_t c : {1u, 2u, 5u, 10u, 50u}) {
+    const double waiting = erlang_c(c, 0.9);
+    EXPECT_LT(waiting, prev + 1e-12);
+    prev = waiting;
+  }
+}
+
+TEST(ErlangCTest, RejectsBadArguments) {
+  EXPECT_THROW(erlang_c(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(erlang_c(2, 1.0), std::invalid_argument);
+}
+
+TEST(MmcTest, SingleServerIsMm1) {
+  for (double rho : {0.3, 0.8}) {
+    EXPECT_NEAR(mmc_response_time(1, rho), mm1_response_time(rho), 1e-12);
+  }
+}
+
+TEST(MmcTest, CentralQueueBeatsRandomSplit) {
+  // The M/M/c ideal lower-bounds anything a dispatcher can do.
+  for (std::size_t c : {2u, 10u, 100u}) {
+    EXPECT_LT(mmc_response_time(c, 0.9), mm1_response_time(0.9));
+  }
+}
+
+TEST(MmcTest, SimulatedFreshGreedyLandsBetweenMmcAndMm1) {
+  // k = n with nearly fresh info approximates JSQ: its response time must
+  // fall between the M/M/c central-queue bound and the M/M/1 random split.
+  driver::ExperimentConfig config;
+  config.num_jobs = 150'000;
+  config.warmup_jobs = 40'000;
+  config.trials = 3;
+  config.update_interval = 0.1;
+  config.policy = "k_subset:10";
+  const double simulated = driver::run_experiment(config).mean();
+  EXPECT_GT(simulated, mmc_response_time(10, 0.9) * 0.98);
+  EXPECT_LT(simulated, mm1_response_time(0.9));
+}
+
+}  // namespace
+}  // namespace stale::queueing::theory

@@ -1,0 +1,87 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/rng.h"
+
+namespace stale::workload {
+namespace {
+
+std::vector<TraceRecord> from_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+TEST(ParseTraceTest, ParsesArrivalsAndSizes) {
+  const auto records = from_string(
+      "# a comment\n"
+      "0.0 1.5\n"
+      "\n"
+      "2.0 0.5\n"
+      "2.0 2.0\n"   // simultaneous arrivals allowed
+      "5.5\n");     // size defaults to 1.0
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_DOUBLE_EQ(records[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(records[0].size, 1.5);
+  EXPECT_DOUBLE_EQ(records[2].size, 2.0);
+  EXPECT_DOUBLE_EQ(records[3].arrival, 5.5);
+  EXPECT_DOUBLE_EQ(records[3].size, 1.0);
+}
+
+TEST(ParseTraceTest, RejectsMalformedLines) {
+  EXPECT_THROW(from_string("abc\n"), std::invalid_argument);
+  EXPECT_THROW(from_string("1.0 2.0 3.0\n"), std::invalid_argument);
+  EXPECT_THROW(from_string("2.0\n1.0\n"), std::invalid_argument);  // backwards
+  EXPECT_THROW(from_string("1.0 0.0\n"), std::invalid_argument);   // size <= 0
+}
+
+TEST(LoadTraceTest, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/trace.txt"), std::runtime_error);
+}
+
+TEST(TraceProcessTest, ReplaysGapsInOrderAndWraps) {
+  const auto records = from_string("0\n1\n3\n6\n");
+  TraceProcess process(records);  // gaps 1, 2, 3
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(process.next_gap(rng), 1.0);
+  EXPECT_DOUBLE_EQ(process.next_gap(rng), 2.0);
+  EXPECT_DOUBLE_EQ(process.next_gap(rng), 3.0);
+  EXPECT_DOUBLE_EQ(process.next_gap(rng), 1.0);  // wrapped
+  EXPECT_DOUBLE_EQ(process.mean_gap(), 2.0);
+}
+
+TEST(TraceProcessTest, RateScaleCompressesGaps) {
+  const auto records = from_string("0\n2\n4\n");
+  TraceProcess process(records, /*rate_scale=*/2.0);
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(process.next_gap(rng), 1.0);
+  EXPECT_DOUBLE_EQ(process.mean_gap(), 1.0);
+}
+
+TEST(TraceProcessTest, RejectsDegenerateTraces) {
+  EXPECT_THROW(TraceProcess(from_string("0\n")), std::invalid_argument);
+  EXPECT_THROW(TraceProcess(from_string("0\n1\n"), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(TraceProcess(from_string("1\n1\n")), std::invalid_argument);
+}
+
+TEST(TraceSizesTest, ReplaysSizesWithEmpiricalMoments) {
+  const auto records = from_string("0 1\n1 3\n2 5\n");
+  TraceSizes sizes(records);
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(sizes.sample(rng), 1.0);
+  EXPECT_DOUBLE_EQ(sizes.sample(rng), 3.0);
+  EXPECT_DOUBLE_EQ(sizes.sample(rng), 5.0);
+  EXPECT_DOUBLE_EQ(sizes.sample(rng), 1.0);
+  EXPECT_DOUBLE_EQ(sizes.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(sizes.variance(), 8.0 / 3.0);
+}
+
+TEST(TraceSizesTest, RejectsEmpty) {
+  EXPECT_THROW(TraceSizes({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::workload

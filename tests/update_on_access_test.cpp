@@ -1,0 +1,121 @@
+#include "driver/update_on_access.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "policy/policy.h"
+#include "workload/arrival_process.h"
+
+namespace stale::driver {
+namespace {
+
+// Probe policy: records every context it sees and dispatches round-robin.
+class RecordingPolicy final : public policy::SelectionPolicy {
+ public:
+  int select(const policy::DispatchContext& context, sim::Rng&) override {
+    ages.push_back(context.age);
+    loads_seen.emplace_back(context.loads.begin(), context.loads.end());
+    return static_cast<int>(ages.size() - 1) %
+           static_cast<int>(context.loads.size());
+  }
+  std::string name() const override { return "recording"; }
+
+  std::vector<double> ages;
+  std::vector<std::vector<int>> loads_seen;
+};
+
+TEST(UpdateOnAccessEngineTest, FirstSnapshotsAreEmptyCluster) {
+  queueing::Cluster cluster(3);
+  RecordingPolicy policy;
+  workload::PoissonProcess gaps(1.0);
+  sim::Exponential sizes(1.0);
+  sim::Rng rng(1);
+  UpdateOnAccessEngine engine(cluster, policy, gaps, sizes, 3.0, 2, rng);
+  queueing::ResponseMetrics metrics(0);
+  engine.step(metrics);
+  engine.step(metrics);
+  // Both clients' first requests carry the truthful time-zero snapshot.
+  EXPECT_EQ(policy.loads_seen[0], (std::vector<int>{0, 0, 0}));
+  EXPECT_EQ(policy.loads_seen[1], (std::vector<int>{0, 0, 0}));
+}
+
+TEST(UpdateOnAccessEngineTest, SnapshotReflectsPostDispatchLoads) {
+  // One client: its second request must see exactly the loads right after
+  // its first dispatch (one job on the chosen server, minus any departures).
+  queueing::Cluster cluster(2);
+  RecordingPolicy policy;
+  workload::PoissonProcess gaps(100.0);  // requests 0.01 apart on average
+  sim::Deterministic sizes(50.0);        // nothing departs in between
+  sim::Rng rng(2);
+  UpdateOnAccessEngine engine(cluster, policy, gaps, sizes, 200.0, 1, rng);
+  queueing::ResponseMetrics metrics(0);
+  engine.step(metrics);  // dispatches to server 0 (round-robin from 0)
+  engine.step(metrics);
+  ASSERT_EQ(policy.loads_seen.size(), 2u);
+  EXPECT_EQ(policy.loads_seen[1], (std::vector<int>{1, 0}));
+}
+
+TEST(UpdateOnAccessEngineTest, AgeEqualsGapBetweenRequests) {
+  queueing::Cluster cluster(2);
+  RecordingPolicy policy;
+  workload::PoissonProcess gaps(0.25);  // mean gap 4
+  sim::Exponential sizes(1.0);
+  sim::Rng rng(3);
+  UpdateOnAccessEngine engine(cluster, policy, gaps, sizes, 0.5, 1, rng);
+  queueing::ResponseMetrics metrics(0);
+  double last_time = 0.0;
+  double prev_time = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    prev_time = last_time;
+    last_time = engine.step(metrics);
+    if (i == 0) continue;  // first age is measured from t = 0
+    ASSERT_NEAR(policy.ages[static_cast<std::size_t>(i)],
+                last_time - prev_time, 1e-12);
+  }
+}
+
+TEST(UpdateOnAccessEngineTest, ClientsInterleaveByTime) {
+  queueing::Cluster cluster(2);
+  RecordingPolicy policy;
+  workload::PoissonProcess gaps(1.0);
+  sim::Exponential sizes(1.0);
+  sim::Rng rng(4);
+  UpdateOnAccessEngine engine(cluster, policy, gaps, sizes, 2.0, 5, rng);
+  queueing::ResponseMetrics metrics(0);
+  double prev = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double t = engine.step(metrics);
+    ASSERT_GE(t, prev);  // global dispatch order is by time
+    prev = t;
+  }
+  EXPECT_EQ(engine.num_clients(), 5);
+}
+
+TEST(UpdateOnAccessEngineTest, RecordsEveryResponse) {
+  queueing::Cluster cluster(2);
+  RecordingPolicy policy;
+  workload::PoissonProcess gaps(1.0);
+  sim::Exponential sizes(1.0);
+  sim::Rng rng(5);
+  UpdateOnAccessEngine engine(cluster, policy, gaps, sizes, 2.0, 3, rng);
+  queueing::ResponseMetrics metrics(10);
+  for (int i = 0; i < 100; ++i) engine.step(metrics);
+  EXPECT_EQ(metrics.total_jobs(), 100u);
+  EXPECT_EQ(metrics.measured_jobs(), 90u);
+  EXPECT_GT(metrics.mean_response(), 0.0);
+}
+
+TEST(UpdateOnAccessEngineTest, RejectsZeroClients) {
+  queueing::Cluster cluster(2);
+  RecordingPolicy policy;
+  workload::PoissonProcess gaps(1.0);
+  sim::Exponential sizes(1.0);
+  sim::Rng rng(6);
+  EXPECT_THROW(
+      UpdateOnAccessEngine(cluster, policy, gaps, sizes, 2.0, 0, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::driver

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workload/arrival_process.h"
+#include "workload/bursty_process.h"
+#include "workload/job_size.h"
+
+namespace stale::workload {
+namespace {
+
+TEST(PoissonProcessTest, GapMeanMatchesRate) {
+  PoissonProcess process(4.0);
+  sim::Rng rng(1);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += process.next_gap(rng);
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+  EXPECT_DOUBLE_EQ(process.mean_gap(), 0.25);
+}
+
+TEST(PoissonProcessTest, GapsAreMemorylessExponential) {
+  // Coefficient of variation of exponential gaps is 1.
+  PoissonProcess process(1.0);
+  sim::Rng rng(2);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = process.next_gap(rng);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.02);
+}
+
+TEST(PoissonProcessTest, RejectsBadRate) {
+  EXPECT_THROW(PoissonProcess(0.0), std::invalid_argument);
+}
+
+TEST(BurstyProcessTest, LongRunMeanGapIsExact) {
+  BurstyProcess process(10.0, 10.0, 0.1);
+  sim::Rng rng(3);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += process.next_gap(rng);
+  EXPECT_NEAR(sum / n, 10.0, 0.25);
+}
+
+TEST(BurstyProcessTest, GapsAreBimodal) {
+  // With g_in = 0.1 and B = 10, ~90% of gaps must be short (< 1) and the
+  // rest long (around the solved between-burst mean).
+  BurstyProcess process(10.0, 10.0, 0.1);
+  sim::Rng rng(4);
+  int shorts = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (process.next_gap(rng) < 1.0) ++shorts;
+  }
+  EXPECT_NEAR(static_cast<double>(shorts) / n, 0.9, 0.02);
+  EXPECT_GT(process.between_burst_gap(), 50.0);
+}
+
+TEST(BurstyProcessTest, GapVarianceExceedsPoisson) {
+  BurstyProcess bursty(5.0, 10.0, 0.05);
+  PoissonProcess poisson(1.0 / 5.0);
+  sim::Rng rng(5);
+  auto cv2 = [&rng](ArrivalProcess& process) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      const double g = process.next_gap(rng);
+      sum += g;
+      sum_sq += g * g;
+    }
+    const double mean = sum / n;
+    return (sum_sq / n - mean * mean) / (mean * mean);
+  };
+  EXPECT_GT(cv2(bursty), 2.0 * cv2(poisson));
+}
+
+TEST(BurstyProcessTest, DegenerateBurstOfOneIsPoissonLike) {
+  // B = 1 means every gap is a between-burst gap with mean T.
+  BurstyProcess process(2.0, 1.0, 0.5);
+  sim::Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += process.next_gap(rng);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(BurstyProcessTest, RejectsInfeasibleParameters) {
+  EXPECT_THROW(BurstyProcess(0.0, 10.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(BurstyProcess(1.0, 0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(BurstyProcess(1.0, 10.0, -0.1), std::invalid_argument);
+  // Within-burst gaps alone exceed the target mean: infeasible.
+  EXPECT_THROW(BurstyProcess(1.0, 10.0, 2.0), std::invalid_argument);
+}
+
+TEST(JobSizeTest, NamedPaperWorkloads) {
+  const auto fig10 = make_job_size("pareto_fig10");
+  EXPECT_NEAR(fig10->mean(), 1.0, 1e-6);
+  const auto fig11 = make_job_size("pareto_fig11");
+  EXPECT_NEAR(fig11->mean(), 1.0, 1e-6);
+  // Figure 10's tail (alpha = 1.1) is heavier than Figure 11's (1.5).
+  EXPECT_GT(fig10->variance(), fig11->variance());
+}
+
+TEST(JobSizeTest, RawSpecsPassThrough) {
+  EXPECT_DOUBLE_EQ(make_job_size("exp:1")->mean(), 1.0);
+  EXPECT_DOUBLE_EQ(make_job_size("det:2")->mean(), 2.0);
+  EXPECT_THROW(make_job_size("bogus:1"), std::invalid_argument);
+}
+
+TEST(JobSizeTest, Fig10MaxIsThousandTimesMean) {
+  const auto dist = make_job_size("pareto_fig10");
+  sim::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_LE(dist->sample(rng), 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace stale::workload

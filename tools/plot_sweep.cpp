@@ -1,0 +1,84 @@
+// plot_sweep: renders the --csv output of any sweep bench as an SVG chart.
+//
+//   build/bench/fig02_periodic_update --csv |
+//       build/tools/plot_sweep --out fig02.svg --title "Figure 2"
+//           --log-x --log-y --x-label ... --y-label ...
+//
+// Reads stdin, writes the SVG to --out (default sweep.svg).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/svg_plot.h"
+
+namespace {
+
+struct Args {
+  std::string out = "sweep.svg";
+  stale::driver::PlotOptions options;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  args.options.x_label = "T (mean service times)";
+  args.options.y_label = "mean response time";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("plot_sweep: " + flag + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (flag == "--out") {
+      args.out = value();
+    } else if (flag == "--title") {
+      args.options.title = value();
+    } else if (flag == "--x-label") {
+      args.options.x_label = value();
+    } else if (flag == "--y-label") {
+      args.options.y_label = value();
+    } else if (flag == "--log-x") {
+      args.options.log_x = true;
+    } else if (flag == "--log-y") {
+      args.options.log_y = true;
+    } else if (flag == "--width") {
+      args.options.width = std::stoi(value());
+    } else if (flag == "--height") {
+      args.options.height = std::stoi(value());
+    } else {
+      throw std::invalid_argument("plot_sweep: unknown flag " + flag);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    const auto series = stale::driver::parse_sweep_csv(buffer.str());
+    if (series.empty()) {
+      std::cerr << "plot_sweep: no parsable series on stdin (pipe a bench's "
+                   "--csv output)\n";
+      return 1;
+    }
+    const std::string svg =
+        stale::driver::render_line_chart(series, args.options);
+    std::ofstream out(args.out);
+    if (!out) {
+      std::cerr << "plot_sweep: cannot write '" << args.out << "'\n";
+      return 1;
+    }
+    out << svg;
+    std::cerr << "plot_sweep: wrote " << args.out << " (" << series.size()
+              << " series)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "plot_sweep: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+// staleload_sim: general-purpose experiment explorer. Runs one experiment
+// configuration from command-line flags and prints the full result record —
+// the single binary a user reaches for before scripting sweeps.
+//
+//   build/tools/staleload_sim --policy basic_li --model periodic --t 8
+//       --lambda 0.9 --n 10 [--job-size exp:1] [--trials 5] [--adaptive]
+//
+// Models: periodic | continuous | update_on_access | individual
+// Policies: random | k_subset:K | threshold:K:T | basic_li | aggressive_li |
+//           hybrid_li | basic_li_k:K
+#include <iostream>
+
+#include "bench_common.h"
+#include "driver/adaptive.h"
+#include "driver/table.h"
+#include "loadinfo/delay_distribution.h"
+#include "queueing/theory.h"
+
+namespace {
+
+stale::driver::UpdateModel parse_model(const std::string& name) {
+  using stale::driver::UpdateModel;
+  for (UpdateModel model :
+       {UpdateModel::kPeriodic, UpdateModel::kContinuous,
+        UpdateModel::kUpdateOnAccess, UpdateModel::kIndividual}) {
+    if (stale::driver::update_model_name(model) == name) return model;
+  }
+  throw std::invalid_argument("unknown --model '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> flags = {
+      "policy", "model",    "t",         "lambda",    "n",
+      "job-size", "delay",  "rate-est",  "lambda-err", "precision"};
+  const std::vector<std::string> switches = {"bursty", "know-age",
+                                             "adaptive"};
+  return stale::bench::run_bench(
+      argc, argv, flags, switches, [](const stale::driver::Cli& cli) {
+        stale::driver::ExperimentConfig config;
+        config.num_servers = static_cast<int>(cli.get_int("n", 10));
+        config.lambda = cli.get_double("lambda", 0.9);
+        config.model = parse_model(cli.get("model", "periodic"));
+        config.update_interval = cli.get_double("t", 1.0);
+        config.delay_kind =
+            stale::loadinfo::parse_delay_kind(cli.get("delay", "constant"));
+        config.know_actual_age = cli.has("know-age");
+        config.bursty = cli.has("bursty");
+        config.policy = cli.get("policy", "basic_li");
+        config.job_size = cli.get("job-size", "exp:1");
+        config.rate_estimator = cli.get("rate-est", "told");
+        config.lambda_error_factor = cli.get_double("lambda-err", 1.0);
+        cli.apply_run_scale(config);
+
+        std::cout << "# staleload_sim: " << config.policy << " under "
+                  << stale::driver::update_model_name(config.model)
+                  << " (n = " << config.num_servers
+                  << ", lambda = " << config.lambda
+                  << ", T = " << config.update_interval
+                  << ", jobs = " << config.job_size << ")\n";
+
+        stale::driver::ExperimentResult result;
+        int trials_used = config.trials;
+        if (cli.has("adaptive")) {
+          stale::driver::AdaptiveOptions options;
+          options.relative_precision = cli.get_double("precision", 0.03);
+          const auto adaptive =
+              stale::driver::run_until_confident(config, options);
+          result = std::move(adaptive.result);
+          trials_used = adaptive.trials_used;
+          std::cout << "# adaptive: " << trials_used << " trials, "
+                    << (adaptive.converged ? "converged" : "budget exhausted")
+                    << "\n";
+        } else {
+          result = stale::driver::run_experiment(config);
+        }
+
+        using stale::driver::Table;
+        Table table({"metric", "value"});
+        table.add_row({"mean response", Table::fmt_ci(result.mean(),
+                                                      result.ci90())});
+        const auto box = result.box();
+        table.add_row({"median (trials)", Table::fmt(box.median)});
+        table.add_row({"p25..p75", Table::fmt(box.p25) + " .. " +
+                                       Table::fmt(box.p75)});
+        table.add_row({"min..max", Table::fmt(box.min) + " .. " +
+                                       Table::fmt(box.max)});
+        table.add_row({"trials", std::to_string(trials_used)});
+
+        // Analytic context for homogeneous exponential clusters.
+        if (config.job_size.rfind("exp:1", 0) == 0 && config.lambda < 1.0) {
+          table.add_row(
+              {"M/M/1 (random split)",
+               Table::fmt(stale::queueing::theory::mm1_response_time(
+                   config.lambda))});
+          table.add_row(
+              {"M/M/c (central queue)",
+               Table::fmt(stale::queueing::theory::mmc_response_time(
+                   static_cast<std::size_t>(config.num_servers),
+                   config.lambda))});
+        }
+        table.print(std::cout, cli.csv());
+      });
+}
