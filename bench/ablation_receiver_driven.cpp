@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         cli.apply_run_scale(base);
         // The event-kernel engine is several times slower than the lazy
         // engine; trim the default run length accordingly.
-        if (!cli.has("paper") && !cli.has("jobs")) {
+        if (!cli.has("paper") && !cli.has("num-jobs")) {
           base.num_jobs /= 2;
           base.warmup_jobs /= 2;
         }

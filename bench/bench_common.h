@@ -49,8 +49,8 @@ int run_bench(int argc, const char* const* argv,
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n"
-              << "flags: --paper | --fast | --jobs N --warmup N --trials N "
-                 "--seed S --csv";
+              << "flags: --paper | --fast | --num-jobs N --warmup N "
+                 "--trials N --seed S --jobs THREADS --csv";
     for (const auto& flag : extra_flags) std::cerr << " --" << flag << " V";
     for (const auto& flag : extra_switches) std::cerr << " --" << flag;
     std::cerr << "\n";

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
         cli.apply_run_scale(base);
         // 100 servers cost ~10x per job; halve the default run length (the
         // cluster also mixes faster with 90 arrivals per time unit).
-        if (!cli.has("paper") && !cli.has("jobs")) {
+        if (!cli.has("paper") && !cli.has("num-jobs")) {
           base.num_jobs /= 2;
           base.warmup_jobs /= 2;
         }

@@ -1,8 +1,14 @@
 // Google-benchmark microbenchmarks: per-decision cost of each dispatch
-// policy, the LI math kernels across cluster sizes, the samplers, and
-// end-to-end simulation throughput (jobs/second) for each staleness model.
+// policy, the LI math kernels across cluster sizes, the samplers, the
+// event-queue kernel (slab vs. the retired hash-map design), end-to-end
+// simulation throughput (jobs/second) for each staleness model, and the
+// thread-pool scaling of run_experiment.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "core/aggressive_schedule.h"
@@ -12,6 +18,7 @@
 #include "driver/experiment.h"
 #include "policy/policy_factory.h"
 #include "sim/rng.h"
+#include "sim/simulator.h"
 
 namespace {
 
@@ -90,6 +97,116 @@ BENCHMARK_CAPTURE(BM_PolicyDecision, basic_li, "basic_li");
 BENCHMARK_CAPTURE(BM_PolicyDecision, aggressive_li, "aggressive_li");
 BENCHMARK_CAPTURE(BM_PolicyDecision, basic_li_k3, "basic_li_k:3");
 
+// The event-queue design the slab replaced: an unordered_map from event id
+// to callback plus a lazy-deletion heap. Kept here (only here) as the
+// baseline for BM_SimulatorEventLoop — one hash insert/find/erase and a
+// map-node allocation per event.
+class HashMapSimulator {
+ public:
+  using EventFn = std::function<void(HashMapSimulator&)>;
+  struct Handle {
+    std::uint64_t id = 0;
+  };
+
+  double now() const { return now_; }
+
+  Handle schedule_after(double delay, EventFn fn) {
+    const std::uint64_t id = next_id_++;
+    queue_.push(Entry{now_ + delay, id});
+    callbacks_.emplace(id, std::move(fn));
+    return Handle{id};
+  }
+
+  bool cancel(Handle handle) { return callbacks_.erase(handle.id) > 0; }
+
+  std::uint64_t run() {
+    std::uint64_t fired = 0;
+    while (step()) ++fired;
+    return fired;
+  }
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t id;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  bool step() {
+    while (!queue_.empty() && callbacks_.count(queue_.top().id) == 0) {
+      queue_.pop();  // cancelled; discard
+    }
+    if (queue_.empty()) return false;
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(entry.id);
+    EventFn fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = entry.when;
+    fn(*this);
+    return true;
+  }
+
+  double now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, EventFn> callbacks_;
+};
+
+// Timer-chain workload shared by the two event-loop benches: `chains`
+// concurrent self-rescheduling timers, each also scheduling and cancelling a
+// decoy per tick so the cancellation path is exercised too.
+template <typename Sim, typename Fn>
+std::uint64_t run_event_loop(int chains, std::uint64_t events_per_chain) {
+  Sim sim;
+  std::vector<Fn> tick(static_cast<std::size_t>(chains));
+  std::vector<std::uint64_t> remaining(static_cast<std::size_t>(chains),
+                                       events_per_chain);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < chains; ++i) {
+    const auto slot = static_cast<std::size_t>(i);
+    const double gap = 0.5 + 0.01 * i;
+    tick[slot] = [&tick, &remaining, &fired, slot, gap](Sim& s) {
+      ++fired;
+      const auto decoy = s.schedule_after(gap * 3.0, [](Sim&) {});
+      s.cancel(decoy);
+      if (--remaining[slot] > 0) s.schedule_after(gap, tick[slot]);
+    };
+    sim.schedule_after(gap, tick[slot]);
+  }
+  sim.run();
+  return fired;
+}
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kEventsPerChain = 2'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_event_loop<stale::sim::Simulator, stale::sim::EventFn>(
+            chains, kEventsPerChain));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          chains * static_cast<std::int64_t>(kEventsPerChain));
+}
+BENCHMARK(BM_SimulatorEventLoop)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SimulatorEventLoopHashMap(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kEventsPerChain = 2'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_event_loop<HashMapSimulator, HashMapSimulator::EventFn>(
+            chains, kEventsPerChain));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          chains * static_cast<std::int64_t>(kEventsPerChain));
+}
+BENCHMARK(BM_SimulatorEventLoopHashMap)->Arg(10)->Arg(100)->Arg(1000);
+
 void BM_TrialThroughput(benchmark::State& state,
                         stale::driver::UpdateModel model) {
   stale::driver::ExperimentConfig config;
@@ -111,6 +228,33 @@ BENCHMARK_CAPTURE(BM_TrialThroughput, continuous,
                   stale::driver::UpdateModel::kContinuous);
 BENCHMARK_CAPTURE(BM_TrialThroughput, update_on_access,
                   stale::driver::UpdateModel::kUpdateOnAccess);
+
+// End-to-end experiment throughput (jobs simulated per second of wall
+// time) as a function of the worker-thread count: 8 trials fanned out over
+// the runtime thread pool.
+void BM_ExperimentThreadScaling(benchmark::State& state) {
+  stale::driver::ExperimentConfig config;
+  config.model = stale::driver::UpdateModel::kPeriodic;
+  config.update_interval = 4.0;
+  config.num_jobs = 20'000;
+  config.warmup_jobs = 1'000;
+  config.policy = "basic_li";
+  config.trials = 8;
+  config.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stale::driver::run_experiment(config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          config.trials *
+                          static_cast<std::int64_t>(config.num_jobs));
+}
+BENCHMARK(BM_ExperimentThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,13 +4,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace stale::driver {
 
 namespace {
 
 const std::vector<std::string> kStandardSwitches = {"paper", "fast", "csv"};
-const std::vector<std::string> kStandardFlags = {"jobs", "warmup", "trials",
-                                                 "seed"};
+const std::vector<std::string> kStandardFlags = {"num-jobs", "warmup",
+                                                 "trials", "seed", "jobs"};
 
 bool contains(const std::vector<std::string>& list, const std::string& item) {
   return std::find(list.begin(), list.end(), item) != list.end();
@@ -89,6 +91,17 @@ std::int64_t Cli::get_int(const std::string& flag,
   return value;
 }
 
+int Cli::jobs() const {
+  if (has("jobs")) {
+    const int jobs = static_cast<int>(get_int("jobs", 0));
+    if (jobs < 1) {
+      throw std::invalid_argument("Cli: --jobs must be >= 1");
+    }
+    return jobs;
+  }
+  return runtime::ThreadPool::default_jobs();
+}
+
 void Cli::apply_run_scale(ExperimentConfig& config) const {
   if (has("paper")) {
     config.num_jobs = 500'000;
@@ -104,14 +117,15 @@ void Cli::apply_run_scale(ExperimentConfig& config) const {
     config.trials = 5;
   }
   config.num_jobs =
-      static_cast<std::uint64_t>(get_int("jobs", static_cast<std::int64_t>(
-                                                     config.num_jobs)));
+      static_cast<std::uint64_t>(get_int("num-jobs", static_cast<std::int64_t>(
+                                                         config.num_jobs)));
   config.warmup_jobs = static_cast<std::uint64_t>(
       get_int("warmup", static_cast<std::int64_t>(config.warmup_jobs)));
   config.trials =
       static_cast<int>(get_int("trials", config.trials));
   config.base_seed = static_cast<std::uint64_t>(
       get_int("seed", static_cast<std::int64_t>(config.base_seed)));
+  config.jobs = jobs();
 }
 
 std::string Cli::scale_description() const {
@@ -120,7 +134,8 @@ std::string Cli::scale_description() const {
   std::ostringstream os;
   os << (has("paper") ? "paper" : has("fast") ? "fast" : "default")
      << " scale: " << probe.num_jobs << " jobs (" << probe.warmup_jobs
-     << " warmup), " << probe.trials << " trials, seed " << probe.base_seed;
+     << " warmup), " << probe.trials << " trials, seed " << probe.base_seed
+     << ", " << probe.jobs << " worker thread(s)";
   return os.str();
 }
 

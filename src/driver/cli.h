@@ -2,11 +2,14 @@
 //
 // Every figure bench accepts:
 //   --paper           paper-fidelity run lengths (500k jobs, 100k warmup,
-//                     10 trials — hours on one core for the big sweeps)
+//                     10 trials)
 //   --fast            smoke-test lengths (20k jobs, 5k warmup, 2 trials)
 //   (default)         reduced lengths that keep every qualitative shape
 //                     (120k jobs, 30k warmup, 5 trials)
-//   --jobs N --warmup N --trials N --seed S   manual overrides
+//   --num-jobs N --warmup N --trials N --seed S   manual overrides
+//   --jobs N          worker threads (make-style); defaults to the
+//                     STALE_JOBS env var, else hardware_concurrency.
+//                     --jobs 1 restores the old single-threaded path.
 //   --csv             machine-readable output
 #pragma once
 
@@ -35,7 +38,12 @@ class Cli {
 
   bool csv() const { return has("csv"); }
 
-  // Applies --paper/--fast/--jobs/--warmup/--trials/--seed to `config`.
+  // Resolved worker-thread count: --jobs when given, else the STALE_JOBS
+  // environment variable, else hardware_concurrency.
+  int jobs() const;
+
+  // Applies --paper/--fast/--num-jobs/--warmup/--trials/--seed/--jobs to
+  // `config`.
   void apply_run_scale(ExperimentConfig& config) const;
 
   // One-line description of the selected scale, for bench headers.

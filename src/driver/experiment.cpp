@@ -13,6 +13,7 @@
 #include "queueing/cluster.h"
 #include "queueing/load_stats.h"
 #include "queueing/metrics.h"
+#include "runtime/thread_pool.h"
 #include "sim/rng.h"
 #include "workload/bursty_process.h"
 #include "workload/job_size.h"
@@ -237,11 +238,30 @@ TrialResult run_trial(const ExperimentConfig& config, std::uint64_t seed) {
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   validate(config);
+  const auto trials = static_cast<std::size_t>(config.trials);
+  std::vector<TrialResult> outcomes(trials);
+
+  // Each trial writes into its pre-sized slot; the workers' completion order
+  // never reaches the aggregation below, so parallel runs are bit-identical
+  // to serial ones.
+  const auto one_trial = [&](std::size_t trial) {
+    const std::uint64_t seed =
+        sim::trial_seed(config.base_seed, static_cast<int>(trial));
+    outcomes[trial] = run_trial(config, seed);
+  };
+
+  const int jobs = std::min(runtime::resolve_jobs(config.jobs),
+                            static_cast<int>(trials));
+  if (jobs > 1 && !runtime::ThreadPool::on_worker_thread()) {
+    runtime::ThreadPool pool(jobs);
+    runtime::parallel_for_each(pool, trials, one_trial);
+  } else {
+    for (std::size_t trial = 0; trial < trials; ++trial) one_trial(trial);
+  }
+
   ExperimentResult result;
-  result.trial_means.reserve(static_cast<std::size_t>(config.trials));
-  for (int trial = 0; trial < config.trials; ++trial) {
-    const std::uint64_t seed = sim::trial_seed(config.base_seed, trial);
-    const TrialResult outcome = run_trial(config, seed);
+  result.trial_means.reserve(trials);
+  for (const TrialResult& outcome : outcomes) {
     result.across_trials.add(outcome.mean_response);
     result.trial_means.push_back(outcome.mean_response);
   }

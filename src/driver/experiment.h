@@ -65,6 +65,15 @@ struct ExperimentConfig {
   int trials = 5;
   std::uint64_t base_seed = 0x5EEDBA5EULL;
 
+  // --- parallelism ---
+  // Worker threads used by run_experiment to run trials concurrently.
+  // 1 = serial (library default); 0 or negative = auto (STALE_JOBS env, else
+  // hardware_concurrency — see runtime/thread_pool.h). Results are
+  // bit-identical for every value: each trial derives an independent RNG
+  // stream from sim::trial_seed(base_seed, trial) and aggregation happens by
+  // trial index, not arrival order.
+  int jobs = 1;
+
   // Retain per-job response times so TrialResult carries tail percentiles
   // (p50/p95/p99). Costs 8 bytes per measured job.
   bool keep_response_samples = false;

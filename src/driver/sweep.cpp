@@ -1,11 +1,32 @@
 #include "driver/sweep.h"
 
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
 #include "driver/table.h"
+#include "runtime/thread_pool.h"
 
 namespace stale::driver {
+
+namespace {
+
+std::string format_cell(const ExperimentResult& result,
+                        const SweepOptions& options) {
+  if (options.box_stats) {
+    const sim::BoxStats box = result.box();
+    std::ostringstream cell;
+    cell << Table::fmt(box.median, options.precision) << " ["
+         << Table::fmt(box.p25, options.precision) << ","
+         << Table::fmt(box.p75, options.precision) << "] ("
+         << Table::fmt(box.min, options.precision) << ".."
+         << Table::fmt(box.max, options.precision) << ")";
+    return cell.str();
+  }
+  return Table::fmt_ci(result.mean(), result.ci90(), options.precision);
+}
+
+}  // namespace
 
 void run_sweep(const ExperimentConfig& base, const std::string& x_label,
                const std::vector<double>& x_values,
@@ -16,29 +37,43 @@ void run_sweep(const ExperimentConfig& base, const std::string& x_label,
   for (const auto& policy : policies) columns.push_back(policy);
   Table table(std::move(columns));
 
-  for (double x : x_values) {
-    std::vector<std::string> row{Table::fmt(x, 3)};
-    for (const auto& policy : policies) {
-      ExperimentConfig config = base;
-      mutate(config, x);
-      config.policy = policy;
-      const ExperimentResult result = run_experiment(config);
-      if (options.box_stats) {
-        const sim::BoxStats box = result.box();
-        std::ostringstream cell;
-        cell << Table::fmt(box.median, options.precision) << " ["
-             << Table::fmt(box.p25, options.precision) << ","
-             << Table::fmt(box.p75, options.precision) << "] ("
-             << Table::fmt(box.min, options.precision) << ".."
-             << Table::fmt(box.max, options.precision) << ")";
-        row.push_back(cell.str());
-      } else {
-        row.push_back(Table::fmt_ci(result.mean(), result.ci90(),
-                                    options.precision));
-      }
-      if (options.progress != nullptr) {
-        *options.progress << "." << std::flush;
-      }
+  // Compute every (x-value x policy) cell into a pre-sized grid; the grid is
+  // filled by cell index, so the table below comes out in deterministic
+  // order no matter which worker finished first.
+  const std::size_t cells = x_values.size() * policies.size();
+  std::vector<std::string> grid(cells);
+  std::mutex progress_mutex;
+
+  const auto compute_cell = [&](std::size_t index) {
+    const std::size_t xi = index / policies.size();
+    const std::size_t pi = index % policies.size();
+    ExperimentConfig config = base;
+    mutate(config, x_values[xi]);
+    config.policy = policies[pi];
+    // Cells are the unit of parallelism here; trials within a cell run
+    // serially on this worker (nested pools would oversubscribe).
+    config.jobs = 1;
+    grid[index] = format_cell(run_experiment(config), options);
+    if (options.progress != nullptr) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      *options.progress << "." << std::flush;
+    }
+  };
+
+  const int jobs = std::min<int>(
+      runtime::resolve_jobs(options.jobs != 0 ? options.jobs : base.jobs),
+      static_cast<int>(cells == 0 ? 1 : cells));
+  if (jobs > 1 && !runtime::ThreadPool::on_worker_thread()) {
+    runtime::ThreadPool pool(jobs);
+    runtime::parallel_for_each(pool, cells, compute_cell);
+  } else {
+    for (std::size_t index = 0; index < cells; ++index) compute_cell(index);
+  }
+
+  for (std::size_t xi = 0; xi < x_values.size(); ++xi) {
+    std::vector<std::string> row{Table::fmt(x_values[xi], 3)};
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      row.push_back(std::move(grid[xi * policies.size() + pi]));
     }
     table.add_row(std::move(row));
   }

@@ -19,6 +19,12 @@ struct SweepOptions {
   bool box_stats = false;
   int precision = 4;
   std::ostream* progress = nullptr;  // optional per-cell progress dots
+  // Worker threads used to run (x-value x policy) cells concurrently.
+  // 0 = inherit the base config's `jobs` field (what the CLI's --jobs /
+  // STALE_JOBS sets), 1 = serial, N = N threads, negative = auto. Rows are
+  // always printed in grid order and cell values are bit-identical to a
+  // serial run; only the progress dots arrive in completion order.
+  int jobs = 0;
 };
 
 // Runs `mutate(config, x)`-customized experiments for every x in `x_values`

@@ -1,0 +1,132 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace stale::runtime {
+
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Submitting during shutdown is allowed (a draining task may enqueue
+    // follow-up work); workers only exit once the queue is empty.
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
+int ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("STALE_JOBS")) {
+    try {
+      const int jobs = std::stoi(env);
+      if (jobs >= 1) return jobs;
+    } catch (const std::exception&) {
+      // Malformed STALE_JOBS falls through to hardware_concurrency.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+int resolve_jobs(int jobs) {
+  return jobs >= 1 ? jobs : ThreadPool::default_jobs();
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || pool.size() <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Shared by the shards; heap-allocated so a shard outliving an exceptional
+  // early return in the caller can never touch a dead stack frame.
+  struct Loop {
+    const std::function<void(std::size_t)>* fn;
+    std::size_t count;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t shards_left;
+    std::exception_ptr error;
+  };
+  const auto loop = std::make_shared<Loop>();
+  loop->fn = &fn;
+  loop->count = count;
+
+  const std::size_t shards =
+      std::min(static_cast<std::size_t>(pool.size()), count);
+  loop->shards_left = shards;
+
+  const auto run_shard = [loop] {
+    for (;;) {
+      const std::size_t i = loop->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= loop->count || loop->failed.load(std::memory_order_relaxed)) {
+        break;
+      }
+      try {
+        (*loop->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(loop->mutex);
+        if (!loop->error) loop->error = std::current_exception();
+        loop->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    std::lock_guard<std::mutex> lock(loop->mutex);
+    if (--loop->shards_left == 0) loop->done_cv.notify_all();
+  };
+
+  for (std::size_t s = 0; s < shards; ++s) pool.submit(run_shard);
+
+  std::unique_lock<std::mutex> lock(loop->mutex);
+  loop->done_cv.wait(lock, [&] { return loop->shards_left == 0; });
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+}  // namespace stale::runtime

@@ -1,0 +1,78 @@
+// Fixed-size thread pool and the parallel_for_each helper used by the
+// driver to fan trials and sweep cells out across cores.
+//
+// Design notes (see DESIGN.md "Runtime layer"):
+//  * The pool is a plain FIFO work queue; tasks are type-erased
+//    std::function<void()> thunks.
+//  * parallel_for_each hands out indices from a shared atomic counter, so
+//    uneven per-item cost (e.g. T=0.1 vs T=128 sweep cells) load-balances
+//    automatically.
+//  * Nested-submit safety: calling parallel_for_each from inside a pool
+//    worker runs the loop inline on that worker instead of enqueueing —
+//    blocking a worker on its own pool's queue could deadlock. This is what
+//    makes `run_sweep` (parallel over cells) compose with `run_experiment`
+//    (parallel over trials) without oversubscription.
+//  * Exceptions: the first exception thrown by an item is captured, the
+//    remaining items are abandoned as fast as possible, and the exception is
+//    rethrown on the calling thread once all in-flight items have drained.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stale::runtime {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  // Joins all workers. Pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Safe to call from worker threads (nested submit).
+  void submit(std::function<void()> task);
+
+  // True when the calling thread is a worker of *any* ThreadPool. Used to
+  // run nested parallel loops inline instead of deadlocking on the queue.
+  static bool on_worker_thread();
+
+  // The default worker count: the STALE_JOBS environment variable when set
+  // to a positive integer, else std::thread::hardware_concurrency() (>= 1).
+  static int default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Resolves a user-facing jobs knob: values >= 1 are taken literally,
+// anything else (0, negative) means "auto" = ThreadPool::default_jobs().
+int resolve_jobs(int jobs);
+
+// Runs fn(0) .. fn(count - 1), distributing items across the pool's workers,
+// and blocks until every item has finished. Items are claimed from a shared
+// counter, so ordering across threads is arbitrary — callers must write
+// results into pre-sized per-index slots, never append by arrival order.
+// Runs inline (serially) when the pool has one worker, count <= 1, or the
+// caller is itself a pool worker. The first exception thrown by any item is
+// rethrown on the calling thread.
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace stale::runtime

@@ -1,0 +1,192 @@
+// Type-erased `void(Simulator&)` callable with a 48-byte inline buffer.
+//
+// The simulator's event hot path schedules one closure per event;
+// std::function's small-buffer optimization (16 bytes in libstdc++) forces a
+// heap allocation for anything beyond a couple of captured pointers, which
+// put an allocator round-trip on every scheduled event. EventCallback raises
+// the inline threshold to 48 bytes — enough for every closure in this
+// codebase — and falls back to the heap only for larger or throwing-move
+// callables, so steady-state event scheduling allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace stale::sim {
+
+class Simulator;
+
+class EventCallback {
+  static constexpr std::size_t kInlineSize = 48;
+
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kInlineSize && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+ public:
+  EventCallback() noexcept = default;
+  EventCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventCallback> &&
+                                        std::is_invocable_v<D&, Simulator&>>>
+  EventCallback(F&& fn) {  // NOLINT(runtime/explicit)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(fn));
+      ops_ = inline_ops<D>();
+    } else {
+      ptr_ = new D(std::forward<F>(fn));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  EventCallback(const EventCallback& other) {
+    if (other.ops_ == nullptr) return;
+    if (other.ops_->trivial) {
+      std::memcpy(buffer_, other.buffer_, kInlineSize);
+      ops_ = other.ops_;
+    } else {
+      other.ops_->copy(other.object(), *this);
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { steal(other); }
+
+  EventCallback& operator=(const EventCallback& other) {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        if (other.ops_->trivial) {
+          std::memcpy(buffer_, other.buffer_, kInlineSize);
+          ops_ = other.ops_;
+        } else {
+          other.ops_->copy(other.object(), *this);
+        }
+      }
+    }
+    return *this;
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  EventCallback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~EventCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()(Simulator& sim) { ops_->invoke(object(), sim); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self, Simulator& sim);
+    void (*copy)(const void* self, EventCallback& to);
+    // Move-construct into `to` and destroy `self`. Inline storage only.
+    void (*relocate)(void* self, void* to) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool stores_inline;
+    // Trivially-copyable inline callable: copy/relocate are a plain memcpy
+    // and destruction is a no-op, so the hot paths skip the indirect calls.
+    bool trivial;
+  };
+
+  template <typename D>
+  static void invoke_object(void* self, Simulator& sim) {
+    (*static_cast<D*>(self))(sim);
+  }
+
+  template <typename D>
+  static void copy_inline(const void* self, EventCallback& to) {
+    ::new (static_cast<void*>(to.buffer_)) D(*static_cast<const D*>(self));
+    to.ops_ = inline_ops<D>();
+  }
+
+  template <typename D>
+  static void copy_heap(const void* self, EventCallback& to) {
+    to.ptr_ = new D(*static_cast<const D*>(self));
+    to.ops_ = heap_ops<D>();
+  }
+
+  template <typename D>
+  static void relocate_inline(void* self, void* to) noexcept {
+    ::new (to) D(std::move(*static_cast<D*>(self)));
+    static_cast<D*>(self)->~D();
+  }
+
+  template <typename D>
+  static void destroy_inline(void* self) noexcept {
+    static_cast<D*>(self)->~D();
+  }
+
+  template <typename D>
+  static void destroy_heap(void* self) noexcept {
+    delete static_cast<D*>(self);
+  }
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {&invoke_object<D>, &copy_inline<D>,
+                                &relocate_inline<D>, &destroy_inline<D>,
+                                /*stores_inline=*/true,
+                                std::is_trivially_copyable_v<D> &&
+                                    std::is_trivially_destructible_v<D>};
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {&invoke_object<D>, &copy_heap<D>, nullptr,
+                                &destroy_heap<D>,
+                                /*stores_inline=*/false,
+                                /*trivial=*/false};
+    return &ops;
+  }
+
+  void* object() noexcept {
+    return ops_->stores_inline ? static_cast<void*>(buffer_) : ptr_;
+  }
+  const void* object() const noexcept {
+    return ops_->stores_inline ? static_cast<const void*>(buffer_) : ptr_;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) ops_->destroy(object());
+      ops_ = nullptr;
+    }
+  }
+
+  void steal(EventCallback& other) noexcept {
+    if (other.ops_ == nullptr) return;
+    if (other.ops_->trivial) {
+      std::memcpy(buffer_, other.buffer_, kInlineSize);
+    } else if (other.ops_->stores_inline) {
+      other.ops_->relocate(other.buffer_, buffer_);
+    } else {
+      ptr_ = other.ptr_;
+    }
+    ops_ = other.ops_;
+    other.ops_ = nullptr;
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buffer_[kInlineSize];
+    void* ptr_;
+  };
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace stale::sim

@@ -5,14 +5,73 @@
 
 namespace stale::sim {
 
+namespace {
+
+constexpr std::uint64_t pack_id(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<std::uint64_t>(generation) << 32) | slot;
+}
+
+constexpr std::size_t kArity = 4;
+
+}  // namespace
+
+void Simulator::sift_up(std::size_t index) {
+  const Entry entry = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kArity;
+    if (!entry.before(heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = entry;
+}
+
+void Simulator::sift_down(std::size_t index) {
+  const Entry entry = heap_[index];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = index * kArity + 1;
+    if (first_child >= size) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kArity, size);
+    for (std::size_t child = first_child + 1; child < last_child; ++child) {
+      if (heap_[child].before(heap_[best])) best = child;
+    }
+    if (!heap_[best].before(entry)) break;
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = entry;
+}
+
+void Simulator::heap_push(const Entry& entry) {
+  heap_.push_back(entry);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::heap_pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
 EventHandle Simulator::schedule_at(double when, EventFn fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
-  return EventHandle{id};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& record = slots_[slot];
+  record.fn = std::move(fn);
+  heap_push(Entry{when, next_seq_++, slot, record.generation});
+  ++live_events_;
+  return EventHandle{pack_id(slot, record.generation)};
 }
 
 EventHandle Simulator::schedule_after(double delay, EventFn fn) {
@@ -22,33 +81,61 @@ EventHandle Simulator::schedule_after(double delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-bool Simulator::cancel(EventHandle handle) {
-  return callbacks_.erase(handle.id) > 0;
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& record = slots_[slot];
+  record.fn = nullptr;
+  ++record.generation;
+  free_slots_.push_back(slot);
+  --live_events_;
 }
 
-bool Simulator::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    Entry top = queue_.top();
-    if (callbacks_.count(top.id) > 0) {
-      out = top;
-      return true;
+void Simulator::compact_heap() {
+  std::size_t kept = 0;
+  for (const Entry& entry : heap_) {
+    if (slots_[entry.slot].generation == entry.generation) {
+      heap_[kept++] = entry;
     }
-    queue_.pop();  // cancelled; discard
   }
-  return false;
+  heap_.resize(kept);
+  if (kept > 1) {
+    // Floyd heapify: sift down every internal node, bottom-up.
+    for (std::size_t i = (kept - 2) / kArity + 1; i-- > 0;) sift_down(i);
+  }
+  stale_in_heap_ = 0;
 }
 
-bool Simulator::step() {
-  Entry entry;
-  if (!pop_next(entry)) return false;
-  queue_.pop();
-  auto it = callbacks_.find(entry.id);
-  EventFn fn = std::move(it->second);
-  callbacks_.erase(it);
-  now_ = entry.when;
+bool Simulator::cancel(EventHandle handle) {
+  const auto slot = static_cast<std::uint32_t>(handle.id & 0xffffffffULL);
+  const auto generation = static_cast<std::uint32_t>(handle.id >> 32);
+  if (generation == 0 || slot >= slots_.size()) return false;
+  if (slots_[slot].generation != generation) return false;
+  release_slot(slot);  // heap entry becomes stale; skipped when it surfaces
+  ++stale_in_heap_;
+  // Amortized O(1) per cancel: each compaction halves the heap at O(n) cost.
+  if (stale_in_heap_ > heap_.size() / 2 && heap_.size() >= 16) compact_heap();
+  return true;
+}
+
+bool Simulator::fire_next(const double* limit) {
+  // Discard stale heap entries (cancelled events) until a live one surfaces.
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (slots_[top.slot].generation == top.generation) break;
+    heap_pop_top();
+    --stale_in_heap_;
+  }
+  if (heap_.empty()) return false;
+  const Entry top = heap_.front();
+  if (limit != nullptr && top.when > *limit) return false;
+  heap_pop_top();
+  EventFn fn = std::move(slots_[top.slot].fn);
+  release_slot(top.slot);  // before the callback, so it can reuse the slot
+  now_ = top.when;
   fn(*this);
   return true;
 }
+
+bool Simulator::step() { return fire_next(nullptr); }
 
 std::uint64_t Simulator::run() {
   std::uint64_t fired = 0;
@@ -58,11 +145,7 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(double until) {
   std::uint64_t fired = 0;
-  Entry entry;
-  while (pop_next(entry) && entry.when <= until) {
-    step();
-    ++fired;
-  }
+  while (fire_next(&until)) ++fired;
   if (until > now_) now_ = until;
   return fired;
 }

@@ -5,21 +5,34 @@
 // it runs the examples, the update-on-access client engine tests, and the
 // cross-engine validation suite. Events at equal timestamps fire in
 // scheduling order (stable FIFO tie-break), which keeps runs deterministic.
+//
+// Event storage is a slab with a free list: each scheduled event occupies a
+// reusable slot holding its callback and a generation counter, and the heap
+// entry carries (slot, generation). Cancellation bumps the slot's generation,
+// so stale heap entries are recognized and discarded when they surface — no
+// per-event hash-map node, no allocation on the steady-state hot path (slots
+// and the heap's backing vector are reused across events). The pending set
+// itself is a 4-ary min-heap: half the levels of a binary heap and
+// cache-line-friendly sibling scans, which is where an event loop spends
+// most of its time once the hash map is gone.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
+
+#include "sim/event_callback.h"
 
 namespace stale::sim {
 
 class Simulator;
 
-using EventFn = std::function<void(Simulator&)>;
+// Event callbacks are held in an allocation-avoiding small-buffer wrapper;
+// any callable invocable as fn(Simulator&) converts implicitly, exactly as
+// with the std::function it replaced.
+using EventFn = EventCallback;
 
-// Opaque handle used to cancel a scheduled event.
+// Opaque handle used to cancel a scheduled event. A default-constructed
+// handle (id 0) is never live.
 struct EventHandle {
   std::uint64_t id = 0;
 };
@@ -37,7 +50,7 @@ class Simulator {
   EventHandle schedule_after(double delay, EventFn fn);
 
   // Cancels a pending event. Returns false if the event already ran or was
-  // cancelled. Cancellation is O(1) (lazy: the callback is dropped and the
+  // cancelled. Cancellation is O(1) (the slot's generation is bumped and the
   // heap entry is skipped when popped).
   bool cancel(EventHandle handle);
 
@@ -50,26 +63,52 @@ class Simulator {
   // Fires the single next event, if any. Returns false when idle.
   bool step();
 
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const { return live_events_; }
 
  private:
   struct Entry {
     double when;
-    std::uint64_t id;
-    // Min-heap by (when, id): earlier time first, FIFO among ties.
-    bool operator>(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return id > other.id;
+    std::uint64_t seq;  // scheduling order, for the FIFO tie-break
+    std::uint32_t slot;
+    std::uint32_t generation;
+    // Min-heap order: earlier time first, FIFO (scheduling order) among ties.
+    bool before(const Entry& other) const {
+      if (when != other.when) return when < other.when;
+      return seq < other.seq;
     }
   };
 
-  // Pops heap entries until a live one is found. Returns false when empty.
-  bool pop_next(Entry& out);
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 1;  // starts at 1 so a live id is never 0
+  };
+
+  // Fires the next event if one exists and (when limit != nullptr) its time
+  // is <= *limit. Each event is located with a single heap scan.
+  bool fire_next(const double* limit);
+
+  // Marks `slot` dead (generation bump) and returns it to the free list.
+  void release_slot(std::uint32_t slot);
+
+  // 4-ary min-heap primitives over heap_.
+  void heap_push(const Entry& entry);
+  void heap_pop_top();
+  void sift_up(std::size_t index);
+  void sift_down(std::size_t index);
+
+  // Drops every stale (cancelled) entry and re-heapifies in O(n). Called
+  // when stale entries outnumber live ones, so cancel-heavy workloads
+  // (timeouts that almost always get cancelled) keep the heap compact
+  // instead of sifting dead weight on every pop.
+  void compact_heap();
 
   double now_ = 0.0;
-  std::uint64_t next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<std::uint64_t, EventFn> callbacks_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_events_ = 0;
+  std::size_t stale_in_heap_ = 0;
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace stale::sim

@@ -1,0 +1,106 @@
+// The tentpole guarantee of the runtime layer: running trials (and sweep
+// cells) on a thread pool produces results bit-identical to the serial path.
+// Each trial owns an independent RNG stream derived from
+// sim::trial_seed(base_seed, trial), and aggregation happens by trial index,
+// so thread scheduling can never leak into the numbers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "driver/experiment.h"
+#include "driver/sweep.h"
+
+namespace stale::driver {
+namespace {
+
+ExperimentConfig small_config(UpdateModel model) {
+  ExperimentConfig config;
+  config.model = model;
+  config.num_servers = 8;
+  config.lambda = 0.9;
+  config.update_interval = 4.0;
+  config.policy = "basic_li";
+  config.num_jobs = 6'000;
+  config.warmup_jobs = 1'000;
+  config.trials = 8;
+  return config;
+}
+
+// Bitwise double comparison: == would also accept -0.0 vs 0.0 and hides
+// nothing, but the guarantee we advertise is bit-identical output.
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in their bit patterns";
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<UpdateModel> {};
+
+TEST_P(ParallelDeterminismTest, ParallelTrialsBitIdenticalToSerial) {
+  ExperimentConfig config = small_config(GetParam());
+
+  config.jobs = 1;
+  const ExperimentResult serial = run_experiment(config);
+  config.jobs = 8;
+  const ExperimentResult parallel = run_experiment(config);
+
+  ASSERT_EQ(serial.trial_means.size(), parallel.trial_means.size());
+  for (std::size_t i = 0; i < serial.trial_means.size(); ++i) {
+    EXPECT_TRUE(bits_equal(serial.trial_means[i], parallel.trial_means[i]))
+        << "trial " << i;
+  }
+  EXPECT_TRUE(bits_equal(serial.mean(), parallel.mean()));
+  EXPECT_TRUE(bits_equal(serial.ci90(), parallel.ci90()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUpdateModels, ParallelDeterminismTest,
+    ::testing::Values(UpdateModel::kPeriodic, UpdateModel::kContinuous,
+                      UpdateModel::kUpdateOnAccess, UpdateModel::kIndividual),
+    [](const ::testing::TestParamInfo<UpdateModel>& info) {
+      return update_model_name(info.param);
+    });
+
+TEST(ParallelSweepTest, ParallelCellsPrintIdenticalTables) {
+  ExperimentConfig base = small_config(UpdateModel::kPeriodic);
+  base.num_jobs = 3'000;
+  base.warmup_jobs = 500;
+  base.trials = 3;
+
+  SweepOptions serial_options;
+  serial_options.jobs = 1;
+  std::ostringstream serial_os;
+  run_t_sweep(base, {0.5, 4.0, 32.0}, {"random", "basic_li", "k_subset:2"},
+              serial_os, serial_options);
+
+  SweepOptions parallel_options;
+  parallel_options.jobs = 8;
+  std::ostringstream parallel_os;
+  run_t_sweep(base, {0.5, 4.0, 32.0}, {"random", "basic_li", "k_subset:2"},
+              parallel_os, parallel_options);
+
+  EXPECT_EQ(serial_os.str(), parallel_os.str());
+}
+
+TEST(ParallelSweepTest, SweepInheritsJobsFromBaseConfig) {
+  ExperimentConfig base = small_config(UpdateModel::kPeriodic);
+  base.num_jobs = 2'000;
+  base.warmup_jobs = 500;
+  base.trials = 2;
+  base.jobs = 4;  // what cli.apply_run_scale() sets from --jobs / STALE_JOBS
+
+  std::ostringstream parallel_os;
+  run_t_sweep(base, {1.0, 8.0}, {"random", "basic_li"}, parallel_os, {});
+
+  base.jobs = 1;
+  std::ostringstream serial_os;
+  run_t_sweep(base, {1.0, 8.0}, {"random", "basic_li"}, serial_os, {});
+
+  EXPECT_EQ(parallel_os.str(), serial_os.str());
+}
+
+}  // namespace
+}  // namespace stale::driver

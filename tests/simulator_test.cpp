@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <functional>
 #include <vector>
 
 namespace stale::sim {
@@ -101,6 +104,45 @@ TEST(SimulatorTest, RejectsSchedulingInThePast) {
                std::invalid_argument);
   EXPECT_THROW(sim.schedule_after(-1.0, [](Simulator&) {}),
                std::invalid_argument);
+}
+
+TEST(SimulatorTest, MassCancellationCompactsAndPreservesOrder) {
+  // Cancel-heavy stress: interleave thousands of schedules with cancels of
+  // every other event, exercising slot reuse, generation checks, and the
+  // stale-entry heap compaction. Survivors must still fire in time order.
+  Simulator sim;
+  std::vector<double> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 4'000; ++i) {
+    const double when = static_cast<double>((i * 7919) % 4'000) + 0.5;
+    handles.push_back(
+        sim.schedule_at(when, [&](Simulator& s) { fired.push_back(s.now()); }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    cancelled += sim.cancel(handles[i]) ? 1 : 0;
+  }
+  EXPECT_EQ(cancelled, 2'000);
+  EXPECT_EQ(sim.pending(), 2'000u);
+  EXPECT_EQ(sim.run(), 2'000u);
+  EXPECT_EQ(fired.size(), 2'000u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  // Every cancelled handle stays dead, even after its slot was recycled.
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    EXPECT_FALSE(sim.cancel(handles[i]));
+  }
+}
+
+TEST(SimulatorTest, LargeCapturesFallBackToTheHeap) {
+  // Closures beyond EventCallback's inline buffer must still work (the
+  // wrapper heap-allocates them transparently).
+  Simulator sim;
+  std::array<double, 32> payload{};
+  payload[31] = 42.0;
+  double seen = 0.0;
+  sim.schedule_at(1.0, [payload, &seen](Simulator&) { seen = payload[31]; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
 }
 
 TEST(SimulatorTest, EventsCanScheduleChains) {

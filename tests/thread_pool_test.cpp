@@ -1,0 +1,132 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace stale::runtime {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor drains the queue and joins
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+}
+
+TEST(ParallelForEachTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for_each(pool, kCount,
+                    [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForEachTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  parallel_for_each(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForEachTest, SingleItemRunsInline) {
+  ThreadPool pool(4);
+  bool on_worker = true;
+  parallel_for_each(pool, 1, [&](std::size_t) {
+    on_worker = ThreadPool::on_worker_thread();
+  });
+  EXPECT_FALSE(on_worker);  // count == 1 short-circuits to the caller
+}
+
+TEST(ParallelForEachTest, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for_each(pool, 100,
+                        [](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must remain usable after an exceptional loop.
+  std::atomic<int> count{0};
+  parallel_for_each(pool, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelForEachTest, ExceptionAbandonsRemainingItems) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    parallel_for_each(pool, 100'000, [&](std::size_t) {
+      ran.fetch_add(1);
+      throw std::runtime_error("every item fails");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  // After the first failure the remaining indices are skipped; far fewer
+  // than all 100k items can have started.
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(ParallelForEachTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> inner(16);
+  std::atomic<int> outer{0};
+  parallel_for_each(pool, 4, [&](std::size_t) {
+    outer.fetch_add(1);
+    // Nested loop on the same pool: must run inline on this worker rather
+    // than blocking on the shared queue (classic self-deadlock).
+    parallel_for_each(pool, 4, [&](std::size_t j) { inner[j].fetch_add(1); });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(inner[j].load(), 4);
+}
+
+TEST(ParallelForEachTest, NestedSubmitIsSafe) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([&] {
+      for (int i = 0; i < 8; ++i) {
+        pool.submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, DefaultJobsHonorsStaleJobsEnv) {
+  ::setenv("STALE_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_jobs(), 3);
+  ::setenv("STALE_JOBS", "garbage", 1);
+  EXPECT_GE(ThreadPool::default_jobs(), 1);  // falls back to hardware
+  ::unsetenv("STALE_JOBS");
+  EXPECT_GE(ThreadPool::default_jobs(), 1);
+}
+
+TEST(ResolveJobsTest, PositivePassesThroughNonPositiveMeansAuto) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  ::setenv("STALE_JOBS", "5", 1);
+  EXPECT_EQ(resolve_jobs(0), 5);
+  EXPECT_EQ(resolve_jobs(-1), 5);
+  ::unsetenv("STALE_JOBS");
+}
+
+}  // namespace
+}  // namespace stale::runtime
