@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fluid_vs_simulation.dir/bench/ablation_fluid_vs_simulation.cpp.o"
+  "CMakeFiles/ablation_fluid_vs_simulation.dir/bench/ablation_fluid_vs_simulation.cpp.o.d"
+  "bench/ablation_fluid_vs_simulation"
+  "bench/ablation_fluid_vs_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fluid_vs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fluid_vs_simulation.
+# This may be replaced when dependencies are built.

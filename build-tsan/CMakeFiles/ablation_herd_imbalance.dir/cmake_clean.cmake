@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_herd_imbalance.dir/bench/ablation_herd_imbalance.cpp.o"
+  "CMakeFiles/ablation_herd_imbalance.dir/bench/ablation_herd_imbalance.cpp.o.d"
+  "bench/ablation_herd_imbalance"
+  "bench/ablation_herd_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_herd_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

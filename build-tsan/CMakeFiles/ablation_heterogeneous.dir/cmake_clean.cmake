@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heterogeneous.dir/bench/ablation_heterogeneous.cpp.o"
+  "CMakeFiles/ablation_heterogeneous.dir/bench/ablation_heterogeneous.cpp.o.d"
+  "bench/ablation_heterogeneous"
+  "bench/ablation_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

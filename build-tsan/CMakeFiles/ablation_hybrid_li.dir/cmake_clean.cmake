@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_li.dir/bench/ablation_hybrid_li.cpp.o"
+  "CMakeFiles/ablation_hybrid_li.dir/bench/ablation_hybrid_li.cpp.o.d"
+  "bench/ablation_hybrid_li"
+  "bench/ablation_hybrid_li.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_li.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

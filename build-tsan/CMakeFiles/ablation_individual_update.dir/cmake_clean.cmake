@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_individual_update.dir/bench/ablation_individual_update.cpp.o"
+  "CMakeFiles/ablation_individual_update.dir/bench/ablation_individual_update.cpp.o.d"
+  "bench/ablation_individual_update"
+  "bench/ablation_individual_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_individual_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

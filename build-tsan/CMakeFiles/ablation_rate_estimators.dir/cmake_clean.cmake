@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rate_estimators.dir/bench/ablation_rate_estimators.cpp.o"
+  "CMakeFiles/ablation_rate_estimators.dir/bench/ablation_rate_estimators.cpp.o.d"
+  "bench/ablation_rate_estimators"
+  "bench/ablation_rate_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rate_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

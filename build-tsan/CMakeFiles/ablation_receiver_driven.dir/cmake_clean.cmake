@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_receiver_driven.dir/bench/ablation_receiver_driven.cpp.o"
+  "CMakeFiles/ablation_receiver_driven.dir/bench/ablation_receiver_driven.cpp.o.d"
+  "bench/ablation_receiver_driven"
+  "bench/ablation_receiver_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_receiver_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

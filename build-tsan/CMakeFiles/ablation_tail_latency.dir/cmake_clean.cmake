@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tail_latency.dir/bench/ablation_tail_latency.cpp.o"
+  "CMakeFiles/ablation_tail_latency.dir/bench/ablation_tail_latency.cpp.o.d"
+  "bench/ablation_tail_latency"
+  "bench/ablation_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_subset_distribution.dir/bench/fig01_subset_distribution.cpp.o"
+  "CMakeFiles/fig01_subset_distribution.dir/bench/fig01_subset_distribution.cpp.o.d"
+  "bench/fig01_subset_distribution"
+  "bench/fig01_subset_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_subset_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_periodic_update.dir/bench/fig02_periodic_update.cpp.o"
+  "CMakeFiles/fig02_periodic_update.dir/bench/fig02_periodic_update.cpp.o.d"
+  "bench/fig02_periodic_update"
+  "bench/fig02_periodic_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_periodic_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

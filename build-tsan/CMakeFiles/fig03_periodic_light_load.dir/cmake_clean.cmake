@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_periodic_light_load.dir/bench/fig03_periodic_light_load.cpp.o"
+  "CMakeFiles/fig03_periodic_light_load.dir/bench/fig03_periodic_light_load.cpp.o.d"
+  "bench/fig03_periodic_light_load"
+  "bench/fig03_periodic_light_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_periodic_light_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

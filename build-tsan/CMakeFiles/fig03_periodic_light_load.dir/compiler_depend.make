@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_periodic_light_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_periodic_n100.dir/bench/fig04_periodic_n100.cpp.o"
+  "CMakeFiles/fig04_periodic_n100.dir/bench/fig04_periodic_n100.cpp.o.d"
+  "bench/fig04_periodic_n100"
+  "bench/fig04_periodic_n100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_periodic_n100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_threshold.dir/bench/fig05_threshold.cpp.o"
+  "CMakeFiles/fig05_threshold.dir/bench/fig05_threshold.cpp.o.d"
+  "bench/fig05_threshold"
+  "bench/fig05_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_continuous_update.dir/bench/fig06_continuous_update.cpp.o"
+  "CMakeFiles/fig06_continuous_update.dir/bench/fig06_continuous_update.cpp.o.d"
+  "bench/fig06_continuous_update"
+  "bench/fig06_continuous_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_continuous_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

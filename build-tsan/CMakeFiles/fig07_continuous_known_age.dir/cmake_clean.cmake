@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_continuous_known_age.dir/bench/fig07_continuous_known_age.cpp.o"
+  "CMakeFiles/fig07_continuous_known_age.dir/bench/fig07_continuous_known_age.cpp.o.d"
+  "bench/fig07_continuous_known_age"
+  "bench/fig07_continuous_known_age.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_continuous_known_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_continuous_known_age.
+# This may be replaced when dependencies are built.

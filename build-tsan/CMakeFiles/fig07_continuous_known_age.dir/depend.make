@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_continuous_known_age.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_update_on_access.cpp" "CMakeFiles/fig08_update_on_access.dir/bench/fig08_update_on_access.cpp.o" "gcc" "CMakeFiles/fig08_update_on_access.dir/bench/fig08_update_on_access.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_driver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_loadinfo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_update_on_access.dir/bench/fig08_update_on_access.cpp.o"
+  "CMakeFiles/fig08_update_on_access.dir/bench/fig08_update_on_access.cpp.o.d"
+  "bench/fig08_update_on_access"
+  "bench/fig08_update_on_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_update_on_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

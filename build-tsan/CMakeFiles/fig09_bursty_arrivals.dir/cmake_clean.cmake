@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bursty_arrivals.dir/bench/fig09_bursty_arrivals.cpp.o"
+  "CMakeFiles/fig09_bursty_arrivals.dir/bench/fig09_bursty_arrivals.cpp.o.d"
+  "bench/fig09_bursty_arrivals"
+  "bench/fig09_bursty_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bursty_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

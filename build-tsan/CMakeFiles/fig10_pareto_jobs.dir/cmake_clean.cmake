@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pareto_jobs.dir/bench/fig10_pareto_jobs.cpp.o"
+  "CMakeFiles/fig10_pareto_jobs.dir/bench/fig10_pareto_jobs.cpp.o.d"
+  "bench/fig10_pareto_jobs"
+  "bench/fig10_pareto_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pareto_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

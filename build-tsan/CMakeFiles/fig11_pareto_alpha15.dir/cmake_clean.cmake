@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pareto_alpha15.dir/bench/fig11_pareto_alpha15.cpp.o"
+  "CMakeFiles/fig11_pareto_alpha15.dir/bench/fig11_pareto_alpha15.cpp.o.d"
+  "bench/fig11_pareto_alpha15"
+  "bench/fig11_pareto_alpha15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pareto_alpha15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_pareto_alpha15.
+# This may be replaced when dependencies are built.

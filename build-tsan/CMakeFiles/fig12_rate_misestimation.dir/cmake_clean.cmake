@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rate_misestimation.dir/bench/fig12_rate_misestimation.cpp.o"
+  "CMakeFiles/fig12_rate_misestimation.dir/bench/fig12_rate_misestimation.cpp.o.d"
+  "bench/fig12_rate_misestimation"
+  "bench/fig12_rate_misestimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rate_misestimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lambda_sweep.dir/bench/fig13_lambda_sweep.cpp.o"
+  "CMakeFiles/fig13_lambda_sweep.dir/bench/fig13_lambda_sweep.cpp.o.d"
+  "bench/fig13_lambda_sweep"
+  "bench/fig13_lambda_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lambda_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_li_subset.dir/bench/fig14_li_subset.cpp.o"
+  "CMakeFiles/fig14_li_subset.dir/bench/fig14_li_subset.cpp.o.d"
+  "bench/fig14_li_subset"
+  "bench/fig14_li_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_li_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_microbench.dir/bench/perf_microbench.cpp.o"
+  "CMakeFiles/perf_microbench.dir/bench/perf_microbench.cpp.o.d"
+  "bench/perf_microbench"
+  "bench/perf_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scheduler.dir/cluster_scheduler.cpp.o"
+  "CMakeFiles/cluster_scheduler.dir/cluster_scheduler.cpp.o.d"
+  "cluster_scheduler"
+  "cluster_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

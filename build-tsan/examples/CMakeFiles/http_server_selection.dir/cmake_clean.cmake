@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_server_selection.dir/http_server_selection.cpp.o"
+  "CMakeFiles/http_server_selection.dir/http_server_selection.cpp.o.d"
+  "http_server_selection"
+  "http_server_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_server_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_analysis.dir/analysis/fluid_model.cpp.o"
+  "CMakeFiles/staleload_analysis.dir/analysis/fluid_model.cpp.o.d"
+  "libstaleload_analysis.a"
+  "libstaleload_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

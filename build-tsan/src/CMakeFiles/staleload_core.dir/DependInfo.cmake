@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggressive_schedule.cpp" "src/CMakeFiles/staleload_core.dir/core/aggressive_schedule.cpp.o" "gcc" "src/CMakeFiles/staleload_core.dir/core/aggressive_schedule.cpp.o.d"
+  "/root/repo/src/core/interpreter.cpp" "src/CMakeFiles/staleload_core.dir/core/interpreter.cpp.o" "gcc" "src/CMakeFiles/staleload_core.dir/core/interpreter.cpp.o.d"
+  "/root/repo/src/core/ksubset_analysis.cpp" "src/CMakeFiles/staleload_core.dir/core/ksubset_analysis.cpp.o" "gcc" "src/CMakeFiles/staleload_core.dir/core/ksubset_analysis.cpp.o.d"
+  "/root/repo/src/core/load_interpretation.cpp" "src/CMakeFiles/staleload_core.dir/core/load_interpretation.cpp.o" "gcc" "src/CMakeFiles/staleload_core.dir/core/load_interpretation.cpp.o.d"
+  "/root/repo/src/core/rate_estimator.cpp" "src/CMakeFiles/staleload_core.dir/core/rate_estimator.cpp.o" "gcc" "src/CMakeFiles/staleload_core.dir/core/rate_estimator.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/CMakeFiles/staleload_core.dir/core/sampler.cpp.o" "gcc" "src/CMakeFiles/staleload_core.dir/core/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

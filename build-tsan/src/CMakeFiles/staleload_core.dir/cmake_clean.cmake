@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_core.dir/core/aggressive_schedule.cpp.o"
+  "CMakeFiles/staleload_core.dir/core/aggressive_schedule.cpp.o.d"
+  "CMakeFiles/staleload_core.dir/core/interpreter.cpp.o"
+  "CMakeFiles/staleload_core.dir/core/interpreter.cpp.o.d"
+  "CMakeFiles/staleload_core.dir/core/ksubset_analysis.cpp.o"
+  "CMakeFiles/staleload_core.dir/core/ksubset_analysis.cpp.o.d"
+  "CMakeFiles/staleload_core.dir/core/load_interpretation.cpp.o"
+  "CMakeFiles/staleload_core.dir/core/load_interpretation.cpp.o.d"
+  "CMakeFiles/staleload_core.dir/core/rate_estimator.cpp.o"
+  "CMakeFiles/staleload_core.dir/core/rate_estimator.cpp.o.d"
+  "CMakeFiles/staleload_core.dir/core/sampler.cpp.o"
+  "CMakeFiles/staleload_core.dir/core/sampler.cpp.o.d"
+  "libstaleload_core.a"
+  "libstaleload_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

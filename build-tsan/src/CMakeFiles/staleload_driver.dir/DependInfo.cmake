@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/adaptive.cpp" "src/CMakeFiles/staleload_driver.dir/driver/adaptive.cpp.o" "gcc" "src/CMakeFiles/staleload_driver.dir/driver/adaptive.cpp.o.d"
+  "/root/repo/src/driver/cli.cpp" "src/CMakeFiles/staleload_driver.dir/driver/cli.cpp.o" "gcc" "src/CMakeFiles/staleload_driver.dir/driver/cli.cpp.o.d"
+  "/root/repo/src/driver/experiment.cpp" "src/CMakeFiles/staleload_driver.dir/driver/experiment.cpp.o" "gcc" "src/CMakeFiles/staleload_driver.dir/driver/experiment.cpp.o.d"
+  "/root/repo/src/driver/receiver_driven.cpp" "src/CMakeFiles/staleload_driver.dir/driver/receiver_driven.cpp.o" "gcc" "src/CMakeFiles/staleload_driver.dir/driver/receiver_driven.cpp.o.d"
+  "/root/repo/src/driver/svg_plot.cpp" "src/CMakeFiles/staleload_driver.dir/driver/svg_plot.cpp.o" "gcc" "src/CMakeFiles/staleload_driver.dir/driver/svg_plot.cpp.o.d"
+  "/root/repo/src/driver/sweep.cpp" "src/CMakeFiles/staleload_driver.dir/driver/sweep.cpp.o" "gcc" "src/CMakeFiles/staleload_driver.dir/driver/sweep.cpp.o.d"
+  "/root/repo/src/driver/table.cpp" "src/CMakeFiles/staleload_driver.dir/driver/table.cpp.o" "gcc" "src/CMakeFiles/staleload_driver.dir/driver/table.cpp.o.d"
+  "/root/repo/src/driver/update_on_access.cpp" "src/CMakeFiles/staleload_driver.dir/driver/update_on_access.cpp.o" "gcc" "src/CMakeFiles/staleload_driver.dir/driver/update_on_access.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_loadinfo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

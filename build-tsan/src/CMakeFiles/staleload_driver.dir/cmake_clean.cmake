@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_driver.dir/driver/adaptive.cpp.o"
+  "CMakeFiles/staleload_driver.dir/driver/adaptive.cpp.o.d"
+  "CMakeFiles/staleload_driver.dir/driver/cli.cpp.o"
+  "CMakeFiles/staleload_driver.dir/driver/cli.cpp.o.d"
+  "CMakeFiles/staleload_driver.dir/driver/experiment.cpp.o"
+  "CMakeFiles/staleload_driver.dir/driver/experiment.cpp.o.d"
+  "CMakeFiles/staleload_driver.dir/driver/receiver_driven.cpp.o"
+  "CMakeFiles/staleload_driver.dir/driver/receiver_driven.cpp.o.d"
+  "CMakeFiles/staleload_driver.dir/driver/svg_plot.cpp.o"
+  "CMakeFiles/staleload_driver.dir/driver/svg_plot.cpp.o.d"
+  "CMakeFiles/staleload_driver.dir/driver/sweep.cpp.o"
+  "CMakeFiles/staleload_driver.dir/driver/sweep.cpp.o.d"
+  "CMakeFiles/staleload_driver.dir/driver/table.cpp.o"
+  "CMakeFiles/staleload_driver.dir/driver/table.cpp.o.d"
+  "CMakeFiles/staleload_driver.dir/driver/update_on_access.cpp.o"
+  "CMakeFiles/staleload_driver.dir/driver/update_on_access.cpp.o.d"
+  "libstaleload_driver.a"
+  "libstaleload_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

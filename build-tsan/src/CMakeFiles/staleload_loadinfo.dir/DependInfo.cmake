@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadinfo/continuous_view.cpp" "src/CMakeFiles/staleload_loadinfo.dir/loadinfo/continuous_view.cpp.o" "gcc" "src/CMakeFiles/staleload_loadinfo.dir/loadinfo/continuous_view.cpp.o.d"
+  "/root/repo/src/loadinfo/delay_distribution.cpp" "src/CMakeFiles/staleload_loadinfo.dir/loadinfo/delay_distribution.cpp.o" "gcc" "src/CMakeFiles/staleload_loadinfo.dir/loadinfo/delay_distribution.cpp.o.d"
+  "/root/repo/src/loadinfo/individual_board.cpp" "src/CMakeFiles/staleload_loadinfo.dir/loadinfo/individual_board.cpp.o" "gcc" "src/CMakeFiles/staleload_loadinfo.dir/loadinfo/individual_board.cpp.o.d"
+  "/root/repo/src/loadinfo/periodic_board.cpp" "src/CMakeFiles/staleload_loadinfo.dir/loadinfo/periodic_board.cpp.o" "gcc" "src/CMakeFiles/staleload_loadinfo.dir/loadinfo/periodic_board.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

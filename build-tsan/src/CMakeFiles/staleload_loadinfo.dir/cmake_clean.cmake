@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_loadinfo.dir/loadinfo/continuous_view.cpp.o"
+  "CMakeFiles/staleload_loadinfo.dir/loadinfo/continuous_view.cpp.o.d"
+  "CMakeFiles/staleload_loadinfo.dir/loadinfo/delay_distribution.cpp.o"
+  "CMakeFiles/staleload_loadinfo.dir/loadinfo/delay_distribution.cpp.o.d"
+  "CMakeFiles/staleload_loadinfo.dir/loadinfo/individual_board.cpp.o"
+  "CMakeFiles/staleload_loadinfo.dir/loadinfo/individual_board.cpp.o.d"
+  "CMakeFiles/staleload_loadinfo.dir/loadinfo/periodic_board.cpp.o"
+  "CMakeFiles/staleload_loadinfo.dir/loadinfo/periodic_board.cpp.o.d"
+  "libstaleload_loadinfo.a"
+  "libstaleload_loadinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_loadinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for staleload_loadinfo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/aggressive_li_policy.cpp" "src/CMakeFiles/staleload_policy.dir/policy/aggressive_li_policy.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/aggressive_li_policy.cpp.o.d"
+  "/root/repo/src/policy/basic_li_policy.cpp" "src/CMakeFiles/staleload_policy.dir/policy/basic_li_policy.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/basic_li_policy.cpp.o.d"
+  "/root/repo/src/policy/hybrid_li_policy.cpp" "src/CMakeFiles/staleload_policy.dir/policy/hybrid_li_policy.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/hybrid_li_policy.cpp.o.d"
+  "/root/repo/src/policy/k_subset_policy.cpp" "src/CMakeFiles/staleload_policy.dir/policy/k_subset_policy.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/k_subset_policy.cpp.o.d"
+  "/root/repo/src/policy/li_subset_policy.cpp" "src/CMakeFiles/staleload_policy.dir/policy/li_subset_policy.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/li_subset_policy.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/CMakeFiles/staleload_policy.dir/policy/policy.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/policy/policy_factory.cpp" "src/CMakeFiles/staleload_policy.dir/policy/policy_factory.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/policy_factory.cpp.o.d"
+  "/root/repo/src/policy/random_policy.cpp" "src/CMakeFiles/staleload_policy.dir/policy/random_policy.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/random_policy.cpp.o.d"
+  "/root/repo/src/policy/threshold_policy.cpp" "src/CMakeFiles/staleload_policy.dir/policy/threshold_policy.cpp.o" "gcc" "src/CMakeFiles/staleload_policy.dir/policy/threshold_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_policy.dir/policy/aggressive_li_policy.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/aggressive_li_policy.cpp.o.d"
+  "CMakeFiles/staleload_policy.dir/policy/basic_li_policy.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/basic_li_policy.cpp.o.d"
+  "CMakeFiles/staleload_policy.dir/policy/hybrid_li_policy.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/hybrid_li_policy.cpp.o.d"
+  "CMakeFiles/staleload_policy.dir/policy/k_subset_policy.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/k_subset_policy.cpp.o.d"
+  "CMakeFiles/staleload_policy.dir/policy/li_subset_policy.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/li_subset_policy.cpp.o.d"
+  "CMakeFiles/staleload_policy.dir/policy/policy.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/policy.cpp.o.d"
+  "CMakeFiles/staleload_policy.dir/policy/policy_factory.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/policy_factory.cpp.o.d"
+  "CMakeFiles/staleload_policy.dir/policy/random_policy.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/random_policy.cpp.o.d"
+  "CMakeFiles/staleload_policy.dir/policy/threshold_policy.cpp.o"
+  "CMakeFiles/staleload_policy.dir/policy/threshold_policy.cpp.o.d"
+  "libstaleload_policy.a"
+  "libstaleload_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/cluster.cpp" "src/CMakeFiles/staleload_queueing.dir/queueing/cluster.cpp.o" "gcc" "src/CMakeFiles/staleload_queueing.dir/queueing/cluster.cpp.o.d"
+  "/root/repo/src/queueing/fifo_server.cpp" "src/CMakeFiles/staleload_queueing.dir/queueing/fifo_server.cpp.o" "gcc" "src/CMakeFiles/staleload_queueing.dir/queueing/fifo_server.cpp.o.d"
+  "/root/repo/src/queueing/load_stats.cpp" "src/CMakeFiles/staleload_queueing.dir/queueing/load_stats.cpp.o" "gcc" "src/CMakeFiles/staleload_queueing.dir/queueing/load_stats.cpp.o.d"
+  "/root/repo/src/queueing/metrics.cpp" "src/CMakeFiles/staleload_queueing.dir/queueing/metrics.cpp.o" "gcc" "src/CMakeFiles/staleload_queueing.dir/queueing/metrics.cpp.o.d"
+  "/root/repo/src/queueing/theory.cpp" "src/CMakeFiles/staleload_queueing.dir/queueing/theory.cpp.o" "gcc" "src/CMakeFiles/staleload_queueing.dir/queueing/theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

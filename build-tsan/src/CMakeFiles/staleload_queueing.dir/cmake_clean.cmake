@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_queueing.dir/queueing/cluster.cpp.o"
+  "CMakeFiles/staleload_queueing.dir/queueing/cluster.cpp.o.d"
+  "CMakeFiles/staleload_queueing.dir/queueing/fifo_server.cpp.o"
+  "CMakeFiles/staleload_queueing.dir/queueing/fifo_server.cpp.o.d"
+  "CMakeFiles/staleload_queueing.dir/queueing/load_stats.cpp.o"
+  "CMakeFiles/staleload_queueing.dir/queueing/load_stats.cpp.o.d"
+  "CMakeFiles/staleload_queueing.dir/queueing/metrics.cpp.o"
+  "CMakeFiles/staleload_queueing.dir/queueing/metrics.cpp.o.d"
+  "CMakeFiles/staleload_queueing.dir/queueing/theory.cpp.o"
+  "CMakeFiles/staleload_queueing.dir/queueing/theory.cpp.o.d"
+  "libstaleload_queueing.a"
+  "libstaleload_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstaleload_queueing.a"
+)

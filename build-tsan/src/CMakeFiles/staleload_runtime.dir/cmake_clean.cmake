@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_runtime.dir/runtime/thread_pool.cpp.o"
+  "CMakeFiles/staleload_runtime.dir/runtime/thread_pool.cpp.o.d"
+  "libstaleload_runtime.a"
+  "libstaleload_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/distributions.cpp" "src/CMakeFiles/staleload_sim.dir/sim/distributions.cpp.o" "gcc" "src/CMakeFiles/staleload_sim.dir/sim/distributions.cpp.o.d"
+  "/root/repo/src/sim/histogram.cpp" "src/CMakeFiles/staleload_sim.dir/sim/histogram.cpp.o" "gcc" "src/CMakeFiles/staleload_sim.dir/sim/histogram.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/staleload_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/staleload_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/staleload_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/staleload_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/staleload_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/staleload_sim.dir/sim/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

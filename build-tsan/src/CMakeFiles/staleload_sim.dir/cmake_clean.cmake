@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_sim.dir/sim/distributions.cpp.o"
+  "CMakeFiles/staleload_sim.dir/sim/distributions.cpp.o.d"
+  "CMakeFiles/staleload_sim.dir/sim/histogram.cpp.o"
+  "CMakeFiles/staleload_sim.dir/sim/histogram.cpp.o.d"
+  "CMakeFiles/staleload_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/staleload_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/staleload_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/staleload_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/staleload_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/staleload_sim.dir/sim/stats.cpp.o.d"
+  "libstaleload_sim.a"
+  "libstaleload_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

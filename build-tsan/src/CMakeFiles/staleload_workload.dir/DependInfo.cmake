@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_process.cpp" "src/CMakeFiles/staleload_workload.dir/workload/arrival_process.cpp.o" "gcc" "src/CMakeFiles/staleload_workload.dir/workload/arrival_process.cpp.o.d"
+  "/root/repo/src/workload/bursty_process.cpp" "src/CMakeFiles/staleload_workload.dir/workload/bursty_process.cpp.o" "gcc" "src/CMakeFiles/staleload_workload.dir/workload/bursty_process.cpp.o.d"
+  "/root/repo/src/workload/job_size.cpp" "src/CMakeFiles/staleload_workload.dir/workload/job_size.cpp.o" "gcc" "src/CMakeFiles/staleload_workload.dir/workload/job_size.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/staleload_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/staleload_workload.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

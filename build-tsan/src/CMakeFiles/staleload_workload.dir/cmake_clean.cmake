@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_workload.dir/workload/arrival_process.cpp.o"
+  "CMakeFiles/staleload_workload.dir/workload/arrival_process.cpp.o.d"
+  "CMakeFiles/staleload_workload.dir/workload/bursty_process.cpp.o"
+  "CMakeFiles/staleload_workload.dir/workload/bursty_process.cpp.o.d"
+  "CMakeFiles/staleload_workload.dir/workload/job_size.cpp.o"
+  "CMakeFiles/staleload_workload.dir/workload/job_size.cpp.o.d"
+  "CMakeFiles/staleload_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/staleload_workload.dir/workload/trace.cpp.o.d"
+  "libstaleload_workload.a"
+  "libstaleload_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

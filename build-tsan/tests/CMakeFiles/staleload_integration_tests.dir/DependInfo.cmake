@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_cross_engine_test.cpp" "tests/CMakeFiles/staleload_integration_tests.dir/integration_cross_engine_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_integration_tests.dir/integration_cross_engine_test.cpp.o.d"
+  "/root/repo/tests/integration_models_test.cpp" "tests/CMakeFiles/staleload_integration_tests.dir/integration_models_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_integration_tests.dir/integration_models_test.cpp.o.d"
+  "/root/repo/tests/integration_queueing_test.cpp" "tests/CMakeFiles/staleload_integration_tests.dir/integration_queueing_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_integration_tests.dir/integration_queueing_test.cpp.o.d"
+  "/root/repo/tests/receiver_driven_test.cpp" "tests/CMakeFiles/staleload_integration_tests.dir/receiver_driven_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_integration_tests.dir/receiver_driven_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_driver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_loadinfo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

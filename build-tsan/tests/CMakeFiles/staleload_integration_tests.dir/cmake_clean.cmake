@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_integration_tests.dir/integration_cross_engine_test.cpp.o"
+  "CMakeFiles/staleload_integration_tests.dir/integration_cross_engine_test.cpp.o.d"
+  "CMakeFiles/staleload_integration_tests.dir/integration_models_test.cpp.o"
+  "CMakeFiles/staleload_integration_tests.dir/integration_models_test.cpp.o.d"
+  "CMakeFiles/staleload_integration_tests.dir/integration_queueing_test.cpp.o"
+  "CMakeFiles/staleload_integration_tests.dir/integration_queueing_test.cpp.o.d"
+  "CMakeFiles/staleload_integration_tests.dir/receiver_driven_test.cpp.o"
+  "CMakeFiles/staleload_integration_tests.dir/receiver_driven_test.cpp.o.d"
+  "staleload_integration_tests"
+  "staleload_integration_tests.pdb"
+  "staleload_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggressive_li_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/aggressive_li_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/aggressive_li_test.cpp.o.d"
+  "/root/repo/tests/basic_li_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/basic_li_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/basic_li_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/distributions_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/distributions_test.cpp.o.d"
+  "/root/repo/tests/driver_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/driver_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/driver_test.cpp.o.d"
+  "/root/repo/tests/fifo_server_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/fifo_server_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/fifo_server_test.cpp.o.d"
+  "/root/repo/tests/fluid_model_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/fluid_model_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/fluid_model_test.cpp.o.d"
+  "/root/repo/tests/histogram_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/histogram_test.cpp.o.d"
+  "/root/repo/tests/interpreter_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/interpreter_test.cpp.o.d"
+  "/root/repo/tests/ksubset_analysis_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/ksubset_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/ksubset_analysis_test.cpp.o.d"
+  "/root/repo/tests/li_policy_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/li_policy_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/li_policy_test.cpp.o.d"
+  "/root/repo/tests/load_stats_adaptive_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/load_stats_adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/load_stats_adaptive_test.cpp.o.d"
+  "/root/repo/tests/loadinfo_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/loadinfo_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/loadinfo_test.cpp.o.d"
+  "/root/repo/tests/parallel_determinism_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/parallel_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/parallel_determinism_test.cpp.o.d"
+  "/root/repo/tests/policy_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/policy_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/policy_test.cpp.o.d"
+  "/root/repo/tests/property_sweep_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/rate_estimator_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/rate_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/rate_estimator_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/sampler_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/sampler_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/svg_plot_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/svg_plot_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/svg_plot_test.cpp.o.d"
+  "/root/repo/tests/theory_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/theory_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/theory_test.cpp.o.d"
+  "/root/repo/tests/thread_pool_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/update_on_access_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/update_on_access_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/update_on_access_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/staleload_unit_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/staleload_unit_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_driver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_loadinfo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/staleload_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_sweep.dir/plot_sweep.cpp.o"
+  "CMakeFiles/plot_sweep.dir/plot_sweep.cpp.o.d"
+  "plot_sweep"
+  "plot_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staleload_cli.dir/staleload_sim.cpp.o"
+  "CMakeFiles/staleload_cli.dir/staleload_sim.cpp.o.d"
+  "staleload_sim"
+  "staleload_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleload_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
