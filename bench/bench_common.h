@@ -50,7 +50,9 @@ int run_bench(int argc, const char* const* argv,
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n"
               << "flags: --paper | --fast | --num-jobs N --warmup N "
-                 "--trials N --seed S --jobs THREADS --csv";
+                 "--trials N --seed S --jobs THREADS --csv "
+                 "--fault-spec S --crash-rate R --update-loss P "
+                 "--max-staleness A";
     for (const auto& flag : extra_flags) std::cerr << " --" << flag << " V";
     for (const auto& flag : extra_switches) std::cerr << " --" << flag;
     std::cerr << "\n";

@@ -11,8 +11,9 @@ namespace stale::driver {
 namespace {
 
 const std::vector<std::string> kStandardSwitches = {"paper", "fast", "csv"};
-const std::vector<std::string> kStandardFlags = {"num-jobs", "warmup",
-                                                 "trials", "seed", "jobs"};
+const std::vector<std::string> kStandardFlags = {
+    "num-jobs", "warmup",      "trials",      "seed",         "jobs",
+    "fault-spec", "crash-rate", "update-loss", "max-staleness"};
 
 bool contains(const std::vector<std::string>& list, const std::string& item) {
   return std::find(list.begin(), list.end(), item) != list.end();
@@ -44,6 +45,10 @@ Cli::Cli(int argc, const char* const* argv,
     if (!is_switch && !is_flag) {
       throw std::invalid_argument("Cli: unknown flag '--" + arg + "'");
     }
+    if (is_switch && has_inline_value) {
+      throw std::invalid_argument("Cli: switch '--" + arg +
+                                  "' does not take a value");
+    }
     if (is_flag && !has_inline_value) {
       if (i + 1 >= argc) {
         throw std::invalid_argument("Cli: flag '--" + arg +
@@ -72,9 +77,19 @@ double Cli::get_double(const std::string& flag, double fallback) const {
   const auto it = values_.find(flag);
   if (it == values_.end()) return fallback;
   std::size_t pos = 0;
-  const double value = std::stod(it->second, &pos);
+  double value = 0.0;
+  try {
+    value = std::stod(it->second, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("Cli: value for --" + flag +
+                                " is out of range: '" + it->second + "'");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: bad numeric value for --" + flag +
+                                ": '" + it->second + "'");
+  }
   if (pos != it->second.size()) {
-    throw std::invalid_argument("Cli: bad numeric value for --" + flag);
+    throw std::invalid_argument("Cli: bad numeric value for --" + flag +
+                                ": '" + it->second + "'");
   }
   return value;
 }
@@ -84,9 +99,19 @@ std::int64_t Cli::get_int(const std::string& flag,
   const auto it = values_.find(flag);
   if (it == values_.end()) return fallback;
   std::size_t pos = 0;
-  const std::int64_t value = std::stoll(it->second, &pos);
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(it->second, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("Cli: value for --" + flag +
+                                " is out of range: '" + it->second + "'");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: bad integer value for --" + flag +
+                                ": '" + it->second + "'");
+  }
   if (pos != it->second.size()) {
-    throw std::invalid_argument("Cli: bad integer value for --" + flag);
+    throw std::invalid_argument("Cli: bad integer value for --" + flag +
+                                ": '" + it->second + "'");
   }
   return value;
 }
@@ -116,16 +141,53 @@ void Cli::apply_run_scale(ExperimentConfig& config) const {
     config.warmup_jobs = 30'000;
     config.trials = 5;
   }
-  config.num_jobs =
-      static_cast<std::uint64_t>(get_int("num-jobs", static_cast<std::int64_t>(
-                                                         config.num_jobs)));
-  config.warmup_jobs = static_cast<std::uint64_t>(
-      get_int("warmup", static_cast<std::int64_t>(config.warmup_jobs)));
-  config.trials =
-      static_cast<int>(get_int("trials", config.trials));
-  config.base_seed = static_cast<std::uint64_t>(
-      get_int("seed", static_cast<std::int64_t>(config.base_seed)));
+  const std::int64_t num_jobs =
+      get_int("num-jobs", static_cast<std::int64_t>(config.num_jobs));
+  if (num_jobs < 1) {
+    throw std::invalid_argument("Cli: --num-jobs must be >= 1");
+  }
+  config.num_jobs = static_cast<std::uint64_t>(num_jobs);
+  const std::int64_t warmup =
+      get_int("warmup", static_cast<std::int64_t>(config.warmup_jobs));
+  if (warmup < 0 || static_cast<std::uint64_t>(warmup) >= config.num_jobs) {
+    throw std::invalid_argument(
+        "Cli: --warmup must be >= 0 and < --num-jobs");
+  }
+  config.warmup_jobs = static_cast<std::uint64_t>(warmup);
+  const std::int64_t trials = get_int("trials", config.trials);
+  if (trials < 1) {
+    throw std::invalid_argument("Cli: --trials must be >= 1");
+  }
+  config.trials = static_cast<int>(trials);
+  const std::int64_t seed =
+      get_int("seed", static_cast<std::int64_t>(config.base_seed));
+  if (seed < 0) {
+    throw std::invalid_argument("Cli: --seed must be >= 0");
+  }
+  config.base_seed = static_cast<std::uint64_t>(seed);
   config.jobs = jobs();
+  apply_faults(config);
+}
+
+void Cli::apply_faults(ExperimentConfig& config) const {
+  if (has("fault-spec")) {
+    config.fault = fault::FaultSpec::parse(get("fault-spec", ""));
+  }
+  if (has("crash-rate")) {
+    config.fault.crash_rate = get_double("crash-rate", 0.0);
+  }
+  if (has("update-loss")) {
+    config.fault.update_loss = get_double("update-loss", 0.0);
+  }
+  if (has("max-staleness")) {
+    // Accepts the same forms as the spec's cutoff key: absolute time ("5.0")
+    // or a multiple of the update interval ("2T").
+    const fault::FaultSpec parsed =
+        fault::FaultSpec::parse("cutoff=" + get("max-staleness", ""));
+    config.fault.cutoff_value = parsed.cutoff_value;
+    config.fault.cutoff_in_intervals = parsed.cutoff_in_intervals;
+  }
+  config.fault.validate();
 }
 
 std::string Cli::scale_description() const {

@@ -11,6 +11,15 @@
 //                     STALE_JOBS env var, else hardware_concurrency.
 //                     --jobs 1 restores the old single-threaded path.
 //   --csv             machine-readable output
+//   --fault-spec S    full fault spec (see fault/fault_spec.h), e.g.
+//                     "crash=0.01,down=5,loss=0.2,cutoff=2T"
+//   --crash-rate R / --update-loss P / --max-staleness X
+//                     shorthand overrides for the spec's crash, loss, and
+//                     cutoff fields (X accepts "2T" multiples-of-T form)
+//
+// Parsing is strict: unknown flags, switches given values (--paper=0),
+// non-numeric or out-of-range values all throw std::invalid_argument with a
+// message naming the flag; bench mains report it and exit non-zero.
 #pragma once
 
 #include <cstdint>
@@ -42,9 +51,13 @@ class Cli {
   // environment variable, else hardware_concurrency.
   int jobs() const;
 
-  // Applies --paper/--fast/--num-jobs/--warmup/--trials/--seed/--jobs to
-  // `config`.
+  // Applies --paper/--fast/--num-jobs/--warmup/--trials/--seed/--jobs and
+  // the fault flags to `config`, range-checking each value.
   void apply_run_scale(ExperimentConfig& config) const;
+
+  // Applies just the fault flags (called by apply_run_scale; exposed for
+  // drivers that manage run lengths themselves).
+  void apply_faults(ExperimentConfig& config) const;
 
   // One-line description of the selected scale, for bench headers.
   std::string scale_description() const;

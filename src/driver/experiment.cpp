@@ -6,6 +6,8 @@
 
 #include "core/rate_estimator.h"
 #include "driver/update_on_access.h"
+#include "fault/fault_injector.h"
+#include "fault/hardened_policy.h"
 #include "loadinfo/continuous_view.h"
 #include "loadinfo/individual_board.h"
 #include "loadinfo/periodic_board.h"
@@ -51,6 +53,13 @@ void validate(const ExperimentConfig& config) {
   }
   if (config.trials < 1) {
     throw std::invalid_argument("ExperimentConfig: trials must be >= 1");
+  }
+  config.fault.validate();
+  if (config.fault.any() && config.model == UpdateModel::kUpdateOnAccess) {
+    throw std::invalid_argument(
+        "ExperimentConfig: fault injection is not supported for the "
+        "update_on_access model (per-client snapshot pulls have no refresh "
+        "stream to degrade)");
   }
 }
 
@@ -174,6 +183,183 @@ TrialResult run_board_trial(const ExperimentConfig& config,
   return result;
 }
 
+// Fault-injected variant of run_board_trial. Structurally the same arrival
+// loop, with four differences: (1) crash/recovery transitions interleave with
+// board refreshes in global time order; (2) jobs are tagged and responses
+// recorded at *completion* (a crash invalidates the departure precomputed at
+// dispatch), with warmup applied by arrival index so the discarded set
+// matches the serial methodology; (3) dispatch to a down server takes the
+// bounded retry-with-backoff path, the backoff charged as a response-time
+// penalty; (4) the policy sees the dispatcher-known liveness mask and its
+// sanitize-event counter via the context.
+TrialResult run_fault_board_trial(const ExperimentConfig& config,
+                                  std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const fault::FaultSpec& spec = config.fault;
+  const auto n = static_cast<std::size_t>(config.num_servers);
+  const bool continuous = config.model == UpdateModel::kContinuous;
+  // Widen the continuous model's history window so fault-stretched delays
+  // still resolve exact past-load queries (same 40-mean-delays quantile
+  // rationale as ContinuousView::history_window_for).
+  const double extra_allowance =
+      continuous ? 40.0 * spec.update_extra_delay : 0.0;
+  const double history_window =
+      continuous ? loadinfo::ContinuousView::history_window_for(
+                       config.delay_kind, config.update_interval) +
+                       extra_allowance
+                 : 0.0;
+  queueing::Cluster cluster(config.num_servers, history_window);
+  cluster.enable_job_tracking();
+  queueing::ResponseMetrics metrics(config.warmup_jobs,
+                                    config.keep_response_samples);
+  policy::PolicyPtr policy = policy::make_policy(config.policy);
+  const auto job_size = workload::make_job_size(config.job_size);
+  const auto estimator = make_rate_estimator(config);
+  const double believed_rate = config.believed_total_rate();
+  const double arrival_rate = config.total_rate();
+
+  loadinfo::PeriodicBoard board(config.num_servers, config.update_interval);
+  sim::Rng offsets_rng = rng.split();
+  loadinfo::IndividualBoard individual(config.num_servers,
+                                       config.update_interval, offsets_rng);
+  loadinfo::ContinuousView view(config.delay_kind, config.update_interval,
+                                config.know_actual_age, extra_allowance);
+  queueing::LoadImbalanceStats imbalance;
+
+  fault::FaultInjector injector(spec, config.num_servers, rng);
+  fault::FaultStats& stats = injector.stats();
+  policy = fault::harden_policy(std::move(policy), spec,
+                                config.update_interval, &stats);
+
+  // Retry-backoff penalties by arrival index (tags are arrival indices, so
+  // the penalty survives requeues and attaches to the final completion).
+  std::vector<double> penalty(config.num_jobs, 0.0);
+  std::vector<queueing::CompletedJob> done;
+
+  const fault::FaultInjector::RequeueFn requeue =
+      [&](double when, const queueing::DisplacedJob& job) -> bool {
+    if (injector.alive_count() == 0) return false;
+    const int target = policy::pick_uniform_alive(injector.alive(), n, rng);
+    cluster.assign_tagged(when, target, job.size, job.tag, job.born);
+    return true;
+  };
+
+  const auto sync_boards_to = [&](double when) {
+    switch (config.model) {
+      case UpdateModel::kPeriodic:
+        board.sync(cluster, when, &injector);
+        break;
+      case UpdateModel::kIndividual:
+        individual.sync(cluster, when, &injector);
+        break;
+      default:
+        break;  // continuous: the view is materialized per request
+    }
+  };
+
+  const auto record_completions = [&] {
+    done.clear();
+    cluster.drain_completions(done);
+    for (const queueing::CompletedJob& job : done) {
+      metrics.record_indexed(job.tag, job.response + penalty[job.tag]);
+    }
+  };
+
+  double t = 0.0;
+  for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
+    t += -std::log(rng.next_double_open0()) / arrival_rate;
+
+    // Crash/recovery transitions and board refreshes interleave in global
+    // time order: a board boundary before a crash must measure the
+    // pre-crash cluster (at a tie the measurement wins — the last report
+    // escapes just before the server dies).
+    while (injector.next_transition_time() <= t) {
+      const double when = injector.next_transition_time();
+      sync_boards_to(when);
+      injector.advance_to(cluster, when, requeue);
+    }
+    sync_boards_to(t);
+
+    policy::DispatchContext context;
+    if (estimator) {
+      if (!injector.estimator_drop()) estimator->on_arrival(t);
+      context.lambda_total = estimator->rate();
+    } else {
+      context.lambda_total = believed_rate;
+    }
+    switch (config.model) {
+      case UpdateModel::kPeriodic:
+        context.loads = board.loads();
+        context.age = board.age(t);
+        context.phase_length = board.phase_length();
+        context.phase_elapsed = context.age;
+        context.info_version = board.version();
+        break;
+      case UpdateModel::kIndividual:
+        context.loads = individual.loads();
+        context.age = individual.mean_age(t);
+        context.info_version = individual.version();
+        break;
+      case UpdateModel::kContinuous:
+        cluster.advance_to(t);
+        view.observe(cluster, t, rng, &injector);
+        context.loads = view.loads();
+        context.age = view.reported_age();
+        context.info_version = view.version();
+        break;
+      case UpdateModel::kUpdateOnAccess:
+        throw std::logic_error("run_fault_board_trial: wrong model");
+    }
+    // Liveness changes must invalidate cached probability vectors even when
+    // the board snapshot itself did not change.
+    context.info_version ^= injector.transition_count() << 32;
+    context.alive = injector.alive();
+    context.sanitize_events = &stats.sanitizer_fixes;
+
+    int server = policy->select(context, rng);
+    // The dispatcher discovers a down server on contact: bounded retry with
+    // exponential backoff, each re-pick uniform over known-alive servers.
+    double backoff_penalty = 0.0;
+    bool dispatched = true;
+    for (int attempt = 0; !cluster.up(server); ++attempt) {
+      if (attempt >= spec.max_retries) {
+        dispatched = false;
+        break;
+      }
+      ++stats.dispatch_retries;
+      backoff_penalty += spec.retry_backoff * std::ldexp(1.0, attempt);
+      server = policy::pick_uniform_alive(injector.alive(), n, rng);
+    }
+    cluster.advance_to(t);
+    if (job >= config.warmup_jobs) imbalance.observe(cluster.loads());
+    if (dispatched) {
+      const double size = job_size->sample(rng);
+      cluster.assign_tagged(t, server, size, job, t);
+      penalty[job] = backoff_penalty;
+    } else {
+      ++stats.jobs_dropped;
+    }
+    record_completions();
+  }
+
+  // Freeze the fault processes and let every in-flight job finish so its
+  // response is recorded (requeued jobs may complete long after arrival).
+  cluster.advance_to(cluster.latest_pending_departure());
+  record_completions();
+
+  TrialResult result{
+      .mean_response = metrics.mean_response(),
+      .measured_jobs = metrics.measured_jobs(),
+      .total_jobs = metrics.total_jobs(),
+      .sim_end_time = t,
+      .mean_queue_stddev = imbalance.mean_within_snapshot_stddev(),
+      .mean_queue_max = imbalance.mean_snapshot_max(),
+      .mean_queue_length = imbalance.mean_queue_length()};
+  result.faults = stats;
+  fill_percentiles(metrics, result);
+  return result;
+}
+
 TrialResult run_update_on_access_trial(const ExperimentConfig& config,
                                        std::uint64_t seed) {
   sim::Rng rng(seed);
@@ -233,6 +419,9 @@ TrialResult run_trial(const ExperimentConfig& config, std::uint64_t seed) {
   if (config.model == UpdateModel::kUpdateOnAccess) {
     return run_update_on_access_trial(config, seed);
   }
+  if (config.fault.any()) {
+    return run_fault_board_trial(config, seed);
+  }
   return run_board_trial(config, seed);
 }
 
@@ -264,6 +453,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const TrialResult& outcome : outcomes) {
     result.across_trials.add(outcome.mean_response);
     result.trial_means.push_back(outcome.mean_response);
+    result.faults.merge(outcome.faults);
   }
   return result;
 }

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_spec.h"
+#include "fault/fault_stats.h"
 #include "loadinfo/delay_distribution.h"
 #include "sim/stats.h"
 
@@ -48,6 +50,12 @@ struct ExperimentConfig {
 
   // --- workload ---
   std::string job_size = "exp:1";  // see workload/job_size.h
+
+  // --- fault injection (src/fault/) ---
+  // Default-constructed spec = no faults; the fault trial path is only taken
+  // when fault.any(). Not supported for the update_on_access model (there is
+  // no refresh stream to degrade; validate() rejects the combination).
+  fault::FaultSpec fault;
 
   // --- arrival-rate knowledge (Figures 12-13) ---
   // The policy is told lambda_total = n * lambda_estimate * error_factor,
@@ -107,11 +115,14 @@ struct TrialResult {
   double p50_response = 0.0;
   double p95_response = 0.0;
   double p99_response = 0.0;
+  // Fault/degradation counters (all zero for fault-free runs).
+  fault::FaultStats faults;
 };
 
 struct ExperimentResult {
   sim::RunningStats across_trials;  // of per-trial mean response times
   std::vector<double> trial_means;
+  fault::FaultStats faults;  // summed across trials
 
   double mean() const { return across_trials.mean(); }
   double ci90() const { return across_trials.ci90_half_width(); }

@@ -1,0 +1,103 @@
+#include "driver/report.h"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace stale::driver {
+
+namespace {
+
+void append_counter(std::ostringstream& os, const char* name,
+                    std::uint64_t value) {
+  if (value == 0) return;
+  if (os.tellp() > 0) os << ' ';
+  os << name << '=' << value;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void write_fault_object(std::ostream& os, const fault::FaultStats& f) {
+  os << "{\"crashes\": " << f.crashes << ", \"recoveries\": " << f.recoveries
+     << ", \"jobs_lost\": " << f.jobs_lost
+     << ", \"jobs_requeued\": " << f.jobs_requeued
+     << ", \"dispatch_retries\": " << f.dispatch_retries
+     << ", \"jobs_dropped\": " << f.jobs_dropped
+     << ", \"updates_lost\": " << f.updates_lost
+     << ", \"updates_delayed\": " << f.updates_delayed
+     << ", \"estimator_drops\": " << f.estimator_drops
+     << ", \"stale_fallbacks\": " << f.stale_fallbacks
+     << ", \"sanitizer_fixes\": " << f.sanitizer_fixes << "}";
+}
+
+}  // namespace
+
+std::string format_fault_stats(const fault::FaultStats& stats) {
+  std::ostringstream os;
+  append_counter(os, "crashes", stats.crashes);
+  append_counter(os, "recoveries", stats.recoveries);
+  append_counter(os, "jobs_lost", stats.jobs_lost);
+  append_counter(os, "jobs_requeued", stats.jobs_requeued);
+  append_counter(os, "dispatch_retries", stats.dispatch_retries);
+  append_counter(os, "jobs_dropped", stats.jobs_dropped);
+  append_counter(os, "updates_lost", stats.updates_lost);
+  append_counter(os, "updates_delayed", stats.updates_delayed);
+  append_counter(os, "estimator_drops", stats.estimator_drops);
+  append_counter(os, "stale_fallbacks", stats.stale_fallbacks);
+  append_counter(os, "sanitizer_fixes", stats.sanitizer_fixes);
+  std::string text = os.str();
+  return text.empty() ? "none" : text;
+}
+
+void write_json_report(std::ostream& os, const ExperimentConfig& config,
+                       const ExperimentResult& result, int trials_used) {
+  const auto saved_precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"config\": {"
+     << "\"num_servers\": " << config.num_servers
+     << ", \"lambda\": " << config.lambda
+     << ", \"model\": \"" << update_model_name(config.model) << "\""
+     << ", \"update_interval\": " << config.update_interval
+     << ", \"policy\": \"" << json_escape(config.policy) << "\""
+     << ", \"job_size\": \"" << json_escape(config.job_size) << "\""
+     << ", \"rate_estimator\": \"" << json_escape(config.rate_estimator)
+     << "\""
+     << ", \"num_jobs\": " << config.num_jobs
+     << ", \"warmup_jobs\": " << config.warmup_jobs
+     << ", \"trials\": " << config.trials
+     << ", \"seed\": " << config.base_seed
+     << ", \"fault_spec\": \"" << json_escape(config.fault.to_string())
+     << "\"}, \"result\": {"
+     << "\"mean_response\": " << result.mean()
+     << ", \"ci90\": " << result.ci90() << ", \"trials_used\": " << trials_used
+     << ", \"trial_means\": [";
+  for (std::size_t i = 0; i < result.trial_means.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << result.trial_means[i];
+  }
+  os << "], \"faults\": ";
+  write_fault_object(os, result.faults);
+  os << "}}\n";
+  os.precision(saved_precision);
+}
+
+}  // namespace stale::driver

@@ -1,0 +1,28 @@
+// Machine-readable experiment reporting: a JSON record of one experiment
+// (config + result + fault counters) for scripting, and the shared textual
+// formatting of fault counters used by tables and sweep footers.
+//
+// The JSON writer is deliberately dependency-free (no third-party JSON
+// library in this repo): the schema is flat, all keys are static, and the
+// only escaping needed is for the few string-valued config fields.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "driver/experiment.h"
+
+namespace stale::driver {
+
+// "crashes=3 recoveries=2 jobs_lost=17 ..." — only nonzero counters are
+// listed; "none" when every counter is zero.
+std::string format_fault_stats(const fault::FaultStats& stats);
+
+// Writes one JSON object:
+//   {"config": {...}, "result": {"mean_response": ..., "ci90": ...,
+//    "trial_means": [...], "faults": {...}}}
+// `trials_used` is the actual trial count (adaptive runs may stop early).
+void write_json_report(std::ostream& os, const ExperimentConfig& config,
+                       const ExperimentResult& result, int trials_used);
+
+}  // namespace stale::driver

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "driver/report.h"
 #include "driver/table.h"
 #include "runtime/thread_pool.h"
 
@@ -42,6 +43,7 @@ void run_sweep(const ExperimentConfig& base, const std::string& x_label,
   // order no matter which worker finished first.
   const std::size_t cells = x_values.size() * policies.size();
   std::vector<std::string> grid(cells);
+  std::vector<fault::FaultStats> cell_faults(cells);
   std::mutex progress_mutex;
 
   const auto compute_cell = [&](std::size_t index) {
@@ -53,7 +55,9 @@ void run_sweep(const ExperimentConfig& base, const std::string& x_label,
     // Cells are the unit of parallelism here; trials within a cell run
     // serially on this worker (nested pools would oversubscribe).
     config.jobs = 1;
-    grid[index] = format_cell(run_experiment(config), options);
+    const ExperimentResult result = run_experiment(config);
+    grid[index] = format_cell(result, options);
+    cell_faults[index] = result.faults;
     if (options.progress != nullptr) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
       *options.progress << "." << std::flush;
@@ -79,6 +83,19 @@ void run_sweep(const ExperimentConfig& base, const std::string& x_label,
   }
   if (options.progress != nullptr) *options.progress << "\n";
   table.print(os, options.csv);
+
+  // Fault-injected sweeps append per-policy counter totals as '#' comment
+  // lines, which the CSV -> SVG pipeline (parse_sweep_csv) skips.
+  if (base.fault.any()) {
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      fault::FaultStats totals;
+      for (std::size_t xi = 0; xi < x_values.size(); ++xi) {
+        totals.merge(cell_faults[xi * policies.size() + pi]);
+      }
+      os << "# faults[" << policies[pi]
+         << "]: " << format_fault_stats(totals) << "\n";
+    }
+  }
 }
 
 void run_t_sweep(const ExperimentConfig& base,

@@ -1,0 +1,176 @@
+#include "fault/fault_spec.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::fault {
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultSpec: bad number for '" + key +
+                                "': " + value);
+  }
+  if (used != value.size() || !std::isfinite(parsed)) {
+    throw std::invalid_argument("FaultSpec: bad number for '" + key +
+                                "': " + value);
+  }
+  return parsed;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  long parsed = 0;
+  try {
+    parsed = std::stol(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultSpec: bad integer for '" + key +
+                                "': " + value);
+  }
+  if (used != value.size()) {
+    throw std::invalid_argument("FaultSpec: bad integer for '" + key +
+                                "': " + value);
+  }
+  return static_cast<int>(parsed);
+}
+
+void require_probability(const std::string& key, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("FaultSpec: '" + key +
+                                "' must be a probability in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double FaultSpec::resolved_cutoff(double update_interval) const {
+  if (cutoff_value <= 0.0) return std::numeric_limits<double>::infinity();
+  return cutoff_in_intervals ? cutoff_value * update_interval : cutoff_value;
+}
+
+void FaultSpec::validate() const {
+  if (crash_rate < 0.0 || !std::isfinite(crash_rate)) {
+    throw std::invalid_argument("FaultSpec: 'crash' must be >= 0");
+  }
+  if (has_crashes() && (mean_downtime <= 0.0 || !std::isfinite(mean_downtime))) {
+    throw std::invalid_argument(
+        "FaultSpec: 'down' (mean downtime) must be > 0 when crashes are on");
+  }
+  require_probability("loss", update_loss);
+  require_probability("estdrop", estimator_dropout);
+  if (update_extra_delay < 0.0 || !std::isfinite(update_extra_delay)) {
+    throw std::invalid_argument("FaultSpec: 'delay' must be >= 0");
+  }
+  if (!std::isfinite(cutoff_value) || cutoff_value < 0.0) {
+    throw std::invalid_argument("FaultSpec: 'cutoff' must be >= 0");
+  }
+  if (max_retries < 0) {
+    throw std::invalid_argument("FaultSpec: 'retries' must be >= 0");
+  }
+  if (retry_backoff < 0.0 || !std::isfinite(retry_backoff)) {
+    throw std::invalid_argument("FaultSpec: 'backoff' must be >= 0");
+  }
+}
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("FaultSpec: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "crash") {
+      spec.crash_rate = parse_double(key, value);
+    } else if (key == "down") {
+      spec.mean_downtime = parse_double(key, value);
+    } else if (key == "semantics") {
+      if (value == "lost") {
+        spec.semantics = CrashSemantics::kLostWork;
+      } else if (value == "requeue") {
+        spec.semantics = CrashSemantics::kRequeue;
+      } else {
+        throw std::invalid_argument(
+            "FaultSpec: 'semantics' must be lost or requeue, got '" + value +
+            "'");
+      }
+    } else if (key == "loss") {
+      spec.update_loss = parse_double(key, value);
+    } else if (key == "delay") {
+      spec.update_extra_delay = parse_double(key, value);
+    } else if (key == "estdrop") {
+      spec.estimator_dropout = parse_double(key, value);
+    } else if (key == "cutoff") {
+      if (!value.empty() && (value.back() == 'T' || value.back() == 't')) {
+        spec.cutoff_value =
+            parse_double(key, value.substr(0, value.size() - 1));
+        spec.cutoff_in_intervals = true;
+      } else {
+        spec.cutoff_value = parse_double(key, value);
+        spec.cutoff_in_intervals = false;
+      }
+    } else if (key == "fallback") {
+      if (value.empty()) {
+        throw std::invalid_argument("FaultSpec: 'fallback' needs a policy");
+      }
+      spec.fallback_policy = value;
+    } else if (key == "retries") {
+      spec.max_retries = parse_int(key, value);
+    } else if (key == "backoff") {
+      spec.retry_backoff = parse_double(key, value);
+    } else {
+      throw std::invalid_argument("FaultSpec: unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream out;
+  const char* sep = "";
+  const auto emit = [&](const std::string& piece) {
+    out << sep << piece;
+    sep = ",";
+  };
+  const auto num = [](double v) {
+    std::ostringstream s;
+    s << v;
+    return s.str();
+  };
+  if (crash_rate > 0.0) {
+    emit("crash=" + num(crash_rate));
+    emit("down=" + num(mean_downtime));
+    emit(semantics == CrashSemantics::kRequeue ? "semantics=requeue"
+                                               : "semantics=lost");
+  }
+  if (update_loss > 0.0) emit("loss=" + num(update_loss));
+  if (update_extra_delay > 0.0) emit("delay=" + num(update_extra_delay));
+  if (estimator_dropout > 0.0) emit("estdrop=" + num(estimator_dropout));
+  if (cutoff_value > 0.0) {
+    emit("cutoff=" + num(cutoff_value) + (cutoff_in_intervals ? "T" : ""));
+    emit("fallback=" + fallback_policy);
+  }
+  if (any() && (max_retries != 3 || retry_backoff != 0.1)) {
+    emit("retries=" + std::to_string(max_retries));
+    emit("backoff=" + num(retry_backoff));
+  }
+  return out.str();
+}
+
+}  // namespace stale::fault

@@ -1,0 +1,85 @@
+// Declarative description of the faults injected into one experiment run.
+//
+// A spec bundles the fault processes (server crash/recovery, load-update loss
+// and extra delay, rate-estimator dropout) with the hardening knobs the
+// dispatcher uses to survive them (staleness cutoff + fallback policy,
+// bounded retry-with-backoff). Specs parse from a compact comma-separated
+// string so they fit in one CLI flag or sweep cell:
+//
+//   crash=0.01,down=5,semantics=requeue,loss=0.2,delay=0.5,estdrop=0.1,
+//   cutoff=2T,fallback=random,retries=3,backoff=0.1
+//
+// All keys are optional; an empty spec means "no faults". `cutoff` accepts
+// either an absolute time ("5.0") or a multiple of the update interval
+// ("2T"), resolved by the driver once T is known.
+#pragma once
+
+#include <string>
+
+namespace stale::fault {
+
+enum class CrashSemantics {
+  kLostWork,  // jobs on a crashed server vanish (counted, never complete)
+  kRequeue,   // jobs restart their full service demand on another server
+};
+
+struct FaultSpec {
+  // Per-server crash process: while up, time-to-crash ~ Exp(crash_rate);
+  // while down, time-to-recovery ~ Exp(1 / mean_downtime). crash_rate == 0
+  // disables crashes entirely.
+  double crash_rate = 0.0;
+  double mean_downtime = 1.0;
+  CrashSemantics semantics = CrashSemantics::kLostWork;
+
+  // Probability each load refresh (board phase, heartbeat, or per-request
+  // view pull) is silently lost.
+  double update_loss = 0.0;
+
+  // Mean of an exponential extra delay added to each surviving refresh
+  // (0 = no extra delay).
+  double update_extra_delay = 0.0;
+
+  // Probability an arrival sample never reaches the rate estimator.
+  double estimator_dropout = 0.0;
+
+  // Staleness cutoff: when the information age a request sees exceeds the
+  // cutoff, the dispatcher downgrades to `fallback_policy`. cutoff_value <= 0
+  // means no cutoff. When cutoff_in_intervals is true the value is a multiple
+  // of the update interval T ("2T"); otherwise absolute simulated time.
+  double cutoff_value = 0.0;
+  bool cutoff_in_intervals = false;
+  std::string fallback_policy = "random";
+
+  // Bounded retry when dispatch hits a server the dispatcher then discovers
+  // is down: up to max_retries re-picks, the k-th retry costing
+  // retry_backoff * 2^(k-1) of response-time penalty. A job that exhausts its
+  // retries is dropped (counted, never completes).
+  int max_retries = 3;
+  double retry_backoff = 0.1;
+
+  bool has_crashes() const { return crash_rate > 0.0; }
+  bool has_update_faults() const {
+    return update_loss > 0.0 || update_extra_delay > 0.0;
+  }
+  bool any() const {
+    return has_crashes() || has_update_faults() || estimator_dropout > 0.0 ||
+           cutoff_value > 0.0;
+  }
+
+  // Absolute staleness cutoff for a run with update interval T, or +inf when
+  // no cutoff is configured.
+  double resolved_cutoff(double update_interval) const;
+
+  // Throws std::invalid_argument on out-of-range fields (probabilities
+  // outside [0,1], non-positive downtime with crashes on, negative retries).
+  void validate() const;
+
+  // Parses the comma-separated key=value format above. Unknown keys and
+  // malformed values throw std::invalid_argument naming the offender.
+  static FaultSpec parse(const std::string& text);
+
+  // Round-trips through parse(); "" for a default (fault-free) spec.
+  std::string to_string() const;
+};
+
+}  // namespace stale::fault

@@ -1,0 +1,43 @@
+// Per-trial fault and degradation counters. Everything the hardened
+// dispatcher and the injector do under faults is tallied here so experiments
+// can report *how much* degradation occurred, not just the resulting
+// response times. Counters aggregate across trials with merge(); equality is
+// member-wise, which the determinism tests use to assert that --jobs 1 and
+// --jobs N runs inject the exact same faults.
+#pragma once
+
+#include <cstdint>
+
+namespace stale::fault {
+
+struct FaultStats {
+  std::uint64_t crashes = 0;           // server crash transitions
+  std::uint64_t recoveries = 0;        // server recovery transitions
+  std::uint64_t jobs_lost = 0;         // in-flight jobs destroyed by a crash
+  std::uint64_t jobs_requeued = 0;     // in-flight jobs restarted elsewhere
+  std::uint64_t dispatch_retries = 0;  // re-picks after hitting a down server
+  std::uint64_t jobs_dropped = 0;      // jobs that exhausted their retries
+  std::uint64_t updates_lost = 0;      // load refreshes silently dropped
+  std::uint64_t updates_delayed = 0;   // load refreshes given extra delay
+  std::uint64_t estimator_drops = 0;   // arrival samples the estimator missed
+  std::uint64_t stale_fallbacks = 0;   // dispatches downgraded by the cutoff
+  std::uint64_t sanitizer_fixes = 0;   // degenerate probability vectors fixed
+
+  void merge(const FaultStats& other) {
+    crashes += other.crashes;
+    recoveries += other.recoveries;
+    jobs_lost += other.jobs_lost;
+    jobs_requeued += other.jobs_requeued;
+    dispatch_retries += other.dispatch_retries;
+    jobs_dropped += other.jobs_dropped;
+    updates_lost += other.updates_lost;
+    updates_delayed += other.updates_delayed;
+    estimator_drops += other.estimator_drops;
+    stale_fallbacks += other.stale_fallbacks;
+    sanitizer_fixes += other.sanitizer_fixes;
+  }
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+}  // namespace stale::fault

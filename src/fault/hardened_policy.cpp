@@ -1,0 +1,44 @@
+#include "fault/hardened_policy.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/fault_spec.h"
+#include "policy/policy_factory.h"
+
+namespace stale::fault {
+
+HardenedPolicy::HardenedPolicy(policy::PolicyPtr inner, double max_staleness,
+                               policy::PolicyPtr fallback, FaultStats* stats)
+    : inner_(std::move(inner)),
+      max_staleness_(max_staleness),
+      fallback_(std::move(fallback)),
+      stats_(stats) {
+  if (!inner_ || !fallback_) {
+    throw std::invalid_argument("HardenedPolicy: null policy");
+  }
+  if (std::isnan(max_staleness_) || max_staleness_ <= 0.0) {
+    throw std::invalid_argument("HardenedPolicy: cutoff must be > 0");
+  }
+}
+
+int HardenedPolicy::select(const policy::DispatchContext& context,
+                           sim::Rng& rng) {
+  if (context.age > max_staleness_) {
+    if (stats_ != nullptr) ++stats_->stale_fallbacks;
+    return fallback_->select(context, rng);
+  }
+  return inner_->select(context, rng);
+}
+
+policy::PolicyPtr harden_policy(policy::PolicyPtr inner, const FaultSpec& spec,
+                                double update_interval, FaultStats* stats) {
+  const double cutoff = spec.resolved_cutoff(update_interval);
+  if (std::isinf(cutoff)) return inner;
+  return std::make_unique<HardenedPolicy>(
+      std::move(inner), cutoff, policy::make_policy(spec.fallback_policy),
+      stats);
+}
+
+}  // namespace stale::fault

@@ -1,0 +1,46 @@
+// Staleness-cutoff hardening wrapper (the dispatcher-side half of the fault
+// story): when the information age a request sees exceeds `max_staleness`,
+// interpreting the snapshot is worse than ignoring it — the wrapper
+// downgrades that dispatch to a cheap fallback policy (random or a k-subset
+// spec) and counts the downgrade. Requests with fresh-enough information pass
+// through to the wrapped policy untouched, so a run whose age never crosses
+// the cutoff is bit-identical to an unwrapped run.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "fault/fault_spec.h"
+#include "fault/fault_stats.h"
+#include "policy/policy.h"
+
+namespace stale::fault {
+
+class HardenedPolicy final : public policy::SelectionPolicy {
+ public:
+  // `max_staleness` is the absolute age cutoff (+inf disables). `stats` may
+  // be null (no counting). Both policies must outlive nothing — the wrapper
+  // owns them.
+  HardenedPolicy(policy::PolicyPtr inner, double max_staleness,
+                 policy::PolicyPtr fallback, FaultStats* stats);
+
+  int select(const policy::DispatchContext& context, sim::Rng& rng) override;
+  std::string name() const override { return inner_->name(); }
+  int info_demand() const override { return inner_->info_demand(); }
+
+  double max_staleness() const { return max_staleness_; }
+
+ private:
+  policy::PolicyPtr inner_;
+  double max_staleness_;
+  policy::PolicyPtr fallback_;
+  FaultStats* stats_;
+};
+
+// Builds the wrapper from a spec: resolves the cutoff against the run's
+// update interval and instantiates the fallback via the policy factory.
+// Returns `inner` unchanged when the spec has no cutoff.
+policy::PolicyPtr harden_policy(policy::PolicyPtr inner, const FaultSpec& spec,
+                                double update_interval, FaultStats* stats);
+
+}  // namespace stale::fault

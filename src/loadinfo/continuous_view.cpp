@@ -6,13 +6,17 @@
 namespace stale::loadinfo {
 
 ContinuousView::ContinuousView(DelayKind kind, double mean_delay,
-                               bool know_actual_age)
+                               bool know_actual_age,
+                               double extra_delay_allowance)
     : mean_delay_(mean_delay),
       know_actual_age_(know_actual_age),
-      max_delay_(history_window_for(kind, mean_delay)),
+      max_delay_(history_window_for(kind, mean_delay) + extra_delay_allowance),
       delay_(make_delay_distribution(kind, mean_delay)) {
   if (mean_delay < 0.0) {
     throw std::invalid_argument("ContinuousView: negative mean delay");
+  }
+  if (extra_delay_allowance < 0.0) {
+    throw std::invalid_argument("ContinuousView: negative delay allowance");
   }
 }
 
@@ -31,11 +35,26 @@ double ContinuousView::history_window_for(DelayKind kind, double mean_delay) {
 }
 
 void ContinuousView::observe(const queueing::Cluster& cluster, double t,
-                             sim::Rng& rng) {
+                             sim::Rng& rng, RefreshFaults* faults) {
+  if (faults != nullptr && faults->drop_refresh()) {
+    // The refresh never arrived: the client reuses the last view it got,
+    // which has aged further. Before any successful refresh the view is the
+    // empty-cluster prior from time 0.
+    if (loads_.empty()) {
+      loads_.assign(static_cast<std::size_t>(cluster.size()), 0);
+    }
+    actual_delay_ = t - last_measured_;
+    reported_age_ =
+        know_actual_age_ ? actual_delay_ : std::min(mean_delay_, t);
+    ++version_;
+    return;
+  }
   double d = delay_->sample(rng);
+  if (faults != nullptr) d += faults->refresh_delay();
   d = std::min(d, max_delay_);
   d = std::min(d, t);  // nothing existed before time 0: clamp early requests
   actual_delay_ = d;
+  last_measured_ = t - d;
   reported_age_ = know_actual_age_ ? d : std::min(mean_delay_, t);
   cluster.loads_at(t - d, loads_);
   ++version_;

@@ -4,6 +4,10 @@
 // the policy is told either the mean delay T (Figure 6: "clients only know
 // the average") or the actual sampled `d` (Figure 7: "clients know the age
 // of information actually encountered").
+//
+// Under fault injection a request's refresh can be lost — the client is stuck
+// with the previous view it obtained, whose age keeps growing across
+// consecutive losses — or stretched by extra network delay added to `d`.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +15,7 @@
 #include <vector>
 
 #include "loadinfo/delay_distribution.h"
+#include "loadinfo/refresh_faults.h"
 #include "queueing/cluster.h"
 #include "sim/rng.h"
 
@@ -19,8 +24,10 @@ namespace stale::loadinfo {
 class ContinuousView {
  public:
   // `mean_delay` is T. The cluster must be constructed with a history window
-  // of at least history_window_for(kind, mean_delay).
-  ContinuousView(DelayKind kind, double mean_delay, bool know_actual_age);
+  // of at least history_window_for(kind, mean_delay) plus any
+  // `extra_delay_allowance` for fault-stretched delays.
+  ContinuousView(DelayKind kind, double mean_delay, bool know_actual_age,
+                 double extra_delay_allowance = 0.0);
 
   // Recommended cluster history window for exact past-load queries. For the
   // unbounded exponential delay this caps the support at a quantile so far
@@ -29,8 +36,10 @@ class ContinuousView {
 
   // Samples this request's delay and materializes the view for an arrival at
   // time `t`. Returns the loads via loads(); reported_age() is what the
-  // policy is told.
-  void observe(const queueing::Cluster& cluster, double t, sim::Rng& rng);
+  // policy is told. `faults` (nullable) may drop the refresh (the previous
+  // view is reused, older) or stretch the delay.
+  void observe(const queueing::Cluster& cluster, double t, sim::Rng& rng,
+               RefreshFaults* faults = nullptr);
 
   const std::vector<int>& loads() const { return loads_; }
   double reported_age() const { return reported_age_; }
@@ -45,6 +54,7 @@ class ContinuousView {
   std::vector<int> loads_;
   double reported_age_ = 0.0;
   double actual_delay_ = 0.0;
+  double last_measured_ = 0.0;  // instant the current view reflects
   std::uint64_t version_ = 0;
 };
 

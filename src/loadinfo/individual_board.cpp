@@ -1,5 +1,6 @@
 #include "loadinfo/individual_board.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace stale::loadinfo {
@@ -15,14 +16,16 @@ IndividualBoard::IndividualBoard(int num_servers, double update_interval,
   }
   snapshot_.assign(static_cast<std::size_t>(num_servers), 0);
   last_refresh_.assign(static_cast<std::size_t>(num_servers), 0.0);
+  pending_.resize(static_cast<std::size_t>(num_servers));
   next_refresh_.resize(static_cast<std::size_t>(num_servers));
   for (double& next : next_refresh_) {
     next = rng.next_double() * update_interval;
   }
 }
 
-void IndividualBoard::sync(queueing::Cluster& cluster, double t) {
-  // Refresh entries in global time order so that each snapshot reads the
+void IndividualBoard::sync(queueing::Cluster& cluster, double t,
+                           RefreshFaults* faults) {
+  // Take measurements in global time order so that each heartbeat reads the
   // cluster exactly at its boundary.
   while (true) {
     int due = -1;
@@ -34,12 +37,26 @@ void IndividualBoard::sync(queueing::Cluster& cluster, double t) {
       }
     }
     if (due < 0) break;
-    cluster.advance_to(due_time);
-    snapshot_[static_cast<std::size_t>(due)] =
-        cluster.loads()[static_cast<std::size_t>(due)];
-    last_refresh_[static_cast<std::size_t>(due)] = due_time;
-    next_refresh_[static_cast<std::size_t>(due)] = due_time + interval_;
-    ++version_;
+    const auto s = static_cast<std::size_t>(due);
+    if (faults == nullptr || !faults->drop_refresh()) {
+      cluster.advance_to(due_time);
+      const double delay = faults == nullptr ? 0.0 : faults->refresh_delay();
+      // FIFO per server: a heartbeat never overtakes its predecessor.
+      const double publish = std::max(
+          due_time + delay,
+          pending_[s].empty() ? 0.0 : pending_[s].back().publish);
+      pending_[s].push_back({publish, due_time, cluster.loads()[s]});
+    }
+    next_refresh_[s] = due_time + interval_;
+  }
+  // Publish everything that has arrived by t.
+  for (std::size_t s = 0; s < pending_.size(); ++s) {
+    while (!pending_[s].empty() && pending_[s].front().publish <= t) {
+      snapshot_[s] = pending_[s].front().value;
+      last_refresh_[s] = pending_[s].front().measured;
+      pending_[s].pop_front();
+      ++version_;
+    }
   }
 }
 

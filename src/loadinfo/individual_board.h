@@ -2,11 +2,17 @@
 // the paper omitted "for compactness"): each server refreshes its own board
 // entry on its own period-T schedule, with per-server phase offsets, so
 // entries have different ages. LI policies receive the mean entry age.
+//
+// Under fault injection a server's heartbeat can be lost (its entry keeps
+// aging past T) or delayed (measured on schedule, visible later; deliveries
+// from one server are FIFO).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "loadinfo/refresh_faults.h"
 #include "queueing/cluster.h"
 #include "sim/rng.h"
 
@@ -18,8 +24,10 @@ class IndividualBoard {
   // de-phased, mirroring staggered heartbeat timers in real systems.
   IndividualBoard(int num_servers, double update_interval, sim::Rng& rng);
 
-  // Refreshes every entry whose boundary passed by time `t`.
-  void sync(queueing::Cluster& cluster, double t);
+  // Refreshes every entry whose boundary passed by time `t`. `faults`
+  // (nullable) may drop or delay individual heartbeats.
+  void sync(queueing::Cluster& cluster, double t,
+            RefreshFaults* faults = nullptr);
 
   const std::vector<int>& loads() const { return snapshot_; }
   double entry_age(int server, double t) const {
@@ -29,10 +37,17 @@ class IndividualBoard {
   std::uint64_t version() const { return version_; }
 
  private:
+  struct PendingHeartbeat {
+    double publish;   // when the entry becomes visible
+    double measured;  // when the queue length was sampled
+    int value;
+  };
+
   double interval_;
   std::vector<double> next_refresh_;
   std::vector<double> last_refresh_;
   std::vector<int> snapshot_;
+  std::vector<std::deque<PendingHeartbeat>> pending_;  // per server, FIFO
   std::uint64_t version_ = 1;
 };
 

@@ -1,12 +1,13 @@
 #include "loadinfo/periodic_board.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace stale::loadinfo {
 
 PeriodicBoard::PeriodicBoard(int num_servers, double update_interval)
-    : interval_(update_interval) {
+    : interval_(update_interval), next_boundary_(update_interval) {
   if (num_servers <= 0) {
     throw std::invalid_argument("PeriodicBoard: need at least one server");
   }
@@ -16,19 +17,34 @@ PeriodicBoard::PeriodicBoard(int num_servers, double update_interval)
   snapshot_.assign(static_cast<std::size_t>(num_servers), 0);
 }
 
-void PeriodicBoard::sync(queueing::Cluster& cluster, double t) {
-  if (t < phase_start_) {
+void PeriodicBoard::sync(queueing::Cluster& cluster, double t,
+                         RefreshFaults* faults) {
+  if (t < measured_at_) {
     throw std::invalid_argument("PeriodicBoard::sync: time went backwards");
   }
   // Step through the (usually zero or one) phase boundaries crossed since the
   // last sync. Stepping rather than jumping keeps every intermediate
   // snapshot exact even when several empty phases pass between arrivals.
-  while (t - phase_start_ >= interval_) {
-    const double boundary = phase_start_ + interval_;
+  while (next_boundary_ <= t) {
+    const double boundary = next_boundary_;
     cluster.advance_to(boundary);
-    const auto loads = cluster.loads();
-    snapshot_.assign(loads.begin(), loads.end());
-    phase_start_ = boundary;
+    if (faults == nullptr || !faults->drop_refresh()) {
+      const double delay = faults == nullptr ? 0.0 : faults->refresh_delay();
+      // FIFO delivery: a refresh never overtakes its predecessor.
+      const double publish =
+          std::max(boundary + delay,
+                   pending_.empty() ? 0.0 : pending_.back().publish);
+      const auto loads = cluster.loads();
+      pending_.push_back(
+          {publish, boundary, std::vector<int>(loads.begin(), loads.end())});
+    }
+    next_boundary_ += interval_;
+  }
+  // Publish everything that has arrived by t (in measurement order).
+  while (!pending_.empty() && pending_.front().publish <= t) {
+    snapshot_ = std::move(pending_.front().snapshot);
+    measured_at_ = pending_.front().measured;
+    pending_.pop_front();
     ++version_;
   }
 }

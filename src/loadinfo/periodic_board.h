@@ -2,11 +2,21 @@
 // board is refreshed with the true queue lengths of all servers; every
 // arrival during the following phase sees that same snapshot. Phase k covers
 // [k*T, (k+1)*T) with the snapshot taken at k*T.
+//
+// Under fault injection a refresh can be lost (the board keeps showing the
+// previous snapshot, whose age then exceeds T — the dispatcher herds exactly
+// as if it trusted fresh-enough information) or delayed (measured at the
+// boundary, published later; deliveries are FIFO, like updates pushed over
+// one ordered channel). age() is always the time since the *measurement* of
+// the currently visible snapshot, which is what a timestamped board entry
+// lets a dispatcher compute.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "loadinfo/refresh_faults.h"
 #include "queueing/cluster.h"
 
 namespace stale::loadinfo {
@@ -19,21 +29,33 @@ class PeriodicBoard {
 
   // Brings the board up to date for an observation at time `t`, refreshing
   // it at every phase boundary in (last_refresh, t]. The cluster is advanced
-  // to each boundary so snapshots are exact.
-  void sync(queueing::Cluster& cluster, double t);
+  // to each boundary so snapshots are exact. `faults` (nullable) may drop or
+  // delay individual refreshes.
+  void sync(queueing::Cluster& cluster, double t,
+            RefreshFaults* faults = nullptr);
 
   const std::vector<int>& loads() const { return snapshot_; }
-  double phase_start() const { return phase_start_; }
+  // Time the visible snapshot was measured (== the phase start when every
+  // refresh arrives intact and on time).
+  double phase_start() const { return measured_at_; }
   double phase_length() const { return interval_; }
-  double age(double t) const { return t - phase_start_; }
+  double age(double t) const { return t - measured_at_; }
   // Bumped on every refresh; policies key caches on it.
   std::uint64_t version() const { return version_; }
 
  private:
+  struct PendingRefresh {
+    double publish;   // when the snapshot becomes visible
+    double measured;  // when it was measured (the phase boundary)
+    std::vector<int> snapshot;
+  };
+
   double interval_;
-  double phase_start_ = 0.0;
+  double next_boundary_;
+  double measured_at_ = 0.0;
   std::uint64_t version_ = 1;
   std::vector<int> snapshot_;
+  std::deque<PendingRefresh> pending_;  // FIFO, publish times non-decreasing
 };
 
 }  // namespace stale::loadinfo

@@ -1,0 +1,24 @@
+// Degraded-refresh model the information models consult when a fault layer
+// is active: a bulletin-board refresh (or a client's view) can be lost
+// outright, or arrive only after extra network delay. The three staleness
+// models accept a nullable RefreshFaults* so perfect-refresh runs pay
+// nothing; fault::FaultInjector implements the interface with deterministic
+// seeded draws.
+#pragma once
+
+namespace stale::loadinfo {
+
+class RefreshFaults {
+ public:
+  virtual ~RefreshFaults() = default;
+
+  // True: this refresh never arrives; the consumer keeps its old (aging)
+  // information. Drawn once per refresh opportunity.
+  virtual bool drop_refresh() = 0;
+
+  // Extra latency between a refresh being measured and becoming visible
+  // (0 for no delay faults). Drawn once per surviving refresh.
+  virtual double refresh_delay() = 0;
+};
+
+}  // namespace stale::loadinfo

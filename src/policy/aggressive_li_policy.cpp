@@ -1,23 +1,51 @@
 #include "policy/aggressive_li_policy.h"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace stale::policy {
 
 int AggressiveLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  if (context.loads.empty()) {
+    throw std::invalid_argument("AggressiveLiPolicy: empty load vector");
+  }
   if (!schedule_ || cached_version_ != context.info_version) {
     schedule_.emplace(core::make_aggressive_schedule(context.loads));
     cached_version_ = context.info_version;
   }
-  int group;
-  if (context.periodic()) {
-    group = core::aggressive_group_at(
-        *schedule_, context.lambda_total * context.phase_elapsed);
-  } else {
-    group = core::aggressive_stationary_group(
-        *schedule_, context.lambda_total * context.age);
+  // A degraded rate estimate (no samples yet, or overflow) yields a
+  // non-finite or negative expected-arrival count; degrade to "start of
+  // schedule" rather than feeding garbage into the group lookup.
+  double jobs_elapsed =
+      context.lambda_total *
+      (context.periodic() ? context.phase_elapsed : context.age);
+  if (!std::isfinite(jobs_elapsed) || jobs_elapsed < 0.0) jobs_elapsed = 0.0;
+  const int group = context.periodic()
+                        ? core::aggressive_group_at(*schedule_, jobs_elapsed)
+                        : core::aggressive_stationary_group(*schedule_,
+                                                            jobs_elapsed);
+  if (context.alive.empty()) {
+    // Uniform over the `group` least-loaded servers (non-fault fast path).
+    const auto pick = rng.next_below(static_cast<std::uint64_t>(group));
+    return schedule_->order[static_cast<std::size_t>(pick)];
   }
-  // Uniform over the `group` least-loaded servers.
-  const auto pick = rng.next_below(static_cast<std::uint64_t>(group));
-  return schedule_->order[static_cast<std::size_t>(pick)];
+  // Fault run: pick uniformly among the group's known-alive members; if the
+  // whole group is believed down, fall back to uniform over alive servers.
+  std::uint64_t alive_in_group = 0;
+  for (int i = 0; i < group; ++i) {
+    const int s = schedule_->order[static_cast<std::size_t>(i)];
+    if (!context.known_dead(s)) ++alive_in_group;
+  }
+  if (alive_in_group == 0) {
+    context.count_sanitize_event();
+    return pick_uniform_alive(context.alive, context.loads.size(), rng);
+  }
+  std::uint64_t pick = rng.next_below(alive_in_group);
+  for (int i = 0; i < group; ++i) {
+    const int s = schedule_->order[static_cast<std::size_t>(i)];
+    if (!context.known_dead(s) && pick-- == 0) return s;
+  }
+  throw std::logic_error("AggressiveLiPolicy: liveness mask changed mid-pick");
 }
 
 }  // namespace stale::policy

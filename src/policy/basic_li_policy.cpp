@@ -1,15 +1,23 @@
 #include "policy/basic_li_policy.h"
 
+#include <stdexcept>
+
 #include "core/load_interpretation.h"
 
 namespace stale::policy {
 
 int BasicLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  if (context.loads.empty()) {
+    throw std::invalid_argument("BasicLiPolicy: empty load vector");
+  }
   const double expected_arrivals = context.basic_li_expected_arrivals();
   if (!sampler_ || cached_version_ != context.info_version ||
       cached_arrivals_ != expected_arrivals) {
-    const std::vector<double> p =
+    std::vector<double> p =
         core::basic_li_probabilities(context.loads, expected_arrivals);
+    if (sanitize_probabilities(p, context.alive)) {
+      context.count_sanitize_event();
+    }
     sampler_.emplace(std::span<const double>(p));
     cached_version_ = context.info_version;
     cached_arrivals_ = expected_arrivals;

@@ -1,5 +1,7 @@
 #include "policy/hybrid_li_policy.h"
 
+#include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "core/load_interpretation.h"
@@ -7,23 +9,33 @@
 namespace stale::policy {
 
 int HybridLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
+  if (context.loads.empty()) {
+    throw std::invalid_argument("HybridLiPolicy: empty load vector");
+  }
   if (!first_sampler_ || cached_version_ != context.info_version) {
     std::vector<double> loads(context.loads.begin(), context.loads.end());
     first_interval_jobs_ = core::hybrid_li_first_interval_jobs(loads);
-    const std::vector<double> p =
+    std::vector<double> p =
         core::hybrid_li_first_interval_probabilities(loads);
+    if (sanitize_probabilities(p, context.alive)) {
+      context.count_sanitize_event();
+    }
     first_sampler_.emplace(std::span<const double>(p));
     cached_version_ = context.info_version;
   }
   // Expected arrivals consumed so far in this window: elapsed time under
-  // periodic update, information age otherwise.
-  const double consumed =
+  // periodic update, information age otherwise. Degrade a non-finite or
+  // negative estimate to 0 (treat the window as just begun).
+  double consumed =
       context.lambda_total *
       (context.periodic() ? context.phase_elapsed : context.age);
+  if (!std::isfinite(consumed) || consumed < 0.0) consumed = 0.0;
   if (consumed < first_interval_jobs_) {
     return first_sampler_->sample(rng);
   }
-  return static_cast<int>(rng.next_below(context.loads.size()));
+  // Second subinterval: uniform — over known-alive servers when a fault
+  // layer supplies liveness (identical draw sequence when it doesn't).
+  return pick_uniform_alive(context.alive, context.loads.size(), rng);
 }
 
 }  // namespace stale::policy

@@ -30,8 +30,24 @@ int LiSubsetPolicy::select(const DispatchContext& context, sim::Rng& rng) {
   const double subset_arrivals = context.basic_li_expected_arrivals() *
                                  static_cast<double>(k) /
                                  static_cast<double>(n);
-  const std::vector<double> p = core::basic_li_probabilities(
+  std::vector<double> p = core::basic_li_probabilities(
       std::span<const double>(subset_loads_), subset_arrivals);
+  if (!context.alive.empty()) {
+    // Project the cluster-wide liveness mask onto the sampled subset so the
+    // sanitizer can steer mass off known-dead members.
+    subset_alive_.resize(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      subset_alive_[static_cast<std::size_t>(i)] =
+          context.alive[static_cast<std::size_t>(
+              indices_[static_cast<std::size_t>(i)])];
+    }
+  }
+  if (sanitize_probabilities(
+          p, context.alive.empty()
+                 ? std::span<const std::uint8_t>{}
+                 : std::span<const std::uint8_t>(subset_alive_))) {
+    context.count_sanitize_event();
+  }
   const core::DiscreteSampler sampler{std::span<const double>(p)};
   return indices_[static_cast<std::size_t>(sampler.sample(rng))];
 }

@@ -24,6 +24,7 @@ class LiSubsetPolicy final : public SelectionPolicy {
   int k_;
   std::vector<int> indices_;
   std::vector<double> subset_loads_;
+  std::vector<std::uint8_t> subset_alive_;
 };
 
 }  // namespace stale::policy

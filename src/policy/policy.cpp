@@ -1,5 +1,6 @@
 #include "policy/policy.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace stale::policy {
@@ -24,6 +25,70 @@ void sample_distinct(int n, int k, sim::Rng& rng, std::span<int> out) {
     }
     out[static_cast<std::size_t>(filled++)] = seen ? j : t;
   }
+}
+
+bool sanitize_probabilities(std::vector<double>& p,
+                            std::span<const std::uint8_t> alive) {
+  // First pass: detect defects without touching the vector, so a healthy
+  // input stays bit-identical (no renormalization drift in non-fault runs).
+  bool defective = false;
+  double usable_mass = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double v = p[i];
+    const bool dead = !alive.empty() && i < alive.size() && alive[i] == 0;
+    if (!std::isfinite(v) || v < 0.0 || (dead && v > 0.0)) {
+      defective = true;
+    } else if (!dead) {
+      usable_mass += v;
+    }
+  }
+  if (!defective && usable_mass > 0.0) return false;
+
+  if (defective) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const bool dead = !alive.empty() && i < alive.size() && alive[i] == 0;
+      if (!std::isfinite(p[i]) || p[i] < 0.0 || dead) p[i] = 0.0;
+    }
+    usable_mass = 0.0;
+    for (double v : p) usable_mass += v;
+  }
+  if (usable_mass <= 0.0) {
+    // Nothing usable survived: uniform over known-alive servers, or over
+    // everyone when the mask is empty or marks nobody alive.
+    std::size_t alive_count = 0;
+    if (!alive.empty()) {
+      for (std::size_t i = 0; i < p.size() && i < alive.size(); ++i) {
+        if (alive[i] != 0) ++alive_count;
+      }
+    }
+    if (alive_count == 0) {
+      const double u = 1.0 / static_cast<double>(p.size());
+      for (double& v : p) v = u;
+    } else {
+      const double u = 1.0 / static_cast<double>(alive_count);
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        p[i] = (i < alive.size() && alive[i] != 0) ? u : 0.0;
+      }
+    }
+  }
+  return true;
+}
+
+int pick_uniform_alive(std::span<const std::uint8_t> alive, std::size_t n,
+                       sim::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("pick_uniform_alive: empty cluster");
+  std::size_t alive_count = 0;
+  for (std::size_t i = 0; i < alive.size() && i < n; ++i) {
+    if (alive[i] != 0) ++alive_count;
+  }
+  if (alive.empty() || alive_count == 0) {
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+  }
+  std::uint64_t pick = rng.next_below(alive_count);
+  for (std::size_t i = 0; i < alive.size() && i < n; ++i) {
+    if (alive[i] != 0 && pick-- == 0) return static_cast<int>(i);
+  }
+  throw std::logic_error("pick_uniform_alive: mask changed underfoot");
 }
 
 }  // namespace stale::policy

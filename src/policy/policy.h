@@ -6,10 +6,12 @@
 // arrival-rate estimate) — and the policy returns a server index.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "sim/rng.h"
 
@@ -41,13 +43,35 @@ struct DispatchContext {
   // structures (probability vectors, schedules) across requests of a phase.
   std::uint64_t info_version = 0;
 
+  // Liveness the dispatcher knows about (fault-injected runs): alive[i] != 0
+  // means server i is believed up. Empty means no fault layer — everyone is
+  // alive. Policies must never concentrate probability on known-dead servers.
+  std::span<const std::uint8_t> alive{};
+
+  // When non-null, incremented each time a policy had to repair a degenerate
+  // probability vector or fall back to uniform-over-alive (fault runs tally
+  // this into FaultStats::sanitizer_fixes).
+  std::uint64_t* sanitize_events = nullptr;
+
   bool periodic() const { return phase_length > 0.0; }
+
+  bool known_dead(int server) const {
+    return !alive.empty() && alive[static_cast<std::size_t>(server)] == 0;
+  }
+
+  void count_sanitize_event() const {
+    if (sanitize_events != nullptr) ++*sanitize_events;
+  }
 
   // Expected number of arrivals between when the information was valid and
   // "now" — the K each LI variant interprets against. Under periodic update
   // Basic LI uses the whole phase (lambda * T); elsewhere lambda * age.
+  // Hardened against degraded rate estimates: a non-finite or negative
+  // estimate (an estimator that has seen no samples, or overflowed) degrades
+  // to K = 0, i.e. "interpret the information as fresh".
   double basic_li_expected_arrivals() const {
-    return lambda_total * (periodic() ? phase_length : age);
+    const double k = lambda_total * (periodic() ? phase_length : age);
+    return std::isfinite(k) && k >= 0.0 ? k : 0.0;
   }
 };
 
@@ -73,5 +97,19 @@ using PolicyPtr = std::unique_ptr<SelectionPolicy>;
 // Samples `k` distinct indices uniformly from [0, n) into `out` (size k).
 // Order is not specified. O(k) expected time, no O(n) scratch.
 void sample_distinct(int n, int k, sim::Rng& rng, std::span<int> out);
+
+// Repairs a probability vector in place: NaN/inf/negative entries become 0,
+// mass on known-dead servers is zeroed, and if no usable mass remains the
+// vector becomes uniform over known-alive servers (uniform over all when the
+// liveness mask is empty or all-dead). A healthy vector is left bit-identical
+// — in particular it is NOT renormalized. Returns true if anything changed.
+bool sanitize_probabilities(std::vector<double>& p,
+                            std::span<const std::uint8_t> alive);
+
+// Uniform pick over the servers marked alive in `alive` (all `n` servers when
+// the mask is empty or marks nobody alive — a dispatcher with no live option
+// must still send the job somewhere and take the retry path).
+int pick_uniform_alive(std::span<const std::uint8_t> alive, std::size_t n,
+                       sim::Rng& rng);
 
 }  // namespace stale::policy

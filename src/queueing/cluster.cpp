@@ -1,5 +1,6 @@
 #include "queueing/cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace stale::queueing {
@@ -47,6 +48,56 @@ void Cluster::loads_at(double t, std::vector<int>& out) const {
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     out[i] = servers_[i].length_at(t);
   }
+}
+
+void Cluster::enable_job_tracking() {
+  for (FifoServer& server : servers_) server.enable_job_tracking();
+}
+
+double Cluster::assign_tagged(double t, int server, double job_size,
+                              std::uint64_t tag, double born) {
+  if (server < 0 || server >= size()) {
+    throw std::out_of_range("Cluster::assign_tagged: bad server index");
+  }
+  advance_to(t);
+  const double departure = servers_[static_cast<std::size_t>(server)]
+                               .assign_tagged(t, job_size, tag, born);
+  loads_[static_cast<std::size_t>(server)] += 1;
+  return departure;
+}
+
+void Cluster::crash(double t, int server,
+                    std::vector<DisplacedJob>& displaced) {
+  if (server < 0 || server >= size()) {
+    throw std::out_of_range("Cluster::crash: bad server index");
+  }
+  advance_to(t);
+  servers_[static_cast<std::size_t>(server)].crash(t, displaced);
+  loads_[static_cast<std::size_t>(server)] = 0;
+}
+
+void Cluster::recover(double t, int server) {
+  if (server < 0 || server >= size()) {
+    throw std::out_of_range("Cluster::recover: bad server index");
+  }
+  advance_to(t);
+  servers_[static_cast<std::size_t>(server)].recover(t);
+}
+
+void Cluster::drain_completions(std::vector<CompletedJob>& out) {
+  for (FifoServer& server : servers_) {
+    std::vector<CompletedJob>& done = server.completions();
+    out.insert(out.end(), done.begin(), done.end());
+    done.clear();
+  }
+}
+
+double Cluster::latest_pending_departure() const {
+  double latest = advanced_time_;
+  for (const FifoServer& server : servers_) {
+    latest = std::max(latest, server.last_pending_departure());
+  }
+  return latest;
 }
 
 }  // namespace stale::queueing

@@ -1,8 +1,13 @@
 // A cluster of FIFO servers behind a dispatcher. Owns per-server state and
 // exposes current and historical queue-length vectors to the staleness
 // models. All operations must be invoked with non-decreasing time.
+//
+// Fault-aware runs (src/fault/) enable job tracking, crash/recover individual
+// servers, and drain completed jobs (tag + response time) instead of trusting
+// the departure time precomputed at dispatch.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -38,6 +43,35 @@ class Cluster {
 
   double advanced_time() const { return advanced_time_; }
   double total_rate() const { return total_rate_; }
+
+  // --- fault support -------------------------------------------------------
+
+  // Turns on per-job metadata on every server (must precede any assign).
+  void enable_job_tracking();
+
+  // Tagged dispatch (requires job tracking); `born` starts the response clock.
+  double assign_tagged(double t, int server, double job_size,
+                       std::uint64_t tag, double born);
+
+  // Crashes `server` at time `t`, appending its displaced jobs to
+  // `displaced`. The cluster is advanced to `t` first so the crash point is
+  // exact; the crashed server's load reads 0 until it recovers.
+  void crash(double t, int server, std::vector<DisplacedJob>& displaced);
+
+  // Brings a crashed server back at time `t`, empty.
+  void recover(double t, int server);
+
+  bool up(int server) const {
+    return servers_.at(static_cast<std::size_t>(server)).up();
+  }
+
+  // Moves every completion retired since the last drain into `out`, in
+  // server-index order (deterministic for a fixed event sequence).
+  void drain_completions(std::vector<CompletedJob>& out);
+
+  // Latest pending departure across servers (== advanced time when idle):
+  // advancing to this instant retires every dispatched job.
+  double latest_pending_departure() const;
 
  private:
   std::vector<FifoServer> servers_;

@@ -42,6 +42,11 @@ void FifoServer::advance_to(double t) {
     const double dep = departures_.front();
     departures_.pop_front();
     ++completed_;
+    if (track_jobs_) {
+      const JobMeta& meta = meta_.front();
+      completions_.push_back({meta.tag, dep - meta.born});
+      meta_.pop_front();
+    }
     record(dep, length());
     if (departures_.empty()) {
       busy_accum_ += dep - busy_since_;
@@ -53,6 +58,13 @@ void FifoServer::advance_to(double t) {
 }
 
 double FifoServer::assign(double t, double size) {
+  if (!up_) {
+    throw std::logic_error("FifoServer::assign: server is down");
+  }
+  if (track_jobs_) {
+    throw std::logic_error(
+        "FifoServer::assign: job tracking is on; use assign_tagged");
+  }
   advance_to(t);
   const double start = departures_.empty() ? t : departures_.back();
   const double departure = start + size / rate_;
@@ -60,6 +72,62 @@ double FifoServer::assign(double t, double size) {
   departures_.push_back(departure);
   record(t, length());
   return departure;
+}
+
+double FifoServer::assign_tagged(double t, double size, std::uint64_t tag,
+                                 double born) {
+  if (!up_) {
+    throw std::logic_error("FifoServer::assign_tagged: server is down");
+  }
+  if (!track_jobs_) {
+    throw std::logic_error(
+        "FifoServer::assign_tagged: enable_job_tracking() first");
+  }
+  advance_to(t);
+  const double start = departures_.empty() ? t : departures_.back();
+  const double departure = start + size / rate_;
+  if (departures_.empty()) busy_since_ = t;
+  departures_.push_back(departure);
+  meta_.push_back({tag, size, born});
+  record(t, length());
+  return departure;
+}
+
+void FifoServer::enable_job_tracking() {
+  if (!departures_.empty()) {
+    throw std::logic_error(
+        "FifoServer::enable_job_tracking: jobs already in flight");
+  }
+  track_jobs_ = true;
+}
+
+void FifoServer::crash(double t, std::vector<DisplacedJob>& displaced) {
+  if (!track_jobs_) {
+    throw std::logic_error("FifoServer::crash: enable_job_tracking() first");
+  }
+  if (!up_) {
+    throw std::logic_error("FifoServer::crash: server already down");
+  }
+  advance_to(t);
+  for (const JobMeta& meta : meta_) {
+    displaced.push_back({meta.tag, meta.size, meta.born});
+  }
+  meta_.clear();
+  if (!departures_.empty()) {
+    departures_.clear();
+    busy_accum_ += t - busy_since_;
+    busy_since_ = -1.0;
+    record(t, 0);
+  }
+  up_ = false;
+}
+
+void FifoServer::recover(double t) {
+  if (up_) {
+    throw std::logic_error("FifoServer::recover: server is not down");
+  }
+  advance_to(t);
+  up_ = true;
 }
 
 int FifoServer::length_at(double t) const {

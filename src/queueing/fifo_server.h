@@ -9,13 +9,36 @@
 // A pruned history of queue-length changes supports exact queries of the
 // queue length at past instants, which the continuous-update staleness model
 // needs ("what did this server look like d time units ago?").
+//
+// Fault support (see src/fault/): a server can crash and later recover. A
+// crash empties the queue — the displaced jobs are either discarded
+// (lost-work semantics) or handed back to the caller for re-dispatch
+// (requeue semantics; a restarted job repeats its full service demand).
+// Because a crash invalidates the precomputed departure times, fault-aware
+// runs enable job tracking, which tags every job and reports completions
+// (tag, response time) as simulated time retires them, instead of trusting
+// the departure time computed at dispatch.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
 namespace stale::queueing {
+
+// A job that finished service; emitted only when job tracking is enabled.
+struct CompletedJob {
+  std::uint64_t tag = 0;    // caller-assigned id (the arrival index)
+  double response = 0.0;    // departure - born
+};
+
+// A job displaced by a crash, carrying what a dispatcher needs to requeue it.
+struct DisplacedJob {
+  std::uint64_t tag = 0;
+  double size = 0.0;        // full service demand (restart semantics)
+  double born = 0.0;        // original arrival time; response keeps accruing
+};
 
 class FifoServer {
  public:
@@ -32,6 +55,11 @@ class FifoServer {
   // advance_to(t) first, or t >= the last advanced time: assign advances
   // internally). Returns the job's departure time.
   double assign(double t, double size);
+
+  // Tagged variant used by fault-aware runs: requires job tracking. `born`
+  // is the time the job's response clock started (its original arrival, for
+  // requeued jobs possibly long before `t`).
+  double assign_tagged(double t, double size, std::uint64_t tag, double born);
 
   // Queue length (jobs in service + waiting) after all departures <= the
   // last advanced time have been retired.
@@ -53,7 +81,41 @@ class FifoServer {
   std::size_t completed_jobs() const { return completed_; }
   double busy_time() const;  // total time spent non-idle so far (advanced)
 
+  // --- fault support -------------------------------------------------------
+
+  // Keeps per-job metadata so crashes can displace jobs and completions are
+  // reported with their tags. Must be enabled before the first assign.
+  void enable_job_tracking();
+  bool job_tracking() const { return track_jobs_; }
+
+  // Crashes the server at time `t`: advances to `t`, then moves every job
+  // still queued or in service into `displaced` (in FIFO order) and empties
+  // the queue. The server refuses assigns until recover(). Requires job
+  // tracking (without tags a displaced job cannot be accounted for).
+  void crash(double t, std::vector<DisplacedJob>& displaced);
+
+  // Brings a crashed server back at time `t` with an empty queue.
+  void recover(double t);
+
+  bool up() const { return up_; }
+
+  // Completions retired by advance_to since the last drain (job tracking
+  // only). Callers consume and clear via std::vector::clear().
+  std::vector<CompletedJob>& completions() { return completions_; }
+
+  // Latest pending departure, or the advanced time when idle — how far the
+  // clock must advance for every dispatched job to finish.
+  double last_pending_departure() const {
+    return departures_.empty() ? advanced_time_ : departures_.back();
+  }
+
  private:
+  struct JobMeta {
+    std::uint64_t tag;
+    double size;
+    double born;
+  };
+
   void record(double t, int len);
   void prune(double before);
 
@@ -71,6 +133,12 @@ class FifoServer {
   // Busy-time accounting: accumulated across retired departures.
   double busy_accum_ = 0.0;
   double busy_since_ = -1.0;  // start of current busy period, <0 when idle
+
+  // Fault state. meta_ parallels departures_ when tracking is on.
+  bool track_jobs_ = false;
+  bool up_ = true;
+  std::deque<JobMeta> meta_;
+  std::vector<CompletedJob> completions_;
 };
 
 }  // namespace stale::queueing

@@ -12,4 +12,12 @@ void ResponseMetrics::record(double response_time) {
   if (keep_samples_) samples_.push_back(response_time);
 }
 
+void ResponseMetrics::record_indexed(std::uint64_t arrival_index,
+                                     double response_time) {
+  ++seen_;
+  if (arrival_index < warmup_) return;
+  stats_.add(response_time);
+  if (keep_samples_) samples_.push_back(response_time);
+}
+
 }  // namespace stale::queueing

@@ -24,6 +24,12 @@ class ResponseMetrics {
   // system to a steady-state".
   void record(double response_time);
 
+  // Records a job identified by its arrival index, for runs that observe
+  // completions out of arrival order (fault-injected runs record at
+  // completion, and crashes reorder completions): the warmup applies by
+  // index, not call order, so the discarded set matches the serial path.
+  void record_indexed(std::uint64_t arrival_index, double response_time);
+
   std::uint64_t total_jobs() const { return seen_; }
   std::uint64_t measured_jobs() const { return stats_.count(); }
   double mean_response() const { return stats_.mean(); }

@@ -226,6 +226,93 @@ TEST(CliTest, RejectsBadInput) {
   EXPECT_THROW(Cli(3, both), std::invalid_argument);
 }
 
+TEST(CliTest, RejectsValueOnSwitch) {
+  const char* argv[] = {"bench", "--paper=1"};
+  try {
+    Cli cli(2, argv);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("does not take a value"),
+              std::string::npos);
+  }
+}
+
+TEST(CliTest, NumericErrorsNameTheFlagAndValue) {
+  const char* bad[] = {"bench", "--trials", "three"};
+  try {
+    ExperimentConfig config;
+    Cli(3, bad).apply_run_scale(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--trials"), std::string::npos);
+    EXPECT_NE(what.find("three"), std::string::npos);
+  }
+
+  const char* trailing[] = {"bench", "--seed", "12x"};
+  ExperimentConfig config;
+  EXPECT_THROW(Cli(3, trailing).apply_run_scale(config),
+               std::invalid_argument);
+
+  const char* overflow[] = {"bench", "--seed", "99999999999999999999999999"};
+  try {
+    Cli(3, overflow).apply_run_scale(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(CliTest, RangeChecksRunScale) {
+  ExperimentConfig config;
+  const char* zero_jobs[] = {"bench", "--num-jobs", "0"};
+  EXPECT_THROW(Cli(3, zero_jobs).apply_run_scale(config),
+               std::invalid_argument);
+  const char* warmup_too_big[] = {"bench", "--num-jobs", "100", "--warmup",
+                                  "100"};
+  EXPECT_THROW(Cli(5, warmup_too_big).apply_run_scale(config),
+               std::invalid_argument);
+  const char* zero_trials[] = {"bench", "--trials", "0"};
+  EXPECT_THROW(Cli(3, zero_trials).apply_run_scale(config),
+               std::invalid_argument);
+  const char* negative_seed[] = {"bench", "--seed", "-1"};
+  EXPECT_THROW(Cli(3, negative_seed).apply_run_scale(config),
+               std::invalid_argument);
+  const char* zero_workers[] = {"bench", "--jobs", "0"};
+  EXPECT_THROW(Cli(3, zero_workers).apply_run_scale(config),
+               std::invalid_argument);
+}
+
+TEST(CliTest, FaultFlagsBuildTheSpec) {
+  const char* argv[] = {"bench",        "--fault-spec", "loss=0.1,delay=0.5",
+                        "--crash-rate", "0.01",         "--update-loss",
+                        "0.2",          "--max-staleness", "2T"};
+  Cli cli(9, argv);
+  ExperimentConfig config;
+  cli.apply_run_scale(config);
+  // --fault-spec provides the base; dedicated flags overlay it.
+  EXPECT_DOUBLE_EQ(config.fault.update_extra_delay, 0.5);
+  EXPECT_DOUBLE_EQ(config.fault.crash_rate, 0.01);
+  EXPECT_DOUBLE_EQ(config.fault.update_loss, 0.2);  // overlay wins over 0.1
+  EXPECT_DOUBLE_EQ(config.fault.cutoff_value, 2.0);
+  EXPECT_TRUE(config.fault.cutoff_in_intervals);
+  EXPECT_TRUE(config.fault.any());
+}
+
+TEST(CliTest, FaultFlagsRejectBadValues) {
+  ExperimentConfig config;
+  const char* bad_spec[] = {"bench", "--fault-spec", "bogus=1"};
+  EXPECT_THROW(Cli(3, bad_spec).apply_run_scale(config),
+               std::invalid_argument);
+  const char* bad_loss[] = {"bench", "--update-loss", "1.5"};
+  EXPECT_THROW(Cli(3, bad_loss).apply_run_scale(config),
+               std::invalid_argument);
+  const char* bad_cutoff[] = {"bench", "--max-staleness", "-1"};
+  EXPECT_THROW(Cli(3, bad_cutoff).apply_run_scale(config),
+               std::invalid_argument);
+}
+
 TEST(SweepTest, ProducesOneRowPerXValue) {
   ExperimentConfig base = small_config();
   base.num_jobs = 4'000;

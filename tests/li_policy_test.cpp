@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "core/load_interpretation.h"
@@ -186,6 +190,132 @@ TEST(LiSubsetPolicyTest, NameAndValidation) {
   EXPECT_EQ(LiSubsetPolicy(2).name(), "basic_li_k:2");
   EXPECT_EQ(LiSubsetPolicy(2).info_demand(), 2);
   EXPECT_THROW(LiSubsetPolicy(0), std::invalid_argument);
+}
+
+// --- degraded-input guards (fault hardening) ------------------------------
+
+TEST(LiGuardTest, EmptyLoadVectorThrows) {
+  DispatchContext context;
+  context.lambda_total = 1.0;
+  context.age = 1.0;
+  sim::Rng rng(40);
+  BasicLiPolicy basic;
+  EXPECT_THROW(basic.select(context, rng), std::invalid_argument);
+  AggressiveLiPolicy aggressive;
+  EXPECT_THROW(aggressive.select(context, rng), std::invalid_argument);
+  HybridLiPolicy hybrid;
+  EXPECT_THROW(hybrid.select(context, rng), std::invalid_argument);
+}
+
+TEST(LiGuardTest, BasicLiDegradesNonFiniteRateToFreshInformation) {
+  // An estimator that has seen no samples (NaN) or overflowed (inf) must not
+  // poison the probability vector; K degrades to 0 = "treat as fresh", which
+  // sends everything to the least-loaded server.
+  const std::vector<int> loads = {0, 4, 7};
+  for (const double bad_rate :
+       {std::nan(""), std::numeric_limits<double>::infinity(), -3.0}) {
+    BasicLiPolicy policy;
+    DispatchContext context;
+    context.loads = loads;
+    context.lambda_total = bad_rate;
+    context.age = 2.0;
+    context.info_version = 41;
+    sim::Rng rng(41);
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(policy.select(context, rng), 0);
+  }
+}
+
+TEST(LiGuardTest, BasicLiZeroPhaseWithZeroRateEstimate) {
+  // T = 0 with a zero arrival-rate estimate: K = 0 exactly, no division
+  // hazards; every request goes to the reported minimum.
+  BasicLiPolicy policy;
+  const std::vector<int> loads = {3, 0, 5};
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 0.0;
+  context.phase_length = 0.0;
+  context.phase_elapsed = 0.0;
+  context.age = 0.0;
+  context.info_version = 42;
+  sim::Rng rng(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(policy.select(context, rng), 1);
+}
+
+TEST(LiGuardTest, AggressiveLiClampsNonFiniteElapsedArrivals) {
+  // NaN phase progress (e.g. a corrupted clock product) clamps to 0 expected
+  // arrivals: group 1, the reported least-loaded server.
+  AggressiveLiPolicy policy;
+  const std::vector<int> loads = {0, 2, 4};
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = std::nan("");
+  context.phase_length = 10.0;
+  context.phase_elapsed = 1.0;
+  context.info_version = 43;
+  sim::Rng rng(43);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(policy.select(context, rng), 0);
+}
+
+TEST(LiGuardTest, BasicLiMovesMassOffKnownDeadServers) {
+  // Fresh information concentrates everything on server 0; if the dispatcher
+  // knows server 0 is down, the mass must be redirected to live servers and
+  // the repair counted.
+  BasicLiPolicy policy;
+  const std::vector<int> loads = {0, 5, 5};
+  const std::vector<std::uint8_t> alive = {0, 1, 1};
+  std::uint64_t fixes = 0;
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 1.0;
+  context.age = 0.0;
+  context.info_version = 44;
+  context.alive = alive;
+  context.sanitize_events = &fixes;
+  const auto freq = frequencies(policy, context, 20000, 44);
+  EXPECT_EQ(freq[0], 0.0);
+  EXPECT_GT(freq[1], 0.0);
+  EXPECT_GT(freq[2], 0.0);
+  EXPECT_GT(fixes, 0u);
+}
+
+TEST(LiGuardTest, AggressiveLiAvoidsDeadGroupMembers) {
+  // The target group is {server 0}; with server 0 down the policy must fall
+  // back to a live server instead of dispatching into the void.
+  AggressiveLiPolicy policy;
+  const std::vector<int> loads = {0, 2, 4};
+  const std::vector<std::uint8_t> alive = {0, 1, 1};
+  std::uint64_t fixes = 0;
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 1.0;
+  context.phase_length = 10.0;
+  context.phase_elapsed = 1.0;  // 1 expected arrival -> group {0}
+  context.info_version = 45;
+  context.alive = alive;
+  context.sanitize_events = &fixes;
+  const auto freq = frequencies(policy, context, 20000, 45);
+  EXPECT_EQ(freq[0], 0.0);
+  EXPECT_GT(freq[1] + freq[2], 0.99);
+  EXPECT_GT(fixes, 0u);
+}
+
+TEST(LiGuardTest, HybridLiSanitizesDeficitVectorAgainstDeadServers) {
+  HybridLiPolicy policy;
+  const std::vector<int> loads = {1, 3, 5};  // deficits 4, 2, 0
+  const std::vector<std::uint8_t> alive = {0, 1, 1};
+  std::uint64_t fixes = 0;
+  DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 1.0;
+  context.phase_length = 20.0;
+  context.phase_elapsed = 2.0;  // first interval: deficit-proportional
+  context.info_version = 46;
+  context.alive = alive;
+  context.sanitize_events = &fixes;
+  const auto freq = frequencies(policy, context, 20000, 46);
+  EXPECT_EQ(freq[0], 0.0);  // dead server receives nothing
+  EXPECT_GT(freq[1], 0.9);  // the only live server with a deficit
+  EXPECT_GT(fixes, 0u);
 }
 
 }  // namespace

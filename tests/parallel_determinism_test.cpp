@@ -64,6 +64,44 @@ INSTANTIATE_TEST_SUITE_P(
       return update_model_name(info.param);
     });
 
+// Fault-injected runs make the same guarantee: the injector's streams are
+// split off the trial's engine, so crash schedules, update losses, and the
+// resulting counters are a function of (seed, spec) alone, not of thread
+// scheduling.
+class FaultDeterminismTest : public ::testing::TestWithParam<UpdateModel> {};
+
+TEST_P(FaultDeterminismTest, FaultTrialsBitIdenticalToSerial) {
+  ExperimentConfig config = small_config(GetParam());
+  config.fault = fault::FaultSpec::parse(
+      "crash=0.01,down=2,semantics=requeue,loss=0.2,delay=0.5,estdrop=0.1,"
+      "cutoff=2T");
+  config.rate_estimator = "ewma:50";
+
+  config.jobs = 1;
+  const ExperimentResult serial = run_experiment(config);
+  config.jobs = 8;
+  const ExperimentResult parallel = run_experiment(config);
+
+  ASSERT_EQ(serial.trial_means.size(), parallel.trial_means.size());
+  for (std::size_t i = 0; i < serial.trial_means.size(); ++i) {
+    EXPECT_TRUE(bits_equal(serial.trial_means[i], parallel.trial_means[i]))
+        << "trial " << i;
+  }
+  EXPECT_TRUE(bits_equal(serial.mean(), parallel.mean()));
+  EXPECT_TRUE(bits_equal(serial.ci90(), parallel.ci90()));
+  EXPECT_EQ(serial.faults, parallel.faults);  // counters, not just means
+  EXPECT_GT(serial.faults.crashes, 0u);       // the spec actually fired
+  EXPECT_GT(serial.faults.updates_lost, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoardModels, FaultDeterminismTest,
+    ::testing::Values(UpdateModel::kPeriodic, UpdateModel::kContinuous,
+                      UpdateModel::kIndividual),
+    [](const ::testing::TestParamInfo<UpdateModel>& info) {
+      return update_model_name(info.param);
+    });
+
 TEST(ParallelSweepTest, ParallelCellsPrintIdenticalTables) {
   ExperimentConfig base = small_config(UpdateModel::kPeriodic);
   base.num_jobs = 3'000;

@@ -8,10 +8,16 @@
 // Models: periodic | continuous | update_on_access | individual
 // Policies: random | k_subset:K | threshold:K:T | basic_li | aggressive_li |
 //           hybrid_li | basic_li_k:K
+//
+// Fault injection (board models only):
+//   --fault-spec S / --crash-rate R / --update-loss P / --max-staleness 2T
+// Fault runs report the per-fault counters; --json emits the full record as
+// one JSON object instead of the table.
 #include <iostream>
 
 #include "bench_common.h"
 #include "driver/adaptive.h"
+#include "driver/report.h"
 #include "driver/table.h"
 #include "loadinfo/delay_distribution.h"
 #include "queueing/theory.h"
@@ -34,8 +40,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> flags = {
       "policy", "model",    "t",         "lambda",    "n",
       "job-size", "delay",  "rate-est",  "lambda-err", "precision"};
-  const std::vector<std::string> switches = {"bursty", "know-age",
-                                             "adaptive"};
+  const std::vector<std::string> switches = {"bursty", "know-age", "adaptive",
+                                             "json"};
   return stale::bench::run_bench(
       argc, argv, flags, switches, [](const stale::driver::Cli& cli) {
         stale::driver::ExperimentConfig config;
@@ -52,6 +58,13 @@ int main(int argc, char** argv) {
         config.rate_estimator = cli.get("rate-est", "told");
         config.lambda_error_factor = cli.get_double("lambda-err", 1.0);
         cli.apply_run_scale(config);
+
+        if (cli.has("json")) {
+          const auto result = stale::driver::run_experiment(config);
+          stale::driver::write_json_report(std::cout, config, result,
+                                           config.trials);
+          return;
+        }
 
         std::cout << "# staleload_sim: " << config.policy << " under "
                   << stale::driver::update_model_name(config.model)
@@ -87,6 +100,28 @@ int main(int argc, char** argv) {
         table.add_row({"min..max", Table::fmt(box.min) + " .. " +
                                        Table::fmt(box.max)});
         table.add_row({"trials", std::to_string(trials_used)});
+
+        if (config.fault.any()) {
+          const auto& f = result.faults;
+          table.add_row({"fault spec", config.fault.to_string()});
+          table.add_row({"crashes / recoveries",
+                         std::to_string(f.crashes) + " / " +
+                             std::to_string(f.recoveries)});
+          table.add_row({"jobs lost / requeued / dropped",
+                         std::to_string(f.jobs_lost) + " / " +
+                             std::to_string(f.jobs_requeued) + " / " +
+                             std::to_string(f.jobs_dropped)});
+          table.add_row({"dispatch retries",
+                         std::to_string(f.dispatch_retries)});
+          table.add_row({"updates lost / delayed",
+                         std::to_string(f.updates_lost) + " / " +
+                             std::to_string(f.updates_delayed)});
+          table.add_row({"estimator drops",
+                         std::to_string(f.estimator_drops)});
+          table.add_row({"stale fallbacks / sanitizer fixes",
+                         std::to_string(f.stale_fallbacks) + " / " +
+                             std::to_string(f.sanitizer_fixes)});
+        }
 
         // Analytic context for homogeneous exponential clusters.
         if (config.job_size.rfind("exp:1", 0) == 0 && config.lambda < 1.0) {
