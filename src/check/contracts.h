@@ -1,0 +1,77 @@
+// Compiled-in invariant contracts for the simulation stack.
+//
+// `STALE_ASSERT(cond, msg)` and `STALE_DCHECK(cond)` are active only when the
+// build defines STALELOAD_AUDIT (CMake: -DSTALELOAD_AUDIT=ON). In a normal
+// build both expand to a no-op that does not evaluate its condition, so the
+// hot paths carry zero cost. In an audit build a failed contract prints the
+// file:line, the expression, and the message, then aborts — contract
+// violations are programming errors, never recoverable conditions, which is
+// why these are macros and not exceptions (see the exception-throwing
+// argument validation in e.g. FifoServer for the recoverable kind).
+//
+// `STALE_AUDIT(expr)` wraps a call to one of the auditors in check/audit.h so
+// the whole call — including argument evaluation — vanishes when auditing is
+// off.
+//
+// This header sits below every other module (check is layer 0 in the include
+// DAG; see tools/lint) and must include nothing from the rest of src/.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(STALELOAD_AUDIT)
+#define STALE_AUDIT_ENABLED 1
+#else
+#define STALE_AUDIT_ENABLED 0
+#endif
+
+namespace stale::check {
+
+[[noreturn]] inline void contract_failed(const char* file, int line,
+                                         const char* expr, const char* msg) {
+  std::fprintf(stderr, "staleload contract violation at %s:%d: %s", file, line,
+               expr);
+  if (msg != nullptr && msg[0] != '\0') std::fprintf(stderr, " — %s", msg);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace stale::check
+
+#if STALE_AUDIT_ENABLED
+
+#define STALE_ASSERT(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::stale::check::contract_failed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                   \
+  } while (0)
+
+#define STALE_DCHECK(cond) STALE_ASSERT(cond, "")
+
+#define STALE_AUDIT(expr) \
+  do {                    \
+    expr;                 \
+  } while (0)
+
+#else
+
+// `sizeof` keeps both operands syntactically checked (and parameters used)
+// without evaluating either.
+#define STALE_ASSERT(cond, msg)   \
+  do {                            \
+    (void)sizeof((cond) ? 1 : 0); \
+    (void)sizeof(msg);            \
+  } while (0)
+
+#define STALE_DCHECK(cond) STALE_ASSERT(cond, "")
+
+// The audited expression is dropped entirely (it may call functions that an
+// audit-off translation unit does not even compile).
+#define STALE_AUDIT(expr) \
+  do {                    \
+  } while (0)
+
+#endif  // STALE_AUDIT_ENABLED

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/audit.h"
+
 namespace stale::core {
 
 namespace {
@@ -34,9 +36,13 @@ DiscreteSampler::DiscreteSampler(std::span<const double> probabilities) {
   double acc = 0.0;
   for (std::size_t i = 0; i < probabilities.size(); ++i) {
     acc += probabilities[i] / sum;
-    cdf_[i] = acc;
+    // Clamp: accumulation can overshoot 1.0 by a few ulp, and an interior
+    // value above the (forced) final 1.0 would break the sorted-range
+    // precondition of the upper_bound in sample().
+    cdf_[i] = std::min(acc, 1.0);
   }
   cdf_.back() = 1.0;  // close the FP gap so sample() can never fall off
+  STALE_AUDIT(check::audit_cdf(cdf_, "DiscreteSampler"));
 }
 
 int DiscreteSampler::sample(sim::Rng& rng) const {

@@ -115,14 +115,16 @@ struct TrialResult {
   double p50_response = 0.0;
   double p95_response = 0.0;
   double p99_response = 0.0;
-  // Fault/degradation counters (all zero for fault-free runs).
-  fault::FaultStats faults;
+  // Fault/degradation counters (all zero for fault-free runs). The explicit
+  // {} gives the member a default member initializer, so designated-init
+  // construction sites that omit it stay -Wmissing-field-initializers-clean.
+  fault::FaultStats faults{};
 };
 
 struct ExperimentResult {
   sim::RunningStats across_trials;  // of per-trial mean response times
   std::vector<double> trial_means;
-  fault::FaultStats faults;  // summed across trials
+  fault::FaultStats faults{};  // summed across trials
 
   double mean() const { return across_trials.mean(); }
   double ci90() const { return across_trials.ci90_half_width(); }

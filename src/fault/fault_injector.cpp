@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/audit.h"
+
 namespace stale::fault {
 
 namespace {
@@ -62,6 +64,9 @@ void FaultInjector::advance_to(queueing::Cluster& cluster, double t,
       alive_[s] = 0;
       --alive_count_;
       ++stats_.crashes;
+      [[maybe_unused]] const std::uint64_t requeued_before =
+          stats_.jobs_requeued;
+      [[maybe_unused]] const std::uint64_t lost_before = stats_.jobs_lost;
       if (spec_.semantics == CrashSemantics::kRequeue && requeue) {
         for (const queueing::DisplacedJob& job : displaced_scratch_) {
           if (requeue(when, job)) {
@@ -73,6 +78,10 @@ void FaultInjector::advance_to(queueing::Cluster& cluster, double t,
       } else {
         stats_.jobs_lost += displaced_scratch_.size();
       }
+      STALE_AUDIT(check::audit_displaced_conserved(
+          displaced_scratch_.size(),
+          stats_.jobs_requeued - requeued_before,
+          stats_.jobs_lost - lost_before, "FaultInjector::advance_to"));
       next_transition_[s] = when + draw_downtime();
     } else {
       cluster.recover(when, which);
@@ -82,6 +91,10 @@ void FaultInjector::advance_to(queueing::Cluster& cluster, double t,
       next_transition_[s] = when + draw_uptime();
     }
     ++transitions_;
+    STALE_AUDIT(check::audit_fault_liveness(alive_, alive_count_,
+                                            stats_.crashes, stats_.recoveries,
+                                            transitions_,
+                                            "FaultInjector::advance_to"));
   }
 }
 

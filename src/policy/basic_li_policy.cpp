@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/audit.h"
 #include "core/load_interpretation.h"
 
 namespace stale::policy {
@@ -15,9 +16,10 @@ int BasicLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
       cached_arrivals_ != expected_arrivals) {
     std::vector<double> p =
         core::basic_li_probabilities(context.loads, expected_arrivals);
-    if (sanitize_probabilities(p, context.alive)) {
-      context.count_sanitize_event();
-    }
+    const bool repaired = sanitize_probabilities(p, context.alive);
+    if (repaired) context.count_sanitize_event();
+    STALE_AUDIT(
+        check::audit_dispatch_weights(p, !repaired, "BasicLiPolicy::select"));
     sampler_.emplace(std::span<const double>(p));
     cached_version_ = context.info_version;
     cached_arrivals_ = expected_arrivals;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/audit.h"
 #include "core/load_interpretation.h"
 
 namespace stale::policy {
@@ -17,9 +18,10 @@ int HybridLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
     first_interval_jobs_ = core::hybrid_li_first_interval_jobs(loads);
     std::vector<double> p =
         core::hybrid_li_first_interval_probabilities(loads);
-    if (sanitize_probabilities(p, context.alive)) {
-      context.count_sanitize_event();
-    }
+    const bool repaired = sanitize_probabilities(p, context.alive);
+    if (repaired) context.count_sanitize_event();
+    STALE_AUDIT(
+        check::audit_dispatch_weights(p, !repaired, "HybridLiPolicy::select"));
     first_sampler_.emplace(std::span<const double>(p));
     cached_version_ = context.info_version;
   }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/audit.h"
 #include "core/load_interpretation.h"
 #include "core/sampler.h"
 
@@ -42,12 +43,12 @@ int LiSubsetPolicy::select(const DispatchContext& context, sim::Rng& rng) {
               indices_[static_cast<std::size_t>(i)])];
     }
   }
-  if (sanitize_probabilities(
-          p, context.alive.empty()
-                 ? std::span<const std::uint8_t>{}
-                 : std::span<const std::uint8_t>(subset_alive_))) {
-    context.count_sanitize_event();
-  }
+  const bool repaired = sanitize_probabilities(
+      p, context.alive.empty() ? std::span<const std::uint8_t>{}
+                               : std::span<const std::uint8_t>(subset_alive_));
+  if (repaired) context.count_sanitize_event();
+  STALE_AUDIT(
+      check::audit_dispatch_weights(p, !repaired, "LiSubsetPolicy::select"));
   const core::DiscreteSampler sampler{std::span<const double>(p)};
   return indices_[static_cast<std::size_t>(sampler.sample(rng))];
 }

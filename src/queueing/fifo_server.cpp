@@ -1,9 +1,38 @@
 #include "queueing/fifo_server.h"
 
 #include <algorithm>
+#include <climits>
 #include <stdexcept>
 
+#include "check/audit.h"
+
 namespace stale::queueing {
+
+#if STALE_AUDIT_ENABLED
+namespace {
+
+// Queue bookkeeping invariants, checked after every mutation in audit
+// builds: pending departures ascending and not behind the server clock,
+// per-job metadata exactly parallel to the departure deque when tracking,
+// and the (deque-derived) queue length non-negative by construction — the
+// cast in length() could only go negative on a size_t > INT_MAX queue,
+// which the contract below rules out.
+void audit_server(const std::deque<double>& departures, double advanced_time,
+                  bool track_jobs, std::size_t meta_size) {
+  double prev = advanced_time;
+  for (double d : departures) {
+    STALE_ASSERT(std::isfinite(d), "FifoServer: non-finite departure time");
+    STALE_ASSERT(d >= prev, "FifoServer: departures out of FIFO order");
+    prev = d;
+  }
+  STALE_ASSERT(!track_jobs || meta_size == departures.size(),
+               "FifoServer: job metadata diverged from departure queue");
+  STALE_ASSERT(departures.size() <= static_cast<std::size_t>(INT_MAX),
+               "FifoServer: queue length overflows int");
+}
+
+}  // namespace
+#endif  // STALE_AUDIT_ENABLED
 
 FifoServer::FifoServer(double rate, double history_window)
     : rate_(rate), history_window_(history_window) {
@@ -55,6 +84,8 @@ void FifoServer::advance_to(double t) {
   }
   advanced_time_ = t;
   prune(t - history_window_);
+  STALE_AUDIT(audit_server(departures_, advanced_time_, track_jobs_,
+                           meta_.size()));
 }
 
 double FifoServer::assign(double t, double size) {
@@ -71,6 +102,8 @@ double FifoServer::assign(double t, double size) {
   if (departures_.empty()) busy_since_ = t;
   departures_.push_back(departure);
   record(t, length());
+  STALE_AUDIT(audit_server(departures_, advanced_time_, track_jobs_,
+                           meta_.size()));
   return departure;
 }
 
@@ -90,6 +123,8 @@ double FifoServer::assign_tagged(double t, double size, std::uint64_t tag,
   departures_.push_back(departure);
   meta_.push_back({tag, size, born});
   record(t, length());
+  STALE_AUDIT(audit_server(departures_, advanced_time_, track_jobs_,
+                           meta_.size()));
   return departure;
 }
 
@@ -120,6 +155,8 @@ void FifoServer::crash(double t, std::vector<DisplacedJob>& displaced) {
     record(t, 0);
   }
   up_ = false;
+  STALE_AUDIT(audit_server(departures_, advanced_time_, track_jobs_,
+                           meta_.size()));
 }
 
 void FifoServer::recover(double t) {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/audit.h"
+
 namespace stale::sim {
 
 namespace {
@@ -102,7 +104,17 @@ void Simulator::compact_heap() {
     for (std::size_t i = (kept - 2) / kArity + 1; i-- > 0;) sift_down(i);
   }
   stale_in_heap_ = 0;
+  STALE_AUDIT(audit_heap_order());
 }
+
+#if STALE_AUDIT_ENABLED
+void Simulator::audit_heap_order() const {
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    STALE_ASSERT(!heap_[i].before(heap_[(i - 1) / kArity]),
+                 "event heap order violated");
+  }
+}
+#endif
 
 bool Simulator::cancel(EventHandle handle) {
   const auto slot = static_cast<std::uint32_t>(handle.id & 0xffffffffULL);
@@ -127,6 +139,16 @@ bool Simulator::fire_next(const double* limit) {
   if (heap_.empty()) return false;
   const Entry top = heap_.front();
   if (limit != nullptr && top.when > *limit) return false;
+  STALE_AUDIT(check::audit_monotonic_clock(now_, top.when,
+                                           "Simulator::fire_next"));
+#if STALE_AUDIT_ENABLED
+  // The root must sort at-or-before each of its children, or the entry we
+  // are about to fire is not the minimum.
+  for (std::size_t child = 1; child < heap_.size() && child <= kArity;
+       ++child) {
+    STALE_ASSERT(!heap_[child].before(top), "event heap root not minimal");
+  }
+#endif
   heap_pop_top();
   EventFn fn = std::move(slots_[top.slot].fn);
   release_slot(top.slot);  // before the callback, so it can reuse the slot

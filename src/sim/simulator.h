@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/contracts.h"
 #include "sim/event_callback.h"
 
 namespace stale::sim {
@@ -101,6 +102,14 @@ class Simulator {
   // (timeouts that almost always get cancelled) keep the heap compact
   // instead of sifting dead weight on every pop.
   void compact_heap();
+
+#if STALE_AUDIT_ENABLED
+  // Full heap-order check, O(n): every entry sorts at-or-after its parent.
+  // Called after the O(n) compactions; fire_next audits the root's children
+  // (O(arity)) plus clock monotonicity on every event instead, so audit
+  // builds stay near the normal asymptotics.
+  void audit_heap_order() const;
+#endif
 
   double now_ = 0.0;
   std::uint64_t next_seq_ = 1;

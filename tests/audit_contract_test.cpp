@@ -1,0 +1,147 @@
+// Proves the STALELOAD_AUDIT contract layer actually fires: deliberately
+// corrupted probability vectors, event timestamps, queue bookkeeping, and
+// fault counters must abort with a contract-violation message in an audit
+// build, and the same corruptions must be free (no evaluation at all) when
+// auditing is off. Build with -DSTALELOAD_AUDIT=ON to run the death tests;
+// in a normal build they SKIP and only the compiled-out semantics are
+// checked.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "check/audit.h"
+#include "check/contracts.h"
+#include "sim/simulator.h"
+
+namespace {
+
+constexpr char kViolation[] = "contract violation";
+
+#if STALE_AUDIT_ENABLED
+
+TEST(AuditContractTest, LeakedProbabilityMassTrips) {
+  // Sums to 0.6: mass silently leaked, exactly the defect that would make
+  // the herd-effect comparisons meaningless.
+  const std::vector<double> p = {0.3, 0.3};
+  EXPECT_DEATH(
+      stale::check::audit_dispatch_weights(p, /*expect_normalized=*/true,
+                                           "test"),
+      kViolation);
+}
+
+TEST(AuditContractTest, NegativeMassTrips) {
+  const std::vector<double> p = {1.5, -0.5};
+  EXPECT_DEATH(
+      stale::check::audit_dispatch_weights(p, /*expect_normalized=*/false,
+                                           "test"),
+      kViolation);
+}
+
+TEST(AuditContractTest, NanMassTrips) {
+  const std::vector<double> p = {std::numeric_limits<double>::quiet_NaN(),
+                                 1.0};
+  EXPECT_DEATH(
+      stale::check::audit_dispatch_weights(p, /*expect_normalized=*/false,
+                                           "test"),
+      kViolation);
+}
+
+TEST(AuditContractTest, SanitizedSubNormalizedVectorIsAccepted) {
+  // After the fault sanitizer zeroes a dead server's mass the vector may sum
+  // below 1; the audit only requires positive finite mass then.
+  const std::vector<double> p = {0.25, 0.0, 0.25};
+  stale::check::audit_dispatch_weights(p, /*expect_normalized=*/false, "test");
+}
+
+TEST(AuditContractTest, NonMonotoneCdfTrips) {
+  const std::vector<double> cdf = {0.6, 0.4, 1.0};
+  EXPECT_DEATH(stale::check::audit_cdf(cdf, "test"), kViolation);
+}
+
+TEST(AuditContractTest, ClockRunningBackwardsTrips) {
+  EXPECT_DEATH(stale::check::audit_monotonic_clock(2.0, 1.0, "test"),
+               kViolation);
+}
+
+TEST(AuditContractTest, CorruptedEventTimestampTripsInsideSimulator) {
+  // schedule_at's argument guard (`when < now_`) is false for NaN, so a NaN
+  // timestamp slips into the heap; the audit on the fire path must catch it.
+  stale::sim::Simulator sim;
+  sim.schedule_at(std::numeric_limits<double>::quiet_NaN(),
+                  [](stale::sim::Simulator&) {});
+  EXPECT_DEATH(sim.step(), kViolation);
+}
+
+TEST(AuditContractTest, OutOfOrderDeparturesTrip) {
+  const std::vector<double> departures = {2.0, 1.0};
+  EXPECT_DEATH(
+      stale::check::audit_departures_sorted(departures, 0.0, "test"),
+      kViolation);
+}
+
+TEST(AuditContractTest, UnbalancedFaultCountersTrip) {
+  // Three displaced jobs but only two accounted for.
+  EXPECT_DEATH(stale::check::audit_displaced_conserved(3, 1, 1, "test"),
+               kViolation);
+}
+
+TEST(AuditContractTest, InconsistentLivenessMaskTrips) {
+  const std::vector<std::uint8_t> alive = {1, 0, 1};
+  EXPECT_DEATH(
+      stale::check::audit_fault_liveness(alive, /*alive_count=*/3,
+                                         /*crashes=*/1, /*recoveries=*/0,
+                                         /*transitions=*/1, "test"),
+      kViolation);
+}
+
+TEST(AuditContractTest, StaleAssertFires) {
+  EXPECT_DEATH(STALE_ASSERT(1 + 1 == 3, "arithmetic drifted"), kViolation);
+  EXPECT_DEATH(STALE_DCHECK(false), kViolation);
+}
+
+TEST(AuditContractTest, HealthySimulationDoesNotTrip) {
+  stale::sim::Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(static_cast<double>(100 - i),
+                    [&fired](stale::sim::Simulator&) { ++fired; });
+  }
+  EXPECT_EQ(sim.run(), 100u);
+  EXPECT_EQ(fired, 100);
+}
+
+#else  // !STALE_AUDIT_ENABLED
+
+TEST(AuditContractTest, DeathTestsRequireAuditBuild) {
+  GTEST_SKIP() << "configure with -DSTALELOAD_AUDIT=ON to run the "
+                  "contract-violation death tests";
+}
+
+#endif  // STALE_AUDIT_ENABLED
+
+TEST(AuditContractTest, ContractsAreFreeWhenCompiledOut) {
+#if !STALE_AUDIT_ENABLED
+  // The condition must not be evaluated at all in a non-audit build…
+  int evaluations = 0;
+  auto costly = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  STALE_ASSERT(costly(), "never evaluated");
+  STALE_AUDIT(costly());
+  EXPECT_EQ(evaluations, 0);
+#else
+  // …and must be evaluated exactly once in an audit build.
+  int evaluations = 0;
+  auto costly = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  STALE_ASSERT(costly(), "evaluated once");
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+// Lint fixture: scanned under the virtual path src/sim/fixture.cpp, where
+// the D1 wall-clock rule applies. Exactly one finding expected (line 7).
+// This file is never compiled and never scanned by the real lint run
+// (scan_tree skips lint_fixtures directories).
+#include <chrono>
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,8 @@
+// Lint fixture: scanned under src/policy/fixture.cpp. The D2 rule bans raw
+// std engines everywhere outside src/sim/rng.*; one finding expected.
+#include <random>
+
+int draw() {
+  std::mt19937 engine(42);
+  return static_cast<int>(engine());
+}

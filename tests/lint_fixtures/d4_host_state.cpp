@@ -1,0 +1,7 @@
+// Lint fixture: scanned under src/fault/fixture.cpp, inside the D4
+// host-state scope. One finding expected on the getenv line.
+#include <cstdlib>
+
+const char* injected_home() {
+  return std::getenv("HOME");
+}

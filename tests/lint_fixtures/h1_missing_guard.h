@@ -1,0 +1,3 @@
+// Lint fixture: a header whose first code line is not an include guard.
+// Scanned under src/core/fixture.h; one H1 finding expected.
+inline int unguarded() { return 2; }

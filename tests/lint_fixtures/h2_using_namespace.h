@@ -1,0 +1,5 @@
+// Lint fixture: `using namespace` at header scope. Scanned under
+// src/core/fixture2.h; one H2 finding expected.
+#pragma once
+
+using namespace std;

@@ -1,0 +1,4 @@
+// Lint fixture: an unattributed annotation. One H3 finding expected on the
+// next line's comment.
+// TODO: tighten this bound someday
+int bound() { return 3; }

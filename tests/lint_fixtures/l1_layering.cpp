@@ -1,0 +1,6 @@
+// Lint fixture: scanned under src/sim/fixture.cpp. sim is the bottom layer
+// and may not include driver headers; one L1 finding expected.
+#include "driver/experiment.h"
+#include "sim/rng.h"
+
+int width() { return 0; }

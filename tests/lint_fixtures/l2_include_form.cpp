@@ -1,0 +1,5 @@
+// Lint fixture: scanned under src/queueing/fixture.cpp. Relative includes
+// defeat the layer DAG check; one L2 finding expected.
+#include "../sim/rng.h"
+
+int depth() { return 1; }

@@ -1,0 +1,12 @@
+// Lint fixture: every violation here carries a NOLINT suppression, so the
+// scan must come back empty. Scanned under src/sim/fixture.cpp.
+#include <random>
+
+int draw() {
+  std::mt19937 engine(7);  // NOLINT(staleload-d2-raw-rng) fixture: testing suppression
+  // NOLINTNEXTLINE(staleload-d1-wall-clock) fixture: testing next-line form
+  long ticks = std::chrono::steady_clock::now().time_since_epoch().count();
+  std::unordered_map<int, int> histogram;  // NOLINT fixture: bare form silences all
+  return static_cast<int>(engine()) + static_cast<int>(ticks) +
+         static_cast<int>(histogram.size());
+}

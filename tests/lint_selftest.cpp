@@ -1,0 +1,172 @@
+// Self-tests for staleload_lint: every D/L/H rule fires exactly once on its
+// fixture file (tests/lint_fixtures/), suppression silences them, and clean
+// code stays clean. Fixtures are scanned under *virtual* paths because rule
+// scopes derive from the path (e.g. the wall-clock rule only applies under
+// src/); the fixture directory itself is skipped by scan_tree, so the real
+// lint run over tests/ never sees these deliberate violations.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using stale::lint::Finding;
+using stale::lint::scan_file;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct FixtureCase {
+  const char* fixture;       // file under tests/lint_fixtures/
+  const char* virtual_path;  // path the contents are scanned under
+  const char* expected_rule;
+};
+
+class LintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(LintFixtureTest, RuleFiresExactlyOnce) {
+  const FixtureCase& c = GetParam();
+  const std::vector<Finding> findings =
+      scan_file(c.virtual_path, read_fixture(c.fixture));
+  ASSERT_EQ(findings.size(), 1u)
+      << "fixture " << c.fixture << " should trip exactly one rule";
+  EXPECT_EQ(findings[0].rule, c.expected_rule);
+  EXPECT_EQ(findings[0].file, c.virtual_path);
+  EXPECT_GT(findings[0].line, 0);
+  EXPECT_FALSE(findings[0].message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixtureTest,
+    ::testing::Values(
+        FixtureCase{"d1_wall_clock.cpp", "src/sim/fixture.cpp",
+                    "staleload-d1-wall-clock"},
+        FixtureCase{"d2_raw_rng.cpp", "src/policy/fixture.cpp",
+                    "staleload-d2-raw-rng"},
+        FixtureCase{"d3_unordered.cpp", "src/queueing/fixture.cpp",
+                    "staleload-d3-unordered-iteration"},
+        FixtureCase{"d4_host_state.cpp", "src/fault/fixture.cpp",
+                    "staleload-d4-host-state"},
+        FixtureCase{"l1_layering.cpp", "src/sim/fixture.cpp",
+                    "staleload-l1-layering"},
+        FixtureCase{"l2_include_form.cpp", "src/queueing/fixture.cpp",
+                    "staleload-l2-include-form"},
+        FixtureCase{"h1_missing_guard.h", "src/core/fixture.h",
+                    "staleload-h1-include-guard"},
+        FixtureCase{"h2_using_namespace.h", "src/core/fixture2.h",
+                    "staleload-h2-using-namespace"},
+        FixtureCase{"h3_todo.cpp", "src/driver/fixture.cpp",
+                    "staleload-h3-todo-ref"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name = info.param.fixture;
+      for (char& c : name) {
+        if (c == '.' || c == '/') c = '_';
+      }
+      return name;
+    });
+
+TEST(LintSuppressionTest, NolintSilencesEveryForm) {
+  // Same-line NOLINT(rule), NOLINTNEXTLINE(rule), and bare NOLINT all work.
+  const std::vector<Finding> findings =
+      scan_file("src/sim/fixture.cpp", read_fixture("suppressed.cpp"));
+  EXPECT_TRUE(findings.empty())
+      << "first unsuppressed: "
+      << (findings.empty() ? "" : findings.front().rule);
+}
+
+TEST(LintSuppressionTest, WrongRuleIdDoesNotSuppress) {
+  const std::string code =
+      "std::mt19937 engine;  // NOLINT(staleload-d1-wall-clock)\n";
+  const std::vector<Finding> findings = scan_file("src/core/x.cpp", code);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "staleload-d2-raw-rng");
+}
+
+TEST(LintSuppressionTest, FamilyTagSuppressesAllStaleloadRules) {
+  const std::string code = "std::mt19937 engine;  // NOLINT(staleload)\n";
+  EXPECT_TRUE(scan_file("src/core/x.cpp", code).empty());
+}
+
+TEST(LintScopeTest, CleanSimulationCodePasses) {
+  const std::string code =
+      "#pragma once\n"
+      "#include \"sim/rng.h\"\n"
+      "namespace stale::sim { inline double next(Rng& r) {"
+      " return r.next_double(); } }\n";
+  EXPECT_TRUE(scan_file("src/sim/clean.h", code).empty());
+}
+
+TEST(LintScopeTest, CommentsAndStringsNeverTrip) {
+  const std::string code =
+      "// mt19937 is banned; steady_clock too\n"
+      "const char* kDoc = \"use std::rand() and unordered_map\";\n"
+      "/* getenv(\"HOME\") would be a d4 finding in code */\n"
+      "int x = 0;\n";
+  EXPECT_TRUE(scan_file("src/fault/doc.cpp", code).empty());
+}
+
+TEST(LintScopeTest, RuntimeModuleMayReadEnvironment) {
+  // The thread pool's STALE_JOBS default is sanctioned: runtime is outside
+  // the D4 scope (it cannot influence simulated results).
+  const std::string code = "const char* env = std::getenv(\"STALE_JOBS\");\n";
+  EXPECT_TRUE(scan_file("src/runtime/thread_pool.cpp", code).empty());
+}
+
+TEST(LintScopeTest, SanctionedRngModuleIsExemptFromD2) {
+  const std::string code = "// engine lives here\nstd::mt19937 legacy;\n";
+  EXPECT_TRUE(scan_file("src/sim/rng.cpp", code).empty());
+  EXPECT_FALSE(scan_file("src/sim/distributions.cpp", code).empty());
+}
+
+TEST(LintScopeTest, BenchAndTestsAreOutsideSimulationScopes) {
+  const std::string code =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> retired_design;\n"
+      "long t = std::chrono::steady_clock::now().time_since_epoch().count();\n";
+  EXPECT_TRUE(scan_file("bench/perf_microbench.cpp", code).empty());
+  EXPECT_TRUE(scan_file("tests/some_test.cpp", code).empty());
+}
+
+TEST(LintLayeringTest, DagMatchesTheDeclaredArchitecture) {
+  // Spot-check allowed edges stay allowed and forbidden edges are caught.
+  EXPECT_TRUE(scan_file("src/fault/x.cpp",
+                        "#include \"policy/policy.h\"\n")
+                  .empty());
+  EXPECT_TRUE(scan_file("src/driver/x.cpp",
+                        "#include \"runtime/thread_pool.h\"\n")
+                  .empty());
+  EXPECT_TRUE(
+      scan_file("src/queueing/x.cpp", "#include \"check/audit.h\"\n").empty());
+  const std::vector<Finding> up_edge =
+      scan_file("src/queueing/x.cpp", "#include \"policy/policy.h\"\n");
+  ASSERT_EQ(up_edge.size(), 1u);
+  EXPECT_EQ(up_edge[0].rule, "staleload-l1-layering");
+  const std::vector<Finding> unknown =
+      scan_file("src/newmodule/x.cpp", "#include \"sim/rng.h\"\n");
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].rule, "staleload-l1-layering")
+      << "a new src/ module must be declared in the layer DAG";
+}
+
+TEST(LintJsonTest, EscapesAndShapesFindings) {
+  const std::vector<Finding> findings =
+      scan_file("src/sim/fixture.cpp", "std::mt19937 e;  // \"quoted\"\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = stale::lint::to_json(findings);
+  EXPECT_NE(json.find("\"rule\": \"staleload-d2-raw-rng\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_EQ(stale::lint::to_json({}), "[]\n");
+}
+
+}  // namespace

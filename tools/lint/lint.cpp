@@ -1,0 +1,730 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace stale::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: split a file into a per-line "code" view (comments,
+// string literals, and char literals blanked out, so prose and literals can
+// never trip a D/L rule) and a per-line "comment" view (comment text only,
+// which is what the H3 annotation rule inspects).
+// ---------------------------------------------------------------------------
+
+struct Views {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Views split_views(std::string_view text) {
+  Views v;
+  enum class State { kCode, kLine, kBlock, kStr, kChr, kRaw };
+  State state = State::kCode;
+  std::string raw_line;
+  std::string code_line;
+  std::string comment_line;
+  std::string raw_delim;  // for raw string literals: ")delim\""
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto flush_line = [&] {
+    v.raw.push_back(raw_line);
+    v.code.push_back(code_line);
+    v.comment.push_back(comment_line);
+    raw_line.clear();
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLine) state = State::kCode;
+      flush_line();
+      ++i;
+      continue;
+    }
+    raw_line.push_back(c);
+    switch (state) {
+      case State::kCode: {
+        const char next = (i + 1 < n) ? text[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          raw_line.push_back(next);
+          i += 2;
+          continue;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlock;
+          code_line.push_back(' ');
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          // Raw string literal? The '"' must directly follow R (with an
+          // optional u8/u/U/L prefix before the R, which we get for free by
+          // only inspecting the R).
+          const bool raw_lit = !code_line.empty() && code_line.back() == 'R' &&
+                               (code_line.size() < 2 ||
+                                !is_ident_char(code_line[code_line.size() - 2]));
+          code_line.push_back('"');
+          if (raw_lit) {
+            // Collect the delimiter up to '('.
+            raw_delim = ")";
+            std::size_t j = i + 1;
+            while (j < n && text[j] != '(' && text[j] != '\n') {
+              raw_delim.push_back(text[j]);
+              raw_line.push_back(text[j]);
+              ++j;
+            }
+            raw_delim.push_back('"');
+            i = j + 1;  // past '('
+            if (j < n) raw_line.push_back(text[j]);
+            state = State::kRaw;
+            continue;
+          }
+          state = State::kStr;
+          ++i;
+          continue;
+        }
+        if (c == '\'') {
+          code_line.push_back('\'');
+          state = State::kChr;
+          ++i;
+          continue;
+        }
+        code_line.push_back(c);
+        ++i;
+        break;
+      }
+      case State::kLine:
+        comment_line.push_back(c);
+        ++i;
+        break;
+      case State::kBlock: {
+        const char next = (i + 1 < n) ? text[i + 1] : '\0';
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          raw_line.push_back(next);
+          i += 2;
+          continue;
+        }
+        comment_line.push_back(c);
+        ++i;
+        break;
+      }
+      case State::kStr: {
+        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          raw_line.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          code_line.push_back('"');
+          state = State::kCode;
+        }
+        ++i;
+        break;
+      }
+      case State::kChr: {
+        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          raw_line.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (c == '\'') {
+          code_line.push_back('\'');
+          state = State::kCode;
+        }
+        ++i;
+        break;
+      }
+      case State::kRaw: {
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          // Append the rest of the close sequence to raw (first char already
+          // appended above).
+          raw_line.append(raw_delim, 1, raw_delim.size() - 1);
+          code_line.push_back('"');
+          i += raw_delim.size();
+          state = State::kCode;
+          continue;
+        }
+        ++i;
+        break;
+      }
+    }
+  }
+  flush_line();
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Path classification.
+// ---------------------------------------------------------------------------
+
+struct FileScope {
+  bool in_src = false;
+  std::string module;   // "sim", "driver", ... when in_src; else "tools" etc.
+  std::string basename;
+  bool is_header = false;
+};
+
+FileScope classify(std::string_view path) {
+  FileScope scope;
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  if (!parts.empty()) scope.basename = parts.back();
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == "src") {
+      scope.in_src = true;
+      scope.module = parts[i + 1];
+      break;
+    }
+  }
+  if (!scope.in_src) {
+    static const std::array<const char*, 4> kTop = {"tools", "bench", "tests",
+                                                    "examples"};
+    for (const std::string& part : parts) {
+      for (const char* top : kTop) {
+        if (part == top) scope.module = top;
+      }
+      if (!scope.module.empty()) break;
+    }
+  }
+  const auto dot = scope.basename.rfind('.');
+  if (dot != std::string::npos) {
+    const std::string ext = scope.basename.substr(dot);
+    scope.is_header = (ext == ".h" || ext == ".hpp");
+  }
+  return scope;
+}
+
+// ---------------------------------------------------------------------------
+// Rule tables.
+// ---------------------------------------------------------------------------
+
+// The declared include DAG over src/ modules. A module may include headers
+// from exactly the modules listed (its own module and everything below it).
+// Adding a new src/ module requires adding it here, i.e. declaring its layer.
+const std::map<std::string, std::set<std::string>>& layer_dag() {
+  static const std::map<std::string, std::set<std::string>> kDag = {
+      {"check", {"check"}},
+      {"sim", {"sim", "check"}},
+      {"runtime", {"runtime", "check"}},
+      {"queueing", {"queueing", "sim", "check"}},
+      {"core", {"core", "sim", "check"}},
+      {"workload", {"workload", "sim", "check"}},
+      {"analysis", {"analysis", "sim", "check"}},
+      {"loadinfo", {"loadinfo", "queueing", "sim", "check"}},
+      {"policy", {"policy", "core", "sim", "check"}},
+      {"fault",
+       {"fault", "policy", "loadinfo", "queueing", "core", "sim", "check"}},
+      {"driver",
+       {"driver", "fault", "policy", "loadinfo", "queueing", "core", "sim",
+        "workload", "analysis", "runtime", "check"}},
+  };
+  return kDag;
+}
+
+struct Token {
+  const char* id;
+  bool call_like;  // must be followed by '(' to count (e.g. `time`, `rand`)
+};
+
+// D1: wall-clock / host-time APIs. Simulation layers derive all time from
+// the simulated clock; reading host time breaks run-to-run determinism.
+constexpr std::array<Token, 16> kWallClockTokens = {{
+    {"system_clock", false},
+    {"steady_clock", false},
+    {"high_resolution_clock", false},
+    {"file_clock", false},
+    {"utc_clock", false},
+    {"gettimeofday", false},
+    {"clock_gettime", false},
+    {"timespec_get", false},
+    {"localtime", false},
+    {"gmtime", false},
+    {"strftime", false},
+    {"mktime", false},
+    {"asctime", false},
+    {"ctime", false},
+    {"time", true},
+    {"clock", true},
+}};
+
+// D2: randomness outside the sanctioned engine. Everything must draw from
+// sim::Rng (xoshiro256++), whose output is platform-pinned; std engines and
+// C rand are either non-deterministic (random_device) or unsanctioned state.
+constexpr std::array<Token, 17> kRawRngTokens = {{
+    {"random_device", false},
+    {"mt19937", false},
+    {"mt19937_64", false},
+    {"minstd_rand", false},
+    {"minstd_rand0", false},
+    {"default_random_engine", false},
+    {"knuth_b", false},
+    {"ranlux24", false},
+    {"ranlux24_base", false},
+    {"ranlux48", false},
+    {"ranlux48_base", false},
+    {"rand", true},
+    {"srand", true},
+    {"rand_r", true},
+    {"drand48", true},
+    {"lrand48", true},
+    {"srandom", true},
+}};
+
+// D3: unordered containers in result-feeding layers. Their iteration order
+// is hash/seed dependent; anything aggregated from such an iteration can
+// differ across platforms or runs.
+constexpr std::array<Token, 4> kUnorderedTokens = {{
+    {"unordered_map", false},
+    {"unordered_set", false},
+    {"unordered_multimap", false},
+    {"unordered_multiset", false},
+}};
+
+// D4: host-state reads (environment, process identity, filesystem) in the
+// core simulation layers. Configuration enters through the driver; the
+// layers below it must be pure functions of (config, seed).
+constexpr std::array<Token, 14> kHostStateTokens = {{
+    {"getenv", true},
+    {"secure_getenv", true},
+    {"getpid", true},
+    {"gethostname", true},
+    {"getcwd", true},
+    {"getuid", true},
+    {"uname", true},
+    {"fopen", true},
+    {"popen", true},
+    {"system", true},
+    {"ifstream", false},
+    {"ofstream", false},
+    {"fstream", false},
+    {"filesystem", false},
+}};
+
+// Modules the D1/D3 determinism rules cover: every layer whose behaviour
+// feeds reported results. runtime (thread pool) and check (contracts) are
+// excluded — they do not influence simulated outcomes.
+bool in_simulation_scope(const FileScope& scope) {
+  static const std::set<std::string> kSim = {
+      "sim",    "queueing", "core",     "loadinfo", "policy",
+      "fault",  "workload", "analysis", "driver"};
+  return scope.in_src && kSim.count(scope.module) > 0;
+}
+
+// Modules the D4 host-state rule covers (the paper-critical inner layers).
+bool in_host_state_scope(const FileScope& scope) {
+  static const std::set<std::string> kInner = {"sim", "queueing", "policy",
+                                               "loadinfo", "fault"};
+  return scope.in_src && kInner.count(scope.module) > 0;
+}
+
+bool is_sanctioned_rng_file(const FileScope& scope) {
+  return scope.in_src && scope.module == "sim" &&
+         scope.basename.rfind("rng.", 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Matching helpers.
+// ---------------------------------------------------------------------------
+
+bool line_has_token(const std::string& line, const Token& token) {
+  const std::string_view id(token.id);
+  std::size_t pos = 0;
+  while ((pos = line.find(id, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + id.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) {
+      if (!token.call_like) return true;
+      std::size_t j = end;
+      while (j < line.size() &&
+             (line[j] == ' ' || line[j] == '\t')) {
+        ++j;
+      }
+      if (j < line.size() && line[j] == '(') return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+// Extracts the quoted path of an `#include "..."` directive, if any. The
+// directive prefix is matched against the code view (so commented-out
+// includes do not count) while the payload comes from the raw line (the
+// code view blanks string literals).
+bool parse_quoted_include(const std::string& code_line,
+                          const std::string& raw_line, std::string* out) {
+  std::size_t i = 0;
+  while (i < code_line.size() &&
+         (code_line[i] == ' ' || code_line[i] == '\t')) {
+    ++i;
+  }
+  if (i >= code_line.size() || code_line[i] != '#') return false;
+  ++i;
+  while (i < code_line.size() &&
+         (code_line[i] == ' ' || code_line[i] == '\t')) {
+    ++i;
+  }
+  if (code_line.compare(i, 7, "include") != 0) return false;
+  const std::size_t open = raw_line.find('"', i + 7);
+  if (open == std::string::npos) return false;
+  const std::size_t close = raw_line.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  *out = raw_line.substr(open + 1, close - open - 1);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// NOLINT suppression.
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  bool all = false;  // bare NOLINT: silence every rule on the line
+  std::vector<std::string> rules;
+  bool active() const { return all || !rules.empty(); }
+  bool covers(const std::string& rule) const {
+    if (all) return true;
+    for (const std::string& r : rules) {
+      if (r == rule || r == "staleload") return true;
+    }
+    return false;
+  }
+};
+
+void parse_nolint(const std::string& raw_line, Suppression* same,
+                  Suppression* next) {
+  std::size_t pos = 0;
+  while ((pos = raw_line.find("NOLINT", pos)) != std::string::npos) {
+    std::size_t after = pos + 6;
+    Suppression* target = same;
+    if (raw_line.compare(after, 8, "NEXTLINE") == 0) {
+      target = next;
+      after += 8;
+    }
+    if (after < raw_line.size() && raw_line[after] == '(') {
+      const std::size_t close = raw_line.find(')', after);
+      std::string list = raw_line.substr(
+          after + 1,
+          close == std::string::npos ? std::string::npos : close - after - 1);
+      std::string item;
+      std::istringstream items(list);
+      while (std::getline(items, item, ',')) {
+        const auto first = item.find_first_not_of(" \t");
+        const auto last = item.find_last_not_of(" \t");
+        if (first != std::string::npos) {
+          target->rules.push_back(item.substr(first, last - first + 1));
+        }
+      }
+      if (target->rules.empty()) target->all = true;
+    } else {
+      target->all = true;
+    }
+    pos = after;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// scan_file
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> scan_file(std::string_view path,
+                               std::string_view contents) {
+  const FileScope scope = classify(path);
+  const Views views = split_views(contents);
+  const std::size_t lines = views.raw.size();
+
+  std::vector<Suppression> same(lines);
+  std::vector<Suppression> next(lines);
+  for (std::size_t i = 0; i < lines; ++i) {
+    parse_nolint(views.raw[i], &same[i], &next[i]);
+  }
+  auto suppressed = [&](std::size_t i, const std::string& rule) {
+    if (same[i].covers(rule)) return true;
+    return i > 0 && next[i - 1].active() && next[i - 1].covers(rule);
+  };
+
+  std::vector<Finding> findings;
+  auto emit = [&](std::size_t i, const char* rule, std::string message) {
+    if (suppressed(i, rule)) return;
+    for (const Finding& f : findings) {
+      if (f.line == static_cast<int>(i) + 1 && f.rule == rule) return;
+    }
+    findings.push_back(Finding{std::string(path), static_cast<int>(i) + 1,
+                               rule, std::move(message)});
+  };
+
+  const bool d1 = in_simulation_scope(scope);
+  const bool d2 = !is_sanctioned_rng_file(scope);
+  const bool d3 = in_simulation_scope(scope);
+  const bool d4 = in_host_state_scope(scope);
+
+  for (std::size_t i = 0; i < lines; ++i) {
+    // H3 looks at the comment view, so it must run before the code-emptiness
+    // skip: annotation comments usually sit on comment-only lines.
+    const std::string& comment = views.comment[i];
+    for (const char* marker : {"TODO", "FIXME"}) {
+      const std::size_t pos = comment.find(marker);
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && is_ident_char(comment[pos - 1])) continue;
+      std::size_t j = pos + std::string_view(marker).size();
+      if (j < comment.size() && is_ident_char(comment[j])) continue;
+      while (j < comment.size() && comment[j] == ' ') ++j;
+      const bool has_ref = j < comment.size() && comment[j] == '(' &&
+                           comment.find(')', j) != std::string::npos &&
+                           comment.find(')', j) > j + 1;
+      if (!has_ref) {
+        emit(i, "staleload-h3-todo-ref",
+             std::string(marker) +
+                 " without an owner/issue reference; write " + marker +
+                 "(#issue) or " + marker + "(name)");
+      }
+    }
+
+    const std::string& code = views.code[i];
+    if (code.empty()) continue;
+    if (d1) {
+      for (const Token& t : kWallClockTokens) {
+        if (line_has_token(code, t)) {
+          emit(i, "staleload-d1-wall-clock",
+               std::string("wall-clock/host-time API `") + t.id +
+                   "` in simulation module `" + scope.module +
+                   "`; derive all time from the simulated clock");
+        }
+      }
+    }
+    if (d2) {
+      for (const Token& t : kRawRngTokens) {
+        if (line_has_token(code, t)) {
+          emit(i, "staleload-d2-raw-rng",
+               std::string("unsanctioned random source `") + t.id +
+                   "`; draw from sim::Rng (src/sim/rng.h) so runs stay "
+                   "seed-reproducible and platform-pinned");
+        }
+      }
+    }
+    if (d3) {
+      for (const Token& t : kUnorderedTokens) {
+        if (line_has_token(code, t)) {
+          emit(i, "staleload-d3-unordered-iteration",
+               std::string("unordered container `") + t.id +
+                   "` in simulation module `" + scope.module +
+                   "`; iteration order is hash-dependent and can leak into "
+                   "reported results — use a sorted container");
+        }
+      }
+    }
+    if (d4) {
+      for (const Token& t : kHostStateTokens) {
+        if (line_has_token(code, t)) {
+          emit(i, "staleload-d4-host-state",
+               std::string("host-state access `") + t.id +
+                   "` in module `" + scope.module +
+                   "`; layers below the driver must be pure functions of "
+                   "(config, seed)");
+        }
+      }
+    }
+
+    std::string include_path;
+    if (parse_quoted_include(code, views.raw[i], &include_path)) {
+      if (include_path.find("..") != std::string::npos) {
+        emit(i, "staleload-l2-include-form",
+             "relative include \"" + include_path +
+                 "\"; include project headers as \"module/file.h\"");
+      } else if (scope.in_src) {
+        const auto slash = include_path.find('/');
+        if (slash == std::string::npos) {
+          emit(i, "staleload-l2-include-form",
+               "unqualified include \"" + include_path +
+                   "\"; src/ headers are included as \"module/file.h\"");
+        } else {
+          const std::string target = include_path.substr(0, slash);
+          const auto& dag = layer_dag();
+          const auto mod = dag.find(scope.module);
+          if (mod == dag.end()) {
+            emit(i, "staleload-l1-layering",
+                 "module `" + scope.module +
+                     "` is not declared in the layer DAG; add it to "
+                     "layer_dag() in tools/lint/lint.cpp");
+          } else if (dag.count(target) > 0 &&
+                     mod->second.count(target) == 0) {
+            std::string allowed;
+            for (const std::string& m : mod->second) {
+              if (!allowed.empty()) allowed += ", ";
+              allowed += m;
+            }
+            emit(i, "staleload-l1-layering",
+                 "include \"" + include_path + "\" violates the layer DAG: `" +
+                     scope.module + "` may only include {" + allowed + "}");
+          } else if (dag.count(target) == 0) {
+            emit(i, "staleload-l1-layering",
+                 "include \"" + include_path +
+                     "\" targets `" + target +
+                     "`, which is not a declared src/ module");
+          }
+        }
+      }
+    }
+
+    if (scope.is_header && code.find("using namespace") != std::string::npos) {
+      emit(i, "staleload-h2-using-namespace",
+           "`using namespace` in a header leaks into every includer");
+    }
+  }
+
+  if (scope.is_header) {
+    for (std::size_t i = 0; i < lines; ++i) {
+      std::string trimmed = views.code[i];
+      const auto first = trimmed.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      trimmed = trimmed.substr(first);
+      const bool guarded = trimmed.rfind("#pragma once", 0) == 0 ||
+                           trimmed.rfind("#ifndef", 0) == 0 ||
+                           trimmed.rfind("#if !defined", 0) == 0;
+      if (!guarded) {
+        emit(i, "staleload-h1-include-guard",
+             "header has code before `#pragma once` (or an #ifndef guard)");
+      }
+      break;  // only the first non-empty code line decides
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// scan_tree / to_json
+// ---------------------------------------------------------------------------
+
+ScanResult scan_tree(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  ScanResult result;
+  static const std::set<std::string> kExtensions = {".h", ".hpp", ".cc",
+                                                    ".cpp", ".cxx"};
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+      continue;
+    }
+    fs::recursive_directory_iterator it(
+        root, fs::directory_options::skip_permission_denied, ec);
+    if (ec) {
+      result.errors.push_back(root + ": " + ec.message());
+      continue;
+    }
+    const fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) {
+        result.errors.push_back(root + ": " + ec.message());
+        break;
+      }
+      const fs::directory_entry& entry = *it;
+      const std::string name = entry.path().filename().generic_string();
+      if (entry.is_directory()) {
+        if (name.rfind("build", 0) == 0 || name == ".git" ||
+            name == "lint_fixtures") {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().generic_string();
+      if (kExtensions.count(ext) == 0) continue;
+      files.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      result.errors.push_back(file + ": unreadable");
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string contents = buffer.str();
+    ++result.files_scanned;
+    std::vector<Finding> found = scan_file(file, contents);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+  }
+  return result;
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"file\": \"" << escape(f.file) << "\", \"line\": " << f.line
+       << ", \"rule\": \"" << escape(f.rule) << "\", \"message\": \""
+       << escape(f.message) << "\"}";
+  }
+  if (!findings.empty()) os << "\n";
+  os << "]\n";
+  return os.str();
+}
+
+}  // namespace stale::lint

@@ -1,0 +1,61 @@
+// staleload_lint — repo-specific static analysis for the staleload codebase.
+//
+// Three rule families, all motivated by what the paper reproduction depends
+// on (see DESIGN.md §11 for the full catalog):
+//
+//   D-rules (determinism): simulation layers must not read wall clocks, host
+//     state, or unsanctioned randomness, and must not iterate unordered
+//     containers — any of these can silently break the bit-identical
+//     `--jobs 1` vs `--jobs N` guarantee the determinism tests enforce.
+//   L-rules (layering): `#include` edges between src/ modules must follow
+//     the declared DAG (check → sim/runtime → queueing/core/workload/
+//     analysis → loadinfo/policy → fault → driver); project includes are
+//     module-qualified and never relative.
+//   H-rules (header hygiene): headers open with an include guard, never
+//     `using namespace`, and TODO(owner)/FIXME(#issue) annotations always
+//     carry that owner or issue reference.
+//
+// Findings are suppressible inline with `// NOLINT(staleload-<rule>)` on the
+// offending line or `// NOLINTNEXTLINE(staleload-<rule>)` on the line above;
+// a bare `NOLINT` or the family tag `NOLINT(staleload)` suppresses every
+// staleload rule on that line. Comments and string literals are stripped
+// before the D/L rules run, so prose about `mt19937` never trips them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stale::lint {
+
+struct Finding {
+  std::string file;     // path as given to the scanner
+  int line = 0;         // 1-based
+  std::string rule;     // e.g. "staleload-d2-raw-rng"
+  std::string message;
+};
+
+// Scans one file. `path` decides which rule scopes apply: the module is the
+// directory component after `src/` ("src/sim/foo.cpp" → module `sim`), and
+// files under tools/, bench/, tests/, examples/ are outside the simulation
+// scopes (H-rules and the relative-include check still apply everywhere).
+// `contents` is the file body; it is never read from disk here, so tests can
+// scan fixture text under a virtual path.
+std::vector<Finding> scan_file(std::string_view path,
+                               std::string_view contents);
+
+struct ScanResult {
+  std::vector<Finding> findings;        // sorted by (file, line)
+  int files_scanned = 0;
+  std::vector<std::string> errors;      // unreadable paths etc.
+};
+
+// Recursively scans C++ sources (.h/.hpp/.cc/.cpp/.cxx) under `roots`.
+// Directories named "build*", ".git", or "lint_fixtures" (deliberately
+// rule-violating test inputs) are skipped.
+ScanResult scan_tree(const std::vector<std::string>& roots);
+
+// Findings as a JSON array of {file, line, rule, message} objects.
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace stale::lint

@@ -1,0 +1,69 @@
+// Command-line driver for the staleload lint (see lint.h for the rules).
+//
+// Usage: staleload_lint [--json] [--root DIR] [paths...]
+//
+// Paths default to the five source trees (src tools bench tests examples)
+// and are resolved relative to --root (default: current directory). Exits 0
+// when clean, 1 when findings were reported, 2 on usage or IO errors.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string root;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "staleload_lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: staleload_lint [--json] [--root DIR] [paths...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "staleload_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!root.empty()) {
+    std::error_code ec;
+    std::filesystem::current_path(root, ec);
+    if (ec) {
+      std::fprintf(stderr, "staleload_lint: cannot chdir to %s: %s\n",
+                   root.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tools", "bench", "tests", "examples"};
+  }
+
+  const stale::lint::ScanResult result = stale::lint::scan_tree(paths);
+  for (const std::string& error : result.errors) {
+    std::fprintf(stderr, "staleload_lint: %s\n", error.c_str());
+  }
+  if (json) {
+    std::fputs(stale::lint::to_json(result.findings).c_str(), stdout);
+  } else {
+    for (const stale::lint::Finding& f : result.findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+  }
+  std::fprintf(stderr, "staleload_lint: %zu finding%s in %d files\n",
+               result.findings.size(),
+               result.findings.size() == 1 ? "" : "s", result.files_scanned);
+  if (!result.errors.empty()) return 2;
+  return result.findings.empty() ? 0 : 1;
+}
