@@ -124,6 +124,12 @@ TrialResult run_board_trial(const ExperimentConfig& config,
                                 config.know_actual_age);
   queueing::LoadImbalanceStats imbalance;
 
+  obs::TraceSink* const trace = config.trace_sink;
+  cluster.set_trace_sink(trace);
+  board.set_trace_sink(trace);
+  individual.set_trace_sink(trace);
+  view.set_trace_sink(trace);
+
   double t = 0.0;
   for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
     t += -std::log(rng.next_double_open0()) / arrival_rate;
@@ -160,8 +166,10 @@ TrialResult run_board_trial(const ExperimentConfig& config,
       case UpdateModel::kUpdateOnAccess:
         throw std::logic_error("run_board_trial: wrong model");
     }
+    context.trace = trace;
 
     const int server = policy->select(context, rng);
+    if (trace) trace->on_decision(t, server, context.age);
     const double size = job_size->sample(rng);
     // Snapshot the true pre-dispatch queue lengths (arrival epochs give
     // unbiased time averages) once the warmup has passed.
@@ -226,6 +234,12 @@ TrialResult run_fault_board_trial(const ExperimentConfig& config,
                                 config.know_actual_age, extra_allowance);
   queueing::LoadImbalanceStats imbalance;
 
+  obs::TraceSink* const trace = config.trace_sink;
+  cluster.set_trace_sink(trace);
+  board.set_trace_sink(trace);
+  individual.set_trace_sink(trace);
+  view.set_trace_sink(trace);
+
   fault::FaultInjector injector(spec, config.num_servers, rng);
   fault::FaultStats& stats = injector.stats();
   policy = fault::harden_policy(std::move(policy), spec,
@@ -282,7 +296,11 @@ TrialResult run_fault_board_trial(const ExperimentConfig& config,
 
     policy::DispatchContext context;
     if (estimator) {
-      if (!injector.estimator_drop()) estimator->on_arrival(t);
+      if (!injector.estimator_drop()) {
+        estimator->on_arrival(t);
+      } else if (trace) {
+        trace->on_refresh_fault(t, obs::FaultTraceEvent::kEstimatorDrop, -1);
+      }
       context.lambda_total = estimator->rate();
     } else {
       context.lambda_total = believed_rate;
@@ -315,8 +333,10 @@ TrialResult run_fault_board_trial(const ExperimentConfig& config,
     context.info_version ^= injector.transition_count() << 32;
     context.alive = injector.alive();
     context.sanitize_events = &stats.sanitizer_fixes;
+    context.trace = trace;
 
     int server = policy->select(context, rng);
+    if (trace) trace->on_decision(t, server, context.age);
     // The dispatcher discovers a down server on contact: bounded retry with
     // exponential backoff, each re-pick uniform over known-alive servers.
     double backoff_penalty = 0.0;
@@ -400,6 +420,7 @@ TrialResult run_update_on_access_trial(const ExperimentConfig& config,
   queueing::ResponseMetrics metrics(warmup, config.keep_response_samples);
   UpdateOnAccessEngine engine(cluster, *policy, *gaps, *job_size,
                               config.believed_total_rate(), clients, rng);
+  engine.set_trace_sink(config.trace_sink);
   double t = 0.0;
   for (std::uint64_t job = 0; job < num_jobs; ++job) {
     t = engine.step(metrics);
@@ -436,7 +457,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const auto one_trial = [&](std::size_t trial) {
     const std::uint64_t seed =
         sim::trial_seed(config.base_seed, static_cast<int>(trial));
-    outcomes[trial] = run_trial(config, seed);
+    if (config.trace_sink_for_trial) {
+      // Traced parallel runs: each trial gets its own sink object, so sinks
+      // need no synchronization.
+      ExperimentConfig traced = config;
+      traced.trace_sink = config.trace_sink_for_trial(static_cast<int>(trial));
+      outcomes[trial] = run_trial(traced, seed);
+    } else {
+      outcomes[trial] = run_trial(config, seed);
+    }
   };
 
   const int jobs = std::min(runtime::resolve_jobs(config.jobs),

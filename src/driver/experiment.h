@@ -7,12 +7,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "fault/fault_spec.h"
 #include "fault/fault_stats.h"
 #include "loadinfo/delay_distribution.h"
+#include "obs/trace_sink.h"
 #include "sim/stats.h"
 
 namespace stale::driver {
@@ -85,6 +87,16 @@ struct ExperimentConfig {
   // Retain per-job response times so TrialResult carries tail percentiles
   // (p50/p95/p99). Costs 8 bytes per measured job.
   bool keep_response_samples = false;
+
+  // --- observability (src/obs/) ---
+  // Trace sink wired through the whole trial (cluster, board, policy,
+  // dispatch decisions). Sinks are pure observers: any run is bit-identical
+  // with and without one attached (tested). Not owned; must outlive the run.
+  obs::TraceSink* trace_sink = nullptr;
+  // Per-trial sink factory for parallel traced runs: trials execute on
+  // worker threads concurrently, so they must not share one recorder. When
+  // set, it overrides trace_sink; returning nullptr leaves a trial untraced.
+  std::function<obs::TraceSink*(int trial)> trace_sink_for_trial;
 
   // Aggregate arrival rate lambda * n.
   double total_rate() const { return lambda * num_servers; }

@@ -1,0 +1,83 @@
+#include "driver/trace_support.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stale::driver {
+
+TraceReport run_traced_trial(const ExperimentConfig& config,
+                             std::uint64_t seed,
+                             const TraceRunOptions& options) {
+  TraceReport report;
+  report.recorder = obs::TraceRecorder(options.recorder);
+
+  ExperimentConfig traced = config;
+  traced.trace_sink = &report.recorder;
+  traced.trace_sink_for_trial = nullptr;
+  report.trial = run_trial(traced, seed);
+
+  report.t_end = report.recorder.end_time();
+  // Expected end of warmup: the mean arrival rate is exact, so this lines up
+  // with the metrics' warmup cutoff to within arrival-process noise.
+  report.t_begin = std::min(
+      static_cast<double>(config.warmup_jobs) / config.total_rate(),
+      report.t_end);
+  report.probe_interval = options.probe_interval > 0.0
+                              ? options.probe_interval
+                              : config.update_interval / 8.0;
+
+  if (report.t_end > report.t_begin) {
+    // The probe windows are half-open [begin, end); the last dispatch
+    // decision sits exactly at end_time() (the final arrival is the last
+    // kernel event), so nudge the upper bound to keep it in the report.
+    const double end_inclusive = std::nextafter(
+        report.t_end, std::numeric_limits<double>::infinity());
+    report.trajectory = obs::sample_queue_trajectory(
+        report.recorder, report.probe_interval, report.t_begin, report.t_end);
+    report.share = obs::compute_dispatch_share(report.recorder, report.t_begin,
+                                               end_inclusive);
+    obs::HerdOptions herd;
+    herd.t_begin = report.t_begin;
+    herd.t_end = report.t_end;
+    herd.probe_interval = report.probe_interval;
+    herd.phase_length = config.update_interval;
+    report.herd = obs::detect_herd(report.recorder, herd);
+  }
+  return report;
+}
+
+void print_trace_summary(std::ostream& out, const ExperimentConfig& config,
+                         const TraceReport& report) {
+  const obs::TraceRecorder& rec = report.recorder;
+  out << "--- trace summary ---------------------------------------------\n"
+      << "policy " << config.policy << ", model "
+      << update_model_name(config.model) << ", T=" << config.update_interval
+      << ", n=" << config.num_servers << "\n"
+      << "events: " << rec.events().size() << " total ("
+      << rec.count(obs::TraceEventKind::kDispatch) << " dispatches, "
+      << rec.count(obs::TraceEventKind::kDeparture) << " departures, "
+      << rec.count(obs::TraceEventKind::kBoardRefresh) << " refreshes, "
+      << rec.count(obs::TraceEventKind::kRefreshFault) << " refresh faults, "
+      << rec.count(obs::TraceEventKind::kDecision) << " decisions)\n"
+      << "probability vectors built: " << rec.probability_builds() << "\n"
+      << "analysis window: [" << report.t_begin << ", " << report.t_end
+      << "], probe interval " << report.probe_interval << "\n"
+      << "dispatch share: top server " << report.share.top_server()
+      << " received " << 100.0 * report.share.top_share() << "% of "
+      << report.share.total << " decisions (uniform: "
+      << 100.0 * report.herd.uniform_share << "%)\n"
+      << "herd diagnostics over " << report.herd.phases << " phases:\n"
+      << "  per-phase concentration: mean "
+      << 100.0 * report.herd.mean_concentration << "%, peak "
+      << 100.0 * report.herd.peak_concentration << "%\n"
+      << "  queue swing within a phase: " << report.herd.amplitude
+      << " jobs (whole-window " << report.herd.global_swing << ")\n"
+      << "  oscillation period: " << report.herd.oscillation_period
+      << " (autocorrelation " << report.herd.autocorr_peak << ")\n"
+      << "herd effect: " << (report.herd.herding() ? "DETECTED" : "not detected")
+      << "\n"
+      << "---------------------------------------------------------------\n";
+}
+
+}  // namespace stale::driver

@@ -1,0 +1,46 @@
+// Traced-trial runner: one seeded trial with a TraceRecorder attached, plus
+// the post-processing the CLI surfaces — queue trajectories, dispatch
+// shares, and the herd-effect diagnostic. The obs layer knows nothing about
+// experiments; this file is the glue that does.
+#pragma once
+
+#include <ostream>
+
+#include "driver/experiment.h"
+#include "obs/herd.h"
+#include "obs/probe.h"
+#include "obs/trace_recorder.h"
+
+namespace stale::driver {
+
+struct TraceRunOptions {
+  // Trajectory sampling interval; <= 0 picks update_interval / 8.
+  double probe_interval = 0.0;
+  obs::RecorderOptions recorder;
+};
+
+struct TraceReport {
+  TrialResult trial;
+  obs::TraceRecorder recorder;
+  obs::QueueTrajectory trajectory;  // analysis window (post-warmup)
+  obs::DispatchShare share;
+  obs::HerdReport herd;
+  double t_begin = 0.0;  // analysis window start (expected end of warmup)
+  double t_end = 0.0;
+  double probe_interval = 0.0;  // the resolved interval
+};
+
+// Runs one trial of `config` with a recorder attached and post-processes the
+// trace. The analysis window starts at the expected end of warmup
+// (warmup_jobs / total arrival rate) and ends at the last recorded event, so
+// the diagnostics measure steady state like the response metrics do.
+TraceReport run_traced_trial(const ExperimentConfig& config,
+                             std::uint64_t seed,
+                             const TraceRunOptions& options = {});
+
+// Human-readable block: event tallies, dispatch concentration, and the herd
+// verdict with its evidence.
+void print_trace_summary(std::ostream& out, const ExperimentConfig& config,
+                         const TraceReport& report);
+
+}  // namespace stale::driver

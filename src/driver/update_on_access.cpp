@@ -42,7 +42,9 @@ double UpdateOnAccessEngine::step(queueing::ResponseMetrics& metrics) {
   context.lambda_total = believed_total_rate_;
   context.info_version = ++version_;
 
+  context.trace = trace_;
   const int server = policy_.select(context, rng_);
+  if (trace_) trace_->on_decision(t, server, context.age);
   const double size = job_size_.sample(rng_);
   const double departure = cluster_.assign(t, server, size);
   metrics.record(departure - t);

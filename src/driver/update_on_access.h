@@ -40,6 +40,14 @@ class UpdateOnAccessEngine {
 
   int num_clients() const { return static_cast<int>(clients_.size()); }
 
+  // Attaches `sink` to the cluster's servers and to the dispatch decisions
+  // (on_decision with the snapshot age each request acted on). Pure
+  // observer; nullptr detaches.
+  void set_trace_sink(obs::TraceSink* sink) {
+    trace_ = sink;
+    cluster_.set_trace_sink(sink);
+  }
+
  private:
   struct Client {
     std::vector<int> snapshot;  // loads seen by the previous reply
@@ -64,6 +72,7 @@ class UpdateOnAccessEngine {
   std::vector<Client> clients_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> next_;
   std::uint64_t version_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace stale::driver

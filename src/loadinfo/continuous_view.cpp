@@ -47,6 +47,9 @@ void ContinuousView::observe(const queueing::Cluster& cluster, double t,
     reported_age_ =
         know_actual_age_ ? actual_delay_ : std::min(mean_delay_, t);
     ++version_;
+    if (trace_) {
+      trace_->on_refresh_fault(t, obs::FaultTraceEvent::kRefreshLost, -1);
+    }
     return;
   }
   double d = delay_->sample(rng);
@@ -58,6 +61,7 @@ void ContinuousView::observe(const queueing::Cluster& cluster, double t,
   reported_age_ = know_actual_age_ ? d : std::min(mean_delay_, t);
   cluster.loads_at(t - d, loads_);
   ++version_;
+  if (trace_) trace_->on_board_refresh(t, last_measured_, version_, loads_);
 }
 
 }  // namespace stale::loadinfo

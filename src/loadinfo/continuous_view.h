@@ -16,6 +16,7 @@
 
 #include "loadinfo/delay_distribution.h"
 #include "loadinfo/refresh_faults.h"
+#include "obs/trace_sink.h"
 #include "queueing/cluster.h"
 #include "sim/rng.h"
 
@@ -46,6 +47,12 @@ class ContinuousView {
   double actual_delay() const { return actual_delay_; }
   std::uint64_t version() const { return version_; }
 
+  // Attaches a trace sink notified per materialized view (on_board_refresh;
+  // one per request under this model) and per dropped refresh
+  // (on_refresh_fault). Pure observer; nullptr detaches. Long traced runs
+  // can disable snapshot copies via RecorderOptions.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   double mean_delay_;
   bool know_actual_age_;
@@ -56,6 +63,7 @@ class ContinuousView {
   double actual_delay_ = 0.0;
   double last_measured_ = 0.0;  // instant the current view reflects
   std::uint64_t version_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace stale::loadinfo

@@ -41,11 +41,18 @@ void IndividualBoard::sync(queueing::Cluster& cluster, double t,
     if (faults == nullptr || !faults->drop_refresh()) {
       cluster.advance_to(due_time);
       const double delay = faults == nullptr ? 0.0 : faults->refresh_delay();
+      if (trace_ && delay > 0.0) {
+        trace_->on_refresh_fault(due_time,
+                                 obs::FaultTraceEvent::kRefreshDelayed, due);
+      }
       // FIFO per server: a heartbeat never overtakes its predecessor.
       const double publish = std::max(
           due_time + delay,
           pending_[s].empty() ? 0.0 : pending_[s].back().publish);
       pending_[s].push_back({publish, due_time, cluster.loads()[s]});
+    } else if (trace_) {
+      trace_->on_refresh_fault(due_time, obs::FaultTraceEvent::kRefreshLost,
+                               due);
     }
     next_refresh_[s] = due_time + interval_;
   }
@@ -54,8 +61,13 @@ void IndividualBoard::sync(queueing::Cluster& cluster, double t,
     while (!pending_[s].empty() && pending_[s].front().publish <= t) {
       snapshot_[s] = pending_[s].front().value;
       last_refresh_[s] = pending_[s].front().measured;
+      const double publish = pending_[s].front().publish;
       pending_[s].pop_front();
       ++version_;
+      if (trace_) {
+        trace_->on_board_refresh(publish, last_refresh_[s], version_,
+                                 snapshot_);
+      }
     }
   }
 }

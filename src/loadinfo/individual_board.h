@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "loadinfo/refresh_faults.h"
+#include "obs/trace_sink.h"
 #include "queueing/cluster.h"
 #include "sim/rng.h"
 
@@ -36,6 +37,12 @@ class IndividualBoard {
   double mean_age(double t) const;
   std::uint64_t version() const { return version_; }
 
+  // Attaches a trace sink notified per published heartbeat (on_board_refresh
+  // with the whole visible snapshot) and per injected drop/delay
+  // (on_refresh_fault with the server index). Pure observer; nullptr
+  // detaches.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   struct PendingHeartbeat {
     double publish;   // when the entry becomes visible
@@ -49,6 +56,7 @@ class IndividualBoard {
   std::vector<int> snapshot_;
   std::vector<std::deque<PendingHeartbeat>> pending_;  // per server, FIFO
   std::uint64_t version_ = 1;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace stale::loadinfo

@@ -30,6 +30,10 @@ void PeriodicBoard::sync(queueing::Cluster& cluster, double t,
     cluster.advance_to(boundary);
     if (faults == nullptr || !faults->drop_refresh()) {
       const double delay = faults == nullptr ? 0.0 : faults->refresh_delay();
+      if (trace_ && delay > 0.0) {
+        trace_->on_refresh_fault(boundary, obs::FaultTraceEvent::kRefreshDelayed,
+                                 -1);
+      }
       // FIFO delivery: a refresh never overtakes its predecessor.
       const double publish =
           std::max(boundary + delay,
@@ -37,6 +41,9 @@ void PeriodicBoard::sync(queueing::Cluster& cluster, double t,
       const auto loads = cluster.loads();
       pending_.push_back(
           {publish, boundary, std::vector<int>(loads.begin(), loads.end())});
+    } else if (trace_) {
+      trace_->on_refresh_fault(boundary, obs::FaultTraceEvent::kRefreshLost,
+                               -1);
     }
     next_boundary_ += interval_;
   }
@@ -44,8 +51,12 @@ void PeriodicBoard::sync(queueing::Cluster& cluster, double t,
   while (!pending_.empty() && pending_.front().publish <= t) {
     snapshot_ = std::move(pending_.front().snapshot);
     measured_at_ = pending_.front().measured;
+    const double publish = pending_.front().publish;
     pending_.pop_front();
     ++version_;
+    if (trace_) {
+      trace_->on_board_refresh(publish, measured_at_, version_, snapshot_);
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "loadinfo/refresh_faults.h"
+#include "obs/trace_sink.h"
 #include "queueing/cluster.h"
 
 namespace stale::loadinfo {
@@ -43,6 +44,11 @@ class PeriodicBoard {
   // Bumped on every refresh; policies key caches on it.
   std::uint64_t version() const { return version_; }
 
+  // Attaches a trace sink notified on every publish (on_board_refresh) and
+  // every injected drop/delay (on_refresh_fault). Pure observer; nullptr
+  // detaches.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   struct PendingRefresh {
     double publish;   // when the snapshot becomes visible
@@ -56,6 +62,7 @@ class PeriodicBoard {
   std::uint64_t version_ = 1;
   std::vector<int> snapshot_;
   std::deque<PendingRefresh> pending_;  // FIFO, publish times non-decreasing
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace stale::loadinfo

@@ -1,0 +1,30 @@
+// Chrome trace_event JSON exporter. The output loads straight into
+// chrome://tracing or https://ui.perfetto.dev:
+//
+//   * each server is a thread row ("tid") under one process;
+//   * every job is a complete span (ph "X") from dispatch to departure on its
+//     server's row, so the herd effect shows up visually as one row packed
+//     solid while its neighbours sit idle;
+//   * queue lengths are counter tracks (ph "C"), one per server;
+//   * board refreshes, refresh faults, crashes and recoveries are instants.
+//
+// Simulated time is unitless; it is scaled by `time_scale` into the
+// microseconds the trace viewer expects (default 1e6: 1 sim time unit reads
+// as 1 s in the UI).
+#pragma once
+
+#include <ostream>
+
+#include "obs/trace_recorder.h"
+
+namespace stale::obs {
+
+struct ChromeTraceOptions {
+  double time_scale = 1e6;  // sim time units -> trace microseconds
+  bool queue_counters = true;
+};
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace stale::obs

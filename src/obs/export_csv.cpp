@@ -1,0 +1,28 @@
+#include "obs/export_csv.h"
+
+namespace stale::obs {
+
+void write_events_csv(std::ostream& out, const TraceRecorder& recorder) {
+  out << "time,kind,server,a,b,c\n";
+  for (const TraceEvent& event : recorder.events_by_time()) {
+    out << event.time << ',' << trace_event_kind_name(event.kind) << ','
+        << event.server << ',' << event.a << ',' << event.b << ',' << event.c
+        << '\n';
+  }
+}
+
+void write_trajectory_csv(std::ostream& out,
+                          const QueueTrajectory& trajectory) {
+  out << "time";
+  for (int s = 0; s < trajectory.num_servers; ++s) out << ",server" << s;
+  out << '\n';
+  for (std::size_t k = 0; k < trajectory.samples.size(); ++k) {
+    out << trajectory.time_at(k);
+    for (int s = 0; s < trajectory.num_servers; ++s) {
+      out << ',' << trajectory.samples[k][static_cast<std::size_t>(s)];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace stale::obs

@@ -1,0 +1,24 @@
+// CSV exporters for recorded traces: the raw event log and the sampled
+// queue-length trajectories, both written to a caller-supplied ostream so
+// this layer never touches the filesystem (file opening happens in tools/).
+#pragma once
+
+#include <ostream>
+
+#include "obs/probe.h"
+#include "obs/trace_recorder.h"
+
+namespace stale::obs {
+
+// One row per event, time-sorted:
+//   time,kind,server,a,b,c
+// with the per-kind field meanings documented in obs/trace_recorder.h.
+void write_events_csv(std::ostream& out, const TraceRecorder& recorder);
+
+// One row per grid instant:
+//   time,server0,server1,...,serverN-1
+// i.e. the per-server queue-length step functions sampled on the trajectory's
+// uniform grid. Loads directly into any plotting tool.
+void write_trajectory_csv(std::ostream& out, const QueueTrajectory& trajectory);
+
+}  // namespace stale::obs

@@ -1,0 +1,208 @@
+#include "obs/herd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace stale::obs {
+
+namespace {
+
+// Mean over (window, server) of the within-window queue swing. Windows are
+// consecutive stretches of `window_len` along the trajectory grid.
+double mean_window_swing(const QueueTrajectory& trajectory, double window_len,
+                         int* windows_counted) {
+  *windows_counted = 0;
+  if (trajectory.samples.empty() || trajectory.num_servers == 0) return 0.0;
+  const auto per_window = static_cast<std::size_t>(
+      std::max(1.0, std::round(window_len / trajectory.interval)));
+  double swing_sum = 0.0;
+  std::size_t swings = 0;
+  for (std::size_t start = 0; start + per_window <= trajectory.samples.size();
+       start += per_window) {
+    for (int s = 0; s < trajectory.num_servers; ++s) {
+      int lo = trajectory.samples[start][static_cast<std::size_t>(s)];
+      int hi = lo;
+      for (std::size_t k = start; k < start + per_window; ++k) {
+        const int len = trajectory.samples[k][static_cast<std::size_t>(s)];
+        lo = std::min(lo, len);
+        hi = std::max(hi, len);
+      }
+      swing_sum += hi - lo;
+      ++swings;
+    }
+    ++*windows_counted;
+  }
+  return swings == 0 ? 0.0 : swing_sum / static_cast<double>(swings);
+}
+
+double mean_global_swing(const QueueTrajectory& trajectory) {
+  if (trajectory.samples.empty() || trajectory.num_servers == 0) return 0.0;
+  double total = 0.0;
+  for (int s = 0; s < trajectory.num_servers; ++s) {
+    int lo = trajectory.samples[0][static_cast<std::size_t>(s)];
+    int hi = lo;
+    for (const std::vector<int>& row : trajectory.samples) {
+      lo = std::min(lo, row[static_cast<std::size_t>(s)]);
+      hi = std::max(hi, row[static_cast<std::size_t>(s)]);
+    }
+    total += hi - lo;
+  }
+  return total / static_cast<double>(trajectory.num_servers);
+}
+
+// Strongest local maximum of a normalized autocorrelation sequence r[1..],
+// counted only after the zero-lag hump has decayed below `floor`, so a
+// slowly decaying (non-oscillating) autocorrelation never reports a period.
+std::pair<std::size_t, double> peak_after_descent(const std::vector<double>& r,
+                                                  double floor) {
+  double best_r = 0.0;
+  std::size_t best_lag = 0;
+  double prev_r = 1.0;
+  bool descending = false;
+  for (std::size_t lag = 1; lag < r.size(); ++lag) {
+    if (!descending && r[lag] < prev_r && r[lag] < floor) descending = true;
+    if (descending && r[lag] > best_r) {
+      best_r = r[lag];
+      best_lag = lag;
+    }
+    prev_r = r[lag];
+  }
+  if (best_lag == 0 || best_r < floor) return {0, 0.0};
+  return {best_lag, best_r};
+}
+
+}  // namespace
+
+std::pair<double, double> dominant_period(const QueueTrajectory& trajectory,
+                                          double floor) {
+  const std::size_t samples = trajectory.samples.size();
+  const int n = trajectory.num_servers;
+  if (samples < 8 || n == 0) return {0.0, 0.0};
+
+  // Mean-removed per-server series.
+  std::vector<std::vector<double>> x(
+      static_cast<std::size_t>(n), std::vector<double>(samples, 0.0));
+  for (int s = 0; s < n; ++s) {
+    double mean = 0.0;
+    for (std::size_t k = 0; k < samples; ++k) {
+      mean += trajectory.samples[k][static_cast<std::size_t>(s)];
+    }
+    mean /= static_cast<double>(samples);
+    for (std::size_t k = 0; k < samples; ++k) {
+      x[static_cast<std::size_t>(s)][k] =
+          trajectory.samples[k][static_cast<std::size_t>(s)] - mean;
+    }
+  }
+
+  // Autocorrelation averaged across servers, normalized by lag 0.
+  double r0 = 0.0;
+  for (int s = 0; s < n; ++s) {
+    for (std::size_t k = 0; k < samples; ++k) {
+      r0 += x[static_cast<std::size_t>(s)][k] *
+            x[static_cast<std::size_t>(s)][k];
+    }
+  }
+  if (r0 <= 0.0) return {0.0, 0.0};
+
+  const std::size_t max_lag = samples / 3;
+  std::vector<double> r(max_lag + 1, 0.0);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    for (int s = 0; s < n; ++s) {
+      for (std::size_t k = 0; k + lag < samples; ++k) {
+        r[lag] += x[static_cast<std::size_t>(s)][k] *
+                  x[static_cast<std::size_t>(s)][k + lag];
+      }
+    }
+    r[lag] /= r0;
+  }
+  const auto [best_lag, best_r] = peak_after_descent(r, floor);
+  if (best_lag == 0) return {0.0, 0.0};
+  return {static_cast<double>(best_lag) * trajectory.interval, best_r};
+}
+
+std::pair<double, double> dominant_period_of(const std::vector<double>& series,
+                                             double interval, double floor) {
+  const std::size_t samples = series.size();
+  if (samples < 8 || !(interval > 0.0)) return {0.0, 0.0};
+
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(samples);
+  std::vector<double> x(samples);
+  for (std::size_t k = 0; k < samples; ++k) x[k] = series[k] - mean;
+
+  double r0 = 0.0;
+  for (double v : x) r0 += v * v;
+  if (r0 <= 0.0) return {0.0, 0.0};
+
+  const std::size_t max_lag = samples / 3;
+  std::vector<double> r(max_lag + 1, 0.0);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    for (std::size_t k = 0; k + lag < samples; ++k) {
+      r[lag] += x[k] * x[k + lag];
+    }
+    r[lag] /= r0;
+  }
+  const auto [best_lag, best_r] = peak_after_descent(r, floor);
+  if (best_lag == 0) return {0.0, 0.0};
+  return {static_cast<double>(best_lag) * interval, best_r};
+}
+
+HerdReport detect_herd(const TraceRecorder& recorder,
+                       const HerdOptions& options) {
+  if (!(options.phase_length > 0.0)) {
+    throw std::invalid_argument("detect_herd: phase_length must be > 0");
+  }
+  const double t_end =
+      options.t_end > 0.0 ? options.t_end : recorder.end_time();
+  if (!(t_end > options.t_begin)) {
+    throw std::invalid_argument("detect_herd: empty analysis window");
+  }
+  const double interval = options.probe_interval > 0.0
+                              ? options.probe_interval
+                              : options.phase_length / 8.0;
+
+  const QueueTrajectory trajectory = sample_queue_trajectory(
+      recorder, interval, options.t_begin, t_end, options.num_servers);
+
+  HerdReport report;
+  report.num_servers = trajectory.num_servers;
+  report.uniform_share =
+      trajectory.num_servers > 0
+          ? 1.0 / static_cast<double>(trajectory.num_servers)
+          : 0.0;
+  report.amplitude = mean_window_swing(trajectory, options.phase_length,
+                                       &report.phases);
+  report.global_swing = mean_global_swing(trajectory);
+
+  // Herd-crest series: the per-sample max queue across servers tracks the
+  // pile-up wherever it lands, so its autocorrelation keeps the phase rhythm
+  // even when displayed-load ties rotate the herd target between servers
+  // (which washes the per-server autocorrelation out). Fall back to the
+  // per-server estimate when the crest shows no peak.
+  std::vector<double> crest(trajectory.samples.size(), 0.0);
+  for (std::size_t k = 0; k < trajectory.samples.size(); ++k) {
+    for (int len : trajectory.samples[k]) {
+      crest[k] = std::max(crest[k], static_cast<double>(len));
+    }
+  }
+  auto [period, autocorr] = dominant_period_of(crest, trajectory.interval);
+  if (period == 0.0) {
+    std::tie(period, autocorr) = dominant_period(trajectory);
+  }
+  report.oscillation_period = period;
+  report.autocorr_peak = autocorr;
+
+  const PhaseConcentration concentration = compute_phase_concentration(
+      recorder, options.t_begin, t_end, options.phase_length,
+      trajectory.num_servers);
+  report.peak_concentration = concentration.peak;
+  report.mean_concentration = concentration.mean;
+  return report;
+}
+
+}  // namespace stale::obs

@@ -1,0 +1,78 @@
+// Herd-effect diagnostics (paper Section 2, Figure 2's explanation).
+//
+// With stale load information, greedy minimum-load dispatch herds: every
+// arrival of an update phase lands on the server the stale board shows as
+// minimal, which swings that server from starved to swamped while the rest
+// drain — per-server queue lengths oscillate with amplitude growing in T,
+// and per-phase dispatch concentration approaches 1. Interpreted policies
+// (Basic/Aggressive LI) spread each phase's arrivals and show neither
+// signature. The detector quantifies both from a recorded trace:
+//
+//   * amplitude   — mean over (phase, server) of the within-phase queue
+//                   swing (max - min along the sampled trajectory), i.e. how
+//                   violently queues move inside one update period;
+//   * oscillation period — lag of the strongest positive autocorrelation
+//                   peak of the mean-removed per-server series (0 when no
+//                   peak clears the significance floor);
+//   * concentration — per-phase top-server dispatch share (obs/probe.h).
+#pragma once
+
+#include "obs/probe.h"
+#include "obs/trace_recorder.h"
+
+namespace stale::obs {
+
+struct HerdReport {
+  int num_servers = 0;
+  int phases = 0;                  // phases entering the amplitude average
+  double amplitude = 0.0;          // mean within-phase queue swing (jobs)
+  double global_swing = 0.0;       // mean over servers of whole-window swing
+  double oscillation_period = 0.0; // time units; 0 = no significant peak
+  double autocorr_peak = 0.0;      // autocorrelation value at that lag
+  double peak_concentration = 0.0; // max per-phase top-server share
+  double mean_concentration = 0.0; // decision-weighted mean share
+  double uniform_share = 0.0;      // 1/n reference
+
+  // Herding verdict: dispatches of a typical phase pile onto one server
+  // (mean concentration at least `kConcentrationFactor` times the uniform
+  // share and above an absolute floor) AND queues swing by more than normal
+  // stochastic jitter within a phase.
+  static constexpr double kConcentrationFactor = 3.0;
+  static constexpr double kConcentrationFloor = 0.4;
+  static constexpr double kAmplitudeFloor = 3.0;
+
+  bool herding() const {
+    return mean_concentration >= kConcentrationFloor &&
+           mean_concentration >= kConcentrationFactor * uniform_share &&
+           amplitude >= kAmplitudeFloor;
+  }
+};
+
+struct HerdOptions {
+  double t_begin = 0.0;          // analysis window (post-warmup)
+  double t_end = 0.0;            // <= 0: recorder end time
+  double probe_interval = 0.0;   // trajectory grid; <= 0: phase_length / 8
+  double phase_length = 1.0;     // T (phase fallback + amplitude windows)
+  int num_servers = 0;           // <= 0: infer from the trace
+};
+
+// Runs the full diagnostic over `recorder`. Throws std::invalid_argument on
+// a degenerate window or non-positive phase length.
+HerdReport detect_herd(const TraceRecorder& recorder,
+                       const HerdOptions& options);
+
+// The autocorrelation-based period estimate on its own (exposed for tests):
+// returns {lag * interval, autocorrelation at lag} for the strongest local
+// maximum above `floor` in lag range [2, samples/3], or {0, 0}.
+std::pair<double, double> dominant_period(const QueueTrajectory& trajectory,
+                                          double floor = 0.15);
+
+// Same estimate for a single scalar series sampled every `interval`. Used by
+// detect_herd on the herd-crest series (per-sample max queue across servers):
+// the crest rises and falls every phase even when ties rotate the herd target
+// across servers, which washes the per-server autocorrelation out.
+std::pair<double, double> dominant_period_of(const std::vector<double>& series,
+                                             double interval,
+                                             double floor = 0.15);
+
+}  // namespace stale::obs

@@ -1,0 +1,151 @@
+#include "obs/probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stale::obs {
+
+namespace {
+
+int resolve_servers(const TraceRecorder& recorder, int num_servers) {
+  const int seen = recorder.num_servers_seen();
+  return num_servers > 0 ? std::max(num_servers, seen) : seen;
+}
+
+// True for the event kinds that change a server's queue length; writes the
+// post-event length into `len`.
+bool queue_len_after(const TraceEvent& event, int* len) {
+  switch (event.kind) {
+    case TraceEventKind::kDispatch:
+    case TraceEventKind::kDeparture:
+      *len = static_cast<int>(event.c);
+      return true;
+    case TraceEventKind::kServerDown:
+    case TraceEventKind::kServerUp:
+      *len = 0;  // a crash empties the queue; recovery starts empty
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+QueueTrajectory sample_queue_trajectory(const TraceRecorder& recorder,
+                                        double interval, double t_begin,
+                                        double t_end, int num_servers) {
+  if (!(interval > 0.0)) {
+    throw std::invalid_argument(
+        "sample_queue_trajectory: interval must be > 0");
+  }
+  if (!(t_end >= t_begin)) {
+    throw std::invalid_argument("sample_queue_trajectory: empty window");
+  }
+  const int n = resolve_servers(recorder, num_servers);
+  QueueTrajectory trajectory;
+  trajectory.t_begin = t_begin;
+  trajectory.interval = interval;
+  trajectory.num_servers = n;
+  if (n == 0) return trajectory;
+
+  const std::vector<TraceEvent> events = recorder.events_by_time();
+  std::vector<int> current(static_cast<std::size_t>(n), 0);
+  const auto grid_points =
+      static_cast<std::size_t>(std::floor((t_end - t_begin) / interval)) + 1;
+  trajectory.samples.reserve(grid_points);
+
+  std::size_t next = 0;
+  for (std::size_t k = 0; k < grid_points; ++k) {
+    const double grid_time = trajectory.time_at(k);
+    // Apply every queue change at or before this grid instant.
+    for (; next < events.size() && events[next].time <= grid_time; ++next) {
+      int len = 0;
+      const TraceEvent& event = events[next];
+      if (event.server >= 0 && event.server < n &&
+          queue_len_after(event, &len)) {
+        current[static_cast<std::size_t>(event.server)] = len;
+      }
+    }
+    trajectory.samples.push_back(current);
+  }
+  return trajectory;
+}
+
+double DispatchShare::top_share() const {
+  if (total == 0) return 0.0;
+  const std::uint64_t top =
+      counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+  return static_cast<double>(top) / static_cast<double>(total);
+}
+
+int DispatchShare::top_server() const {
+  if (total == 0 || counts.empty()) return -1;
+  return static_cast<int>(std::distance(
+      counts.begin(), std::max_element(counts.begin(), counts.end())));
+}
+
+DispatchShare compute_dispatch_share(const TraceRecorder& recorder,
+                                     double t_begin, double t_end,
+                                     int num_servers) {
+  const int n = resolve_servers(recorder, num_servers);
+  DispatchShare share;
+  share.counts.assign(static_cast<std::size_t>(std::max(n, 0)), 0);
+  for (const TraceEvent& event : recorder.events()) {
+    if (event.kind != TraceEventKind::kDecision) continue;
+    if (event.time < t_begin || event.time >= t_end) continue;
+    if (event.server < 0 || event.server >= n) continue;
+    ++share.counts[static_cast<std::size_t>(event.server)];
+    ++share.total;
+  }
+  return share;
+}
+
+PhaseConcentration compute_phase_concentration(
+    const TraceRecorder& recorder, double t_begin, double t_end,
+    double fallback_phase_length, int num_servers,
+    std::uint64_t min_decisions) {
+  const int n = resolve_servers(recorder, num_servers);
+  PhaseConcentration result;
+  if (n == 0 || !(t_end > t_begin)) return result;
+  result.uniform_share = 1.0 / static_cast<double>(n);
+
+  // Phase boundaries: board refresh publish times inside the window, with
+  // the window edges closing the first and last phase. Continuous-update
+  // traces have no refresh events; fall back to a fixed grid.
+  std::vector<double> boundaries;
+  boundaries.push_back(t_begin);
+  for (const TraceEvent& event : recorder.events()) {
+    if (event.kind != TraceEventKind::kBoardRefresh) continue;
+    if (event.time > t_begin && event.time < t_end) {
+      boundaries.push_back(event.time);
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  if (boundaries.size() == 1 && fallback_phase_length > 0.0) {
+    for (double b = t_begin + fallback_phase_length; b < t_end;
+         b += fallback_phase_length) {
+      boundaries.push_back(b);
+    }
+  }
+  boundaries.push_back(t_end);
+
+  std::uint64_t weighted_total = 0;
+  double weighted_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const DispatchShare share =
+        compute_dispatch_share(recorder, boundaries[i], boundaries[i + 1], n);
+    if (share.total < min_decisions) continue;
+    const double top = share.top_share();
+    ++result.phases;
+    result.peak = std::max(result.peak, top);
+    weighted_sum += top * static_cast<double>(share.total);
+    weighted_total += share.total;
+  }
+  if (weighted_total > 0) {
+    result.mean = weighted_sum / static_cast<double>(weighted_total);
+  }
+  return result;
+}
+
+}  // namespace stale::obs

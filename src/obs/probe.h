@@ -1,0 +1,74 @@
+// Time-series probes: fixed-interval samplers over a recorded trace.
+//
+// The queueing hooks give every queue-length change an exact timestamp
+// (dispatch +1, departure -1, crash -> 0), so per-server queue-length
+// trajectories are reconstructed by replaying the recorder's time-sorted
+// events and sampling the step functions on a uniform grid — the probe never
+// perturbs the run it measures. Dispatch-share histograms aggregate the
+// decision events, overall and per board phase; the per-phase top-server
+// share ("concentration") is the paper's herd effect made directly visible:
+// under stale greedy dispatch nearly every arrival of a phase lands on the
+// server the stale board shows as minimal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_recorder.h"
+
+namespace stale::obs {
+
+// Per-server queue lengths sampled every `interval` from `t_begin`.
+// samples[k][s] is server s's queue length at time t_begin + k * interval.
+struct QueueTrajectory {
+  double t_begin = 0.0;
+  double interval = 0.0;
+  int num_servers = 0;
+  std::vector<std::vector<int>> samples;
+
+  double time_at(std::size_t k) const {
+    return t_begin + static_cast<double>(k) * interval;
+  }
+};
+
+// Reconstructs the per-server trajectories from `recorder` on the uniform
+// grid [t_begin, t_end]. `num_servers` <= 0 uses the recorder's
+// num_servers_seen(). Throws std::invalid_argument on a non-positive
+// interval or an empty window.
+QueueTrajectory sample_queue_trajectory(const TraceRecorder& recorder,
+                                        double interval, double t_begin,
+                                        double t_end, int num_servers = 0);
+
+// Dispatch-share histogram over the decision events in [t_begin, t_end).
+struct DispatchShare {
+  std::vector<std::uint64_t> counts;  // per server
+  std::uint64_t total = 0;
+
+  // Share of the most-dispatched-to server (0 when no decisions).
+  double top_share() const;
+  // Index of the most-dispatched-to server (-1 when no decisions).
+  int top_server() const;
+};
+
+DispatchShare compute_dispatch_share(const TraceRecorder& recorder,
+                                     double t_begin, double t_end,
+                                     int num_servers = 0);
+
+// Per-phase dispatch concentration. Phases are delimited by board-refresh
+// events when the trace has any (periodic / individual update); otherwise by
+// a fixed grid of `fallback_phase_length` (continuous update, where every
+// request sees its own view). Phases with fewer than `min_decisions`
+// decisions are skipped (concentration over two arrivals is noise).
+struct PhaseConcentration {
+  int phases = 0;              // phases that met min_decisions
+  double peak = 0.0;           // max over phases of top-server share
+  double mean = 0.0;           // decision-weighted mean of top-server share
+  double uniform_share = 0.0;  // 1/n reference line
+};
+
+PhaseConcentration compute_phase_concentration(
+    const TraceRecorder& recorder, double t_begin, double t_end,
+    double fallback_phase_length, int num_servers = 0,
+    std::uint64_t min_decisions = 8);
+
+}  // namespace stale::obs

@@ -1,4 +1,4 @@
-#include "driver/svg_plot.h"
+#include "obs/svg_plot.h"
 
 #include <algorithm>
 #include <cmath>
@@ -6,7 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
-namespace stale::driver {
+namespace stale::obs {
 
 namespace {
 
@@ -257,4 +257,4 @@ std::vector<PlotSeries> parse_sweep_csv(const std::string& text) {
   return series;
 }
 
-}  // namespace stale::driver
+}  // namespace stale::obs

@@ -12,7 +12,7 @@
 #include <utility>
 #include <vector>
 
-namespace stale::driver {
+namespace stale::obs {
 
 struct PlotSeries {
   std::string label;
@@ -42,4 +42,4 @@ std::string render_line_chart(const std::vector<PlotSeries>& series,
 // piped through (the last panel wins unless split upstream).
 std::vector<PlotSeries> parse_sweep_csv(const std::string& text);
 
-}  // namespace stale::driver
+}  // namespace stale::obs

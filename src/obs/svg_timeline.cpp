@@ -1,0 +1,38 @@
+#include "obs/svg_timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/svg_plot.h"
+
+namespace stale::obs {
+
+std::string render_queue_timeline(const QueueTrajectory& trajectory,
+                                  const TimelineOptions& options) {
+  if (trajectory.num_servers == 0 || trajectory.samples.empty()) {
+    throw std::invalid_argument("render_queue_timeline: empty trajectory");
+  }
+  const int shown = options.max_servers > 0
+                        ? std::min(options.max_servers, trajectory.num_servers)
+                        : trajectory.num_servers;
+
+  std::vector<PlotSeries> series(static_cast<std::size_t>(shown));
+  for (int s = 0; s < shown; ++s) {
+    PlotSeries& line = series[static_cast<std::size_t>(s)];
+    line.label = "server " + std::to_string(s);
+    line.points.reserve(trajectory.samples.size());
+    for (std::size_t k = 0; k < trajectory.samples.size(); ++k) {
+      line.points.emplace_back(
+          trajectory.time_at(k),
+          trajectory.samples[k][static_cast<std::size_t>(s)]);
+    }
+  }
+
+  PlotOptions plot;
+  plot.title = options.title;
+  plot.x_label = "time";
+  plot.y_label = "queue length";
+  return render_line_chart(series, plot);
+}
+
+}  // namespace stale::obs

@@ -1,0 +1,23 @@
+// SVG timeline: the sampled per-server queue-length trajectories rendered as
+// one line chart via obs/svg_plot.h. Under a herding policy the per-server
+// lines visibly alternate between spikes and troughs once per update phase;
+// under an interpreted policy they stay interleaved near the mean.
+#pragma once
+
+#include <string>
+
+#include "obs/probe.h"
+
+namespace stale::obs {
+
+struct TimelineOptions {
+  std::string title = "Per-server queue lengths";
+  // Render at most this many servers (first by index); 0 = all. Charts with
+  // dozens of lines are unreadable.
+  int max_servers = 16;
+};
+
+std::string render_queue_timeline(const QueueTrajectory& trajectory,
+                                  const TimelineOptions& options = {});
+
+}  // namespace stale::obs

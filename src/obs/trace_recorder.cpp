@@ -1,0 +1,124 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stale::obs {
+
+const char* trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kKernel:
+      return "kernel";
+    case TraceEventKind::kDispatch:
+      return "dispatch";
+    case TraceEventKind::kDeparture:
+      return "departure";
+    case TraceEventKind::kServerDown:
+      return "server_down";
+    case TraceEventKind::kServerUp:
+      return "server_up";
+    case TraceEventKind::kBoardRefresh:
+      return "board_refresh";
+    case TraceEventKind::kRefreshFault:
+      return "refresh_fault";
+    case TraceEventKind::kDecision:
+      return "decision";
+  }
+  throw std::logic_error("trace_event_kind_name: bad enum");
+}
+
+TraceRecorder::TraceRecorder(const RecorderOptions& options)
+    : options_(options) {}
+
+void TraceRecorder::push(const TraceEvent& event) {
+  events_.push_back(event);
+  max_server_ = std::max(max_server_, static_cast<int>(event.server));
+}
+
+void TraceRecorder::on_kernel_event(double when) {
+  push({when, TraceEventKind::kKernel, -1, 0.0, 0.0, 0});
+}
+
+void TraceRecorder::on_dispatch(double t, int server, double job_size,
+                                int queue_len_after, double departure) {
+  push({t, TraceEventKind::kDispatch, server, job_size, departure,
+        queue_len_after});
+}
+
+void TraceRecorder::on_departure(double t, int server, int queue_len_after) {
+  push({t, TraceEventKind::kDeparture, server, 0.0, 0.0, queue_len_after});
+}
+
+void TraceRecorder::on_server_down(double t, int server, int jobs_displaced) {
+  push({t, TraceEventKind::kServerDown, server, 0.0, 0.0, jobs_displaced});
+}
+
+void TraceRecorder::on_server_up(double t, int server) {
+  push({t, TraceEventKind::kServerUp, server, 0.0, 0.0, 0});
+}
+
+void TraceRecorder::on_board_refresh(double published, double measured,
+                                     std::uint64_t version,
+                                     std::span<const int> loads) {
+  std::int64_t index = -1;
+  if (options_.record_snapshots) {
+    index = static_cast<std::int64_t>(refreshes_.size());
+    refreshes_.push_back({published, measured, version,
+                          std::vector<int>(loads.begin(), loads.end())});
+  }
+  push({published, TraceEventKind::kBoardRefresh, -1, measured,
+        static_cast<double>(version), index});
+}
+
+void TraceRecorder::on_refresh_fault(double t, FaultTraceEvent kind,
+                                     int server) {
+  push({t, TraceEventKind::kRefreshFault, server, 0.0, 0.0,
+        static_cast<std::int64_t>(kind)});
+}
+
+void TraceRecorder::on_probabilities(std::span<const double> p) {
+  ++probability_builds_;
+  if (!options_.record_probabilities) return;
+  last_probability_index_ = static_cast<std::int64_t>(
+      probability_vectors_.size());
+  probability_vectors_.emplace_back(p.begin(), p.end());
+}
+
+void TraceRecorder::on_decision(double t, int server, double info_age) {
+  push({t, TraceEventKind::kDecision, server, info_age, 0.0,
+        last_probability_index_});
+}
+
+std::vector<TraceEvent> TraceRecorder::events_by_time() const {
+  std::vector<TraceEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  return sorted;
+}
+
+std::uint64_t TraceRecorder::count(TraceEventKind kind) const {
+  std::uint64_t total = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == kind) ++total;
+  }
+  return total;
+}
+
+double TraceRecorder::end_time() const {
+  double end = 0.0;
+  for (const TraceEvent& event : events_) end = std::max(end, event.time);
+  return end;
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  refreshes_.clear();
+  probability_vectors_.clear();
+  last_probability_index_ = -1;
+  probability_builds_ = 0;
+  max_server_ = -1;
+}
+
+}  // namespace stale::obs

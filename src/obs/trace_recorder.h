@@ -1,0 +1,124 @@
+// In-memory trace recorder: the standard TraceSink implementation.
+//
+// Events are appended to flat vectors (one amortized push_back per hook, no
+// per-event allocation beyond vector growth), so recording a reduced-size
+// trial costs a few MB and a few ns per event. Board snapshots and
+// probability vectors are stored out of line; each event references them by
+// index. The recorder is post-processed by the probes (obs/probe.h), the
+// herd detector (obs/herd.h), and the exporters (obs/export_csv.h,
+// obs/chrome_trace.h, obs/svg_timeline.h).
+//
+// Hook emission order follows the cluster's deterministic server sweep, not
+// global time order: Cluster::advance_to retires server 0's departures up to
+// t before server 1's. events_by_time() produces the time-sorted view the
+// replay-based probes need (stable, so same-time events keep their
+// deterministic emission order).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace stale::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kKernel,
+  kDispatch,
+  kDeparture,
+  kServerDown,
+  kServerUp,
+  kBoardRefresh,
+  kRefreshFault,
+  kDecision,
+};
+
+// One trace record. Field meaning depends on kind:
+//   kDispatch:     a = job size, b = departure time, c = queue length after
+//   kDeparture:    c = queue length after
+//   kServerDown:   c = jobs displaced
+//   kBoardRefresh: a = measured-at time, c = snapshot index (refreshes())
+//   kRefreshFault: c = FaultTraceEvent
+//   kDecision:     a = info age, c = probability-vector index (-1 = none)
+struct TraceEvent {
+  double time = 0.0;
+  TraceEventKind kind = TraceEventKind::kKernel;
+  std::int32_t server = -1;
+  double a = 0.0;
+  double b = 0.0;
+  std::int64_t c = 0;
+};
+
+const char* trace_event_kind_name(TraceEventKind kind);
+
+struct BoardRefresh {
+  double published = 0.0;
+  double measured = 0.0;
+  std::uint64_t version = 0;
+  std::vector<int> loads;
+};
+
+struct RecorderOptions {
+  // Keep a copy of every probability vector policies report. Costs
+  // O(decisions * n) doubles for per-request-rebuilding models; turn off for
+  // long traced runs where only the queue trajectories matter.
+  bool record_probabilities = true;
+  // Keep full board snapshots (the per-refresh load vectors).
+  bool record_snapshots = true;
+};
+
+class TraceRecorder final : public TraceSink {
+ public:
+  TraceRecorder() = default;
+  explicit TraceRecorder(const RecorderOptions& options);
+
+  // TraceSink:
+  void on_kernel_event(double when) override;
+  void on_dispatch(double t, int server, double job_size, int queue_len_after,
+                   double departure) override;
+  void on_departure(double t, int server, int queue_len_after) override;
+  void on_server_down(double t, int server, int jobs_displaced) override;
+  void on_server_up(double t, int server) override;
+  void on_board_refresh(double published, double measured,
+                        std::uint64_t version,
+                        std::span<const int> loads) override;
+  void on_refresh_fault(double t, FaultTraceEvent kind, int server) override;
+  void on_probabilities(std::span<const double> p) override;
+  void on_decision(double t, int server, double info_age) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<BoardRefresh>& refreshes() const { return refreshes_; }
+  const std::vector<std::vector<double>>& probability_vectors() const {
+    return probability_vectors_;
+  }
+
+  // Events stably sorted by time (computed on demand; see header comment).
+  std::vector<TraceEvent> events_by_time() const;
+
+  // Convenience tallies.
+  std::uint64_t count(TraceEventKind kind) const;
+  double end_time() const;  // max event time (0 when empty)
+
+  // Largest server index seen plus one (0 when no server-bearing events).
+  int num_servers_seen() const { return max_server_ + 1; }
+
+  // How many probability vectors policies reported (counted even when
+  // record_probabilities is off).
+  std::uint64_t probability_builds() const { return probability_builds_; }
+
+  void clear();
+
+ private:
+  void push(const TraceEvent& event);
+
+  RecorderOptions options_;
+  std::vector<TraceEvent> events_;
+  std::vector<BoardRefresh> refreshes_;
+  std::vector<std::vector<double>> probability_vectors_;
+  std::int64_t last_probability_index_ = -1;
+  std::uint64_t probability_builds_ = 0;
+  int max_server_ = -1;
+};
+
+}  // namespace stale::obs

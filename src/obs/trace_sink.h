@@ -1,0 +1,117 @@
+// Trace sink: the observability layer's hook interface (DESIGN.md §12).
+//
+// Every simulation layer holds a nullable `TraceSink*` and fires a virtual
+// hook at each observable transition — dispatches, departures, board
+// refreshes, probability-vector builds, fault events. With the pointer null
+// (the default everywhere) each hook site is a single predictable branch, so
+// trace-off runs pay nothing measurable; with a sink attached the callbacks
+// fire synchronously on the simulation thread.
+//
+// Contract (machine-checked by tests/concurrency/trace_determinism_test.cpp):
+// a sink is a pure observer. Implementations must not mutate simulation
+// state, must not draw from any sim::Rng, and must not throw — a traced run
+// produces bit-identical results to an untraced one. Sinks are not
+// synchronized; parallel trial runners must hand each trial its own sink.
+//
+// This header sits at the bottom of the include DAG (obs depends only on
+// check) precisely so that sim, queueing, loadinfo, policy, fault, and
+// driver can all compile hooks in without layering violations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace stale::obs {
+
+// Degraded-information events surfaced by the fault layer through the boards
+// and the driver. kRefreshLost/kRefreshDelayed carry the affected server
+// index, or -1 when the whole board's refresh was degraded.
+enum class FaultTraceEvent : std::uint8_t {
+  kRefreshLost,
+  kRefreshDelayed,
+  kEstimatorDrop,
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // --- sim kernel (general DES engine) -----------------------------------
+  // An event fired at simulated time `when`.
+  virtual void on_kernel_event(double when) { static_cast<void>(when); }
+
+  // --- queueing -----------------------------------------------------------
+  // A job of `job_size` entered `server`'s queue at time `t`; the queue now
+  // holds `queue_len_after` jobs and the job will depart at `departure`
+  // (exact under FIFO, invalidated only by a later crash).
+  virtual void on_dispatch(double t, int server, double job_size,
+                           int queue_len_after, double departure) {
+    static_cast<void>(t);
+    static_cast<void>(server);
+    static_cast<void>(job_size);
+    static_cast<void>(queue_len_after);
+    static_cast<void>(departure);
+  }
+
+  // A job finished service at `server` at time `t`.
+  virtual void on_departure(double t, int server, int queue_len_after) {
+    static_cast<void>(t);
+    static_cast<void>(server);
+    static_cast<void>(queue_len_after);
+  }
+
+  // `server` crashed at `t`, displacing `jobs_displaced` queued jobs.
+  virtual void on_server_down(double t, int server, int jobs_displaced) {
+    static_cast<void>(t);
+    static_cast<void>(server);
+    static_cast<void>(jobs_displaced);
+  }
+
+  // `server` came back (empty) at `t`.
+  virtual void on_server_up(double t, int server) {
+    static_cast<void>(t);
+    static_cast<void>(server);
+  }
+
+  // --- loadinfo -----------------------------------------------------------
+  // A load-information refresh became visible at `published`, carrying queue
+  // lengths measured at `measured` (the staleness the dispatcher acts on is
+  // "now - measured"). `loads` is the full visible snapshot.
+  virtual void on_board_refresh(double published, double measured,
+                                std::uint64_t version,
+                                std::span<const int> loads) {
+    static_cast<void>(published);
+    static_cast<void>(measured);
+    static_cast<void>(version);
+    static_cast<void>(loads);
+  }
+
+  // A refresh was degraded by the fault layer (lost or delayed), or an
+  // arrival sample never reached the rate estimator.
+  virtual void on_refresh_fault(double t, FaultTraceEvent kind, int server) {
+    static_cast<void>(t);
+    static_cast<void>(kind);
+    static_cast<void>(server);
+  }
+
+  // --- policy -------------------------------------------------------------
+  // The probability vector the next decision(s) sample from, reported when a
+  // policy (re)builds it — once per phase for cached periodic-update
+  // policies, per request for the continuous models. Policies that pick
+  // directly (random, k-subset, threshold) report nothing; their choice is
+  // still visible through on_decision.
+  virtual void on_probabilities(std::span<const double> p) {
+    static_cast<void>(p);
+  }
+
+  // --- driver -------------------------------------------------------------
+  // The dispatch decision for the arrival at time `t`: the policy chose
+  // `server` acting on information of age `info_age`.
+  virtual void on_decision(double t, int server, double info_age) {
+    static_cast<void>(t);
+    static_cast<void>(server);
+    static_cast<void>(info_age);
+  }
+};
+
+}  // namespace stale::obs

@@ -5,6 +5,28 @@
 
 namespace stale::policy {
 
+namespace {
+
+// Cold path, kept out of select() so the vector-building machinery does not
+// weigh on the untraced hot loop: materializes the uniform-over-group
+// probability vector the schedule walk implies and hands it to the sink.
+// `denom` is the number of eligible group members; when `alive_only` is set,
+// known-dead members get probability 0.
+[[gnu::noinline]] void trace_implied_group(const DispatchContext& context,
+                                           const core::AggressiveSchedule& s,
+                                           int group, std::uint64_t denom,
+                                           bool alive_only) {
+  std::vector<double> p(context.loads.size(), 0.0);
+  for (int i = 0; i < group; ++i) {
+    const int server = s.order[static_cast<std::size_t>(i)];
+    if (alive_only && context.known_dead(server)) continue;
+    p[static_cast<std::size_t>(server)] = 1.0 / static_cast<double>(denom);
+  }
+  context.trace_probabilities(p);
+}
+
+}  // namespace
+
 int AggressiveLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
   if (context.loads.empty()) {
     throw std::invalid_argument("AggressiveLiPolicy: empty load vector");
@@ -26,6 +48,12 @@ int AggressiveLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
                                                             jobs_elapsed);
   if (context.alive.empty()) {
     // Uniform over the `group` least-loaded servers (non-fault fast path).
+    // The implied per-server probability vector is materialized only for the
+    // trace sink; the pick itself never touches it.
+    if (context.trace != nullptr) {
+      trace_implied_group(context, *schedule_, group,
+                          static_cast<std::uint64_t>(group), false);
+    }
     const auto pick = rng.next_below(static_cast<std::uint64_t>(group));
     return schedule_->order[static_cast<std::size_t>(pick)];
   }
@@ -39,6 +67,9 @@ int AggressiveLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
   if (alive_in_group == 0) {
     context.count_sanitize_event();
     return pick_uniform_alive(context.alive, context.loads.size(), rng);
+  }
+  if (context.trace != nullptr) {
+    trace_implied_group(context, *schedule_, group, alive_in_group, true);
   }
   std::uint64_t pick = rng.next_below(alive_in_group);
   for (int i = 0; i < group; ++i) {

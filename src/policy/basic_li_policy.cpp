@@ -20,6 +20,7 @@ int BasicLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
     if (repaired) context.count_sanitize_event();
     STALE_AUDIT(
         check::audit_dispatch_weights(p, !repaired, "BasicLiPolicy::select"));
+    context.trace_probabilities(p);
     sampler_.emplace(std::span<const double>(p));
     cached_version_ = context.info_version;
     cached_arrivals_ = expected_arrivals;

@@ -22,6 +22,7 @@ int HybridLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
     if (repaired) context.count_sanitize_event();
     STALE_AUDIT(
         check::audit_dispatch_weights(p, !repaired, "HybridLiPolicy::select"));
+    context.trace_probabilities(p);
     first_sampler_.emplace(std::span<const double>(p));
     cached_version_ = context.info_version;
   }

@@ -49,6 +49,7 @@ int LiSubsetPolicy::select(const DispatchContext& context, sim::Rng& rng) {
   if (repaired) context.count_sanitize_event();
   STALE_AUDIT(
       check::audit_dispatch_weights(p, !repaired, "LiSubsetPolicy::select"));
+  context.trace_probabilities(p);
   const core::DiscreteSampler sampler{std::span<const double>(p)};
   return indices_[static_cast<std::size_t>(sampler.sample(rng))];
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_sink.h"
 #include "sim/rng.h"
 
 namespace stale::policy {
@@ -52,6 +53,16 @@ struct DispatchContext {
   // probability vector or fall back to uniform-over-alive (fault runs tally
   // this into FaultStats::sanitizer_fixes).
   std::uint64_t* sanitize_events = nullptr;
+
+  // Trace sink (obs/trace_sink.h), null when tracing is off. Probabilistic
+  // policies report the vector they are about to sample from via
+  // trace_probabilities() whenever they (re)build it; sinks are pure
+  // observers, so tracing never changes which server is picked.
+  obs::TraceSink* trace = nullptr;
+
+  void trace_probabilities(std::span<const double> p) const {
+    if (trace != nullptr) trace->on_probabilities(p);
+  }
 
   bool periodic() const { return phase_length > 0.0; }
 

@@ -92,6 +92,12 @@ void Cluster::drain_completions(std::vector<CompletedJob>& out) {
   }
 }
 
+void Cluster::set_trace_sink(obs::TraceSink* sink) {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i].set_trace(sink, static_cast<int>(i));
+  }
+}
+
 double Cluster::latest_pending_departure() const {
   double latest = advanced_time_;
   for (const FifoServer& server : servers_) {

@@ -73,6 +73,10 @@ class Cluster {
   // advancing to this instant retires every dispatched job.
   double latest_pending_departure() const;
 
+  // Attaches `sink` to every server (each reporting its own index). Sinks
+  // are pure observers; nullptr detaches.
+  void set_trace_sink(obs::TraceSink* sink);
+
  private:
   std::vector<FifoServer> servers_;
   std::vector<int> loads_;

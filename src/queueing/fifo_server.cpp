@@ -77,6 +77,7 @@ void FifoServer::advance_to(double t) {
       meta_.pop_front();
     }
     record(dep, length());
+    if (trace_) trace_->on_departure(dep, trace_index_, length());
     if (departures_.empty()) {
       busy_accum_ += dep - busy_since_;
       busy_since_ = -1.0;
@@ -102,6 +103,7 @@ double FifoServer::assign(double t, double size) {
   if (departures_.empty()) busy_since_ = t;
   departures_.push_back(departure);
   record(t, length());
+  if (trace_) trace_->on_dispatch(t, trace_index_, size, length(), departure);
   STALE_AUDIT(audit_server(departures_, advanced_time_, track_jobs_,
                            meta_.size()));
   return departure;
@@ -123,6 +125,7 @@ double FifoServer::assign_tagged(double t, double size, std::uint64_t tag,
   departures_.push_back(departure);
   meta_.push_back({tag, size, born});
   record(t, length());
+  if (trace_) trace_->on_dispatch(t, trace_index_, size, length(), departure);
   STALE_AUDIT(audit_server(departures_, advanced_time_, track_jobs_,
                            meta_.size()));
   return departure;
@@ -144,6 +147,9 @@ void FifoServer::crash(double t, std::vector<DisplacedJob>& displaced) {
     throw std::logic_error("FifoServer::crash: server already down");
   }
   advance_to(t);
+  if (trace_) {
+    trace_->on_server_down(t, trace_index_, static_cast<int>(meta_.size()));
+  }
   for (const JobMeta& meta : meta_) {
     displaced.push_back({meta.tag, meta.size, meta.born});
   }
@@ -165,6 +171,7 @@ void FifoServer::recover(double t) {
   }
   advance_to(t);
   up_ = true;
+  if (trace_) trace_->on_server_up(t, trace_index_);
 }
 
 int FifoServer::length_at(double t) const {

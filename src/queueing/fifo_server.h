@@ -25,6 +25,8 @@
 #include <deque>
 #include <vector>
 
+#include "obs/trace_sink.h"
+
 namespace stale::queueing {
 
 // A job that finished service; emitted only when job tracking is enabled.
@@ -109,6 +111,16 @@ class FifoServer {
     return departures_.empty() ? advanced_time_ : departures_.back();
   }
 
+  // --- observability -------------------------------------------------------
+
+  // Attaches a trace sink reporting this server as `index`. Sinks are pure
+  // observers (obs/trace_sink.h): attaching one never changes simulated
+  // behaviour. Pass nullptr to detach.
+  void set_trace(obs::TraceSink* sink, int index) {
+    trace_ = sink;
+    trace_index_ = index;
+  }
+
  private:
   struct JobMeta {
     std::uint64_t tag;
@@ -139,6 +151,10 @@ class FifoServer {
   bool up_ = true;
   std::deque<JobMeta> meta_;
   std::vector<CompletedJob> completions_;
+
+  // Trace hooks (null when tracing is off; one predictable branch per site).
+  obs::TraceSink* trace_ = nullptr;
+  int trace_index_ = -1;
 };
 
 }  // namespace stale::queueing

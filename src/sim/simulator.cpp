@@ -153,6 +153,7 @@ bool Simulator::fire_next(const double* limit) {
   EventFn fn = std::move(slots_[top.slot].fn);
   release_slot(top.slot);  // before the callback, so it can reuse the slot
   now_ = top.when;
+  if (trace_) trace_->on_kernel_event(top.when);
   fn(*this);
   return true;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "check/contracts.h"
+#include "obs/trace_sink.h"
 #include "sim/event_callback.h"
 
 namespace stale::sim {
@@ -65,6 +66,10 @@ class Simulator {
   bool step();
 
   std::size_t pending() const { return live_events_; }
+
+  // Attaches a trace sink notified (on_kernel_event) as each event fires.
+  // Sinks are pure observers (obs/trace_sink.h); nullptr detaches.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
  private:
   struct Entry {
@@ -111,6 +116,7 @@ class Simulator {
   void audit_heap_order() const;
 #endif
 
+  obs::TraceSink* trace_ = nullptr;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::size_t live_events_ = 0;

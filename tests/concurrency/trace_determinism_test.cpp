@@ -1,0 +1,153 @@
+// The observability contract (ISSUE 4): attaching a trace sink never changes
+// a result. Sinks are pure observers — no RNG draws, no simulation-state
+// mutation — so for every policy x staleness model the traced run must be
+// bit-identical to the untraced one, including under parallel trials where
+// each worker thread feeds its own per-trial recorder (this binary runs
+// under TSan in CI, so sink hook data races would also be caught here).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "obs/trace_recorder.h"
+
+namespace stale::driver {
+namespace {
+
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in their bit patterns";
+}
+
+using PolicyModelCase = std::pair<std::string, UpdateModel>;
+
+ExperimentConfig traced_case_config(const PolicyModelCase& c) {
+  ExperimentConfig config;
+  config.model = c.second;
+  config.policy = c.first;
+  config.num_servers = 8;
+  config.lambda = 0.9;
+  config.update_interval = 4.0;
+  config.num_jobs = 5'000;
+  config.warmup_jobs = 1'000;
+  config.trials = 6;
+  return config;
+}
+
+class TraceDeterminismTest
+    : public ::testing::TestWithParam<PolicyModelCase> {};
+
+TEST_P(TraceDeterminismTest, TracedRunBitIdenticalToUntraced) {
+  ExperimentConfig config = traced_case_config(GetParam());
+  config.jobs = 8;  // worker threads; each trial gets its own recorder
+
+  const ExperimentResult untraced = run_experiment(config);
+
+  std::vector<std::unique_ptr<obs::TraceRecorder>> recorders;
+  std::mutex recorders_mutex;
+  config.trace_sink_for_trial = [&](int) -> obs::TraceSink* {
+    const std::lock_guard<std::mutex> lock(recorders_mutex);
+    recorders.push_back(std::make_unique<obs::TraceRecorder>());
+    return recorders.back().get();
+  };
+  const ExperimentResult traced = run_experiment(config);
+
+  ASSERT_EQ(untraced.trial_means.size(), traced.trial_means.size());
+  for (std::size_t i = 0; i < untraced.trial_means.size(); ++i) {
+    EXPECT_TRUE(bits_equal(untraced.trial_means[i], traced.trial_means[i]))
+        << "trial " << i;
+  }
+  EXPECT_TRUE(bits_equal(untraced.mean(), traced.mean()));
+  EXPECT_TRUE(bits_equal(untraced.ci90(), traced.ci90()));
+
+  // The sinks actually observed the runs: every trial recorded every
+  // dispatch (one kDispatch and one kDecision per job).
+  ASSERT_EQ(recorders.size(), static_cast<std::size_t>(config.trials));
+  for (const auto& recorder : recorders) {
+    EXPECT_EQ(recorder->count(obs::TraceEventKind::kDispatch),
+              config.num_jobs);
+    EXPECT_EQ(recorder->count(obs::TraceEventKind::kDecision),
+              config.num_jobs);
+  }
+}
+
+std::vector<PolicyModelCase> all_cases() {
+  const std::vector<std::string> policies = {
+      "random", "k_subset:2", "k_subset:8", "basic_li", "aggressive_li",
+      "hybrid_li", "basic_li_k:2"};
+  const std::vector<UpdateModel> models = {
+      UpdateModel::kPeriodic, UpdateModel::kContinuous,
+      UpdateModel::kUpdateOnAccess, UpdateModel::kIndividual};
+  std::vector<PolicyModelCase> cases;
+  for (const UpdateModel model : models) {
+    for (const std::string& policy : policies) {
+      cases.push_back({policy, model});
+    }
+  }
+  return cases;
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<PolicyModelCase>& info) {
+  std::string name =
+      info.param.first + "_" + update_model_name(info.param.second);
+  for (char& c : name) {
+    if (c == ':' || c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAllModels, TraceDeterminismTest,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// The fault path has its own trace hooks (refresh loss/delay, estimator
+// drops, crash/recover) threaded around RNG draws — the riskiest place for
+// an accidental perturbation, so it gets its own bit-identity check.
+TEST(TraceFaultDeterminismTest, TracedFaultRunBitIdenticalToUntraced) {
+  ExperimentConfig config =
+      traced_case_config({"basic_li", UpdateModel::kPeriodic});
+  config.fault = fault::FaultSpec::parse(
+      "crash=0.01,down=2,semantics=requeue,loss=0.2,delay=0.5,estdrop=0.1,"
+      "cutoff=2T");
+  config.rate_estimator = "ewma:50";
+  config.jobs = 8;
+
+  const ExperimentResult untraced = run_experiment(config);
+
+  std::vector<std::unique_ptr<obs::TraceRecorder>> recorders;
+  std::mutex recorders_mutex;
+  config.trace_sink_for_trial = [&](int) -> obs::TraceSink* {
+    const std::lock_guard<std::mutex> lock(recorders_mutex);
+    recorders.push_back(std::make_unique<obs::TraceRecorder>());
+    return recorders.back().get();
+  };
+  const ExperimentResult traced = run_experiment(config);
+
+  ASSERT_EQ(untraced.trial_means.size(), traced.trial_means.size());
+  for (std::size_t i = 0; i < untraced.trial_means.size(); ++i) {
+    EXPECT_TRUE(bits_equal(untraced.trial_means[i], traced.trial_means[i]))
+        << "trial " << i;
+  }
+  EXPECT_EQ(untraced.faults, traced.faults);
+
+  // Fault events made it into the trace.
+  std::uint64_t fault_events = 0;
+  std::uint64_t downs = 0;
+  for (const auto& recorder : recorders) {
+    fault_events += recorder->count(obs::TraceEventKind::kRefreshFault);
+    downs += recorder->count(obs::TraceEventKind::kServerDown);
+  }
+  EXPECT_GT(fault_events, 0u);
+  EXPECT_GT(downs, 0u);
+}
+
+}  // namespace
+}  // namespace stale::driver

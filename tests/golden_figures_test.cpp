@@ -1,0 +1,164 @@
+// Golden statistical regression tests (ISSUE 4): fixed-seed reduced-size
+// versions of the paper's key figures, asserting the mean response per
+// policy stays within a tight tolerance of committed values. A behavioural
+// change anywhere in the stack — RNG, queueing, boards, policies, driver —
+// moves these numbers; herd-sized effects move them by 2x or more, while the
+// tolerance absorbs cross-platform libm drift.
+//
+// To regenerate after an *intentional* change:
+//   STALELOAD_REGEN_GOLDEN=1 ./build/tests/staleload_golden_tests
+// which rewrites tests/golden/*.csv in place; commit the diff with the
+// change that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace stale::driver {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x601DE2ULL;
+
+struct GoldenRow {
+  std::string policy;
+  double t = 0.0;
+  double mean_response = 0.0;
+};
+
+std::string golden_path(const std::string& figure) {
+  return std::string(GOLDEN_DIR) + "/" + figure + ".csv";
+}
+
+std::vector<GoldenRow> load_golden(const std::string& figure) {
+  std::ifstream in(golden_path(figure));
+  std::vector<GoldenRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line.rfind("policy,", 0) == 0) {
+      continue;
+    }
+    std::istringstream cells(line);
+    GoldenRow row;
+    std::string t_cell, mean_cell;
+    if (std::getline(cells, row.policy, ',') &&
+        std::getline(cells, t_cell, ',') && std::getline(cells, mean_cell)) {
+      row.t = std::stod(t_cell);
+      row.mean_response = std::stod(mean_cell);
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+std::string to_csv(const std::vector<GoldenRow>& rows) {
+  std::ostringstream out;
+  out << "policy,T,mean_response\n";
+  out.precision(10);
+  for (const GoldenRow& row : rows) {
+    out << row.policy << ',' << row.t << ',' << row.mean_response << '\n';
+  }
+  return out.str();
+}
+
+std::vector<GoldenRow> run_figure(ExperimentConfig base,
+                                  const std::vector<double>& t_values,
+                                  const std::vector<std::string>& policies) {
+  std::vector<GoldenRow> rows;
+  for (double t : t_values) {
+    for (const std::string& policy : policies) {
+      ExperimentConfig config = base;
+      config.update_interval = t;
+      config.policy = policy;
+      config.base_seed = kSeed;
+      const ExperimentResult result = run_experiment(config);
+      rows.push_back({policy, t, result.mean()});
+    }
+  }
+  return rows;
+}
+
+// Compares measured against committed within 2% relative (+0.02 absolute to
+// keep tiny means from over-tightening), or rewrites the golden file when
+// STALELOAD_REGEN_GOLDEN is set.
+void check_against_golden(const std::string& figure,
+                          const std::vector<GoldenRow>& measured) {
+  if (std::getenv("STALELOAD_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(figure));
+    out << "# Regenerate: STALELOAD_REGEN_GOLDEN=1 ./staleload_golden_tests\n"
+        << to_csv(measured);
+    GTEST_SKIP() << "regenerated " << golden_path(figure);
+  }
+  const std::vector<GoldenRow> golden = load_golden(figure);
+  ASSERT_FALSE(golden.empty())
+      << "missing or empty golden file " << golden_path(figure)
+      << "; regenerate with STALELOAD_REGEN_GOLDEN=1";
+  ASSERT_EQ(golden.size(), measured.size())
+      << "figure shape changed; measured values:\n"
+      << to_csv(measured);
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(measured[i].policy, golden[i].policy) << "row " << i;
+    EXPECT_DOUBLE_EQ(measured[i].t, golden[i].t) << "row " << i;
+    const double tolerance = 0.02 * golden[i].mean_response + 0.02;
+    EXPECT_NEAR(measured[i].mean_response, golden[i].mean_response, tolerance)
+        << "policy " << golden[i].policy << " at T=" << golden[i].t
+        << " drifted; full measured table (regenerate only if the change is "
+           "intentional):\n"
+        << to_csv(measured);
+  }
+}
+
+const std::vector<std::string>& figure_policies() {
+  static const std::vector<std::string> kPolicies = {
+      "random", "k_subset:2", "k_subset:10", "basic_li", "aggressive_li"};
+  return kPolicies;
+}
+
+TEST(GoldenFigureTest, Fig02PeriodicUpdate) {
+  ExperimentConfig base;
+  base.num_servers = 10;
+  base.lambda = 0.9;
+  base.model = UpdateModel::kPeriodic;
+  base.num_jobs = 30'000;
+  base.warmup_jobs = 6'000;
+  base.trials = 3;
+  check_against_golden(
+      "fig02_periodic",
+      run_figure(base, {1.0, 8.0}, figure_policies()));
+}
+
+TEST(GoldenFigureTest, Fig06ContinuousUpdate) {
+  ExperimentConfig base;
+  base.num_servers = 10;
+  base.lambda = 0.9;
+  base.model = UpdateModel::kContinuous;
+  base.delay_kind = loadinfo::DelayKind::kExponential;
+  base.know_actual_age = false;
+  base.num_jobs = 30'000;
+  base.warmup_jobs = 6'000;
+  base.trials = 3;
+  check_against_golden(
+      "fig06_continuous",
+      run_figure(base, {1.0, 8.0}, figure_policies()));
+}
+
+TEST(GoldenFigureTest, Fig08UpdateOnAccess) {
+  ExperimentConfig base;
+  base.num_servers = 10;
+  base.lambda = 0.9;
+  base.model = UpdateModel::kUpdateOnAccess;
+  base.num_jobs = 24'000;
+  base.warmup_jobs = 5'000;
+  base.trials = 3;
+  check_against_golden(
+      "fig08_update_on_access",
+      run_figure(base, {1.0, 8.0}, figure_policies()));
+}
+
+}  // namespace
+}  // namespace stale::driver

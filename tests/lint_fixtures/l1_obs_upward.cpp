@@ -1,0 +1,8 @@
+// Lint fixture: scanned under src/obs/fixture.cpp. obs sits just above
+// check — a sink observing simulation structs directly would invert the
+// layering (everything above includes obs, not vice versa); one L1 finding
+// expected.
+#include "check/contracts.h"
+#include "driver/experiment.h"
+
+int width() { return 0; }

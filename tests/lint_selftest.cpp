@@ -66,7 +66,9 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"h2_using_namespace.h", "src/core/fixture2.h",
                     "staleload-h2-using-namespace"},
         FixtureCase{"h3_todo.cpp", "src/driver/fixture.cpp",
-                    "staleload-h3-todo-ref"}),
+                    "staleload-h3-todo-ref"},
+        FixtureCase{"l1_obs_upward.cpp", "src/obs/fixture.cpp",
+                    "staleload-l1-layering"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.fixture;
       for (char& c : name) {
@@ -156,6 +158,28 @@ TEST(LintLayeringTest, DagMatchesTheDeclaredArchitecture) {
   ASSERT_EQ(unknown.size(), 1u);
   EXPECT_EQ(unknown[0].rule, "staleload-l1-layering")
       << "a new src/ module must be declared in the layer DAG";
+}
+
+TEST(LintLayeringTest, ObsIsIncludableFromEverySimulationLayer) {
+  // obs sits just above check so compiled-in trace hooks never violate the
+  // DAG; obs itself may reach only check (and is covered by the D rules, so
+  // sinks cannot smuggle in nondeterminism).
+  for (const char* module : {"sim", "queueing", "loadinfo", "policy", "fault",
+                             "driver"}) {
+    const std::string path = std::string("src/") + module + "/x.cpp";
+    EXPECT_TRUE(scan_file(path, "#include \"obs/trace_sink.h\"\n").empty())
+        << module << " must be allowed to include obs";
+  }
+  EXPECT_TRUE(
+      scan_file("src/obs/x.cpp", "#include \"check/contracts.h\"\n").empty());
+  const std::vector<Finding> up_edge =
+      scan_file("src/obs/x.cpp", "#include \"queueing/cluster.h\"\n");
+  ASSERT_EQ(up_edge.size(), 1u);
+  EXPECT_EQ(up_edge[0].rule, "staleload-l1-layering");
+  // obs is inside the determinism scopes: a sink writing files or reading
+  // clocks would perturb traced runs.
+  EXPECT_FALSE(scan_file("src/obs/x.cpp", "std::ofstream out(path);\n")
+                   .empty());
 }
 
 TEST(LintJsonTest, EscapesAndShapesFindings) {

@@ -1,0 +1,112 @@
+// ResponseMetrics: the warmup-discarding accumulator both trial paths feed.
+// record() applies warmup by call order (serial path: completions arrive in
+// arrival order); record_indexed() applies it by arrival index (fault path:
+// crashes and requeues reorder completions). The two must agree on any
+// permutation of the same jobs.
+#include "queueing/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace stale::queueing {
+namespace {
+
+TEST(ResponseMetricsTest, RecordDiscardsWarmupByCallOrder) {
+  ResponseMetrics metrics(2);
+  metrics.record(10.0);
+  metrics.record(20.0);
+  metrics.record(3.0);
+  metrics.record(5.0);
+  EXPECT_EQ(metrics.total_jobs(), 4u);
+  EXPECT_EQ(metrics.measured_jobs(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.mean_response(), 4.0);
+}
+
+TEST(ResponseMetricsTest, RecordIndexedAppliesWarmupByIndexNotCallOrder) {
+  // Completions arrive wildly out of order; only indices >= warmup count.
+  ResponseMetrics metrics(3);
+  metrics.record_indexed(4, 8.0);   // measured
+  metrics.record_indexed(0, 100.0); // warmup despite arriving late
+  metrics.record_indexed(3, 2.0);   // measured
+  metrics.record_indexed(2, 100.0); // warmup
+  metrics.record_indexed(1, 100.0); // warmup
+  EXPECT_EQ(metrics.total_jobs(), 5u);
+  EXPECT_EQ(metrics.measured_jobs(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.mean_response(), 5.0);
+}
+
+TEST(ResponseMetricsTest, RecordIndexedCountsDuplicateIndicesEachTime) {
+  // Current contract: the metrics layer does not deduplicate — each reported
+  // completion counts. Deduplication is the caller's job (the fault driver
+  // reports each tag exactly once: a requeued job completes once).
+  ResponseMetrics metrics(1);
+  metrics.record_indexed(5, 4.0);
+  metrics.record_indexed(5, 6.0);
+  EXPECT_EQ(metrics.total_jobs(), 2u);
+  EXPECT_EQ(metrics.measured_jobs(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.mean_response(), 5.0);
+}
+
+TEST(ResponseMetricsTest, AllWarmupRunReportsZeroMeasured) {
+  ResponseMetrics by_order(10);
+  ResponseMetrics by_index(10);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    by_order.record(1.0 + static_cast<double>(i));
+    by_index.record_indexed(i, 1.0 + static_cast<double>(i));
+  }
+  for (const ResponseMetrics* m : {&by_order, &by_index}) {
+    EXPECT_EQ(m->total_jobs(), 10u);
+    EXPECT_EQ(m->measured_jobs(), 0u);
+    EXPECT_DOUBLE_EQ(m->mean_response(), 0.0);
+  }
+}
+
+TEST(ResponseMetricsTest, IndexedAgreesWithSerialOnShuffledPermutation) {
+  constexpr std::uint64_t kJobs = 2000;
+  constexpr std::uint64_t kWarmup = 500;
+  sim::Rng rng(0xC0FFEEULL);
+  std::vector<double> responses(kJobs);
+  for (double& r : responses) r = rng.next_double() * 10.0;
+
+  ResponseMetrics serial(kWarmup, /*keep_samples=*/true);
+  for (double r : responses) serial.record(r);
+
+  std::vector<std::uint64_t> order(kJobs);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = kJobs - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+  ResponseMetrics indexed(kWarmup, /*keep_samples=*/true);
+  for (std::uint64_t idx : order) indexed.record_indexed(idx, responses[idx]);
+
+  EXPECT_EQ(indexed.total_jobs(), serial.total_jobs());
+  EXPECT_EQ(indexed.measured_jobs(), serial.measured_jobs());
+  // Welford accumulation is order-sensitive in the last bits; the means must
+  // agree to well beyond statistical meaning but not bit-exactly.
+  EXPECT_NEAR(indexed.mean_response(), serial.mean_response(), 1e-12);
+  EXPECT_NEAR(indexed.stats().stddev(), serial.stats().stddev(), 1e-12);
+  // Same multiset of retained samples.
+  std::vector<double> a = serial.samples();
+  std::vector<double> b = indexed.samples();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ResponseMetricsTest, ZeroWarmupMeasuresEverything) {
+  ResponseMetrics metrics(0);
+  metrics.record_indexed(0, 2.0);
+  metrics.record_indexed(1, 4.0);
+  EXPECT_EQ(metrics.measured_jobs(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.mean_response(), 3.0);
+}
+
+}  // namespace
+}  // namespace stale::queueing

@@ -1,0 +1,297 @@
+// The obs layer's recorder, probes, and exporters, over both hand-built
+// event sequences (exact expectations) and a real traced trial (structural
+// invariants: every arrival leaves a dispatch and a decision, queue algebra
+// balances).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "driver/trace_support.h"
+#include "obs/chrome_trace.h"
+#include "obs/export_csv.h"
+#include "obs/herd.h"
+#include "obs/probe.h"
+#include "obs/svg_timeline.h"
+#include "obs/trace_recorder.h"
+
+namespace stale::obs {
+namespace {
+
+// Two servers: server 0 gets jobs at t=1 and t=2, departs one at t=3;
+// server 1 gets one job at t=1.5.
+TraceRecorder tiny_trace() {
+  TraceRecorder recorder;
+  recorder.on_dispatch(1.0, 0, 1.0, 1, 2.0);
+  recorder.on_decision(1.0, 0, 0.25);
+  recorder.on_dispatch(1.5, 1, 1.0, 1, 2.5);
+  recorder.on_decision(1.5, 1, 0.75);
+  recorder.on_dispatch(2.0, 0, 1.0, 2, 3.0);
+  recorder.on_decision(2.0, 0, 0.5);
+  recorder.on_departure(3.0, 0, 1);
+  return recorder;
+}
+
+TEST(TraceRecorderTest, CountsAndEndTime) {
+  const TraceRecorder recorder = tiny_trace();
+  EXPECT_EQ(recorder.count(TraceEventKind::kDispatch), 3u);
+  EXPECT_EQ(recorder.count(TraceEventKind::kDeparture), 1u);
+  EXPECT_EQ(recorder.count(TraceEventKind::kDecision), 3u);
+  EXPECT_EQ(recorder.num_servers_seen(), 2);
+  EXPECT_DOUBLE_EQ(recorder.end_time(), 3.0);
+}
+
+TEST(TraceRecorderTest, EventsByTimeIsStablySorted) {
+  TraceRecorder recorder;
+  // Cluster sweep order: server 1's late event is pushed before server 0's
+  // earlier one.
+  recorder.on_departure(5.0, 1, 0);
+  recorder.on_departure(2.0, 0, 0);
+  recorder.on_departure(2.0, 1, 3);  // same time: emission order preserved
+  const std::vector<TraceEvent> sorted = recorder.events_by_time();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].time, 2.0);
+  EXPECT_EQ(sorted[0].server, 0);
+  EXPECT_EQ(sorted[1].server, 1);
+  EXPECT_DOUBLE_EQ(sorted[2].time, 5.0);
+}
+
+TEST(TraceRecorderTest, SnapshotAndProbabilityStorageFollowOptions) {
+  const std::vector<int> loads = {3, 1, 4};
+  const std::vector<double> p = {0.2, 0.5, 0.3};
+
+  TraceRecorder full;
+  full.on_board_refresh(2.0, 1.0, 7, loads);
+  full.on_probabilities(p);
+  full.on_decision(2.5, 1, 1.5);
+  ASSERT_EQ(full.refreshes().size(), 1u);
+  EXPECT_EQ(full.refreshes()[0].loads, loads);
+  EXPECT_DOUBLE_EQ(full.refreshes()[0].measured, 1.0);
+  ASSERT_EQ(full.probability_vectors().size(), 1u);
+  EXPECT_EQ(full.probability_vectors()[0], p);
+  EXPECT_EQ(full.probability_builds(), 1u);
+  // The decision references the last-built vector.
+  EXPECT_EQ(full.events().back().c, 0);
+
+  RecorderOptions lean_options;
+  lean_options.record_probabilities = false;
+  lean_options.record_snapshots = false;
+  TraceRecorder lean(lean_options);
+  lean.on_board_refresh(2.0, 1.0, 7, loads);
+  lean.on_probabilities(p);
+  EXPECT_TRUE(lean.refreshes().empty());
+  EXPECT_TRUE(lean.probability_vectors().empty());
+  EXPECT_EQ(lean.probability_builds(), 1u);  // still tallied
+  EXPECT_EQ(lean.count(TraceEventKind::kBoardRefresh), 1u);
+}
+
+TEST(ProbeTest, QueueTrajectoryReplaysStepFunctions) {
+  const TraceRecorder recorder = tiny_trace();
+  const QueueTrajectory trajectory =
+      sample_queue_trajectory(recorder, 1.0, 0.0, 4.0);
+  ASSERT_EQ(trajectory.num_servers, 2);
+  ASSERT_EQ(trajectory.samples.size(), 5u);  // t = 0,1,2,3,4
+  // t=0: empty. t=1: server 0 has 1. t=2: server0=2, server1=1.
+  // t=3: server 0's departure retired -> 1. t=4: unchanged.
+  const std::vector<std::vector<int>> expected = {
+      {0, 0}, {1, 0}, {2, 1}, {1, 1}, {1, 1}};
+  EXPECT_EQ(trajectory.samples, expected);
+  EXPECT_DOUBLE_EQ(trajectory.time_at(3), 3.0);
+}
+
+TEST(ProbeTest, TrajectoryRejectsBadArguments) {
+  const TraceRecorder recorder = tiny_trace();
+  EXPECT_THROW(sample_queue_trajectory(recorder, 0.0, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(sample_queue_trajectory(recorder, 1.0, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ProbeTest, CrashZeroesTheTrajectory) {
+  TraceRecorder recorder;
+  recorder.on_dispatch(1.0, 0, 1.0, 1, 9.0);
+  recorder.on_dispatch(1.2, 0, 1.0, 2, 10.0);
+  recorder.on_server_down(2.0, 0, 2);
+  const QueueTrajectory trajectory =
+      sample_queue_trajectory(recorder, 1.0, 0.0, 3.0);
+  const std::vector<std::vector<int>> expected = {{0}, {1}, {0}, {0}};
+  EXPECT_EQ(trajectory.samples, expected);
+}
+
+TEST(ProbeTest, DispatchShareCountsDecisionsInWindow) {
+  const TraceRecorder recorder = tiny_trace();
+  const DispatchShare share = compute_dispatch_share(recorder, 0.0, 10.0);
+  EXPECT_EQ(share.total, 3u);
+  ASSERT_EQ(share.counts.size(), 2u);
+  EXPECT_EQ(share.counts[0], 2u);
+  EXPECT_EQ(share.counts[1], 1u);
+  EXPECT_EQ(share.top_server(), 0);
+  EXPECT_NEAR(share.top_share(), 2.0 / 3.0, 1e-12);
+
+  // Window slicing: only the t=1.5 decision.
+  const DispatchShare sliced = compute_dispatch_share(recorder, 1.25, 1.75);
+  EXPECT_EQ(sliced.total, 1u);
+  EXPECT_EQ(sliced.top_server(), 1);
+}
+
+TEST(ProbeTest, PhaseConcentrationUsesRefreshBoundaries) {
+  TraceRecorder recorder;
+  // Phase 1 [0, 10): all 10 decisions on server 0. Refresh at t=10.
+  for (int i = 0; i < 10; ++i) {
+    recorder.on_decision(0.5 + i, 0, 0.0);
+  }
+  const std::vector<int> loads = {0, 0};
+  recorder.on_board_refresh(10.0, 10.0, 2, loads);
+  // Phase 2 [10, 20): decisions alternate.
+  for (int i = 0; i < 10; ++i) {
+    recorder.on_decision(10.5 + i, i % 2, 0.0);
+  }
+  const PhaseConcentration concentration =
+      compute_phase_concentration(recorder, 0.0, 20.0, 10.0, 2);
+  EXPECT_EQ(concentration.phases, 2);
+  EXPECT_DOUBLE_EQ(concentration.peak, 1.0);
+  EXPECT_NEAR(concentration.mean, (1.0 * 10 + 0.5 * 10) / 20.0, 1e-12);
+  EXPECT_DOUBLE_EQ(concentration.uniform_share, 0.5);
+}
+
+TEST(HerdTest, DominantPeriodFindsASquareWaveAndIgnoresConstant) {
+  QueueTrajectory wave;
+  wave.interval = 1.0;
+  wave.num_servers = 1;
+  // Period-8 square wave, 16 cycles.
+  for (int k = 0; k < 128; ++k) {
+    wave.samples.push_back({(k / 4) % 2 == 0 ? 10 : 0});
+  }
+  const auto [period, peak] = dominant_period(wave);
+  EXPECT_NEAR(period, 8.0, 1.01);
+  EXPECT_GT(peak, 0.5);
+
+  QueueTrajectory flat;
+  flat.interval = 1.0;
+  flat.num_servers = 1;
+  for (int k = 0; k < 128; ++k) flat.samples.push_back({5});
+  const auto [no_period, no_peak] = dominant_period(flat);
+  EXPECT_DOUBLE_EQ(no_period, 0.0);
+  EXPECT_DOUBLE_EQ(no_peak, 0.0);
+}
+
+TEST(ExportCsvTest, EventsAndTrajectoryRoundTripThroughText) {
+  const TraceRecorder recorder = tiny_trace();
+  std::ostringstream events;
+  write_events_csv(events, recorder);
+  const std::string text = events.str();
+  EXPECT_NE(text.find("time,kind,server,a,b,c"), std::string::npos);
+  EXPECT_NE(text.find("dispatch"), std::string::npos);
+  EXPECT_NE(text.find("departure"), std::string::npos);
+  // 7 events + header = 8 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 8);
+
+  std::ostringstream grid;
+  write_trajectory_csv(grid, sample_queue_trajectory(recorder, 1.0, 0.0, 4.0));
+  const std::string grid_text = grid.str();
+  EXPECT_NE(grid_text.find("time,server0,server1"), std::string::npos);
+  EXPECT_NE(grid_text.find("2,2,1"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmitsLoadableJsonWithSpansAndCounters) {
+  const TraceRecorder recorder = tiny_trace();
+  std::ostringstream out;
+  write_chrome_trace(out, recorder);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\""), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // job spans
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);   // counters
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);   // thread names
+  EXPECT_NE(json.find("\"name\":\"server 1\""), std::string::npos);
+  // 1 sim time unit = 1e6 trace us.
+  EXPECT_NE(json.find("\"ts\":1e+06"), std::string::npos);
+  // Balanced braces is a cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(SvgTimelineTest, RendersOneSeriesPerServer) {
+  const TraceRecorder recorder = tiny_trace();
+  const std::string svg = render_queue_timeline(
+      sample_queue_trajectory(recorder, 0.5, 0.0, 4.0));
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("server 0"), std::string::npos);
+  EXPECT_NE(svg.find("server 1"), std::string::npos);
+
+  EXPECT_THROW(render_queue_timeline(QueueTrajectory{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stale::obs
+
+namespace stale::driver {
+namespace {
+
+// A real traced trial satisfies the cross-layer accounting identities.
+TEST(TraceSupportTest, TracedTrialEventAccountingBalances) {
+  ExperimentConfig config;
+  config.num_servers = 4;
+  config.lambda = 0.7;
+  config.model = UpdateModel::kPeriodic;
+  config.update_interval = 2.0;
+  config.policy = "basic_li";
+  config.num_jobs = 4000;
+  config.warmup_jobs = 1000;
+
+  const TraceReport report = run_traced_trial(config, 1234);
+  const obs::TraceRecorder& rec = report.recorder;
+
+  // Every arrival produced exactly one decision and one dispatch.
+  EXPECT_EQ(rec.count(obs::TraceEventKind::kDispatch), config.num_jobs);
+  EXPECT_EQ(rec.count(obs::TraceEventKind::kDecision), config.num_jobs);
+  // Departures never exceed dispatches.
+  EXPECT_LE(rec.count(obs::TraceEventKind::kDeparture),
+            rec.count(obs::TraceEventKind::kDispatch));
+  // The periodic board refreshed roughly end_time / T times.
+  const auto refreshes = rec.count(obs::TraceEventKind::kBoardRefresh);
+  EXPECT_GT(refreshes, 0u);
+  EXPECT_LE(static_cast<double>(refreshes),
+            rec.end_time() / config.update_interval + 1.0);
+  // basic_li rebuilds its probability vector once per phase, not per job.
+  EXPECT_LE(rec.probability_builds(), refreshes + 1);
+  EXPECT_EQ(rec.num_servers_seen(), config.num_servers);
+  // The analysis artifacts cover the post-warmup window.
+  EXPECT_GT(report.t_end, report.t_begin);
+  EXPECT_FALSE(report.trajectory.samples.empty());
+  EXPECT_EQ(report.share.total,
+            rec.count(obs::TraceEventKind::kDecision) -
+                obs::compute_dispatch_share(rec, 0.0, report.t_begin).total);
+
+  // The summary printer mentions the key figures.
+  std::ostringstream out;
+  print_trace_summary(out, config, report);
+  EXPECT_NE(out.str().find("herd"), std::string::npos);
+  EXPECT_NE(out.str().find("decisions"), std::string::npos);
+}
+
+// The trial result is identical with and without the recorder: quick inline
+// check here; the exhaustive policy x model sweep lives in
+// tests/concurrency/trace_determinism_test.cpp.
+TEST(TraceSupportTest, TracedTrialMatchesUntracedResult) {
+  ExperimentConfig config;
+  config.num_servers = 3;
+  config.lambda = 0.8;
+  config.model = UpdateModel::kContinuous;
+  config.update_interval = 1.0;
+  config.policy = "aggressive_li";
+  config.num_jobs = 3000;
+  config.warmup_jobs = 500;
+
+  const TrialResult plain = run_trial(config, 42);
+  const TraceReport traced = run_traced_trial(config, 42);
+  EXPECT_EQ(traced.trial.mean_response, plain.mean_response);
+  EXPECT_EQ(traced.trial.measured_jobs, plain.measured_jobs);
+  EXPECT_EQ(traced.trial.sim_end_time, plain.sim_end_time);
+}
+
+}  // namespace
+}  // namespace stale::driver

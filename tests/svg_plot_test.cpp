@@ -1,8 +1,8 @@
-#include "driver/svg_plot.h"
+#include "obs/svg_plot.h"
 
 #include <gtest/gtest.h>
 
-namespace stale::driver {
+namespace stale::obs {
 namespace {
 
 std::vector<PlotSeries> sample_series() {
@@ -120,4 +120,4 @@ TEST(ParseSweepCsvTest, RoundTripsWithRenderer) {
 }
 
 }  // namespace
-}  // namespace stale::driver
+}  // namespace stale::obs

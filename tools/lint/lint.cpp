@@ -234,19 +234,23 @@ FileScope classify(std::string_view path) {
 const std::map<std::string, std::set<std::string>>& layer_dag() {
   static const std::map<std::string, std::set<std::string>> kDag = {
       {"check", {"check"}},
-      {"sim", {"sim", "check"}},
+      // obs sits just above check so every simulation layer can compile in
+      // its TraceSink hooks without a layering violation.
+      {"obs", {"obs", "check"}},
+      {"sim", {"sim", "obs", "check"}},
       {"runtime", {"runtime", "check"}},
-      {"queueing", {"queueing", "sim", "check"}},
+      {"queueing", {"queueing", "sim", "obs", "check"}},
       {"core", {"core", "sim", "check"}},
       {"workload", {"workload", "sim", "check"}},
       {"analysis", {"analysis", "sim", "check"}},
-      {"loadinfo", {"loadinfo", "queueing", "sim", "check"}},
-      {"policy", {"policy", "core", "sim", "check"}},
+      {"loadinfo", {"loadinfo", "queueing", "sim", "obs", "check"}},
+      {"policy", {"policy", "core", "sim", "obs", "check"}},
       {"fault",
-       {"fault", "policy", "loadinfo", "queueing", "core", "sim", "check"}},
+       {"fault", "policy", "loadinfo", "queueing", "core", "sim", "obs",
+        "check"}},
       {"driver",
        {"driver", "fault", "policy", "loadinfo", "queueing", "core", "sim",
-        "workload", "analysis", "runtime", "check"}},
+        "obs", "workload", "analysis", "runtime", "check"}},
   };
   return kDag;
 }
@@ -336,14 +340,14 @@ constexpr std::array<Token, 14> kHostStateTokens = {{
 bool in_simulation_scope(const FileScope& scope) {
   static const std::set<std::string> kSim = {
       "sim",    "queueing", "core",     "loadinfo", "policy",
-      "fault",  "workload", "analysis", "driver"};
+      "fault",  "workload", "analysis", "driver",   "obs"};
   return scope.in_src && kSim.count(scope.module) > 0;
 }
 
 // Modules the D4 host-state rule covers (the paper-critical inner layers).
 bool in_host_state_scope(const FileScope& scope) {
-  static const std::set<std::string> kInner = {"sim", "queueing", "policy",
-                                               "loadinfo", "fault"};
+  static const std::set<std::string> kInner = {"sim",      "queueing", "policy",
+                                               "loadinfo", "fault",    "obs"};
   return scope.in_src && kInner.count(scope.module) > 0;
 }
 

@@ -9,13 +9,13 @@
 #include <iostream>
 #include <sstream>
 
-#include "driver/svg_plot.h"
+#include "obs/svg_plot.h"
 
 namespace {
 
 struct Args {
   std::string out = "sweep.svg";
-  stale::driver::PlotOptions options;
+  stale::obs::PlotOptions options;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -60,14 +60,14 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
-    const auto series = stale::driver::parse_sweep_csv(buffer.str());
+    const auto series = stale::obs::parse_sweep_csv(buffer.str());
     if (series.empty()) {
       std::cerr << "plot_sweep: no parsable series on stdin (pipe a bench's "
                    "--csv output)\n";
       return 1;
     }
     const std::string svg =
-        stale::driver::render_line_chart(series, args.options);
+        stale::obs::render_line_chart(series, args.options);
     std::ofstream out(args.out);
     if (!out) {
       std::cerr << "plot_sweep: cannot write '" << args.out << "'\n";

@@ -13,14 +13,31 @@
 //   --fault-spec S / --crash-rate R / --update-loss P / --max-staleness 2T
 // Fault runs report the per-fault counters; --json emits the full record as
 // one JSON object instead of the table.
+//
+// Observability (src/obs/):
+//   --trace               re-run trial 0 with a trace recorder attached and
+//                         print the event/herd-diagnostic summary block
+//   --probe-interval X    queue-trajectory sampling grid (default T/8)
+//   --trace-out PREFIX    (implies --trace) also write the artifacts
+//                         PREFIX.events.csv, PREFIX.trajectory.csv,
+//                         PREFIX.trace.json (Chrome/Perfetto trace_event
+//                         format), PREFIX.timeline.svg
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <stdexcept>
 
 #include "bench_common.h"
 #include "driver/adaptive.h"
 #include "driver/report.h"
 #include "driver/table.h"
+#include "driver/trace_support.h"
 #include "loadinfo/delay_distribution.h"
+#include "obs/chrome_trace.h"
+#include "obs/export_csv.h"
+#include "obs/svg_timeline.h"
 #include "queueing/theory.h"
+#include "sim/rng.h"
 
 namespace {
 
@@ -34,14 +51,64 @@ stale::driver::UpdateModel parse_model(const std::string& name) {
   throw std::invalid_argument("unknown --model '" + name + "'");
 }
 
+void write_artifact(const std::string& path,
+                    const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  writer(out);
+  // Progress notes go to stderr so --json keeps stdout machine-readable.
+  std::cerr << "# wrote " << path << "\n";
+}
+
+// Re-runs trial 0 of `config` with a recorder attached (bit-identical to the
+// untraced trial by the obs contract), prints the diagnostic summary, and
+// optionally dumps the artifact files.
+void run_trace(const stale::driver::Cli& cli,
+               const stale::driver::ExperimentConfig& config,
+               bool print_summary) {
+  stale::driver::TraceRunOptions options;
+  options.probe_interval = cli.get_double("probe-interval", 0.0);
+  const stale::driver::TraceReport report = stale::driver::run_traced_trial(
+      config, stale::sim::trial_seed(config.base_seed, 0), options);
+  if (print_summary) {
+    stale::driver::print_trace_summary(std::cout, config, report);
+  }
+
+  const std::string prefix = cli.get("trace-out", "");
+  if (prefix.empty()) return;
+  write_artifact(prefix + ".events.csv", [&](std::ostream& out) {
+    stale::obs::write_events_csv(out, report.recorder);
+  });
+  write_artifact(prefix + ".trace.json", [&](std::ostream& out) {
+    stale::obs::write_chrome_trace(out, report.recorder);
+  });
+  if (report.trajectory.samples.empty()) {
+    std::cerr << "# trajectory empty (run shorter than warmup window); "
+                 "skipping trajectory csv + svg\n";
+    return;
+  }
+  write_artifact(prefix + ".trajectory.csv", [&](std::ostream& out) {
+    stale::obs::write_trajectory_csv(out, report.trajectory);
+  });
+  write_artifact(prefix + ".timeline.svg", [&](std::ostream& out) {
+    stale::obs::TimelineOptions svg;
+    svg.title = config.policy + " under " +
+                stale::driver::update_model_name(config.model) +
+                " (T=" + stale::driver::Table::fmt(config.update_interval) +
+                "): per-server queue lengths";
+    out << stale::obs::render_queue_timeline(report.trajectory, svg);
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> flags = {
       "policy", "model",    "t",         "lambda",    "n",
-      "job-size", "delay",  "rate-est",  "lambda-err", "precision"};
+      "job-size", "delay",  "rate-est",  "lambda-err", "precision",
+      "probe-interval", "trace-out"};
   const std::vector<std::string> switches = {"bursty", "know-age", "adaptive",
-                                             "json"};
+                                             "json", "trace"};
   return stale::bench::run_bench(
       argc, argv, flags, switches, [](const stale::driver::Cli& cli) {
         stale::driver::ExperimentConfig config;
@@ -59,10 +126,14 @@ int main(int argc, char** argv) {
         config.lambda_error_factor = cli.get_double("lambda-err", 1.0);
         cli.apply_run_scale(config);
 
+        const bool tracing = cli.has("trace") || cli.has("trace-out");
+
         if (cli.has("json")) {
           const auto result = stale::driver::run_experiment(config);
           stale::driver::write_json_report(std::cout, config, result,
                                            config.trials);
+          // Keep stdout valid JSON: artifacts only, no summary block.
+          if (cli.has("trace-out")) run_trace(cli, config, false);
           return;
         }
 
@@ -136,5 +207,6 @@ int main(int argc, char** argv) {
                    config.lambda))});
         }
         table.print(std::cout, cli.csv());
+        if (tracing) run_trace(cli, config, true);
       });
 }
