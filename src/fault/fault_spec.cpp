@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -81,6 +82,7 @@ void FaultSpec::validate() const {
 
 FaultSpec FaultSpec::parse(const std::string& text) {
   FaultSpec spec;
+  std::set<std::string> seen;
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t end = text.find(',', pos);
@@ -95,6 +97,11 @@ FaultSpec FaultSpec::parse(const std::string& text) {
     }
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
+    // Last-wins would make "loss=0.1,loss=0" silently disagree with what the
+    // experimenter thinks they configured; duplicates are always a typo.
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("FaultSpec: duplicate key '" + key + "'");
+    }
     if (key == "crash") {
       spec.crash_rate = parse_double(key, value);
     } else if (key == "down") {

@@ -1,0 +1,142 @@
+#include "net/backend.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+
+#include "sim/distributions.h"
+
+namespace stale::net {
+
+Backend::Backend(const BackendOptions& options)
+    : options_(options), rng_(options.seed) {
+  if (options.mean_service <= 0.0) {
+    throw std::invalid_argument("backend mean service time must be > 0");
+  }
+  if (options.report_to.port == 0) {
+    throw std::invalid_argument("backend needs --report HOST:PORT");
+  }
+  listen_fd_ = tcp_listen(options.host, options.tcp_port, &tcp_port_);
+  udp_fd_ = udp_socket();
+  status("BACKEND LISTENING index=" + std::to_string(options_.index) +
+         " tcp=" + std::to_string(tcp_port_));
+}
+
+void Backend::status(const std::string& line) {
+  if (options_.status_out == nullptr) return;
+  *options_.status_out << line << std::endl;
+}
+
+void Backend::run(const std::atomic<bool>* stop_flag) {
+  loop_.watch(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false,
+              [this](std::uint32_t) { accept_dispatcher(); });
+  send_hello();
+  if (options_.update_period > 0.0) {
+    loop_.add_timer(options_.update_period, [this] { send_load_report(); });
+  }
+  loop_.run(stop_flag);
+}
+
+void Backend::send_hello() {
+  if (!connected_) {
+    udp_send(udp_fd_.get(), options_.report_to,
+             format_hello(HelloMsg{options_.index, tcp_port_}));
+    loop_.add_timer(options_.hello_period, [this] { send_hello(); });
+  }
+}
+
+void Backend::send_load_report() {
+  udp_send(udp_fd_.get(), options_.report_to,
+           format_load(LoadMsg{options_.index, queue_len(), report_seq_++}));
+  ++stats_.reports_sent;
+  loop_.add_timer(options_.update_period, [this] { send_load_report(); });
+}
+
+void Backend::accept_dispatcher() {
+  for (;;) {
+    Fd conn = tcp_accept(listen_fd_.get());
+    if (!conn.valid()) return;
+    if (connected_) continue;  // one dispatcher only; drop extras
+    conn_ = std::move(conn);
+    in_ = LineBuffer();
+    out_ = WriteBuffer();
+    connected_ = true;
+    loop_.watch(conn_.get(), /*want_read=*/true, /*want_write=*/false,
+                [this](std::uint32_t events) {
+                  if (events & EventLoop::kError) {
+                    drop_conn();
+                    return;
+                  }
+                  if (events & EventLoop::kWritable) {
+                    out_.flush(conn_.get());
+                    loop_.set_interest(conn_.get(), true, out_.wants_write());
+                  }
+                  if (events & EventLoop::kReadable) on_conn_readable();
+                });
+    status("BACKEND CONNECTED index=" + std::to_string(options_.index));
+  }
+}
+
+void Backend::on_conn_readable() {
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = recv(conn_.get(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      in_.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    drop_conn();
+    return;
+  }
+  if (in_.poisoned()) {
+    drop_conn();
+    return;
+  }
+  std::string line;
+  while (connected_ && in_.next_line(&line)) {
+    const auto job = parse_job(line);
+    if (!job) continue;
+    ++stats_.jobs_accepted;
+    queue_.push_back(job->id);
+    stats_.max_queue_len = std::max(stats_.max_queue_len, queue_len());
+    start_service_if_idle();
+  }
+}
+
+void Backend::start_service_if_idle() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  in_service_ = queue_.front();
+  queue_.pop_front();
+  const double service =
+      sim::Exponential(options_.mean_service).sample(rng_);
+  loop_.add_timer(service, [this] { finish_job(); });
+}
+
+void Backend::finish_job() {
+  busy_ = false;
+  ++stats_.jobs_served;
+  if (connected_) {
+    out_.append(format_done(DoneMsg{in_service_, queue_len()}));
+    out_.flush(conn_.get());
+    loop_.set_interest(conn_.get(), true, out_.wants_write());
+  }
+  start_service_if_idle();
+}
+
+void Backend::drop_conn() {
+  if (!connected_) return;
+  loop_.forget(conn_.get());
+  conn_.reset();
+  connected_ = false;
+  queue_.clear();
+  // Re-announce so a restarted dispatcher can pick this backend up again.
+  send_hello();
+  status("BACKEND DISCONNECTED index=" + std::to_string(options_.index));
+}
+
+}  // namespace stale::net

@@ -1,0 +1,93 @@
+// staleload_backend: the toy FIFO server behind the live dispatcher.
+//
+// One queue, one (virtual) processor: jobs arrive as `JOB <gid>` lines from
+// the dispatcher's persistent TCP connection, wait FIFO, occupy the server
+// for an exponential service time (an event-loop timer — no thread sleeps),
+// and leave as `DONE <gid> <queue_len_after>` replies. This is exactly the
+// paper's M/M/1-ish server, except time is physical.
+//
+// Control plane: the backend announces itself to the dispatcher with
+// periodic `HELLO` datagrams until the dispatcher's data-plane connection
+// arrives, then posts `LOAD` reports every update period (0 disables
+// standing reports — the piggyback schedule needs none).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "net/buffer.h"
+#include "net/event_loop.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "sim/rng.h"
+
+namespace stale::net {
+
+struct BackendOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;  // 0 = ephemeral
+  int index = 0;               // this backend's slot at the dispatcher
+  Endpoint report_to;          // dispatcher's UDP control endpoint
+
+  double update_period = 0.0;  // seconds between LOAD reports; 0 = off
+  double mean_service = 0.05;  // exponential service time mean, seconds
+  double hello_period = 0.2;   // registration retry period
+
+  std::uint64_t seed = 1;
+  std::ostream* status_out = nullptr;
+};
+
+struct BackendStats {
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t jobs_served = 0;
+  std::uint64_t reports_sent = 0;
+  int max_queue_len = 0;
+};
+
+class Backend {
+ public:
+  explicit Backend(const BackendOptions& options);
+
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  void run(const std::atomic<bool>* stop_flag = nullptr);
+
+  const BackendStats& stats() const { return stats_; }
+
+ private:
+  void accept_dispatcher();
+  void on_conn_readable();
+  void start_service_if_idle();
+  void finish_job();
+  void send_hello();
+  void send_load_report();
+  void drop_conn();
+  int queue_len() const {
+    return static_cast<int>(queue_.size()) + (busy_ ? 1 : 0);
+  }
+  void status(const std::string& line);
+
+  BackendOptions options_;
+  EventLoop loop_;
+  Fd listen_fd_;
+  Fd udp_fd_;
+  std::uint16_t tcp_port_ = 0;
+
+  Fd conn_;  // the dispatcher's data-plane connection
+  LineBuffer in_;
+  WriteBuffer out_;
+  bool connected_ = false;
+
+  std::deque<std::uint64_t> queue_;  // waiting gids (excludes in-service)
+  bool busy_ = false;
+  std::uint64_t in_service_ = 0;
+
+  sim::Rng rng_;
+  std::uint64_t report_seq_ = 0;
+  BackendStats stats_;
+};
+
+}  // namespace stale::net

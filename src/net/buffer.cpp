@@ -1,0 +1,29 @@
+#include "net/buffer.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace stale::net {
+
+bool WriteBuffer::flush(int fd) {
+  while (!pending_.empty()) {
+    const ssize_t sent =
+        send(fd, pending_.data(), pending_.size(), MSG_NOSIGNAL);
+    if (sent > 0) {
+      pending_.erase(0, static_cast<std::size_t>(sent));
+      continue;
+    }
+    // ENOTCONN: a non-blocking connect still in progress; the bytes stay
+    // queued until the loop reports writability.
+    if (sent < 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOTCONN)) {
+      return true;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace stale::net

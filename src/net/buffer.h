@@ -1,0 +1,64 @@
+// Line framing over byte streams: every protocol message in the live loop is
+// one '\n'-terminated ASCII line (see net/protocol.h), so connections need
+// exactly two small utilities — reassembling lines from arbitrary recv()
+// chunks, and buffering unsent bytes across partial non-blocking send()s.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace stale::net {
+
+// Accumulates received bytes and hands back complete lines (terminator
+// stripped). Bounded: a peer that streams an absurdly long line (default cap
+// 64 KiB) marks the buffer poisoned, which the owner treats as a protocol
+// error and disconnects.
+class LineBuffer {
+ public:
+  explicit LineBuffer(std::size_t max_line = 64 * 1024)
+      : max_line_(max_line) {}
+
+  void append(const char* data, std::size_t size) {
+    pending_.append(data, size);
+    if (pending_.size() > max_line_ &&
+        pending_.find('\n') == std::string::npos) {
+      poisoned_ = true;
+    }
+  }
+
+  // Extracts the next complete line into `line`; false when none is pending.
+  bool next_line(std::string* line) {
+    const std::size_t nl = pending_.find('\n');
+    if (nl == std::string::npos) return false;
+    line->assign(pending_, 0, nl);
+    pending_.erase(0, nl + 1);
+    return true;
+  }
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::size_t max_line_;
+  std::string pending_;
+  bool poisoned_ = false;
+};
+
+// Outbound bytes not yet accepted by the kernel. The owner calls flush()
+// whenever the fd is writable and checks wants_write() to manage EPOLLOUT
+// interest.
+class WriteBuffer {
+ public:
+  void append(const std::string& bytes) { pending_ += bytes; }
+
+  // Attempts to drain into `fd`. Returns false on a fatal socket error
+  // (connection dead); EAGAIN is not fatal.
+  bool flush(int fd);
+
+  bool wants_write() const { return !pending_.empty(); }
+  std::size_t pending_bytes() const { return pending_.size(); }
+
+ private:
+  std::string pending_;
+};
+
+}  // namespace stale::net

@@ -1,0 +1,23 @@
+#include "net/clock.h"
+
+#include <ctime>
+
+namespace stale::net {
+
+namespace {
+
+double raw_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+double mono_now() {
+  static const double epoch = raw_now();
+  return raw_now() - epoch;
+}
+
+}  // namespace stale::net

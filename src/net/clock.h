@@ -1,0 +1,19 @@
+// Monotonic wall time for the live subsystem.
+//
+// Everything under src/net runs against real sockets and real delay, so —
+// unlike every simulation layer — it reads the host's monotonic clock. The
+// staleload-lint D-rules stop at this boundary: `net` is registered as an
+// exempt scope (see tools/lint/lint.cpp), which is exactly what makes this
+// header legal here and illegal one directory over in src/sim.
+//
+// Times are doubles in seconds from an arbitrary per-process epoch, matching
+// the simulator's time unit so recorded live traces feed the same obs/
+// probes and herd detector as simulated ones.
+#pragma once
+
+namespace stale::net {
+
+// Seconds on CLOCK_MONOTONIC since the first call in this process.
+double mono_now();
+
+}  // namespace stale::net

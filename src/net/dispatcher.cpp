@@ -1,0 +1,403 @@
+#include "net/dispatcher.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+
+#include "sim/distributions.h"
+
+namespace stale::net {
+
+namespace {
+
+// The live loop reuses the simulator's RNG split convention: one base seed,
+// decorrelated streams per consumer.
+sim::Rng split_stream(std::uint64_t seed, int stream) {
+  sim::Rng rng(seed);
+  for (int i = 0; i < stream; ++i) rng.long_jump();
+  return rng;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(const DispatcherOptions& options)
+    : options_(options),
+      policy_(policy::make_policy(options.policy_spec)),
+      board_(options.num_backends, options.schedule, options.update_period,
+             /*start_time=*/0.0),
+      rng_(split_stream(options.seed, 0)),
+      fault_rng_(split_stream(options.seed, 1)),
+      backends_(static_cast<std::size_t>(options.num_backends)),
+      outstanding_(static_cast<std::size_t>(options.num_backends), 0) {
+  if (options.num_backends <= 0) {
+    throw std::invalid_argument("Dispatcher needs --backends >= 1");
+  }
+  options_.faults.validate();
+  const double window = options.rate_window > 0.0
+                            ? options.rate_window
+                            : 4.0 * std::max(options.update_period, 0.25);
+  // Near-zero initial rate (the estimator rejects exactly 0): until arrivals
+  // fill the window, LI degrades toward "interpret the board as fresh",
+  // which is the paper's K = 0 behaviour.
+  rate_ = std::make_unique<core::WindowedRateEstimator>(window, 1e-9);
+
+  listen_fd_ = tcp_listen(options.host, options.tcp_port, &tcp_port_);
+  udp_fd_ = udp_bind(options.host, options.udp_port, &udp_port_);
+  stats_.per_backend_dispatched.assign(
+      static_cast<std::size_t>(options.num_backends), 0);
+  status("LB LISTENING tcp=" + std::to_string(tcp_port_) +
+         " udp=" + std::to_string(udp_port_));
+}
+
+void Dispatcher::status(const std::string& line) {
+  if (options_.status_out == nullptr) return;
+  *options_.status_out << line << std::endl;
+}
+
+void Dispatcher::run(const std::atomic<bool>* stop_flag) {
+  stats_.started_at = loop_.now();
+  loop_.watch(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false,
+              [this](std::uint32_t) { accept_clients(); });
+  loop_.watch(udp_fd_.get(), /*want_read=*/true, /*want_write=*/false,
+              [this](std::uint32_t) { on_udp_readable(); });
+  if (options_.duration > 0.0) {
+    loop_.add_timer(options_.duration, [this] { loop_.stop(); });
+  }
+  loop_.run(stop_flag);
+  stats_.stopped_at = loop_.now();
+}
+
+// --- control plane (UDP) ---------------------------------------------------
+
+void Dispatcher::on_udp_readable() {
+  char buffer[2048];
+  for (;;) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n =
+        recvfrom(udp_fd_.get(), buffer, sizeof(buffer) - 1, 0,
+                 reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    std::string payload(buffer, static_cast<std::size_t>(n));
+    while (!payload.empty() &&
+           (payload.back() == '\n' || payload.back() == '\r')) {
+      payload.pop_back();
+    }
+    char host[32] = "127.0.0.1";
+    inet_ntop(AF_INET, &from.sin_addr, host, sizeof(host));
+    handle_datagram(payload, host);
+  }
+}
+
+void Dispatcher::handle_datagram(const std::string& payload,
+                                 const std::string& from) {
+  if (const auto hello = parse_hello(payload)) {
+    ++stats_.hellos_received;
+    register_backend(*hello, from);
+    return;
+  }
+  if (const auto load = parse_load(payload)) {
+    ++stats_.reports_received;
+    const double now = loop_.now();
+    // Injected degradation of the report path — the live analogue of
+    // loadinfo's RefreshFaults.
+    if (options_.faults.update_loss > 0.0 &&
+        fault_rng_.next_double() < options_.faults.update_loss) {
+      ++stats_.reports_dropped;
+      if (options_.trace != nullptr) {
+        options_.trace->on_refresh_fault(
+            now, obs::FaultTraceEvent::kRefreshLost, load->index);
+      }
+      return;
+    }
+    if (options_.faults.update_extra_delay > 0.0) {
+      ++stats_.reports_delayed;
+      if (options_.trace != nullptr) {
+        options_.trace->on_refresh_fault(
+            now, obs::FaultTraceEvent::kRefreshDelayed, load->index);
+      }
+      const double delay = sim::Exponential(options_.faults.update_extra_delay)
+                               .sample(fault_rng_);
+      const LoadMsg delayed = *load;
+      loop_.add_timer(delay, [this, delayed] { apply_report(delayed); });
+      return;
+    }
+    apply_report(*load);
+  }
+  // Unknown datagrams are dropped silently, like the network would.
+}
+
+void Dispatcher::apply_report(const LoadMsg& msg) {
+  const double now = loop_.now();
+  board_.apply_report(msg.index, msg.queue_len, now);
+  if (options_.trace != nullptr) {
+    options_.trace->on_board_refresh(now, now, board_.version(),
+                                     board_.loads());
+  }
+}
+
+void Dispatcher::register_backend(const HelloMsg& hello,
+                                  const std::string& from_host) {
+  if (hello.index < 0 || hello.index >= options_.num_backends) return;
+  BackendConn& backend = backends_[static_cast<std::size_t>(hello.index)];
+  if (backend.registered) return;  // duplicate HELLO heartbeat
+  backend.endpoint = Endpoint{from_host, hello.tcp_port};
+  backend.fd = tcp_connect(backend.endpoint);
+  backend.in = LineBuffer();
+  backend.out = WriteBuffer();
+  backend.registered = true;
+  ++registered_;
+  const int index = hello.index;
+  loop_.watch(backend.fd.get(), /*want_read=*/true, /*want_write=*/false,
+              [this, index](std::uint32_t events) {
+                if (events & EventLoop::kError) {
+                  drop_backend(index);
+                  return;
+                }
+                if (events & EventLoop::kWritable) {
+                  BackendConn& b = backends_[static_cast<std::size_t>(index)];
+                  flush_conn(b.fd.get(), &b.out, /*want_read=*/true);
+                }
+                if (events & EventLoop::kReadable) on_backend_readable(index);
+              });
+  status("LB BACKEND " + std::to_string(index) + " " +
+         backend.endpoint.to_string());
+  if (registered_ == options_.num_backends) {
+    status("LB READY backends=" + std::to_string(registered_));
+  }
+}
+
+// --- client data plane -----------------------------------------------------
+
+void Dispatcher::accept_clients() {
+  for (;;) {
+    Fd conn = tcp_accept(listen_fd_.get());
+    if (!conn.valid()) return;
+    const int fd = conn.get();
+    ClientConn& client = clients_[fd];
+    client.fd = std::move(conn);
+    loop_.watch(fd, /*want_read=*/true, /*want_write=*/false,
+                [this, fd](std::uint32_t events) {
+                  if (events & EventLoop::kError) {
+                    drop_client(fd);
+                    return;
+                  }
+                  if (events & EventLoop::kWritable) {
+                    const auto it = clients_.find(fd);
+                    if (it != clients_.end()) {
+                      flush_conn(fd, &it->second.out, /*want_read=*/true);
+                    }
+                  }
+                  if (events & EventLoop::kReadable) on_client_readable(fd);
+                });
+  }
+}
+
+void Dispatcher::on_client_readable(int fd) {
+  const auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      it->second.in.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    drop_client(fd);  // orderly close or hard error
+    return;
+  }
+  if (it->second.in.poisoned()) {
+    drop_client(fd);
+    return;
+  }
+  std::string line;
+  while (clients_.count(fd) != 0 && it->second.in.next_line(&line)) {
+    handle_client_line(fd, line);
+  }
+}
+
+void Dispatcher::handle_client_line(int fd, const std::string& line) {
+  const auto job = parse_job(line);
+  if (!job) return;  // garbage line; ignore
+  ++stats_.jobs_received;
+  dispatch_job(fd, job->id);
+}
+
+void Dispatcher::dispatch_job(int client_fd, std::uint64_t client_id) {
+  if (registered_ == 0) {
+    ++stats_.jobs_rejected;
+    send_to_client(client_fd, format_client_err(client_id, "no-backends"));
+    return;
+  }
+  const double now = loop_.now();
+  rate_->on_arrival(now);
+
+  policy::DispatchContext context;
+  context.loads = board_.loads();
+  context.age = options_.schedule == UpdateSchedule::kPeriodic
+                    ? board_.phase_elapsed(now)
+                    : board_.age(now);
+  context.lambda_total = rate_->rate();
+  context.phase_length = board_.phase_length();
+  context.phase_elapsed = board_.phase_elapsed(now);
+  context.info_version = board_.version();
+  context.trace = options_.trace;
+
+  int backend = policy_->select(context, rng_);
+  if (backend < 0 || backend >= options_.num_backends ||
+      !backends_[static_cast<std::size_t>(backend)].registered) {
+    // Policy picked an unregistered/invalid backend (possible briefly after
+    // a backend connection dies): fall back to any registered one.
+    backend = -1;
+    for (int i = 0; i < options_.num_backends; ++i) {
+      if (backends_[static_cast<std::size_t>(i)].registered) {
+        backend = i;
+        break;
+      }
+    }
+    if (backend < 0) {
+      ++stats_.jobs_rejected;
+      send_to_client(client_fd, format_client_err(client_id, "no-backends"));
+      return;
+    }
+  }
+
+  const std::uint64_t gid = next_gid_++;
+  jobs_[gid] = InFlightJob{client_fd, client_id, backend};
+  ++outstanding_[static_cast<std::size_t>(backend)];
+  ++stats_.jobs_dispatched;
+  ++stats_.per_backend_dispatched[static_cast<std::size_t>(backend)];
+  board_.note_dispatch(backend, now);
+  send_to_backend(backend, format_job(JobMsg{gid}));
+
+  if (options_.trace != nullptr) {
+    options_.trace->on_decision(now, backend, context.age);
+    // Job sizes are drawn backend-side, so the dispatch event carries size 0
+    // and no departure prediction; queue_len_after is the LB's in-flight
+    // count, its live proxy for the backend queue.
+    options_.trace->on_dispatch(
+        now, backend, /*job_size=*/0.0,
+        outstanding_[static_cast<std::size_t>(backend)], /*departure=*/0.0);
+  }
+}
+
+// --- backend data plane ----------------------------------------------------
+
+void Dispatcher::on_backend_readable(int index) {
+  BackendConn& backend = backends_[static_cast<std::size_t>(index)];
+  if (!backend.registered) return;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = recv(backend.fd.get(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      backend.in.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    drop_backend(index);
+    return;
+  }
+  std::string line;
+  while (backend.registered && backend.in.next_line(&line)) {
+    handle_backend_line(index, line);
+  }
+}
+
+void Dispatcher::handle_backend_line(int index, const std::string& line) {
+  const auto done = parse_done(line);
+  if (!done) return;
+  const auto it = jobs_.find(done->id);
+  if (it == jobs_.end()) return;  // duplicate/unknown completion
+  const InFlightJob job = it->second;
+  jobs_.erase(it);
+  if (outstanding_[static_cast<std::size_t>(index)] > 0) {
+    --outstanding_[static_cast<std::size_t>(index)];
+  }
+  ++stats_.jobs_completed;
+  const double now = loop_.now();
+  if (options_.trace != nullptr) {
+    options_.trace->on_departure(now, index, done->queue_len);
+  }
+  if (options_.schedule == UpdateSchedule::kPiggyback) {
+    // The update-on-access path: the DONE reply is the access that refreshes
+    // the dispatcher's entry for this backend.
+    board_.apply_report(index, done->queue_len, now);
+    if (options_.trace != nullptr) {
+      options_.trace->on_board_refresh(now, now, board_.version(),
+                                       board_.loads());
+    }
+  }
+  if (job.client_fd >= 0 && clients_.count(job.client_fd) != 0) {
+    send_to_client(job.client_fd,
+                   format_client_done(ClientDoneMsg{job.client_id, index}));
+  }
+}
+
+// --- connection plumbing ---------------------------------------------------
+
+void Dispatcher::send_to_client(int fd, const std::string& bytes) {
+  const auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  it->second.out.append(bytes);
+  flush_conn(fd, &it->second.out, /*want_read=*/true);
+}
+
+void Dispatcher::send_to_backend(int index, const std::string& bytes) {
+  BackendConn& backend = backends_[static_cast<std::size_t>(index)];
+  if (!backend.registered) return;
+  backend.out.append(bytes);
+  flush_conn(backend.fd.get(), &backend.out, /*want_read=*/true);
+}
+
+void Dispatcher::flush_conn(int fd, WriteBuffer* out, bool want_read) {
+  out->flush(fd);
+  loop_.set_interest(fd, want_read, out->wants_write());
+}
+
+void Dispatcher::drop_client(int fd) {
+  const auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  loop_.forget(fd);
+  clients_.erase(it);
+  // In-flight jobs from this client still complete at their backend (the
+  // queue is real); only the reply is undeliverable.
+  for (auto& [gid, job] : jobs_) {
+    if (job.client_fd == fd) job.client_fd = -1;
+  }
+}
+
+void Dispatcher::drop_backend(int index) {
+  BackendConn& backend = backends_[static_cast<std::size_t>(index)];
+  if (!backend.registered) return;
+  loop_.forget(backend.fd.get());
+  backend.fd.reset();
+  backend.registered = false;
+  --registered_;
+  outstanding_[static_cast<std::size_t>(index)] = 0;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.backend == index) {
+      ++stats_.jobs_orphaned;
+      if (it->second.client_fd >= 0) {
+        send_to_client(it->second.client_fd,
+                       format_client_err(it->second.client_id, "backend-died"));
+      }
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  status("LB BACKEND-LOST " + std::to_string(index));
+}
+
+}  // namespace stale::net

@@ -1,0 +1,167 @@
+// The live dispatcher: a single-threaded event-loop TCP load balancer that
+// drives the repo's policy:: implementations with a *real* stale bulletin
+// board (net/net_board.h).
+//
+// Data path: clients connect over TCP and send `JOB <id>` lines; per job the
+// dispatcher assembles a policy::DispatchContext from the NetBoard (stale
+// loads + information age + a windowed arrival-rate estimate), asks the
+// configured SelectionPolicy for a backend, and forwards the job over a
+// persistent TCP connection to that backend. The backend's `DONE` reply is
+// routed back to the originating client.
+//
+// Control path: backends register and report load over UDP (HELLO/LOAD, see
+// net/protocol.h). The optional fault spec injects report loss and extra
+// report delay on this path — the live analogue of the simulator's
+// RefreshFaults — so the "stale + lossy information" experiments run against
+// physical packets.
+//
+// Observability: with a TraceSink attached, the dispatcher emits the same
+// on_decision / on_dispatch / on_departure / on_board_refresh /
+// on_refresh_fault events as the simulator's driver, timestamped with
+// net::mono_now(). A recorded live trace therefore drops straight into
+// obs/probe.h and obs/herd.h — that is how the loopback CI test shows the
+// paper's herd effect on real sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/rate_estimator.h"
+#include "fault/fault_spec.h"
+#include "net/buffer.h"
+#include "net/event_loop.h"
+#include "net/net_board.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "obs/trace_sink.h"
+#include "policy/policy_factory.h"
+#include "sim/rng.h"
+
+namespace stale::net {
+
+struct DispatcherOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;  // client-facing; 0 = ephemeral
+  std::uint16_t udp_port = 0;  // backend control plane; 0 = ephemeral
+
+  int num_backends = 0;  // registrations to wait for before READY
+
+  std::string policy_spec = "basic_li";
+  UpdateSchedule schedule = UpdateSchedule::kPeriodic;
+  double update_period = 1.0;  // T (phase length LI interprets against)
+
+  // Arrival-rate estimation window for DispatchContext::lambda_total;
+  // <= 0 picks 4 * update_period.
+  double rate_window = 0.0;
+
+  double duration = 0.0;  // seconds; <= 0 = run until stopped
+  std::uint64_t seed = 1;
+
+  // Fault injection on the UDP report path: update_loss drops each incoming
+  // LOAD report, update_extra_delay holds surviving reports back by an
+  // exponential extra delay before they reach the board. Parsed with
+  // fault::FaultSpec so the CLI flag is shared with the simulator.
+  fault::FaultSpec faults;
+
+  // Status lines ("LISTENING", "READY") for humans and harnesses; nullable.
+  std::ostream* status_out = nullptr;
+
+  obs::TraceSink* trace = nullptr;
+};
+
+struct DispatcherStats {
+  std::uint64_t jobs_received = 0;
+  std::uint64_t jobs_dispatched = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_rejected = 0;  // no registered backend to send to
+  std::uint64_t jobs_orphaned = 0;  // backend connection died mid-job
+  std::uint64_t reports_received = 0;
+  std::uint64_t reports_dropped = 0;  // injected loss
+  std::uint64_t reports_delayed = 0;  // injected delay
+  std::uint64_t hellos_received = 0;
+  std::vector<std::uint64_t> per_backend_dispatched;
+  double started_at = 0.0;
+  double stopped_at = 0.0;
+};
+
+class Dispatcher {
+ public:
+  // Binds both sockets and resolves the policy; throws on bad configuration.
+  explicit Dispatcher(const DispatcherOptions& options);
+
+  std::uint16_t tcp_port() const { return tcp_port_; }
+  std::uint16_t udp_port() const { return udp_port_; }
+
+  // Serves until the duration elapses or `stop_flag` goes true.
+  void run(const std::atomic<bool>* stop_flag = nullptr);
+
+  const DispatcherStats& stats() const { return stats_; }
+  int registered_backends() const { return registered_; }
+
+ private:
+  struct BackendConn {
+    bool registered = false;
+    Endpoint endpoint;  // data-plane address learned from HELLO
+    Fd fd;
+    LineBuffer in;
+    WriteBuffer out;
+  };
+
+  struct ClientConn {
+    Fd fd;
+    LineBuffer in;
+    WriteBuffer out;
+  };
+
+  struct InFlightJob {
+    int client_fd = -1;  // -1 after the client hung up
+    std::uint64_t client_id = 0;
+    int backend = 0;
+  };
+
+  void on_udp_readable();
+  void handle_datagram(const std::string& payload, const std::string& from);
+  void register_backend(const HelloMsg& hello, const std::string& from_host);
+  void accept_clients();
+  void on_client_readable(int fd);
+  void on_backend_readable(int index);
+  void handle_client_line(int fd, const std::string& line);
+  void handle_backend_line(int index, const std::string& line);
+  void dispatch_job(int client_fd, std::uint64_t client_id);
+  void apply_report(const LoadMsg& msg);
+  void drop_client(int fd);
+  void drop_backend(int index);
+  void send_to_client(int fd, const std::string& bytes);
+  void send_to_backend(int index, const std::string& bytes);
+  void flush_conn(int fd, WriteBuffer* out, bool want_read);
+  void status(const std::string& line);
+
+  DispatcherOptions options_;
+  EventLoop loop_;
+  Fd listen_fd_;
+  Fd udp_fd_;
+  std::uint16_t tcp_port_ = 0;
+  std::uint16_t udp_port_ = 0;
+
+  policy::PolicyPtr policy_;
+  NetBoard board_;
+  sim::Rng rng_;        // policy tie-breaks / subset sampling
+  sim::Rng fault_rng_;  // report loss/delay draws (split stream)
+  core::RateEstimatorPtr rate_;
+
+  std::vector<BackendConn> backends_;
+  int registered_ = 0;
+  std::map<int, ClientConn> clients_;           // by fd
+  std::map<std::uint64_t, InFlightJob> jobs_;   // by dispatcher-global id
+  std::vector<int> outstanding_;                // per backend, LB-side queue
+  std::uint64_t next_gid_ = 1;
+
+  DispatcherStats stats_;
+};
+
+}  // namespace stale::net

@@ -1,0 +1,163 @@
+#include "net/event_loop.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/clock.h"
+
+// epoll is the intended backend; the poll() path exists so the subsystem
+// still builds on non-Linux POSIX (and is compiled in CI's matrix only via
+// this macro if ever needed).
+#if defined(__linux__)
+#define STALELOAD_NET_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define STALELOAD_NET_EPOLL 0
+#include <poll.h>
+#endif
+
+namespace stale::net {
+
+EventLoop::EventLoop() {
+#if STALELOAD_NET_EPOLL
+  epoll_fd_.reset(epoll_create1(0));
+  if (!epoll_fd_.valid()) {
+    throw std::runtime_error("epoll_create1 failed");
+  }
+#endif
+  now_ = mono_now();
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::apply_interest(int fd, const Watch& watch, bool is_new) {
+#if STALELOAD_NET_EPOLL
+  epoll_event event{};
+  event.events = (watch.want_read ? EPOLLIN : 0u) |
+                 (watch.want_write ? EPOLLOUT : 0u);
+  event.data.fd = fd;
+  epoll_ctl(epoll_fd_.get(), is_new ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd,
+            &event);
+#else
+  static_cast<void>(fd);
+  static_cast<void>(watch);
+  static_cast<void>(is_new);  // poll() rebuilds its set every iteration
+#endif
+}
+
+void EventLoop::watch(int fd, bool want_read, bool want_write,
+                      FdCallback callback) {
+  const bool is_new = watches_.find(fd) == watches_.end();
+  Watch& watch = watches_[fd];
+  watch.want_read = want_read;
+  watch.want_write = want_write;
+  watch.callback = std::move(callback);
+  apply_interest(fd, watch, is_new);
+}
+
+void EventLoop::set_interest(int fd, bool want_read, bool want_write) {
+  const auto it = watches_.find(fd);
+  if (it == watches_.end()) return;
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  apply_interest(fd, it->second, /*is_new=*/false);
+}
+
+void EventLoop::forget(int fd) {
+  if (watches_.erase(fd) == 0) return;
+#if STALELOAD_NET_EPOLL
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+#endif
+}
+
+std::uint64_t EventLoop::add_timer(double delay, TimerCallback callback) {
+  const std::uint64_t id = next_timer_id_++;
+  timers_.push(Timer{now_ + std::max(delay, 0.0), id});
+  timer_callbacks_[id] = std::move(callback);
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) { timer_callbacks_.erase(id); }
+
+double EventLoop::next_timeout() const {
+  double timeout = kMaxWait;
+  if (!timers_.empty()) {
+    timeout = std::min(timeout, timers_.top().deadline - now_);
+  }
+  return std::max(timeout, 0.0);
+}
+
+int EventLoop::wait_ready(double timeout,
+                          std::vector<std::pair<int, std::uint32_t>>* ready) {
+  const int timeout_ms =
+      static_cast<int>(std::ceil(timeout * 1000.0));
+#if STALELOAD_NET_EPOLL
+  epoll_event events[64];
+  const int n = epoll_wait(epoll_fd_.get(), events, 64, timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    std::uint32_t mask = 0;
+    if (events[i].events & EPOLLIN) mask |= kReadable;
+    if (events[i].events & EPOLLOUT) mask |= kWritable;
+    if (events[i].events & (EPOLLERR | EPOLLHUP)) mask |= kError | kReadable;
+    const int fd = events[i].data.fd;
+    ready->emplace_back(fd, mask);
+  }
+  return n;
+#else
+  std::vector<pollfd> fds;
+  fds.reserve(watches_.size());
+  for (const auto& [fd, watch] : watches_) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = static_cast<short>((watch.want_read ? POLLIN : 0) |
+                                  (watch.want_write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  const int n = poll(fds.data(), fds.size(), timeout_ms);
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    std::uint32_t mask = 0;
+    if (p.revents & POLLIN) mask |= kReadable;
+    if (p.revents & POLLOUT) mask |= kWritable;
+    if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) mask |= kError | kReadable;
+    ready->emplace_back(p.fd, mask);
+  }
+  return n;
+#endif
+}
+
+void EventLoop::fire_due_timers() {
+  while (!timers_.empty() && timers_.top().deadline <= now_) {
+    const Timer timer = timers_.top();
+    timers_.pop();
+    const auto it = timer_callbacks_.find(timer.id);
+    if (it == timer_callbacks_.end()) continue;  // cancelled
+    TimerCallback callback = std::move(it->second);
+    timer_callbacks_.erase(it);
+    callback();
+  }
+}
+
+void EventLoop::run(const std::atomic<bool>* stop_flag) {
+  stopped_ = false;
+  std::vector<std::pair<int, std::uint32_t>> ready;
+  while (!stopped_) {
+    if (stop_flag != nullptr &&
+        stop_flag->load(std::memory_order_relaxed)) {
+      break;
+    }
+    ready.clear();
+    wait_ready(next_timeout(), &ready);
+    now_ = mono_now();
+    fire_due_timers();
+    for (const auto& [fd, mask] : ready) {
+      // A callback may forget() this or any later fd; re-check liveness.
+      const auto it = watches_.find(fd);
+      if (it == watches_.end() || !it->second.callback) continue;
+      it->second.callback(mask);
+      if (stopped_) break;
+    }
+  }
+}
+
+}  // namespace stale::net

@@ -1,0 +1,101 @@
+// Single-threaded readiness event loop: the execution model of every live
+// binary (staleload_lb, staleload_backend, staleload_loadgen).
+//
+// One loop per process, no worker threads: callbacks run to completion on
+// the loop thread, so — exactly like the event-driven simulator — handlers
+// never need locks, and the dispatcher's policy/board state is touched from
+// one thread only. The backend is Linux epoll when available, with a
+// portable poll() fallback selected at compile time (STALELOAD_NET_EPOLL).
+//
+// Timers are a one-shot min-heap on net::mono_now(); periodic behaviour is
+// a callback re-arming itself, which keeps cancellation trivial (generation
+// counter, no heap surgery).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace stale::net {
+
+class EventLoop {
+ public:
+  // Bitmask passed to fd callbacks.
+  static constexpr std::uint32_t kReadable = 1;
+  static constexpr std::uint32_t kWritable = 2;
+  static constexpr std::uint32_t kError = 4;
+
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerCallback = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` with the given interest set. The callback stays owned by
+  // the loop until forget(fd). Re-watching an fd replaces its registration.
+  void watch(int fd, bool want_read, bool want_write, FdCallback callback);
+
+  // Adjusts interest for an already watched fd.
+  void set_interest(int fd, bool want_read, bool want_write);
+
+  // Drops an fd from the loop. Safe to call from inside its own callback.
+  void forget(int fd);
+
+  // Schedules `callback` to fire once, `delay` seconds from now. Returns an
+  // id usable with cancel_timer. Timers firing the same iteration run in
+  // (deadline, id) order — deterministic given identical readiness.
+  std::uint64_t add_timer(double delay, TimerCallback callback);
+  void cancel_timer(std::uint64_t id);
+
+  // Runs until stop() is called or `stop_flag` (nullable; typically set from
+  // a signal handler) becomes true. The flag is polled at least every
+  // `kMaxWait` seconds.
+  void run(const std::atomic<bool>* stop_flag = nullptr);
+  void stop() { stopped_ = true; }
+
+  // Monotonic time, refreshed once per loop iteration so all callbacks of an
+  // iteration observe one consistent "now".
+  double now() const { return now_; }
+
+ private:
+  static constexpr double kMaxWait = 0.1;  // seconds; stop-flag poll bound
+
+  struct Watch {
+    bool want_read = false;
+    bool want_write = false;
+    FdCallback callback;
+  };
+
+  struct Timer {
+    double deadline = 0.0;
+    std::uint64_t id = 0;
+    bool operator>(const Timer& other) const {
+      return deadline != other.deadline ? deadline > other.deadline
+                                        : id > other.id;
+    }
+  };
+
+  void apply_interest(int fd, const Watch& watch, bool is_new);
+  int wait_ready(double timeout,
+                 std::vector<std::pair<int, std::uint32_t>>* ready);
+  void fire_due_timers();
+  double next_timeout() const;
+
+  std::map<int, Watch> watches_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::map<std::uint64_t, TimerCallback> timer_callbacks_;  // absent=cancelled
+  std::uint64_t next_timer_id_ = 1;
+  bool stopped_ = false;
+  double now_ = 0.0;
+  Fd epoll_fd_;  // invalid in the poll() build
+};
+
+}  // namespace stale::net

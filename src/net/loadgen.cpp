@@ -1,0 +1,161 @@
+#include "net/loadgen.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "net/protocol.h"
+#include "sim/distributions.h"
+#include "sim/stats.h"
+
+namespace stale::net {
+
+LoadGen::LoadGen(const LoadGenOptions& options)
+    : options_(options), rng_(options.seed) {
+  if (options.lambda <= 0.0) {
+    throw std::invalid_argument("loadgen lambda must be > 0");
+  }
+  if (options.duration <= 0.0 && options.max_jobs == 0) {
+    throw std::invalid_argument("loadgen needs a duration or a job cap");
+  }
+}
+
+void LoadGen::status(const std::string& line) {
+  if (options_.status_out == nullptr) return;
+  *options_.status_out << line << std::endl;
+}
+
+void LoadGen::run(const std::atomic<bool>* stop_flag) {
+  conn_ = tcp_connect(options_.target);
+  const double started = loop_.now();
+  loop_.watch(conn_.get(), /*want_read=*/true, /*want_write=*/false,
+              [this](std::uint32_t events) {
+                if (events & EventLoop::kWritable) {
+                  out_.flush(conn_.get());
+                  loop_.set_interest(conn_.get(), true, out_.wants_write());
+                }
+                if (events & EventLoop::kReadable) on_readable();
+              });
+  if (options_.duration > 0.0) {
+    loop_.add_timer(options_.duration, [this] {
+      sending_ = false;
+      if (outstanding_.empty()) loop_.stop();
+    });
+    loop_.add_timer(options_.duration + options_.drain,
+                    [this] { loop_.stop(); });
+  }
+  // First arrival after one exponential gap, like the simulator's Poisson
+  // process.
+  loop_.add_timer(sim::Exponential(1.0 / options_.lambda).sample(rng_),
+                  [this] { send_next_job(); });
+  status("LOADGEN RUNNING target=" + options_.target.to_string());
+  loop_.run(stop_flag);
+  report_.elapsed = loop_.now() - started;
+
+  std::sort(latencies_.begin(), latencies_.end());
+  report_.measured = latencies_.size();
+  if (!latencies_.empty()) {
+    double sum = 0.0;
+    for (double v : latencies_) sum += v;
+    report_.mean_response = sum / static_cast<double>(latencies_.size());
+    report_.p50 = sim::percentile_sorted(latencies_, 0.50);
+    report_.p90 = sim::percentile_sorted(latencies_, 0.90);
+    report_.p99 = sim::percentile_sorted(latencies_, 0.99);
+  }
+  status("LOADGEN DONE sent=" + std::to_string(report_.sent) +
+         " completed=" + std::to_string(report_.completed));
+}
+
+void LoadGen::send_next_job() {
+  if (!sending_) return;
+  if (options_.max_jobs > 0 && report_.sent >= options_.max_jobs) {
+    sending_ = false;
+    if (outstanding_.empty()) loop_.stop();
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  outstanding_[id] = loop_.now();
+  ++report_.sent;
+  out_.append(format_job(JobMsg{id}));
+  out_.flush(conn_.get());
+  loop_.set_interest(conn_.get(), true, out_.wants_write());
+  loop_.add_timer(sim::Exponential(1.0 / options_.lambda).sample(rng_),
+                  [this] { send_next_job(); });
+}
+
+void LoadGen::on_readable() {
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = recv(conn_.get(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      in_.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    loop_.stop();  // dispatcher hung up
+    return;
+  }
+  std::string line;
+  while (in_.next_line(&line)) handle_line(line);
+  if (!sending_ && outstanding_.empty()) loop_.stop();
+}
+
+void LoadGen::handle_line(const std::string& line) {
+  if (const auto done = parse_client_done(line)) {
+    const auto it = outstanding_.find(done->id);
+    if (it == outstanding_.end()) return;
+    const double latency = loop_.now() - it->second;
+    outstanding_.erase(it);
+    ++report_.completed;
+    if (report_.completed > options_.warmup_jobs) latencies_.push_back(latency);
+    const auto backend = static_cast<std::size_t>(done->backend);
+    if (report_.per_backend_completions.size() <= backend) {
+      report_.per_backend_completions.resize(backend + 1, 0);
+    }
+    ++report_.per_backend_completions[backend];
+    return;
+  }
+  if (line.rfind("ERR ", 0) == 0) {
+    // "ERR <id> <reason>": count it and retire the outstanding entry.
+    const std::size_t space = line.find(' ', 4);
+    const std::string id_text =
+        space == std::string::npos ? line.substr(4)
+                                   : line.substr(4, space - 4);
+    ++report_.errors;
+    outstanding_.erase(static_cast<std::uint64_t>(
+        std::strtoull(id_text.c_str(), nullptr, 10)));
+  }
+}
+
+void write_loadgen_json(std::ostream& os, const LoadGenOptions& options,
+                        const LoadGenReport& report) {
+  const auto saved_precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"config\": {"
+     << "\"target\": \"" << options.target.to_string() << "\""
+     << ", \"lambda\": " << options.lambda
+     << ", \"duration\": " << options.duration
+     << ", \"warmup_jobs\": " << options.warmup_jobs
+     << ", \"seed\": " << options.seed << "}, \"result\": {"
+     << "\"mean_response\": " << report.mean_response
+     << ", \"p50\": " << report.p50 << ", \"p90\": " << report.p90
+     << ", \"p99\": " << report.p99 << ", \"sent\": " << report.sent
+     << ", \"completed\": " << report.completed
+     << ", \"errors\": " << report.errors
+     << ", \"measured\": " << report.measured
+     << ", \"elapsed\": " << report.elapsed
+     << ", \"per_backend_completions\": [";
+  for (std::size_t i = 0; i < report.per_backend_completions.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << report.per_backend_completions[i];
+  }
+  os << "]}}\n";
+  os.precision(saved_precision);
+}
+
+}  // namespace stale::net

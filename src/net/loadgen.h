@@ -1,0 +1,83 @@
+// staleload_loadgen: open-loop Poisson client for the live dispatcher.
+//
+// Sends `JOB <id>` lines to the dispatcher on one persistent TCP connection
+// with exponential inter-arrival gaps (an open-loop arrival process: the
+// send schedule never waits for completions, so an overloaded dispatcher
+// builds real queues instead of throttling its own offered load). Records
+// per-job response times (send -> DONE) and reports mean + percentiles in
+// the same {"config": ..., "result": ...} JSON shape as staleload_sim, so
+// sim-vs-live comparisons are one jq expression apart.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/buffer.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "sim/rng.h"
+
+namespace stale::net {
+
+struct LoadGenOptions {
+  Endpoint target;       // dispatcher's client-facing TCP endpoint
+  double lambda = 10.0;  // aggregate arrival rate, jobs/second
+  double duration = 5.0; // send window, seconds
+  double drain = 2.0;    // post-window grace for outstanding replies
+  std::uint64_t max_jobs = 0;  // optional hard cap; 0 = no cap
+  std::uint64_t seed = 1;
+  std::uint64_t warmup_jobs = 0;  // first N completions excluded from stats
+  std::ostream* status_out = nullptr;
+};
+
+struct LoadGenReport {
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;    // ERR replies (rejected dispatches)
+  std::uint64_t measured = 0;  // completions counted after warmup
+  double elapsed = 0.0;        // run() wall span, seconds
+  double mean_response = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::uint64_t> per_backend_completions;
+};
+
+class LoadGen {
+ public:
+  explicit LoadGen(const LoadGenOptions& options);
+
+  // Connects, runs the arrival process, drains, computes the report.
+  void run(const std::atomic<bool>* stop_flag = nullptr);
+
+  const LoadGenReport& report() const { return report_; }
+
+ private:
+  void send_next_job();
+  void on_readable();
+  void handle_line(const std::string& line);
+  void status(const std::string& line);
+
+  LoadGenOptions options_;
+  EventLoop loop_;
+  Fd conn_;
+  LineBuffer in_;
+  WriteBuffer out_;
+  sim::Rng rng_;
+
+  std::uint64_t next_id_ = 1;
+  bool sending_ = true;
+  std::map<std::uint64_t, double> outstanding_;  // id -> send time
+  std::vector<double> latencies_;
+  LoadGenReport report_;
+};
+
+// The staleload_sim-shaped JSON record for one loadgen run.
+void write_loadgen_json(std::ostream& os, const LoadGenOptions& options,
+                        const LoadGenReport& report);
+
+}  // namespace stale::net

@@ -1,0 +1,68 @@
+#include "net/net_board.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace stale::net {
+
+const char* update_schedule_name(UpdateSchedule schedule) {
+  return schedule == UpdateSchedule::kPeriodic ? "periodic" : "piggyback";
+}
+
+UpdateSchedule parse_update_schedule(const std::string& name) {
+  if (name == "periodic") return UpdateSchedule::kPeriodic;
+  if (name == "piggyback") return UpdateSchedule::kPiggyback;
+  throw std::invalid_argument("unknown update schedule '" + name +
+                              "' (periodic|piggyback)");
+}
+
+NetBoard::NetBoard(int num_backends, UpdateSchedule schedule,
+                   double update_period, double start_time)
+    : schedule_(schedule),
+      update_period_(update_period),
+      loads_(static_cast<std::size_t>(num_backends), 0),
+      measured_at_(static_cast<std::size_t>(num_backends), start_time),
+      last_refresh_(start_time) {
+  if (num_backends <= 0) {
+    throw std::invalid_argument("NetBoard needs at least one backend");
+  }
+  if (schedule_ == UpdateSchedule::kPeriodic && update_period_ <= 0.0) {
+    throw std::invalid_argument(
+        "periodic update schedule needs a positive update period");
+  }
+}
+
+void NetBoard::apply_report(int index, int queue_len, double now) {
+  if (index < 0 || index >= num_backends()) return;
+  const auto i = static_cast<std::size_t>(index);
+  loads_[i] = queue_len;
+  measured_at_[i] = now;
+  last_refresh_ = now;
+  ++version_;
+  ++reports_applied_;
+}
+
+void NetBoard::note_dispatch(int index, double now) {
+  if (schedule_ != UpdateSchedule::kPiggyback) return;
+  if (index < 0 || index >= num_backends()) return;
+  static_cast<void>(now);
+  ++loads_[static_cast<std::size_t>(index)];
+  ++version_;
+}
+
+double NetBoard::age(double now) const {
+  const double oldest =
+      *std::min_element(measured_at_.begin(), measured_at_.end());
+  return std::max(now - oldest, 0.0);
+}
+
+double NetBoard::phase_elapsed(double now) const {
+  return std::max(now - last_refresh_, 0.0);
+}
+
+double NetBoard::phase_length() const {
+  return schedule_ == UpdateSchedule::kPeriodic ? update_period_ : 0.0;
+}
+
+}  // namespace stale::net

@@ -1,0 +1,79 @@
+// NetBoard: the live counterpart of loadinfo's bulletin boards.
+//
+// The simulated boards (loadinfo/periodic_board.h etc.) synthesize staleness
+// from the simulated clock; here staleness is physical — backends post queue
+// lengths over UDP and the board entry for server i is simply the last
+// report that survived the network (and the optional injected report loss),
+// stamped with its receive time. The dispatcher builds each request's
+// policy::DispatchContext from this board, so every policy:: implementation
+// runs unmodified against real stale information.
+//
+// Two update schedules mirror the paper's information models:
+//   kPeriodic  — backends post every T seconds (paper Section 3.1's periodic
+//                bulletin board, phases staggered per backend since the
+//                backends' timers are unsynchronized);
+//   kPiggyback — no standing reports; the board learns server i's queue
+//                length from each DONE reply and optimistically counts the
+//                dispatcher's own in-flight dispatches (the update-on-access
+//                model of Section 3.3, where acting on a server refreshes
+//                your information about it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stale::net {
+
+enum class UpdateSchedule { kPeriodic, kPiggyback };
+
+const char* update_schedule_name(UpdateSchedule schedule);
+// Parses "periodic" / "piggyback"; throws std::invalid_argument otherwise.
+UpdateSchedule parse_update_schedule(const std::string& name);
+
+class NetBoard {
+ public:
+  // `update_period` is T; required positive for kPeriodic (it is the phase
+  // length LI policies interpret against), ignored for kPiggyback.
+  NetBoard(int num_backends, UpdateSchedule schedule, double update_period,
+           double start_time);
+
+  // A load report for backend `index` became visible at `now`.
+  void apply_report(int index, int queue_len, double now);
+
+  // The dispatcher sent a job to `index` at `now`. Under kPiggyback this
+  // bumps the optimistic local count; under kPeriodic it is a no-op (the
+  // paper's periodic board never reflects the dispatcher's own actions).
+  void note_dispatch(int index, double now);
+
+  std::span<const int> loads() const { return loads_; }
+  int num_backends() const { return static_cast<int>(loads_.size()); }
+
+  // Age of the *oldest* visible entry — the conservative staleness a
+  // timestamped board lets a dispatcher compute.
+  double age(double now) const;
+
+  // Time since the newest report was applied (the within-phase position
+  // under periodic update).
+  double phase_elapsed(double now) const;
+
+  // T under kPeriodic, 0 under kPiggyback (DispatchContext::periodic()).
+  double phase_length() const;
+
+  // Bumped on every visible change; policies key their caches on it.
+  std::uint64_t version() const { return version_; }
+
+  std::uint64_t reports_applied() const { return reports_applied_; }
+
+ private:
+  UpdateSchedule schedule_;
+  double update_period_;
+  std::vector<int> loads_;
+  std::vector<double> measured_at_;
+  double last_refresh_;
+  std::uint64_t version_ = 1;
+  std::uint64_t reports_applied_ = 0;
+};
+
+}  // namespace stale::net

@@ -1,0 +1,117 @@
+#include "net/protocol.h"
+
+#include <charconv>
+#include <vector>
+
+namespace stale::net {
+
+namespace {
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end > pos) fields.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return fields;
+}
+
+// Non-negative integers only: indexes, ports, ids, queue lengths.
+template <typename Int>
+bool parse_uint(std::string_view text, Int* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::optional<HelloMsg> parse_hello(std::string_view line) {
+  const auto fields = split_fields(line);
+  HelloMsg msg;
+  if (fields.size() != 3 || fields[0] != "HELLO" ||
+      !parse_uint(fields[1], &msg.index) ||
+      !parse_uint(fields[2], &msg.tcp_port)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::optional<LoadMsg> parse_load(std::string_view line) {
+  const auto fields = split_fields(line);
+  LoadMsg msg;
+  if (fields.size() != 4 || fields[0] != "LOAD" ||
+      !parse_uint(fields[1], &msg.index) ||
+      !parse_uint(fields[2], &msg.queue_len) ||
+      !parse_uint(fields[3], &msg.seq)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::optional<JobMsg> parse_job(std::string_view line) {
+  const auto fields = split_fields(line);
+  JobMsg msg;
+  if (fields.size() != 2 || fields[0] != "JOB" ||
+      !parse_uint(fields[1], &msg.id)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::optional<DoneMsg> parse_done(std::string_view line) {
+  const auto fields = split_fields(line);
+  DoneMsg msg;
+  if (fields.size() != 3 || fields[0] != "DONE" ||
+      !parse_uint(fields[1], &msg.id) ||
+      !parse_uint(fields[2], &msg.queue_len)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::optional<ClientDoneMsg> parse_client_done(std::string_view line) {
+  const auto fields = split_fields(line);
+  ClientDoneMsg msg;
+  if (fields.size() != 3 || fields[0] != "DONE" ||
+      !parse_uint(fields[1], &msg.id) ||
+      !parse_uint(fields[2], &msg.backend)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::string format_hello(const HelloMsg& msg) {
+  return "HELLO " + std::to_string(msg.index) + " " +
+         std::to_string(msg.tcp_port) + "\n";
+}
+
+std::string format_load(const LoadMsg& msg) {
+  return "LOAD " + std::to_string(msg.index) + " " +
+         std::to_string(msg.queue_len) + " " + std::to_string(msg.seq) + "\n";
+}
+
+std::string format_job(const JobMsg& msg) {
+  return "JOB " + std::to_string(msg.id) + "\n";
+}
+
+std::string format_done(const DoneMsg& msg) {
+  return "DONE " + std::to_string(msg.id) + " " +
+         std::to_string(msg.queue_len) + "\n";
+}
+
+std::string format_client_done(const ClientDoneMsg& msg) {
+  return "DONE " + std::to_string(msg.id) + " " +
+         std::to_string(msg.backend) + "\n";
+}
+
+std::string format_client_err(std::uint64_t id, const std::string& reason) {
+  return "ERR " + std::to_string(id) + " " + reason + "\n";
+}
+
+}  // namespace stale::net

@@ -1,0 +1,71 @@
+// Wire protocol of the live dispatcher loop. Every message is one ASCII
+// line; UDP messages are one datagram each. Deliberately human-readable —
+// `nc 127.0.0.1 PORT` and `printf 'JOB 1\n'` are the debugging story — and
+// versioned by leading keyword so unknown messages are skipped, not fatal.
+//
+//   backend -> LB (UDP, control plane):
+//     HELLO <index> <tcp_port>        registration + liveness heartbeat
+//     LOAD <index> <queue_len> <seq>  periodic load report ("bulletin board
+//                                     post"); seq detects reordering
+//   LB -> backend (TCP, data plane):
+//     JOB <gid>                       dispatch one job
+//   backend -> LB (TCP):
+//     DONE <gid> <queue_len_after>    job finished; current queue length is
+//                                     piggybacked (the update-on-access path)
+//   client -> LB (TCP):
+//     JOB <id>                        submit one job
+//   LB -> client (TCP):
+//     DONE <id> <backend>             job completed on that backend
+//     ERR <id> <reason>               dispatch failed (e.g. no backends)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace stale::net {
+
+struct HelloMsg {
+  int index = 0;
+  std::uint16_t tcp_port = 0;
+};
+
+struct LoadMsg {
+  int index = 0;
+  int queue_len = 0;
+  std::uint64_t seq = 0;
+};
+
+struct JobMsg {
+  std::uint64_t id = 0;
+};
+
+struct DoneMsg {
+  std::uint64_t id = 0;
+  int queue_len = 0;
+};
+
+struct ClientDoneMsg {
+  std::uint64_t id = 0;
+  int backend = 0;
+};
+
+// Parsers return nullopt on any malformed or foreign line (wrong keyword,
+// wrong field count, non-numeric or negative fields) — the live loop drops
+// garbage instead of dying on it.
+std::optional<HelloMsg> parse_hello(std::string_view line);
+std::optional<LoadMsg> parse_load(std::string_view line);
+std::optional<JobMsg> parse_job(std::string_view line);
+std::optional<DoneMsg> parse_done(std::string_view line);
+std::optional<ClientDoneMsg> parse_client_done(std::string_view line);
+
+// Formatters emit the terminating '\n'.
+std::string format_hello(const HelloMsg& msg);
+std::string format_load(const LoadMsg& msg);
+std::string format_job(const JobMsg& msg);
+std::string format_done(const DoneMsg& msg);
+std::string format_client_done(const ClientDoneMsg& msg);
+std::string format_client_err(std::uint64_t id, const std::string& reason);
+
+}  // namespace stale::net

@@ -1,14 +1,21 @@
 #include "obs/export_csv.h"
 
+#include <limits>
+
 namespace stale::obs {
 
 void write_events_csv(std::ostream& out, const TraceRecorder& recorder) {
+  // Full double precision so a trace survives export -> import_events_csv
+  // without collapsing distinct timestamps.
+  const auto saved_precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "time,kind,server,a,b,c\n";
   for (const TraceEvent& event : recorder.events_by_time()) {
     out << event.time << ',' << trace_event_kind_name(event.kind) << ','
         << event.server << ',' << event.a << ',' << event.b << ',' << event.c
         << '\n';
   }
+  out.precision(saved_precision);
 }
 
 void write_trajectory_csv(std::ostream& out,

@@ -1,0 +1,132 @@
+#include "obs/trace_import.h"
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace stale::obs {
+
+namespace {
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string copy(text);
+  char* end = nullptr;
+  const long long value = std::strtoll(copy.c_str(), &end, 10);
+  if (end != copy.c_str() + copy.size()) return std::nullopt;
+  return static_cast<std::int64_t>(value);
+}
+
+std::optional<TraceEventKind> parse_kind(std::string_view name) {
+  static constexpr std::array<TraceEventKind, 8> kKinds = {
+      TraceEventKind::kKernel,       TraceEventKind::kDispatch,
+      TraceEventKind::kDeparture,    TraceEventKind::kServerDown,
+      TraceEventKind::kServerUp,     TraceEventKind::kBoardRefresh,
+      TraceEventKind::kRefreshFault, TraceEventKind::kDecision,
+  };
+  for (TraceEventKind kind : kKinds) {
+    if (name == trace_event_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+// Splits `line` on commas into exactly `fields.size()` pieces.
+bool split_row(std::string_view line, std::span<std::string_view> fields) {
+  std::size_t index = 0;
+  while (true) {
+    const std::size_t comma = line.find(',');
+    if (index >= fields.size()) return false;
+    fields[index++] = line.substr(0, comma);
+    if (comma == std::string_view::npos) break;
+    line.remove_prefix(comma + 1);
+  }
+  return index == fields.size();
+}
+
+bool replay_row(std::string_view line, TraceRecorder& recorder) {
+  std::array<std::string_view, 6> fields;
+  if (!split_row(line, fields)) return false;
+  const auto time = parse_double(fields[0]);
+  const auto kind = parse_kind(fields[1]);
+  const auto server = parse_i64(fields[2]);
+  const auto a = parse_double(fields[3]);
+  const auto b = parse_double(fields[4]);
+  const auto c = parse_i64(fields[5]);
+  if (!time || !kind || !server || !a || !b || !c) return false;
+
+  const int server_index = static_cast<int>(*server);
+  switch (*kind) {
+    case TraceEventKind::kKernel:
+      recorder.on_kernel_event(*time);
+      return true;
+    case TraceEventKind::kDispatch:
+      recorder.on_dispatch(*time, server_index, *a, static_cast<int>(*c), *b);
+      return true;
+    case TraceEventKind::kDeparture:
+      recorder.on_departure(*time, server_index, static_cast<int>(*c));
+      return true;
+    case TraceEventKind::kServerDown:
+      recorder.on_server_down(*time, server_index, static_cast<int>(*c));
+      return true;
+    case TraceEventKind::kServerUp:
+      recorder.on_server_up(*time, server_index);
+      return true;
+    case TraceEventKind::kBoardRefresh:
+      // b carries the board version; the c column is the exporting
+      // recorder's snapshot index, so the load vector itself is gone —
+      // replay with an empty snapshot.
+      recorder.on_board_refresh(*time, *a, static_cast<std::uint64_t>(*b),
+                                {});
+      return true;
+    case TraceEventKind::kRefreshFault:
+      if (*c < 0 ||
+          *c > static_cast<std::int64_t>(FaultTraceEvent::kEstimatorDrop)) {
+        return false;
+      }
+      recorder.on_refresh_fault(*time, static_cast<FaultTraceEvent>(*c),
+                                server_index);
+      return true;
+    case TraceEventKind::kDecision:
+      recorder.on_decision(*time, server_index, *a);
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ImportStats import_events_csv(std::istream& in, TraceRecorder& recorder) {
+  ImportStats stats;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!saw_header) {
+      saw_header = true;
+      if (line.rfind("time,", 0) == 0) continue;  // header row
+    }
+    ++stats.rows;
+    if (replay_row(line, recorder)) {
+      ++stats.imported;
+    } else {
+      ++stats.malformed;
+    }
+  }
+  return stats;
+}
+
+}  // namespace stale::obs

@@ -1,0 +1,32 @@
+// Importer for the events CSV written by write_events_csv: rebuilds a
+// TraceRecorder by replaying each row through the corresponding TraceSink
+// hook, so a trace exported by one process (e.g. the live staleload_lb
+// dispatcher) can be post-processed by another (probes, herd detector,
+// exporters) exactly like an in-memory recording.
+//
+// Round-trip caveats, by design: board-refresh rows carry no load snapshot
+// (the CSV stores the snapshot index, which is meaningless across
+// processes), and decision rows lose their probability-vector link.
+// Everything the probes and the herd detector consume — timestamps, servers,
+// queue lengths after dispatch/departure, phase boundaries, versions —
+// survives.
+#pragma once
+
+#include <istream>
+
+#include "obs/trace_recorder.h"
+
+namespace stale::obs {
+
+struct ImportStats {
+  int rows = 0;          // data rows seen (header excluded)
+  int imported = 0;      // rows replayed into the recorder
+  int malformed = 0;     // rows skipped (bad field count / numbers / kind)
+};
+
+// Reads `in` (header line plus `time,kind,server,a,b,c` rows) into
+// `recorder`. Returns per-row accounting; a malformed row is skipped, never
+// fatal, so a truncated live trace still analyzes.
+ImportStats import_events_csv(std::istream& in, TraceRecorder& recorder);
+
+}  // namespace stale::obs

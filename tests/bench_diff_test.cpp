@@ -1,0 +1,117 @@
+// The bench_diff perf gate (tools/bench_diff_lib.h): parsing of
+// google-benchmark JSON (including repetition aggregates), median folding,
+// and — the CI-critical behaviour — that an injected >10% median regression
+// trips the gate while noise under the threshold passes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "bench_diff_lib.h"
+
+namespace stale::benchdiff {
+namespace {
+
+std::string entry(const std::string& name, double real_time) {
+  std::ostringstream os;
+  os << "    {\n      \"name\": \"" << name << "\",\n"
+     << "      \"real_time\": " << real_time << ",\n"
+     << "      \"time_unit\": \"ns\"\n    },\n";
+  return os.str();
+}
+
+std::map<std::string, double> parse(const std::string& body) {
+  std::istringstream in("{\n  \"benchmarks\": [\n" + body + "  ]\n}\n");
+  return load_benchmarks(in);
+}
+
+TEST(BenchDiffLoadTest, SingleRunEntriesParseDirectly) {
+  const auto run = parse(entry("BM_select/64", 120.0) +
+                         entry("BM_refresh/1024", 4000.5));
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_DOUBLE_EQ(run.at("BM_select/64"), 120.0);
+  EXPECT_DOUBLE_EQ(run.at("BM_refresh/1024"), 4000.5);
+}
+
+TEST(BenchDiffLoadTest, RepetitionsFoldToTheMedian) {
+  // Three raw repetitions: median 110 must win, not the mean (and one noisy
+  // outlier repetition must not dominate).
+  const auto run = parse(entry("BM_select/64", 100.0) +
+                         entry("BM_select/64", 110.0) +
+                         entry("BM_select/64", 400.0));
+  ASSERT_EQ(run.size(), 1u);
+  EXPECT_DOUBLE_EQ(run.at("BM_select/64"), 110.0);
+}
+
+TEST(BenchDiffLoadTest, AggregateRowsAreFoldedNotTreatedAsBenchmarks) {
+  const auto run = parse(entry("BM_select/64", 100.0) +
+                         entry("BM_select/64", 120.0) +
+                         entry("BM_select/64_mean", 110.0) +
+                         entry("BM_select/64_median", 105.0) +
+                         entry("BM_select/64_stddev", 10.0) +
+                         entry("BM_select/64_cv", 0.09));
+  // One logical benchmark; google-benchmark's own median aggregate wins over
+  // the recomputed raw median, and _mean/_stddev/_cv never become names.
+  ASSERT_EQ(run.size(), 1u);
+  EXPECT_DOUBLE_EQ(run.at("BM_select/64"), 105.0);
+}
+
+TEST(BenchDiffGateTest, RegressionBeyondThresholdFails) {
+  const std::map<std::string, double> baseline = {{"BM_a", 100.0},
+                                                  {"BM_b", 200.0}};
+  const std::map<std::string, double> current = {{"BM_a", 100.0},
+                                                 {"BM_b", 230.0}};  // +15%
+  DiffOptions options;  // default max_regress_pct = 10
+  std::ostringstream out;
+  const DiffResult result = diff_benchmarks(baseline, current, options, out);
+  EXPECT_EQ(result.regressed, 1);
+  EXPECT_EQ(result.missing, 0);
+  EXPECT_TRUE(result.failed(options));
+  EXPECT_NE(out.str().find("REGRESSED BM_b"), std::string::npos);
+}
+
+TEST(BenchDiffGateTest, NoiseUnderThresholdAndImprovementsPass) {
+  const std::map<std::string, double> baseline = {{"BM_a", 100.0},
+                                                  {"BM_b", 200.0}};
+  const std::map<std::string, double> current = {{"BM_a", 108.0},   // +8%
+                                                 {"BM_b", 120.0}};  // -40%
+  DiffOptions options;
+  std::ostringstream out;
+  const DiffResult result = diff_benchmarks(baseline, current, options, out);
+  EXPECT_EQ(result.regressed, 0);
+  EXPECT_FALSE(result.failed(options));
+}
+
+TEST(BenchDiffGateTest, MissingBenchmarkFailsEvenWithoutTimingGate) {
+  const std::map<std::string, double> baseline = {{"BM_a", 100.0},
+                                                  {"BM_gone", 50.0}};
+  const std::map<std::string, double> current = {{"BM_a", 100.0},
+                                                 {"BM_new", 75.0}};
+  DiffOptions options;
+  options.max_regress_pct = -1.0;  // timing gate off
+  std::ostringstream out;
+  const DiffResult result = diff_benchmarks(baseline, current, options, out);
+  EXPECT_EQ(result.missing, 1);
+  EXPECT_EQ(result.added, 1);
+  EXPECT_EQ(result.regressed, 0);
+  EXPECT_TRUE(result.failed(options));
+  EXPECT_NE(out.str().find("MISSING   BM_gone"), std::string::npos);
+  EXPECT_NE(out.str().find("NEW       BM_new"), std::string::npos);
+}
+
+TEST(BenchDiffGateTest, ReportOnlyNeverFails) {
+  const std::map<std::string, double> baseline = {{"BM_a", 100.0},
+                                                  {"BM_gone", 50.0}};
+  const std::map<std::string, double> current = {{"BM_a", 300.0}};  // +200%
+  DiffOptions options;
+  options.report_only = true;
+  std::ostringstream out;
+  const DiffResult result = diff_benchmarks(baseline, current, options, out);
+  EXPECT_EQ(result.regressed, 1);
+  EXPECT_EQ(result.missing, 1);
+  EXPECT_FALSE(result.failed(options));
+}
+
+}  // namespace
+}  // namespace stale::benchdiff

@@ -85,6 +85,24 @@ TEST(FaultSpecTest, RejectsMalformedInput) {
   EXPECT_THROW(FaultSpec::parse("semantics=maybe"), std::invalid_argument);
   EXPECT_THROW(FaultSpec::parse("retries=-1"), std::invalid_argument);
   EXPECT_THROW(FaultSpec::parse("fallback="), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("delay=-0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("estdrop=2"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("cutoff=-1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("loss=0.1,=2"), std::invalid_argument);
+}
+
+TEST(FaultSpecTest, RejectsDuplicateKeys) {
+  // Last-wins duplicates would silently disagree with the experimenter's
+  // intent; every duplicate is a typo.
+  EXPECT_THROW(FaultSpec::parse("loss=0.1,loss=0"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("crash=0.1,down=2,crash=0.2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("cutoff=2T,cutoff=3"), std::invalid_argument);
+  EXPECT_THROW(
+      FaultSpec::parse("semantics=lost,semantics=requeue,crash=0.1,down=1"),
+      std::invalid_argument);
+  // Distinct keys still compose.
+  EXPECT_NO_THROW(FaultSpec::parse("loss=0.1,delay=0.5,estdrop=0.2"));
 }
 
 TEST(FaultSpecTest, RoundTripsThroughToString) {
@@ -97,6 +115,24 @@ TEST(FaultSpecTest, RoundTripsThroughToString) {
   EXPECT_DOUBLE_EQ(reparsed.update_loss, spec.update_loss);
   EXPECT_DOUBLE_EQ(reparsed.cutoff_value, spec.cutoff_value);
   EXPECT_EQ(reparsed.cutoff_in_intervals, spec.cutoff_in_intervals);
+}
+
+TEST(FaultSpecTest, RoundTripsEveryFieldFamilyThroughToString) {
+  const FaultSpec spec = FaultSpec::parse(
+      "crash=0.02,down=3,semantics=lost,loss=0.1,delay=0.25,estdrop=0.05,"
+      "cutoff=4,fallback=random,retries=5,backoff=0.2");
+  const FaultSpec reparsed = FaultSpec::parse(spec.to_string());
+  EXPECT_DOUBLE_EQ(reparsed.crash_rate, spec.crash_rate);
+  EXPECT_DOUBLE_EQ(reparsed.mean_downtime, spec.mean_downtime);
+  EXPECT_EQ(reparsed.semantics, spec.semantics);
+  EXPECT_DOUBLE_EQ(reparsed.update_loss, spec.update_loss);
+  EXPECT_DOUBLE_EQ(reparsed.update_extra_delay, spec.update_extra_delay);
+  EXPECT_DOUBLE_EQ(reparsed.estimator_dropout, spec.estimator_dropout);
+  EXPECT_DOUBLE_EQ(reparsed.cutoff_value, spec.cutoff_value);
+  EXPECT_EQ(reparsed.cutoff_in_intervals, spec.cutoff_in_intervals);
+  EXPECT_EQ(reparsed.fallback_policy, spec.fallback_policy);
+  EXPECT_EQ(reparsed.max_retries, spec.max_retries);
+  EXPECT_DOUBLE_EQ(reparsed.retry_backoff, spec.retry_backoff);
 }
 
 // --- crash semantics at the queueing layer --------------------------------

@@ -1,0 +1,8 @@
+// Lint fixture: scanned under src/sim/fixture.cpp. net is the live-service
+// layer above the simulation boundary; nothing simulated may include it
+// (that is how the wall-clock exemption for net stays contained). One L1
+// finding expected.
+#include "net/clock.h"
+#include "sim/rng.h"
+
+double width() { return 0.0; }

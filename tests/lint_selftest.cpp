@@ -68,6 +68,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"h3_todo.cpp", "src/driver/fixture.cpp",
                     "staleload-h3-todo-ref"},
         FixtureCase{"l1_obs_upward.cpp", "src/obs/fixture.cpp",
+                    "staleload-l1-layering"},
+        FixtureCase{"l1_sim_to_net.cpp", "src/sim/fixture.cpp",
                     "staleload-l1-layering"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.fixture;
@@ -180,6 +182,43 @@ TEST(LintLayeringTest, ObsIsIncludableFromEverySimulationLayer) {
   // clocks would perturb traced runs.
   EXPECT_FALSE(scan_file("src/obs/x.cpp", "std::ofstream out(path);\n")
                    .empty());
+}
+
+TEST(LintLayeringTest, NetIsTheLiveBoundaryLayer) {
+  // net may drive the whole simulation-side stack it shares with driver...
+  for (const char* header :
+       {"policy/policy_factory.h", "loadinfo/periodic_board.h",
+        "fault/fault_spec.h", "obs/trace_sink.h", "sim/rng.h"}) {
+    EXPECT_TRUE(scan_file("src/net/x.cpp",
+                          "#include \"" + std::string(header) + "\"\n")
+                    .empty())
+        << "net must be allowed to include " << header;
+  }
+  // ...but neither net nor driver may include the other.
+  const std::vector<Finding> net_to_driver =
+      scan_file("src/net/x.cpp", "#include \"driver/experiment.h\"\n");
+  ASSERT_EQ(net_to_driver.size(), 1u);
+  EXPECT_EQ(net_to_driver[0].rule, "staleload-l1-layering");
+  const std::vector<Finding> driver_to_net =
+      scan_file("src/driver/x.cpp", "#include \"net/dispatcher.h\"\n");
+  ASSERT_EQ(driver_to_net.size(), 1u);
+  EXPECT_EQ(driver_to_net[0].rule, "staleload-l1-layering");
+}
+
+TEST(LintScopeTest, NetIsExemptFromSimulationDeterminismRules) {
+  // The live service reads the monotonic clock and owns sockets — the
+  // D-rules stop at the simulation boundary (L1 keeps sim from reaching up
+  // into net, so the exemption cannot leak back down).
+  const std::string code =
+      "#include <ctime>\n"
+      "double now() { timespec ts{}; clock_gettime(CLOCK_MONOTONIC, &ts);"
+      " return static_cast<double>(ts.tv_sec); }\n"
+      "void dump() { std::ofstream out(\"trace.csv\"); }\n";
+  EXPECT_TRUE(scan_file("src/net/clock.cpp", code).empty());
+  // The same content inside the simulation scope still trips D1 first.
+  const std::vector<Finding> findings = scan_file("src/sim/clock.cpp", code);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "staleload-d1-wall-clock");
 }
 
 TEST(LintJsonTest, EscapesAndShapesFindings) {

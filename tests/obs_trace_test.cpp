@@ -16,6 +16,7 @@
 #include "obs/herd.h"
 #include "obs/probe.h"
 #include "obs/svg_timeline.h"
+#include "obs/trace_import.h"
 #include "obs/trace_recorder.h"
 
 namespace stale::obs {
@@ -194,6 +195,58 @@ TEST(ExportCsvTest, EventsAndTrajectoryRoundTripThroughText) {
   const std::string grid_text = grid.str();
   EXPECT_NE(grid_text.find("time,server0,server1"), std::string::npos);
   EXPECT_NE(grid_text.find("2,2,1"), std::string::npos);
+}
+
+TEST(TraceImportTest, ExportedCsvReplaysIntoAnEquivalentRecorder) {
+  TraceRecorder original = tiny_trace();
+  const std::vector<int> loads = {2, 1};
+  original.on_board_refresh(2.25, 1.75, 7, loads);
+  original.on_refresh_fault(2.5, FaultTraceEvent::kRefreshLost, 1);
+
+  std::ostringstream csv;
+  write_events_csv(csv, original);
+  std::istringstream in(csv.str());
+  TraceRecorder imported;
+  const ImportStats stats = import_events_csv(in, imported);
+  EXPECT_EQ(stats.rows, static_cast<int>(original.events().size()));
+  EXPECT_EQ(stats.imported, stats.rows);
+  EXPECT_EQ(stats.malformed, 0);
+
+  // Everything the probes and herd detector read survives the round trip
+  // (board snapshots/version intentionally do not; see trace_import.h).
+  const std::vector<TraceEvent> want = original.events_by_time();
+  const std::vector<TraceEvent> got = imported.events_by_time();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].kind, want[i].kind) << "event " << i;
+    EXPECT_DOUBLE_EQ(got[i].time, want[i].time) << "event " << i;
+    EXPECT_EQ(got[i].server, want[i].server) << "event " << i;
+    EXPECT_DOUBLE_EQ(got[i].a, want[i].a) << "event " << i;
+    EXPECT_DOUBLE_EQ(got[i].b, want[i].b) << "event " << i;
+    if (want[i].kind != TraceEventKind::kBoardRefresh &&
+        want[i].kind != TraceEventKind::kDecision) {
+      EXPECT_EQ(got[i].c, want[i].c) << "event " << i;
+    }
+  }
+  EXPECT_EQ(imported.num_servers_seen(), original.num_servers_seen());
+  EXPECT_DOUBLE_EQ(imported.end_time(), original.end_time());
+}
+
+TEST(TraceImportTest, SkipsMalformedRowsWithoutThrowing) {
+  std::istringstream in(
+      "time,kind,server,a,b,c\n"
+      "1.5,dispatch,0,1,2.5,1\n"
+      "not-a-number,dispatch,0,1,2.5,1\n"
+      "2.0,no_such_kind,0,0,0,0\n"
+      "2.5,departure,0,0,0\n"  // five fields
+      "3.0,departure,0,0,0,0\n");
+  TraceRecorder recorder;
+  const ImportStats stats = import_events_csv(in, recorder);
+  EXPECT_EQ(stats.rows, 5);
+  EXPECT_EQ(stats.imported, 2);
+  EXPECT_EQ(stats.malformed, 3);
+  EXPECT_EQ(recorder.count(TraceEventKind::kDispatch), 1u);
+  EXPECT_EQ(recorder.count(TraceEventKind::kDeparture), 1u);
 }
 
 TEST(ChromeTraceTest, EmitsLoadableJsonWithSpansAndCounters) {

@@ -2,64 +2,26 @@
 // (BENCH_microbench.json at the repo root).
 //
 // Usage: bench_diff BASELINE.json CURRENT.json [--max-regress PCT]
+//        [--report-only]
 //
-// Always fails (exit 1) when a baseline benchmark is missing from the
-// current run — a silently dropped microbenchmark is how a perf trajectory
-// dies. Timing deltas are printed for every shared benchmark; they only
-// fail the run when --max-regress is given, because absolute times are
-// machine-dependent (the committed baseline documents the trajectory, CI
-// hardware varies run to run).
-//
-// The parser is deliberately a line scanner for the two keys it needs
-// ("name", "real_time") rather than a JSON library: the input is
-// machine-generated by google-benchmark, and the repo takes no third-party
-// deps beyond its test/bench toolkit.
-#include <cmath>
+// Fails (exit 1) when a baseline benchmark is missing from the current run —
+// a silently dropped microbenchmark is how a perf trajectory dies — and when
+// a shared benchmark's median real_time regresses more than --max-regress
+// percent (default 10). Runs with --benchmark_repetitions are folded to the
+// per-name median first, so one noisy repetition can't trip the gate.
+// --report-only prints the same table but always exits clean, for eyeballing
+// a local run against the committed trajectory on different hardware.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <map>
-#include <sstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
-namespace {
-
-std::map<std::string, double> load_benchmarks(const std::string& path,
-                                              bool* ok) {
-  std::map<std::string, double> result;
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
-    *ok = false;
-    return result;
-  }
-  *ok = true;
-  std::string line;
-  std::string pending_name;
-  while (std::getline(in, line)) {
-    const auto name_pos = line.find("\"name\": \"");
-    if (name_pos != std::string::npos) {
-      const auto start = name_pos + 9;
-      const auto end = line.find('"', start);
-      if (end != std::string::npos) {
-        pending_name = line.substr(start, end - start);
-      }
-      continue;
-    }
-    const auto time_pos = line.find("\"real_time\": ");
-    if (time_pos != std::string::npos && !pending_name.empty()) {
-      result[pending_name] = std::strtod(line.c_str() + time_pos + 13, nullptr);
-      pending_name.clear();
-    }
-  }
-  return result;
-}
-
-}  // namespace
+#include "bench_diff_lib.h"
 
 int main(int argc, char** argv) {
-  double max_regress = -1.0;  // percent; <0 means "report only"
+  stale::benchdiff::DiffOptions options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -68,7 +30,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_diff: --max-regress needs a percent\n");
         return 2;
       }
-      max_regress = std::strtod(argv[++i], nullptr);
+      options.max_regress_pct = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--report-only") {
+      options.report_only = true;
     } else {
       files.push_back(arg);
     }
@@ -76,48 +40,29 @@ int main(int argc, char** argv) {
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_diff BASELINE.json CURRENT.json "
-                 "[--max-regress PCT]\n");
+                 "[--max-regress PCT] [--report-only]\n");
     return 2;
   }
 
-  bool ok = false;
-  const std::map<std::string, double> baseline =
-      load_benchmarks(files[0], &ok);
-  if (!ok) return 2;
-  const std::map<std::string, double> current = load_benchmarks(files[1], &ok);
-  if (!ok) return 2;
+  std::ifstream baseline_in(files[0]);
+  if (!baseline_in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", files[0].c_str());
+    return 2;
+  }
+  std::ifstream current_in(files[1]);
+  if (!current_in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", files[1].c_str());
+    return 2;
+  }
+  const auto baseline = stale::benchdiff::load_benchmarks(baseline_in);
+  const auto current = stale::benchdiff::load_benchmarks(current_in);
   if (baseline.empty()) {
     std::fprintf(stderr, "bench_diff: no benchmarks in baseline %s\n",
                  files[0].c_str());
     return 2;
   }
 
-  int missing = 0;
-  int regressed = 0;
-  for (const auto& [name, base_time] : baseline) {
-    const auto it = current.find(name);
-    if (it == current.end()) {
-      std::printf("MISSING   %s (in baseline, not in current run)\n",
-                  name.c_str());
-      ++missing;
-      continue;
-    }
-    const double delta_pct =
-        base_time > 0.0 ? (it->second - base_time) / base_time * 100.0 : 0.0;
-    const bool over = max_regress >= 0.0 && delta_pct > max_regress;
-    if (over) ++regressed;
-    std::printf("%-9s %s  %.1f -> %.1f ns  (%+.1f%%)\n",
-                over ? "REGRESSED" : "ok", name.c_str(), base_time,
-                it->second, delta_pct);
-  }
-  for (const auto& [name, time] : current) {
-    if (baseline.count(name) == 0) {
-      std::printf("NEW       %s  %.1f ns (add to BENCH_microbench.json)\n",
-                  name.c_str(), time);
-    }
-  }
-  std::printf("bench_diff: %zu baseline, %zu current, %d missing, %d over "
-              "threshold\n",
-              baseline.size(), current.size(), missing, regressed);
-  return (missing > 0 || regressed > 0) ? 1 : 0;
+  const stale::benchdiff::DiffResult result =
+      stale::benchdiff::diff_benchmarks(baseline, current, options, std::cout);
+  return result.failed(options) ? 1 : 0;
 }

@@ -1,0 +1,113 @@
+#include "bench_diff_lib.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace stale::benchdiff {
+
+namespace {
+
+bool strip_suffix(std::string* name, const std::string& suffix) {
+  if (name->size() <= suffix.size() ||
+      name->compare(name->size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+    return false;
+  }
+  name->resize(name->size() - suffix.size());
+  return true;
+}
+
+double median_of(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+}  // namespace
+
+std::map<std::string, double> load_benchmarks(std::istream& in) {
+  std::map<std::string, std::vector<double>> samples;
+  std::map<std::string, double> explicit_medians;
+  std::string line;
+  std::string pending_name;
+  while (std::getline(in, line)) {
+    const auto name_pos = line.find("\"name\": \"");
+    if (name_pos != std::string::npos) {
+      const auto start = name_pos + 9;
+      const auto end = line.find('"', start);
+      if (end != std::string::npos) {
+        pending_name = line.substr(start, end - start);
+      }
+      continue;
+    }
+    const auto time_pos = line.find("\"real_time\": ");
+    if (time_pos == std::string::npos || pending_name.empty()) continue;
+    const double time = std::strtod(line.c_str() + time_pos + 13, nullptr);
+    std::string name = pending_name;
+    pending_name.clear();
+    if (strip_suffix(&name, "_mean") || strip_suffix(&name, "_stddev") ||
+        strip_suffix(&name, "_cv")) {
+      continue;  // aggregates that are not times we compare
+    }
+    if (strip_suffix(&name, "_median")) {
+      explicit_medians[name] = time;
+      continue;
+    }
+    samples[name].push_back(time);
+  }
+
+  std::map<std::string, double> result;
+  for (auto& [name, values] : samples) result[name] = median_of(values);
+  // google-benchmark's own median aggregate wins over our recomputation.
+  for (const auto& [name, median] : explicit_medians) result[name] = median;
+  return result;
+}
+
+DiffResult diff_benchmarks(const std::map<std::string, double>& baseline,
+                           const std::map<std::string, double>& current,
+                           const DiffOptions& options, std::ostream& out) {
+  DiffResult result;
+  char buffer[512];
+  for (const auto& [name, base_time] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "MISSING   %s (in baseline, not in current run)\n",
+                    name.c_str());
+      out << buffer;
+      ++result.missing;
+      continue;
+    }
+    ++result.compared;
+    const double delta_pct =
+        base_time > 0.0 ? (it->second - base_time) / base_time * 100.0 : 0.0;
+    const bool over =
+        options.max_regress_pct >= 0.0 && delta_pct > options.max_regress_pct;
+    if (over) ++result.regressed;
+    std::snprintf(buffer, sizeof(buffer),
+                  "%-9s %s  %.1f -> %.1f ns  (%+.1f%%)\n",
+                  over ? "REGRESSED" : "ok", name.c_str(), base_time,
+                  it->second, delta_pct);
+    out << buffer;
+  }
+  for (const auto& [name, time] : current) {
+    if (baseline.count(name) != 0) continue;
+    std::snprintf(buffer, sizeof(buffer),
+                  "NEW       %s  %.1f ns (add to BENCH_microbench.json)\n",
+                  name.c_str(), time);
+    out << buffer;
+    ++result.added;
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "bench_diff: %zu baseline, %zu current, %d missing, %d over "
+                "threshold\n",
+                baseline.size(), current.size(), result.missing,
+                result.regressed);
+  out << buffer;
+  return result;
+}
+
+}  // namespace stale::benchdiff

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# CI loopback smoke for the live dispatcher service: boots staleload_lb,
+# four staleload_backend processes, and staleload_loadgen on 127.0.0.1
+# (ephemeral ports parsed from status lines), then asserts that jobs
+# actually completed and the loadgen report is parseable JSON. Artifacts
+# (status logs, the loadgen report, the dispatcher's events.csv + herd.json
+# trace) land in the output directory for upload.
+#
+# Usage: tools/ci_loopback_smoke.sh [BIN_DIR] [OUT_DIR]
+#   BIN_DIR: directory with the three binaries (default build/tools)
+#   OUT_DIR: artifact directory (default loopback-smoke)
+set -euo pipefail
+
+BIN=${1:-build/tools}
+OUT=${2:-loopback-smoke}
+BACKENDS=4
+mkdir -p "$OUT"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+wait_for_line() { # file token tries
+  for _ in $(seq "${3:-100}"); do
+    grep -q "$2" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "ci_loopback_smoke: timed out waiting for '$2' in $1" >&2
+  cat "$1" >&2 || true
+  return 1
+}
+
+"$BIN/staleload_lb" --backends $BACKENDS --policy basic_li \
+  --schedule periodic --update-period 0.5 --duration 30 --seed 3 \
+  --trace-out "$OUT/lb" > "$OUT/lb.out" 2> "$OUT/lb.err" &
+LB_PID=$!
+PIDS+=("$LB_PID")
+wait_for_line "$OUT/lb.out" "LB LISTENING"
+TCP=$(sed -n 's/.*tcp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
+UDP=$(sed -n 's/.*udp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
+echo "dispatcher up: tcp=$TCP udp=$UDP"
+
+for i in $(seq 0 $((BACKENDS - 1))); do
+  "$BIN/staleload_backend" --index "$i" --report-to "127.0.0.1:$UDP" \
+    --update-period 0.5 --mean-service 0.05 --seed $((20 + i)) \
+    --duration 31 > "$OUT/backend$i.out" 2>&1 &
+  PIDS+=("$!")
+done
+wait_for_line "$OUT/lb.out" "LB READY"
+echo "all $BACKENDS backends registered"
+
+"$BIN/staleload_loadgen" --target "127.0.0.1:$TCP" --lambda 40 \
+  --duration 8 --drain 3 --warmup 20 --seed 7 \
+  --json "$OUT/loadgen.json" 2> "$OUT/loadgen.err"
+
+# The report must be well-formed JSON with a nonzero completion count.
+python3 - "$OUT/loadgen.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+completed = report["result"]["completed"]
+print(f"loadgen: completed={completed} "
+      f"mean_response={report['result']['mean_response']:.4f}s "
+      f"p99={report['result']['p99']:.4f}s")
+assert completed > 0, "no jobs completed end to end"
+EOF
+
+kill "$LB_PID" 2>/dev/null || true
+wait "$LB_PID" 2>/dev/null || true
+PIDS=()
+
+test -s "$OUT/lb.events.csv" || {
+  echo "ci_loopback_smoke: dispatcher wrote no trace" >&2
+  exit 1
+}
+echo "trace: $(wc -l < "$OUT/lb.events.csv") events"
+echo "loopback smoke OK"

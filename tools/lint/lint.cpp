@@ -248,6 +248,13 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
       {"fault",
        {"fault", "policy", "loadinfo", "queueing", "core", "sim", "obs",
         "check"}},
+      // net is the live-service layer (event-loop sockets + the staleload_lb
+      // dispatcher). It drives the same policy/loadinfo/obs/fault stack as
+      // the simulator but sits beside driver: neither may include the other,
+      // and no simulation layer may reach up into net.
+      {"net",
+       {"net", "fault", "policy", "loadinfo", "queueing", "core", "sim",
+        "obs", "check"}},
       {"driver",
        {"driver", "fault", "policy", "loadinfo", "queueing", "core", "sim",
         "obs", "workload", "analysis", "runtime", "check"}},
@@ -336,7 +343,10 @@ constexpr std::array<Token, 14> kHostStateTokens = {{
 
 // Modules the D1/D3 determinism rules cover: every layer whose behaviour
 // feeds reported results. runtime (thread pool) and check (contracts) are
-// excluded — they do not influence simulated outcomes.
+// excluded — they do not influence simulated outcomes. net is deliberately
+// outside this scope: it is the live system, where wall-clock reads
+// (net/clock.h) are the whole point. The simulation boundary is enforced
+// the other way — L1 stops any sim-side module from including net.
 bool in_simulation_scope(const FileScope& scope) {
   static const std::set<std::string> kSim = {
       "sim",    "queueing", "core",     "loadinfo", "policy",
@@ -345,6 +355,8 @@ bool in_simulation_scope(const FileScope& scope) {
 }
 
 // Modules the D4 host-state rule covers (the paper-critical inner layers).
+// net is exempt here too: a socket server legitimately owns fds and talks
+// to the host.
 bool in_host_state_scope(const FileScope& scope) {
   static const std::set<std::string> kInner = {"sim",      "queueing", "policy",
                                                "loadinfo", "fault",    "obs"};

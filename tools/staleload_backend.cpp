@@ -1,0 +1,102 @@
+// staleload_backend: one toy FIFO server for the live dispatcher
+// (src/net/backend.h).
+//
+//   build/tools/staleload_backend --index 0 --report-to 127.0.0.1:9100
+//       [--port P] [--update-period T] [--mean-service S] [--seed S]
+//       [--duration S]
+//
+// Prints "BACKEND LISTENING index=<i> tcp=<port>" once bound, then HELLOs
+// the dispatcher's UDP control endpoint until the data-plane connection
+// arrives. --update-period 0 (the default) sends no standing LOAD reports —
+// the dispatcher's piggyback schedule learns queue lengths from DONE replies
+// instead. Runs until SIGINT/SIGTERM or --duration seconds.
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+
+#include "net/backend.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGALRM, &action, nullptr);
+}
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "staleload_backend: " << error << "\n"
+            << "usage: staleload_backend --index I --report-to HOST:PORT\n"
+            << "  [--host H] [--port P] [--update-period T]\n"
+            << "  [--mean-service S] [--hello-period S] [--seed S]\n"
+            << "  [--duration S]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    stale::net::BackendOptions options;
+    options.status_out = &std::cout;
+    double duration = 0.0;
+    bool have_report_to = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(flag + " needs a value");
+        return argv[++i];
+      };
+      if (flag == "--host") {
+        options.host = value();
+      } else if (flag == "--port") {
+        options.tcp_port = static_cast<std::uint16_t>(std::stoi(value()));
+      } else if (flag == "--index") {
+        options.index = std::stoi(value());
+      } else if (flag == "--report-to") {
+        options.report_to = stale::net::parse_endpoint(value());
+        have_report_to = true;
+      } else if (flag == "--update-period") {
+        options.update_period = std::stod(value());
+      } else if (flag == "--mean-service") {
+        options.mean_service = std::stod(value());
+      } else if (flag == "--hello-period") {
+        options.hello_period = std::stod(value());
+      } else if (flag == "--seed") {
+        options.seed = std::stoull(value());
+      } else if (flag == "--duration") {
+        duration = std::stod(value());
+      } else {
+        usage("unknown flag '" + flag + "'");
+      }
+    }
+    if (!have_report_to) usage("--report-to is required");
+
+    install_signal_handlers();
+    // The event loop only honors the stop flag, so a bounded run is just a
+    // SIGALRM wired to the same handler as SIGINT.
+    if (duration > 0.0) {
+      alarm(static_cast<unsigned>(std::ceil(duration)));
+    }
+
+    stale::net::Backend backend(options);
+    backend.run(&g_stop);
+    std::cout << "BACKEND DONE index=" << options.index
+              << " served=" << backend.stats().jobs_served
+              << " max_queue=" << backend.stats().max_queue_len << std::endl;
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "staleload_backend: " << error.what() << "\n";
+    return 1;
+  }
+}

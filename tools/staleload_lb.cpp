@@ -1,0 +1,190 @@
+// staleload_lb: the live load-balancer daemon (src/net/dispatcher.h).
+//
+//   build/tools/staleload_lb --backends 4 --policy k_subset:4
+//       --schedule periodic --update-period 1.0 [--tcp-port P] [--udp-port P]
+//       [--duration S] [--faults update_loss=0.2] [--trace-out PREFIX]
+//
+// With port 0 (the default) the OS picks; the chosen ports are printed as
+//   LB LISTENING tcp=<port> udp=<port>
+// so harnesses can start the daemon first and parse the line. Backends
+// register over UDP; once --backends of them have, the daemon prints
+// "LB READY backends=N" and serves until --duration elapses or SIGINT /
+// SIGTERM arrives.
+//
+// --trace-out PREFIX records every dispatch decision with a TraceRecorder
+// and writes PREFIX.events.csv (replayable via obs::import_events_csv) plus
+// PREFIX.herd.json — the herd-diagnostic verdict (obs::detect_herd) over the
+// live trace. On exit a one-line stats JSON goes to stdout.
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_spec.h"
+#include "net/dispatcher.h"
+#include "obs/export_csv.h"
+#include "obs/herd.h"
+#include "obs/trace_recorder.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+struct Args {
+  stale::net::DispatcherOptions options;
+  std::string trace_out;
+};
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "staleload_lb: " << error << "\n"
+            << "usage: staleload_lb --backends N [--policy SPEC]\n"
+            << "  [--schedule periodic|piggyback] [--update-period T]\n"
+            << "  [--host H] [--tcp-port P] [--udp-port P] [--rate-window W]\n"
+            << "  [--duration S] [--seed S] [--faults SPEC]\n"
+            << "  [--trace-out PREFIX]\n";
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  args.options.status_out = &std::cout;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      args.options.host = value();
+    } else if (flag == "--tcp-port") {
+      args.options.tcp_port = static_cast<std::uint16_t>(std::stoi(value()));
+    } else if (flag == "--udp-port") {
+      args.options.udp_port = static_cast<std::uint16_t>(std::stoi(value()));
+    } else if (flag == "--backends") {
+      args.options.num_backends = std::stoi(value());
+    } else if (flag == "--policy") {
+      args.options.policy_spec = value();
+    } else if (flag == "--schedule") {
+      args.options.schedule = stale::net::parse_update_schedule(value());
+    } else if (flag == "--update-period") {
+      args.options.update_period = std::stod(value());
+    } else if (flag == "--rate-window") {
+      args.options.rate_window = std::stod(value());
+    } else if (flag == "--duration") {
+      args.options.duration = std::stod(value());
+    } else if (flag == "--seed") {
+      args.options.seed = std::stoull(value());
+    } else if (flag == "--faults") {
+      args.options.faults = stale::fault::FaultSpec::parse(value());
+    } else if (flag == "--trace-out") {
+      args.trace_out = value();
+    } else {
+      usage("unknown flag '" + flag + "'");
+    }
+  }
+  if (args.options.num_backends <= 0) usage("--backends must be >= 1");
+  return args;
+}
+
+void write_stats_json(std::ostream& os, const Args& args,
+                      const stale::net::DispatcherStats& stats) {
+  const auto saved_precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"config\": {\"policy\": \"" << args.options.policy_spec << "\""
+     << ", \"schedule\": \""
+     << stale::net::update_schedule_name(args.options.schedule) << "\""
+     << ", \"update_period\": " << args.options.update_period
+     << ", \"backends\": " << args.options.num_backends
+     << ", \"seed\": " << args.options.seed << "}, \"result\": {"
+     << "\"jobs_received\": " << stats.jobs_received
+     << ", \"jobs_dispatched\": " << stats.jobs_dispatched
+     << ", \"jobs_completed\": " << stats.jobs_completed
+     << ", \"jobs_rejected\": " << stats.jobs_rejected
+     << ", \"jobs_orphaned\": " << stats.jobs_orphaned
+     << ", \"reports_received\": " << stats.reports_received
+     << ", \"reports_dropped\": " << stats.reports_dropped
+     << ", \"reports_delayed\": " << stats.reports_delayed
+     << ", \"elapsed\": " << stats.stopped_at - stats.started_at
+     << ", \"per_backend_dispatched\": [";
+  for (std::size_t i = 0; i < stats.per_backend_dispatched.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << stats.per_backend_dispatched[i];
+  }
+  os << "]}}\n";
+  os.precision(saved_precision);
+}
+
+void write_herd_json(std::ostream& os, const stale::obs::HerdReport& herd) {
+  const auto saved_precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"num_servers\": " << herd.num_servers
+     << ", \"phases\": " << herd.phases
+     << ", \"amplitude\": " << herd.amplitude
+     << ", \"global_swing\": " << herd.global_swing
+     << ", \"oscillation_period\": " << herd.oscillation_period
+     << ", \"autocorr_peak\": " << herd.autocorr_peak
+     << ", \"peak_concentration\": " << herd.peak_concentration
+     << ", \"mean_concentration\": " << herd.mean_concentration
+     << ", \"uniform_share\": " << herd.uniform_share
+     << ", \"herding\": " << (herd.herding() ? "true" : "false") << "}\n";
+  os.precision(saved_precision);
+}
+
+void write_artifact(const std::string& path,
+                    const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "'");
+  writer(out);
+  std::cerr << "# wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args args = parse_args(argc, argv);
+    install_signal_handlers();
+
+    stale::obs::TraceRecorder recorder;
+    if (!args.trace_out.empty()) args.options.trace = &recorder;
+
+    stale::net::Dispatcher dispatcher(args.options);
+    dispatcher.run(&g_stop);
+
+    write_stats_json(std::cout, args, dispatcher.stats());
+
+    if (!args.trace_out.empty()) {
+      write_artifact(args.trace_out + ".events.csv", [&](std::ostream& out) {
+        stale::obs::write_events_csv(out, recorder);
+      });
+      if (recorder.count(stale::obs::TraceEventKind::kDecision) > 0) {
+        stale::obs::HerdOptions herd_options;
+        herd_options.phase_length = args.options.update_period;
+        herd_options.num_servers = args.options.num_backends;
+        const stale::obs::HerdReport herd =
+            stale::obs::detect_herd(recorder, herd_options);
+        write_artifact(args.trace_out + ".herd.json", [&](std::ostream& out) {
+          write_herd_json(out, herd);
+        });
+      }
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "staleload_lb: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,99 @@
+// staleload_loadgen: open-loop Poisson client for the live dispatcher
+// (src/net/loadgen.h).
+//
+//   build/tools/staleload_loadgen --target 127.0.0.1:9000 --lambda 40
+//       --duration 10 [--drain S] [--warmup N] [--max-jobs N] [--seed S]
+//       [--json PATH]
+//
+// Offered load is open loop: the exponential send schedule never waits for
+// completions. The response-time report (mean/p50/p90/p99 plus per-backend
+// completion counts) is written as one staleload_sim-shaped JSON object to
+// --json (default stdout). Exits nonzero when nothing completed — a dead
+// dispatcher should fail a CI smoke step loudly.
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "net/loadgen.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "staleload_loadgen: " << error << "\n"
+            << "usage: staleload_loadgen --target HOST:PORT [--lambda R]\n"
+            << "  [--duration S] [--drain S] [--warmup N] [--max-jobs N]\n"
+            << "  [--seed S] [--json PATH]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    stale::net::LoadGenOptions options;
+    options.status_out = &std::cerr;  // keep stdout JSON-only by default
+    std::string json_path;
+    bool have_target = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(flag + " needs a value");
+        return argv[++i];
+      };
+      if (flag == "--target") {
+        options.target = stale::net::parse_endpoint(value());
+        have_target = true;
+      } else if (flag == "--lambda") {
+        options.lambda = std::stod(value());
+      } else if (flag == "--duration") {
+        options.duration = std::stod(value());
+      } else if (flag == "--drain") {
+        options.drain = std::stod(value());
+      } else if (flag == "--warmup") {
+        options.warmup_jobs = std::stoull(value());
+      } else if (flag == "--max-jobs") {
+        options.max_jobs = std::stoull(value());
+      } else if (flag == "--seed") {
+        options.seed = std::stoull(value());
+      } else if (flag == "--json") {
+        json_path = value();
+      } else {
+        usage("unknown flag '" + flag + "'");
+      }
+    }
+    if (!have_target) usage("--target is required");
+
+    install_signal_handlers();
+    stale::net::LoadGen loadgen(options);
+    loadgen.run(&g_stop);
+
+    if (json_path.empty()) {
+      stale::net::write_loadgen_json(std::cout, options, loadgen.report());
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "staleload_loadgen: cannot open '" << json_path << "'\n";
+        return 1;
+      }
+      stale::net::write_loadgen_json(out, options, loadgen.report());
+    }
+    return loadgen.report().completed > 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "staleload_loadgen: " << error.what() << "\n";
+    return 1;
+  }
+}
