@@ -17,6 +17,7 @@
 #include "core/sampler.h"
 #include "driver/experiment.h"
 #include "policy/policy_factory.h"
+#include "sim/level_histogram.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -96,6 +97,56 @@ BENCHMARK_CAPTURE(BM_PolicyDecision, k_subset_2, "k_subset:2");
 BENCHMARK_CAPTURE(BM_PolicyDecision, basic_li, "basic_li");
 BENCHMARK_CAPTURE(BM_PolicyDecision, aggressive_li, "aggressive_li");
 BENCHMARK_CAPTURE(BM_PolicyDecision, basic_li_k3, "basic_li_k:3");
+
+// Per-decision dispatch cost at large n: the O(n) vector representation
+// against the O(#levels) bucketed path over the same board snapshot.
+// info_version is bumped every iteration so each decision pays a full
+// rebuild — the worst case for both representations and the regime where
+// the asymptotic separation shows (a periodic phase boundary at every
+// arrival). Phase geometry mimics a periodic run mid-phase.
+void BM_LargeNDispatch(benchmark::State& state, const std::string& spec,
+                       bool bucketed) {
+  const auto policy = stale::policy::make_policy(spec);
+  const int n = static_cast<int>(state.range(0));
+  stale::sim::Rng rng(6);
+  std::vector<int> loads(static_cast<std::size_t>(n));
+  for (int& b : loads) b = static_cast<int>(rng.next_below(20));
+  stale::sim::LevelIndex index;
+  if (bucketed) index.build(loads);
+  stale::policy::DispatchContext context;
+  context.loads = loads;
+  context.lambda_total = 0.9 * n;
+  context.phase_length = 1.0;
+  context.phase_elapsed = 0.5;
+  context.age = 0.5;
+  if (bucketed) context.levels = &index;
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    context.info_version = ++version;
+    benchmark::DoNotOptimize(policy->select(context, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_LargeNDispatch, basic_li_vector, "basic_li", false)
+    ->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK_CAPTURE(BM_LargeNDispatch, basic_li_bucketed, "basic_li", true)
+    ->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK_CAPTURE(BM_LargeNDispatch, aggressive_li_vector, "aggressive_li",
+                  false)
+    ->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK_CAPTURE(BM_LargeNDispatch, aggressive_li_bucketed, "aggressive_li",
+                  true)
+    ->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+BENCHMARK_CAPTURE(BM_LargeNDispatch, hybrid_li_vector, "hybrid_li", false)
+    ->Arg(100'000);
+BENCHMARK_CAPTURE(BM_LargeNDispatch, hybrid_li_bucketed, "hybrid_li", true)
+    ->Arg(100'000);
+BENCHMARK_CAPTURE(BM_LargeNDispatch, threshold_vector, "threshold:all:3",
+                  false)
+    ->Arg(100'000);
+BENCHMARK_CAPTURE(BM_LargeNDispatch, threshold_bucketed, "threshold:all:3",
+                  true)
+    ->Arg(100'000);
 
 // The event-queue design the slab replaced: an unordered_map from event id
 // to callback plus a lazy-deletion heap. Kept here (only here) as the

@@ -84,6 +84,7 @@ class PhasedFluid {
     result.mean_queue = avg_queue;
     result.mean_response = avg_queue / lambda_;
     if (!result.converged) result.phases_to_converge = options_.max_phases;
+    result.board_marginal = previous_marginal_;
     return result;
   }
 

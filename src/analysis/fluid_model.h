@@ -61,6 +61,11 @@ struct FluidResult {
   double mean_queue = 0.0;     // per server
   int phases_to_converge = 0;
   bool converged = false;
+  // Converged phase-start board marginal: board_marginal[k] is the fraction
+  // of servers whose board entry shows queue length k at a phase boundary.
+  // This is the fluid prediction a large-n bucketed simulation's per-refresh
+  // level histogram should track (golden-tested at n = 10^4).
+  std::vector<double> board_marginal;
 };
 
 // Fluid model of the periodic bulletin board with d-choices dispatch.

@@ -25,6 +25,7 @@
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "check/contracts.h"
 
@@ -109,6 +110,28 @@ inline void audit_displaced_conserved(std::uint64_t displaced,
                                       std::uint64_t requeued,
                                       std::uint64_t lost, const char* where) {
   STALE_ASSERT(requeued + lost == displaced, where);
+}
+
+// Bucketed-board consistency: an incrementally maintained level histogram
+// (counts[level] = number of servers at that queue length) must always equal
+// a fresh recount of the raw load vector it shadows, and its total must
+// account for every server. O(n) per call — the price of catching a missed
+// move() the moment it happens rather than as a skewed dispatch distribution
+// thousands of events later.
+inline void audit_level_histogram(std::span<const std::int64_t> counts,
+                                  std::int64_t total,
+                                  std::span<const int> loads,
+                                  const char* where) {
+  STALE_ASSERT(total == static_cast<std::int64_t>(loads.size()), where);
+  std::vector<std::int64_t> recount(counts.size(), 0);
+  for (int load : loads) {
+    STALE_ASSERT(load >= 0, where);
+    STALE_ASSERT(static_cast<std::size_t>(load) < recount.size(), where);
+    ++recount[static_cast<std::size_t>(load)];
+  }
+  for (std::size_t level = 0; level < counts.size(); ++level) {
+    STALE_ASSERT(counts[level] == recount[level], where);
+  }
 }
 
 }  // namespace stale::check

@@ -1,0 +1,250 @@
+#include "core/li_bucketed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "check/contracts.h"
+#include "core/aggressive_schedule.h"
+#include "core/load_interpretation.h"
+
+namespace stale::core {
+
+namespace {
+
+// Matches kTinyArrivals in core/load_interpretation.cpp: below this K the
+// closed form degenerates numerically and both paths take the K -> 0 limit.
+constexpr double kTinyArrivals = 1e-12;
+
+// Audit tolerance on per-level masses (<= 1): generous against the final
+// renormalization's accumulation-order drift, far below real divergence.
+constexpr double kMassTolerance = 1e-9;
+
+void validate_hist(const sim::LevelHistogram& hist, const char* what) {
+  if (hist.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty histogram");
+  }
+}
+
+// Per-level sums of a per-server probability vector, dense over levels.
+std::vector<double> level_sums(std::span<const double> p,
+                               std::span<const int> loads) {
+  int top = 0;
+  for (int level : loads) top = std::max(top, level);
+  std::vector<double> sums(static_cast<std::size_t>(top) + 1, 0.0);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    sums[static_cast<std::size_t>(loads[i])] += p[i];
+  }
+  return sums;
+}
+
+void assert_masses_match(std::span<const double> bucketed,
+                         std::span<const double> vector_path,
+                         const char* where) {
+  const std::size_t levels = std::max(bucketed.size(), vector_path.size());
+  for (std::size_t level = 0; level < levels; ++level) {
+    const double a = level < bucketed.size() ? bucketed[level] : 0.0;
+    const double b = level < vector_path.size() ? vector_path[level] : 0.0;
+    STALE_ASSERT(std::fabs(a - b) <= kMassTolerance, where);
+  }
+}
+
+}  // namespace
+
+std::vector<double> basic_li_level_masses(const sim::LevelHistogram& hist,
+                                          double expected_arrivals) {
+  validate_hist(hist, "basic_li_level_masses");
+  if (expected_arrivals < 0.0 || !std::isfinite(expected_arrivals)) {
+    throw std::invalid_argument(
+        "basic_li_level_masses: expected_arrivals must be finite, >= 0");
+  }
+  std::vector<double> masses(static_cast<std::size_t>(hist.max_level()) + 1,
+                             0.0);
+  const double arrivals = expected_arrivals;
+  if (arrivals <= kTinyArrivals) {
+    // K -> 0 limit: all mass on the minimum-load class.
+    masses[static_cast<std::size_t>(hist.min_level())] = 1.0;
+    return masses;
+  }
+
+  // Eq. 3 prefix scan over classes. The jobs needed to lift the first
+  // `members` servers to level l is l * members - level_total — exact int64,
+  // so the fill set (and the common level below) match the vector kernel's
+  // double arithmetic bit for bit.
+  std::int64_t members = 0;
+  std::int64_t level_total = 0;
+  int fill_level = hist.min_level();
+  for (int level = hist.min_level(); level <= hist.max_level(); ++level) {
+    const std::int64_t size = hist.count(level);
+    if (size == 0) continue;
+    if (members > 0) {
+      const double need =
+          static_cast<double>(level * members - level_total);
+      if (need > arrivals) break;
+    }
+    members += size;
+    level_total += static_cast<std::int64_t>(level) * size;
+    fill_level = level;
+  }
+
+  // Eq. 4: common level and per-level masses, renormalized as the vector
+  // kernel does (clamping tiny negative shares from FP cancellation).
+  const double common =
+      (static_cast<double>(level_total) + arrivals) /
+      static_cast<double>(members);
+  double total = 0.0;
+  for (int level = hist.min_level(); level <= fill_level; ++level) {
+    const std::int64_t size = hist.count(level);
+    if (size == 0) continue;
+    double share = (common - static_cast<double>(level)) / arrivals;
+    if (share < 0.0) share = 0.0;
+    const double mass = static_cast<double>(size) * share;
+    masses[static_cast<std::size_t>(level)] = mass;
+    total += mass;
+  }
+  for (double& mass : masses) mass /= total;
+  return masses;
+}
+
+BucketedAggressiveSchedule make_bucketed_aggressive_schedule(
+    const sim::LevelHistogram& hist) {
+  validate_hist(hist, "make_bucketed_aggressive_schedule");
+  BucketedAggressiveSchedule schedule;
+  schedule.total = hist.total();
+  std::int64_t members = 0;
+  std::int64_t level_total = 0;
+  for (int level = hist.min_level(); level <= hist.max_level(); ++level) {
+    const std::int64_t size = hist.count(level);
+    if (size == 0) continue;
+    if (!schedule.levels.empty()) {
+      // Fill cost to lift every earlier class to this level: exact int64,
+      // equal to the vector schedule's C_j at the class boundary.
+      schedule.fill_costs.push_back(
+          static_cast<double>(members * level - level_total));
+    }
+    schedule.levels.push_back(level);
+    members += size;
+    level_total += static_cast<std::int64_t>(level) * size;
+    schedule.cum_counts.push_back(members);
+  }
+  return schedule;
+}
+
+std::int64_t bucketed_aggressive_count_at(
+    const BucketedAggressiveSchedule& schedule, double jobs_elapsed) {
+  if (jobs_elapsed < 0.0) {
+    throw std::invalid_argument(
+        "bucketed_aggressive_count_at: negative jobs_elapsed");
+  }
+  const auto it = std::upper_bound(schedule.fill_costs.begin(),
+                                   schedule.fill_costs.end(), jobs_elapsed);
+  return schedule.cum_counts[static_cast<std::size_t>(
+      it - schedule.fill_costs.begin())];
+}
+
+std::int64_t bucketed_aggressive_stationary_count(
+    const BucketedAggressiveSchedule& schedule, double expected_arrivals) {
+  if (expected_arrivals < 0.0) {
+    throw std::invalid_argument(
+        "bucketed_aggressive_stationary_count: negative expected_arrivals");
+  }
+  // Smallest class boundary whose fill cost reaches K. At K == 0 this is the
+  // whole minimum class where the vector path's index tie-break names a
+  // single member — identical per-level mass (see header).
+  const auto it =
+      std::lower_bound(schedule.fill_costs.begin(), schedule.fill_costs.end(),
+                       expected_arrivals);
+  return schedule.cum_counts[static_cast<std::size_t>(
+      it - schedule.fill_costs.begin())];
+}
+
+std::vector<double> aggressive_level_masses(
+    const BucketedAggressiveSchedule& schedule, std::int64_t count) {
+  if (count < 1 || count > schedule.total) {
+    throw std::invalid_argument("aggressive_level_masses: bad count");
+  }
+  std::vector<double> masses(
+      static_cast<std::size_t>(schedule.levels.back()) + 1, 0.0);
+  std::int64_t remaining = count;
+  std::int64_t previous = 0;
+  for (std::size_t r = 0; r < schedule.levels.size() && remaining > 0; ++r) {
+    const std::int64_t size = schedule.cum_counts[r] - previous;
+    previous = schedule.cum_counts[r];
+    const std::int64_t taken = std::min(size, remaining);
+    remaining -= taken;
+    masses[static_cast<std::size_t>(schedule.levels[r])] =
+        static_cast<double>(taken) / static_cast<double>(count);
+  }
+  return masses;
+}
+
+std::vector<double> hybrid_li_first_interval_level_masses(
+    const sim::LevelHistogram& hist) {
+  validate_hist(hist, "hybrid_li_first_interval_level_masses");
+  const int peak = hist.max_level();
+  std::vector<double> masses(static_cast<std::size_t>(peak) + 1, 0.0);
+  const std::int64_t deficit =
+      static_cast<std::int64_t>(peak) * hist.total() - hist.level_sum();
+  if (deficit == 0) {
+    // All loads equal: empty first subinterval, uniform over everyone — all
+    // of whom sit at the single occupied level.
+    masses[static_cast<std::size_t>(peak)] = 1.0;
+    return masses;
+  }
+  for (int level = hist.min_level(); level <= peak; ++level) {
+    const std::int64_t size = hist.count(level);
+    if (size == 0) continue;
+    masses[static_cast<std::size_t>(level)] =
+        static_cast<double>(size * (peak - level)) /
+        static_cast<double>(deficit);
+  }
+  return masses;
+}
+
+double hybrid_li_first_interval_jobs(const sim::LevelHistogram& hist) {
+  validate_hist(hist, "hybrid_li_first_interval_jobs");
+  return static_cast<double>(
+      static_cast<std::int64_t>(hist.max_level()) * hist.total() -
+      hist.level_sum());
+}
+
+void audit_basic_li_equivalence(std::span<const double> level_masses,
+                                std::span<const int> loads,
+                                double expected_arrivals, const char* where) {
+  const std::vector<double> p =
+      basic_li_probabilities(loads, expected_arrivals);
+  assert_masses_match(level_masses, level_sums(p, loads), where);
+}
+
+void audit_aggressive_equivalence(const BucketedAggressiveSchedule& schedule,
+                                  std::int64_t count,
+                                  std::span<const int> loads,
+                                  double jobs_elapsed, bool periodic,
+                                  const char* where) {
+  const AggressiveSchedule vector_schedule = make_aggressive_schedule(loads);
+  const int group =
+      periodic ? aggressive_group_at(vector_schedule, jobs_elapsed)
+               : aggressive_stationary_group(vector_schedule, jobs_elapsed);
+  if (periodic) {
+    // The periodic lookup always lands on a class boundary in both paths.
+    STALE_ASSERT(static_cast<std::int64_t>(group) == count, where);
+  }
+  const std::vector<double> p =
+      aggressive_group_probabilities(vector_schedule, group);
+  assert_masses_match(aggressive_level_masses(schedule, count),
+                      level_sums(p, loads), where);
+}
+
+void audit_hybrid_equivalence(std::span<const double> level_masses,
+                              double first_interval_jobs,
+                              std::span<const int> loads, const char* where) {
+  std::vector<double> as_double(loads.begin(), loads.end());
+  STALE_ASSERT(first_interval_jobs ==
+                   core::hybrid_li_first_interval_jobs(as_double),
+               where);
+  const std::vector<double> p =
+      hybrid_li_first_interval_probabilities(as_double);
+  assert_masses_match(level_masses, level_sums(p, loads), where);
+}
+
+}  // namespace stale::core

@@ -1,0 +1,119 @@
+// Bucketed (counted) LI kernels: the paper's dispatch math (Eqs. 2-5)
+// evaluated over the level-occupancy histogram instead of the raw load
+// vector. Every kernel here is O(#levels) where its vector-path twin in
+// load_interpretation.cpp / aggressive_schedule.cpp is O(n) or O(n log n).
+//
+// Equivalence contract (asserted by the audit_* helpers below and by the
+// property tests): for integer load vectors, each bucketed kernel assigns
+// every level the same total probability mass as the vector kernel assigns
+// to that level's members collectively — identical up to one final
+// renormalization whose accumulation order differs (<= 1 ulp-scale drift).
+// Per-*server* identity additionally holds wherever the vector kernel is
+// itself symmetric within a level (Basic LI, Hybrid LI, and every aggressive
+// group lookup; the lone exception is the aggressive stationary rule at
+// K == 0, where the vector path's index tie-break picks a single server of
+// the minimum class — same per-level mass either way).
+//
+// A "level mass vector" is dense, indexed by level 0..hist.max_level(), and
+// sums to 1; LevelSampler turns one into a two-stage sampler (level first,
+// then uniform member via LevelIndex).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/sampler.h"
+#include "sim/level_histogram.h"
+
+namespace stale::core {
+
+// Basic LI (Eqs. 2-4) over the histogram: prefix water-fill across sorted
+// distinct levels with multiplicities, exact int64 prefix sums. K == 0
+// degenerates to mass 1 on the minimum level, as the vector kernel does.
+std::vector<double> basic_li_level_masses(const sim::LevelHistogram& hist,
+                                          double expected_arrivals);
+
+// Aggressive LI (Eq. 5) over the histogram. With classes r = 1..R (distinct
+// levels ascending, cumulative member counts M_r and cumulative load sums
+// S_r), the vector schedule's C_j collapses to one fill cost per class
+// boundary: B_r = M_r * level_{r+1} - S_r, strictly increasing — so group
+// lookups are binary searches over R values instead of n.
+struct BucketedAggressiveSchedule {
+  std::vector<int> levels;                // distinct nonempty levels, ascending
+  std::vector<std::int64_t> cum_counts;   // M_r, same indexing as levels
+  std::vector<double> fill_costs;         // B_r for r = 1..R-1 (size R-1)
+  std::int64_t total = 0;
+
+  int classes() const { return static_cast<int>(levels.size()); }
+};
+
+BucketedAggressiveSchedule make_bucketed_aggressive_schedule(
+    const sim::LevelHistogram& hist);
+
+// Periodic rule: how many least-loaded servers are in the group after
+// `jobs_elapsed` expected arrivals. Always a class boundary (or the whole
+// cluster) — matching the vector path's group, whose C_j plateaus make any
+// mid-class j unreachable.
+std::int64_t bucketed_aggressive_count_at(
+    const BucketedAggressiveSchedule& schedule, double jobs_elapsed);
+
+// Stationary rule (continuous / update-on-access): smallest class boundary
+// whose fill cost is >= K; the whole cluster when none is.
+std::int64_t bucketed_aggressive_stationary_count(
+    const BucketedAggressiveSchedule& schedule, double expected_arrivals);
+
+// Level masses implied by a uniform pick over the `count` least-loaded
+// servers (count in [1, total]).
+std::vector<double> aggressive_level_masses(
+    const BucketedAggressiveSchedule& schedule, std::int64_t count);
+
+// Hybrid LI first subinterval over the histogram: mass per level
+// proportional to member count times deficit below the peak level; uniform
+// over levels' members when all loads are equal (empty first subinterval).
+std::vector<double> hybrid_li_first_interval_level_masses(
+    const sim::LevelHistogram& hist);
+
+// Expected arrivals the first subinterval consumes: the exact integer
+// deficit sum peak * total - level_sum.
+double hybrid_li_first_interval_jobs(const sim::LevelHistogram& hist);
+
+// Two-stage sampler: DiscreteSampler over a level-mass vector, then uniform
+// within the sampled level via the LevelIndex (two rng draws per pick).
+class LevelSampler {
+ public:
+  explicit LevelSampler(std::span<const double> level_masses)
+      : level_sampler_(level_masses) {}
+
+  int sample_level(sim::Rng& rng) const { return level_sampler_.sample(rng); }
+
+  int sample(const sim::LevelIndex& index, sim::Rng& rng) const {
+    return index.pick_uniform_in_level(sample_level(rng), rng);
+  }
+
+ private:
+  DiscreteSampler level_sampler_;
+};
+
+// --- differential-equivalence audits (called under STALE_AUDIT) ------------
+//
+// Each recomputes the O(n) vector kernel from the raw loads and asserts the
+// bucketed result matches per level (1e-9 relative tolerance on masses —
+// generous against the renormalization-order drift, far below any real
+// divergence). O(n log n) per call; audit builds only.
+
+void audit_basic_li_equivalence(std::span<const double> level_masses,
+                                std::span<const int> loads,
+                                double expected_arrivals, const char* where);
+
+void audit_aggressive_equivalence(const BucketedAggressiveSchedule& schedule,
+                                  std::int64_t count,
+                                  std::span<const int> loads,
+                                  double jobs_elapsed, bool periodic,
+                                  const char* where);
+
+void audit_hybrid_equivalence(std::span<const double> level_masses,
+                              double first_interval_jobs,
+                              std::span<const int> loads, const char* where);
+
+}  // namespace stale::core

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "policy/policy_factory.h"
 #include "runtime/thread_pool.h"
 
 namespace stale::driver {
@@ -12,8 +13,8 @@ namespace {
 
 const std::vector<std::string> kStandardSwitches = {"paper", "fast", "csv"};
 const std::vector<std::string> kStandardFlags = {
-    "num-jobs", "warmup",      "trials",      "seed",         "jobs",
-    "fault-spec", "crash-rate", "update-loss", "max-staleness"};
+    "num-jobs",   "warmup",     "trials",      "seed",          "jobs",
+    "fault-spec", "crash-rate", "update-loss", "max-staleness", "board-repr"};
 
 bool contains(const std::vector<std::string>& list, const std::string& item) {
   return std::find(list.begin(), list.end(), item) != list.end();
@@ -166,6 +167,9 @@ void Cli::apply_run_scale(ExperimentConfig& config) const {
   }
   config.base_seed = static_cast<std::uint64_t>(seed);
   config.jobs = jobs();
+  if (has("board-repr")) {
+    config.board_repr = policy::parse_board_repr(get("board-repr", "auto"));
+  }
   apply_faults(config);
 }
 

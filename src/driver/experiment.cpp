@@ -61,6 +61,19 @@ void validate(const ExperimentConfig& config) {
         "update_on_access model (per-client snapshot pulls have no refresh "
         "stream to degrade)");
   }
+  if (config.board_repr == policy::BoardRepr::kBucketed) {
+    if (config.fault.any()) {
+      throw std::invalid_argument(
+          "ExperimentConfig: board_repr=bucketed is incompatible with fault "
+          "injection (per-server liveness reshaping needs the vector path)");
+    }
+    if (config.model == UpdateModel::kUpdateOnAccess) {
+      throw std::invalid_argument(
+          "ExperimentConfig: board_repr=bucketed is not supported for the "
+          "update_on_access model (per-client snapshots have no shared "
+          "board to bucket)");
+    }
+  }
 }
 
 // Builds the online rate estimator named by config.rate_estimator, or null
@@ -124,6 +137,28 @@ TrialResult run_board_trial(const ExperimentConfig& config,
                                 config.know_actual_age);
   queueing::LoadImbalanceStats imbalance;
 
+  // Bucketed representation: the active board maintains a level index next
+  // to its snapshot, the policies dispatch through O(#levels) kernels, and
+  // (outside the continuous model, which needs load history) the cluster
+  // advances lazily via its departure heap instead of O(n) sweeps.
+  const bool bucketed = config.resolved_bucketed();
+  if (bucketed) {
+    switch (config.model) {
+      case UpdateModel::kPeriodic:
+        board.enable_level_index();
+        break;
+      case UpdateModel::kIndividual:
+        individual.enable_level_index();
+        break;
+      case UpdateModel::kContinuous:
+        view.enable_level_index();
+        break;
+      case UpdateModel::kUpdateOnAccess:
+        throw std::logic_error("run_board_trial: wrong model");
+    }
+    if (!continuous) cluster.enable_lazy_advance();
+  }
+
   obs::TraceSink* const trace = config.trace_sink;
   cluster.set_trace_sink(trace);
   board.set_trace_sink(trace);
@@ -149,12 +184,14 @@ TrialResult run_board_trial(const ExperimentConfig& config,
         context.phase_length = board.phase_length();
         context.phase_elapsed = context.age;
         context.info_version = board.version();
+        if (bucketed) context.levels = &board.level_index();
         break;
       case UpdateModel::kIndividual:
         individual.sync(cluster, t);
         context.loads = individual.loads();
         context.age = individual.mean_age(t);
         context.info_version = individual.version();
+        if (bucketed) context.levels = &individual.level_index();
         break;
       case UpdateModel::kContinuous:
         cluster.advance_to(t);
@@ -162,6 +199,7 @@ TrialResult run_board_trial(const ExperimentConfig& config,
         context.loads = view.loads();
         context.age = view.reported_age();
         context.info_version = view.version();
+        if (bucketed) context.levels = &view.level_index();
         break;
       case UpdateModel::kUpdateOnAccess:
         throw std::logic_error("run_board_trial: wrong model");
@@ -172,9 +210,17 @@ TrialResult run_board_trial(const ExperimentConfig& config,
     if (trace) trace->on_decision(t, server, context.age);
     const double size = job_size->sample(rng);
     // Snapshot the true pre-dispatch queue lengths (arrival epochs give
-    // unbiased time averages) once the warmup has passed.
+    // unbiased time averages) once the warmup has passed. The histogram
+    // overload computes the same statistics in O(#levels) from the same
+    // state (bit-identical — both reduce over exact integer sums).
     cluster.advance_to(t);
-    if (job >= config.warmup_jobs) imbalance.observe(cluster.loads());
+    if (job >= config.warmup_jobs) {
+      if (bucketed) {
+        imbalance.observe(cluster.level_histogram());
+      } else {
+        imbalance.observe(cluster.loads());
+      }
+    }
     const double departure = cluster.assign(t, server, size);
     metrics.record(departure - t);
   }

@@ -15,6 +15,7 @@
 #include "fault/fault_stats.h"
 #include "loadinfo/delay_distribution.h"
 #include "obs/trace_sink.h"
+#include "policy/policy.h"
 #include "sim/stats.h"
 
 namespace stale::driver {
@@ -49,6 +50,14 @@ struct ExperimentConfig {
 
   // --- algorithm ---
   std::string policy = "basic_li";  // see policy/policy_factory.h
+
+  // Board representation on the dispatch path (policy/policy.h). kAuto picks
+  // bucketed for clusters of kBucketedAutoThreshold+ servers when the run is
+  // eligible; explicit kBucketed on an ineligible run (fault injection,
+  // update-on-access) is rejected by validation. Representation choice never
+  // changes per-level dispatch distributions — only the RNG draw sequence
+  // (so paired vector/bucketed runs are statistically, not bit-, identical).
+  policy::BoardRepr board_repr = policy::BoardRepr::kAuto;
 
   // --- workload ---
   std::string job_size = "exp:1";  // see workload/job_size.h
@@ -107,6 +116,16 @@ struct ExperimentConfig {
                                   ? lambda_estimate_per_server
                                   : lambda;
     return per_server * num_servers * lambda_error_factor;
+  }
+
+  // Whether this run dispatches through the bucketed (counted) board path.
+  // Fault runs and update-on-access never do, regardless of board_repr
+  // (validate() rejects an explicit kBucketed request for those).
+  bool resolved_bucketed() const {
+    if (board_repr == policy::BoardRepr::kVector) return false;
+    if (fault.any() || model == UpdateModel::kUpdateOnAccess) return false;
+    if (board_repr == policy::BoardRepr::kBucketed) return true;
+    return num_servers >= policy::kBucketedAutoThreshold;
   }
 };
 

@@ -42,6 +42,7 @@ void ContinuousView::observe(const queueing::Cluster& cluster, double t,
     // empty-cluster prior from time 0.
     if (loads_.empty()) {
       loads_.assign(static_cast<std::size_t>(cluster.size()), 0);
+      if (track_levels_) level_index_.build(loads_);
     }
     actual_delay_ = t - last_measured_;
     reported_age_ =
@@ -61,6 +62,7 @@ void ContinuousView::observe(const queueing::Cluster& cluster, double t,
   reported_age_ = know_actual_age_ ? d : std::min(mean_delay_, t);
   cluster.loads_at(t - d, loads_);
   ++version_;
+  if (track_levels_) level_index_.build(loads_);
   if (trace_) trace_->on_board_refresh(t, last_measured_, version_, loads_);
 }
 

@@ -18,6 +18,7 @@
 #include "loadinfo/refresh_faults.h"
 #include "obs/trace_sink.h"
 #include "queueing/cluster.h"
+#include "sim/level_histogram.h"
 #include "sim/rng.h"
 
 namespace stale::loadinfo {
@@ -47,6 +48,17 @@ class ContinuousView {
   double actual_delay() const { return actual_delay_; }
   std::uint64_t version() const { return version_; }
 
+  // Turns on the bucketed snapshot: level_index() is rebuilt alongside every
+  // materialized view. Per-request views change wholesale (a fresh past
+  // instant each observe), so the rebuild is O(n) per request — the bucketed
+  // win under this model comes from the O(#levels) dispatch kernels, not
+  // from snapshot maintenance. Off by default.
+  void enable_level_index() {
+    track_levels_ = true;
+    level_index_.build(loads_);
+  }
+  const sim::LevelIndex& level_index() const { return level_index_; }
+
   // Attaches a trace sink notified per materialized view (on_board_refresh;
   // one per request under this model) and per dropped refresh
   // (on_refresh_fault). Pure observer; nullptr detaches. Long traced runs
@@ -63,6 +75,8 @@ class ContinuousView {
   double actual_delay_ = 0.0;
   double last_measured_ = 0.0;  // instant the current view reflects
   std::uint64_t version_ = 0;
+  bool track_levels_ = false;
+  sim::LevelIndex level_index_;
   obs::TraceSink* trace_ = nullptr;
 };
 

@@ -64,6 +64,9 @@ void IndividualBoard::sync(queueing::Cluster& cluster, double t,
       const double publish = pending_[s].front().publish;
       pending_[s].pop_front();
       ++version_;
+      if (track_levels_) {
+        level_index_.update(static_cast<int>(s), snapshot_[s]);
+      }
       if (trace_) {
         trace_->on_board_refresh(publish, last_refresh_[s], version_,
                                  snapshot_);

@@ -15,6 +15,7 @@
 #include "loadinfo/refresh_faults.h"
 #include "obs/trace_sink.h"
 #include "queueing/cluster.h"
+#include "sim/level_histogram.h"
 #include "sim/rng.h"
 
 namespace stale::loadinfo {
@@ -37,6 +38,16 @@ class IndividualBoard {
   double mean_age(double t) const;
   std::uint64_t version() const { return version_; }
 
+  // Turns on the bucketed snapshot: level_index() stays in sync with
+  // loads(), maintained O(1) per published heartbeat (each heartbeat moves
+  // exactly one server between levels). Off by default so vector-path runs
+  // pay nothing.
+  void enable_level_index() {
+    track_levels_ = true;
+    level_index_.build(snapshot_);
+  }
+  const sim::LevelIndex& level_index() const { return level_index_; }
+
   // Attaches a trace sink notified per published heartbeat (on_board_refresh
   // with the whole visible snapshot) and per injected drop/delay
   // (on_refresh_fault with the server index). Pure observer; nullptr
@@ -56,6 +67,8 @@ class IndividualBoard {
   std::vector<int> snapshot_;
   std::vector<std::deque<PendingHeartbeat>> pending_;  // per server, FIFO
   std::uint64_t version_ = 1;
+  bool track_levels_ = false;
+  sim::LevelIndex level_index_;
   obs::TraceSink* trace_ = nullptr;
 };
 

@@ -54,6 +54,7 @@ void PeriodicBoard::sync(queueing::Cluster& cluster, double t,
     const double publish = pending_.front().publish;
     pending_.pop_front();
     ++version_;
+    if (track_levels_) level_index_.build(snapshot_);
     if (trace_) {
       trace_->on_board_refresh(publish, measured_at_, version_, snapshot_);
     }

@@ -19,6 +19,7 @@
 #include "loadinfo/refresh_faults.h"
 #include "obs/trace_sink.h"
 #include "queueing/cluster.h"
+#include "sim/level_histogram.h"
 
 namespace stale::loadinfo {
 
@@ -44,6 +45,15 @@ class PeriodicBoard {
   // Bumped on every refresh; policies key caches on it.
   std::uint64_t version() const { return version_; }
 
+  // Turns on the bucketed snapshot: level_index() stays in sync with
+  // loads(), rebuilt O(n) once per publish (amortized over a whole phase of
+  // O(#levels) dispatches). Off by default so vector-path runs pay nothing.
+  void enable_level_index() {
+    track_levels_ = true;
+    level_index_.build(snapshot_);
+  }
+  const sim::LevelIndex& level_index() const { return level_index_; }
+
   // Attaches a trace sink notified on every publish (on_board_refresh) and
   // every injected drop/delay (on_refresh_fault). Pure observer; nullptr
   // detaches.
@@ -62,6 +72,8 @@ class PeriodicBoard {
   std::uint64_t version_ = 1;
   std::vector<int> snapshot_;
   std::deque<PendingRefresh> pending_;  // FIFO, publish times non-decreasing
+  bool track_levels_ = false;
+  sim::LevelIndex level_index_;
   obs::TraceSink* trace_ = nullptr;
 };
 

@@ -30,6 +30,19 @@ const char* trace_event_kind_name(TraceEventKind kind) {
 TraceRecorder::TraceRecorder(const RecorderOptions& options)
     : options_(options) {}
 
+std::vector<std::int64_t> refresh_level_counts(const BoardRefresh& refresh) {
+  if (!refresh.level_counts.empty() || refresh.loads.empty()) {
+    return refresh.level_counts;
+  }
+  const int max_load =
+      *std::max_element(refresh.loads.begin(), refresh.loads.end());
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(max_load) + 1, 0);
+  for (int load : refresh.loads) {
+    ++counts[static_cast<std::size_t>(load)];
+  }
+  return counts;
+}
+
 void TraceRecorder::push(const TraceEvent& event) {
   events_.push_back(event);
   max_server_ = std::max(max_server_, static_cast<int>(event.server));
@@ -63,8 +76,21 @@ void TraceRecorder::on_board_refresh(double published, double measured,
   std::int64_t index = -1;
   if (options_.record_snapshots) {
     index = static_cast<std::int64_t>(refreshes_.size());
-    refreshes_.push_back({published, measured, version,
-                          std::vector<int>(loads.begin(), loads.end())});
+    BoardRefresh refresh{published, measured, version, {}, {}};
+    if (loads.size() <= options_.full_vector_limit) {
+      refresh.loads.assign(loads.begin(), loads.end());
+    } else {
+      // Large cluster: store the O(#levels) occupancy counts instead of the
+      // O(n) vector, keeping long large-n traces affordable.
+      for (int load : loads) {
+        const auto level = static_cast<std::size_t>(load);
+        if (level >= refresh.level_counts.size()) {
+          refresh.level_counts.resize(level + 1, 0);
+        }
+        ++refresh.level_counts[level];
+      }
+    }
+    refreshes_.push_back(std::move(refresh));
   }
   push({published, TraceEventKind::kBoardRefresh, -1, measured,
         static_cast<double>(version), index});
@@ -79,6 +105,9 @@ void TraceRecorder::on_refresh_fault(double t, FaultTraceEvent kind,
 void TraceRecorder::on_probabilities(std::span<const double> p) {
   ++probability_builds_;
   if (!options_.record_probabilities) return;
+  // Above the limit, copying every build would cost O(decisions * n); the
+  // build is still counted, but decisions reference no vector (index -1).
+  if (p.size() > options_.full_vector_limit) return;
   last_probability_index_ = static_cast<std::int64_t>(
       probability_vectors_.size());
   probability_vectors_.emplace_back(p.begin(), p.end());

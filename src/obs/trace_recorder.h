@@ -56,8 +56,16 @@ struct BoardRefresh {
   double published = 0.0;
   double measured = 0.0;
   std::uint64_t version = 0;
+  // Exactly one of the two representations is populated per refresh: the raw
+  // per-server vector for clusters up to RecorderOptions::full_vector_limit,
+  // the per-level occupancy counts (index = queue length) above it.
   std::vector<int> loads;
+  std::vector<std::int64_t> level_counts;
 };
+
+// Per-level occupancy of a recorded refresh, whichever representation it
+// kept: level_counts verbatim, or the tally of the raw vector.
+std::vector<std::int64_t> refresh_level_counts(const BoardRefresh& refresh);
 
 struct RecorderOptions {
   // Keep a copy of every probability vector policies report. Costs
@@ -66,6 +74,12 @@ struct RecorderOptions {
   bool record_probabilities = true;
   // Keep full board snapshots (the per-refresh load vectors).
   bool record_snapshots = true;
+  // Clusters larger than this record per-level occupancy counts instead of
+  // per-server vectors (refresh snapshots), and skip probability-vector
+  // copies entirely (still counted via probability_builds()). Keeps traced
+  // large-n runs O(#levels) per event instead of O(n) — the default covers
+  // every paper-scale configuration with full fidelity.
+  std::size_t full_vector_limit = 4096;
 };
 
 class TraceRecorder final : public TraceSink {

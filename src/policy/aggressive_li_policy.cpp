@@ -3,7 +3,24 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace stale::policy {
+
+namespace {
+
+// Degraded-rate-estimate hardening shared by both representations: a
+// non-finite or negative expected-arrival count degrades to "start of
+// schedule" rather than feeding garbage into the group lookup.
+double safe_jobs_elapsed(const DispatchContext& context) {
+  double jobs_elapsed =
+      context.lambda_total *
+      (context.periodic() ? context.phase_elapsed : context.age);
+  if (!std::isfinite(jobs_elapsed) || jobs_elapsed < 0.0) jobs_elapsed = 0.0;
+  return jobs_elapsed;
+}
+
+}  // namespace
 
 namespace {
 
@@ -31,17 +48,13 @@ int AggressiveLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
   if (context.loads.empty()) {
     throw std::invalid_argument("AggressiveLiPolicy: empty load vector");
   }
+  if (context.use_bucketed()) return select_bucketed(context, rng);
   if (!schedule_ || cached_version_ != context.info_version) {
     schedule_.emplace(core::make_aggressive_schedule(context.loads));
+    bucketed_.reset();
     cached_version_ = context.info_version;
   }
-  // A degraded rate estimate (no samples yet, or overflow) yields a
-  // non-finite or negative expected-arrival count; degrade to "start of
-  // schedule" rather than feeding garbage into the group lookup.
-  double jobs_elapsed =
-      context.lambda_total *
-      (context.periodic() ? context.phase_elapsed : context.age);
-  if (!std::isfinite(jobs_elapsed) || jobs_elapsed < 0.0) jobs_elapsed = 0.0;
+  const double jobs_elapsed = safe_jobs_elapsed(context);
   const int group = context.periodic()
                         ? core::aggressive_group_at(*schedule_, jobs_elapsed)
                         : core::aggressive_stationary_group(*schedule_,
@@ -77,6 +90,32 @@ int AggressiveLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
     if (!context.known_dead(s) && pick-- == 0) return s;
   }
   throw std::logic_error("AggressiveLiPolicy: liveness mask changed mid-pick");
+}
+
+int AggressiveLiPolicy::select_bucketed(const DispatchContext& context,
+                                        sim::Rng& rng) {
+  if (!bucketed_ || cached_version_ != context.info_version) {
+    bucketed_.emplace(
+        core::make_bucketed_aggressive_schedule(context.levels->histogram()));
+    schedule_.reset();
+    cached_version_ = context.info_version;
+  }
+  const double jobs_elapsed = safe_jobs_elapsed(context);
+  const std::int64_t count =
+      context.periodic()
+          ? core::bucketed_aggressive_count_at(*bucketed_, jobs_elapsed)
+          : core::bucketed_aggressive_stationary_count(*bucketed_,
+                                                       jobs_elapsed);
+  STALE_AUDIT(core::audit_aggressive_equivalence(
+      *bucketed_, count, context.loads, jobs_elapsed, context.periodic(),
+      "AggressiveLiPolicy::select_bucketed"));
+  if (context.trace != nullptr) {
+    trace_level_masses(context,
+                       core::aggressive_level_masses(*bucketed_, count));
+  }
+  // Uniform over the `count` least-loaded servers: pick a rank in the sorted
+  // order, resolved through the level index without materializing the order.
+  return context.levels->pick_uniform_in_prefix(count, rng);
 }
 
 }  // namespace stale::policy

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "core/aggressive_schedule.h"
+#include "core/li_bucketed.h"
 #include "policy/policy.h"
 
 namespace stale::policy {
@@ -28,8 +29,11 @@ class AggressiveLiPolicy final : public SelectionPolicy {
   std::string name() const override { return "aggressive_li"; }
 
  private:
+  int select_bucketed(const DispatchContext& context, sim::Rng& rng);
+
   std::uint64_t cached_version_ = 0;
   std::optional<core::AggressiveSchedule> schedule_;
+  std::optional<core::BucketedAggressiveSchedule> bucketed_;
 };
 
 }  // namespace stale::policy

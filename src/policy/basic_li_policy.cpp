@@ -11,8 +11,10 @@ int BasicLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
   if (context.loads.empty()) {
     throw std::invalid_argument("BasicLiPolicy: empty load vector");
   }
+  if (context.use_bucketed()) return select_bucketed(context, rng);
   const double expected_arrivals = context.basic_li_expected_arrivals();
-  if (!sampler_ || cached_version_ != context.info_version ||
+  if (!sampler_ || cached_bucketed_ ||
+      cached_version_ != context.info_version ||
       cached_arrivals_ != expected_arrivals) {
     std::vector<double> p =
         core::basic_li_probabilities(context.loads, expected_arrivals);
@@ -24,8 +26,29 @@ int BasicLiPolicy::select(const DispatchContext& context, sim::Rng& rng) {
     sampler_.emplace(std::span<const double>(p));
     cached_version_ = context.info_version;
     cached_arrivals_ = expected_arrivals;
+    cached_bucketed_ = false;
   }
   return sampler_->sample(rng);
+}
+
+int BasicLiPolicy::select_bucketed(const DispatchContext& context,
+                                   sim::Rng& rng) {
+  const double expected_arrivals = context.basic_li_expected_arrivals();
+  if (!level_sampler_ || !cached_bucketed_ ||
+      cached_version_ != context.info_version ||
+      cached_arrivals_ != expected_arrivals) {
+    const std::vector<double> masses = core::basic_li_level_masses(
+        context.levels->histogram(), expected_arrivals);
+    STALE_AUDIT(core::audit_basic_li_equivalence(
+        masses, context.loads, expected_arrivals,
+        "BasicLiPolicy::select_bucketed"));
+    if (context.trace != nullptr) trace_level_masses(context, masses);
+    level_sampler_.emplace(std::span<const double>(masses));
+    cached_version_ = context.info_version;
+    cached_arrivals_ = expected_arrivals;
+    cached_bucketed_ = true;
+  }
+  return level_sampler_->sample(*context.levels, rng);
 }
 
 }  // namespace stale::policy

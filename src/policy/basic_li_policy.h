@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/li_bucketed.h"
 #include "core/sampler.h"
 #include "policy/policy.h"
 
@@ -25,9 +26,13 @@ class BasicLiPolicy final : public SelectionPolicy {
   std::string name() const override { return "basic_li"; }
 
  private:
+  int select_bucketed(const DispatchContext& context, sim::Rng& rng);
+
   std::uint64_t cached_version_ = 0;
   double cached_arrivals_ = -1.0;
+  bool cached_bucketed_ = false;
   std::optional<core::DiscreteSampler> sampler_;
+  std::optional<core::LevelSampler> level_sampler_;
 };
 
 }  // namespace stale::policy

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/li_bucketed.h"
 #include "core/sampler.h"
 #include "policy/policy.h"
 
@@ -23,9 +24,13 @@ class HybridLiPolicy final : public SelectionPolicy {
   std::string name() const override { return "hybrid_li"; }
 
  private:
+  int select_bucketed(const DispatchContext& context, sim::Rng& rng);
+
   std::uint64_t cached_version_ = 0;
   double first_interval_jobs_ = 0.0;
+  bool cached_bucketed_ = false;
   std::optional<core::DiscreteSampler> first_sampler_;
+  std::optional<core::LevelSampler> first_level_sampler_;
 };
 
 }  // namespace stale::policy

@@ -74,6 +74,20 @@ bool sanitize_probabilities(std::vector<double>& p,
   return true;
 }
 
+[[gnu::noinline]] void trace_level_masses(
+    const DispatchContext& context, std::span<const double> level_masses) {
+  if (context.trace == nullptr) return;
+  std::vector<double> p(context.loads.size(), 0.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const auto level = static_cast<std::size_t>(context.loads[i]);
+    if (level >= level_masses.size()) continue;
+    const std::int64_t peers =
+        context.levels->histogram().count(context.loads[i]);
+    if (peers > 0) p[i] = level_masses[level] / static_cast<double>(peers);
+  }
+  context.trace_probabilities(p);
+}
+
 int pick_uniform_alive(std::span<const std::uint8_t> alive, std::size_t n,
                        sim::Rng& rng) {
   if (n == 0) throw std::invalid_argument("pick_uniform_alive: empty cluster");

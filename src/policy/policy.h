@@ -14,9 +14,27 @@
 #include <vector>
 
 #include "obs/trace_sink.h"
+#include "sim/level_histogram.h"
 #include "sim/rng.h"
 
 namespace stale::policy {
+
+// How the stale board is represented on the dispatch fast path.
+//   kVector   — classic O(n) probability vector over servers.
+//   kBucketed — O(#levels) kernels over the level histogram, two-stage
+//               sampling (level, then uniform server within the level).
+//   kAuto     — bucketed iff the cluster is at least
+//               kBucketedAutoThreshold servers (and the run is eligible:
+//               no fault injection, not update-on-access).
+// Per-LEVEL dispatch distributions are identical across representations
+// (audited under STALELOAD_AUDIT); RNG draw sequences differ, so paired
+// runs of different representations are not bit-identical.
+enum class BoardRepr { kAuto, kVector, kBucketed };
+
+// kAuto switches to the bucketed path at this cluster size. Chosen well
+// above every golden/paper configuration (n <= 100) so default runs keep
+// their bit-exact historical trajectories.
+inline constexpr int kBucketedAutoThreshold = 1024;
 
 struct DispatchContext {
   // Reported (stale) queue length of each server. Always the full vector;
@@ -54,6 +72,11 @@ struct DispatchContext {
   // this into FaultStats::sanitizer_fixes).
   std::uint64_t* sanitize_events = nullptr;
 
+  // Bucketed view of `loads` (same snapshot, counted by level), or null when
+  // the driver runs the vector representation. Policies with a bucketed fast
+  // path use it via use_bucketed(); everything else ignores it.
+  const sim::LevelIndex* levels = nullptr;
+
   // Trace sink (obs/trace_sink.h), null when tracing is off. Probabilistic
   // policies report the vector they are about to sample from via
   // trace_probabilities() whenever they (re)build it; sinks are pure
@@ -65,6 +88,11 @@ struct DispatchContext {
   }
 
   bool periodic() const { return phase_length > 0.0; }
+
+  // Bucketed fast path applies only when a level index is provided and no
+  // liveness mask is active (fault runs reshape probabilities per server,
+  // which the counted representation cannot express).
+  bool use_bucketed() const { return levels != nullptr && alive.empty(); }
 
   bool known_dead(int server) const {
     return !alive.empty() && alive[static_cast<std::size_t>(server)] == 0;
@@ -122,5 +150,12 @@ bool sanitize_probabilities(std::vector<double>& p,
 // must still send the job somewhere and take the retry path).
 int pick_uniform_alive(std::span<const std::uint8_t> alive, std::size_t n,
                        sim::Rng& rng);
+
+// Cold path shared by the bucketed policies: materializes the per-server
+// probability vector implied by per-level masses (each server at level l
+// gets masses[l] / count(l)) and reports it to the trace sink. Only called
+// when a sink is attached, so the O(n) expansion never taxes untraced runs.
+void trace_level_masses(const DispatchContext& context,
+                        std::span<const double> level_masses);
 
 }  // namespace stale::policy

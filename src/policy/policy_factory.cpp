@@ -92,4 +92,24 @@ std::vector<std::string> known_policy_specs() {
           "aggressive_li", "hybrid_li",      "basic_li_k:K"};
 }
 
+BoardRepr parse_board_repr(const std::string& spec) {
+  if (spec == "auto") return BoardRepr::kAuto;
+  if (spec == "vector") return BoardRepr::kVector;
+  if (spec == "bucketed") return BoardRepr::kBucketed;
+  throw std::invalid_argument(
+      "parse_board_repr: expected auto|vector|bucketed, got '" + spec + "'");
+}
+
+const char* board_repr_name(BoardRepr repr) {
+  switch (repr) {
+    case BoardRepr::kAuto:
+      return "auto";
+    case BoardRepr::kVector:
+      return "vector";
+    case BoardRepr::kBucketed:
+      return "bucketed";
+  }
+  throw std::logic_error("board_repr_name: bad enum");
+}
+
 }  // namespace stale::policy

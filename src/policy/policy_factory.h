@@ -23,4 +23,9 @@ PolicyPtr make_policy(const std::string& spec);
 // --help output and tests).
 std::vector<std::string> known_policy_specs();
 
+// Board-representation spec used by --board-repr: "auto", "vector", or
+// "bucketed". Throws std::invalid_argument on anything else.
+BoardRepr parse_board_repr(const std::string& spec);
+const char* board_repr_name(BoardRepr repr);
+
 }  // namespace stale::policy

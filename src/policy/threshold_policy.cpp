@@ -18,6 +18,16 @@ ThresholdPolicy::ThresholdPolicy(int k, int threshold)
 
 int ThresholdPolicy::select(const DispatchContext& context, sim::Rng& rng) {
   const int n = static_cast<int>(context.loads.size());
+  if (k_ == kAllServers && context.use_bucketed()) {
+    // Full-information threshold rule in O(#levels): uniform over all
+    // servers at/below the threshold; when everyone is heavy, uniform over
+    // the least-loaded level (the reservoir's tie-break distribution).
+    const sim::LevelHistogram& hist = context.levels->histogram();
+    if (hist.count_at_or_below(threshold_) > 0) {
+      return context.levels->pick_uniform_at_or_below(threshold_, rng);
+    }
+    return context.levels->pick_uniform_in_level(hist.min_level(), rng);
+  }
   const int k = k_ == kAllServers ? n : std::min(k_, n);
   scratch_.resize(static_cast<std::size_t>(k));
   if (k == n) {

@@ -1,19 +1,30 @@
 #include "queueing/cluster.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "check/audit.h"
 
 namespace stale::queueing {
 
-Cluster::Cluster(int n, double history_window) {
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Cluster::Cluster(int n, double history_window)
+    : history_window_(history_window) {
   if (n <= 0) throw std::invalid_argument("Cluster: need at least one server");
   servers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) servers_.emplace_back(1.0, history_window);
   loads_.assign(static_cast<std::size_t>(n), 0);
+  histogram_.assign(loads_);
   total_rate_ = static_cast<double>(n);
 }
 
-Cluster::Cluster(std::vector<double> rates, double history_window) {
+Cluster::Cluster(std::vector<double> rates, double history_window)
+    : history_window_(history_window) {
   if (rates.empty()) {
     throw std::invalid_argument("Cluster: need at least one server");
   }
@@ -23,12 +34,58 @@ Cluster::Cluster(std::vector<double> rates, double history_window) {
     total_rate_ += rate;
   }
   loads_.assign(rates.size(), 0);
+  histogram_.assign(loads_);
+}
+
+void Cluster::refresh_load(std::size_t server) {
+  const int length = servers_[server].length();
+  if (length != loads_[server]) {
+    histogram_.move(loads_[server], length);
+    loads_[server] = length;
+  }
+}
+
+void Cluster::enable_lazy_advance() {
+  if (history_window_ > 0.0) {
+    throw std::logic_error(
+        "Cluster::enable_lazy_advance: incompatible with history tracking "
+        "(pruning needs the periodic sweep)");
+  }
+  if (lazy_) return;
+  lazy_ = true;
+  scheduled_.assign(servers_.size(), kNever);
+  for (std::size_t s = 0; s < servers_.size(); ++s) schedule_front(s);
+}
+
+void Cluster::schedule_front(std::size_t server) {
+  const double next = servers_[server].next_departure();
+  if (next == scheduled_[server]) return;
+  scheduled_[server] = next;
+  if (std::isfinite(next)) {
+    due_.push({next, static_cast<int>(server)});
+  }
 }
 
 void Cluster::advance_to(double t) {
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    servers_[i].advance_to(t);
-    loads_[i] = servers_[i].length();
+  if (!lazy_) {
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      servers_[i].advance_to(t);
+      refresh_load(i);
+    }
+    advanced_time_ = t;
+    return;
+  }
+  while (!due_.empty() && due_.top().when <= t) {
+    const DueEntry entry = due_.top();
+    due_.pop();
+    const auto s = static_cast<std::size_t>(entry.server);
+    // A mismatch means this entry was superseded (its departure was already
+    // retired by an earlier pop's advance, or wiped by a crash): skip it.
+    if (scheduled_[s] != entry.when) continue;
+    servers_[s].advance_to(t);
+    refresh_load(s);
+    scheduled_[s] = kNever;
+    schedule_front(s);
   }
   advanced_time_ = t;
 }
@@ -38,8 +95,14 @@ double Cluster::assign(double t, int server, double job_size) {
     throw std::out_of_range("Cluster::assign: bad server index");
   }
   advance_to(t);
-  const double departure = servers_[static_cast<std::size_t>(server)].assign(t, job_size);
-  loads_[static_cast<std::size_t>(server)] += 1;
+  const auto s = static_cast<std::size_t>(server);
+  const double departure = servers_[s].assign(t, job_size);
+  histogram_.move(loads_[s], loads_[s] + 1);
+  loads_[s] += 1;
+  if (lazy_) schedule_front(s);
+  STALE_AUDIT(check::audit_level_histogram(histogram_.counts(),
+                                           histogram_.total(), loads_,
+                                           "Cluster::assign"));
   return departure;
 }
 
@@ -60,9 +123,11 @@ double Cluster::assign_tagged(double t, int server, double job_size,
     throw std::out_of_range("Cluster::assign_tagged: bad server index");
   }
   advance_to(t);
-  const double departure = servers_[static_cast<std::size_t>(server)]
-                               .assign_tagged(t, job_size, tag, born);
-  loads_[static_cast<std::size_t>(server)] += 1;
+  const auto s = static_cast<std::size_t>(server);
+  const double departure = servers_[s].assign_tagged(t, job_size, tag, born);
+  histogram_.move(loads_[s], loads_[s] + 1);
+  loads_[s] += 1;
+  if (lazy_) schedule_front(s);
   return departure;
 }
 
@@ -72,8 +137,12 @@ void Cluster::crash(double t, int server,
     throw std::out_of_range("Cluster::crash: bad server index");
   }
   advance_to(t);
-  servers_[static_cast<std::size_t>(server)].crash(t, displaced);
-  loads_[static_cast<std::size_t>(server)] = 0;
+  const auto s = static_cast<std::size_t>(server);
+  servers_[s].crash(t, displaced);
+  if (loads_[s] != 0) histogram_.move(loads_[s], 0);
+  loads_[s] = 0;
+  // Any heap entry for the wiped queue is now stale; mismatch skips it.
+  if (lazy_) scheduled_[s] = kNever;
 }
 
 void Cluster::recover(double t, int server) {

@@ -2,16 +2,28 @@
 // exposes current and historical queue-length vectors to the staleness
 // models. All operations must be invoked with non-decreasing time.
 //
+// The cluster also maintains the level-occupancy histogram of its load
+// vector incrementally (sim/level_histogram.h): every queue-length change is
+// an O(1) move() on the histogram, so bucketed consumers never pay an O(n)
+// recount. With enable_lazy_advance() the per-advance full-server sweep is
+// replaced by a departure heap — advance_to() touches only the servers whose
+// queues actually change, making large-n (10^5..10^6) simulation feasible.
+// Lazy advance changes no simulated behaviour (same loads, departures, and
+// histogram after every call); it is incompatible with history tracking,
+// whose pruning needs the periodic sweep.
+//
 // Fault-aware runs (src/fault/) enable job tracking, crash/recover individual
 // servers, and drain completed jobs (tag + response time) instead of trusting
 // the departure time precomputed at dispatch.
 #pragma once
 
 #include <cstdint>
+#include <queue>
 #include <span>
 #include <vector>
 
 #include "queueing/fifo_server.h"
+#include "sim/level_histogram.h"
 
 namespace stale::queueing {
 
@@ -26,7 +38,8 @@ class Cluster {
 
   int size() const { return static_cast<int>(servers_.size()); }
 
-  // Advances every server to time t and refreshes the cached load vector.
+  // Advances every server to time t and refreshes the cached load vector
+  // (under lazy advance: only the servers with departures <= t).
   void advance_to(double t);
 
   // Dispatches a job of `size` to `server` at time `t`. Advances the cluster
@@ -35,6 +48,13 @@ class Cluster {
 
   // Queue lengths as of the last advance (valid until the next mutation).
   std::span<const int> loads() const { return loads_; }
+
+  // Level-occupancy histogram of loads(), maintained incrementally.
+  const sim::LevelHistogram& level_histogram() const { return histogram_; }
+
+  // Switches advance_to() to the departure-heap path (see header comment).
+  // Must be called before any assign; throws if the cluster tracks history.
+  void enable_lazy_advance();
 
   // Queue lengths at past time `t` (requires a history window).
   void loads_at(double t, std::vector<int>& out) const;
@@ -78,10 +98,36 @@ class Cluster {
   void set_trace_sink(obs::TraceSink* sink);
 
  private:
+  // Re-reads one server's length into loads_ and the histogram.
+  void refresh_load(std::size_t server);
+
+  // Re-arms the departure heap for one server (lazy mode).
+  void schedule_front(std::size_t server);
+
+  // Heap entry; min-ordered by (when, server) so pops are deterministic.
+  struct DueEntry {
+    double when;
+    int server;
+    bool operator>(const DueEntry& other) const {
+      if (when != other.when) return when > other.when;
+      return server > other.server;
+    }
+  };
+
   std::vector<FifoServer> servers_;
   std::vector<int> loads_;
+  sim::LevelHistogram histogram_;
   double advanced_time_ = 0.0;
   double total_rate_ = 0.0;
+  double history_window_ = 0.0;
+
+  // Lazy-advance state. scheduled_[s] is the departure time currently armed
+  // in the heap for server s (+inf = none); stale heap entries — superseded
+  // by a pop or a crash — are recognized by mismatch and skipped.
+  bool lazy_ = false;
+  std::vector<double> scheduled_;
+  std::priority_queue<DueEntry, std::vector<DueEntry>, std::greater<DueEntry>>
+      due_;
 };
 
 }  // namespace stale::queueing

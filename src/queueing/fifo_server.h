@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "obs/trace_sink.h"
@@ -109,6 +110,14 @@ class FifoServer {
   // clock must advance for every dispatched job to finish.
   double last_pending_departure() const {
     return departures_.empty() ? advanced_time_ : departures_.back();
+  }
+
+  // Earliest pending departure, +inf when idle — the next instant at which
+  // this server's queue length changes on its own. Drives the cluster's
+  // lazy-advance heap.
+  double next_departure() const {
+    return departures_.empty() ? std::numeric_limits<double>::infinity()
+                               : departures_.front();
   }
 
   // --- observability -------------------------------------------------------

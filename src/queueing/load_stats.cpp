@@ -17,6 +17,11 @@ void LoadImbalanceStats::observe(std::span<const int> loads) {
   take_sample(loads);
 }
 
+void LoadImbalanceStats::observe(const sim::LevelHistogram& histogram) {
+  if (++calls_ % stride_ != 0) return;
+  take_sample(histogram);
+}
+
 void LoadImbalanceStats::take_sample(std::span<const int> loads) {
   if (loads.empty()) return;
   double sum = 0.0;
@@ -33,6 +38,14 @@ void LoadImbalanceStats::take_sample(std::span<const int> loads) {
   stddevs_.add(std::sqrt(variance > 0.0 ? variance : 0.0));
   maxima_.add(static_cast<double>(max));
   means_.add(mean);
+  ++snapshots_;
+}
+
+void LoadImbalanceStats::take_sample(const sim::LevelHistogram& histogram) {
+  if (histogram.empty()) return;
+  stddevs_.add(histogram.stddev());
+  maxima_.add(static_cast<double>(histogram.max_level()));
+  means_.add(histogram.mean());
   ++snapshots_;
 }
 

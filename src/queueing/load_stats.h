@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 
+#include "sim/level_histogram.h"
 #include "sim/stats.h"
 
 namespace stale::queueing {
@@ -21,6 +22,12 @@ class LoadImbalanceStats {
 
   void observe(std::span<const int> loads);
 
+  // Bucketed variant: same statistics in O(#levels) from the histogram's
+  // exact integer sums — bit-identical to the vector overload on the same
+  // snapshot (both reduce to the identical double formulas over exact
+  // integer sums).
+  void observe(const sim::LevelHistogram& histogram);
+
   // Across all sampled snapshots: the within-snapshot standard deviation of
   // queue lengths (averaged), the mean per-snapshot maximum, and the mean
   // queue length.
@@ -31,6 +38,7 @@ class LoadImbalanceStats {
 
  private:
   void take_sample(std::span<const int> loads);
+  void take_sample(const sim::LevelHistogram& histogram);
 
   std::uint64_t stride_;
   std::uint64_t calls_ = 0;

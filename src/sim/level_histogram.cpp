@@ -1,0 +1,168 @@
+#include "sim/level_histogram.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stale::sim {
+
+void LevelHistogram::assign(std::span<const int> loads) {
+  clear();
+  for (int level : loads) add(level);
+}
+
+void LevelHistogram::clear() {
+  counts_.assign(counts_.size(), 0);  // keep capacity for rebuilds
+  total_ = 0;
+  level_sum_ = 0;
+  level_sq_sum_ = 0;
+  min_level_ = 0;
+  max_level_ = -1;
+}
+
+void LevelHistogram::add(int level) {
+  if (level < 0) {
+    throw std::invalid_argument("LevelHistogram: negative level");
+  }
+  if (level >= static_cast<int>(counts_.size())) {
+    counts_.resize(static_cast<std::size_t>(level) + 1, 0);
+  }
+  if (total_ == 0) {
+    min_level_ = level;
+    max_level_ = level;
+  } else {
+    if (level < min_level_) min_level_ = level;
+    if (level > max_level_) max_level_ = level;
+  }
+  ++counts_[static_cast<std::size_t>(level)];
+  ++total_;
+  level_sum_ += level;
+  level_sq_sum_ += static_cast<std::int64_t>(level) * level;
+}
+
+void LevelHistogram::remove(int level) {
+  if (count(level) <= 0) {
+    throw std::invalid_argument("LevelHistogram: remove from empty level");
+  }
+  --counts_[static_cast<std::size_t>(level)];
+  --total_;
+  level_sum_ -= level;
+  level_sq_sum_ -= static_cast<std::int64_t>(level) * level;
+  if (total_ == 0) {
+    min_level_ = 0;
+    max_level_ = -1;
+    return;
+  }
+  while (counts_[static_cast<std::size_t>(min_level_)] == 0) ++min_level_;
+  while (counts_[static_cast<std::size_t>(max_level_)] == 0) --max_level_;
+}
+
+std::int64_t LevelHistogram::count_at_or_below(int level) const {
+  if (total_ == 0 || level < min_level_) return 0;
+  if (level >= max_level_) return total_;
+  std::int64_t below = 0;
+  for (int l = min_level_; l <= level; ++l) {
+    below += counts_[static_cast<std::size_t>(l)];
+  }
+  return below;
+}
+
+double LevelHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(level_sum_) / static_cast<double>(total_);
+}
+
+double LevelHistogram::stddev() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  const double mean_value = static_cast<double>(level_sum_) / n;
+  const double variance =
+      static_cast<double>(level_sq_sum_) / n - mean_value * mean_value;
+  return std::sqrt(variance > 0.0 ? variance : 0.0);
+}
+
+void LevelIndex::build(std::span<const int> loads) {
+  hist_.assign(loads);
+  const int top = hist_.max_level();
+  if (static_cast<int>(members_.size()) <= top) {
+    members_.resize(static_cast<std::size_t>(top) + 1);
+  }
+  for (std::vector<int>& bucket : members_) bucket.clear();
+  level_.resize(loads.size());
+  pos_.resize(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const int level = loads[i];
+    std::vector<int>& bucket = members_[static_cast<std::size_t>(level)];
+    level_[i] = level;
+    pos_[i] = static_cast<int>(bucket.size());
+    bucket.push_back(static_cast<int>(i));
+  }
+}
+
+void LevelIndex::update(int server, int new_level) {
+  const auto s = static_cast<std::size_t>(server);
+  const int old_level = level_[s];
+  if (old_level == new_level) return;
+  if (new_level < 0) {
+    throw std::invalid_argument("LevelIndex: negative level");
+  }
+  std::vector<int>& from = members_[static_cast<std::size_t>(old_level)];
+  const int moved = from.back();
+  const int hole = pos_[s];
+  from[static_cast<std::size_t>(hole)] = moved;
+  pos_[static_cast<std::size_t>(moved)] = hole;
+  from.pop_back();
+  if (new_level >= static_cast<int>(members_.size())) {
+    members_.resize(static_cast<std::size_t>(new_level) + 1);
+  }
+  std::vector<int>& to = members_[static_cast<std::size_t>(new_level)];
+  pos_[s] = static_cast<int>(to.size());
+  to.push_back(server);
+  level_[s] = new_level;
+  hist_.move(old_level, new_level);
+}
+
+int LevelIndex::pick_uniform_in_level(int level, Rng& rng) const {
+  const std::int64_t size = hist_.count(level);
+  if (size <= 0) {
+    throw std::invalid_argument("LevelIndex: pick from empty level");
+  }
+  const auto pick = rng.next_below(static_cast<std::uint64_t>(size));
+  return members_[static_cast<std::size_t>(level)][pick];
+}
+
+int LevelIndex::pick_uniform_in_prefix(std::int64_t count, Rng& rng) const {
+  if (count < 1 || count > hist_.total()) {
+    throw std::invalid_argument("LevelIndex: bad prefix count");
+  }
+  auto pick = static_cast<std::int64_t>(
+      rng.next_below(static_cast<std::uint64_t>(count)));
+  for (int level = hist_.min_level(); level <= hist_.max_level(); ++level) {
+    const std::int64_t size = hist_.count(level);
+    if (pick < size) {
+      return members_[static_cast<std::size_t>(level)]
+                     [static_cast<std::size_t>(pick)];
+    }
+    pick -= size;
+  }
+  throw std::logic_error("LevelIndex: prefix walk overran the histogram");
+}
+
+int LevelIndex::pick_uniform_at_or_below(int level, Rng& rng) const {
+  const std::int64_t size = hist_.count_at_or_below(level);
+  if (size <= 0) {
+    throw std::invalid_argument("LevelIndex: no members at or below level");
+  }
+  auto pick = static_cast<std::int64_t>(
+      rng.next_below(static_cast<std::uint64_t>(size)));
+  for (int l = hist_.min_level(); l <= level; ++l) {
+    const std::int64_t bucket = hist_.count(l);
+    if (pick < bucket) {
+      return members_[static_cast<std::size_t>(l)]
+                     [static_cast<std::size_t>(pick)];
+    }
+    pick -= bucket;
+  }
+  throw std::logic_error("LevelIndex: at-or-below walk overran the histogram");
+}
+
+}  // namespace stale::sim

@@ -75,6 +75,67 @@ TEST(ClusterTest, TotalRateCountsServers) {
   EXPECT_EQ(cluster.size(), 7);
 }
 
+TEST(ClusterTest, LevelHistogramTracksLoadsIncrementally) {
+  Cluster cluster(3);
+  EXPECT_EQ(cluster.level_histogram().count(0), 3);
+  cluster.assign(0.0, 0, 1.0);
+  cluster.assign(0.0, 0, 1.0);
+  cluster.assign(0.0, 2, 3.0);
+  EXPECT_EQ(cluster.level_histogram().count(0), 1);
+  EXPECT_EQ(cluster.level_histogram().count(1), 1);
+  EXPECT_EQ(cluster.level_histogram().count(2), 1);
+  cluster.advance_to(2.5);  // both of server 0's unit jobs depart
+  EXPECT_EQ(cluster.level_histogram().count(0), 2);
+  EXPECT_EQ(cluster.level_histogram().count(1), 1);
+  EXPECT_EQ(cluster.level_histogram().total(), 3);
+}
+
+// Lazy advance is a pure evaluation-strategy change: the same assignment
+// sequence must yield identical loads, histogram, and departure times as the
+// per-server sweep, at every observation instant.
+TEST(ClusterTest, LazyAdvanceMatchesSweepExactly) {
+  Cluster sweep(4);
+  Cluster lazy(4);
+  lazy.enable_lazy_advance();
+
+  const struct {
+    double t;
+    int server;
+    double size;
+  } jobs[] = {{0.0, 0, 1.0},  {0.1, 1, 0.2}, {0.2, 0, 2.0}, {0.5, 2, 0.7},
+              {0.9, 3, 1.5},  {1.0, 1, 0.1}, {1.7, 0, 0.3}, {2.0, 2, 2.0},
+              {2.05, 3, 0.4}, {3.0, 0, 1.0}};
+  const double checkpoints[] = {0.05, 0.45, 1.1, 1.9, 2.6, 3.5, 9.0};
+
+  std::size_t next_job = 0;
+  for (const double t : checkpoints) {
+    while (next_job < std::size(jobs) && jobs[next_job].t <= t) {
+      const auto& job = jobs[next_job++];
+      const double d1 = sweep.assign(job.t, job.server, job.size);
+      const double d2 = lazy.assign(job.t, job.server, job.size);
+      EXPECT_EQ(d1, d2);
+    }
+    sweep.advance_to(t);
+    lazy.advance_to(t);
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(sweep.loads()[static_cast<std::size_t>(s)],
+                lazy.loads()[static_cast<std::size_t>(s)])
+          << "server " << s << " at t=" << t;
+    }
+    for (int level = 0; level <= sweep.level_histogram().max_level();
+         ++level) {
+      EXPECT_EQ(sweep.level_histogram().count(level),
+                lazy.level_histogram().count(level))
+          << "level " << level << " at t=" << t;
+    }
+  }
+}
+
+TEST(ClusterTest, LazyAdvanceIncompatibleWithHistory) {
+  Cluster cluster(2, /*history_window=*/10.0);
+  EXPECT_THROW(cluster.enable_lazy_advance(), std::logic_error);
+}
+
 TEST(ResponseMetricsTest, DiscardsWarmupJobs) {
   ResponseMetrics metrics(2);
   metrics.record(100.0);

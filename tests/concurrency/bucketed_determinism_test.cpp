@@ -1,0 +1,62 @@
+// Determinism of the bucketed dispatch path under trial parallelism: a
+// --board-repr=bucketed run must produce bit-identical per-trial results
+// whether trials execute serially or on a worker pool (the same D-rule the
+// vector path is held to — each trial derives an independent RNG stream and
+// aggregation is by trial index, never completion order). Lives in
+// tests/concurrency/ so the TSan CI job race-checks the lazy-advance heap
+// and level-index plumbing wholesale.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace {
+
+using stale::driver::ExperimentConfig;
+using stale::driver::ExperimentResult;
+using stale::driver::run_experiment;
+
+ExperimentConfig bucketed_config(const std::string& policy,
+                                 stale::driver::UpdateModel model) {
+  ExperimentConfig config;
+  // Explicit kBucketed engages the counted path at any size; keep n modest so
+  // the TSan leg (which runs this suite wholesale, ~10x slower) stays cheap.
+  config.num_servers = 1024;
+  config.lambda = 0.9;
+  config.model = model;
+  config.update_interval = 1.0;
+  config.policy = policy;
+  config.board_repr = stale::policy::BoardRepr::kBucketed;
+  config.num_jobs = 8'000;
+  config.warmup_jobs = 2'000;
+  config.trials = 4;
+  return config;
+}
+
+void expect_parallel_matches_serial(ExperimentConfig config) {
+  config.jobs = 1;
+  const ExperimentResult serial = run_experiment(config);
+  config.jobs = 4;
+  const ExperimentResult parallel = run_experiment(config);
+  ASSERT_EQ(serial.trial_means.size(), parallel.trial_means.size());
+  for (std::size_t trial = 0; trial < serial.trial_means.size(); ++trial) {
+    EXPECT_EQ(serial.trial_means[trial], parallel.trial_means[trial])
+        << config.policy << " trial " << trial;
+  }
+}
+
+TEST(BucketedDeterminismTest, BasicLiPeriodicBitIdenticalAcrossJobs) {
+  expect_parallel_matches_serial(
+      bucketed_config("basic_li", stale::driver::UpdateModel::kPeriodic));
+}
+
+TEST(BucketedDeterminismTest, AggressiveLiIndividualBitIdenticalAcrossJobs) {
+  expect_parallel_matches_serial(bucketed_config(
+      "aggressive_li", stale::driver::UpdateModel::kIndividual));
+}
+
+TEST(BucketedDeterminismTest, HybridLiContinuousBitIdenticalAcrossJobs) {
+  expect_parallel_matches_serial(
+      bucketed_config("hybrid_li", stale::driver::UpdateModel::kContinuous));
+}
+
+}  // namespace

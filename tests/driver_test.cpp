@@ -41,6 +41,53 @@ TEST(ExperimentConfigTest, ValidationCatchesBadValues) {
   EXPECT_THROW(run_experiment(config), std::invalid_argument);
 }
 
+TEST(ExperimentConfigTest, BucketedValidationAndAutoResolution) {
+  // Explicit bucketed + fault injection is rejected; so is update_on_access.
+  ExperimentConfig config = small_config();
+  config.board_repr = policy::BoardRepr::kBucketed;
+  config.fault.crash_rate = 0.01;
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+
+  config = small_config();
+  config.board_repr = policy::BoardRepr::kBucketed;
+  config.model = UpdateModel::kUpdateOnAccess;
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+
+  // Auto: vector below the threshold, bucketed at/above it, and never for
+  // ineligible runs regardless of size.
+  config = small_config();
+  EXPECT_FALSE(config.resolved_bucketed());  // default n = 10
+  config.num_servers = policy::kBucketedAutoThreshold;
+  EXPECT_TRUE(config.resolved_bucketed());
+  config.fault.crash_rate = 0.01;
+  EXPECT_FALSE(config.resolved_bucketed());
+  config.fault.crash_rate = 0.0;
+  config.board_repr = policy::BoardRepr::kVector;
+  EXPECT_FALSE(config.resolved_bucketed());
+  config.board_repr = policy::BoardRepr::kBucketed;
+  config.num_servers = 10;
+  EXPECT_TRUE(config.resolved_bucketed());  // explicit request, small n
+}
+
+TEST(RunTrialTest, BucketedAndVectorReprsBothRunSmallClusters) {
+  // Statistical (not bit) equivalence: the two representations draw
+  // different RNG sequences, so just assert both produce sane results on the
+  // same configuration and are individually deterministic.
+  ExperimentConfig config = small_config();
+  config.num_servers = 64;
+  config.policy = "aggressive_li";
+  config.board_repr = policy::BoardRepr::kBucketed;
+  const TrialResult bucketed = run_trial(config, 99);
+  const TrialResult bucketed_again = run_trial(config, 99);
+  EXPECT_EQ(bucketed.mean_response, bucketed_again.mean_response);
+  config.board_repr = policy::BoardRepr::kVector;
+  const TrialResult vector_repr = run_trial(config, 99);
+  EXPECT_GT(bucketed.mean_response, 0.0);
+  EXPECT_GT(vector_repr.mean_response, 0.0);
+  // Same workload scale either way.
+  EXPECT_EQ(bucketed.total_jobs, vector_repr.total_jobs);
+}
+
 TEST(ExperimentConfigTest, BelievedRateAppliesOverridesAndErrors) {
   ExperimentConfig config;
   config.num_servers = 10;
@@ -311,6 +358,23 @@ TEST(CliTest, FaultFlagsRejectBadValues) {
   const char* bad_cutoff[] = {"bench", "--max-staleness", "-1"};
   EXPECT_THROW(Cli(3, bad_cutoff).apply_run_scale(config),
                std::invalid_argument);
+}
+
+TEST(CliTest, BoardReprFlagParsesAndRejectsBadValues) {
+  const char* argv[] = {"bench", "--board-repr", "bucketed"};
+  Cli cli(3, argv);
+  ExperimentConfig config;
+  cli.apply_run_scale(config);
+  EXPECT_EQ(config.board_repr, policy::BoardRepr::kBucketed);
+
+  const char* vec[] = {"bench", "--board-repr=vector"};
+  ExperimentConfig config2;
+  Cli(2, vec).apply_run_scale(config2);
+  EXPECT_EQ(config2.board_repr, policy::BoardRepr::kVector);
+
+  const char* bad[] = {"bench", "--board-repr", "linked-list"};
+  ExperimentConfig config3;
+  EXPECT_THROW(Cli(3, bad).apply_run_scale(config3), std::invalid_argument);
 }
 
 TEST(SweepTest, ProducesOneRowPerXValue) {

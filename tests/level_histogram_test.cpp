@@ -1,0 +1,218 @@
+// Unit tests for the bucketed load representation (sim/level_histogram.h):
+// histogram bookkeeping against a straightforward recount, exact-aggregate
+// identities against direct vector formulas, LevelIndex structural
+// invariants under random update streams, and uniformity of the three pick
+// primitives.
+#include "sim/level_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace {
+
+using stale::sim::LevelHistogram;
+using stale::sim::LevelIndex;
+using stale::sim::Rng;
+
+std::vector<int> random_loads(Rng& rng, int n, int max_level) {
+  std::vector<int> loads(static_cast<std::size_t>(n));
+  for (int& load : loads) {
+    load = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(max_level) + 1));
+  }
+  return loads;
+}
+
+TEST(LevelHistogramTest, EmptyHistogram) {
+  LevelHistogram hist;
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist.total(), 0);
+  EXPECT_EQ(hist.min_level(), -1);
+  EXPECT_EQ(hist.max_level(), -1);
+  EXPECT_EQ(hist.count(0), 0);
+  EXPECT_EQ(hist.count_at_or_below(100), 0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.stddev(), 0.0);
+}
+
+TEST(LevelHistogramTest, AssignMatchesRecount) {
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<int> loads = random_loads(rng, 200, 12);
+    LevelHistogram hist;
+    hist.assign(loads);
+    ASSERT_EQ(hist.total(), 200);
+    EXPECT_EQ(hist.min_level(),
+              *std::min_element(loads.begin(), loads.end()));
+    EXPECT_EQ(hist.max_level(),
+              *std::max_element(loads.begin(), loads.end()));
+    for (int level = 0; level <= hist.max_level(); ++level) {
+      EXPECT_EQ(hist.count(level),
+                std::count(loads.begin(), loads.end(), level));
+    }
+  }
+}
+
+TEST(LevelHistogramTest, MoveTracksMutationsAndMinMax) {
+  LevelHistogram hist;
+  const std::vector<int> loads = {3, 3, 7, 1};
+  hist.assign(loads);
+  EXPECT_EQ(hist.min_level(), 1);
+  EXPECT_EQ(hist.max_level(), 7);
+
+  hist.move(1, 2);  // the level-1 server grows
+  EXPECT_EQ(hist.min_level(), 2);
+  EXPECT_EQ(hist.count(1), 0);
+  EXPECT_EQ(hist.count(2), 1);
+
+  hist.move(7, 0);  // the level-7 server drains
+  EXPECT_EQ(hist.min_level(), 0);
+  EXPECT_EQ(hist.max_level(), 3);
+  EXPECT_EQ(hist.total(), 4);
+
+  hist.move(3, 3);  // no-op move
+  EXPECT_EQ(hist.count(3), 2);
+}
+
+TEST(LevelHistogramTest, RemoveFromEmptyLevelThrows) {
+  LevelHistogram hist;
+  hist.add(2);
+  EXPECT_THROW(hist.remove(1), std::invalid_argument);
+  EXPECT_THROW(hist.add(-1), std::invalid_argument);
+}
+
+TEST(LevelHistogramTest, ExactAggregatesMatchVectorFormulas) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<int> loads = random_loads(rng, 333, 25);
+    LevelHistogram hist;
+    hist.assign(loads);
+
+    // The same double formulas over the same exact integer sums must agree
+    // bit for bit, which is what LoadImbalanceStats' histogram overload
+    // relies on.
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int load : loads) {
+      sum += load;
+      sum_sq += static_cast<double>(load) * load;
+    }
+    const double n = static_cast<double>(loads.size());
+    const double mean = sum / n;
+    const double variance = sum_sq / n - mean * mean;
+    const double stddev = std::sqrt(variance > 0.0 ? variance : 0.0);
+    EXPECT_EQ(hist.mean(), mean);
+    EXPECT_EQ(hist.stddev(), stddev);
+  }
+}
+
+TEST(LevelHistogramTest, CountAtOrBelow) {
+  LevelHistogram hist;
+  hist.assign(std::vector<int>{0, 0, 2, 5, 5, 5});
+  EXPECT_EQ(hist.count_at_or_below(-1), 0);
+  EXPECT_EQ(hist.count_at_or_below(0), 2);
+  EXPECT_EQ(hist.count_at_or_below(1), 2);
+  EXPECT_EQ(hist.count_at_or_below(2), 3);
+  EXPECT_EQ(hist.count_at_or_below(4), 3);
+  EXPECT_EQ(hist.count_at_or_below(5), 6);
+  EXPECT_EQ(hist.count_at_or_below(1000), 6);
+}
+
+// Structural invariants that make LevelIndex::update O(1)-correct: every
+// server is findable at its claimed level/position, and the histogram
+// matches a recount — maintained across a long random mutation stream.
+TEST(LevelIndexTest, InvariantsUnderRandomUpdates) {
+  Rng rng(99);
+  std::vector<int> loads = random_loads(rng, 64, 6);
+  LevelIndex index;
+  index.build(loads);
+
+  for (int step = 0; step < 5000; ++step) {
+    const int server = static_cast<int>(rng.next_below(64));
+    const int new_level = static_cast<int>(rng.next_below(10));
+    loads[static_cast<std::size_t>(server)] = new_level;
+    index.update(server, new_level);
+  }
+
+  ASSERT_EQ(index.num_servers(), 64);
+  LevelHistogram recount;
+  recount.assign(loads);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_EQ(index.level_of(static_cast<int>(i)), loads[i]);
+  }
+  ASSERT_EQ(index.histogram().total(), recount.total());
+  for (int level = 0; level <= recount.max_level(); ++level) {
+    EXPECT_EQ(index.histogram().count(level), recount.count(level));
+  }
+  EXPECT_EQ(index.histogram().level_sum(), recount.level_sum());
+  EXPECT_EQ(index.histogram().level_sq_sum(), recount.level_sq_sum());
+}
+
+TEST(LevelIndexTest, PickUniformInLevelIsUniform) {
+  const std::vector<int> loads = {1, 0, 1, 1, 2, 1};
+  LevelIndex index;
+  index.build(loads);
+  Rng rng(1234);
+  std::vector<int> hits(loads.size(), 0);
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int pick = index.pick_uniform_in_level(1, rng);
+    ASSERT_EQ(loads[static_cast<std::size_t>(pick)], 1);
+    ++hits[static_cast<std::size_t>(pick)];
+  }
+  // Four members of level 1; each should get ~1/4 of the draws.
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (loads[i] == 1) {
+      EXPECT_NEAR(hits[i] / static_cast<double>(kDraws), 0.25, 0.02);
+    } else {
+      EXPECT_EQ(hits[i], 0);
+    }
+  }
+  EXPECT_THROW(index.pick_uniform_in_level(7, rng), std::invalid_argument);
+}
+
+TEST(LevelIndexTest, PickUniformInPrefixCoversLeastLoaded) {
+  const std::vector<int> loads = {4, 0, 2, 0, 2, 9};
+  LevelIndex index;
+  index.build(loads);
+  Rng rng(5678);
+  // Prefix of 4 = both level-0 servers plus both level-2 servers.
+  std::vector<int> hits(loads.size(), 0);
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++hits[static_cast<std::size_t>(index.pick_uniform_in_prefix(4, rng))];
+  }
+  EXPECT_EQ(hits[0], 0);
+  EXPECT_EQ(hits[5], 0);
+  for (const std::size_t member : {1u, 2u, 3u, 4u}) {
+    EXPECT_NEAR(hits[member] / static_cast<double>(kDraws), 0.25, 0.02);
+  }
+  EXPECT_THROW(index.pick_uniform_in_prefix(0, rng), std::invalid_argument);
+  EXPECT_THROW(index.pick_uniform_in_prefix(7, rng), std::invalid_argument);
+}
+
+TEST(LevelIndexTest, PickUniformAtOrBelow) {
+  const std::vector<int> loads = {4, 0, 2, 0, 2, 9};
+  LevelIndex index;
+  index.build(loads);
+  Rng rng(91011);
+  std::vector<int> hits(loads.size(), 0);
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int pick = index.pick_uniform_at_or_below(3, rng);
+    ASSERT_LE(loads[static_cast<std::size_t>(pick)], 3);
+    ++hits[static_cast<std::size_t>(pick)];
+  }
+  for (const std::size_t member : {1u, 2u, 3u, 4u}) {
+    EXPECT_NEAR(hits[member] / static_cast<double>(kDraws), 0.25, 0.02);
+  }
+  EXPECT_THROW(index.pick_uniform_at_or_below(-1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace

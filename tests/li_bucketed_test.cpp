@@ -1,0 +1,214 @@
+// Differential-equivalence property tests for the bucketed LI kernels
+// (core/li_bucketed.h): across random load vectors and K values, each
+// bucketed kernel must assign every queue-length level exactly the total
+// probability mass the O(n) vector kernel assigns to that level's members —
+// the representation is a sufficient statistic, so any divergence is a bug.
+// Also covers the group-count identities for Aggressive LI and an empirical
+// policy-level check for the threshold rule's bucketed fast path.
+#include "core/li_bucketed.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/aggressive_schedule.h"
+#include "core/load_interpretation.h"
+#include "policy/threshold_policy.h"
+#include "sim/level_histogram.h"
+#include "sim/rng.h"
+
+namespace {
+
+using stale::core::aggressive_level_masses;
+using stale::core::basic_li_level_masses;
+using stale::core::bucketed_aggressive_count_at;
+using stale::core::bucketed_aggressive_stationary_count;
+using stale::core::hybrid_li_first_interval_level_masses;
+using stale::core::make_aggressive_schedule;
+using stale::core::make_bucketed_aggressive_schedule;
+using stale::sim::LevelHistogram;
+using stale::sim::LevelIndex;
+using stale::sim::Rng;
+
+constexpr double kTol = 1e-9;
+
+std::vector<int> random_loads(Rng& rng, int n, int max_level) {
+  std::vector<int> loads(static_cast<std::size_t>(n));
+  for (int& load : loads) {
+    load = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(max_level) + 1));
+  }
+  return loads;
+}
+
+// Collapses a per-server probability vector to per-level total masses.
+std::vector<double> collapse_to_levels(std::span<const double> p,
+                                       std::span<const int> loads) {
+  int top = 0;
+  for (int level : loads) top = std::max(top, level);
+  std::vector<double> sums(static_cast<std::size_t>(top) + 1, 0.0);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    sums[static_cast<std::size_t>(loads[i])] += p[i];
+  }
+  return sums;
+}
+
+void expect_same_level_masses(std::span<const double> bucketed,
+                              std::span<const double> vector_path,
+                              const std::string& label) {
+  const std::size_t levels = std::max(bucketed.size(), vector_path.size());
+  for (std::size_t level = 0; level < levels; ++level) {
+    const double a = level < bucketed.size() ? bucketed[level] : 0.0;
+    const double b = level < vector_path.size() ? vector_path[level] : 0.0;
+    EXPECT_NEAR(a, b, kTol) << label << " at level " << level;
+  }
+}
+
+TEST(LiBucketedTest, BasicLiMatchesVectorKernelAcrossRandomInputs) {
+  Rng rng(2024);
+  const double kValues[] = {0.0, 1e-13, 0.3, 1.0, 4.5, 17.0, 250.0, 1e6};
+  for (int round = 0; round < 40; ++round) {
+    const int n = 1 + static_cast<int>(rng.next_below(100));
+    const int top = 1 + static_cast<int>(rng.next_below(12));
+    const std::vector<int> loads = random_loads(rng, n, top);
+    LevelHistogram hist;
+    hist.assign(loads);
+    for (const double expected_arrivals : kValues) {
+      const std::vector<double> masses =
+          basic_li_level_masses(hist, expected_arrivals);
+      const std::vector<double> p =
+          stale::core::basic_li_probabilities(loads, expected_arrivals);
+      expect_same_level_masses(
+          masses, collapse_to_levels(p, loads),
+          "basic_li K=" + std::to_string(expected_arrivals) + " round " +
+              std::to_string(round));
+    }
+  }
+}
+
+TEST(LiBucketedTest, AggressiveGroupCountsMatchVectorSchedule) {
+  Rng rng(777);
+  for (int round = 0; round < 40; ++round) {
+    const int n = 1 + static_cast<int>(rng.next_below(80));
+    const std::vector<int> loads = random_loads(rng, n, 9);
+    LevelHistogram hist;
+    hist.assign(loads);
+    const auto bucketed = make_bucketed_aggressive_schedule(hist);
+    const auto vector_schedule = make_aggressive_schedule(loads);
+    for (const double x : {0.0, 0.4, 1.0, 3.7, 12.0, 55.0, 1e5}) {
+      // Periodic rule: the expanding group is always a whole tied class, so
+      // the counts must agree exactly.
+      EXPECT_EQ(bucketed_aggressive_count_at(bucketed, x),
+                stale::core::aggressive_group_at(vector_schedule, x))
+          << "group_at(" << x << ") round " << round;
+      // Per-level masses of a uniform pick over the group.
+      const auto count = bucketed_aggressive_count_at(bucketed, x);
+      const std::vector<double> p = stale::core::aggressive_group_probabilities(
+          vector_schedule, static_cast<int>(count));
+      expect_same_level_masses(aggressive_level_masses(bucketed, count),
+                               collapse_to_levels(p, loads),
+                               "aggressive masses round " +
+                                   std::to_string(round));
+    }
+    for (const double k : {0.2, 1.0, 6.0, 40.0, 1e5}) {
+      // Stationary rule for K > 0 (at K == 0 the vector path's index
+      // tie-break picks one server of the minimum class, the bucketed path
+      // the whole class — same per-level mass, different counts).
+      EXPECT_EQ(bucketed_aggressive_stationary_count(bucketed, k),
+                stale::core::aggressive_stationary_group(vector_schedule, k))
+          << "stationary(" << k << ") round " << round;
+    }
+    // The K == 0 per-level identity promised by the header contract.
+    const auto zero_count = bucketed_aggressive_stationary_count(bucketed, 0.0);
+    const std::vector<double> p0 = stale::core::aggressive_group_probabilities(
+        vector_schedule, stale::core::aggressive_stationary_group(
+                             vector_schedule, 0.0));
+    expect_same_level_masses(aggressive_level_masses(bucketed, zero_count),
+                             collapse_to_levels(p0, loads),
+                             "stationary K=0 round " + std::to_string(round));
+  }
+}
+
+TEST(LiBucketedTest, HybridMatchesVectorKernelAcrossRandomInputs) {
+  Rng rng(31337);
+  for (int round = 0; round < 40; ++round) {
+    const int n = 1 + static_cast<int>(rng.next_below(80));
+    const std::vector<int> loads = random_loads(rng, n, 7);
+    LevelHistogram hist;
+    hist.assign(loads);
+    std::vector<double> real_loads(loads.begin(), loads.end());
+    EXPECT_EQ(stale::core::hybrid_li_first_interval_jobs(hist),
+              stale::core::hybrid_li_first_interval_jobs(
+                  std::span<const double>(real_loads)))
+        << "first-interval jobs round " << round;
+    // The first-interval distribution only matters when the interval is
+    // nonempty; the all-equal case never samples it (jobs == 0).
+    if (stale::core::hybrid_li_first_interval_jobs(hist) == 0.0) continue;
+    const std::vector<double> p =
+        stale::core::hybrid_li_first_interval_probabilities(real_loads);
+    expect_same_level_masses(hybrid_li_first_interval_level_masses(hist),
+                             collapse_to_levels(p, loads),
+                             "hybrid masses round " + std::to_string(round));
+  }
+}
+
+// The threshold policy's bucketed fast path must reproduce the vector
+// reservoir's distribution: uniform over servers at/below the threshold, and
+// uniform over the least-loaded level when everyone is heavy. Checked
+// empirically at the policy level (the paths share no code).
+TEST(LiBucketedTest, ThresholdBucketedPathMatchesVectorDistribution) {
+  const std::vector<int> loads = {5, 2, 7, 2, 3, 9, 2, 4};
+  LevelIndex index;
+  index.build(loads);
+  for (const int threshold : {3, 0}) {  // light set nonempty / empty
+    stale::policy::ThresholdPolicy policy(
+        stale::policy::SelectionPolicy::kAllServers, threshold);
+    stale::policy::DispatchContext vector_context;
+    vector_context.loads = loads;
+    stale::policy::DispatchContext bucketed_context = vector_context;
+    bucketed_context.levels = &index;
+    ASSERT_TRUE(bucketed_context.use_bucketed());
+
+    const int kDraws = 60000;
+    std::vector<int> vector_hits(loads.size(), 0);
+    std::vector<int> bucketed_hits(loads.size(), 0);
+    Rng vector_rng(1);
+    Rng bucketed_rng(2);
+    for (int i = 0; i < kDraws; ++i) {
+      ++vector_hits[static_cast<std::size_t>(
+          policy.select(vector_context, vector_rng))];
+      ++bucketed_hits[static_cast<std::size_t>(
+          policy.select(bucketed_context, bucketed_rng))];
+    }
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      EXPECT_NEAR(vector_hits[i] / static_cast<double>(kDraws),
+                  bucketed_hits[i] / static_cast<double>(kDraws), 0.02)
+          << "server " << i << " threshold " << threshold;
+    }
+  }
+}
+
+// LevelSampler two-stage draw: per-server frequency must match the level
+// mass split uniformly within each level.
+TEST(LiBucketedTest, LevelSamplerMatchesPerServerDistribution) {
+  const std::vector<int> loads = {0, 2, 0, 1};
+  LevelIndex index;
+  index.build(loads);
+  const std::vector<double> masses = {0.5, 0.3, 0.2};  // by level
+  stale::core::LevelSampler sampler{std::span<const double>(masses)};
+  Rng rng(4242);
+  std::vector<int> hits(loads.size(), 0);
+  const int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++hits[static_cast<std::size_t>(sampler.sample(index, rng))];
+  }
+  const std::vector<double> expected = {0.25, 0.2, 0.25, 0.3};
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(kDraws), expected[i], 0.015)
+        << "server " << i;
+  }
+}
+
+}  // namespace

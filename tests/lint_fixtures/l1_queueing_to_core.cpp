@@ -1,0 +1,10 @@
+// Lint fixture: scanned under src/queueing/fixture.cpp. The bucketed split
+// puts the counted board (LevelHistogram, maintained incrementally by
+// Cluster) in sim/queueing and the O(#levels) LI kernels that interpret it
+// in core — queueing must never reach up into core, or the representation
+// and its interpretation collapse back into one layer. One L1 finding
+// expected.
+#include "core/li_bucketed.h"
+#include "sim/level_histogram.h"
+
+double mass() { return 0.0; }

@@ -89,6 +89,40 @@ TEST(TraceRecorderTest, SnapshotAndProbabilityStorageFollowOptions) {
   EXPECT_EQ(lean.count(TraceEventKind::kBoardRefresh), 1u);
 }
 
+TEST(TraceRecorderTest, LargeClustersStoreLevelCountsNotVectors) {
+  RecorderOptions options;
+  options.full_vector_limit = 4;  // force the large-n path with tiny inputs
+  TraceRecorder recorder(options);
+
+  const std::vector<int> small = {1, 0, 1};
+  recorder.on_board_refresh(1.0, 0.5, 1, small);
+  const std::vector<int> large = {0, 2, 0, 2, 2, 5};
+  recorder.on_board_refresh(2.0, 1.5, 2, large);
+
+  ASSERT_EQ(recorder.refreshes().size(), 2u);
+  // At or below the limit: full vector, no counts.
+  EXPECT_EQ(recorder.refreshes()[0].loads, small);
+  EXPECT_TRUE(recorder.refreshes()[0].level_counts.empty());
+  // Above the limit: O(#levels) counts, no O(n) vector.
+  EXPECT_TRUE(recorder.refreshes()[1].loads.empty());
+  const std::vector<std::int64_t> expected_counts = {2, 0, 3, 0, 0, 1};
+  EXPECT_EQ(recorder.refreshes()[1].level_counts, expected_counts);
+
+  // refresh_level_counts reads both representations identically.
+  const std::vector<std::int64_t> small_counts = {1, 2};
+  EXPECT_EQ(refresh_level_counts(recorder.refreshes()[0]), small_counts);
+  EXPECT_EQ(refresh_level_counts(recorder.refreshes()[1]), expected_counts);
+
+  // Probability vectors above the limit are counted but never copied, and
+  // decisions then reference no vector.
+  const std::vector<double> big_p = {0.2, 0.2, 0.2, 0.2, 0.1, 0.1};
+  recorder.on_probabilities(big_p);
+  recorder.on_decision(2.5, 1, 0.5);
+  EXPECT_TRUE(recorder.probability_vectors().empty());
+  EXPECT_EQ(recorder.probability_builds(), 1u);
+  EXPECT_EQ(recorder.events().back().c, -1);
+}
+
 TEST(ProbeTest, QueueTrajectoryReplaysStepFunctions) {
   const TraceRecorder recorder = tiny_trace();
   const QueueTrajectory trajectory =

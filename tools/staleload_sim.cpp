@@ -9,6 +9,12 @@
 // Policies: random | k_subset:K | threshold:K:T | basic_li | aggressive_li |
 //           hybrid_li | basic_li_k:K
 //
+// Large clusters: --board-repr auto|vector|bucketed selects the dispatch
+// representation. "bucketed" runs the O(#levels) counted-board path (same
+// per-level dispatch distributions, different RNG draws); "auto" (default)
+// switches to it at 1024+ servers on eligible runs (no faults, not
+// update_on_access).
+//
 // Fault injection (board models only):
 //   --fault-spec S / --crash-rate R / --update-loss P / --max-staleness 2T
 // Fault runs report the per-fault counters; --json emits the full record as
