@@ -112,6 +112,41 @@ inline void audit_displaced_conserved(std::uint64_t displaced,
   STALE_ASSERT(requeued + lost == displaced, where);
 }
 
+// Quarantine containment (src/health/): probability mass over servers the
+// membership layer has quarantined (suspect/dead — alive[i] == 0) must be
+// exactly zero, bit for bit. An epsilon of leaked mass would re-aim a herd
+// at an evicted server over millions of dispatches. When the mask marks
+// nobody alive the dispatcher must still send the job somewhere (the retry
+// path charges the cost), so any distribution is legal then.
+inline void audit_quarantined_mass(std::span<const double> p,
+                                   std::span<const std::uint8_t> alive,
+                                   const char* where) {
+  if (alive.empty()) return;
+  std::size_t up = 0;
+  for (std::uint8_t a : alive) up += (a != 0) ? 1 : 0;
+  if (up == 0) return;
+  for (std::size_t i = 0; i < p.size() && i < alive.size(); ++i) {
+    STALE_ASSERT(alive[i] != 0 || p[i] == 0.0, where);
+  }
+}
+
+// Candidate containment for directly-picking paths (greedy, bucketed
+// two-stage samplers, retry re-picks): the chosen server must be in the
+// candidate set whenever the set is nonempty. With zero candidates the
+// dispatcher must still send the job somewhere (the retry path charges the
+// cost), so any pick is legal then.
+inline void audit_candidate_pick(int server,
+                                 std::span<const std::uint8_t> candidates,
+                                 const char* where) {
+  if (candidates.empty()) return;
+  std::size_t count = 0;
+  for (std::uint8_t c : candidates) count += (c != 0) ? 1 : 0;
+  if (count == 0) return;
+  STALE_ASSERT(server >= 0, where);
+  STALE_ASSERT(static_cast<std::size_t>(server) < candidates.size(), where);
+  STALE_ASSERT(candidates[static_cast<std::size_t>(server)] != 0, where);
+}
+
 // Bucketed-board consistency: an incrementally maintained level histogram
 // (counts[level] = number of servers at that queue length) must always equal
 // a fresh recount of the raw load vector it shadows, and its total must

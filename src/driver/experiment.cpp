@@ -4,10 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/audit.h"
+#include "check/contracts.h"
 #include "core/rate_estimator.h"
 #include "driver/update_on_access.h"
 #include "fault/fault_injector.h"
 #include "fault/hardened_policy.h"
+#include "health/churn_injector.h"
+#include "health/membership.h"
 #include "loadinfo/continuous_view.h"
 #include "loadinfo/individual_board.h"
 #include "loadinfo/periodic_board.h"
@@ -55,6 +59,23 @@ void validate(const ExperimentConfig& config) {
     throw std::invalid_argument("ExperimentConfig: trials must be >= 1");
   }
   config.fault.validate();
+  config.churn.validate();
+  if (config.churn.any()) {
+    if (config.fault.any()) {
+      throw std::invalid_argument(
+          "ExperimentConfig: churn and fault injection are mutually "
+          "exclusive (the fault path hands the dispatcher ground-truth "
+          "liveness; the churn path makes it earn one through the health "
+          "subsystem)");
+    }
+    if (config.model != UpdateModel::kPeriodic &&
+        config.model != UpdateModel::kIndividual) {
+      throw std::invalid_argument(
+          "ExperimentConfig: churn is only supported for the periodic and "
+          "individual board models (the health subsystem watches per-server "
+          "report recency, which the other models do not produce)");
+    }
+  }
   if (config.fault.any() && config.model == UpdateModel::kUpdateOnAccess) {
     throw std::invalid_argument(
         "ExperimentConfig: fault injection is not supported for the "
@@ -426,6 +447,244 @@ TrialResult run_fault_board_trial(const ExperimentConfig& config,
   return result;
 }
 
+// Churn variant of the board trial (src/health/): the ground truth (rolling
+// restarts, Poisson leave/rejoin, slow nodes) comes from a ChurnInjector,
+// but — unlike the fault path, which hands the dispatcher the injector's
+// live-ness mask — the dispatcher here earns its view through a Membership
+// state machine fed only by what it can observe: board report recency and
+// its own dispatch failures. Quarantined (suspect/dead) servers leave the
+// candidate set; under the bucketed representation they are retired from
+// the level index so the counted kernels renormalize over survivors; when
+// candidate coverage drops below the configured threshold the dispatcher
+// degrades to the fallback policy until coverage recovers.
+TrialResult run_churn_board_trial(const ExperimentConfig& config,
+                                  std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const health::ChurnSpec& spec = config.churn;
+  const auto n = static_cast<std::size_t>(config.num_servers);
+
+  // Slow nodes: the last `slow` servers run at slow_factor of the base rate.
+  std::vector<double> rates(n, 1.0);
+  const int slow = std::min(spec.slow, config.num_servers);
+  for (int s = config.num_servers - slow; s < config.num_servers; ++s) {
+    rates[static_cast<std::size_t>(s)] = spec.slow_factor;
+  }
+  queueing::Cluster cluster(std::move(rates), 0.0);
+  cluster.enable_job_tracking();
+  queueing::ResponseMetrics metrics(config.warmup_jobs,
+                                    config.keep_response_samples);
+  policy::PolicyPtr policy = policy::make_policy(config.policy);
+  policy::PolicyPtr fallback = policy::make_policy(spec.fallback_policy);
+  const auto job_size = workload::make_job_size(config.job_size);
+  const auto estimator = make_rate_estimator(config);
+  const double believed_rate = config.believed_total_rate();
+  const double arrival_rate = config.total_rate();
+
+  loadinfo::PeriodicBoard board(config.num_servers, config.update_interval);
+  sim::Rng offsets_rng = rng.split();
+  loadinfo::IndividualBoard individual(config.num_servers,
+                                       config.update_interval, offsets_rng);
+  const bool use_individual = config.model == UpdateModel::kIndividual;
+  const bool bucketed = config.resolved_bucketed();
+  if (bucketed) {
+    if (use_individual) {
+      individual.enable_level_index();
+    } else {
+      board.enable_level_index();
+    }
+  }
+
+  obs::TraceSink* const trace = config.trace_sink;
+  cluster.set_trace_sink(trace);
+  board.set_trace_sink(trace);
+  individual.set_trace_sink(trace);
+
+  health::ChurnInjector injector(spec, config.num_servers, rng);
+  fault::FaultStats& stats = injector.stats();
+  health::Membership membership(
+      config.num_servers, spec.resolved_health(config.update_interval), 0.0,
+      trace);
+
+  std::vector<double> penalty(config.num_jobs, 0.0);
+  std::vector<queueing::CompletedJob> done;
+
+  // Requeue targets come from the membership's candidate view, not ground
+  // truth: a requeue that lands on another dead server is re-displaced by
+  // that server's own down transition (same instant, later in the scan).
+  const health::ChurnInjector::RequeueFn requeue =
+      [&](double when, const queueing::DisplacedJob& job) -> bool {
+    if (injector.up_count() == 0) return false;
+    const int target =
+        policy::pick_uniform_alive(injector.up(), n, rng);
+    cluster.assign_tagged(when, target, job.size, job.tag, job.born);
+    return true;
+  };
+
+  const auto board_version = [&] {
+    return use_individual ? individual.version() : board.version();
+  };
+
+  // After each batch of publishes, feed the membership what the reports say:
+  // every server that was actually up delivered its entry; dead servers'
+  // entries went silent (their board values are stale or vacuous, and the
+  // quarantine keeps policies from acting on them). Dead-but-probed servers
+  // consume their probe budget here too, on the same deterministic schedule.
+  const auto note_reports = [&](double when) {
+    const std::span<const std::uint8_t> up = injector.up();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (up[i] != 0) {
+        membership.note_report(static_cast<int>(i), when);
+      } else if (membership.probe_due(static_cast<int>(i), when)) {
+        membership.note_probe(static_cast<int>(i), when);
+      }
+    }
+  };
+
+  const auto sync_boards_to = [&](double when) {
+    const std::uint64_t before = board_version();
+    if (use_individual) {
+      individual.sync(cluster, when);
+    } else {
+      board.sync(cluster, when);
+    }
+    if (board_version() != before) note_reports(when);
+  };
+
+  // Reconciles the level index with the candidate mask after membership
+  // transitions: quarantined servers are retired (their level counts leave
+  // the histogram), returners are readmitted at their last known level.
+  std::uint64_t reconciled_at = 0;
+  const auto reconcile_levels = [&](double when) {
+    membership.advance(when);
+    if (!bucketed || membership.transition_count() == reconciled_at) return;
+    reconciled_at = membership.transition_count();
+    sim::LevelIndex& index = use_individual ? individual.level_index_mut()
+                                            : board.level_index_mut();
+    const std::span<const std::uint8_t> candidates = membership.candidates();
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool candidate = candidates[i] != 0;
+      if (!candidate && !index.retired(static_cast<int>(i))) {
+        index.retire(static_cast<int>(i));
+      } else if (candidate && index.retired(static_cast<int>(i))) {
+        index.readmit(static_cast<int>(i));
+      }
+    }
+  };
+
+  const auto record_completions = [&] {
+    done.clear();
+    cluster.drain_completions(done);
+    for (const queueing::CompletedJob& job : done) {
+      metrics.record_indexed(job.tag, job.response + penalty[job.tag]);
+    }
+  };
+
+  queueing::LoadImbalanceStats imbalance;
+  double t = 0.0;
+  for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
+    t += -std::log(rng.next_double_open0()) / arrival_rate;
+
+    // Ground-truth transitions and board refreshes interleave in global time
+    // order (a publish boundary before a departure must measure the
+    // pre-departure cluster).
+    while (injector.next_transition_time() <= t) {
+      const double when = injector.next_transition_time();
+      sync_boards_to(when);
+      injector.advance_to(cluster, when, requeue);
+    }
+    sync_boards_to(t);
+    reconcile_levels(t);
+
+    policy::DispatchContext context;
+    if (estimator) {
+      estimator->on_arrival(t);
+      context.lambda_total = estimator->rate();
+    } else {
+      context.lambda_total = believed_rate;
+    }
+    if (use_individual) {
+      context.loads = individual.loads();
+      context.age = individual.mean_age(t);
+      context.info_version = individual.version();
+      if (bucketed) context.levels = &individual.level_index();
+    } else {
+      context.loads = board.loads();
+      context.age = board.age(t);
+      context.phase_length = board.phase_length();
+      context.phase_elapsed = context.age;
+      context.info_version = board.version();
+      if (bucketed) context.levels = &board.level_index();
+    }
+    // Membership transitions must invalidate cached probability vectors even
+    // when the board snapshot itself did not change.
+    context.info_version ^= membership.transition_count() << 32;
+    context.alive = membership.candidates();
+    context.levels_exclude_quarantined = bucketed;
+    context.sanitize_events = &stats.sanitizer_fixes;
+    context.trace = trace;
+
+    // Degraded mode: below the coverage threshold the board's picture is too
+    // thin to act on — fall back to the configured information-free policy
+    // until enough members return. With zero candidates no policy has
+    // anything to say (the bucketed histogram is empty); the job goes
+    // uniform-over-everyone and takes its chances with the retry path.
+    int server;
+    if (membership.candidate_count() == 0) {
+      server = policy::pick_uniform_alive(membership.candidates(), n, rng);
+    } else {
+      policy::SelectionPolicy& active =
+          membership.degraded() ? *fallback : *policy;
+      server = active.select(context, rng);
+    }
+    if (trace) trace->on_decision(t, server, context.age);
+    // The dispatcher discovers a down server on contact: the failure feeds
+    // the membership (straight to dead, probe schedule armed), and the job
+    // takes the bounded retry-with-backoff path over the candidate set.
+    double backoff_penalty = 0.0;
+    bool dispatched = true;
+    for (int attempt = 0; !cluster.up(server); ++attempt) {
+      membership.note_failure(server, t);
+      if (attempt >= spec.max_retries) {
+        dispatched = false;
+        break;
+      }
+      ++stats.dispatch_retries;
+      backoff_penalty += spec.retry_backoff * std::ldexp(1.0, attempt);
+      server = policy::pick_uniform_alive(membership.candidates(), n, rng);
+      STALE_AUDIT(check::audit_candidate_pick(
+          server, membership.candidates(),
+          "run_churn_board_trial: retry pick"));
+    }
+    cluster.advance_to(t);
+    if (job >= config.warmup_jobs) imbalance.observe(cluster.loads());
+    if (dispatched) {
+      const double size = job_size->sample(rng);
+      cluster.assign_tagged(t, server, size, job, t);
+      penalty[job] = backoff_penalty;
+    } else {
+      ++stats.jobs_dropped;
+    }
+    record_completions();
+  }
+
+  // Freeze the churn processes and let every in-flight job finish so its
+  // response is recorded.
+  cluster.advance_to(cluster.latest_pending_departure());
+  record_completions();
+
+  TrialResult result{
+      .mean_response = metrics.mean_response(),
+      .measured_jobs = metrics.measured_jobs(),
+      .total_jobs = metrics.total_jobs(),
+      .sim_end_time = t,
+      .mean_queue_stddev = imbalance.mean_within_snapshot_stddev(),
+      .mean_queue_max = imbalance.mean_snapshot_max(),
+      .mean_queue_length = imbalance.mean_queue_length()};
+  result.faults = stats;
+  fill_percentiles(metrics, result);
+  return result;
+}
+
 TrialResult run_update_on_access_trial(const ExperimentConfig& config,
                                        std::uint64_t seed) {
   sim::Rng rng(seed);
@@ -485,6 +744,9 @@ TrialResult run_trial(const ExperimentConfig& config, std::uint64_t seed) {
   validate(config);
   if (config.model == UpdateModel::kUpdateOnAccess) {
     return run_update_on_access_trial(config, seed);
+  }
+  if (config.churn.any()) {
+    return run_churn_board_trial(config, seed);
   }
   if (config.fault.any()) {
     return run_fault_board_trial(config, seed);

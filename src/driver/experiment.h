@@ -13,6 +13,7 @@
 
 #include "fault/fault_spec.h"
 #include "fault/fault_stats.h"
+#include "health/churn_spec.h"
 #include "loadinfo/delay_distribution.h"
 #include "obs/trace_sink.h"
 #include "policy/policy.h"
@@ -68,6 +69,15 @@ struct ExperimentConfig {
   // no refresh stream to degrade; validate() rejects the combination).
   fault::FaultSpec fault;
 
+  // --- membership churn + health subsystem (src/health/) ---
+  // Default-constructed spec = no churn; the churn trial path is only taken
+  // when churn.any(). Mutually exclusive with fault injection (the fault
+  // path hands the dispatcher ground-truth liveness; the churn path makes it
+  // earn a view through the Membership state machine). Board models only
+  // (periodic/individual): the continuous and update_on_access models have
+  // no per-server report stream for the health layer to watch.
+  health::ChurnSpec churn;
+
   // --- arrival-rate knowledge (Figures 12-13) ---
   // The policy is told lambda_total = n * lambda_estimate * error_factor,
   // where lambda_estimate defaults to the true per-server lambda.
@@ -120,7 +130,9 @@ struct ExperimentConfig {
 
   // Whether this run dispatches through the bucketed (counted) board path.
   // Fault runs and update-on-access never do, regardless of board_repr
-  // (validate() rejects an explicit kBucketed request for those).
+  // (validate() rejects an explicit kBucketed request for those). Churn runs
+  // may: the health layer retires quarantined servers from the level index,
+  // so the counted representation stays faithful to the candidate set.
   bool resolved_bucketed() const {
     if (board_repr == policy::BoardRepr::kVector) return false;
     if (fault.any() || model == UpdateModel::kUpdateOnAccess) return false;

@@ -86,6 +86,8 @@ void write_json_report(std::ostream& os, const ExperimentConfig& config,
      << ", \"trials\": " << config.trials
      << ", \"seed\": " << config.base_seed
      << ", \"fault_spec\": \"" << json_escape(config.fault.to_string())
+     << "\""
+     << ", \"churn_spec\": \"" << json_escape(config.churn.to_string())
      << "\"}, \"result\": {"
      << "\"mean_response\": " << result.mean()
      << ", \"ci90\": " << result.ci90() << ", \"trials_used\": " << trials_used

@@ -1,0 +1,258 @@
+#include "health/churn_spec.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::health {
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ChurnSpec: bad number for '" + key +
+                                "': " + value);
+  }
+  if (used != value.size() || !std::isfinite(parsed)) {
+    throw std::invalid_argument("ChurnSpec: bad number for '" + key +
+                                "': " + value);
+  }
+  return parsed;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  long parsed = 0;
+  try {
+    parsed = std::stol(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ChurnSpec: bad integer for '" + key +
+                                "': " + value);
+  }
+  if (used != value.size()) {
+    throw std::invalid_argument("ChurnSpec: bad integer for '" + key +
+                                "': " + value);
+  }
+  return static_cast<int>(parsed);
+}
+
+// "2T" -> (2.0, true); "5.0" -> (5.0, false).
+void parse_interval_or_time(const std::string& key, const std::string& value,
+                            double& out_value, bool& out_in_intervals) {
+  if (!value.empty() && (value.back() == 'T' || value.back() == 't')) {
+    out_value = parse_double(key, value.substr(0, value.size() - 1));
+    out_in_intervals = true;
+  } else {
+    out_value = parse_double(key, value);
+    out_in_intervals = false;
+  }
+}
+
+}  // namespace
+
+HealthConfig ChurnSpec::resolved_health(double update_interval) const {
+  HealthConfig config;
+  config.suspect_timeout = suspect_in_intervals
+                               ? suspect_value * update_interval
+                               : suspect_value;
+  config.evict_timeout =
+      evict_in_intervals ? evict_value * update_interval : evict_value;
+  config.probation_reports = probation_reports;
+  config.probe_backoff = probe_backoff;
+  config.probe_backoff_max = probe_backoff_max;
+  config.coverage_threshold = coverage_threshold;
+  config.fallback_policy = fallback_policy;
+  config.validate();
+  return config;
+}
+
+void ChurnSpec::validate() const {
+  if (restart_every < 0.0 || !std::isfinite(restart_every)) {
+    throw std::invalid_argument("ChurnSpec: 'restart' must be >= 0");
+  }
+  if (has_restarts() &&
+      (restart_down <= 0.0 || !std::isfinite(restart_down))) {
+    throw std::invalid_argument(
+        "ChurnSpec: 'restartdown' must be > 0 when restarts are on");
+  }
+  if (leave_rate < 0.0 || !std::isfinite(leave_rate)) {
+    throw std::invalid_argument("ChurnSpec: 'leave' must be >= 0");
+  }
+  if (has_leaves() && (rejoin_delay <= 0.0 || !std::isfinite(rejoin_delay))) {
+    throw std::invalid_argument(
+        "ChurnSpec: 'rejoin' must be > 0 when leaves are on");
+  }
+  if (slow < 0) {
+    throw std::invalid_argument("ChurnSpec: 'slow' must be >= 0");
+  }
+  if (has_slow_nodes() &&
+      (slow_factor <= 0.0 || slow_factor > 1.0 ||
+       !std::isfinite(slow_factor))) {
+    throw std::invalid_argument(
+        "ChurnSpec: 'slowfactor' must be in (0, 1] when slow nodes are on");
+  }
+  if (suspect_value <= 0.0 || !std::isfinite(suspect_value)) {
+    throw std::invalid_argument("ChurnSpec: 'suspect' must be > 0");
+  }
+  if (evict_value <= 0.0 || !std::isfinite(evict_value)) {
+    throw std::invalid_argument("ChurnSpec: 'evict' must be > 0");
+  }
+  if (suspect_in_intervals == evict_in_intervals &&
+      evict_value <= suspect_value) {
+    throw std::invalid_argument(
+        "ChurnSpec: 'evict' must exceed 'suspect'");
+  }
+  if (probation_reports < 1) {
+    throw std::invalid_argument("ChurnSpec: 'probation' must be >= 1");
+  }
+  if (probe_backoff <= 0.0 || !std::isfinite(probe_backoff)) {
+    throw std::invalid_argument("ChurnSpec: 'probe' must be > 0");
+  }
+  if (probe_backoff_max < probe_backoff || !std::isfinite(probe_backoff_max)) {
+    throw std::invalid_argument("ChurnSpec: 'probemax' must be >= 'probe'");
+  }
+  if (coverage_threshold < 0.0 || coverage_threshold > 1.0 ||
+      !std::isfinite(coverage_threshold)) {
+    throw std::invalid_argument(
+        "ChurnSpec: 'coverage' must be a fraction in [0, 1]");
+  }
+  if (fallback_policy.empty()) {
+    throw std::invalid_argument("ChurnSpec: 'fallback' needs a policy");
+  }
+  if (max_retries < 0) {
+    throw std::invalid_argument("ChurnSpec: 'retries' must be >= 0");
+  }
+  if (retry_backoff < 0.0 || !std::isfinite(retry_backoff)) {
+    throw std::invalid_argument("ChurnSpec: 'backoff' must be >= 0");
+  }
+}
+
+ChurnSpec ChurnSpec::parse(const std::string& text) {
+  ChurnSpec spec;
+  std::set<std::string> seen;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("ChurnSpec: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    // Last-wins would make "leave=0.1,leave=0" silently disagree with what
+    // the experimenter thinks they configured; duplicates are always a typo.
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("ChurnSpec: duplicate key '" + key + "'");
+    }
+    if (key == "restart") {
+      spec.restart_every = parse_double(key, value);
+    } else if (key == "restartdown") {
+      spec.restart_down = parse_double(key, value);
+    } else if (key == "leave") {
+      spec.leave_rate = parse_double(key, value);
+    } else if (key == "rejoin") {
+      spec.rejoin_delay = parse_double(key, value);
+    } else if (key == "slow") {
+      spec.slow = parse_int(key, value);
+    } else if (key == "slowfactor") {
+      spec.slow_factor = parse_double(key, value);
+    } else if (key == "semantics") {
+      if (value == "lost") {
+        spec.semantics = fault::CrashSemantics::kLostWork;
+      } else if (value == "requeue") {
+        spec.semantics = fault::CrashSemantics::kRequeue;
+      } else {
+        throw std::invalid_argument(
+            "ChurnSpec: 'semantics' must be lost or requeue, got '" + value +
+            "'");
+      }
+    } else if (key == "suspect") {
+      parse_interval_or_time(key, value, spec.suspect_value,
+                             spec.suspect_in_intervals);
+    } else if (key == "evict") {
+      parse_interval_or_time(key, value, spec.evict_value,
+                             spec.evict_in_intervals);
+    } else if (key == "probation") {
+      spec.probation_reports = parse_int(key, value);
+    } else if (key == "probe") {
+      spec.probe_backoff = parse_double(key, value);
+    } else if (key == "probemax") {
+      spec.probe_backoff_max = parse_double(key, value);
+    } else if (key == "coverage") {
+      spec.coverage_threshold = parse_double(key, value);
+    } else if (key == "fallback") {
+      if (value.empty()) {
+        throw std::invalid_argument("ChurnSpec: 'fallback' needs a policy");
+      }
+      spec.fallback_policy = value;
+    } else if (key == "retries") {
+      spec.max_retries = parse_int(key, value);
+    } else if (key == "backoff") {
+      spec.retry_backoff = parse_double(key, value);
+    } else {
+      throw std::invalid_argument("ChurnSpec: unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string ChurnSpec::to_string() const {
+  std::ostringstream out;
+  const char* sep = "";
+  const auto emit = [&](const std::string& piece) {
+    out << sep << piece;
+    sep = ",";
+  };
+  const auto num = [](double v) {
+    std::ostringstream s;
+    s << v;
+    return s.str();
+  };
+  const auto span = [&num](double value, bool in_intervals) {
+    return num(value) + (in_intervals ? "T" : "");
+  };
+  if (has_restarts()) {
+    emit("restart=" + num(restart_every));
+    emit("restartdown=" + num(restart_down));
+  }
+  if (has_leaves()) {
+    emit("leave=" + num(leave_rate));
+    emit("rejoin=" + num(rejoin_delay));
+  }
+  if (has_slow_nodes()) {
+    emit("slow=" + std::to_string(slow));
+    emit("slowfactor=" + num(slow_factor));
+  }
+  if (!any()) return out.str();
+  emit(semantics == fault::CrashSemantics::kRequeue ? "semantics=requeue"
+                                                    : "semantics=lost");
+  emit("suspect=" + span(suspect_value, suspect_in_intervals));
+  emit("evict=" + span(evict_value, evict_in_intervals));
+  if (probation_reports != 2) {
+    emit("probation=" + std::to_string(probation_reports));
+  }
+  if (probe_backoff != 0.5) emit("probe=" + num(probe_backoff));
+  if (probe_backoff_max != 8.0) emit("probemax=" + num(probe_backoff_max));
+  if (coverage_threshold > 0.0) {
+    emit("coverage=" + num(coverage_threshold));
+    emit("fallback=" + fallback_policy);
+  }
+  if (max_retries != 3 || retry_backoff != 0.1) {
+    emit("retries=" + std::to_string(max_retries));
+    emit("backoff=" + num(retry_backoff));
+  }
+  return out.str();
+}
+
+}  // namespace stale::health

@@ -1,0 +1,77 @@
+// Resolved (absolute-time) configuration of the health state machine.
+//
+// ChurnSpec carries the operator-facing knobs, some of which are expressed
+// in multiples of the update interval T ("2T"); resolved_health() turns them
+// into the absolute timeouts Membership consumes. The same struct configures
+// both stacks: the simulator resolves against the board's update interval,
+// the live dispatcher against its backend report period.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace stale::health {
+
+struct HealthConfig {
+  // A server whose last report is older than suspect_timeout is quarantined
+  // (removed from every policy's candidate set) but not yet written off.
+  double suspect_timeout = 0.0;
+
+  // A server silent for evict_timeout is evicted: declared dead, probed with
+  // exponential backoff, and only readmitted through probation.
+  double evict_timeout = 0.0;
+
+  // Reports a dead server must deliver before it is fully alive again. The
+  // first report moves it dead -> probation (a candidate again); this many
+  // reports close the loop probation -> alive.
+  int probation_reports = 2;
+
+  // Probe schedule for dead servers: first probe after probe_backoff, then
+  // doubling up to probe_backoff_max between attempts.
+  double probe_backoff = 0.5;
+  double probe_backoff_max = 8.0;
+
+  // Degraded mode: when the candidate fraction drops below this threshold
+  // the dispatcher abandons board-driven policies for fallback_policy until
+  // coverage recovers. <= 0 disables degraded mode.
+  double coverage_threshold = 0.0;
+  std::string fallback_policy = "random";
+
+  bool enabled() const { return suspect_timeout > 0.0; }
+
+  void validate() const {
+    if (!std::isfinite(suspect_timeout) || suspect_timeout < 0.0) {
+      throw std::invalid_argument("HealthConfig: suspect_timeout must be >= 0");
+    }
+    if (!std::isfinite(evict_timeout) || evict_timeout < 0.0) {
+      throw std::invalid_argument("HealthConfig: evict_timeout must be >= 0");
+    }
+    if (enabled() && evict_timeout <= suspect_timeout) {
+      throw std::invalid_argument(
+          "HealthConfig: evict_timeout must exceed suspect_timeout");
+    }
+    if (probation_reports < 1) {
+      throw std::invalid_argument(
+          "HealthConfig: probation_reports must be >= 1");
+    }
+    if (!std::isfinite(probe_backoff) || probe_backoff <= 0.0) {
+      throw std::invalid_argument("HealthConfig: probe_backoff must be > 0");
+    }
+    if (!std::isfinite(probe_backoff_max) ||
+        probe_backoff_max < probe_backoff) {
+      throw std::invalid_argument(
+          "HealthConfig: probe_backoff_max must be >= probe_backoff");
+    }
+    if (!std::isfinite(coverage_threshold) || coverage_threshold < 0.0 ||
+        coverage_threshold > 1.0) {
+      throw std::invalid_argument(
+          "HealthConfig: coverage_threshold must be in [0, 1]");
+    }
+    if (fallback_policy.empty()) {
+      throw std::invalid_argument("HealthConfig: fallback_policy is empty");
+    }
+  }
+};
+
+}  // namespace stale::health

@@ -1,0 +1,198 @@
+#include "health/membership.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace stale::health {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+bool is_candidate(MemberState state) {
+  return state == MemberState::kAlive || state == MemberState::kProbation;
+}
+}  // namespace
+
+const char* member_state_name(MemberState state) {
+  switch (state) {
+    case MemberState::kAlive:
+      return "alive";
+    case MemberState::kSuspect:
+      return "suspect";
+    case MemberState::kDead:
+      return "dead";
+    case MemberState::kProbation:
+      return "probation";
+  }
+  throw std::logic_error("member_state_name: bad enum");
+}
+
+Membership::Membership(int num_servers, const HealthConfig& config,
+                       double now, obs::TraceSink* trace)
+    : config_(config), trace_(trace) {
+  if (num_servers <= 0) {
+    throw std::invalid_argument("Membership: need at least one server");
+  }
+  config_.validate();
+  if (!config_.enabled()) {
+    throw std::invalid_argument(
+        "Membership: suspect_timeout must be > 0 (health disabled)");
+  }
+  const auto n = static_cast<std::size_t>(num_servers);
+  state_.assign(n, MemberState::kAlive);
+  last_report_.assign(n, now);
+  probation_count_.assign(n, 0);
+  next_probe_.assign(n, kNever);
+  probe_interval_.assign(n, config_.probe_backoff);
+  candidates_.assign(n, 1);
+  candidate_count_ = num_servers;
+  next_deadline_ = now + config_.suspect_timeout;
+}
+
+void Membership::transition(int server, MemberState to, double now) {
+  const auto s = static_cast<std::size_t>(server);
+  const MemberState from = state_[s];
+  if (from == to) return;
+  state_[s] = to;
+  ++transitions_;
+  if (to == MemberState::kDead) ++evictions_;
+  if (from == MemberState::kProbation && to == MemberState::kAlive) {
+    ++rejoins_;
+  }
+  const std::uint8_t candidate = is_candidate(to) ? 1 : 0;
+  if (candidate != candidates_[s]) {
+    candidates_[s] = candidate;
+    candidate_count_ += candidate != 0 ? 1 : -1;
+  }
+  if (to == MemberState::kDead) {
+    probe_interval_[s] = config_.probe_backoff;
+    next_probe_[s] = now + probe_interval_[s];
+  } else {
+    next_probe_[s] = kNever;
+  }
+  if (to == MemberState::kProbation) {
+    probation_count_[s] = 0;
+  }
+  if (trace_ != nullptr) {
+    trace_->on_membership(now, server,
+                          static_cast<obs::MemberTraceState>(from),
+                          static_cast<obs::MemberTraceState>(to));
+  }
+  update_degraded(now);
+}
+
+void Membership::update_degraded(double now) {
+  const bool below = config_.coverage_threshold > 0.0 &&
+                     coverage() < config_.coverage_threshold;
+  if (below == degraded_) return;
+  degraded_ = below;
+  if (below) ++degraded_entries_;
+  if (trace_ != nullptr) {
+    trace_->on_degraded_mode(now, below, coverage());
+  }
+}
+
+double Membership::coverage() const {
+  return static_cast<double>(candidate_count_) /
+         static_cast<double>(state_.size());
+}
+
+void Membership::note_report(int server, double now) {
+  const auto s = static_cast<std::size_t>(server);
+  last_report_[s] = now;
+  switch (state_[s]) {
+    case MemberState::kAlive:
+      break;
+    case MemberState::kSuspect:
+      transition(server, MemberState::kAlive, now);
+      break;
+    case MemberState::kDead:
+      transition(server, MemberState::kProbation, now);
+      probation_count_[s] = 1;
+      if (probation_count_[s] >= config_.probation_reports) {
+        transition(server, MemberState::kAlive, now);
+      }
+      break;
+    case MemberState::kProbation:
+      ++probation_count_[s];
+      if (probation_count_[s] >= config_.probation_reports) {
+        transition(server, MemberState::kAlive, now);
+      }
+      break;
+  }
+}
+
+void Membership::note_failure(int server, double now) {
+  const auto s = static_cast<std::size_t>(server);
+  if (state_[s] == MemberState::kDead) return;
+  transition(server, MemberState::kDead, now);
+}
+
+void Membership::advance(double now) {
+  if (now < next_deadline_) return;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    const double age = now - last_report_[i];
+    switch (state_[i]) {
+      case MemberState::kAlive:
+      case MemberState::kProbation:
+        // A probation server that stops reporting falls straight back to
+        // dead: it never regained the benefit of the suspect grace state.
+        if (age >= config_.evict_timeout ||
+            (state_[i] == MemberState::kProbation &&
+             age >= config_.suspect_timeout)) {
+          transition(static_cast<int>(i), MemberState::kDead, now);
+        } else if (age >= config_.suspect_timeout &&
+                   state_[i] == MemberState::kAlive) {
+          transition(static_cast<int>(i), MemberState::kSuspect, now);
+        }
+        break;
+      case MemberState::kSuspect:
+        if (age >= config_.evict_timeout) {
+          transition(static_cast<int>(i), MemberState::kDead, now);
+        }
+        break;
+      case MemberState::kDead:
+        break;
+    }
+  }
+  recompute_deadline();
+}
+
+double Membership::deadline_of(int server) const {
+  const auto s = static_cast<std::size_t>(server);
+  switch (state_[s]) {
+    case MemberState::kAlive:
+      return last_report_[s] + config_.suspect_timeout;
+    case MemberState::kProbation:
+      return last_report_[s] + config_.suspect_timeout;
+    case MemberState::kSuspect:
+      return last_report_[s] + config_.evict_timeout;
+    case MemberState::kDead:
+      return kNever;
+  }
+  throw std::logic_error("Membership: bad state");
+}
+
+void Membership::recompute_deadline() {
+  double earliest = kNever;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    earliest = std::min(earliest, deadline_of(static_cast<int>(i)));
+  }
+  next_deadline_ = earliest;
+}
+
+bool Membership::probe_due(int server, double now) const {
+  const auto s = static_cast<std::size_t>(server);
+  return state_[s] == MemberState::kDead && now >= next_probe_[s];
+}
+
+void Membership::note_probe(int server, double now) {
+  const auto s = static_cast<std::size_t>(server);
+  if (state_[s] != MemberState::kDead) return;
+  probe_interval_[s] =
+      std::min(probe_interval_[s] * 2.0, config_.probe_backoff_max);
+  next_probe_[s] = now + probe_interval_[s];
+}
+
+}  // namespace stale::health

@@ -1,0 +1,119 @@
+// Per-server liveness state machine shared by the simulator and the live
+// dispatcher (ROADMAP: dynamic membership & graceful degradation).
+//
+// Each server walks alive -> suspect -> dead -> probation -> alive, driven
+// only by what the dispatcher can actually observe: the recency of the
+// server's load reports and the outcome of its own dispatches. A server
+// whose last report ages past suspect_timeout is quarantined (out of every
+// policy's candidate set); past evict_timeout it is evicted outright and
+// probed with exponential backoff. A report from a dead server opens
+// probation — it becomes a candidate again immediately, but only a run of
+// probation_reports consecutive reports restores full membership, so one
+// stray packet from a flapping server cannot re-aim the herd at it.
+//
+// The class is deliberately clock-agnostic: every method takes `now` as a
+// parameter, so the simulator feeds it virtual time and the live event loop
+// feeds it loop time. No wall clock, no RNG, no host state — the same
+// transitions replay bit-identically in a deterministic trial.
+//
+// advance() is O(1) until the earliest pending deadline is crossed (one
+// comparison against a cached lower bound), then O(n) to apply transitions
+// and recompute the bound — cheap enough to call per arrival.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "health/health_config.h"
+#include "obs/trace_sink.h"
+
+namespace stale::health {
+
+// Values match obs::MemberTraceState one to one (membership transitions are
+// exported through the trace layer, which must not depend on this header).
+enum class MemberState : std::uint8_t {
+  kAlive,
+  kSuspect,
+  kDead,
+  kProbation,
+};
+
+const char* member_state_name(MemberState state);
+
+class Membership {
+ public:
+  // All servers start alive with a report stamped `now`. `trace` may be
+  // null; when set, every transition emits TraceSink::on_membership and
+  // degraded-mode crossings emit on_degraded_mode.
+  Membership(int num_servers, const HealthConfig& config, double now,
+             obs::TraceSink* trace = nullptr);
+
+  // A load report (heartbeat, LOAD datagram, DONE piggyback) from `server`
+  // arrived at `now`.
+  void note_report(int server, double now);
+
+  // The dispatcher observed `server` fail directly (connection refused or
+  // reset, dispatch timeout). Faster than waiting out the timeouts: the
+  // server goes straight to dead and the probe schedule is armed.
+  void note_failure(int server, double now);
+
+  // Applies every suspect/evict deadline crossed by `now`.
+  void advance(double now);
+
+  // True when `server` is dead and its next backoff probe is due.
+  bool probe_due(int server, double now) const;
+
+  // Records that a probe was sent at `now`; doubles the backoff (capped at
+  // probe_backoff_max).
+  void note_probe(int server, double now);
+
+  // Candidate mask for DispatchContext::alive — 1 for alive and probation
+  // servers, 0 for suspect and dead. Stable storage.
+  std::span<const std::uint8_t> candidates() const { return candidates_; }
+  int candidate_count() const { return candidate_count_; }
+  double coverage() const;
+
+  // True while coverage sits below the configured threshold (always false
+  // when the threshold is off).
+  bool degraded() const { return degraded_; }
+
+  MemberState state(int server) const {
+    return state_[static_cast<std::size_t>(server)];
+  }
+  int num_servers() const { return static_cast<int>(state_.size()); }
+
+  // Monotone counter of state transitions; mixed into the policy cache
+  // version so cached probability vectors are rebuilt whenever the candidate
+  // picture changes.
+  std::uint64_t transition_count() const { return transitions_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t rejoins() const { return rejoins_; }
+  std::uint64_t degraded_entries() const { return degraded_entries_; }
+
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  void transition(int server, MemberState to, double now);
+  void update_degraded(double now);
+  void recompute_deadline();
+  double deadline_of(int server) const;
+
+  HealthConfig config_;
+  obs::TraceSink* trace_ = nullptr;
+  std::vector<MemberState> state_;
+  std::vector<double> last_report_;
+  std::vector<int> probation_count_;
+  std::vector<double> next_probe_;
+  std::vector<double> probe_interval_;
+  std::vector<std::uint8_t> candidates_;
+  int candidate_count_ = 0;
+  bool degraded_ = false;
+  double next_deadline_ = 0.0;  // lower bound; stale bounds only cost a scan
+  std::uint64_t transitions_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::uint64_t degraded_entries_ = 0;
+};
+
+}  // namespace stale::health

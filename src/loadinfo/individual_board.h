@@ -47,6 +47,11 @@ class IndividualBoard {
     level_index_.build(snapshot_);
   }
   const sim::LevelIndex& level_index() const { return level_index_; }
+  // Mutable handle for the health layer's quarantine bookkeeping (the churn
+  // trial retires evicted servers and readmits them on rejoin); per-heartbeat
+  // maintenance keeps retired servers out of the histogram
+  // (sim::LevelIndex::update only records their level).
+  sim::LevelIndex& level_index_mut() { return level_index_; }
 
   // Attaches a trace sink notified per published heartbeat (on_board_refresh
   // with the whole visible snapshot) and per injected drop/delay

@@ -53,6 +53,11 @@ class PeriodicBoard {
     level_index_.build(snapshot_);
   }
   const sim::LevelIndex& level_index() const { return level_index_; }
+  // Mutable handle for the health layer's quarantine bookkeeping (the churn
+  // trial retires evicted servers from the index and readmits them on
+  // rejoin); the board itself never retires anyone, and its per-publish
+  // rebuild preserves the retirement mask (sim::LevelIndex::build).
+  sim::LevelIndex& level_index_mut() { return level_index_; }
 
   // Attaches a trace sink notified on every publish (on_board_refresh) and
   // every injected drop/delay (on_refresh_fault). Pure observer; nullptr

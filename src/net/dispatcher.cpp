@@ -37,6 +37,24 @@ Dispatcher::Dispatcher(const DispatcherOptions& options)
     throw std::invalid_argument("Dispatcher needs --backends >= 1");
   }
   options_.faults.validate();
+  options_.health.validate();
+  if (options_.dispatch_timeout > 0.0 && !options_.health.enabled()) {
+    throw std::invalid_argument(
+        "Dispatcher: dispatch_timeout needs the health subsystem "
+        "(a suspect/evict spec) to act on the failures it detects");
+  }
+  if (options_.max_redispatch < 0) {
+    throw std::invalid_argument("Dispatcher: max_redispatch must be >= 0");
+  }
+  if (options_.health.enabled()) {
+    fallback_policy_ = policy::make_policy(options_.health.fallback_policy);
+    membership_ = std::make_unique<health::Membership>(
+        options_.num_backends, options_.health, loop_.now(), options_.trace);
+    // Check deadlines a few times per suspect window so quarantine lag stays
+    // a fraction of the timeout it enforces.
+    health_tick_period_ =
+        std::max(0.05, options_.health.suspect_timeout / 4.0);
+  }
   const double window = options.rate_window > 0.0
                             ? options.rate_window
                             : 4.0 * std::max(options.update_period, 0.25);
@@ -67,8 +85,82 @@ void Dispatcher::run(const std::atomic<bool>* stop_flag) {
   if (options_.duration > 0.0) {
     loop_.add_timer(options_.duration, [this] { loop_.stop(); });
   }
+  if (membership_ != nullptr) {
+    loop_.add_timer(health_tick_period_, [this] { health_tick(); });
+  }
   loop_.run(stop_flag);
   stats_.stopped_at = loop_.now();
+  if (membership_ != nullptr) {
+    stats_.backend_evictions = membership_->evictions();
+    stats_.backend_rejoins = membership_->rejoins();
+    stats_.degraded_entries = membership_->degraded_entries();
+  }
+}
+
+// --- health subsystem ------------------------------------------------------
+
+void Dispatcher::health_tick() {
+  const double now = loop_.now();
+  membership_->advance(now);
+  for (int i = 0; i < options_.num_backends; ++i) {
+    if (membership_->state(i) != health::MemberState::kDead) continue;
+    BackendConn& backend = backends_[static_cast<std::size_t>(i)];
+    if (backend.registered) {
+      // Evicted while the TCP connection still looked healthy (its reports
+      // stopped): tear the connection down so its in-flight jobs take the
+      // re-dispatch path, and stop offering it jobs.
+      status("LB EVICT " + std::to_string(i));
+      drop_backend(i);
+    } else if (backend.endpoint.port != 0 && membership_->probe_due(i, now)) {
+      probe_backend(i);
+    }
+  }
+  if (membership_->degraded() != was_degraded_) {
+    was_degraded_ = membership_->degraded();
+    status(std::string(was_degraded_ ? "LB DEGRADED" : "LB RECOVERED") +
+           " coverage=" + std::to_string(membership_->coverage()));
+  }
+  loop_.add_timer(health_tick_period_, [this] { health_tick(); });
+}
+
+void Dispatcher::probe_backend(int index) {
+  membership_->note_probe(index, loop_.now());
+  BackendConn& backend = backends_[static_cast<std::size_t>(index)];
+  Fd probe;
+  try {
+    probe = tcp_connect(backend.endpoint);
+  } catch (const std::exception&) {
+    return;  // immediate refusal counts as a failed probe; backoff doubled
+  }
+  const int fd = probe.get();
+  probes_[fd] = ProbeConn{index, std::move(probe)};
+  loop_.watch(fd, /*want_read=*/false, /*want_write=*/true,
+              [this, fd](std::uint32_t events) { on_probe_event(fd, events); });
+  status("LB PROBE " + std::to_string(index));
+}
+
+void Dispatcher::on_probe_event(int fd, std::uint32_t events) {
+  const auto it = probes_.find(fd);
+  if (it == probes_.end()) return;
+  const int index = it->second.index;
+  loop_.forget(fd);
+  if ((events & EventLoop::kError) == 0) {
+    // The connect completed: the backend's data port accepts again. That is
+    // liveness evidence (dead -> probation); full re-registration still
+    // arrives with its next HELLO, which carries the current data port.
+    membership_->note_report(index, loop_.now());
+    status("LB PROBE-OK " + std::to_string(index));
+  }
+  probes_.erase(it);  // closes the probe socket either way
+}
+
+void Dispatcher::build_live_mask() {
+  const auto candidates = membership_->candidates();
+  live_mask_.assign(static_cast<std::size_t>(options_.num_backends), 0);
+  for (int i = 0; i < options_.num_backends; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    live_mask_[s] = (candidates[s] != 0 && backends_[s].registered) ? 1 : 0;
+  }
 }
 
 // --- control plane (UDP) ---------------------------------------------------
@@ -137,6 +229,13 @@ void Dispatcher::handle_datagram(const std::string& payload,
 
 void Dispatcher::apply_report(const LoadMsg& msg) {
   const double now = loop_.now();
+  if (membership_ != nullptr && msg.index >= 0 &&
+      msg.index < options_.num_backends) {
+    // Liveness follows the report's visibility: an injected-lost report never
+    // reaches this point (the network ate it), a delayed one lands here at
+    // its delivery time — the health layer sees exactly what the board sees.
+    membership_->note_report(msg.index, now);
+  }
   board_.apply_report(msg.index, msg.queue_len, now);
   if (options_.trace != nullptr) {
     options_.trace->on_board_refresh(now, now, board_.version(),
@@ -148,7 +247,20 @@ void Dispatcher::register_backend(const HelloMsg& hello,
                                   const std::string& from_host) {
   if (hello.index < 0 || hello.index >= options_.num_backends) return;
   BackendConn& backend = backends_[static_cast<std::size_t>(hello.index)];
-  if (backend.registered) return;  // duplicate HELLO heartbeat
+  if (membership_ != nullptr) {
+    // A HELLO is a liveness heartbeat; for a dead backend it opens probation.
+    membership_->note_report(hello.index, loop_.now());
+  }
+  if (backend.registered) {
+    if (backend.endpoint.host == from_host &&
+        backend.endpoint.port == hello.tcp_port) {
+      return;  // duplicate HELLO heartbeat
+    }
+    // Same index, new data endpoint: the backend restarted. Replace the
+    // stale connection without declaring it dead — the HELLO above already
+    // vouched for it; its in-flight jobs take the re-dispatch path.
+    drop_backend(hello.index, /*observed_failure=*/false);
+  }
   backend.endpoint = Endpoint{from_host, hello.tcp_port};
   backend.fd = tcp_connect(backend.endpoint);
   backend.in = LineBuffer();
@@ -234,13 +346,18 @@ void Dispatcher::handle_client_line(int fd, const std::string& line) {
 }
 
 void Dispatcher::dispatch_job(int client_fd, std::uint64_t client_id) {
+  rate_->on_arrival(loop_.now());  // one arrival, however many re-sends
+  dispatch_attempt(client_fd, client_id, /*attempts=*/0, /*avoid=*/-1);
+}
+
+void Dispatcher::dispatch_attempt(int client_fd, std::uint64_t client_id,
+                                  int attempts, int avoid) {
   if (registered_ == 0) {
     ++stats_.jobs_rejected;
     send_to_client(client_fd, format_client_err(client_id, "no-backends"));
     return;
   }
   const double now = loop_.now();
-  rate_->on_arrival(now);
 
   policy::DispatchContext context;
   context.loads = board_.loads();
@@ -253,17 +370,45 @@ void Dispatcher::dispatch_job(int client_fd, std::uint64_t client_id) {
   context.info_version = board_.version();
   context.trace = options_.trace;
 
-  int backend = policy_->select(context, rng_);
-  if (backend < 0 || backend >= options_.num_backends ||
-      !backends_[static_cast<std::size_t>(backend)].registered) {
+  bool degraded = false;
+  if (membership_ != nullptr) {
+    membership_->advance(now);
+    build_live_mask();
+    context.alive = live_mask_;
+    // Fold membership changes into the cache version so cached probability
+    // vectors are rebuilt whenever the candidate picture moves.
+    context.info_version ^= membership_->transition_count() << 32;
+    degraded = membership_->degraded();
+  }
+
+  policy::SelectionPolicy& chooser =
+      degraded ? *fallback_policy_ : *policy_;
+  int backend = chooser.select(context, rng_);
+
+  const auto usable = [&](int b) {
+    return b >= 0 && b < options_.num_backends && b != avoid &&
+           backends_[static_cast<std::size_t>(b)].registered;
+  };
+  if (!usable(backend)) {
     // Policy picked an unregistered/invalid backend (possible briefly after
-    // a backend connection dies): fall back to any registered one.
+    // a backend connection dies) or the one this job just failed on: fall
+    // back to a registered candidate, then any registered backend, then —
+    // with nowhere else to go — the avoided one.
     backend = -1;
-    for (int i = 0; i < options_.num_backends; ++i) {
-      if (backends_[static_cast<std::size_t>(i)].registered) {
+    for (int pass = 0; pass < 2 && backend < 0; ++pass) {
+      for (int i = 0; i < options_.num_backends; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        if (!usable(i)) continue;
+        if (pass == 0 && membership_ != nullptr && live_mask_[s] == 0) {
+          continue;
+        }
         backend = i;
         break;
       }
+    }
+    if (backend < 0 && avoid >= 0 &&
+        backends_[static_cast<std::size_t>(avoid)].registered) {
+      backend = avoid;
     }
     if (backend < 0) {
       ++stats_.jobs_rejected;
@@ -273,9 +418,15 @@ void Dispatcher::dispatch_job(int client_fd, std::uint64_t client_id) {
   }
 
   const std::uint64_t gid = next_gid_++;
-  jobs_[gid] = InFlightJob{client_fd, client_id, backend};
+  InFlightJob job{client_fd, client_id, backend, attempts, 0};
+  if (options_.dispatch_timeout > 0.0) {
+    job.timeout_timer = loop_.add_timer(
+        options_.dispatch_timeout, [this, gid] { on_job_timeout(gid); });
+  }
+  jobs_[gid] = job;
   ++outstanding_[static_cast<std::size_t>(backend)];
   ++stats_.jobs_dispatched;
+  if (attempts > 0) ++stats_.jobs_redispatched;
   ++stats_.per_backend_dispatched[static_cast<std::size_t>(backend)];
   board_.note_dispatch(backend, now);
   send_to_backend(backend, format_job(JobMsg{gid}));
@@ -288,6 +439,30 @@ void Dispatcher::dispatch_job(int client_fd, std::uint64_t client_id) {
     options_.trace->on_dispatch(
         now, backend, /*job_size=*/0.0,
         outstanding_[static_cast<std::size_t>(backend)], /*departure=*/0.0);
+  }
+}
+
+void Dispatcher::on_job_timeout(std::uint64_t gid) {
+  const auto it = jobs_.find(gid);
+  if (it == jobs_.end()) return;  // completed while the timer was in flight
+  const InFlightJob job = it->second;
+  jobs_.erase(it);
+  ++stats_.dispatch_timeouts;
+  if (outstanding_[static_cast<std::size_t>(job.backend)] > 0) {
+    --outstanding_[static_cast<std::size_t>(job.backend)];
+  }
+  // A straggler DONE for this gid later is ignored by handle_backend_line
+  // (unknown id), so a slow-but-alive backend costs a duplicate execution,
+  // never a wrong reply.
+  membership_->note_failure(job.backend, loop_.now());
+  status("LB TIMEOUT backend=" + std::to_string(job.backend) +
+         " gid=" + std::to_string(gid));
+  if (job.attempts < options_.max_redispatch) {
+    dispatch_attempt(job.client_fd, job.client_id, job.attempts + 1,
+                     /*avoid=*/job.backend);
+  } else {
+    ++stats_.jobs_rejected;
+    send_to_client(job.client_fd, format_client_err(job.client_id, "timeout"));
   }
 }
 
@@ -317,15 +492,21 @@ void Dispatcher::on_backend_readable(int index) {
 void Dispatcher::handle_backend_line(int index, const std::string& line) {
   const auto done = parse_done(line);
   if (!done) return;
+  const double now = loop_.now();
+  if (membership_ != nullptr) {
+    // A DONE is the strongest liveness signal there is: the backend just
+    // served a job end to end.
+    membership_->note_report(index, now);
+  }
   const auto it = jobs_.find(done->id);
-  if (it == jobs_.end()) return;  // duplicate/unknown completion
+  if (it == jobs_.end()) return;  // duplicate/unknown/timed-out completion
   const InFlightJob job = it->second;
   jobs_.erase(it);
+  if (job.timeout_timer != 0) loop_.cancel_timer(job.timeout_timer);
   if (outstanding_[static_cast<std::size_t>(index)] > 0) {
     --outstanding_[static_cast<std::size_t>(index)];
   }
   ++stats_.jobs_completed;
-  const double now = loop_.now();
   if (options_.trace != nullptr) {
     options_.trace->on_departure(now, index, done->queue_len);
   }
@@ -377,7 +558,7 @@ void Dispatcher::drop_client(int fd) {
   }
 }
 
-void Dispatcher::drop_backend(int index) {
+void Dispatcher::drop_backend(int index, bool observed_failure) {
   BackendConn& backend = backends_[static_cast<std::size_t>(index)];
   if (!backend.registered) return;
   loop_.forget(backend.fd.get());
@@ -385,19 +566,36 @@ void Dispatcher::drop_backend(int index) {
   backend.registered = false;
   --registered_;
   outstanding_[static_cast<std::size_t>(index)] = 0;
+  if (membership_ != nullptr && observed_failure) {
+    membership_->note_failure(index, loop_.now());
+  }
+  // Collect the in-flight jobs first: re-dispatching mutates jobs_.
+  std::vector<InFlightJob> orphans;
   for (auto it = jobs_.begin(); it != jobs_.end();) {
     if (it->second.backend == index) {
-      ++stats_.jobs_orphaned;
-      if (it->second.client_fd >= 0) {
-        send_to_client(it->second.client_fd,
-                       format_client_err(it->second.client_id, "backend-died"));
+      if (it->second.timeout_timer != 0) {
+        loop_.cancel_timer(it->second.timeout_timer);
       }
+      orphans.push_back(it->second);
       it = jobs_.erase(it);
     } else {
       ++it;
     }
   }
   status("LB BACKEND-LOST " + std::to_string(index));
+  for (const InFlightJob& job : orphans) {
+    if (membership_ != nullptr && job.attempts < options_.max_redispatch &&
+        registered_ > 0) {
+      dispatch_attempt(job.client_fd, job.client_id, job.attempts + 1,
+                       /*avoid=*/index);
+      continue;
+    }
+    ++stats_.jobs_orphaned;
+    if (job.client_fd >= 0) {
+      send_to_client(job.client_fd,
+                     format_client_err(job.client_id, "backend-died"));
+    }
+  }
 }
 
 }  // namespace stale::net

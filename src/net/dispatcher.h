@@ -15,6 +15,15 @@
 // RefreshFaults — so the "stale + lossy information" experiments run against
 // physical packets.
 //
+// Health path (optional, DispatcherOptions::health): the same
+// health::Membership state machine the simulator's churn trials use, here
+// fed by physical report recency. Silent backends are quarantined and then
+// evicted, evicted ones are probed with exponential backoff and readmitted
+// through probation on a fresh HELLO, timed-out or orphaned jobs are
+// re-dispatched to a different backend, and when candidate coverage drops
+// below the configured threshold the dispatcher degrades to a fallback
+// policy until the cluster recovers.
+//
 // Observability: with a TraceSink attached, the dispatcher emits the same
 // on_decision / on_dispatch / on_departure / on_board_refresh /
 // on_refresh_fault events as the simulator's driver, timestamped with
@@ -33,6 +42,8 @@
 
 #include "core/rate_estimator.h"
 #include "fault/fault_spec.h"
+#include "health/health_config.h"
+#include "health/membership.h"
 #include "net/buffer.h"
 #include "net/event_loop.h"
 #include "net/net_board.h"
@@ -68,6 +79,25 @@ struct DispatcherOptions {
   // fault::FaultSpec so the CLI flag is shared with the simulator.
   fault::FaultSpec faults;
 
+  // Dynamic membership (src/health/): when health.enabled() the dispatcher
+  // runs a per-backend liveness state machine fed by HELLO/LOAD/DONE recency.
+  // Backends silent past suspect_timeout are quarantined out of the policy's
+  // candidate set; past evict_timeout they are evicted (connection torn down,
+  // in-flight jobs re-dispatched) and probed with exponential backoff until a
+  // fresh HELLO re-registers them through probation. While candidate coverage
+  // sits below health.coverage_threshold the dispatcher selects with
+  // health.fallback_policy instead of policy_spec (degraded mode).
+  health::HealthConfig health;
+
+  // Data-path failure detection (requires health.enabled()): a dispatched job
+  // unanswered for dispatch_timeout seconds marks its backend failed and is
+  // re-dispatched to a different backend — at most max_redispatch re-sends
+  // per job (timeouts and connection losses combined) before the client gets
+  // an ERR. <= 0 disables the per-job timer; connection-loss re-dispatch
+  // stays active whenever health is enabled.
+  double dispatch_timeout = 0.0;
+  int max_redispatch = 2;
+
   // Status lines ("LISTENING", "READY") for humans and harnesses; nullable.
   std::ostream* status_out = nullptr;
 
@@ -84,6 +114,12 @@ struct DispatcherStats {
   std::uint64_t reports_dropped = 0;  // injected loss
   std::uint64_t reports_delayed = 0;  // injected delay
   std::uint64_t hellos_received = 0;
+  // Health-subsystem counters (all zero when health is disabled).
+  std::uint64_t dispatch_timeouts = 0;   // per-job timers that fired
+  std::uint64_t jobs_redispatched = 0;   // re-sent after timeout/conn loss
+  std::uint64_t backend_evictions = 0;   // membership transitions to dead
+  std::uint64_t backend_rejoins = 0;     // probation completed back to alive
+  std::uint64_t degraded_entries = 0;    // coverage dropped below threshold
   std::vector<std::uint64_t> per_backend_dispatched;
   double started_at = 0.0;
   double stopped_at = 0.0;
@@ -122,6 +158,15 @@ class Dispatcher {
     int client_fd = -1;  // -1 after the client hung up
     std::uint64_t client_id = 0;
     int backend = 0;
+    int attempts = 0;                 // re-dispatches already consumed
+    std::uint64_t timeout_timer = 0;  // 0 = no per-job timer armed
+  };
+
+  // An in-flight liveness probe of a dead backend: a bare TCP connect to its
+  // last-known data endpoint, watched for the connect outcome.
+  struct ProbeConn {
+    int index = -1;
+    Fd fd;
   };
 
   void on_udp_readable();
@@ -133,9 +178,20 @@ class Dispatcher {
   void handle_client_line(int fd, const std::string& line);
   void handle_backend_line(int index, const std::string& line);
   void dispatch_job(int client_fd, std::uint64_t client_id);
+  // One (re-)send of a job: attempt 0 is the original dispatch, later
+  // attempts re-route around `avoid` (the backend that just failed it).
+  void dispatch_attempt(int client_fd, std::uint64_t client_id, int attempts,
+                        int avoid);
+  void on_job_timeout(std::uint64_t gid);
+  void health_tick();
+  void probe_backend(int index);
+  void on_probe_event(int fd, std::uint32_t events);
+  void build_live_mask();
   void apply_report(const LoadMsg& msg);
   void drop_client(int fd);
-  void drop_backend(int index);
+  // `observed_failure` feeds the membership state machine; re-registration
+  // replaces a connection without declaring the backend dead.
+  void drop_backend(int index, bool observed_failure = true);
   void send_to_client(int fd, const std::string& bytes);
   void send_to_backend(int index, const std::string& bytes);
   void flush_conn(int fd, WriteBuffer* out, bool want_read);
@@ -149,6 +205,7 @@ class Dispatcher {
   std::uint16_t udp_port_ = 0;
 
   policy::PolicyPtr policy_;
+  policy::PolicyPtr fallback_policy_;  // degraded mode; null if health off
   NetBoard board_;
   sim::Rng rng_;        // policy tie-breaks / subset sampling
   sim::Rng fault_rng_;  // report loss/delay draws (split stream)
@@ -160,6 +217,13 @@ class Dispatcher {
   std::map<std::uint64_t, InFlightJob> jobs_;   // by dispatcher-global id
   std::vector<int> outstanding_;                // per backend, LB-side queue
   std::uint64_t next_gid_ = 1;
+
+  // Health subsystem (null/empty when options_.health is disabled).
+  std::unique_ptr<health::Membership> membership_;
+  std::map<int, ProbeConn> probes_;       // by probe socket fd
+  std::vector<std::uint8_t> live_mask_;   // candidates AND registered
+  double health_tick_period_ = 0.0;
+  bool was_degraded_ = false;
 
   DispatcherStats stats_;
 };

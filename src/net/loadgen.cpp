@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
@@ -30,16 +31,8 @@ void LoadGen::status(const std::string& line) {
 }
 
 void LoadGen::run(const std::atomic<bool>* stop_flag) {
-  conn_ = tcp_connect(options_.target);
   const double started = loop_.now();
-  loop_.watch(conn_.get(), /*want_read=*/true, /*want_write=*/false,
-              [this](std::uint32_t events) {
-                if (events & EventLoop::kWritable) {
-                  out_.flush(conn_.get());
-                  loop_.set_interest(conn_.get(), true, out_.wants_write());
-                }
-                if (events & EventLoop::kReadable) on_readable();
-              });
+  connect_now();
   if (options_.duration > 0.0) {
     loop_.add_timer(options_.duration, [this] {
       sending_ = false;
@@ -70,11 +63,68 @@ void LoadGen::run(const std::atomic<bool>* stop_flag) {
          " completed=" + std::to_string(report_.completed));
 }
 
+void LoadGen::connect_now() {
+  try {
+    conn_ = tcp_connect(options_.target);
+  } catch (const std::exception&) {
+    on_conn_lost();  // immediate refusal; schedule the next attempt
+    return;
+  }
+  in_ = LineBuffer();
+  out_ = WriteBuffer();
+  loop_.watch(conn_.get(), /*want_read=*/true, /*want_write=*/false,
+              [this](std::uint32_t events) {
+                if (events & EventLoop::kError) {
+                  on_conn_lost();
+                  return;
+                }
+                if (events & EventLoop::kWritable) {
+                  out_.flush(conn_.get());
+                  loop_.set_interest(conn_.get(), true, out_.wants_write());
+                }
+                if (events & EventLoop::kReadable) on_readable();
+              });
+}
+
+void LoadGen::on_conn_lost() {
+  if (conn_.valid()) {
+    loop_.forget(conn_.get());
+    conn_.reset();
+  }
+  // Replies in flight on the dead connection will never arrive; they are
+  // client-visible failures, like an ERR.
+  report_.errors += outstanding_.size();
+  outstanding_.clear();
+  if (!sending_) {
+    loop_.stop();  // drain phase: nothing left to wait for
+    return;
+  }
+  if (connect_attempts_ >= options_.connect_retries) {
+    status("LOADGEN GIVE-UP attempts=" + std::to_string(connect_attempts_));
+    sending_ = false;
+    loop_.stop();
+    return;
+  }
+  const double delay = std::min(
+      options_.connect_backoff * std::ldexp(1.0, connect_attempts_), 2.0);
+  ++connect_attempts_;
+  status("LOADGEN RECONNECT attempt=" + std::to_string(connect_attempts_));
+  loop_.add_timer(delay, [this] { connect_now(); });
+}
+
 void LoadGen::send_next_job() {
   if (!sending_) return;
   if (options_.max_jobs > 0 && report_.sent >= options_.max_jobs) {
     sending_ = false;
     if (outstanding_.empty()) loop_.stop();
+    return;
+  }
+  loop_.add_timer(sim::Exponential(1.0 / options_.lambda).sample(rng_),
+                  [this] { send_next_job(); });
+  if (!conn_.valid()) {
+    // Disconnected gap: the open-loop arrival happens regardless and fails
+    // at the client.
+    ++report_.errors;
     return;
   }
   const std::uint64_t id = next_id_++;
@@ -83,8 +133,6 @@ void LoadGen::send_next_job() {
   out_.append(format_job(JobMsg{id}));
   out_.flush(conn_.get());
   loop_.set_interest(conn_.get(), true, out_.wants_write());
-  loop_.add_timer(sim::Exponential(1.0 / options_.lambda).sample(rng_),
-                  [this] { send_next_job(); });
 }
 
 void LoadGen::on_readable() {
@@ -97,7 +145,7 @@ void LoadGen::on_readable() {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    loop_.stop();  // dispatcher hung up
+    on_conn_lost();  // dispatcher hung up or reset
     return;
   }
   std::string line;
@@ -106,6 +154,7 @@ void LoadGen::on_readable() {
 }
 
 void LoadGen::handle_line(const std::string& line) {
+  connect_attempts_ = 0;  // the dispatcher is talking; reconnects start fresh
   if (const auto done = parse_client_done(line)) {
     const auto it = outstanding_.find(done->id);
     if (it == outstanding_.end()) return;

@@ -31,6 +31,14 @@ struct LoadGenOptions {
   std::uint64_t max_jobs = 0;  // optional hard cap; 0 = no cap
   std::uint64_t seed = 1;
   std::uint64_t warmup_jobs = 0;  // first N completions excluded from stats
+  // Bounded reconnect: a refused or lost dispatcher connection is retried up
+  // to connect_retries times, waiting connect_backoff * 2^attempt (capped at
+  // 2s) between attempts, so the loadgen survives a dispatcher that starts
+  // late or restarts mid-run. The counter resets once a reply arrives; jobs
+  // whose send window falls in a disconnected gap count as errors (open-loop
+  // arrivals never pause). 0 restores the old exit-on-first-failure.
+  int connect_retries = 10;
+  double connect_backoff = 0.2;
   std::ostream* status_out = nullptr;
 };
 
@@ -57,6 +65,8 @@ class LoadGen {
   const LoadGenReport& report() const { return report_; }
 
  private:
+  void connect_now();
+  void on_conn_lost();
   void send_next_job();
   void on_readable();
   void handle_line(const std::string& line);
@@ -71,6 +81,7 @@ class LoadGen {
 
   std::uint64_t next_id_ = 1;
   bool sending_ = true;
+  int connect_attempts_ = 0;  // consecutive failures; reset by any reply
   std::map<std::uint64_t, double> outstanding_;  // id -> send time
   std::vector<double> latencies_;
   LoadGenReport report_;

@@ -103,6 +103,20 @@ void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder,
                     << ",\"ts\":" << ts << ",\"s\":\"p\",\"name\":\""
                     << fault_name(event.c) << "\"}";
         break;
+      case TraceEventKind::kMembership:
+        json.next() << "{\"ph\":\"i\",\"pid\":" << kPid
+                    << ",\"tid\":" << event.server << ",\"ts\":" << ts
+                    << ",\"s\":\"t\",\"name\":\"membership:"
+                    << member_trace_state_name(
+                           static_cast<MemberTraceState>(event.c))
+                    << "\"}";
+        break;
+      case TraceEventKind::kDegraded:
+        json.next() << "{\"ph\":\"i\",\"pid\":" << kPid << ",\"tid\":0"
+                    << ",\"ts\":" << ts << ",\"s\":\"g\",\"name\":\""
+                    << (event.c != 0 ? "degraded_enter" : "degraded_exit")
+                    << "\",\"args\":{\"coverage\":" << event.a << "}}";
+        break;
       case TraceEventKind::kKernel:
       case TraceEventKind::kDecision:
         // Kernel pops and decisions duplicate the dispatch spans visually;

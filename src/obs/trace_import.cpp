@@ -31,11 +31,12 @@ std::optional<std::int64_t> parse_i64(std::string_view text) {
 }
 
 std::optional<TraceEventKind> parse_kind(std::string_view name) {
-  static constexpr std::array<TraceEventKind, 8> kKinds = {
+  static constexpr std::array<TraceEventKind, 10> kKinds = {
       TraceEventKind::kKernel,       TraceEventKind::kDispatch,
       TraceEventKind::kDeparture,    TraceEventKind::kServerDown,
       TraceEventKind::kServerUp,     TraceEventKind::kBoardRefresh,
       TraceEventKind::kRefreshFault, TraceEventKind::kDecision,
+      TraceEventKind::kMembership,   TraceEventKind::kDegraded,
   };
   for (TraceEventKind kind : kKinds) {
     if (name == trace_event_kind_name(kind)) return kind;
@@ -101,6 +102,18 @@ bool replay_row(std::string_view line, TraceRecorder& recorder) {
       return true;
     case TraceEventKind::kDecision:
       recorder.on_decision(*time, server_index, *a);
+      return true;
+    case TraceEventKind::kMembership: {
+      const auto last = static_cast<std::int64_t>(MemberTraceState::kProbation);
+      const auto from = static_cast<std::int64_t>(*a);
+      if (from < 0 || from > last || *c < 0 || *c > last) return false;
+      recorder.on_membership(*time, server_index,
+                             static_cast<MemberTraceState>(from),
+                             static_cast<MemberTraceState>(*c));
+      return true;
+    }
+    case TraceEventKind::kDegraded:
+      recorder.on_degraded_mode(*time, *c != 0, *a);
       return true;
   }
   return false;

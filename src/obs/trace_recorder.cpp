@@ -23,8 +23,26 @@ const char* trace_event_kind_name(TraceEventKind kind) {
       return "refresh_fault";
     case TraceEventKind::kDecision:
       return "decision";
+    case TraceEventKind::kMembership:
+      return "membership";
+    case TraceEventKind::kDegraded:
+      return "degraded";
   }
   throw std::logic_error("trace_event_kind_name: bad enum");
+}
+
+const char* member_trace_state_name(MemberTraceState state) {
+  switch (state) {
+    case MemberTraceState::kAlive:
+      return "alive";
+    case MemberTraceState::kSuspect:
+      return "suspect";
+    case MemberTraceState::kDead:
+      return "dead";
+    case MemberTraceState::kProbation:
+      return "probation";
+  }
+  throw std::logic_error("member_trace_state_name: bad enum");
 }
 
 TraceRecorder::TraceRecorder(const RecorderOptions& options)
@@ -116,6 +134,17 @@ void TraceRecorder::on_probabilities(std::span<const double> p) {
 void TraceRecorder::on_decision(double t, int server, double info_age) {
   push({t, TraceEventKind::kDecision, server, info_age, 0.0,
         last_probability_index_});
+}
+
+void TraceRecorder::on_membership(double t, int server, MemberTraceState from,
+                                  MemberTraceState to) {
+  push({t, TraceEventKind::kMembership, server,
+        static_cast<double>(static_cast<int>(from)), 0.0,
+        static_cast<std::int64_t>(to)});
+}
+
+void TraceRecorder::on_degraded_mode(double t, bool entered, double coverage) {
+  push({t, TraceEventKind::kDegraded, -1, coverage, 0.0, entered ? 1 : 0});
 }
 
 std::vector<TraceEvent> TraceRecorder::events_by_time() const {

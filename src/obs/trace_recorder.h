@@ -32,6 +32,8 @@ enum class TraceEventKind : std::uint8_t {
   kBoardRefresh,
   kRefreshFault,
   kDecision,
+  kMembership,
+  kDegraded,
 };
 
 // One trace record. Field meaning depends on kind:
@@ -41,6 +43,8 @@ enum class TraceEventKind : std::uint8_t {
 //   kBoardRefresh: a = measured-at time, c = snapshot index (refreshes())
 //   kRefreshFault: c = FaultTraceEvent
 //   kDecision:     a = info age, c = probability-vector index (-1 = none)
+//   kMembership:   a = from state, c = to state (MemberTraceState values)
+//   kDegraded:     a = coverage at the transition, c = 1 entered / 0 left
 struct TraceEvent {
   double time = 0.0;
   TraceEventKind kind = TraceEventKind::kKernel;
@@ -100,6 +104,9 @@ class TraceRecorder final : public TraceSink {
   void on_refresh_fault(double t, FaultTraceEvent kind, int server) override;
   void on_probabilities(std::span<const double> p) override;
   void on_decision(double t, int server, double info_age) override;
+  void on_membership(double t, int server, MemberTraceState from,
+                     MemberTraceState to) override;
+  void on_degraded_mode(double t, bool entered, double coverage) override;
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<BoardRefresh>& refreshes() const { return refreshes_; }

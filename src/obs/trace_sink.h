@@ -32,6 +32,19 @@ enum class FaultTraceEvent : std::uint8_t {
   kEstimatorDrop,
 };
 
+// The health subsystem's per-server liveness states (src/health/), mirrored
+// here so membership transitions can flow through the trace layer without
+// obs depending on health (obs sits at the bottom of the include DAG).
+// Values match health::MemberState one to one.
+enum class MemberTraceState : std::uint8_t {
+  kAlive,
+  kSuspect,
+  kDead,
+  kProbation,
+};
+
+const char* member_trace_state_name(MemberTraceState state);
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -111,6 +124,27 @@ class TraceSink {
     static_cast<void>(t);
     static_cast<void>(server);
     static_cast<void>(info_age);
+  }
+
+  // --- health -------------------------------------------------------------
+  // The membership state machine moved `server` from `from` to `to` at `t`
+  // (src/health/membership.h). Fired for every transition, including the
+  // probation -> alive rejoin the chaos harness asserts on.
+  virtual void on_membership(double t, int server, MemberTraceState from,
+                             MemberTraceState to) {
+    static_cast<void>(t);
+    static_cast<void>(server);
+    static_cast<void>(from);
+    static_cast<void>(to);
+  }
+
+  // The dispatcher entered (`entered` true) or left degraded mode because
+  // board coverage crossed the configured threshold; `coverage` is the
+  // candidate fraction at the transition.
+  virtual void on_degraded_mode(double t, bool entered, double coverage) {
+    static_cast<void>(t);
+    static_cast<void>(entered);
+    static_cast<void>(coverage);
   }
 };
 

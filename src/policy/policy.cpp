@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/audit.h"
+#include "check/contracts.h"
+
 namespace stale::policy {
 
 void sample_distinct(int n, int k, sim::Rng& rng, std::span<int> out) {
@@ -42,7 +45,11 @@ bool sanitize_probabilities(std::vector<double>& p,
       usable_mass += v;
     }
   }
-  if (!defective && usable_mass > 0.0) return false;
+  if (!defective && usable_mass > 0.0) {
+    STALE_AUDIT(check::audit_quarantined_mass(p, alive,
+                                              "sanitize_probabilities"));
+    return false;
+  }
 
   if (defective) {
     for (std::size_t i = 0; i < p.size(); ++i) {
@@ -71,6 +78,8 @@ bool sanitize_probabilities(std::vector<double>& p,
       }
     }
   }
+  STALE_AUDIT(
+      check::audit_quarantined_mass(p, alive, "sanitize_probabilities"));
   return true;
 }
 
@@ -79,6 +88,10 @@ bool sanitize_probabilities(std::vector<double>& p,
   if (context.trace == nullptr) return;
   std::vector<double> p(context.loads.size(), 0.0);
   for (std::size_t i = 0; i < p.size(); ++i) {
+    // Quarantined servers are retired from the index: the histogram counts
+    // only their level peers that remain candidates, and their own mass is
+    // exactly zero.
+    if (context.known_dead(static_cast<int>(i))) continue;
     const auto level = static_cast<std::size_t>(context.loads[i]);
     if (level >= level_masses.size()) continue;
     const std::int64_t peers =

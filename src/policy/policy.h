@@ -77,6 +77,12 @@ struct DispatchContext {
   // path use it via use_bucketed(); everything else ignores it.
   const sim::LevelIndex* levels = nullptr;
 
+  // True when `levels` already excludes every server the `alive` mask marks
+  // down (the health layer retires quarantined servers from the index). Lets
+  // the bucketed fast path stay on under churn: the counted representation
+  // then IS the candidate set, so no per-server reshaping is needed.
+  bool levels_exclude_quarantined = false;
+
   // Trace sink (obs/trace_sink.h), null when tracing is off. Probabilistic
   // policies report the vector they are about to sample from via
   // trace_probabilities() whenever they (re)build it; sinks are pure
@@ -89,10 +95,13 @@ struct DispatchContext {
 
   bool periodic() const { return phase_length > 0.0; }
 
-  // Bucketed fast path applies only when a level index is provided and no
+  // Bucketed fast path applies when a level index is provided and either no
   // liveness mask is active (fault runs reshape probabilities per server,
-  // which the counted representation cannot express).
-  bool use_bucketed() const { return levels != nullptr && alive.empty(); }
+  // which the counted representation cannot express) or the index already
+  // excludes the quarantined servers (health/churn runs).
+  bool use_bucketed() const {
+    return levels != nullptr && (alive.empty() || levels_exclude_quarantined);
+  }
 
   bool known_dead(int server) const {
     return !alive.empty() && alive[static_cast<std::size_t>(server)] == 0;

@@ -81,18 +81,26 @@ double LevelHistogram::stddev() const {
 }
 
 void LevelIndex::build(std::span<const int> loads) {
-  hist_.assign(loads);
-  const int top = hist_.max_level();
-  if (static_cast<int>(members_.size()) <= top) {
-    members_.resize(static_cast<std::size_t>(top) + 1);
+  if (retired_.size() != loads.size()) {
+    retired_.assign(loads.size(), 0);
+    retired_count_ = 0;
   }
+  hist_.clear();
   for (std::vector<int>& bucket : members_) bucket.clear();
   level_.resize(loads.size());
   pos_.resize(loads.size());
   for (std::size_t i = 0; i < loads.size(); ++i) {
     const int level = loads[i];
-    std::vector<int>& bucket = members_[static_cast<std::size_t>(level)];
     level_[i] = level;
+    if (retired_[i] != 0) {
+      pos_[i] = -1;
+      continue;
+    }
+    hist_.add(level);
+    if (level >= static_cast<int>(members_.size())) {
+      members_.resize(static_cast<std::size_t>(level) + 1);
+    }
+    std::vector<int>& bucket = members_[static_cast<std::size_t>(level)];
     pos_[i] = static_cast<int>(bucket.size());
     bucket.push_back(static_cast<int>(i));
   }
@@ -100,6 +108,13 @@ void LevelIndex::build(std::span<const int> loads) {
 
 void LevelIndex::update(int server, int new_level) {
   const auto s = static_cast<std::size_t>(server);
+  if (!retired_.empty() && retired_[s] != 0) {
+    if (new_level < 0) {
+      throw std::invalid_argument("LevelIndex: negative level");
+    }
+    level_[s] = new_level;  // remembered for readmit()
+    return;
+  }
   const int old_level = level_[s];
   if (old_level == new_level) return;
   if (new_level < 0) {
@@ -119,6 +134,48 @@ void LevelIndex::update(int server, int new_level) {
   to.push_back(server);
   level_[s] = new_level;
   hist_.move(old_level, new_level);
+}
+
+void LevelIndex::retire(int server) {
+  const auto s = static_cast<std::size_t>(server);
+  if (server < 0 || s >= level_.size()) {
+    throw std::invalid_argument("LevelIndex: retire out of range");
+  }
+  if (retired_.size() != level_.size()) retired_.resize(level_.size(), 0);
+  if (retired_[s] != 0) {
+    throw std::invalid_argument("LevelIndex: retire of retired server");
+  }
+  const int level = level_[s];
+  std::vector<int>& bucket = members_[static_cast<std::size_t>(level)];
+  const int moved = bucket.back();
+  const int hole = pos_[s];
+  bucket[static_cast<std::size_t>(hole)] = moved;
+  pos_[static_cast<std::size_t>(moved)] = hole;
+  bucket.pop_back();
+  hist_.remove(level);
+  retired_[s] = 1;
+  pos_[s] = -1;
+  ++retired_count_;
+}
+
+void LevelIndex::readmit(int server) {
+  const auto s = static_cast<std::size_t>(server);
+  if (server < 0 || s >= level_.size()) {
+    throw std::invalid_argument("LevelIndex: readmit out of range");
+  }
+  if (retired_.size() != level_.size() || retired_[s] == 0) {
+    throw std::invalid_argument("LevelIndex: readmit of live server");
+  }
+  const int level = level_[s];
+  if (level >= static_cast<int>(members_.size())) {
+    members_.resize(static_cast<std::size_t>(level) + 1);
+  }
+  std::vector<int>& bucket = members_[static_cast<std::size_t>(level)];
+  pos_[s] = static_cast<int>(bucket.size());
+  bucket.push_back(server);
+  hist_.add(level);
+  retired_[s] = 0;
+  --retired_count_;
 }
 
 int LevelIndex::pick_uniform_in_level(int level, Rng& rng) const {

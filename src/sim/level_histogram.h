@@ -89,11 +89,25 @@ class LevelIndex {
 
   // Rebuilds from a raw load vector: histogram plus per-level member lists
   // (members of a level are kept in unspecified order; picks are uniform
-  // regardless). O(n); reuses bucket capacity across rebuilds.
+  // regardless). O(n); reuses bucket capacity across rebuilds. When the
+  // vector has the same size as the previous build, the retirement mask
+  // survives the rebuild (retired servers keep their recorded level but stay
+  // out of the histogram and buckets); a size change clears it.
   void build(std::span<const int> loads);
 
   // Moves one server to a new level. O(1) (swap-remove from the old bucket).
+  // On a retired server this only records the level for a later readmit().
   void update(int server, int new_level);
+
+  // Quarantine support (src/health/): a retired server leaves the histogram
+  // and its level bucket — every pick_* and aggregate excludes it — while
+  // its last known level is remembered so readmit() can restore it in O(1).
+  void retire(int server);
+  void readmit(int server);
+  bool retired(int server) const {
+    return !retired_.empty() && retired_[static_cast<std::size_t>(server)] != 0;
+  }
+  int retired_count() const { return retired_count_; }
 
   const LevelHistogram& histogram() const { return hist_; }
   int num_servers() const { return static_cast<int>(level_.size()); }
@@ -118,6 +132,8 @@ class LevelIndex {
   std::vector<std::vector<int>> members_;  // members_[level] = server ids
   std::vector<int> level_;                 // level_[server]
   std::vector<int> pos_;                   // index of server in its bucket
+  std::vector<std::uint8_t> retired_;      // 1 = out of hist_ and buckets
+  int retired_count_ = 0;
 };
 
 }  // namespace stale::sim

@@ -377,6 +377,69 @@ TEST(CliTest, BoardReprFlagParsesAndRejectsBadValues) {
   EXPECT_THROW(Cli(3, bad).apply_run_scale(config3), std::invalid_argument);
 }
 
+TEST(CliTest, BucketedBoardPlusFaultSpecErrorNamesBothFlags) {
+  // The conflict is surfaced at the flag layer so the message can tell the
+  // user which two flags to untangle (and point at --churn-spec as the
+  // health-aware alternative) instead of naming internal config fields.
+  const char* argv[] = {"bench", "--board-repr", "bucketed", "--fault-spec",
+                        "loss=0.1"};
+  try {
+    ExperimentConfig config;
+    Cli(5, argv).apply_run_scale(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--board-repr bucketed"), std::string::npos);
+    EXPECT_NE(what.find("--fault-spec"), std::string::npos);
+    EXPECT_NE(what.find("--churn-spec"), std::string::npos);
+  }
+  // The overlay fault flags trip the same conflict as the full spec...
+  const char* overlay[] = {"bench", "--board-repr", "bucketed",
+                           "--update-loss", "0.2"};
+  ExperimentConfig config;
+  EXPECT_THROW(Cli(5, overlay).apply_run_scale(config),
+               std::invalid_argument);
+  // ...while either flag alone, or bucketed + churn, is fine.
+  config = ExperimentConfig{};  // the throwing run above already set fault
+  const char* repr_only[] = {"bench", "--board-repr", "bucketed"};
+  EXPECT_NO_THROW(Cli(3, repr_only).apply_run_scale(config));
+  config = ExperimentConfig{};
+  const char* fault_only[] = {"bench", "--fault-spec", "loss=0.1"};
+  EXPECT_NO_THROW(Cli(3, fault_only).apply_run_scale(config));
+  config = ExperimentConfig{};
+  const char* with_churn[] = {"bench", "--board-repr", "bucketed",
+                              "--churn-spec", "restart=30,restartdown=2"};
+  EXPECT_NO_THROW(Cli(5, with_churn).apply_run_scale(config));
+  EXPECT_TRUE(config.churn.any());
+}
+
+TEST(CliTest, ChurnSpecFlagBuildsTheSpecAndExcludesFaults) {
+  const char* argv[] = {"bench", "--churn-spec",
+                        "leave=0.01,rejoin=2,suspect=2T,evict=4T"};
+  Cli cli(3, argv);
+  ExperimentConfig config;
+  cli.apply_run_scale(config);
+  EXPECT_TRUE(config.churn.any());
+  EXPECT_DOUBLE_EQ(config.churn.leave_rate, 0.01);
+  EXPECT_DOUBLE_EQ(config.churn.rejoin_delay, 2.0);
+
+  const char* bad[] = {"bench", "--churn-spec", "bogus=1"};
+  ExperimentConfig config2;
+  EXPECT_THROW(Cli(3, bad).apply_run_scale(config2), std::invalid_argument);
+
+  const char* both[] = {"bench", "--churn-spec", "restart=30,restartdown=2",
+                        "--fault-spec", "loss=0.1"};
+  try {
+    ExperimentConfig config3;
+    Cli(5, both).apply_run_scale(config3);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--churn-spec"), std::string::npos);
+    EXPECT_NE(what.find("--fault-spec"), std::string::npos);
+  }
+}
+
 TEST(SweepTest, ProducesOneRowPerXValue) {
   ExperimentConfig base = small_config();
   base.num_jobs = 4'000;

@@ -215,4 +215,79 @@ TEST(LevelIndexTest, PickUniformAtOrBelow) {
                std::invalid_argument);
 }
 
+TEST(LevelIndexTest, RetireRemovesAServerFromEveryPickAndAggregate) {
+  const std::vector<int> loads = {0, 1, 1, 3};
+  LevelIndex index;
+  index.build(loads);
+  EXPECT_EQ(index.retired_count(), 0);
+
+  index.retire(1);
+  EXPECT_TRUE(index.retired(1));
+  EXPECT_EQ(index.retired_count(), 1);
+  EXPECT_EQ(index.histogram().total(), 3);
+  EXPECT_EQ(index.histogram().count(1), 1);
+  EXPECT_EQ(index.histogram().level_sum(), 4);  // 0 + 1 + 3
+
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(index.pick_uniform_in_level(1, rng), 2);
+    const int pick = index.pick_uniform_at_or_below(3, rng);
+    EXPECT_NE(pick, 1);
+  }
+  // Double-retire and out-of-range are caller bugs, not silent no-ops.
+  EXPECT_THROW(index.retire(1), std::invalid_argument);
+  EXPECT_THROW(index.retire(-1), std::invalid_argument);
+  EXPECT_THROW(index.retire(4), std::invalid_argument);
+  EXPECT_EQ(index.retired_count(), 1);
+}
+
+TEST(LevelIndexTest, ReadmitRestoresTheRecordedLevel) {
+  const std::vector<int> loads = {0, 1, 1, 3};
+  LevelIndex index;
+  index.build(loads);
+  index.retire(3);
+  // Load changes while a server is quarantined are recorded, not applied —
+  // the histogram must never count a retired server.
+  index.update(3, 5);
+  EXPECT_EQ(index.histogram().total(), 3);
+  EXPECT_EQ(index.level_of(3), 5);
+
+  index.readmit(3);
+  EXPECT_FALSE(index.retired(3));
+  EXPECT_EQ(index.retired_count(), 0);
+  EXPECT_EQ(index.histogram().total(), 4);
+  EXPECT_EQ(index.histogram().count(5), 1);
+  Rng rng(7);
+  EXPECT_EQ(index.pick_uniform_in_level(5, rng), 3);
+  // Readmitting a live server is a caller bug.
+  EXPECT_THROW(index.readmit(3), std::invalid_argument);
+  EXPECT_EQ(index.histogram().total(), 4);
+}
+
+TEST(LevelIndexTest, RetirementMaskSurvivesSameSizeRebuildOnly) {
+  const std::vector<int> loads = {2, 2, 2};
+  LevelIndex index;
+  index.build(loads);
+  index.retire(0);
+
+  // Same-size rebuild (a periodic board refresh mid-quarantine): server 0
+  // stays out of the histogram but its fresh level is remembered.
+  const std::vector<int> refreshed = {4, 1, 1};
+  index.build(refreshed);
+  EXPECT_TRUE(index.retired(0));
+  EXPECT_EQ(index.histogram().total(), 2);
+  EXPECT_EQ(index.histogram().count(4), 0);
+  EXPECT_EQ(index.level_of(0), 4);
+  index.readmit(0);
+  EXPECT_EQ(index.histogram().count(4), 1);
+
+  // A size change is a different cluster: the mask resets.
+  index.retire(1);
+  const std::vector<int> resized = {0, 0, 0, 0};
+  index.build(resized);
+  EXPECT_EQ(index.retired_count(), 0);
+  EXPECT_FALSE(index.retired(1));
+  EXPECT_EQ(index.histogram().total(), 4);
+}
+
 }  // namespace

@@ -1,0 +1,8 @@
+// Lint fixture: scanned under src/health/fixture.cpp. The health layer is
+// shared by the simulator and the live service, so it may depend on fault/
+// policy/obs and the sim substrate but never on net (the live service
+// depends on health, not the other way around); one L1 finding expected.
+#include "net/dispatcher.h"
+#include "health/membership.h"
+
+int width() { return 0; }

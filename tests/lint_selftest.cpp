@@ -72,6 +72,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"l1_sim_to_net.cpp", "src/sim/fixture.cpp",
                     "staleload-l1-layering"},
         FixtureCase{"l1_queueing_to_core.cpp", "src/queueing/fixture.cpp",
+                    "staleload-l1-layering"},
+        FixtureCase{"l1_health_to_net.cpp", "src/health/fixture.cpp",
                     "staleload-l1-layering"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.fixture;

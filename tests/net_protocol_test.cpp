@@ -1,0 +1,208 @@
+// Property and fuzz tests for the live dispatcher's wire protocol
+// (src/net/protocol.h). The parsers sit directly on the network: every UDP
+// datagram and TCP line a peer (or an attacker with `nc`) sends lands here,
+// so the contract under test is "parse anything without crashing, accept
+// only well-formed lines, and round-trip everything the formatters emit".
+// The fuzz loop is seed-deterministic (sim::Rng), so a failure reproduces.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/protocol.h"
+#include "sim/rng.h"
+
+namespace stale::net {
+namespace {
+
+// Formatters emit the terminating '\n'; the event loops split lines before
+// parsing. Mirror that framing here.
+std::string strip_newline(std::string line) {
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
+
+TEST(ProtocolRoundTripTest, EveryMessageTypeRoundTrips) {
+  sim::Rng rng(2026);
+  for (int i = 0; i < 500; ++i) {
+    HelloMsg hello;
+    hello.index = static_cast<int>(rng.next_below(1'000'000));
+    hello.tcp_port = static_cast<std::uint16_t>(rng.next_below(65536));
+    const auto hello2 = parse_hello(strip_newline(format_hello(hello)));
+    ASSERT_TRUE(hello2.has_value());
+    EXPECT_EQ(hello2->index, hello.index);
+    EXPECT_EQ(hello2->tcp_port, hello.tcp_port);
+
+    LoadMsg load;
+    load.index = static_cast<int>(rng.next_below(1'000'000));
+    load.queue_len = static_cast<int>(rng.next_below(1'000'000));
+    load.seq = rng.next_u64();
+    const auto load2 = parse_load(strip_newline(format_load(load)));
+    ASSERT_TRUE(load2.has_value());
+    EXPECT_EQ(load2->index, load.index);
+    EXPECT_EQ(load2->queue_len, load.queue_len);
+    EXPECT_EQ(load2->seq, load.seq);
+
+    JobMsg job;
+    job.id = rng.next_u64();
+    const auto job2 = parse_job(strip_newline(format_job(job)));
+    ASSERT_TRUE(job2.has_value());
+    EXPECT_EQ(job2->id, job.id);
+
+    DoneMsg done;
+    done.id = rng.next_u64();
+    done.queue_len = static_cast<int>(rng.next_below(1'000'000));
+    const auto done2 = parse_done(strip_newline(format_done(done)));
+    ASSERT_TRUE(done2.has_value());
+    EXPECT_EQ(done2->id, done.id);
+    EXPECT_EQ(done2->queue_len, done.queue_len);
+
+    ClientDoneMsg cdone;
+    cdone.id = rng.next_u64();
+    cdone.backend = static_cast<int>(rng.next_below(1'000'000));
+    const auto cdone2 =
+        parse_client_done(strip_newline(format_client_done(cdone)));
+    ASSERT_TRUE(cdone2.has_value());
+    EXPECT_EQ(cdone2->id, cdone.id);
+    EXPECT_EQ(cdone2->backend, cdone.backend);
+  }
+}
+
+TEST(ProtocolParseTest, ToleratesExtraWhitespace) {
+  const auto hello = parse_hello("  HELLO   3    8080  ");
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->index, 3);
+  EXPECT_EQ(hello->tcp_port, 8080);
+}
+
+TEST(ProtocolParseTest, RejectsMalformedLines) {
+  // Wrong keyword, field count, sign, radix, or trailing garbage — each
+  // returns nullopt instead of a half-parsed message.
+  EXPECT_FALSE(parse_hello("").has_value());
+  EXPECT_FALSE(parse_hello("HELLO").has_value());
+  EXPECT_FALSE(parse_hello("HELLO 3").has_value());
+  EXPECT_FALSE(parse_hello("HELLO 3 8080 extra").has_value());
+  EXPECT_FALSE(parse_hello("hello 3 8080").has_value());  // case-sensitive
+  EXPECT_FALSE(parse_hello("HELLO -3 8080").has_value());
+  EXPECT_FALSE(parse_hello("HELLO +3 8080").has_value());
+  EXPECT_FALSE(parse_hello("HELLO 3 80x80").has_value());
+  EXPECT_FALSE(parse_hello("HELLO 3 99999").has_value());  // > uint16 max
+  EXPECT_FALSE(parse_hello("HELLO 3 8080\n").has_value());  // unstripped
+  EXPECT_FALSE(parse_hello("LOAD 3 8080").has_value());  // foreign keyword
+
+  EXPECT_FALSE(parse_load("LOAD 1 2").has_value());
+  EXPECT_FALSE(parse_load("LOAD 1 2 3 4").has_value());
+  EXPECT_FALSE(parse_load("LOAD 1 -2 3").has_value());
+  EXPECT_FALSE(parse_load("LOAD a 2 3").has_value());
+  EXPECT_FALSE(parse_load("HELLO 1 2").has_value());
+
+  EXPECT_FALSE(parse_job("JOB").has_value());
+  EXPECT_FALSE(parse_job("JOB 1 2").has_value());
+  EXPECT_FALSE(parse_job("JOB 1.5").has_value());
+  EXPECT_FALSE(parse_job("JOB 99999999999999999999999").has_value());
+
+  EXPECT_FALSE(parse_done("DONE 1").has_value());
+  EXPECT_FALSE(parse_done("DONE 1 2 3").has_value());
+  EXPECT_FALSE(parse_done("DONE one 2").has_value());
+  EXPECT_FALSE(parse_client_done("DONE 1").has_value());
+  EXPECT_FALSE(parse_client_done("ERR 1 2").has_value());
+}
+
+// Runs every parser over the same line; none may crash, and any accepted
+// message must carry non-negative fields (the parsers promise to reject
+// negative input, so a sign slipping through would be a real bug).
+void exercise_all_parsers(std::string_view line) {
+  if (const auto msg = parse_hello(line)) {
+    EXPECT_GE(msg->index, 0);
+  }
+  if (const auto msg = parse_load(line)) {
+    EXPECT_GE(msg->index, 0);
+    EXPECT_GE(msg->queue_len, 0);
+  }
+  if (const auto msg = parse_job(line)) {
+    (void)msg;
+  }
+  if (const auto msg = parse_done(line)) {
+    EXPECT_GE(msg->queue_len, 0);
+  }
+  if (const auto msg = parse_client_done(line)) {
+    EXPECT_GE(msg->backend, 0);
+  }
+}
+
+TEST(ProtocolFuzzTest, MutatedLinesNeverCrashAParser) {
+  sim::Rng rng(777);
+  const std::vector<std::string> seeds = {
+      "HELLO 3 8080", "LOAD 7 42 1001", "JOB 123456789",
+      "DONE 123456789 5", "ERR 42 no-backends", "",
+  };
+  const std::string alphabet =
+      "HELODJOBNERload 0123456789-+.\t\n\r\x01\x7f";
+  for (int iter = 0; iter < 20'000; ++iter) {
+    std::string line = seeds[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(seeds.size())))];
+    // A few random mutations: truncate, splice, insert, overwrite, repeat.
+    const int mutations = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.next_below(5)) {
+        case 0:  // truncate at a random point
+          line.resize(static_cast<std::size_t>(
+              rng.next_below(static_cast<std::uint64_t>(line.size() + 1))));
+          break;
+        case 1:  // splice another seed onto the end (simulates coalesced
+                 // datagrams / partial line reads)
+          line += seeds[static_cast<std::size_t>(
+              rng.next_below(static_cast<std::uint64_t>(seeds.size())))];
+          break;
+        case 2: {  // insert a random byte
+          const auto pos = static_cast<std::size_t>(
+              rng.next_below(static_cast<std::uint64_t>(line.size() + 1)));
+          line.insert(line.begin() + static_cast<std::ptrdiff_t>(pos),
+                      alphabet[static_cast<std::size_t>(rng.next_below(
+                          static_cast<std::uint64_t>(alphabet.size())))]);
+          break;
+        }
+        case 3:  // overwrite a random byte
+          if (!line.empty()) {
+            line[static_cast<std::size_t>(rng.next_below(
+                static_cast<std::uint64_t>(line.size())))] =
+                alphabet[static_cast<std::size_t>(rng.next_below(
+                    static_cast<std::uint64_t>(alphabet.size())))];
+          }
+          break;
+        default:  // duplicate the whole line (repeated field count)
+          line += " " + line;
+          break;
+      }
+    }
+    exercise_all_parsers(line);
+  }
+}
+
+TEST(ProtocolFuzzTest, RandomBytesNeverParse) {
+  // Pure noise (no seed structure) must essentially always be rejected;
+  // count acceptances to catch a parser that got permissive.
+  sim::Rng rng(31337);
+  const std::string alphabet = "ABCXYZ 0123456789-+\n\x02\xff";
+  int accepted = 0;
+  for (int iter = 0; iter < 5'000; ++iter) {
+    std::string line;
+    const auto len = static_cast<std::size_t>(rng.next_below(24));
+    for (std::size_t i = 0; i < len; ++i) {
+      line += alphabet[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(alphabet.size())))];
+    }
+    accepted += parse_hello(line).has_value() ? 1 : 0;
+    accepted += parse_load(line).has_value() ? 1 : 0;
+    accepted += parse_job(line).has_value() ? 1 : 0;
+    accepted += parse_done(line).has_value() ? 1 : 0;
+    exercise_all_parsers(line);
+  }
+  // Lines without a correctly spelled keyword can never be accepted.
+  EXPECT_EQ(accepted, 0);
+}
+
+}  // namespace
+}  // namespace stale::net

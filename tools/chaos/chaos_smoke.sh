@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Chaos smoke for the live dispatcher's health subsystem: boots staleload_lb
+# with membership health enabled plus 12 staleload_backend processes, drives
+# load through staleload_loadgen, SIGKILLs a third of the backends mid-run,
+# and restarts them 2 seconds later. Asserts, from the loadgen report and the
+# dispatcher's exported event trace, that:
+#   1. >= 99% of the jobs the loadgen sent were answered (re-dispatch saved
+#      the in-flight jobs of the killed backends);
+#   2. every killed backend was evicted (membership -> dead) and rejoined
+#      through probation (dead -> probation -> alive);
+#   3. zero jobs were dispatched to a backend between its eviction and its
+#      probation (the quarantine actually removed it from the candidate set);
+#   4. the degraded-mode crossing shows up in the trace (coverage 8/12 dips
+#      below the configured 0.7 threshold while the four are down).
+#
+# Usage: tools/chaos/chaos_smoke.sh [BIN_DIR] [OUT_DIR]
+#   BIN_DIR: directory with the three binaries (default build/tools)
+#   OUT_DIR: artifact directory (default chaos-smoke)
+set -euo pipefail
+
+BIN=${1:-build/tools}
+OUT=${2:-chaos-smoke}
+BACKENDS=12
+KILL="0 1 2 3"  # the third we murder mid-run
+mkdir -p "$OUT"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+wait_for_line() { # file token tries
+  for _ in $(seq "${3:-100}"); do
+    grep -q "$2" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "chaos_smoke: timed out waiting for '$2' in $1" >&2
+  cat "$1" >&2 || true
+  return 1
+}
+
+start_backend() { # index seed logfile
+  "$BIN/staleload_backend" --index "$1" --report-to "127.0.0.1:$UDP" \
+    --update-period 0.1 --mean-service 0.02 --seed "$2" \
+    --duration 60 > "$3" 2>&1 &
+  echo $!
+}
+
+# Suspect after 0.4s of silence, evict at 0.8s; two clean reports to rejoin;
+# degraded below 70% coverage (8/12 = 0.667 qualifies while the four are
+# down). The per-job timer is a backstop — SIGKILL closes the TCP socket, so
+# connection errors usually beat it.
+"$BIN/staleload_lb" --backends $BACKENDS --policy basic_li \
+  --schedule periodic --update-period 0.1 --duration 45 --seed 3 \
+  --health "suspect=0.4,evict=0.8,probation=2,probe=0.25,probemax=2,coverage=0.7,fallback=random,retries=3" \
+  --dispatch-timeout 1.0 \
+  --trace-out "$OUT/lb" > "$OUT/lb.out" 2> "$OUT/lb.err" &
+LB_PID=$!
+PIDS+=("$LB_PID")
+wait_for_line "$OUT/lb.out" "LB LISTENING"
+TCP=$(sed -n 's/.*tcp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
+UDP=$(sed -n 's/.*udp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
+echo "dispatcher up: tcp=$TCP udp=$UDP"
+
+declare -A BACKEND_PID
+for i in $(seq 0 $((BACKENDS - 1))); do
+  BACKEND_PID[$i]=$(start_backend "$i" $((20 + i)) "$OUT/backend$i.out")
+  PIDS+=("${BACKEND_PID[$i]}")
+done
+wait_for_line "$OUT/lb.out" "LB READY"
+echo "all $BACKENDS backends registered"
+
+"$BIN/staleload_loadgen" --target "127.0.0.1:$TCP" --lambda 60 \
+  --duration 12 --drain 4 --warmup 20 --seed 7 \
+  --json "$OUT/loadgen.json" 2> "$OUT/loadgen.err" &
+LG_PID=$!
+PIDS+=("$LG_PID")
+
+sleep 3
+for i in $KILL; do
+  kill -9 "${BACKEND_PID[$i]}" 2>/dev/null || true
+done
+echo "killed backends: $KILL"
+
+sleep 2
+for i in $KILL; do
+  BACKEND_PID[$i]=$(start_backend "$i" $((40 + i)) "$OUT/backend$i.restart.out")
+  PIDS+=("${BACKEND_PID[$i]}")
+done
+echo "restarted backends: $KILL"
+
+wait "$LG_PID"
+kill "$LB_PID" 2>/dev/null || true
+wait "$LB_PID" 2>/dev/null || true
+PIDS=("${PIDS[@]/$LG_PID}")
+
+test -s "$OUT/lb.events.csv" || {
+  echo "chaos_smoke: dispatcher wrote no trace" >&2
+  exit 1
+}
+
+python3 - "$OUT/loadgen.json" "$OUT/lb.events.csv" "$KILL" <<'EOF'
+import csv, json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)["result"]
+sent, completed = report["sent"], report["completed"]
+answered = completed / sent if sent else 0.0
+print(f"loadgen: sent={sent} completed={completed} "
+      f"answered={answered:.4f} errors={report['errors']}")
+assert sent > 0, "loadgen sent nothing"
+assert answered >= 0.99, f"only {answered:.4f} of jobs answered"
+
+DEAD, PROBATION, ALIVE = 2.0, 3.0, 0.0
+events = []
+with open(sys.argv[2]) as f:
+    for row in csv.DictReader(f):
+        events.append((float(row["time"]), row["kind"], int(row["server"]),
+                       float(row["a"]), float(row["c"])))
+events.sort()
+
+membership = [e for e in events if e[1] == "membership"]
+assert membership, "no membership transitions in the exported trace"
+degraded = [e for e in events if e[1] == "degraded"]
+assert degraded, "degraded-mode crossing missing from the trace"
+
+for server in map(int, sys.argv[3].split()):
+    mine = [e for e in membership if e[2] == server]
+    deaths = [t for (t, _, _, _, to) in mine if to == DEAD]
+    assert deaths, f"backend {server} was never evicted"
+    death = deaths[0]
+    rebirths = [t for (t, _, _, _, to) in mine if to == PROBATION and t > death]
+    assert rebirths, f"backend {server} never re-entered through probation"
+    rebirth = rebirths[0]
+    assert any(to == ALIVE and t > rebirth for (t, _, _, _, to) in mine), \
+        f"backend {server} never completed probation back to alive"
+    quarantined = [t for (t, kind, s, _, _) in events
+                   if kind == "dispatch" and s == server
+                   and death <= t < rebirth]
+    assert not quarantined, (
+        f"{len(quarantined)} dispatches to backend {server} inside its "
+        f"quarantine window [{death:.3f}, {rebirth:.3f})")
+    print(f"backend {server}: evicted at {death:.3f}, probation at "
+          f"{rebirth:.3f}, rejoined; no quarantined dispatches")
+
+print("chaos smoke OK")
+EOF
+
+echo "chaos smoke OK"

@@ -248,16 +248,22 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
       {"fault",
        {"fault", "policy", "loadinfo", "queueing", "core", "sim", "obs",
         "check"}},
+      // health is the membership layer shared by both stacks: it reuses the
+      // fault layer's crash semantics and stats, and both net and driver sit
+      // above it.
+      {"health",
+       {"health", "fault", "policy", "loadinfo", "queueing", "core", "sim",
+        "obs", "check"}},
       // net is the live-service layer (event-loop sockets + the staleload_lb
       // dispatcher). It drives the same policy/loadinfo/obs/fault stack as
       // the simulator but sits beside driver: neither may include the other,
       // and no simulation layer may reach up into net.
       {"net",
-       {"net", "fault", "policy", "loadinfo", "queueing", "core", "sim",
-        "obs", "check"}},
+       {"net", "health", "fault", "policy", "loadinfo", "queueing", "core",
+        "sim", "obs", "check"}},
       {"driver",
-       {"driver", "fault", "policy", "loadinfo", "queueing", "core", "sim",
-        "obs", "workload", "analysis", "runtime", "check"}},
+       {"driver", "health", "fault", "policy", "loadinfo", "queueing",
+        "core", "sim", "obs", "workload", "analysis", "runtime", "check"}},
   };
   return kDag;
 }
@@ -349,8 +355,8 @@ constexpr std::array<Token, 14> kHostStateTokens = {{
 // the other way — L1 stops any sim-side module from including net.
 bool in_simulation_scope(const FileScope& scope) {
   static const std::set<std::string> kSim = {
-      "sim",    "queueing", "core",     "loadinfo", "policy",
-      "fault",  "workload", "analysis", "driver",   "obs"};
+      "sim",      "queueing", "core",   "loadinfo", "policy", "fault",
+      "workload", "analysis", "driver", "obs",      "health"};
   return scope.in_src && kSim.count(scope.module) > 0;
 }
 
@@ -358,8 +364,8 @@ bool in_simulation_scope(const FileScope& scope) {
 // net is exempt here too: a socket server legitimately owns fds and talks
 // to the host.
 bool in_host_state_scope(const FileScope& scope) {
-  static const std::set<std::string> kInner = {"sim",      "queueing", "policy",
-                                               "loadinfo", "fault",    "obs"};
+  static const std::set<std::string> kInner = {
+      "sim", "queueing", "policy", "loadinfo", "fault", "obs", "health"};
   return scope.in_src && kInner.count(scope.module) > 0;
 }
 

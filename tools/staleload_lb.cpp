@@ -26,6 +26,7 @@
 #include <string>
 
 #include "fault/fault_spec.h"
+#include "health/churn_spec.h"
 #include "net/dispatcher.h"
 #include "obs/export_csv.h"
 #include "obs/herd.h"
@@ -55,13 +56,20 @@ struct Args {
             << "  [--schedule periodic|piggyback] [--update-period T]\n"
             << "  [--host H] [--tcp-port P] [--udp-port P] [--rate-window W]\n"
             << "  [--duration S] [--seed S] [--faults SPEC]\n"
-            << "  [--trace-out PREFIX]\n";
+            << "  [--health SPEC] [--dispatch-timeout S]\n"
+            << "  [--trace-out PREFIX]\n"
+            << "--health takes the health keys of a churn spec, e.g.\n"
+            << "  suspect=2T,evict=4T,probation=2,probe=0.5,probemax=8,\n"
+            << "  coverage=0.5,fallback=random,retries=3\n"
+            << "(T = --update-period; churn-process keys like restart= are\n"
+            << "rejected — live backends churn for real).\n";
   std::exit(2);
 }
 
 Args parse_args(int argc, char** argv) {
   Args args;
   args.options.status_out = &std::cout;
+  std::string health_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> std::string {
@@ -90,6 +98,10 @@ Args parse_args(int argc, char** argv) {
       args.options.seed = std::stoull(value());
     } else if (flag == "--faults") {
       args.options.faults = stale::fault::FaultSpec::parse(value());
+    } else if (flag == "--health") {
+      health_spec = value();
+    } else if (flag == "--dispatch-timeout") {
+      args.options.dispatch_timeout = std::stod(value());
     } else if (flag == "--trace-out") {
       args.trace_out = value();
     } else {
@@ -97,6 +109,18 @@ Args parse_args(int argc, char** argv) {
     }
   }
   if (args.options.num_backends <= 0) usage("--backends must be >= 1");
+  if (!health_spec.empty()) {
+    const auto spec = stale::health::ChurnSpec::parse(health_spec);
+    if (spec.any()) {
+      usage("--health takes only health keys; churn-process keys "
+            "(restart/leave/slow) belong to the simulator's --churn-spec");
+    }
+    args.options.health = spec.resolved_health(args.options.update_period);
+    args.options.max_redispatch = spec.max_retries;
+  } else if (args.options.dispatch_timeout > 0.0) {
+    usage("--dispatch-timeout needs --health (the timeouts feed the health "
+          "state machine)");
+  }
   return args;
 }
 
@@ -118,6 +142,11 @@ void write_stats_json(std::ostream& os, const Args& args,
      << ", \"reports_received\": " << stats.reports_received
      << ", \"reports_dropped\": " << stats.reports_dropped
      << ", \"reports_delayed\": " << stats.reports_delayed
+     << ", \"dispatch_timeouts\": " << stats.dispatch_timeouts
+     << ", \"jobs_redispatched\": " << stats.jobs_redispatched
+     << ", \"backend_evictions\": " << stats.backend_evictions
+     << ", \"backend_rejoins\": " << stats.backend_rejoins
+     << ", \"degraded_entries\": " << stats.degraded_entries
      << ", \"elapsed\": " << stats.stopped_at - stats.started_at
      << ", \"per_backend_dispatched\": [";
   for (std::size_t i = 0; i < stats.per_backend_dispatched.size(); ++i) {

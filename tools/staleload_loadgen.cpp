@@ -36,7 +36,8 @@ void install_signal_handlers() {
   std::cerr << "staleload_loadgen: " << error << "\n"
             << "usage: staleload_loadgen --target HOST:PORT [--lambda R]\n"
             << "  [--duration S] [--drain S] [--warmup N] [--max-jobs N]\n"
-            << "  [--seed S] [--json PATH]\n";
+            << "  [--seed S] [--connect-retries N] [--connect-backoff S]\n"
+            << "  [--json PATH]\n";
   std::exit(2);
 }
 
@@ -69,6 +70,10 @@ int main(int argc, char** argv) {
         options.max_jobs = std::stoull(value());
       } else if (flag == "--seed") {
         options.seed = std::stoull(value());
+      } else if (flag == "--connect-retries") {
+        options.connect_retries = std::stoi(value());
+      } else if (flag == "--connect-backoff") {
+        options.connect_backoff = std::stod(value());
       } else if (flag == "--json") {
         json_path = value();
       } else {

@@ -178,9 +178,13 @@ int main(int argc, char** argv) {
                                        Table::fmt(box.max)});
         table.add_row({"trials", std::to_string(trials_used)});
 
-        if (config.fault.any()) {
+        if (config.fault.any() || config.churn.any()) {
           const auto& f = result.faults;
-          table.add_row({"fault spec", config.fault.to_string()});
+          if (config.fault.any()) {
+            table.add_row({"fault spec", config.fault.to_string()});
+          } else {
+            table.add_row({"churn spec", config.churn.to_string()});
+          }
           table.add_row({"crashes / recoveries",
                          std::to_string(f.crashes) + " / " +
                              std::to_string(f.recoveries)});
