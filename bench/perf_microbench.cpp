@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "core/load_interpretation.h"
 #include "core/sampler.h"
 #include "driver/experiment.h"
+#include "lint/lint.h"
 #include "policy/policy_factory.h"
 #include "sim/level_histogram.h"
 #include "sim/rng.h"
@@ -306,6 +308,31 @@ BENCHMARK(BM_ExperimentThreadScaling)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Full staleload_lint sweep over the repository's real source trees (the
+// same invocation CI gates on). The token-stream analyzer re-lexes every
+// file per iteration, so this is the end-to-end cost of the v2 rule set —
+// bench_diff catches a rule whose scan accidentally goes quadratic.
+void BM_LintFullRepo(benchmark::State& state) {
+  const std::string root = STALELOAD_REPO_ROOT;
+  const std::vector<std::string> roots = {
+      root + "/src", root + "/tools", root + "/bench", root + "/tests",
+      root + "/examples"};
+  const std::string allowlist = root + "/tools/lint/contract_allowlist.txt";
+  std::size_t findings = 0;
+  int files = 0;
+  for (auto _ : state) {
+    const stale::lint::ScanResult result =
+        stale::lint::scan_tree(roots, allowlist);
+    findings += result.findings.size();
+    files = result.files_scanned;
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          files);
+  state.counters["files"] = static_cast<double>(files);
+}
+BENCHMARK(BM_LintFullRepo)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

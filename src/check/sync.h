@@ -1,0 +1,100 @@
+// Annotated synchronization primitives for src/ code.
+//
+// Thin, zero-overhead wrappers over the standard primitives that carry the
+// Clang thread-safety capability attributes (check/thread_annotations.h).
+// libstdc++'s std::mutex is invisible to -Wthread-safety, so guarding a
+// member with it proves nothing; guarding it with check::Mutex lets clang
+// verify every access. The staleload-t1-raw-mutex lint rule keeps raw
+// std::mutex/std::lock_guard/std::condition_variable out of src/.
+//
+// Usage:
+//   check::Mutex mutex_;
+//   std::deque<Task> tasks_ STALE_GUARDED_BY(mutex_);
+//   ...
+//   check::MutexLock lock(mutex_);       // RAII, analysis-visible
+//   while (tasks_.empty()) cv_.wait(mutex_);
+//
+// CondVar deliberately has no predicate-lambda overload: clang analyzes a
+// predicate lambda as a separate function that touches guarded members
+// without visibly holding the lock. The while-loop form above keeps the
+// guarded reads inside the annotated critical section.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "check/thread_annotations.h"
+
+namespace stale::check {
+
+// A std::mutex the thread-safety analysis can track.
+class STALE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STALE_ACQUIRE() { mu_.lock(); }
+  void unlock() STALE_RELEASE() { mu_.unlock(); }
+  bool try_lock() STALE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Tells the analysis the lock is held without acquiring it — for call
+  // paths where holding is a documented precondition that cannot be
+  // expressed structurally.
+  void assert_held() const STALE_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for Mutex (std::lock_guard is not analysis-visible).
+class STALE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STALE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() STALE_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable usable with Mutex. Callers re-test their condition in
+// a while loop around wait() (see the header comment for why there is no
+// predicate overload).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) STALE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// A pseudo-capability for thread-confined state: structures that are
+// single-threaded by contract (the dispatcher's event loop, a per-trial
+// simulation) rather than by locking. Methods touching the confined state
+// call assert_held() on entry; members are annotated
+// STALE_GUARDED_BY(serial_). There is no lock and no runtime cost — under
+// clang the analysis checks that every access path goes through a method
+// that asserted the capability, and under other compilers it all erases.
+class STALE_CAPABILITY("serial") Serial {
+ public:
+  Serial() = default;
+  Serial(const Serial&) = delete;
+  Serial& operator=(const Serial&) = delete;
+
+  void assert_held() const STALE_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace stale::check

@@ -1,0 +1,67 @@
+// Clang thread-safety capability attributes behind STALE_ macros.
+//
+// Clang's -Wthread-safety analysis (enabled on the clang CI legs, where
+// -Werror makes every diagnostic fatal) statically proves that data marked
+// STALE_GUARDED_BY(mu) is only touched while `mu` is held and that
+// functions marked STALE_REQUIRES(mu) are only called with `mu` held. The
+// attributes are invisible to gcc and to any compiler without the
+// capability extension, so the macros expand to nothing there — the
+// annotated code compiles identically everywhere and the proof happens
+// wherever clang builds it.
+//
+// The analysis cannot see through libstdc++'s unannotated std::mutex, so
+// src/ code synchronizes through the annotated wrappers in check/sync.h
+// (check::Mutex, check::MutexLock, check::CondVar, check::Serial); the
+// staleload-t1-raw-mutex lint rule enforces this. Conventions for
+// annotating a class (enforced by staleload-t2-unguarded-member):
+//
+//   * Members the mutex does not guard (immutable after construction, or
+//     confined to one thread) go BEFORE the mutex member.
+//   * The mutex member and everything it guards go LAST, each guarded
+//     member carrying STALE_GUARDED_BY(mutex_) (or STALE_PT_GUARDED_BY for
+//     the pointee of a pointer member).
+//   * Private methods that assume the lock is held take STALE_REQUIRES.
+//   * Thread-confined (single-threaded by contract, not by locking)
+//     structures use a check::Serial pseudo-capability: methods assert it
+//     via assert_held(), which documents — and under clang, checks — the
+//     confinement without any runtime cost.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define STALE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef STALE_THREAD_ANNOTATION
+#define STALE_THREAD_ANNOTATION(x)  // expands to nothing outside clang
+#endif
+
+// Type attributes: a capability ("mutex"-like thing the analysis tracks)
+// and an RAII scope that acquires/releases one.
+#define STALE_CAPABILITY(x) STALE_THREAD_ANNOTATION(capability(x))
+#define STALE_SCOPED_CAPABILITY STALE_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes.
+#define STALE_GUARDED_BY(x) STALE_THREAD_ANNOTATION(guarded_by(x))
+#define STALE_PT_GUARDED_BY(x) STALE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes: preconditions and effects on capabilities.
+#define STALE_REQUIRES(...) \
+  STALE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define STALE_REQUIRES_SHARED(...) \
+  STALE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define STALE_ACQUIRE(...) \
+  STALE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define STALE_RELEASE(...) \
+  STALE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define STALE_TRY_ACQUIRE(...) \
+  STALE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define STALE_EXCLUDES(...) STALE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define STALE_ASSERT_CAPABILITY(x) \
+  STALE_THREAD_ANNOTATION(assert_capability(x))
+#define STALE_RETURN_CAPABILITY(x) STALE_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for functions the analysis cannot model (used sparingly and
+// always with a comment explaining why).
+#define STALE_NO_THREAD_SAFETY_ANALYSIS \
+  STALE_THREAD_ANNOTATION(no_thread_safety_analysis)

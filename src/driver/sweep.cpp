@@ -1,9 +1,10 @@
 #include "driver/sweep.h"
 
-#include <mutex>
 #include <ostream>
 #include <sstream>
 
+#include "check/sync.h"
+#include "check/thread_annotations.h"
 #include "driver/report.h"
 #include "driver/table.h"
 #include "runtime/thread_pool.h"
@@ -27,6 +28,21 @@ std::string format_cell(const ExperimentResult& result,
   return Table::fmt_ci(result.mean(), result.ci90(), options.precision);
 }
 
+// Serializes the per-cell progress dots emitted by concurrent workers onto
+// one shared stream.
+struct ProgressSink {
+  explicit ProgressSink(std::ostream* os) : os_(os) {}
+
+  void tick() {
+    check::MutexLock lock(mutex_);
+    if (os_ != nullptr) *os_ << "." << std::flush;
+  }
+
+ private:
+  check::Mutex mutex_;
+  std::ostream* os_ STALE_GUARDED_BY(mutex_);
+};
+
 }  // namespace
 
 void run_sweep(const ExperimentConfig& base, const std::string& x_label,
@@ -44,7 +60,7 @@ void run_sweep(const ExperimentConfig& base, const std::string& x_label,
   const std::size_t cells = x_values.size() * policies.size();
   std::vector<std::string> grid(cells);
   std::vector<fault::FaultStats> cell_faults(cells);
-  std::mutex progress_mutex;
+  ProgressSink progress(options.progress);
 
   const auto compute_cell = [&](std::size_t index) {
     const std::size_t xi = index / policies.size();
@@ -58,10 +74,7 @@ void run_sweep(const ExperimentConfig& base, const std::string& x_label,
     const ExperimentResult result = run_experiment(config);
     grid[index] = format_cell(result, options);
     cell_faults[index] = result.faults;
-    if (options.progress != nullptr) {
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      *options.progress << "." << std::flush;
-    }
+    if (options.progress != nullptr) progress.tick();
   };
 
   const int jobs = std::min<int>(

@@ -16,6 +16,15 @@
 // feeds it loop time. No wall clock, no RNG, no host state — the same
 // transitions replay bit-identically in a deterministic trial.
 //
+// Threading contract: a Membership instance is thread-confined, never
+// locked. The simulator owns one per trial (each trial runs entirely on one
+// worker); the dispatcher owns one on its event-loop thread and expresses
+// the confinement through its check::Serial capability — the owning pointer
+// in net::Dispatcher is STALE_PT_GUARDED_BY(loop_serial_), so under clang's
+// -Wthread-safety every dereference is proven to happen on the loop thread.
+// The methods themselves carry no STALE_REQUIRES: the capability belongs to
+// the owner, and a trial-local instance has no lock-like object at all.
+//
 // advance() is O(1) until the earliest pending deadline is crossed (one
 // comparison against a cached lower bound), then O(n) to apply transitions
 // and recompute the bound — cheap enough to call per arrival.

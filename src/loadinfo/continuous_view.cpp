@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace stale::loadinfo {
 
 ContinuousView::ContinuousView(DelayKind kind, double mean_delay,
@@ -61,6 +63,8 @@ void ContinuousView::observe(const queueing::Cluster& cluster, double t,
   last_measured_ = t - d;
   reported_age_ = know_actual_age_ ? d : std::min(mean_delay_, t);
   cluster.loads_at(t - d, loads_);
+  STALE_DCHECK(actual_delay_ >= 0.0 && last_measured_ <= t &&
+               loads_.size() == static_cast<std::size_t>(cluster.size()));
   ++version_;
   if (track_levels_) level_index_.build(loads_);
   if (trace_) trace_->on_board_refresh(t, last_measured_, version_, loads_);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace stale::loadinfo {
 
 IndividualBoard::IndividualBoard(int num_servers, double update_interval,
@@ -37,6 +39,7 @@ void IndividualBoard::sync(queueing::Cluster& cluster, double t,
       }
     }
     if (due < 0) break;
+    STALE_DCHECK(due_time <= t);
     const auto s = static_cast<std::size_t>(due);
     if (faults == nullptr || !faults->drop_refresh()) {
       cluster.advance_to(due_time);
@@ -59,6 +62,8 @@ void IndividualBoard::sync(queueing::Cluster& cluster, double t,
   // Publish everything that has arrived by t.
   for (std::size_t s = 0; s < pending_.size(); ++s) {
     while (!pending_[s].empty() && pending_[s].front().publish <= t) {
+      STALE_DCHECK(pending_[s].front().measured <=
+                   pending_[s].front().publish);
       snapshot_[s] = pending_[s].front().value;
       last_refresh_[s] = pending_[s].front().measured;
       const double publish = pending_[s].front().publish;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace stale::loadinfo {
 
 PeriodicBoard::PeriodicBoard(int num_servers, double update_interval)
@@ -47,8 +49,10 @@ void PeriodicBoard::sync(queueing::Cluster& cluster, double t,
     }
     next_boundary_ += interval_;
   }
+  STALE_DCHECK(next_boundary_ > t);
   // Publish everything that has arrived by t (in measurement order).
   while (!pending_.empty() && pending_.front().publish <= t) {
+    STALE_DCHECK(pending_.front().measured <= pending_.front().publish);
     snapshot_ = std::move(pending_.front().snapshot);
     measured_at_ = pending_.front().measured;
     const double publish = pending_.front().publish;

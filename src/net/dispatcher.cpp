@@ -33,6 +33,9 @@ Dispatcher::Dispatcher(const DispatcherOptions& options)
       fault_rng_(split_stream(options.seed, 1)),
       backends_(static_cast<std::size_t>(options.num_backends)),
       outstanding_(static_cast<std::size_t>(options.num_backends), 0) {
+  // Construction happens on the (future) loop thread; the serial capability
+  // is born held here.
+  loop_serial_.assert_held();
   if (options.num_backends <= 0) {
     throw std::invalid_argument("Dispatcher needs --backends >= 1");
   }
@@ -77,16 +80,26 @@ void Dispatcher::status(const std::string& line) {
 }
 
 void Dispatcher::run(const std::atomic<bool>* stop_flag) {
+  loop_serial_.assert_held();
   stats_.started_at = loop_.now();
   loop_.watch(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false,
-              [this](std::uint32_t) { accept_clients(); });
+              [this](std::uint32_t) {
+                loop_serial_.assert_held();
+                accept_clients();
+              });
   loop_.watch(udp_fd_.get(), /*want_read=*/true, /*want_write=*/false,
-              [this](std::uint32_t) { on_udp_readable(); });
+              [this](std::uint32_t) {
+                loop_serial_.assert_held();
+                on_udp_readable();
+              });
   if (options_.duration > 0.0) {
     loop_.add_timer(options_.duration, [this] { loop_.stop(); });
   }
   if (membership_ != nullptr) {
-    loop_.add_timer(health_tick_period_, [this] { health_tick(); });
+    loop_.add_timer(health_tick_period_, [this] {
+      loop_serial_.assert_held();
+      health_tick();
+    });
   }
   loop_.run(stop_flag);
   stats_.stopped_at = loop_.now();
@@ -120,7 +133,10 @@ void Dispatcher::health_tick() {
     status(std::string(was_degraded_ ? "LB DEGRADED" : "LB RECOVERED") +
            " coverage=" + std::to_string(membership_->coverage()));
   }
-  loop_.add_timer(health_tick_period_, [this] { health_tick(); });
+  loop_.add_timer(health_tick_period_, [this] {
+      loop_serial_.assert_held();
+      health_tick();
+    });
 }
 
 void Dispatcher::probe_backend(int index) {
@@ -135,7 +151,10 @@ void Dispatcher::probe_backend(int index) {
   const int fd = probe.get();
   probes_[fd] = ProbeConn{index, std::move(probe)};
   loop_.watch(fd, /*want_read=*/false, /*want_write=*/true,
-              [this, fd](std::uint32_t events) { on_probe_event(fd, events); });
+              [this, fd](std::uint32_t events) {
+                loop_serial_.assert_held();
+                on_probe_event(fd, events);
+              });
   status("LB PROBE " + std::to_string(index));
 }
 
@@ -219,7 +238,10 @@ void Dispatcher::handle_datagram(const std::string& payload,
       const double delay = sim::Exponential(options_.faults.update_extra_delay)
                                .sample(fault_rng_);
       const LoadMsg delayed = *load;
-      loop_.add_timer(delay, [this, delayed] { apply_report(delayed); });
+      loop_.add_timer(delay, [this, delayed] {
+        loop_serial_.assert_held();
+        apply_report(delayed);
+      });
       return;
     }
     apply_report(*load);
@@ -270,6 +292,7 @@ void Dispatcher::register_backend(const HelloMsg& hello,
   const int index = hello.index;
   loop_.watch(backend.fd.get(), /*want_read=*/true, /*want_write=*/false,
               [this, index](std::uint32_t events) {
+                loop_serial_.assert_held();
                 if (events & EventLoop::kError) {
                   drop_backend(index);
                   return;
@@ -298,6 +321,7 @@ void Dispatcher::accept_clients() {
     client.fd = std::move(conn);
     loop_.watch(fd, /*want_read=*/true, /*want_write=*/false,
                 [this, fd](std::uint32_t events) {
+                  loop_serial_.assert_held();
                   if (events & EventLoop::kError) {
                     drop_client(fd);
                     return;
@@ -386,6 +410,7 @@ void Dispatcher::dispatch_attempt(int client_fd, std::uint64_t client_id,
   int backend = chooser.select(context, rng_);
 
   const auto usable = [&](int b) {
+    loop_serial_.assert_held();
     return b >= 0 && b < options_.num_backends && b != avoid &&
            backends_[static_cast<std::size_t>(b)].registered;
   };
@@ -421,7 +446,10 @@ void Dispatcher::dispatch_attempt(int client_fd, std::uint64_t client_id,
   InFlightJob job{client_fd, client_id, backend, attempts, 0};
   if (options_.dispatch_timeout > 0.0) {
     job.timeout_timer = loop_.add_timer(
-        options_.dispatch_timeout, [this, gid] { on_job_timeout(gid); });
+        options_.dispatch_timeout, [this, gid] {
+          loop_serial_.assert_held();
+          on_job_timeout(gid);
+        });
   }
   jobs_[gid] = job;
   ++outstanding_[static_cast<std::size_t>(backend)];

@@ -40,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "check/sync.h"
+#include "check/thread_annotations.h"
 #include "core/rate_estimator.h"
 #include "fault/fault_spec.h"
 #include "health/health_config.h"
@@ -136,8 +138,16 @@ class Dispatcher {
   // Serves until the duration elapses or `stop_flag` goes true.
   void run(const std::atomic<bool>* stop_flag = nullptr);
 
-  const DispatcherStats& stats() const { return stats_; }
-  int registered_backends() const { return registered_; }
+  // Read-side accessors for the owning thread (before run() starts or after
+  // it returns); asserting the serial capability documents that contract.
+  const DispatcherStats& stats() const {
+    loop_serial_.assert_held();
+    return stats_;
+  }
+  int registered_backends() const {
+    loop_serial_.assert_held();
+    return registered_;
+  }
 
  private:
   struct BackendConn {
@@ -169,63 +179,82 @@ class Dispatcher {
     Fd fd;
   };
 
-  void on_udp_readable();
-  void handle_datagram(const std::string& payload, const std::string& from);
-  void register_backend(const HelloMsg& hello, const std::string& from_host);
-  void accept_clients();
-  void on_client_readable(int fd);
-  void on_backend_readable(int index);
-  void handle_client_line(int fd, const std::string& line);
-  void handle_backend_line(int index, const std::string& line);
-  void dispatch_job(int client_fd, std::uint64_t client_id);
+  void on_udp_readable() STALE_REQUIRES(loop_serial_);
+  void handle_datagram(const std::string& payload, const std::string& from) STALE_REQUIRES(loop_serial_);
+  void register_backend(const HelloMsg& hello, const std::string& from_host) STALE_REQUIRES(loop_serial_);
+  void accept_clients() STALE_REQUIRES(loop_serial_);
+  void on_client_readable(int fd) STALE_REQUIRES(loop_serial_);
+  void on_backend_readable(int index) STALE_REQUIRES(loop_serial_);
+  void handle_client_line(int fd, const std::string& line) STALE_REQUIRES(loop_serial_);
+  void handle_backend_line(int index, const std::string& line) STALE_REQUIRES(loop_serial_);
+  void dispatch_job(int client_fd, std::uint64_t client_id) STALE_REQUIRES(loop_serial_);
   // One (re-)send of a job: attempt 0 is the original dispatch, later
   // attempts re-route around `avoid` (the backend that just failed it).
   void dispatch_attempt(int client_fd, std::uint64_t client_id, int attempts,
-                        int avoid);
-  void on_job_timeout(std::uint64_t gid);
-  void health_tick();
-  void probe_backend(int index);
-  void on_probe_event(int fd, std::uint32_t events);
-  void build_live_mask();
-  void apply_report(const LoadMsg& msg);
-  void drop_client(int fd);
+                        int avoid) STALE_REQUIRES(loop_serial_);
+  void on_job_timeout(std::uint64_t gid) STALE_REQUIRES(loop_serial_);
+  void health_tick() STALE_REQUIRES(loop_serial_);
+  void probe_backend(int index) STALE_REQUIRES(loop_serial_);
+  void on_probe_event(int fd, std::uint32_t events) STALE_REQUIRES(loop_serial_);
+  void build_live_mask() STALE_REQUIRES(loop_serial_);
+  void apply_report(const LoadMsg& msg) STALE_REQUIRES(loop_serial_);
+  void drop_client(int fd) STALE_REQUIRES(loop_serial_);
   // `observed_failure` feeds the membership state machine; re-registration
   // replaces a connection without declaring the backend dead.
-  void drop_backend(int index, bool observed_failure = true);
-  void send_to_client(int fd, const std::string& bytes);
-  void send_to_backend(int index, const std::string& bytes);
-  void flush_conn(int fd, WriteBuffer* out, bool want_read);
+  void drop_backend(int index, bool observed_failure = true) STALE_REQUIRES(loop_serial_);
+  void send_to_client(int fd, const std::string& bytes) STALE_REQUIRES(loop_serial_);
+  void send_to_backend(int index, const std::string& bytes) STALE_REQUIRES(loop_serial_);
+  void flush_conn(int fd, WriteBuffer* out, bool want_read) STALE_REQUIRES(loop_serial_);
   void status(const std::string& line);
 
+  // Configuration and sockets: written in the constructor, immutable after
+  // (the event loop reads them, nothing races). They sit above the serial
+  // capability per the T2 convention: unguarded members before the lock.
   DispatcherOptions options_;
   EventLoop loop_;
   Fd listen_fd_;
   Fd udp_fd_;
   std::uint16_t tcp_port_ = 0;
   std::uint16_t udp_port_ = 0;
+  double health_tick_period_ = 0.0;
 
-  policy::PolicyPtr policy_;
-  policy::PolicyPtr fallback_policy_;  // degraded mode; null if health off
-  NetBoard board_;
-  sim::Rng rng_;        // policy tie-breaks / subset sampling
-  sim::Rng fault_rng_;  // report loss/delay draws (split stream)
-  core::RateEstimatorPtr rate_;
+  // The dispatcher is single-threaded by contract, not by locking: every
+  // member below is touched only from the event-loop thread (the one that
+  // constructed the dispatcher and calls run()). loop_serial_ is the
+  // thread-confinement pseudo-capability making that contract checkable —
+  // each handler requires it, each event-loop callback asserts it, and
+  // clang's -Wthread-safety verifies no unannotated path touches the state.
+  check::Serial loop_serial_;
 
-  std::vector<BackendConn> backends_;
-  int registered_ = 0;
-  std::map<int, ClientConn> clients_;           // by fd
-  std::map<std::uint64_t, InFlightJob> jobs_;   // by dispatcher-global id
-  std::vector<int> outstanding_;                // per backend, LB-side queue
-  std::uint64_t next_gid_ = 1;
+  policy::PolicyPtr policy_ STALE_PT_GUARDED_BY(loop_serial_);
+  // Degraded mode; null if health off.
+  policy::PolicyPtr fallback_policy_ STALE_PT_GUARDED_BY(loop_serial_);
+  NetBoard board_ STALE_GUARDED_BY(loop_serial_);
+  // rng_: policy tie-breaks / subset sampling. fault_rng_: report loss and
+  // delay draws. Both are split streams of the configured seed.
+  sim::Rng rng_ STALE_GUARDED_BY(loop_serial_);
+  sim::Rng fault_rng_ STALE_GUARDED_BY(loop_serial_);
+  core::RateEstimatorPtr rate_ STALE_PT_GUARDED_BY(loop_serial_);
+
+  std::vector<BackendConn> backends_ STALE_GUARDED_BY(loop_serial_);
+  int registered_ STALE_GUARDED_BY(loop_serial_) = 0;
+  // Clients by fd; jobs by dispatcher-global id; outstanding_ is the
+  // LB-side per-backend queue depth.
+  std::map<int, ClientConn> clients_ STALE_GUARDED_BY(loop_serial_);
+  std::map<std::uint64_t, InFlightJob> jobs_ STALE_GUARDED_BY(loop_serial_);
+  std::vector<int> outstanding_ STALE_GUARDED_BY(loop_serial_);
+  std::uint64_t next_gid_ STALE_GUARDED_BY(loop_serial_) = 1;
 
   // Health subsystem (null/empty when options_.health is disabled).
-  std::unique_ptr<health::Membership> membership_;
-  std::map<int, ProbeConn> probes_;       // by probe socket fd
-  std::vector<std::uint8_t> live_mask_;   // candidates AND registered
-  double health_tick_period_ = 0.0;
-  bool was_degraded_ = false;
+  // Probes are keyed by probe socket fd; live_mask_ is candidates AND
+  // registered.
+  std::unique_ptr<health::Membership> membership_
+      STALE_PT_GUARDED_BY(loop_serial_);
+  std::map<int, ProbeConn> probes_ STALE_GUARDED_BY(loop_serial_);
+  std::vector<std::uint8_t> live_mask_ STALE_GUARDED_BY(loop_serial_);
+  bool was_degraded_ STALE_GUARDED_BY(loop_serial_) = false;
 
-  DispatcherStats stats_;
+  DispatcherStats stats_ STALE_GUARDED_BY(loop_serial_);
 };
 
 }  // namespace stale::net

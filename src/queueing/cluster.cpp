@@ -38,6 +38,7 @@ Cluster::Cluster(std::vector<double> rates, double history_window)
 }
 
 void Cluster::refresh_load(std::size_t server) {
+  STALE_DCHECK(server < loads_.size());
   const int length = servers_[server].length();
   if (length != loads_[server]) {
     histogram_.move(loads_[server], length);
@@ -55,9 +56,11 @@ void Cluster::enable_lazy_advance() {
   lazy_ = true;
   scheduled_.assign(servers_.size(), kNever);
   for (std::size_t s = 0; s < servers_.size(); ++s) schedule_front(s);
+  STALE_DCHECK(due_.size() <= servers_.size());
 }
 
 void Cluster::schedule_front(std::size_t server) {
+  STALE_DCHECK(server < scheduled_.size());
   const double next = servers_[server].next_departure();
   if (next == scheduled_[server]) return;
   scheduled_[server] = next;
@@ -67,6 +70,7 @@ void Cluster::schedule_front(std::size_t server) {
 }
 
 void Cluster::advance_to(double t) {
+  STALE_DCHECK(t >= advanced_time_);
   if (!lazy_) {
     for (std::size_t i = 0; i < servers_.size(); ++i) {
       servers_[i].advance_to(t);
@@ -128,6 +132,9 @@ double Cluster::assign_tagged(double t, int server, double job_size,
   histogram_.move(loads_[s], loads_[s] + 1);
   loads_[s] += 1;
   if (lazy_) schedule_front(s);
+  STALE_AUDIT(check::audit_level_histogram(histogram_.counts(),
+                                           histogram_.total(), loads_,
+                                           "Cluster::assign_tagged"));
   return departure;
 }
 
@@ -143,6 +150,9 @@ void Cluster::crash(double t, int server,
   loads_[s] = 0;
   // Any heap entry for the wiped queue is now stale; mismatch skips it.
   if (lazy_) scheduled_[s] = kNever;
+  STALE_AUDIT(check::audit_level_histogram(histogram_.counts(),
+                                           histogram_.total(), loads_,
+                                           "Cluster::crash"));
 }
 
 void Cluster::recover(double t, int server) {

@@ -43,6 +43,7 @@ FifoServer::FifoServer(double rate, double history_window)
 }
 
 void FifoServer::record(double t, int len) {
+  STALE_DCHECK(len >= 0 && t >= 0.0);
   if (history_window_ <= 0.0) return;
   history_.emplace_back(t, len);
 }
@@ -61,6 +62,7 @@ void FifoServer::prune(double before) {
                    history_.begin() + static_cast<std::ptrdiff_t>(history_begin_));
     history_begin_ = 0;
   }
+  STALE_DCHECK(history_.empty() || history_begin_ < history_.size());
 }
 
 void FifoServer::advance_to(double t) {
@@ -136,6 +138,7 @@ void FifoServer::enable_job_tracking() {
     throw std::logic_error(
         "FifoServer::enable_job_tracking: jobs already in flight");
   }
+  STALE_DCHECK(meta_.empty());
   track_jobs_ = true;
 }
 
@@ -172,6 +175,8 @@ void FifoServer::recover(double t) {
   advance_to(t);
   up_ = true;
   if (trace_) trace_->on_server_up(t, trace_index_);
+  STALE_AUDIT(audit_server(departures_, advanced_time_, track_jobs_,
+                           meta_.size()));
 }
 
 int FifoServer::length_at(double t) const {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace stale::queueing {
 
 LoadImbalanceStats::LoadImbalanceStats(std::uint64_t stride)
@@ -13,11 +15,13 @@ LoadImbalanceStats::LoadImbalanceStats(std::uint64_t stride)
 }
 
 void LoadImbalanceStats::observe(std::span<const int> loads) {
+  STALE_DCHECK(stride_ >= 1);
   if (++calls_ % stride_ != 0) return;
   take_sample(loads);
 }
 
 void LoadImbalanceStats::observe(const sim::LevelHistogram& histogram) {
+  STALE_DCHECK(stride_ >= 1);
   if (++calls_ % stride_ != 0) return;
   take_sample(histogram);
 }
@@ -35,6 +39,9 @@ void LoadImbalanceStats::take_sample(std::span<const int> loads) {
   const double n = static_cast<double>(loads.size());
   const double mean = sum / n;
   const double variance = sum_sq / n - mean * mean;
+  // The max of a set always dominates its mean; a violation means the
+  // accumulators drifted.
+  STALE_DCHECK(static_cast<double>(max) >= mean);
   stddevs_.add(std::sqrt(variance > 0.0 ? variance : 0.0));
   maxima_.add(static_cast<double>(max));
   means_.add(mean);
@@ -43,6 +50,8 @@ void LoadImbalanceStats::take_sample(std::span<const int> loads) {
 
 void LoadImbalanceStats::take_sample(const sim::LevelHistogram& histogram) {
   if (histogram.empty()) return;
+  STALE_DCHECK(histogram.stddev() >= 0.0 &&
+               histogram.max_level() >= histogram.min_level());
   stddevs_.add(histogram.stddev());
   maxima_.add(static_cast<double>(histogram.max_level()));
   means_.add(histogram.mean());

@@ -1,11 +1,14 @@
 #include "queueing/metrics.h"
 
+#include "check/contracts.h"
+
 namespace stale::queueing {
 
 ResponseMetrics::ResponseMetrics(std::uint64_t warmup_jobs, bool keep_samples)
     : warmup_(warmup_jobs), keep_samples_(keep_samples) {}
 
 void ResponseMetrics::record(double response_time) {
+  STALE_DCHECK(response_time >= 0.0);
   ++seen_;
   if (seen_ <= warmup_) return;
   stats_.add(response_time);
@@ -14,6 +17,7 @@ void ResponseMetrics::record(double response_time) {
 
 void ResponseMetrics::record_indexed(std::uint64_t arrival_index,
                                      double response_time) {
+  STALE_DCHECK(response_time >= 0.0);
   ++seen_;
   if (arrival_index < warmup_) return;
   stats_.add(response_time);

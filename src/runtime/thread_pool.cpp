@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -34,7 +34,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     // Submitting during shutdown is allowed (a draining task may enqueue
     // follow-up work); workers only exit once the queue is empty.
     tasks_.push_back(std::move(task));
@@ -62,8 +62,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      check::MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -91,10 +91,10 @@ void parallel_for_each(ThreadPool& pool, std::size_t count,
     std::size_t count;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::size_t shards_left;
-    std::exception_ptr error;
+    check::Mutex mutex;
+    check::CondVar done_cv;
+    std::size_t shards_left STALE_GUARDED_BY(mutex);
+    std::exception_ptr error STALE_GUARDED_BY(mutex);
   };
   const auto loop = std::make_shared<Loop>();
   loop->fn = &fn;
@@ -102,7 +102,10 @@ void parallel_for_each(ThreadPool& pool, std::size_t count,
 
   const std::size_t shards =
       std::min(static_cast<std::size_t>(pool.size()), count);
-  loop->shards_left = shards;
+  {
+    check::MutexLock lock(loop->mutex);
+    loop->shards_left = shards;
+  }
 
   const auto run_shard = [loop] {
     for (;;) {
@@ -113,19 +116,19 @@ void parallel_for_each(ThreadPool& pool, std::size_t count,
       try {
         (*loop->fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(loop->mutex);
+        check::MutexLock lock(loop->mutex);
         if (!loop->error) loop->error = std::current_exception();
         loop->failed.store(true, std::memory_order_relaxed);
       }
     }
-    std::lock_guard<std::mutex> lock(loop->mutex);
+    check::MutexLock lock(loop->mutex);
     if (--loop->shards_left == 0) loop->done_cv.notify_all();
   };
 
   for (std::size_t s = 0; s < shards; ++s) pool.submit(run_shard);
 
-  std::unique_lock<std::mutex> lock(loop->mutex);
-  loop->done_cv.wait(lock, [&] { return loop->shards_left == 0; });
+  check::MutexLock lock(loop->mutex);
+  while (loop->shards_left != 0) loop->done_cv.wait(loop->mutex);
   if (loop->error) std::rethrow_exception(loop->error);
 }
 

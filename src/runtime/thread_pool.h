@@ -17,13 +17,14 @@
 //    rethrown on the calling thread once all in-flight items have drained.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "check/sync.h"
+#include "check/thread_annotations.h"
 
 namespace stale::runtime {
 
@@ -54,11 +55,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  // workers_ is written in the constructor and joined in the destructor
+  // only — never touched under the lock — so it sits above the mutex.
   std::vector<std::thread> workers_;
+
+  check::Mutex mutex_;
+  check::CondVar cv_;
+  std::deque<std::function<void()>> tasks_ STALE_GUARDED_BY(mutex_);
+  bool stopping_ STALE_GUARDED_BY(mutex_) = false;
 };
 
 // Resolves a user-facing jobs knob: values >= 1 are taken literally,

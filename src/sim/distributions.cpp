@@ -3,6 +3,8 @@
 #include <sstream>
 #include <vector>
 
+#include "check/contracts.h"
+
 namespace stale::sim {
 
 namespace {
@@ -65,7 +67,9 @@ BoundedPareto BoundedPareto::with_mean(double alpha, double mean,
       hi = mid;
     }
   }
-  return BoundedPareto(alpha, 0.5 * (lo + hi), p);
+  const BoundedPareto fitted(alpha, 0.5 * (lo + hi), p);
+  STALE_DCHECK(std::abs(fitted.mean() - mean) <= 1e-6 * mean);
+  return fitted;
 }
 
 double BoundedPareto::sample(Rng& rng) const {

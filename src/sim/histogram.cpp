@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace stale::sim {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -16,6 +18,7 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  STALE_DCHECK(!std::isnan(x));
   ++total_;
   if (x < lo_) {
     ++underflow_;
@@ -56,6 +59,7 @@ void IntCounter::add(std::size_t value) {
   if (value >= counts_.size()) counts_.resize(value + 1, 0);
   ++counts_[value];
   ++total_;
+  STALE_DCHECK(counts_[value] <= total_);
 }
 
 std::size_t IntCounter::count(std::size_t value) const {

@@ -3,11 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace stale::sim {
 
 void LevelHistogram::assign(std::span<const int> loads) {
   clear();
   for (int level : loads) add(level);
+  STALE_DCHECK(total_ == static_cast<std::int64_t>(loads.size()));
 }
 
 void LevelHistogram::clear() {
@@ -17,6 +20,7 @@ void LevelHistogram::clear() {
   level_sq_sum_ = 0;
   min_level_ = 0;
   max_level_ = -1;
+  STALE_DCHECK(empty());
 }
 
 void LevelHistogram::add(int level) {
@@ -37,6 +41,8 @@ void LevelHistogram::add(int level) {
   ++total_;
   level_sum_ += level;
   level_sq_sum_ += static_cast<std::int64_t>(level) * level;
+  STALE_DCHECK(min_level_ <= level && level <= max_level_);
+  STALE_DCHECK(counts_[static_cast<std::size_t>(level)] <= total_);
 }
 
 void LevelHistogram::remove(int level) {
@@ -54,6 +60,7 @@ void LevelHistogram::remove(int level) {
   }
   while (counts_[static_cast<std::size_t>(min_level_)] == 0) ++min_level_;
   while (counts_[static_cast<std::size_t>(max_level_)] == 0) --max_level_;
+  STALE_DCHECK(min_level_ <= max_level_ && total_ > 0);
 }
 
 std::int64_t LevelHistogram::count_at_or_below(int level) const {
@@ -104,6 +111,8 @@ void LevelIndex::build(std::span<const int> loads) {
     pos_[i] = static_cast<int>(bucket.size());
     bucket.push_back(static_cast<int>(i));
   }
+  STALE_DCHECK(hist_.total() + retired_count_ ==
+               static_cast<std::int64_t>(loads.size()));
 }
 
 void LevelIndex::update(int server, int new_level) {
@@ -134,6 +143,7 @@ void LevelIndex::update(int server, int new_level) {
   to.push_back(server);
   level_[s] = new_level;
   hist_.move(old_level, new_level);
+  STALE_DCHECK(to[static_cast<std::size_t>(pos_[s])] == server);
 }
 
 void LevelIndex::retire(int server) {
@@ -156,6 +166,7 @@ void LevelIndex::retire(int server) {
   retired_[s] = 1;
   pos_[s] = -1;
   ++retired_count_;
+  STALE_DCHECK(retired_count_ <= static_cast<int>(level_.size()));
 }
 
 void LevelIndex::readmit(int server) {
@@ -176,6 +187,8 @@ void LevelIndex::readmit(int server) {
   hist_.add(level);
   retired_[s] = 0;
   --retired_count_;
+  STALE_DCHECK(retired_count_ >= 0);
+  STALE_DCHECK(bucket[static_cast<std::size_t>(pos_[s])] == server);
 }
 
 int LevelIndex::pick_uniform_in_level(int level, Rng& rng) const {

@@ -84,6 +84,7 @@ EventHandle Simulator::schedule_after(double delay, EventFn fn) {
 }
 
 void Simulator::release_slot(std::uint32_t slot) {
+  STALE_DCHECK(live_events_ > 0);
   Slot& record = slots_[slot];
   record.fn = nullptr;
   ++record.generation;
@@ -123,6 +124,7 @@ bool Simulator::cancel(EventHandle handle) {
   if (slots_[slot].generation != generation) return false;
   release_slot(slot);  // heap entry becomes stale; skipped when it surfaces
   ++stale_in_heap_;
+  STALE_DCHECK(stale_in_heap_ <= heap_.size());
   // Amortized O(1) per cancel: each compaction halves the heap at O(n) cost.
   if (stale_in_heap_ > heap_.size() / 2 && heap_.size() >= 16) compact_heap();
   return true;

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.h"
+
 namespace stale::sim {
 
 void RunningStats::add(double x) {
+  STALE_DCHECK(!std::isnan(x));
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -47,6 +50,7 @@ void RunningStats::merge(const RunningStats& other) {
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  STALE_DCHECK(count_ > 0 && min_ <= max_);
 }
 
 double student_t90(std::size_t df) {
@@ -84,13 +88,16 @@ BoxStats BoxStats::from_sample(std::span<const double> sample) {
   if (sample.empty()) throw std::invalid_argument("BoxStats: empty sample");
   std::vector<double> sorted(sample.begin(), sample.end());
   std::sort(sorted.begin(), sorted.end());
-  return BoxStats{
+  const BoxStats box{
       .min = sorted.front(),
       .p25 = percentile_sorted(sorted, 0.25),
       .median = percentile_sorted(sorted, 0.50),
       .p75 = percentile_sorted(sorted, 0.75),
       .max = sorted.back(),
   };
+  STALE_DCHECK(box.min <= box.p25 && box.p25 <= box.median &&
+               box.median <= box.p75 && box.p75 <= box.max);
+  return box;
 }
 
 }  // namespace stale::sim

@@ -1,0 +1,8 @@
+// C1 fixture: an out-of-line mutating method with no contract hook.
+#include "queueing/fixture.h"
+
+namespace stale::queueing {
+
+void Tally::bump() { ++count_; }
+
+}  // namespace stale::queueing

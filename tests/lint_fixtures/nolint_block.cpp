@@ -1,0 +1,7 @@
+// Balanced suppression block: END repeats BEGIN's rules (any order).
+// NOLINTBEGIN(staleload-d2-raw-rng, staleload-d3-unordered-iteration)
+#include <unordered_map>
+
+std::mt19937 legacy_engine;
+std::unordered_map<int, int> legacy_index;
+// NOLINTEND(staleload-d3-unordered-iteration, staleload-d2-raw-rng)

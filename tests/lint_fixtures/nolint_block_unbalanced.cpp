@@ -1,0 +1,3 @@
+// Unbalanced suppression block: a BEGIN with no END is itself a finding.
+// NOLINTBEGIN(staleload-d2-raw-rng)
+std::mt19937 legacy_engine;

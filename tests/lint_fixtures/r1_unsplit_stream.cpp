@@ -1,0 +1,11 @@
+// R1 fixture: a generator constructed without a named split stream.
+#include "sim/rng.h"
+
+namespace stale::policy {
+
+double draw() {
+  sim::Rng rng(12345);
+  return static_cast<double>(rng.next_u64());
+}
+
+}  // namespace stale::policy

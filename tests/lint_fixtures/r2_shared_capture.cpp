@@ -1,0 +1,14 @@
+// R2 fixture: one RNG stream captured by reference into a parallel lambda.
+#include "runtime/thread_pool.h"
+#include "sim/rng.h"
+
+namespace stale::driver {
+
+void fan_out(runtime::ThreadPool& pool, sim::Rng& rng) {
+  runtime::parallel_for_each(pool, 8, [&rng](std::size_t trial) {
+    (void)trial;
+    (void)rng.next_u64();
+  });
+}
+
+}  // namespace stale::driver

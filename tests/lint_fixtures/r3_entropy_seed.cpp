@@ -1,0 +1,14 @@
+// R3 fixture: a generator seeded from process-address entropy.
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace stale::sim {
+
+Rng seeded_from_stack() {
+  int marker = 0;
+  Rng rng(reinterpret_cast<std::uintptr_t>(&marker));
+  return rng;
+}
+
+}  // namespace stale::sim

@@ -1,0 +1,31 @@
+// Every R/T/C violation below is silenced by one of the inline forms.
+#include <cstdint>
+#include <mutex>
+
+#include "check/sync.h"
+#include "sim/rng.h"
+
+namespace stale::sim {
+
+Rng local_default;  // NOLINT(staleload-r1-unsplit-stream)
+
+// NOLINTNEXTLINE(staleload-r3-entropy-seed)
+Rng addressed(reinterpret_cast<std::uintptr_t>(&local_default));
+
+void fan_out(int n, Rng& rng) {
+  // NOLINTNEXTLINE(staleload-r2-shared-stream-capture)
+  parallel_for_each(n, [&rng](int trial) { (void)trial; });
+}
+
+// NOLINTBEGIN(staleload-t1-raw-mutex, staleload-t2-unguarded-member)
+class Legacy {
+ private:
+  std::mutex lock_;
+  int value_ = 0;
+};
+// NOLINTEND(staleload-t1-raw-mutex, staleload-t2-unguarded-member)
+
+// NOLINTNEXTLINE(staleload-c1-contract-coverage)
+void Legacy::touch() { value_ = 1; }
+
+}  // namespace stale::sim

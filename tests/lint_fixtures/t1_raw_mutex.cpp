@@ -1,0 +1,8 @@
+// T1 fixture: raw std::mutex, invisible to clang's -Wthread-safety.
+#include <mutex>
+
+namespace stale::queueing {
+
+std::mutex raw_lock;
+
+}  // namespace stale::queueing

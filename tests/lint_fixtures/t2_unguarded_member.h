@@ -1,0 +1,17 @@
+// T2 fixture: a data member declared after the mutex with no annotation.
+#pragma once
+
+#include "check/sync.h"
+
+namespace stale::sim {
+
+class Tally {
+ public:
+  void bump();
+
+ private:
+  check::Mutex mutex_;
+  long count_ = 0;
+};
+
+}  // namespace stale::sim

@@ -9,6 +9,8 @@
 #include <set>
 #include <sstream>
 
+#include "lint/token_view.h"
+
 namespace stale::lint {
 
 namespace {
@@ -16,8 +18,10 @@ namespace {
 // ---------------------------------------------------------------------------
 // Source preprocessing: split a file into a per-line "code" view (comments,
 // string literals, and char literals blanked out, so prose and literals can
-// never trip a D/L rule) and a per-line "comment" view (comment text only,
-// which is what the H3 annotation rule inspects).
+// never trip a code rule) and a per-line "comment" view (comment text only,
+// which is what the H3 annotation rule inspects). The code view then feeds
+// the tokenizer (lint/token_view.h) that the R/T/C rules and the D-rule
+// matchers walk.
 // ---------------------------------------------------------------------------
 
 struct Views {
@@ -26,9 +30,7 @@ struct Views {
   std::vector<std::string> comment;
 };
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
+bool is_ident_char(char c) { return lint_is_ident_char(c); }
 
 Views split_views(std::string_view text) {
   Views v;
@@ -183,6 +185,7 @@ struct FileScope {
   std::string module;   // "sim", "driver", ... when in_src; else "tools" etc.
   std::string basename;
   bool is_header = false;
+  bool is_impl = false;  // .cc/.cpp/.cxx
 };
 
 FileScope classify(std::string_view path) {
@@ -220,6 +223,7 @@ FileScope classify(std::string_view path) {
   if (dot != std::string::npos) {
     const std::string ext = scope.basename.substr(dot);
     scope.is_header = (ext == ".h" || ext == ".hpp");
+    scope.is_impl = (ext == ".cc" || ext == ".cpp" || ext == ".cxx");
   }
   return scope;
 }
@@ -268,14 +272,14 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
   return kDag;
 }
 
-struct Token {
+struct BannedToken {
   const char* id;
   bool call_like;  // must be followed by '(' to count (e.g. `time`, `rand`)
 };
 
 // D1: wall-clock / host-time APIs. Simulation layers derive all time from
 // the simulated clock; reading host time breaks run-to-run determinism.
-constexpr std::array<Token, 16> kWallClockTokens = {{
+constexpr std::array<BannedToken, 16> kWallClockTokens = {{
     {"system_clock", false},
     {"steady_clock", false},
     {"high_resolution_clock", false},
@@ -297,7 +301,7 @@ constexpr std::array<Token, 16> kWallClockTokens = {{
 // D2: randomness outside the sanctioned engine. Everything must draw from
 // sim::Rng (xoshiro256++), whose output is platform-pinned; std engines and
 // C rand are either non-deterministic (random_device) or unsanctioned state.
-constexpr std::array<Token, 17> kRawRngTokens = {{
+constexpr std::array<BannedToken, 17> kRawRngTokens = {{
     {"random_device", false},
     {"mt19937", false},
     {"mt19937_64", false},
@@ -320,7 +324,7 @@ constexpr std::array<Token, 17> kRawRngTokens = {{
 // D3: unordered containers in result-feeding layers. Their iteration order
 // is hash/seed dependent; anything aggregated from such an iteration can
 // differ across platforms or runs.
-constexpr std::array<Token, 4> kUnorderedTokens = {{
+constexpr std::array<BannedToken, 4> kUnorderedTokens = {{
     {"unordered_map", false},
     {"unordered_set", false},
     {"unordered_multimap", false},
@@ -330,7 +334,7 @@ constexpr std::array<Token, 4> kUnorderedTokens = {{
 // D4: host-state reads (environment, process identity, filesystem) in the
 // core simulation layers. Configuration enters through the driver; the
 // layers below it must be pure functions of (config, seed).
-constexpr std::array<Token, 14> kHostStateTokens = {{
+constexpr std::array<BannedToken, 14> kHostStateTokens = {{
     {"getenv", true},
     {"secure_getenv", true},
     {"getpid", true},
@@ -346,6 +350,48 @@ constexpr std::array<Token, 14> kHostStateTokens = {{
     {"fstream", false},
     {"filesystem", false},
 }};
+
+// T1: raw standard-library synchronization primitives. Clang's
+// -Wthread-safety analysis cannot see acquisitions through libstdc++'s
+// unannotated std::mutex, so src/ code synchronizes through the annotated
+// wrappers in src/check/sync.h instead.
+constexpr std::array<const char*, 11> kRawSyncTokens = {{
+    "mutex",
+    "timed_mutex",
+    "recursive_mutex",
+    "recursive_timed_mutex",
+    "shared_mutex",
+    "shared_timed_mutex",
+    "condition_variable",
+    "condition_variable_any",
+    "lock_guard",
+    "unique_lock",
+    "scoped_lock",
+}};
+
+// Standard headers (the common subset this codebase could plausibly
+// include) for the L2 quote-vs-angle normalizer. A quoted include of one of
+// these is rewritten to the angle form by --fix.
+const std::set<std::string>& std_headers() {
+  static const std::set<std::string> kStd = {
+      "algorithm", "any", "array", "atomic", "barrier", "bit", "bitset",
+      "cassert", "cctype", "cerrno", "cfloat", "charconv", "chrono",
+      "cinttypes", "climits", "cmath", "compare", "complex", "concepts",
+      "condition_variable", "csetjmp", "csignal", "cstdarg", "cstddef",
+      "cstdint", "cstdio", "cstdlib", "cstring", "ctime", "cuchar", "cwchar",
+      "deque", "exception", "execution", "filesystem", "format", "forward_list",
+      "fstream", "functional", "future", "initializer_list", "iomanip", "ios",
+      "iosfwd", "iostream", "istream", "iterator", "latch", "limits", "list",
+      "locale", "map", "memory", "memory_resource", "mutex", "new", "numbers",
+      "numeric", "optional", "ostream", "queue", "random", "ranges", "ratio",
+      "regex", "scoped_allocator", "semaphore", "set", "shared_mutex", "span",
+      "sstream", "stack", "stdexcept", "stop_token", "streambuf", "string",
+      "string_view", "system_error", "thread", "tuple", "type_traits",
+      "typeindex", "typeinfo", "unordered_map", "unordered_set", "utility",
+      "valarray", "variant", "vector", "version",
+  };
+  return kStd;
+}
 
 // Modules the D1/D3 determinism rules cover: every layer whose behaviour
 // feeds reported results. runtime (thread pool) and check (contracts) are
@@ -369,6 +415,27 @@ bool in_host_state_scope(const FileScope& scope) {
   return scope.in_src && kInner.count(scope.module) > 0;
 }
 
+// Modules the R1 split-stream rule covers: everywhere a generator's stream
+// identity feeds simulated results. driver and net are the sanctioned
+// seeding roots (they construct the base generators from config/CLI seeds
+// and hand split streams down), so they are exempt from R1 while staying
+// inside R2/R3.
+bool in_rng_stream_scope(const FileScope& scope) {
+  static const std::set<std::string> kRng = {
+      "sim",    "queueing", "core",     "loadinfo", "policy",
+      "fault",  "health",   "workload", "analysis", "obs"};
+  return scope.in_src && kRng.count(scope.module) > 0;
+}
+
+// Modules the C1 contract-coverage rule covers: the layers whose mutating
+// methods move probability mass, queue state, or board state that the
+// paper's numbers are computed from.
+bool in_contract_scope(const FileScope& scope) {
+  static const std::set<std::string> kContract = {"sim", "queueing",
+                                                  "loadinfo"};
+  return scope.in_src && kContract.count(scope.module) > 0;
+}
+
 bool is_sanctioned_rng_file(const FileScope& scope) {
   return scope.in_src && scope.module == "sim" &&
          scope.basename.rfind("rng.", 0) == 0;
@@ -378,33 +445,13 @@ bool is_sanctioned_rng_file(const FileScope& scope) {
 // Matching helpers.
 // ---------------------------------------------------------------------------
 
-bool line_has_token(const std::string& line, const Token& token) {
-  const std::string_view id(token.id);
-  std::size_t pos = 0;
-  while ((pos = line.find(id, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-    const std::size_t end = pos + id.size();
-    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) {
-      if (!token.call_like) return true;
-      std::size_t j = end;
-      while (j < line.size() &&
-             (line[j] == ' ' || line[j] == '\t')) {
-        ++j;
-      }
-      if (j < line.size() && line[j] == '(') return true;
-    }
-    pos = end;
-  }
-  return false;
-}
-
 // Extracts the quoted path of an `#include "..."` directive, if any. The
 // directive prefix is matched against the code view (so commented-out
 // includes do not count) while the payload comes from the raw line (the
 // code view blanks string literals).
-bool parse_quoted_include(const std::string& code_line,
-                          const std::string& raw_line, std::string* out) {
+bool parse_include_directive(const std::string& code_line,
+                             const std::string& raw_line, std::string* out,
+                             bool* angled) {
   std::size_t i = 0;
   while (i < code_line.size() &&
          (code_line[i] == ' ' || code_line[i] == '\t')) {
@@ -417,16 +464,76 @@ bool parse_quoted_include(const std::string& code_line,
     ++i;
   }
   if (code_line.compare(i, 7, "include") != 0) return false;
-  const std::size_t open = raw_line.find('"', i + 7);
-  if (open == std::string::npos) return false;
-  const std::size_t close = raw_line.find('"', open + 1);
-  if (close == std::string::npos) return false;
-  *out = raw_line.substr(open + 1, close - open - 1);
-  return true;
+  const std::size_t quote = raw_line.find('"', i + 7);
+  const std::size_t open_angle = raw_line.find('<', i + 7);
+  if (quote != std::string::npos &&
+      (open_angle == std::string::npos || quote < open_angle)) {
+    const std::size_t close = raw_line.find('"', quote + 1);
+    if (close == std::string::npos) return false;
+    *out = raw_line.substr(quote + 1, close - quote - 1);
+    *angled = false;
+    return true;
+  }
+  if (open_angle != std::string::npos) {
+    const std::size_t close = raw_line.find('>', open_angle + 1);
+    if (close == std::string::npos) return false;
+    *out = raw_line.substr(open_angle + 1, close - open_angle - 1);
+    *angled = true;
+    return true;
+  }
+  return false;
+}
+
+// Replaces the include payload's delimiters in `raw_line` ("path" <-> <path>),
+// producing the --fix replacement line.
+std::string swap_include_delims(const std::string& raw_line,
+                                const std::string& path, bool to_angle) {
+  const std::string from =
+      to_angle ? "\"" + path + "\"" : "<" + path + ">";
+  const std::string to = to_angle ? "<" + path + ">" : "\"" + path + "\"";
+  const std::size_t pos = raw_line.find(from);
+  if (pos == std::string::npos) return "";
+  std::string fixed = raw_line;
+  fixed.replace(pos, from.size(), to);
+  return fixed;
+}
+
+// An identifier names a generator when "rng" appears as a full underscore-
+// delimited chunk: `rng`, `fault_rng`, `rng_`, `crash_rng_` — but not
+// `boring` or `wrongness`.
+bool is_rng_identifier(const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = name.find("rng", pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || name[pos - 1] == '_';
+    const std::size_t end = pos + 3;
+    const bool right_ok = end == name.size() || name[end] == '_';
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool tok_is(const Tok& t, const char* text) {
+  return t.text == text;
+}
+
+bool tok_punct(const Tok& t, char c) {
+  return t.kind == TokenKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+// Index of the ')' matching the '(' at `open`; tokens.size() if unmatched.
+std::size_t match_paren(const std::vector<Tok>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tok_punct(tokens[i], '(')) ++depth;
+    if (tok_punct(tokens[i], ')') && --depth == 0) return i;
+  }
+  return tokens.size();
 }
 
 // ---------------------------------------------------------------------------
-// NOLINT suppression.
+// NOLINT suppression: same-line NOLINT(...), NOLINTNEXTLINE(...), and
+// NOLINT-BEGIN/END block regions.
 // ---------------------------------------------------------------------------
 
 struct Suppression {
@@ -440,18 +547,44 @@ struct Suppression {
     }
     return false;
   }
+  // Canonical signature for BEGIN/END matching: END must repeat BEGIN's
+  // rule list (order-insensitive), exactly as clang-tidy requires.
+  std::string signature() const {
+    if (all) return "<all>";
+    std::vector<std::string> sorted = rules;
+    std::sort(sorted.begin(), sorted.end());
+    std::string sig;
+    for (const std::string& r : sorted) {
+      sig += r;
+      sig += ',';
+    }
+    return sig;
+  }
 };
 
-void parse_nolint(const std::string& raw_line, Suppression* same,
-                  Suppression* next) {
+struct LineSuppressions {
+  Suppression same;
+  Suppression next;
+  std::vector<Suppression> begins;  // block-begin markers on this line
+  std::vector<Suppression> ends;    // block-end markers on this line
+};
+
+void parse_nolint(const std::string& raw_line, LineSuppressions* out) {
   std::size_t pos = 0;
   while ((pos = raw_line.find("NOLINT", pos)) != std::string::npos) {
     std::size_t after = pos + 6;
-    Suppression* target = same;
+    enum class Kind { kSame, kNext, kBegin, kEnd } kind = Kind::kSame;
     if (raw_line.compare(after, 8, "NEXTLINE") == 0) {
-      target = next;
+      kind = Kind::kNext;
       after += 8;
+    } else if (raw_line.compare(after, 5, "BEGIN") == 0) {
+      kind = Kind::kBegin;
+      after += 5;
+    } else if (raw_line.compare(after, 3, "END") == 0) {
+      kind = Kind::kEnd;
+      after += 3;
     }
+    Suppression suppression;
     if (after < raw_line.size() && raw_line[after] == '(') {
       const std::size_t close = raw_line.find(')', after);
       std::string list = raw_line.substr(
@@ -463,12 +596,32 @@ void parse_nolint(const std::string& raw_line, Suppression* same,
         const auto first = item.find_first_not_of(" \t");
         const auto last = item.find_last_not_of(" \t");
         if (first != std::string::npos) {
-          target->rules.push_back(item.substr(first, last - first + 1));
+          suppression.rules.push_back(item.substr(first, last - first + 1));
         }
       }
-      if (target->rules.empty()) target->all = true;
+      if (suppression.rules.empty()) suppression.all = true;
     } else {
-      target->all = true;
+      suppression.all = true;
+    }
+    switch (kind) {
+      case Kind::kSame:
+        if (suppression.all) out->same.all = true;
+        for (std::string& r : suppression.rules) {
+          out->same.rules.push_back(std::move(r));
+        }
+        break;
+      case Kind::kNext:
+        if (suppression.all) out->next.all = true;
+        for (std::string& r : suppression.rules) {
+          out->next.rules.push_back(std::move(r));
+        }
+        break;
+      case Kind::kBegin:
+        out->begins.push_back(std::move(suppression));
+        break;
+      case Kind::kEnd:
+        out->ends.push_back(std::move(suppression));
+        break;
     }
     pos = after;
   }
@@ -480,40 +633,125 @@ void parse_nolint(const std::string& raw_line, Suppression* same,
 // scan_file
 // ---------------------------------------------------------------------------
 
+std::set<std::string> parse_contract_allowlist(std::string_view text) {
+  std::set<std::string> entries;
+  std::string line;
+  std::istringstream in{std::string(text)};
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    entries.insert(line.substr(first, last - first + 1));
+  }
+  return entries;
+}
+
 std::vector<Finding> scan_file(std::string_view path,
                                std::string_view contents) {
+  static const LintConfig kDefault;
+  return scan_file(path, contents, kDefault, nullptr);
+}
+
+std::vector<Finding> scan_file(std::string_view path,
+                               std::string_view contents,
+                               const LintConfig& config,
+                               std::set<std::string>* used_allowlist) {
   const FileScope scope = classify(path);
   const Views views = split_views(contents);
   const std::size_t lines = views.raw.size();
 
-  std::vector<Suppression> same(lines);
-  std::vector<Suppression> next(lines);
+  std::vector<LineSuppressions> sup(lines);
   for (std::size_t i = 0; i < lines; ++i) {
-    parse_nolint(views.raw[i], &same[i], &next[i]);
+    parse_nolint(views.raw[i], &sup[i]);
   }
-  auto suppressed = [&](std::size_t i, const std::string& rule) {
-    if (same[i].covers(rule)) return true;
-    return i > 0 && next[i - 1].active() && next[i - 1].covers(rule);
-  };
 
   std::vector<Finding> findings;
-  auto emit = [&](std::size_t i, const char* rule, std::string message) {
-    if (suppressed(i, rule)) return;
+  auto emit_raw = [&](std::size_t i, const char* rule, std::string message,
+                      std::string fixed_line = "") {
     for (const Finding& f : findings) {
       if (f.line == static_cast<int>(i) + 1 && f.rule == rule) return;
     }
     findings.push_back(Finding{std::string(path), static_cast<int>(i) + 1,
-                               rule, std::move(message)});
+                               rule, std::move(message),
+                               std::move(fixed_line)});
+  };
+
+  // Block regions: walk the lines once, maintaining the active block-begin
+  // stack; each line records the regions covering it. Unbalanced or
+  // mismatched markers are findings in their own right (never suppressible —
+  // a broken suppression must not be able to hide itself).
+  std::vector<std::vector<Suppression>> blocks(lines);
+  {
+    std::vector<std::pair<Suppression, std::size_t>> stack;
+    for (std::size_t i = 0; i < lines; ++i) {
+      for (const Suppression& begin : sup[i].begins) {
+        stack.emplace_back(begin, i);
+      }
+      for (const auto& [active, line] : stack) {
+        (void)line;
+        blocks[i].push_back(active);
+      }
+      for (const Suppression& end : sup[i].ends) {
+        // The marker names below are split mid-word so this file's own
+        // messages never parse as markers when the lint scans itself.
+        if (stack.empty()) {
+          emit_raw(i, "staleload-nolint-unbalanced",
+                   "NOLIN" "TEND without a matching NOLIN" "TBEGIN");
+          continue;
+        }
+        if (stack.back().first.signature() != end.signature()) {
+          emit_raw(i, "staleload-nolint-unbalanced",
+                   "NOLIN" "TEND rule list does not match the NOLIN"
+                   "TBEGIN on line " +
+                       std::to_string(stack.back().second + 1) +
+                       "; END must repeat BEGIN's rules exactly");
+        }
+        stack.pop_back();
+      }
+    }
+    for (const auto& [begin, line] : stack) {
+      (void)begin;
+      emit_raw(line, "staleload-nolint-unbalanced",
+               "NOLIN" "TBEGIN never closed by a NOLIN"
+               "TEND before end of file");
+    }
+  }
+
+  auto suppressed = [&](std::size_t i, const std::string& rule) {
+    if (i >= lines) return false;
+    if (sup[i].same.covers(rule) && sup[i].same.active()) return true;
+    if (i > 0 && sup[i - 1].next.active() && sup[i - 1].next.covers(rule)) {
+      return true;
+    }
+    for (const Suppression& block : blocks[i]) {
+      if (block.covers(rule)) return true;
+    }
+    return false;
+  };
+
+  auto emit = [&](std::size_t i, const char* rule, std::string message,
+                  std::string fixed_line = "") {
+    if (suppressed(i, rule)) return;
+    emit_raw(i, rule, std::move(message), std::move(fixed_line));
   };
 
   const bool d1 = in_simulation_scope(scope);
   const bool d2 = !is_sanctioned_rng_file(scope);
   const bool d3 = in_simulation_scope(scope);
   const bool d4 = in_host_state_scope(scope);
+  const bool t1 = scope.in_src && scope.module != "check";
+  const bool t2 = scope.in_src;
+  const bool r1 = in_rng_stream_scope(scope) && !is_sanctioned_rng_file(scope);
+  const bool r3 = (scope.in_src || scope.module == "tools") &&
+                  !is_sanctioned_rng_file(scope);
+  const bool c1 = in_contract_scope(scope) && scope.is_impl;
 
+  // ---- Line-oriented rules (H-family, includes). --------------------------
   for (std::size_t i = 0; i < lines; ++i) {
-    // H3 looks at the comment view, so it must run before the code-emptiness
-    // skip: annotation comments usually sit on comment-only lines.
+    // H3 looks at the comment view: annotation comments usually sit on
+    // comment-only lines.
     const std::string& comment = views.comment[i];
     for (const char* marker : {"TODO", "FIXME"}) {
       const std::size_t pos = comment.find(marker);
@@ -535,93 +773,71 @@ std::vector<Finding> scan_file(std::string_view path,
 
     const std::string& code = views.code[i];
     if (code.empty()) continue;
-    if (d1) {
-      for (const Token& t : kWallClockTokens) {
-        if (line_has_token(code, t)) {
-          emit(i, "staleload-d1-wall-clock",
-               std::string("wall-clock/host-time API `") + t.id +
-                   "` in simulation module `" + scope.module +
-                   "`; derive all time from the simulated clock");
-        }
-      }
-    }
-    if (d2) {
-      for (const Token& t : kRawRngTokens) {
-        if (line_has_token(code, t)) {
-          emit(i, "staleload-d2-raw-rng",
-               std::string("unsanctioned random source `") + t.id +
-                   "`; draw from sim::Rng (src/sim/rng.h) so runs stay "
-                   "seed-reproducible and platform-pinned");
-        }
-      }
-    }
-    if (d3) {
-      for (const Token& t : kUnorderedTokens) {
-        if (line_has_token(code, t)) {
-          emit(i, "staleload-d3-unordered-iteration",
-               std::string("unordered container `") + t.id +
-                   "` in simulation module `" + scope.module +
-                   "`; iteration order is hash-dependent and can leak into "
-                   "reported results — use a sorted container");
-        }
-      }
-    }
-    if (d4) {
-      for (const Token& t : kHostStateTokens) {
-        if (line_has_token(code, t)) {
-          emit(i, "staleload-d4-host-state",
-               std::string("host-state access `") + t.id +
-                   "` in module `" + scope.module +
-                   "`; layers below the driver must be pure functions of "
-                   "(config, seed)");
-        }
-      }
-    }
 
     std::string include_path;
-    if (parse_quoted_include(code, views.raw[i], &include_path)) {
-      if (include_path.find("..") != std::string::npos) {
-        emit(i, "staleload-l2-include-form",
-             "relative include \"" + include_path +
-                 "\"; include project headers as \"module/file.h\"");
-      } else if (scope.in_src) {
-        const auto slash = include_path.find('/');
-        if (slash == std::string::npos) {
+    bool angled = false;
+    if (parse_include_directive(code, views.raw[i], &include_path, &angled)) {
+      if (!angled) {
+        if (include_path.find("..") != std::string::npos) {
           emit(i, "staleload-l2-include-form",
-               "unqualified include \"" + include_path +
-                   "\"; src/ headers are included as \"module/file.h\"");
-        } else {
-          const std::string target = include_path.substr(0, slash);
-          const auto& dag = layer_dag();
-          const auto mod = dag.find(scope.module);
-          if (mod == dag.end()) {
-            emit(i, "staleload-l1-layering",
-                 "module `" + scope.module +
-                     "` is not declared in the layer DAG; add it to "
-                     "layer_dag() in tools/lint/lint.cpp");
-          } else if (dag.count(target) > 0 &&
-                     mod->second.count(target) == 0) {
-            std::string allowed;
-            for (const std::string& m : mod->second) {
-              if (!allowed.empty()) allowed += ", ";
-              allowed += m;
+               "relative include \"" + include_path +
+                   "\"; include project headers as \"module/file.h\"");
+        } else if (include_path.find('/') == std::string::npos &&
+                   std_headers().count(include_path) > 0) {
+          emit(i, "staleload-l2-include-form",
+               "standard header \"" + include_path +
+                   "\" included with quotes; standard headers use <" +
+                   include_path + ">",
+               swap_include_delims(views.raw[i], include_path,
+                                   /*to_angle=*/true));
+        } else if (scope.in_src) {
+          const auto slash = include_path.find('/');
+          if (slash == std::string::npos) {
+            emit(i, "staleload-l2-include-form",
+                 "unqualified include \"" + include_path +
+                     "\"; src/ headers are included as \"module/file.h\"");
+          } else {
+            const std::string target = include_path.substr(0, slash);
+            const auto& dag = layer_dag();
+            const auto mod = dag.find(scope.module);
+            if (mod == dag.end()) {
+              emit(i, "staleload-l1-layering",
+                   "module `" + scope.module +
+                       "` is not declared in the layer DAG; add it to "
+                       "layer_dag() in tools/lint/lint.cpp");
+            } else if (dag.count(target) > 0 &&
+                       mod->second.count(target) == 0) {
+              std::string allowed;
+              for (const std::string& m : mod->second) {
+                if (!allowed.empty()) allowed += ", ";
+                allowed += m;
+              }
+              emit(i, "staleload-l1-layering",
+                   "include \"" + include_path +
+                       "\" violates the layer DAG: `" + scope.module +
+                       "` may only include {" + allowed + "}");
+            } else if (dag.count(target) == 0) {
+              emit(i, "staleload-l1-layering",
+                   "include \"" + include_path + "\" targets `" + target +
+                       "`, which is not a declared src/ module");
             }
-            emit(i, "staleload-l1-layering",
-                 "include \"" + include_path + "\" violates the layer DAG: `" +
-                     scope.module + "` may only include {" + allowed + "}");
-          } else if (dag.count(target) == 0) {
-            emit(i, "staleload-l1-layering",
-                 "include \"" + include_path +
-                     "\" targets `" + target +
-                     "`, which is not a declared src/ module");
           }
         }
+      } else {
+        // Angle include: project headers (first path segment is a declared
+        // src/ module) belong in quotes — the angle form bypasses the
+        // layering scan on some toolchains and reads as a system header.
+        const auto slash = include_path.find('/');
+        if (slash != std::string::npos &&
+            layer_dag().count(include_path.substr(0, slash)) > 0) {
+          emit(i, "staleload-l2-include-form",
+               "project header <" + include_path +
+                   "> included with angle brackets; use \"" + include_path +
+                   "\"",
+               swap_include_delims(views.raw[i], include_path,
+                                   /*to_angle=*/false));
+        }
       }
-    }
-
-    if (scope.is_header && code.find("using namespace") != std::string::npos) {
-      emit(i, "staleload-h2-using-namespace",
-           "`using namespace` in a header leaks into every includer");
     }
   }
 
@@ -642,6 +858,512 @@ std::vector<Finding> scan_file(std::string_view path,
     }
   }
 
+  // ---- Token-oriented rules (D, T, R, C families). ------------------------
+  const std::vector<Tok> tokens = tokenize(views.code);
+  const ScopeMap scopes = build_scope_map(tokens);
+
+  auto next_is_call = [&](std::size_t i) {
+    return i + 1 < tokens.size() && tok_punct(tokens[i + 1], '(');
+  };
+  auto prev_is_std = [&](std::size_t i) {
+    return i >= 3 && tok_is(tokens[i - 3], "std") &&
+           tok_punct(tokens[i - 2], ':') && tok_punct(tokens[i - 1], ':');
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Tok& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const auto line = static_cast<std::size_t>(t.line);
+    if (d1) {
+      for (const BannedToken& b : kWallClockTokens) {
+        if (t.text == b.id && (!b.call_like || next_is_call(i))) {
+          emit(line, "staleload-d1-wall-clock",
+               std::string("wall-clock/host-time API `") + b.id +
+                   "` in simulation module `" + scope.module +
+                   "`; derive all time from the simulated clock");
+        }
+      }
+    }
+    if (d2) {
+      for (const BannedToken& b : kRawRngTokens) {
+        if (t.text == b.id && (!b.call_like || next_is_call(i))) {
+          emit(line, "staleload-d2-raw-rng",
+               std::string("unsanctioned random source `") + b.id +
+                   "`; draw from sim::Rng (src/sim/rng.h) so runs stay "
+                   "seed-reproducible and platform-pinned");
+        }
+      }
+    }
+    if (d3) {
+      for (const BannedToken& b : kUnorderedTokens) {
+        if (t.text == b.id) {
+          emit(line, "staleload-d3-unordered-iteration",
+               std::string("unordered container `") + b.id +
+                   "` in simulation module `" + scope.module +
+                   "`; iteration order is hash-dependent and can leak into "
+                   "reported results — use a sorted container");
+        }
+      }
+    }
+    if (d4) {
+      for (const BannedToken& b : kHostStateTokens) {
+        if (t.text == b.id && (!b.call_like || next_is_call(i))) {
+          emit(line, "staleload-d4-host-state",
+               std::string("host-state access `") + b.id +
+                   "` in module `" + scope.module +
+                   "`; layers below the driver must be pure functions of "
+                   "(config, seed)");
+        }
+      }
+    }
+    if (t1 && prev_is_std(i)) {
+      for (const char* raw : kRawSyncTokens) {
+        if (t.text == raw) {
+          emit(line, "staleload-t1-raw-mutex",
+               std::string("raw std::") + raw +
+                   " in src/; use the Clang-thread-safety-annotated "
+                   "check::Mutex / check::MutexLock / check::CondVar "
+                   "(src/check/sync.h) so -Wthread-safety can see the "
+                   "acquisition");
+        }
+      }
+    }
+    if (scope.is_header && tok_is(t, "using") && i + 1 < tokens.size() &&
+        tok_is(tokens[i + 1], "namespace")) {
+      emit(line, "staleload-h2-using-namespace",
+           "`using namespace` in a header leaks into every includer");
+    }
+  }
+
+  // ---- R1/R3: generator constructions. ------------------------------------
+  // Matches `Rng name(init)`, `Rng name{init}`, `Rng name = init;`, and the
+  // bare local `Rng name;`. Class-scope bare declarations are members
+  // (seeded in a constructor initializer list, where the split shows up as
+  // `name_(parent.split())` — not matched here); function declarations
+  // (`Rng split();`, `Rng make() { ... }`) are recognized by their trailing
+  // token and skipped.
+  if (r1 || r3) {
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (!tok_is(tokens[i], "Rng")) continue;
+      const Tok& name = tokens[i + 1];
+      if (name.kind != TokenKind::kIdentifier) continue;
+      if (i + 2 >= tokens.size()) continue;
+      const Tok& open = tokens[i + 2];
+      const auto line = static_cast<std::size_t>(tokens[i].line);
+      std::size_t init_begin = 0;
+      std::size_t init_end = 0;  // exclusive
+      if (tok_punct(open, '(')) {
+        const std::size_t close = match_paren(tokens, i + 2);
+        if (close >= tokens.size()) continue;
+        // `Rng f(...);` at class scope or `Rng f(...) {` anywhere is a
+        // function declaration/definition, not a construction.
+        const bool class_decl = scopes.in_class(i) && i + 2 < tokens.size();
+        const bool has_body =
+            close + 1 < tokens.size() && tok_punct(tokens[close + 1], '{');
+        if (has_body || (class_decl && close + 1 < tokens.size() &&
+                         tok_punct(tokens[close + 1], ';') &&
+                         close == i + 3)) {
+          // close == i+3 means empty parens: `Rng split();`.
+          continue;
+        }
+        if (has_body) continue;
+        init_begin = i + 3;
+        init_end = close;
+      } else if (tok_punct(open, '{')) {
+        const std::size_t close = match_brace(tokens, i + 2);
+        if (close >= tokens.size()) continue;
+        init_begin = i + 3;
+        init_end = close;
+      } else if (tok_punct(open, '=')) {
+        std::size_t j = i + 3;
+        while (j < tokens.size() && !tok_punct(tokens[j], ';')) ++j;
+        init_begin = i + 3;
+        init_end = j;
+      } else if (tok_punct(open, ';')) {
+        // Bare declaration: a function-scope local gets the fixed default
+        // seed — two of them silently share one stream.
+        if (r1 && !scopes.in_class(i)) {
+          emit(line, "staleload-r1-unsplit-stream",
+               "generator `" + name.text +
+                   "` default-constructed in module `" + scope.module +
+                   "`; derive it from a named split stream "
+                   "(parent.split() / sim::trial_seed)");
+        }
+        continue;
+      } else {
+        continue;
+      }
+
+      bool sanctioned = false;
+      bool entropy = false;
+      std::string entropy_token;
+      for (std::size_t j = init_begin; j < init_end; ++j) {
+        const Tok& it = tokens[j];
+        if (it.kind != TokenKind::kIdentifier) continue;
+        if (tok_is(it, "split") || tok_is(it, "trial_seed") ||
+            tok_is(it, "split_stream")) {
+          sanctioned = true;
+        }
+        if (tok_is(it, "reinterpret_cast") || tok_is(it, "uintptr_t") ||
+            tok_is(it, "intptr_t") || tok_is(it, "random_device") ||
+            tok_is(it, "getpid") ||
+            ((tok_is(it, "time") || tok_is(it, "clock")) &&
+             next_is_call(j))) {
+          entropy = true;
+          entropy_token = it.text;
+        }
+      }
+      if (r3 && entropy) {
+        emit(line, "staleload-r3-entropy-seed",
+             "generator `" + name.text + "` seeded from `" + entropy_token +
+                 "`; seeds enter through config/CLI so every run is "
+                 "reproducible from its reported seed");
+        continue;
+      }
+      if (r1 && !sanctioned) {
+        emit(line, "staleload-r1-unsplit-stream",
+             "generator `" + name.text + "` constructed in module `" +
+                 scope.module +
+                 "` without a named split stream; derive it via "
+                 "parent.split(), sim::trial_seed(), or split_stream()");
+      }
+    }
+  }
+
+  // ---- R2: generators captured by reference into parallel lambdas. --------
+  // A by-ref captured generator handed to the parallel runtime is one
+  // stream shared across workers — every statistic changes without failing
+  // any test except determinism. The rule targets exactly the lambdas that
+  // reach `parallel_for_each`/`submit`: inline lambda arguments, and named
+  // lambdas (`const auto work = [...]`) whose name is later passed as an
+  // argument to such a call. Other lambdas in the same file (per-trial
+  // callbacks that run on one worker) are out of scope.
+  {
+    const bool r2 = in_rng_stream_scope(scope) ||
+                    (scope.in_src && (scope.module == "driver" ||
+                                      scope.module == "runtime"));
+    // Argument spans of parallel calls, and bare-identifier arguments.
+    std::vector<std::pair<std::size_t, std::size_t>> parallel_spans;
+    std::set<std::string> passed_names;
+    if (r2) {
+      for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (!tok_is(tokens[i], "parallel_for_each") &&
+            !tok_is(tokens[i], "submit")) {
+          continue;
+        }
+        if (!tok_punct(tokens[i + 1], '(')) continue;
+        const std::size_t open = i + 1;
+        const std::size_t close = match_paren(tokens, open);
+        if (close >= tokens.size()) continue;
+        parallel_spans.emplace_back(open, close);
+        int depth = 0;
+        for (std::size_t j = open; j < close; ++j) {
+          if (tok_punct(tokens[j], '(') || tok_punct(tokens[j], '[') ||
+              tok_punct(tokens[j], '{')) {
+            ++depth;
+          }
+          if (tok_punct(tokens[j], ')') || tok_punct(tokens[j], ']') ||
+              tok_punct(tokens[j], '}')) {
+            --depth;
+          }
+          if (depth != 1) continue;
+          if (tokens[j].kind != TokenKind::kIdentifier) continue;
+          const bool arg_start =
+              j == open + 1 || tok_punct(tokens[j - 1], ',') ||
+              tok_punct(tokens[j - 1], '(');
+          const bool arg_end =
+              j + 1 == close || tok_punct(tokens[j + 1], ',') ||
+              tok_punct(tokens[j + 1], ')');
+          if (arg_start && arg_end) passed_names.insert(tokens[j].text);
+        }
+      }
+    }
+    if (r2 && (!parallel_spans.empty() || !passed_names.empty())) {
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (!tok_punct(tokens[i], '[')) continue;
+        // Expression-position '[': not a subscript (prev is ident/]/)) and
+        // not an attribute ('[[').
+        if (i > 0) {
+          const Tok& prev = tokens[i - 1];
+          if (prev.kind == TokenKind::kIdentifier ||
+              prev.kind == TokenKind::kNumber || tok_punct(prev, ']') ||
+              tok_punct(prev, ')') || tok_punct(prev, '[')) {
+            continue;
+          }
+        }
+        if (i + 1 < tokens.size() && tok_punct(tokens[i + 1], '[')) continue;
+        // Does this lambda reach a parallel call? Either it sits inside a
+        // parallel call's argument list, or it initializes a declaration
+        // (`name = [...]`) whose name is passed to one.
+        bool reaches_parallel = false;
+        for (const auto& [open, end] : parallel_spans) {
+          if (i > open && i < end) reaches_parallel = true;
+        }
+        if (!reaches_parallel && i >= 2 && tok_punct(tokens[i - 1], '=') &&
+            tokens[i - 2].kind == TokenKind::kIdentifier &&
+            passed_names.count(tokens[i - 2].text) > 0) {
+          reaches_parallel = true;
+        }
+        if (!reaches_parallel) continue;
+        // Capture list to the matching ']'.
+        std::size_t close = i + 1;
+        int depth = 1;
+        while (close < tokens.size() && depth > 0) {
+          if (tok_punct(tokens[close], '[')) ++depth;
+          if (tok_punct(tokens[close], ']')) --depth;
+          if (depth == 0) break;
+          ++close;
+        }
+        if (close >= tokens.size()) continue;
+        bool default_ref_capture = false;
+        for (std::size_t j = i + 1; j < close; ++j) {
+          if (!tok_punct(tokens[j], '&')) continue;
+          const bool at_element_start =
+              j == i + 1 || tok_punct(tokens[j - 1], ',');
+          if (!at_element_start) continue;
+          if (j + 1 >= close || tok_punct(tokens[j + 1], ',')) {
+            default_ref_capture = true;
+            continue;
+          }
+          const Tok& captured = tokens[j + 1];
+          if (captured.kind == TokenKind::kIdentifier &&
+              is_rng_identifier(captured.text)) {
+            emit(static_cast<std::size_t>(captured.line),
+                 "staleload-r2-shared-stream-capture",
+                 "generator `" + captured.text +
+                     "` captured by reference into a lambda in a "
+                     "parallel_for_each/thread-pool file; one stream shared "
+                     "across workers changes every herd statistic — give "
+                     "each worker its own split stream");
+          }
+        }
+        // Default-&: scan the body for generator identifiers that were not
+        // declared inside the lambda itself.
+        if (!default_ref_capture) continue;
+        std::size_t body_open = close + 1;
+        if (body_open < tokens.size() && tok_punct(tokens[body_open], '(')) {
+          body_open = match_paren(tokens, body_open) + 1;
+        }
+        while (body_open < tokens.size() &&
+               !tok_punct(tokens[body_open], '{') &&
+               !tok_punct(tokens[body_open], ';')) {
+          ++body_open;
+        }
+        if (body_open >= tokens.size() || !tok_punct(tokens[body_open], '{')) {
+          continue;
+        }
+        const std::size_t body_close = match_brace(tokens, body_open);
+        std::set<std::string> declared;
+        for (std::size_t j = body_open + 1; j < body_close; ++j) {
+          const Tok& bt = tokens[j];
+          if (bt.kind != TokenKind::kIdentifier) continue;
+          if (j > 0 && tok_is(tokens[j - 1], "Rng")) {
+            declared.insert(bt.text);
+            continue;
+          }
+          if (is_rng_identifier(bt.text) && declared.count(bt.text) == 0) {
+            emit(static_cast<std::size_t>(bt.line),
+                 "staleload-r2-shared-stream-capture",
+                 "generator `" + bt.text +
+                     "` reaches this [&] lambda from the enclosing scope in "
+                     "a parallel_for_each/thread-pool file; one stream "
+                     "shared across workers changes every herd statistic — "
+                     "split a per-worker stream instead");
+          }
+        }
+      }
+    }
+  }
+
+  // ---- T2: members adjacent to a mutex must be annotated. -----------------
+  // Convention: members a mutex does not guard go before it; the mutex and
+  // everything it guards go last, each guarded member carrying
+  // STALE_GUARDED_BY/STALE_PT_GUARDED_BY. The rule enforces the second half:
+  // every data member declared after a mutex member in the same class body
+  // is annotated (sync primitives and functions are exempt).
+  if (t2) {
+    for (std::size_t s = 1; s < scopes.scopes.size(); ++s) {
+      const Scope& cls = scopes.scopes[s];
+      if (cls.kind != ScopeKind::kClass) continue;
+      bool mutex_seen = false;
+      std::vector<std::size_t> stmt;  // token indices of the current statement
+      for (std::size_t i = cls.open + 1; i < cls.close && i < tokens.size();
+           ++i) {
+        if (scopes.scope_of[i] != s) {
+          // Nested scope (inline method body, nested class, brace init):
+          // jump past it. The statement keeps accumulating — an inline
+          // method's `{...}` body reads as a paren-carrying statement and
+          // is classified as a function below.
+          const Scope& inner = scopes.scopes[scopes.scope_of[i]];
+          i = inner.close;
+          if (!stmt.empty() &&
+              std::none_of(stmt.begin(), stmt.end(), [&](std::size_t k) {
+                return tok_punct(tokens[k], '(');
+              })) {
+            // Brace-init data member (`std::atomic<int> x{0};`): keep going,
+            // the ';' closes the statement.
+            continue;
+          }
+          // Function definition body consumed: statement complete.
+          stmt.clear();
+          continue;
+        }
+        if (tok_punct(tokens[i], ';')) {
+          // Classify the finished statement.
+          std::size_t b = 0;
+          // Access specifiers are separate `ident ':'` fragments that end up
+          // glued to the next statement; strip them.
+          while (b + 1 < stmt.size() &&
+                 (tok_is(tokens[stmt[b]], "public") ||
+                  tok_is(tokens[stmt[b]], "private") ||
+                  tok_is(tokens[stmt[b]], "protected")) &&
+                 tok_punct(tokens[stmt[b + 1]], ':')) {
+            b += 2;
+          }
+          std::vector<std::size_t> body(stmt.begin() + static_cast<long>(b),
+                                        stmt.end());
+          stmt.clear();
+          if (body.empty()) continue;
+          const Tok& first = tokens[body.front()];
+          if (tok_is(first, "using") || tok_is(first, "typedef") ||
+              tok_is(first, "friend") || tok_is(first, "static") ||
+              tok_is(first, "enum") || tok_is(first, "struct") ||
+              tok_is(first, "class") || tok_is(first, "template")) {
+            continue;
+          }
+          bool annotated = false;
+          bool is_sync_member = false;
+          bool has_toplevel_paren = false;
+          int angle_depth = 0;
+          for (std::size_t k = 0; k < body.size(); ++k) {
+            const Tok& bt = tokens[body[k]];
+            if (bt.kind == TokenKind::kIdentifier) {
+              if (bt.text == "STALE_GUARDED_BY" ||
+                  bt.text == "STALE_PT_GUARDED_BY") {
+                annotated = true;
+              }
+              if (bt.text == "Mutex" || bt.text == "CondVar" ||
+                  bt.text == "Serial" || bt.text == "mutex" ||
+                  bt.text == "condition_variable" ||
+                  bt.text == "condition_variable_any") {
+                is_sync_member = true;
+              }
+              continue;
+            }
+            if (tok_punct(bt, '<') && k > 0 &&
+                tokens[body[k - 1]].kind == TokenKind::kIdentifier) {
+              ++angle_depth;
+              continue;
+            }
+            if (tok_punct(bt, '>') && angle_depth > 0 &&
+                !(k > 0 && tok_punct(tokens[body[k - 1]], '-'))) {
+              --angle_depth;
+              continue;
+            }
+            if (tok_punct(bt, '(') && angle_depth == 0 && !annotated) {
+              has_toplevel_paren = true;
+            }
+          }
+          if (annotated) continue;  // guarded; satisfied by construction
+          if (is_sync_member) {
+            mutex_seen = true;
+            continue;
+          }
+          if (has_toplevel_paren) continue;  // function declaration
+          if (!mutex_seen) continue;
+          // Data member after the mutex without an annotation.
+          std::string member;
+          for (std::size_t k = body.size(); k > 0; --k) {
+            const Tok& bt = tokens[body[k - 1]];
+            if (bt.kind == TokenKind::kIdentifier) {
+              member = bt.text;
+              break;
+            }
+            if (tok_punct(bt, '=')) continue;
+          }
+          // Name the member by the identifier before '=' / end.
+          for (std::size_t k = 0; k + 1 < body.size(); ++k) {
+            if (tok_punct(tokens[body[k + 1]], '=')) {
+              if (tokens[body[k]].kind == TokenKind::kIdentifier) {
+                member = tokens[body[k]].text;
+              }
+              break;
+            }
+          }
+          emit(static_cast<std::size_t>(first.line),
+               "staleload-t2-unguarded-member",
+               "member `" + member + "` of `" +
+                   (cls.name.empty() ? std::string("<anonymous>") : cls.name) +
+                   "` is declared after a mutex but carries no "
+                   "STALE_GUARDED_BY/STALE_PT_GUARDED_BY; annotate it (or "
+                   "move members the mutex does not guard above the mutex)");
+          continue;
+        }
+        stmt.push_back(i);
+      }
+    }
+  }
+
+  // ---- C1: contract coverage of out-of-line mutating methods. -------------
+  if (c1) {
+    for (std::size_t i = 4; i < tokens.size(); ++i) {
+      if (!tok_punct(tokens[i], '(')) continue;
+      const Tok& method = tokens[i - 1];
+      if (method.kind != TokenKind::kIdentifier) continue;
+      if (!tok_punct(tokens[i - 2], ':') || !tok_punct(tokens[i - 3], ':')) {
+        continue;
+      }
+      const Tok& klass = tokens[i - 4];
+      if (klass.kind != TokenKind::kIdentifier) continue;
+      if (klass.text == method.text) continue;  // constructor
+      if (tok_is(method, "operator")) continue;
+      const std::size_t close = match_paren(tokens, i);
+      if (close >= tokens.size()) continue;
+      // Qualifier scan between ')' and the body '{'. A const method, a
+      // declaration (';'), a constructor initializer (':'), or anything
+      // unexpected ends the match.
+      bool is_const = false;
+      std::size_t body_open = tokens.size();
+      for (std::size_t j = close + 1; j < tokens.size(); ++j) {
+        const Tok& q = tokens[j];
+        if (q.kind == TokenKind::kIdentifier) {
+          if (tok_is(q, "const")) is_const = true;
+          continue;  // noexcept, override, final, ...
+        }
+        if (tok_punct(q, '{')) {
+          body_open = j;
+        }
+        break;
+      }
+      if (is_const || body_open >= tokens.size()) continue;
+      const std::size_t body_close = match_brace(tokens, body_open);
+      bool has_contract = false;
+      for (std::size_t j = body_open + 1; j < body_close; ++j) {
+        const Tok& bt = tokens[j];
+        if (bt.kind != TokenKind::kIdentifier) continue;
+        if (tok_is(bt, "STALE_ASSERT") || tok_is(bt, "STALE_DCHECK") ||
+            tok_is(bt, "STALE_AUDIT")) {
+          has_contract = true;
+          break;
+        }
+      }
+      if (has_contract) continue;
+      const std::string key =
+          scope.module + "/" + klass.text + "::" + method.text;
+      if (config.contract_allowlist.count(key) > 0) {
+        if (used_allowlist != nullptr) used_allowlist->insert(key);
+        continue;
+      }
+      emit(static_cast<std::size_t>(klass.line),
+           "staleload-c1-contract-coverage",
+           "mutating method `" + klass.text + "::" + method.text +
+               "` in module `" + scope.module +
+               "` carries no STALE_ASSERT/STALE_DCHECK/STALE_AUDIT contract "
+               "hook; add one or register `" + key +
+               "` in tools/lint/contract_allowlist.txt");
+    }
+  }
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
@@ -651,12 +1373,24 @@ std::vector<Finding> scan_file(std::string_view path,
 }
 
 // ---------------------------------------------------------------------------
-// scan_tree / to_json
+// scan_tree / apply_fixes / to_json / to_sarif
 // ---------------------------------------------------------------------------
 
-ScanResult scan_tree(const std::vector<std::string>& roots) {
+ScanResult scan_tree(const std::vector<std::string>& roots,
+                     const std::string& allowlist_path) {
   namespace fs = std::filesystem;
   ScanResult result;
+
+  LintConfig config;
+  if (!allowlist_path.empty()) {
+    std::ifstream in(allowlist_path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      config.contract_allowlist = parse_contract_allowlist(buffer.str());
+    }
+  }
+
   static const std::set<std::string> kExtensions = {".h", ".hpp", ".cc",
                                                     ".cpp", ".cxx"};
   std::vector<std::string> files;
@@ -695,6 +1429,7 @@ ScanResult scan_tree(const std::vector<std::string>& roots) {
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::set<std::string> used_allowlist;
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -705,47 +1440,209 @@ ScanResult scan_tree(const std::vector<std::string>& roots) {
     buffer << in.rdbuf();
     const std::string contents = buffer.str();
     ++result.files_scanned;
-    std::vector<Finding> found = scan_file(file, contents);
+    std::vector<Finding> found =
+        scan_file(file, contents, config, &used_allowlist);
     result.findings.insert(result.findings.end(),
                            std::make_move_iterator(found.begin()),
                            std::make_move_iterator(found.end()));
   }
+  // C2: every allowlist entry must still exempt something; stale entries
+  // mean either the method gained a contract (delete the entry) or it was
+  // renamed (the rename dodged the exemption).
+  for (const std::string& entry : config.contract_allowlist) {
+    if (used_allowlist.count(entry) > 0) continue;
+    result.findings.push_back(Finding{
+        allowlist_path, 1, "staleload-c2-stale-allowlist",
+        "allowlist entry `" + entry +
+            "` matches no uncovered method; delete it (the method gained a "
+            "contract hook or was renamed)",
+        ""});
+  }
   return result;
 }
 
-std::string to_json(const std::vector<Finding>& findings) {
-  auto escape = [](const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out.push_back(c);
-          }
-      }
+int apply_fixes(const std::vector<Finding>& findings,
+                std::vector<std::string>* errors) {
+  std::map<std::string, std::map<int, std::string>> per_file;
+  for (const Finding& f : findings) {
+    if (f.has_fix()) per_file[f.file][f.line] = f.fixed_line;
+  }
+  int applied = 0;
+  for (const auto& [file, fixes] : per_file) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      if (errors != nullptr) errors->push_back(file + ": unreadable");
+      continue;
     }
-    return out;
+    std::vector<std::string> file_lines;
+    std::string line;
+    while (std::getline(in, line)) file_lines.push_back(line);
+    in.close();
+    bool changed = false;
+    for (const auto& [lineno, replacement] : fixes) {
+      if (lineno < 1 || static_cast<std::size_t>(lineno) > file_lines.size()) {
+        if (errors != nullptr) {
+          errors->push_back(file + ": fix line " + std::to_string(lineno) +
+                            " out of range");
+        }
+        continue;
+      }
+      file_lines[static_cast<std::size_t>(lineno) - 1] = replacement;
+      changed = true;
+      ++applied;
+    }
+    if (!changed) continue;
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (errors != nullptr) errors->push_back(file + ": unwritable");
+      continue;
+    }
+    for (const std::string& l : file_lines) out << l << '\n';
+  }
+  return applied;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// One-line rule descriptions for the SARIF reportingDescriptor table.
+const std::map<std::string, std::string>& rule_descriptions() {
+  static const std::map<std::string, std::string> kRules = {
+      {"staleload-d1-wall-clock",
+       "No wall-clock/host-time APIs in simulation modules"},
+      {"staleload-d2-raw-rng",
+       "All randomness flows through the sanctioned sim::Rng engine"},
+      {"staleload-d3-unordered-iteration",
+       "No unordered containers in result-feeding layers"},
+      {"staleload-d4-host-state",
+       "No host-state reads below the driver layer"},
+      {"staleload-l1-layering",
+       "#include edges follow the declared module DAG"},
+      {"staleload-l2-include-form",
+       "Project includes are quoted and module-qualified; standard headers "
+       "are angle-bracketed"},
+      {"staleload-h1-include-guard", "Headers open with an include guard"},
+      {"staleload-h2-using-namespace", "No using namespace in headers"},
+      {"staleload-h3-todo-ref",
+       "TODO/FIXME annotations carry an owner or issue reference"},
+      {"staleload-r1-unsplit-stream",
+       "Generators in simulation modules derive from named split streams"},
+      {"staleload-r2-shared-stream-capture",
+       "No generator is captured by reference into a parallel lambda"},
+      {"staleload-r3-entropy-seed",
+       "No generator is seeded from pointers, wall time, or random_device"},
+      {"staleload-t1-raw-mutex",
+       "src/ synchronizes through the annotated check::Mutex primitives"},
+      {"staleload-t2-unguarded-member",
+       "Members declared after a mutex carry STALE_GUARDED_BY"},
+      {"staleload-c1-contract-coverage",
+       "Mutating sim/queueing/loadinfo methods carry a contract hook or an "
+       "allowlist entry"},
+      {"staleload-c2-stale-allowlist",
+       "Contract allowlist entries must still exempt something"},
+      {"staleload-nolint-unbalanced",
+       "NOLIN" "TBEGIN/NOLIN" "TEND markers are balanced and matched"},
   };
+  return kRules;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings) {
   std::ostringstream os;
   os << "[";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     if (i > 0) os << ",";
-    os << "\n  {\"file\": \"" << escape(f.file) << "\", \"line\": " << f.line
-       << ", \"rule\": \"" << escape(f.rule) << "\", \"message\": \""
-       << escape(f.message) << "\"}";
+    os << "\n  {\"file\": \"" << json_escape(f.file)
+       << "\", \"line\": " << f.line << ", \"rule\": \""
+       << json_escape(f.rule) << "\", \"message\": \""
+       << json_escape(f.message) << "\"}";
   }
   if (!findings.empty()) os << "\n";
   os << "]\n";
+  return os.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  // Rules present in this run (GitHub cross-references results by ruleId).
+  std::set<std::string> present;
+  for (const Finding& f : findings) present.insert(f.rule);
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"staleload_lint\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/staleload/tools/lint\",\n"
+     << "          \"rules\": [";
+  bool first = true;
+  for (const std::string& rule : present) {
+    if (!first) os << ",";
+    first = false;
+    const auto it = rule_descriptions().find(rule);
+    const std::string desc =
+        it != rule_descriptions().end() ? it->second : rule;
+    os << "\n            {\"id\": \"" << json_escape(rule)
+       << "\", \"shortDescription\": {\"text\": \"" << json_escape(desc)
+       << "\"}}";
+  }
+  if (!present.empty()) os << "\n          ";
+  os << "]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) os << ",";
+    os << "\n        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << json_escape(f.message)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"},\n"
+       << "                \"region\": {\"startLine\": " << f.line << "}\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }";
+  }
+  if (!findings.empty()) os << "\n      ";
+  os << "]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
   return os.str();
 }
 

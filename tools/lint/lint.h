@@ -1,7 +1,7 @@
 // staleload_lint — repo-specific static analysis for the staleload codebase.
 //
-// Three rule families, all motivated by what the paper reproduction depends
-// on (see DESIGN.md §11 for the full catalog):
+// Six rule families, all motivated by what the paper reproduction depends
+// on (see DESIGN.md §11 and §16 for the full catalog):
 //
 //   D-rules (determinism): simulation layers must not read wall clocks, host
 //     state, or unsanctioned randomness, and must not iterate unordered
@@ -10,18 +10,44 @@
 //   L-rules (layering): `#include` edges between src/ modules must follow
 //     the declared DAG (check → sim/runtime → queueing/core/workload/
 //     analysis → loadinfo/policy → fault → driver); project includes are
-//     module-qualified and never relative.
+//     module-qualified, quoted, and never relative; standard headers are
+//     angle-bracketed. L2 findings carry machine-applicable fixes
+//     (`--fix` / `--fix --apply` in the CLI).
 //   H-rules (header hygiene): headers open with an include guard, never
 //     `using namespace`, and TODO(owner)/FIXME(#issue) annotations always
 //     carry that owner or issue reference.
+//   R-rules (RNG-stream discipline): every generator constructed in a
+//     simulation module must originate from a named split stream
+//     (`.split()` / `trial_seed()` / `split_stream()`), no generator may be
+//     captured by reference into a `parallel_for_each`/thread-pool lambda
+//     (one stream shared across parallel trials silently changes every
+//     herd-effect statistic), and nothing may seed from pointers, wall
+//     time, or `std::random_device` outside the sanctioned engine.
+//   T-rules (thread-safety capabilities): src/ code synchronizes through
+//     the Clang-annotated primitives in src/check/sync.h (never raw
+//     std::mutex, which `-Wthread-safety` cannot see through), and any
+//     data member declared after a mutex member in the same class body
+//     must carry STALE_GUARDED_BY/STALE_PT_GUARDED_BY (convention:
+//     unguarded members go before the mutex, the mutex and its data last).
+//   C-rules (contract coverage): non-const out-of-line methods in the
+//     sim/queueing/loadinfo modules must contain a STALE_ASSERT /
+//     STALE_DCHECK / STALE_AUDIT contract hook or be listed in the
+//     intentional-exemption allowlist (tools/lint/contract_allowlist.txt);
+//     allowlist entries that no longer match any method are themselves
+//     findings, so the exemption file cannot rot.
 //
 // Findings are suppressible inline with `// NOLINT(staleload-<rule>)` on the
-// offending line or `// NOLINTNEXTLINE(staleload-<rule>)` on the line above;
-// a bare `NOLINT` or the family tag `NOLINT(staleload)` suppresses every
-// staleload rule on that line. Comments and string literals are stripped
-// before the D/L rules run, so prose about `mt19937` never trips them.
+// offending line, `// NOLINTNEXTLINE(staleload-<rule>)` on the line above,
+// or a `// NOLINTBEGIN(staleload-<rule>)` ... `// NOLINTEND(staleload-<rule>)`
+// region (END must repeat BEGIN's rule list; unbalanced or mismatched
+// markers are reported as staleload-nolint-unbalanced, which is never
+// suppressible). A bare `NOLINT` or the family tag `NOLINT(staleload)`
+// suppresses every staleload rule. Comments and string literals are
+// stripped before the code rules run, so prose about `mt19937` never trips
+// them.
 #pragma once
 
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,14 +59,37 @@ struct Finding {
   int line = 0;         // 1-based
   std::string rule;     // e.g. "staleload-d2-raw-rng"
   std::string message;
+  // Machine-applicable fix: when non-empty, replacing the raw source line
+  // (1-based `line`) with `fixed_line` resolves the finding. Only L2
+  // include-form findings carry fixes today.
+  std::string fixed_line;
+  bool has_fix() const { return !fixed_line.empty(); }
 };
+
+// Cross-file rule configuration. Default-constructed, every rule runs with
+// an empty allowlist; scan_tree loads the committed allowlist when given a
+// root that contains tools/lint/contract_allowlist.txt.
+struct LintConfig {
+  // C1 exemptions, one per line in the file: `module/Class::method`
+  // (e.g. "queueing/Cluster::reset"). '#' starts a comment.
+  std::set<std::string> contract_allowlist;
+};
+
+// Parses allowlist text (the contents of contract_allowlist.txt).
+std::set<std::string> parse_contract_allowlist(std::string_view text);
 
 // Scans one file. `path` decides which rule scopes apply: the module is the
 // directory component after `src/` ("src/sim/foo.cpp" → module `sim`), and
 // files under tools/, bench/, tests/, examples/ are outside the simulation
 // scopes (H-rules and the relative-include check still apply everywhere).
 // `contents` is the file body; it is never read from disk here, so tests can
-// scan fixture text under a virtual path.
+// scan fixture text under a virtual path. `used_allowlist`, when non-null,
+// collects the allowlist entries that matched a method in this file (for
+// the stale-allowlist check).
+std::vector<Finding> scan_file(std::string_view path,
+                               std::string_view contents,
+                               const LintConfig& config,
+                               std::set<std::string>* used_allowlist = nullptr);
 std::vector<Finding> scan_file(std::string_view path,
                                std::string_view contents);
 
@@ -52,10 +101,25 @@ struct ScanResult {
 
 // Recursively scans C++ sources (.h/.hpp/.cc/.cpp/.cxx) under `roots`.
 // Directories named "build*", ".git", or "lint_fixtures" (deliberately
-// rule-violating test inputs) are skipped.
-ScanResult scan_tree(const std::vector<std::string>& roots);
+// rule-violating test inputs) are skipped. When `allowlist_path` is
+// non-empty and readable, its entries configure C1 and any entry that
+// matched no method across the whole tree is reported as
+// staleload-c2-stale-allowlist against that file.
+ScanResult scan_tree(const std::vector<std::string>& roots,
+                     const std::string& allowlist_path = "");
+
+// Applies the fixes carried by `findings` to the files on disk (grouped per
+// file, replacing whole lines). Returns the number of lines rewritten;
+// appends per-file errors to `errors`.
+int apply_fixes(const std::vector<Finding>& findings,
+                std::vector<std::string>* errors);
 
 // Findings as a JSON array of {file, line, rule, message} objects.
 std::string to_json(const std::vector<Finding>& findings);
+
+// Findings as a SARIF 2.1.0 log (one run, tool "staleload_lint"), the
+// format GitHub code scanning ingests. Every distinct rule id becomes a
+// reportingDescriptor; results carry level "error" and physical locations.
+std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace stale::lint

@@ -1,10 +1,15 @@
 // Command-line driver for the staleload lint (see lint.h for the rules).
 //
-// Usage: staleload_lint [--json] [--root DIR] [paths...]
+// Usage: staleload_lint [--json|--sarif] [--fix [--apply]] [--root DIR]
+//                       [paths...]
 //
 // Paths default to the five source trees (src tools bench tests examples)
-// and are resolved relative to --root (default: current directory). Exits 0
-// when clean, 1 when findings were reported, 2 on usage or IO errors.
+// and are resolved relative to --root (default: current directory). The C1
+// contract allowlist is read from tools/lint/contract_allowlist.txt under
+// the root when present. `--fix` prints the machine-applicable rewrites
+// (L2 include-form normalizations) as a dry run; `--fix --apply` writes
+// them to disk. Exits 0 when clean, 1 when findings were reported, 2 on
+// usage or IO errors.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -14,12 +19,21 @@
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
+  bool fix = false;
+  bool apply = false;
   std::string root;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--apply") {
+      apply = true;
     } else if (arg == "--root") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "staleload_lint: --root needs a directory\n");
@@ -27,7 +41,9 @@ int main(int argc, char** argv) {
       }
       root = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: staleload_lint [--json] [--root DIR] [paths...]\n");
+      std::printf(
+          "usage: staleload_lint [--json|--sarif] [--fix [--apply]] "
+          "[--root DIR] [paths...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "staleload_lint: unknown flag %s\n", arg.c_str());
@@ -35,6 +51,14 @@ int main(int argc, char** argv) {
     } else {
       paths.push_back(arg);
     }
+  }
+  if (json && sarif) {
+    std::fprintf(stderr, "staleload_lint: --json and --sarif are exclusive\n");
+    return 2;
+  }
+  if (apply && !fix) {
+    std::fprintf(stderr, "staleload_lint: --apply requires --fix\n");
+    return 2;
   }
   if (!root.empty()) {
     std::error_code ec;
@@ -49,13 +73,48 @@ int main(int argc, char** argv) {
     paths = {"src", "tools", "bench", "tests", "examples"};
   }
 
-  const stale::lint::ScanResult result = stale::lint::scan_tree(paths);
+  std::string allowlist = "tools/lint/contract_allowlist.txt";
+  {
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(allowlist, ec)) allowlist.clear();
+  }
+
+  const stale::lint::ScanResult result =
+      stale::lint::scan_tree(paths, allowlist);
   for (const std::string& error : result.errors) {
     std::fprintf(stderr, "staleload_lint: %s\n", error.c_str());
   }
-  if (json) {
+  if (fix) {
+    int fixable = 0;
+    for (const stale::lint::Finding& f : result.findings) {
+      if (!f.has_fix()) continue;
+      ++fixable;
+      std::printf("%s:%d: [%s] fix:\n  - %s\n  + %s\n", f.file.c_str(),
+                  f.line, f.rule.c_str(), f.message.c_str(),
+                  f.fixed_line.c_str());
+    }
+    if (apply) {
+      std::vector<std::string> fix_errors;
+      const int applied = stale::lint::apply_fixes(result.findings,
+                                                   &fix_errors);
+      for (const std::string& error : fix_errors) {
+        std::fprintf(stderr, "staleload_lint: %s\n", error.c_str());
+      }
+      std::fprintf(stderr, "staleload_lint: applied %d fix%s\n", applied,
+                   applied == 1 ? "" : "es");
+      if (!fix_errors.empty()) return 2;
+    } else {
+      std::fprintf(stderr,
+                   "staleload_lint: %d fixable finding%s (dry run; pass "
+                   "--apply to write)\n",
+                   fixable, fixable == 1 ? "" : "s");
+    }
+  }
+  if (sarif) {
+    std::fputs(stale::lint::to_sarif(result.findings).c_str(), stdout);
+  } else if (json) {
     std::fputs(stale::lint::to_json(result.findings).c_str(), stdout);
-  } else {
+  } else if (!fix) {
     for (const stale::lint::Finding& f : result.findings) {
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                   f.message.c_str());

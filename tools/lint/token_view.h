@@ -1,0 +1,91 @@
+// Token-stream view of a C++ source file for the staleload lint.
+//
+// The v1 lint matched rule tokens against per-line "code views" (comments
+// and literals blanked out). That was enough for the D/L/H families, whose
+// findings are properties of a single line, but the v2 rule families reason
+// about *structure*: whether an `Rng` construction's initializer derives
+// from a split stream (R1), whether a lambda's capture list reaches an
+// enclosing generator (R2), which class body a member declaration belongs
+// to and whether a mutex precedes it (T2), and whether a method definition's
+// body contains a contract hook (C1). Those questions need real tokens with
+// positions, plus just enough scope tracking to know "which braces am I
+// inside" — not a full parser.
+//
+// `tokenize` lexes the comment-stripped code views produced by the line
+// splitter (so prose can never become a token) into identifiers, numbers,
+// and punctuators, each stamped with its 0-based line. `ScopeMap` then walks
+// the token stream once and labels every brace span as a class body, an
+// enum body, or "other" (function/namespace/initializer), giving the rules
+// O(1) "am I at class scope?" answers. The tracking is deliberately
+// lightweight: it matches braces exactly but classifies them heuristically
+// (a `class`/`struct` head followed by `{` before any `;`), which is
+// correct for this codebase's idiom and pinned by the self-test fixtures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stale::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (the lint does not distinguish)
+  kNumber,
+  kPunct,  // one punctuator character per token ('::' arrives as two ':')
+  kString,  // a blanked-out string/char literal ("" or '' in the code view)
+};
+
+struct Tok {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 0-based line index into the Views arrays
+};
+
+// Lexes the per-line code views (comments/literals already blanked) into a
+// flat token stream. String and char literals survive as kString markers so
+// the scope tracker can still see `'{'` is not a brace.
+std::vector<Tok> tokenize(const std::vector<std::string>& code_lines);
+
+enum class ScopeKind {
+  kTop,     // file scope
+  kClass,   // class/struct body
+  kEnum,    // enum body — members are not data members
+  kOther,   // function body, namespace, initializer list, lambda, ...
+};
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kOther;
+  std::size_t open = 0;   // token index of '{'
+  std::size_t close = 0;  // token index of matching '}' (or end of stream)
+  std::string name;       // class name for kClass scopes, else empty
+};
+
+// One pass over the token stream that matches every brace pair and
+// classifies it. `scope_of[i]` is the index (into `scopes`) of the
+// innermost scope containing token i; scopes[0] is the synthetic file
+// scope. Class-body detection: a `class`/`struct` token not preceded by
+// `enum` whose head reaches `{` before `;` or `(` (so forward declarations
+// and `struct`-returning function signatures stay non-scopes).
+struct ScopeMap {
+  std::vector<Scope> scopes;
+  std::vector<std::size_t> scope_of;  // parallel to the token stream
+
+  const Scope& at(std::size_t token_index) const {
+    return scopes[scope_of[token_index]];
+  }
+  bool in_class(std::size_t token_index) const {
+    return at(token_index).kind == ScopeKind::kClass;
+  }
+};
+
+ScopeMap build_scope_map(const std::vector<Tok>& tokens);
+
+// True for identifier characters (shared with the line-based matchers).
+bool lint_is_ident_char(char c);
+
+// Finds the token index of the '}' matching the '{' at `open` (tokens[open]
+// must be '{'); returns tokens.size() when unmatched.
+std::size_t match_brace(const std::vector<Tok>& tokens, std::size_t open);
+
+}  // namespace stale::lint
