@@ -16,7 +16,9 @@
 #include "core/ksubset_analysis.h"
 #include "core/load_interpretation.h"
 #include "core/sampler.h"
+#include "dispatch/dispatcher_set.h"
 #include "driver/experiment.h"
+#include "sim/distributions.h"
 #include "lint/lint.h"
 #include "policy/policy_factory.h"
 #include "sim/level_histogram.h"
@@ -149,6 +151,48 @@ BENCHMARK_CAPTURE(BM_LargeNDispatch, threshold_vector, "threshold:all:3",
 BENCHMARK_CAPTURE(BM_LargeNDispatch, threshold_bucketed, "threshold:all:3",
                   true)
     ->Arg(100'000);
+
+// Per-arrival cost of the multi-dispatcher hot path at n = 100'000 on the
+// bucketed representation: one Poisson-thinning draw, the D-board
+// interleaved sync (sync_all_to steps every dispatcher's pending refresh
+// boundaries in global time order), a bucketed basic_li decision against
+// the picked dispatcher's own board, and the cluster assignment. D = 1 is
+// the legacy single-board arrival cost; the D sweep prices the scale-out
+// overhead, which is the board fan-out (D refreshes per interval), not the
+// per-decision work.
+void BM_MultiDispatcherDispatch(benchmark::State& state) {
+  const int d_count = static_cast<int>(state.range(0));
+  constexpr int kServers = 100'000;
+  stale::sim::Rng rng(7);
+  stale::queueing::Cluster cluster(kServers);
+  cluster.enable_lazy_advance();  // the engine's own large-n configuration
+  stale::dispatch::DispatcherSet boards(d_count, kServers,
+                                        /*update_interval=*/1.0,
+                                        /*use_individual=*/false, rng);
+  boards.enable_level_index();
+  const stale::dispatch::ArrivalSplitter splitter(
+      d_count, stale::dispatch::DispatcherSplit::kUniform);
+  const auto policy = stale::policy::make_policy("basic_li");
+  const double lambda_total = 0.9 * kServers;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += stale::sim::Exponential(1.0 / lambda_total).sample(rng);
+    const int d = splitter.pick(rng);
+    boards.sync_all_to(cluster, t);
+    stale::policy::DispatchContext context;
+    context.loads = boards.loads(d);
+    context.lambda_total = lambda_total;
+    context.age = boards.age(d, t);
+    context.phase_length = 1.0;
+    context.phase_elapsed = context.age;
+    context.info_version = boards.version(d);
+    context.levels = &boards.level_index(d);
+    const int server = policy->select(context, rng);
+    cluster.assign(t, server, 1.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MultiDispatcherDispatch)->Arg(1)->Arg(4)->Arg(16);
 
 // The event-queue design the slab replaced: an unordered_map from event id
 // to callback plus a lazy-deletion heap. Kept here (only here) as the

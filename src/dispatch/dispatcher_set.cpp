@@ -1,0 +1,168 @@
+#include "dispatch/dispatcher_set.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "check/contracts.h"
+
+namespace stale::dispatch {
+
+DispatcherSplit parse_dispatcher_split(const std::string& name) {
+  if (name == "uniform") return DispatcherSplit::kUniform;
+  if (name == "weighted") return DispatcherSplit::kWeighted;
+  throw std::invalid_argument("parse_dispatcher_split: unknown split '" +
+                              name + "' (known: uniform, weighted)");
+}
+
+std::string dispatcher_split_name(DispatcherSplit split) {
+  switch (split) {
+    case DispatcherSplit::kUniform:
+      return "uniform";
+    case DispatcherSplit::kWeighted:
+      return "weighted";
+  }
+  throw std::logic_error("dispatcher_split_name: bad enum");
+}
+
+ArrivalSplitter::ArrivalSplitter(int num_dispatchers, DispatcherSplit split) {
+  if (num_dispatchers < 1) {
+    throw std::invalid_argument(
+        "ArrivalSplitter: need at least one dispatcher");
+  }
+  cumulative_.resize(static_cast<std::size_t>(num_dispatchers));
+  double total = 0.0;
+  for (int d = 0; d < num_dispatchers; ++d) {
+    const double weight =
+        split == DispatcherSplit::kUniform ? 1.0 : static_cast<double>(d + 1);
+    total += weight;
+    cumulative_[static_cast<std::size_t>(d)] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // exact upper edge despite rounding
+}
+
+int ArrivalSplitter::pick(sim::Rng& rng) const {
+  if (cumulative_.size() == 1) return 0;
+  const double u = rng.next_double();
+  // D is small (a handful of dispatcher front-ends); a linear scan beats a
+  // binary search at these sizes and keeps the draw-to-index map obvious.
+  for (std::size_t d = 0; d + 1 < cumulative_.size(); ++d) {
+    if (u < cumulative_[d]) return static_cast<int>(d);
+  }
+  return static_cast<int>(cumulative_.size()) - 1;
+}
+
+double ArrivalSplitter::share(int dispatcher) const {
+  const auto d = static_cast<std::size_t>(dispatcher);
+  return d == 0 ? cumulative_[0] : cumulative_[d] - cumulative_[d - 1];
+}
+
+DispatcherSet::DispatcherSet(int num_dispatchers, int num_servers,
+                             double update_interval, bool use_individual,
+                             sim::Rng& rng)
+    : use_individual_(use_individual) {
+  if (num_dispatchers < 1) {
+    throw std::invalid_argument("DispatcherSet: need at least one dispatcher");
+  }
+  periodic_.reserve(static_cast<std::size_t>(num_dispatchers));
+  individual_.reserve(static_cast<std::size_t>(num_dispatchers));
+  for (int d = 0; d < num_dispatchers; ++d) {
+    // De-phased periodic schedules: dispatcher d refreshes at d*T/D + k*T,
+    // so the D staleness clocks tile the interval instead of going stale in
+    // lockstep. d == 0 keeps offset 0 — the legacy schedule.
+    const double offset = update_interval * static_cast<double>(d) /
+                          static_cast<double>(num_dispatchers);
+    periodic_.emplace_back(num_servers, update_interval, offset);
+    sim::Rng offsets_rng = rng.split();
+    individual_.emplace_back(num_servers, update_interval, offsets_rng);
+  }
+}
+
+const std::vector<int>& DispatcherSet::loads(int d) const {
+  const auto i = static_cast<std::size_t>(d);
+  return use_individual_ ? individual_[i].loads() : periodic_[i].loads();
+}
+
+double DispatcherSet::age(int d, double t) const {
+  const auto i = static_cast<std::size_t>(d);
+  return use_individual_ ? individual_[i].mean_age(t) : periodic_[i].age(t);
+}
+
+std::uint64_t DispatcherSet::version(int d) const {
+  const auto i = static_cast<std::size_t>(d);
+  return use_individual_ ? individual_[i].version() : periodic_[i].version();
+}
+
+const sim::LevelIndex& DispatcherSet::level_index(int d) const {
+  const auto i = static_cast<std::size_t>(d);
+  return use_individual_ ? individual_[i].level_index()
+                         : periodic_[i].level_index();
+}
+
+sim::LevelIndex& DispatcherSet::level_index_mut(int d) {
+  const auto i = static_cast<std::size_t>(d);
+  return use_individual_ ? individual_[i].level_index_mut()
+                         : periodic_[i].level_index_mut();
+}
+
+void DispatcherSet::sync_all_to(queueing::Cluster& cluster, double t) {
+  // Interleave the boards' measurement boundaries in global time order by
+  // granting the due board a time *slice*: it syncs through every boundary
+  // of its own that precedes the next boundary of any other board (or t),
+  // so no board's measurement can observe cluster state from another
+  // board's future, while each board's own sync() call keeps its internal
+  // measure-then-publish discipline intact. At D == 1 the slice is always
+  // t — one sync(cluster, t) per arrival, exactly the legacy engine's call
+  // sequence, which is what keeps one-dispatcher runs bit-identical.
+  const auto next_refresh = [&](int d) {
+    const auto i = static_cast<std::size_t>(d);
+    return use_individual_ ? individual_[i].next_refresh_at()
+                           : periodic_[i].next_refresh_at();
+  };
+  while (true) {
+    int best = -1;
+    double best_time = 0.0;
+    for (int d = 0; d < size(); ++d) {
+      const double next = next_refresh(d);
+      if (next <= t && (best < 0 || next < best_time)) {
+        best = d;
+        best_time = next;
+      }
+    }
+    if (best < 0) break;
+    // Ties land the slice boundary on best_time itself; sync()'s inclusive
+    // bound still processes the due boundary, and the tied board (a higher
+    // dispatcher index, by the strict < above) goes next iteration.
+    double slice_end = t;
+    for (int d = 0; d < size(); ++d) {
+      if (d != best) slice_end = std::min(slice_end, next_refresh(d));
+    }
+    const auto i = static_cast<std::size_t>(best);
+    if (use_individual_) {
+      individual_[i].sync(cluster, slice_end);
+    } else {
+      periodic_[i].sync(cluster, slice_end);
+    }
+    STALE_DCHECK(next_refresh(best) > slice_end);
+  }
+}
+
+void DispatcherSet::enable_level_index() {
+  for (int d = 0; d < size(); ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    if (use_individual_) {
+      individual_[i].enable_level_index();
+    } else {
+      periodic_[i].enable_level_index();
+    }
+  }
+}
+
+void DispatcherSet::set_trace_sink(obs::TraceSink* sink) {
+  for (std::size_t i = 0; i < periodic_.size(); ++i) {
+    periodic_[i].set_trace_sink(sink);
+    individual_[i].set_trace_sink(sink);
+  }
+}
+
+}  // namespace stale::dispatch

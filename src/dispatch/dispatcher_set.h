@@ -1,0 +1,104 @@
+// Multi-dispatcher scale-out layer (ROADMAP: the D-dispatcher regime of
+// Goren/Vargaftik/Moses): D dispatchers share one queueing::Cluster, each
+// with its own bulletin-board instance and its own staleness clock. The
+// arrival stream is split across dispatchers by Poisson thinning, so each
+// dispatcher sees an independent Poisson stream whose rate is its share of
+// lambda * n.
+//
+// Two pieces live here, both deterministic and thread-confined to one trial:
+//
+//   * ArrivalSplitter — maps one RNG draw to a dispatcher index under the
+//     configured split (uniform, or a linear ramp of weights for the skewed
+//     "weighted" case). At D == 1 it draws nothing, which is what keeps a
+//     one-dispatcher run bit-identical to the legacy single-dispatcher path.
+//
+//   * DispatcherSet — owns the D board instances (one periodic and one
+//     individual board per dispatcher, mirroring the legacy trial engine,
+//     which constructs both and syncs only the active model). Periodic
+//     boards are de-phased with offset d*T/D; individual boards draw their
+//     per-server offsets from one split() per dispatcher, in dispatcher
+//     order. sync_all_to() interleaves the boards' measurement boundaries in
+//     global time order — syncing board A straight to t would advance the
+//     cluster past board B's earlier boundary and let B measure the future.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadinfo/individual_board.h"
+#include "loadinfo/periodic_board.h"
+#include "obs/trace_sink.h"
+#include "queueing/cluster.h"
+#include "sim/rng.h"
+
+namespace stale::dispatch {
+
+// How arrivals are split across the D dispatchers.
+//   kUniform  — every dispatcher gets an equal share.
+//   kWeighted — dispatcher d gets share proportional to d + 1 (a fixed
+//               linear ramp: the "one dispatcher fronts most of the traffic"
+//               regime, without adding another knob to sweep).
+enum class DispatcherSplit { kUniform, kWeighted };
+
+DispatcherSplit parse_dispatcher_split(const std::string& name);
+std::string dispatcher_split_name(DispatcherSplit split);
+
+class ArrivalSplitter {
+ public:
+  ArrivalSplitter(int num_dispatchers, DispatcherSplit split);
+
+  // Dispatcher for the next arrival. Draws exactly one next_double() when
+  // D > 1 and nothing when D == 1.
+  int pick(sim::Rng& rng) const;
+
+  // Long-run fraction of arrivals dispatcher d receives.
+  double share(int dispatcher) const;
+
+  int size() const { return static_cast<int>(cumulative_.size()); }
+
+ private:
+  std::vector<double> cumulative_;  // cumulative shares; back() == 1
+};
+
+class DispatcherSet {
+ public:
+  // Consumes exactly one rng.split() per dispatcher (the individual board's
+  // per-server offsets), regardless of which model is active — the same draw
+  // discipline as the legacy single-dispatcher trial, so D == 1 reproduces
+  // it bit-for-bit.
+  DispatcherSet(int num_dispatchers, int num_servers, double update_interval,
+                bool use_individual, sim::Rng& rng);
+
+  int size() const { return static_cast<int>(periodic_.size()); }
+  bool individual_model() const { return use_individual_; }
+
+  loadinfo::PeriodicBoard& periodic(int d) {
+    return periodic_[static_cast<std::size_t>(d)];
+  }
+  loadinfo::IndividualBoard& individual(int d) {
+    return individual_[static_cast<std::size_t>(d)];
+  }
+
+  // Active-model accessors (the board dispatcher d actually reads).
+  const std::vector<int>& loads(int d) const;
+  double age(int d, double t) const;
+  std::uint64_t version(int d) const;
+  const sim::LevelIndex& level_index(int d) const;
+  sim::LevelIndex& level_index_mut(int d);
+
+  // Brings every active board up to date for an observation at `t`,
+  // stepping the boards' pending measurement boundaries in global time
+  // order (ties go to the lowest dispatcher index).
+  void sync_all_to(queueing::Cluster& cluster, double t);
+
+  void enable_level_index();
+  void set_trace_sink(obs::TraceSink* sink);
+
+ private:
+  bool use_individual_;
+  std::vector<loadinfo::PeriodicBoard> periodic_;
+  std::vector<loadinfo::IndividualBoard> individual_;
+};
+
+}  // namespace stale::dispatch

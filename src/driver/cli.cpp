@@ -13,9 +13,10 @@ namespace {
 
 const std::vector<std::string> kStandardSwitches = {"paper", "fast", "csv"};
 const std::vector<std::string> kStandardFlags = {
-    "num-jobs",      "warmup",     "trials",     "seed",
-    "jobs",          "fault-spec", "crash-rate", "update-loss",
-    "max-staleness", "board-repr", "churn-spec"};
+    "num-jobs",      "warmup",     "trials",       "seed",
+    "jobs",          "fault-spec", "crash-rate",   "update-loss",
+    "max-staleness", "board-repr", "churn-spec",   "dispatchers",
+    "dispatcher-split",            "token-budget"};
 
 bool contains(const std::vector<std::string>& list, const std::string& item) {
   return std::find(list.begin(), list.end(), item) != list.end();
@@ -171,6 +172,22 @@ void Cli::apply_run_scale(ExperimentConfig& config) const {
   if (has("board-repr")) {
     config.board_repr = policy::parse_board_repr(get("board-repr", "auto"));
   }
+  const std::int64_t dispatchers =
+      get_int("dispatchers", config.dispatchers);
+  if (dispatchers < 1) {
+    throw std::invalid_argument("Cli: --dispatchers must be >= 1");
+  }
+  config.dispatchers = static_cast<int>(dispatchers);
+  if (has("dispatcher-split")) {
+    config.dispatcher_split =
+        dispatch::parse_dispatcher_split(get("dispatcher-split", "uniform"));
+  }
+  const std::int64_t token_budget =
+      get_int("token-budget", config.jiq_token_budget);
+  if (token_budget < 0) {
+    throw std::invalid_argument("Cli: --token-budget must be >= 0");
+  }
+  config.jiq_token_budget = static_cast<int>(token_budget);
   apply_faults(config);
   if (has("churn-spec")) {
     config.churn = health::ChurnSpec::parse(get("churn-spec", ""));
@@ -191,6 +208,13 @@ void Cli::apply_run_scale(ExperimentConfig& config) const {
         "Cli: --churn-spec and --fault-spec are mutually exclusive (the "
         "fault path hands the dispatcher ground-truth liveness; the churn "
         "path makes it earn one through the health subsystem)");
+  }
+  if (config.dispatchers > 1 && config.fault.any()) {
+    throw std::invalid_argument(
+        "Cli: --dispatchers > 1 cannot be combined with --fault-spec (or "
+        "--crash-rate/--update-loss/--max-staleness): use --churn-spec, "
+        "whose health subsystem gives each dispatcher its own earned "
+        "liveness view");
   }
 }
 

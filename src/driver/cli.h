@@ -16,6 +16,12 @@
 //   --crash-rate R / --update-loss P / --max-staleness X
 //                     shorthand overrides for the spec's crash, loss, and
 //                     cutoff fields (X accepts "2T" multiples-of-T form)
+//   --dispatchers D   cooperating dispatchers over the one cluster (default
+//                     1 = the legacy single-dispatcher engine, bit-for-bit)
+//   --dispatcher-split {uniform,weighted}
+//                     how arrivals are thinned across the D dispatchers
+//   --token-budget B  JIQ policies only: per-dispatcher cap on queued idle
+//                     tokens (matched-message-rate comparisons); 0 = no cap
 //
 // Parsing is strict: unknown flags, switches given values (--paper=0),
 // non-numeric or out-of-range values all throw std::invalid_argument with a

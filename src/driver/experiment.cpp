@@ -7,6 +7,8 @@
 #include "check/audit.h"
 #include "check/contracts.h"
 #include "core/rate_estimator.h"
+#include "dispatch/jiq.h"
+#include "driver/multi_dispatcher.h"
 #include "driver/update_on_access.h"
 #include "fault/fault_injector.h"
 #include "fault/hardened_policy.h"
@@ -74,6 +76,29 @@ void validate(const ExperimentConfig& config) {
           "ExperimentConfig: churn is only supported for the periodic and "
           "individual board models (the health subsystem watches per-server "
           "report recency, which the other models do not produce)");
+    }
+  }
+  if (config.dispatchers < 1) {
+    throw std::invalid_argument("ExperimentConfig: dispatchers must be >= 1");
+  }
+  if (config.jiq_token_budget < 0) {
+    throw std::invalid_argument(
+        "ExperimentConfig: jiq_token_budget must be >= 0");
+  }
+  if (uses_multi_dispatcher(config)) {
+    if (config.model != UpdateModel::kPeriodic &&
+        config.model != UpdateModel::kIndividual) {
+      throw std::invalid_argument(
+          "ExperimentConfig: multi-dispatcher runs (dispatchers > 1 or a JIQ "
+          "policy) support only the periodic and individual board models "
+          "(each dispatcher owns a board instance; the continuous and "
+          "update_on_access models have none to replicate)");
+    }
+    if (config.fault.any()) {
+      throw std::invalid_argument(
+          "ExperimentConfig: multi-dispatcher runs are incompatible with "
+          "fault injection (use --churn-spec: the health subsystem gives "
+          "each dispatcher its own earned liveness view)");
     }
   }
   if (config.fault.any() && config.model == UpdateModel::kUpdateOnAccess) {
@@ -744,6 +769,13 @@ TrialResult run_trial(const ExperimentConfig& config, std::uint64_t seed) {
   validate(config);
   if (config.model == UpdateModel::kUpdateOnAccess) {
     return run_update_on_access_trial(config, seed);
+  }
+  // D > 1 (or JIQ, whose token state lives in the multi engine even at
+  // D = 1) routes to the multi-dispatcher engine; a plain one-dispatcher
+  // config keeps the legacy engines below, so existing runs stay
+  // byte-identical by construction.
+  if (uses_multi_dispatcher(config)) {
+    return run_multi_dispatcher_trial(config, seed);
   }
   if (config.churn.any()) {
     return run_churn_board_trial(config, seed);

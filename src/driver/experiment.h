@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "dispatch/dispatcher_set.h"
 #include "fault/fault_spec.h"
 #include "fault/fault_stats.h"
 #include "health/churn_spec.h"
@@ -59,6 +60,24 @@ struct ExperimentConfig {
   // changes per-level dispatch distributions — only the RNG draw sequence
   // (so paired vector/bucketed runs are statistically, not bit-, identical).
   policy::BoardRepr board_repr = policy::BoardRepr::kAuto;
+
+  // --- multi-dispatcher scale-out (src/dispatch/) ---
+  // Number of cooperating dispatchers over the one cluster. 1 (the default)
+  // keeps the legacy single-dispatcher trial engine, bit-for-bit. With D > 1
+  // — or with a JIQ policy, whose token state needs the engine even at D = 1
+  // — the run routes through run_multi_dispatcher_trial: each dispatcher
+  // gets its own board instance (periodic boards de-phased by d*T/D,
+  // individual boards independently offset) and its own RNG stream split off
+  // the trial stream, and arrivals are thinned across dispatchers. Board
+  // models only (periodic/individual); mutually exclusive with fault
+  // injection (churn is supported — each dispatcher earns its own Membership
+  // view).
+  int dispatchers = 1;
+  dispatch::DispatcherSplit dispatcher_split =
+      dispatch::DispatcherSplit::kUniform;
+  // JIQ policies only: per-dispatcher cap on queued idle tokens, so JIQ can
+  // be compared against LI at a matched message rate. 0 = unbounded.
+  int jiq_token_budget = 0;
 
   // --- workload ---
   std::string job_size = "exp:1";  // see workload/job_size.h

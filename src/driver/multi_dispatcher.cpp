@@ -1,0 +1,447 @@
+#include "driver/multi_dispatcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "check/audit.h"
+#include "check/contracts.h"
+#include "core/rate_estimator.h"
+#include "dispatch/jiq.h"
+#include "health/churn_injector.h"
+#include "health/membership.h"
+#include "policy/policy_factory.h"
+#include "queueing/cluster.h"
+#include "queueing/load_stats.h"
+#include "queueing/metrics.h"
+#include "sim/rng.h"
+#include "workload/job_size.h"
+
+namespace stale::driver {
+
+bool uses_multi_dispatcher(const ExperimentConfig& config) {
+  return config.dispatchers > 1 || dispatch::is_jiq_spec(config.policy);
+}
+
+namespace {
+
+// Builds the online rate estimator named by config.rate_estimator, or null
+// for "told". Mirrors the legacy engine's helper (anonymous there).
+core::RateEstimatorPtr make_estimator(const ExperimentConfig& config) {
+  const std::string& spec = config.rate_estimator;
+  if (spec == "told") return nullptr;
+  const double max_throughput = static_cast<double>(config.num_servers);
+  if (spec == "conservative") {
+    return std::make_unique<core::ConservativeRateEstimator>(max_throughput);
+  }
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const double param =
+      colon == std::string::npos ? 0.0 : std::stod(spec.substr(colon + 1));
+  if (kind == "ewma") {
+    return std::make_unique<core::EwmaRateEstimator>(param, max_throughput);
+  }
+  if (kind == "windowed") {
+    return std::make_unique<core::WindowedRateEstimator>(param,
+                                                         max_throughput);
+  }
+  throw std::invalid_argument("ExperimentConfig: unknown rate_estimator '" +
+                              spec + "'");
+}
+
+void fill_result_percentiles(const queueing::ResponseMetrics& metrics,
+                             TrialResult& result) {
+  if (metrics.samples().empty()) return;
+  std::vector<double> sorted = metrics.samples();
+  std::sort(sorted.begin(), sorted.end());
+  result.p50_response = sim::percentile_sorted(sorted, 0.50);
+  result.p95_response = sim::percentile_sorted(sorted, 0.95);
+  result.p99_response = sim::percentile_sorted(sorted, 0.99);
+}
+
+}  // namespace
+
+// One trial of the D-dispatcher system. The draw discipline is the legacy
+// single-dispatcher engine's, extended only where D > 1 or JIQ forces it:
+//   * one rng.split() per dispatcher for individual-board offsets (D = 1:
+//     exactly the legacy split), consumed inside DispatcherSet;
+//   * per-dispatcher policy streams split off only when D > 1 (at D = 1 the
+//     policy draws from the trial stream, like the legacy engine);
+//   * one token stream split off only for JIQ;
+//   * one churn stream split off only when churn is active (inside
+//     ChurnInjector, like the legacy churn engine);
+//   * the dispatcher-assignment draw happens only when D > 1.
+// Everything else — arrival gaps, job sizes, retry re-picks — draws exactly
+// where the legacy engines draw. That is what makes the D = 1 plain path
+// bit-identical to run_board_trial (tested) and every path bit-identical
+// under any --jobs N (trials never share streams).
+TrialResult run_multi_dispatcher_trial(const ExperimentConfig& config,
+                                       std::uint64_t seed) {
+  const int D = config.dispatchers;
+  const auto n = static_cast<std::size_t>(config.num_servers);
+  const bool jiq = dispatch::is_jiq_spec(config.policy);
+  const bool churn = config.churn.any();
+  const bool use_individual = config.model == UpdateModel::kIndividual;
+  const bool bucketed = config.resolved_bucketed();
+  const bool tracking = jiq || churn;
+  const health::ChurnSpec& cspec = config.churn;
+
+  sim::Rng rng(seed);
+
+  // Churn runs carry the spec's permanently slow nodes, like the legacy
+  // churn engine; plain runs use the homogeneous cluster.
+  std::vector<double> rates(n, 1.0);
+  if (churn) {
+    const int slow = std::min(cspec.slow, config.num_servers);
+    for (int s = config.num_servers - slow; s < config.num_servers; ++s) {
+      rates[static_cast<std::size_t>(s)] = cspec.slow_factor;
+    }
+  }
+  queueing::Cluster cluster(std::move(rates), 0.0);
+  if (tracking) cluster.enable_job_tracking();
+  queueing::ResponseMetrics metrics(config.warmup_jobs,
+                                    config.keep_response_samples);
+
+  const dispatch::JiqSpec jiq_spec =
+      jiq ? dispatch::parse_jiq_spec(config.policy) : dispatch::JiqSpec{};
+  dispatch::TokenDirectory directory(config.num_servers, D,
+                                     config.jiq_token_budget);
+
+  // One policy instance per dispatcher: JIQ policies are per-dispatcher
+  // views of the shared token directory; LI policies each keep their own
+  // cached probability vectors keyed on their own board's version.
+  std::vector<policy::PolicyPtr> policies;
+  std::vector<policy::PolicyPtr> fallbacks;  // churn degraded mode, per d
+  policies.reserve(static_cast<std::size_t>(D));
+  for (int d = 0; d < D; ++d) {
+    if (jiq) {
+      policies.push_back(
+          std::make_unique<dispatch::JiqPolicy>(&directory, d, jiq_spec));
+    } else {
+      policies.push_back(policy::make_policy(config.policy));
+    }
+    if (churn) fallbacks.push_back(policy::make_policy(cspec.fallback_policy));
+  }
+
+  const auto job_size = workload::make_job_size(config.job_size);
+  const auto estimator = make_estimator(config);
+  const double believed_rate = config.believed_total_rate();
+  const double arrival_rate = config.total_rate();
+
+  dispatch::DispatcherSet boards(D, config.num_servers,
+                                 config.update_interval, use_individual, rng);
+  dispatch::ArrivalSplitter splitter(D, config.dispatcher_split);
+
+  if (bucketed) {
+    boards.enable_level_index();
+    if (!churn) cluster.enable_lazy_advance();
+  }
+
+  obs::TraceSink* const trace = config.trace_sink;
+  cluster.set_trace_sink(trace);
+  boards.set_trace_sink(trace);
+
+  // Per-dispatcher policy streams (D > 1 only; see the draw discipline
+  // above). The vector is pre-split in dispatcher order so the streams are
+  // a pure function of (seed, d).
+  std::vector<sim::Rng> policy_rngs;
+  if (D > 1) {
+    policy_rngs.reserve(static_cast<std::size_t>(D));
+    for (int d = 0; d < D; ++d) policy_rngs.push_back(rng.split());
+  }
+  sim::Rng token_rng;
+  if (jiq) token_rng = rng.split();
+
+  // Churn machinery: one ground-truth injector, one earned Membership view
+  // PER dispatcher — each dispatcher quarantines on its own board's report
+  // recency, so their candidate sets can disagree (and their level indexes
+  // retire different servers).
+  std::vector<health::Membership> memberships;
+  std::vector<std::uint64_t> last_versions(static_cast<std::size_t>(D), 0);
+  std::vector<std::uint64_t> reconciled_at(static_cast<std::size_t>(D), 0);
+  // The injector splits a churn stream off `rng` at construction, so it only
+  // exists when churn is on — a churn-free run must not consume the split.
+  std::optional<health::ChurnInjector> injector;
+  fault::FaultStats no_churn_stats;
+  if (churn) injector.emplace(cspec, config.num_servers, rng);
+  fault::FaultStats& stats = churn ? injector->stats() : no_churn_stats;
+  if (churn) {
+    memberships.reserve(static_cast<std::size_t>(D));
+    for (int d = 0; d < D; ++d) {
+      memberships.emplace_back(config.num_servers,
+                               cspec.resolved_health(config.update_interval),
+                               0.0, trace);
+      last_versions[static_cast<std::size_t>(d)] = boards.version(d);
+    }
+  }
+
+  // JIQ: an empty cluster starts with every server idle, so every server
+  // queues its initial token (in server order — the live system's HELLO
+  // handshake does the same).
+  if (jiq) {
+    for (int s = 0; s < config.num_servers; ++s) {
+      directory.offer(s, jiq_spec, token_rng);
+    }
+  }
+
+  std::vector<double> penalty;
+  if (churn) penalty.assign(config.num_jobs, 0.0);
+  std::vector<queueing::CompletedJob> done;
+
+  const health::ChurnInjector::RequeueFn requeue =
+      [&](double when, const queueing::DisplacedJob& job) -> bool {
+    if (injector->up_count() == 0) return false;
+    const int target = policy::pick_uniform_alive(injector->up(), n, rng);
+    cluster.assign_tagged(when, target, job.size, job.tag, job.born);
+    // The requeued job lands on the target whether or not it was idle; its
+    // token (if queued anywhere) no longer means "idle".
+    if (jiq) directory.invalidate(target);
+    return true;
+  };
+
+  const auto note_reports = [&](int d, double when) {
+    health::Membership& membership = memberships[static_cast<std::size_t>(d)];
+    const std::span<const std::uint8_t> up = injector->up();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (up[i] != 0) {
+        membership.note_report(static_cast<int>(i), when);
+      } else if (membership.probe_due(static_cast<int>(i), when)) {
+        membership.note_probe(static_cast<int>(i), when);
+      }
+    }
+  };
+
+  const auto sync_boards_to = [&](double when) {
+    boards.sync_all_to(cluster, when);
+    if (!churn) return;
+    for (int d = 0; d < D; ++d) {
+      const auto i = static_cast<std::size_t>(d);
+      if (boards.version(d) != last_versions[i]) {
+        last_versions[i] = boards.version(d);
+        note_reports(d, when);
+      }
+    }
+  };
+
+  // Retires every token whose server the ground truth took down or whose
+  // HOLDING dispatcher quarantined it — the "tokens never dangle after
+  // crash/quarantine" half of conservation (audited below).
+  const auto invalidate_dead_tokens = [&] {
+    if (!jiq) return;
+    for (int s = 0; s < config.num_servers; ++s) {
+      const int h = directory.holder(s);
+      if (h < 0) continue;
+      const bool down =
+          churn && injector->up()[static_cast<std::size_t>(s)] == 0;
+      const bool quarantined =
+          churn && memberships[static_cast<std::size_t>(h)]
+                           .candidates()[static_cast<std::size_t>(s)] == 0;
+      if (down || quarantined) directory.invalidate(s);
+    }
+  };
+
+  // Per-dispatcher reconciliation of the bucketed index with the candidate
+  // mask (the legacy churn engine's reconcile_levels, once per board).
+  const auto reconcile_levels = [&](int d, double when) {
+    health::Membership& membership = memberships[static_cast<std::size_t>(d)];
+    membership.advance(when);
+    if (!bucketed ||
+        membership.transition_count() ==
+            reconciled_at[static_cast<std::size_t>(d)]) {
+      return;
+    }
+    reconciled_at[static_cast<std::size_t>(d)] = membership.transition_count();
+    sim::LevelIndex& index = boards.level_index_mut(d);
+    const std::span<const std::uint8_t> candidates = membership.candidates();
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool candidate = candidates[i] != 0;
+      if (!candidate && !index.retired(static_cast<int>(i))) {
+        index.retire(static_cast<int>(i));
+      } else if (candidate && index.retired(static_cast<int>(i))) {
+        index.readmit(static_cast<int>(i));
+      }
+    }
+  };
+
+  queueing::LoadImbalanceStats imbalance;
+  double t = 0.0;
+  for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
+    t += -std::log(rng.next_double_open0()) / arrival_rate;
+
+    if (churn) {
+      // Ground-truth transitions and board refreshes interleave in global
+      // time order (a publish boundary before a departure must measure the
+      // pre-departure cluster).
+      while (injector->next_transition_time() <= t) {
+        const double when = injector->next_transition_time();
+        sync_boards_to(when);
+        injector->advance_to(cluster, when, requeue);
+        invalidate_dead_tokens();
+      }
+    }
+    sync_boards_to(t);
+    if (churn) {
+      for (int d = 0; d < D; ++d) reconcile_levels(d, t);
+      invalidate_dead_tokens();
+    }
+
+    // Thin the merged Poisson stream: dispatcher d sees an independent
+    // Poisson process at its share of the total rate.
+    const int d = D > 1 ? splitter.pick(rng) : 0;
+    const auto di = static_cast<std::size_t>(d);
+    sim::Rng& policy_rng = D > 1 ? policy_rngs[di] : rng;
+
+    if (tracking) {
+      // Retire and drain completions up to t before the dispatch decision:
+      // a server that went idle before this arrival must be claimable now.
+      cluster.advance_to(t);
+      done.clear();
+      cluster.drain_completions(done);
+      if (churn) {
+        for (const queueing::CompletedJob& c : done) {
+          metrics.record_indexed(c.tag, c.response + penalty[c.tag]);
+        }
+      }
+      if (jiq) {
+        // Idle detection: a drained server whose queue is empty at t went
+        // idle at its last departure and queues a token. Offers happen in
+        // (departure, server) order so the token stream is deterministic.
+        std::sort(done.begin(), done.end(),
+                  [](const queueing::CompletedJob& a,
+                     const queueing::CompletedJob& b) {
+                    if (a.departure != b.departure)
+                      return a.departure < b.departure;
+                    if (a.server != b.server) return a.server < b.server;
+                    return a.tag < b.tag;
+                  });
+        for (const queueing::CompletedJob& c : done) {
+          if (cluster.loads()[static_cast<std::size_t>(c.server)] != 0) {
+            continue;
+          }
+          if (churn && !cluster.up(c.server)) continue;
+          if (directory.has_token(c.server)) continue;
+          directory.offer(c.server, jiq_spec, token_rng);
+        }
+        STALE_AUDIT(directory.audit("run_multi_dispatcher_trial: post-offer"));
+      }
+    }
+
+    policy::DispatchContext context;
+    if (estimator) {
+      estimator->on_arrival(t);
+      context.lambda_total = estimator->rate();
+    } else {
+      context.lambda_total = believed_rate;
+    }
+    context.loads = boards.loads(d);
+    context.age = boards.age(d, t);
+    if (!use_individual) {
+      context.phase_length = config.update_interval;
+      context.phase_elapsed = context.age;
+    }
+    context.info_version = boards.version(d);
+    if (bucketed) context.levels = &boards.level_index(d);
+    if (churn) {
+      health::Membership& membership = memberships[di];
+      // Membership transitions must invalidate cached probability vectors
+      // even when the board snapshot itself did not change.
+      context.info_version ^= membership.transition_count() << 32;
+      context.alive = membership.candidates();
+      context.levels_exclude_quarantined = bucketed;
+      context.sanitize_events = &stats.sanitizer_fixes;
+    }
+    context.trace = trace;
+
+    int server;
+    if (churn && memberships[di].candidate_count() == 0) {
+      server =
+          policy::pick_uniform_alive(memberships[di].candidates(), n,
+                                     policy_rng);
+    } else if (churn && memberships[di].degraded()) {
+      server = fallbacks[di]->select(context, policy_rng);
+    } else {
+      server = policies[di]->select(context, policy_rng);
+    }
+    if (trace) trace->on_decision(t, server, context.age);
+
+    double backoff_penalty = 0.0;
+    bool dispatched = true;
+    if (churn) {
+      // Down server discovered on contact: the failure feeds dispatcher d's
+      // membership, and the job takes the bounded retry path over d's
+      // candidate set.
+      for (int attempt = 0; !cluster.up(server); ++attempt) {
+        memberships[di].note_failure(server, t);
+        if (attempt >= cspec.max_retries) {
+          dispatched = false;
+          break;
+        }
+        ++stats.dispatch_retries;
+        backoff_penalty += cspec.retry_backoff * std::ldexp(1.0, attempt);
+        server = policy::pick_uniform_alive(memberships[di].candidates(), n,
+                                            policy_rng);
+        STALE_AUDIT(check::audit_candidate_pick(
+            server, memberships[di].candidates(),
+            "run_multi_dispatcher_trial: retry pick"));
+      }
+    }
+
+    cluster.advance_to(t);
+    if (job >= config.warmup_jobs) {
+      if (bucketed && !churn) {
+        imbalance.observe(cluster.level_histogram());
+      } else {
+        imbalance.observe(cluster.loads());
+      }
+    }
+    if (dispatched) {
+      const double size = job_size->sample(rng);
+      if (tracking) {
+        const double departure = cluster.assign_tagged(t, server, size, job, t);
+        if (churn) {
+          penalty[job] = backoff_penalty;
+        } else {
+          metrics.record(departure - t);
+        }
+      } else {
+        const double departure = cluster.assign(t, server, size);
+        metrics.record(departure - t);
+      }
+      // A dispatched job consumes the target's token wherever it is queued:
+      // the server is no longer idle, so the token must not dangle.
+      if (jiq) directory.invalidate(server);
+    } else {
+      ++stats.jobs_dropped;
+    }
+  }
+
+  if (churn) {
+    // Freeze the churn processes and let every in-flight job finish so its
+    // response is recorded.
+    cluster.advance_to(cluster.latest_pending_departure());
+    done.clear();
+    cluster.drain_completions(done);
+    for (const queueing::CompletedJob& c : done) {
+      metrics.record_indexed(c.tag, c.response + penalty[c.tag]);
+    }
+  }
+  if (jiq) {
+    STALE_AUDIT(directory.audit("run_multi_dispatcher_trial: end of trial"));
+  }
+
+  TrialResult result{
+      .mean_response = metrics.mean_response(),
+      .measured_jobs = metrics.measured_jobs(),
+      .total_jobs = metrics.total_jobs(),
+      .sim_end_time = t,
+      .mean_queue_stddev = imbalance.mean_within_snapshot_stddev(),
+      .mean_queue_max = imbalance.mean_snapshot_max(),
+      .mean_queue_length = imbalance.mean_queue_length()};
+  if (churn) result.faults = stats;
+  fill_result_percentiles(metrics, result);
+  return result;
+}
+
+}  // namespace stale::driver

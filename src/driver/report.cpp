@@ -88,7 +88,11 @@ void write_json_report(std::ostream& os, const ExperimentConfig& config,
      << ", \"fault_spec\": \"" << json_escape(config.fault.to_string())
      << "\""
      << ", \"churn_spec\": \"" << json_escape(config.churn.to_string())
-     << "\"}, \"result\": {"
+     << "\""
+     << ", \"dispatchers\": " << config.dispatchers
+     << ", \"dispatcher_split\": \""
+     << dispatch::dispatcher_split_name(config.dispatcher_split) << "\""
+     << "}, \"result\": {"
      << "\"mean_response\": " << result.mean()
      << ", \"ci90\": " << result.ci90() << ", \"trials_used\": " << trials_used
      << ", \"trial_means\": [";

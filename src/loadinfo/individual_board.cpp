@@ -80,6 +80,12 @@ void IndividualBoard::sync(queueing::Cluster& cluster, double t,
   }
 }
 
+double IndividualBoard::next_refresh_at() const {
+  double earliest = next_refresh_.front();
+  for (double next : next_refresh_) earliest = std::min(earliest, next);
+  return earliest;
+}
+
 double IndividualBoard::mean_age(double t) const {
   double total = 0.0;
   for (double last : last_refresh_) total += t - last;

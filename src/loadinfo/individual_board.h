@@ -38,6 +38,10 @@ class IndividualBoard {
   double mean_age(double t) const;
   std::uint64_t version() const { return version_; }
 
+  // Earliest pending heartbeat boundary across servers. Multi-board drivers
+  // use this to interleave several boards' refreshes in global time order.
+  double next_refresh_at() const;
+
   // Turns on the bucketed snapshot: level_index() stays in sync with
   // loads(), maintained O(1) per published heartbeat (each heartbeat moves
   // exactly one server between levels). Off by default so vector-path runs

@@ -8,13 +8,19 @@
 
 namespace stale::loadinfo {
 
-PeriodicBoard::PeriodicBoard(int num_servers, double update_interval)
-    : interval_(update_interval), next_boundary_(update_interval) {
+PeriodicBoard::PeriodicBoard(int num_servers, double update_interval,
+                             double phase_offset)
+    : interval_(update_interval),
+      next_boundary_(phase_offset > 0.0 ? phase_offset : update_interval) {
   if (num_servers <= 0) {
     throw std::invalid_argument("PeriodicBoard: need at least one server");
   }
   if (update_interval <= 0.0) {
     throw std::invalid_argument("PeriodicBoard: update interval must be > 0");
+  }
+  if (phase_offset < 0.0 || phase_offset >= update_interval) {
+    throw std::invalid_argument(
+        "PeriodicBoard: phase offset must be in [0, update_interval)");
   }
   snapshot_.assign(static_cast<std::size_t>(num_servers), 0);
 }

@@ -26,8 +26,13 @@ namespace stale::loadinfo {
 class PeriodicBoard {
  public:
   // `update_interval` is T. The board's first snapshot is taken at time 0
-  // (an empty cluster).
-  PeriodicBoard(int num_servers, double update_interval);
+  // (an empty cluster). `phase_offset` staggers the refresh schedule: the
+  // boundaries fall at offset + k*T (offset 0, the default, reproduces the
+  // classic k*T schedule bit-for-bit). Multi-dispatcher runs de-phase their
+  // boards with offset = d*T/D so the dispatchers do not all go stale in
+  // lockstep.
+  PeriodicBoard(int num_servers, double update_interval,
+                double phase_offset = 0.0);
 
   // Brings the board up to date for an observation at time `t`, refreshing
   // it at every phase boundary in (last_refresh, t]. The cluster is advanced
@@ -44,6 +49,11 @@ class PeriodicBoard {
   double age(double t) const { return t - measured_at_; }
   // Bumped on every refresh; policies key caches on it.
   std::uint64_t version() const { return version_; }
+
+  // Time of the next measurement boundary. Multi-board drivers use this to
+  // interleave several boards' refreshes in global time order (syncing board
+  // A past board B's earlier boundary would let B measure a future cluster).
+  double next_refresh_at() const { return next_boundary_; }
 
   // Turns on the bucketed snapshot: level_index() stays in sync with
   // loads(), rebuilt O(n) once per publish (amortized over a whole phase of

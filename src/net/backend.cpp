@@ -15,9 +15,15 @@ Backend::Backend(const BackendOptions& options)
   if (options.mean_service <= 0.0) {
     throw std::invalid_argument("backend mean service time must be > 0");
   }
-  if (options.report_to.port == 0) {
+  if (options.report_to.empty()) {
     throw std::invalid_argument("backend needs --report HOST:PORT");
   }
+  for (const Endpoint& endpoint : options.report_to) {
+    if (endpoint.port == 0) {
+      throw std::invalid_argument("backend report endpoint needs a port");
+    }
+  }
+  links_.resize(options.report_to.size());
   listen_fd_ = tcp_listen(options.host, options.tcp_port, &tcp_port_);
   udp_fd_ = udp_socket();
   status("BACKEND LISTENING index=" + std::to_string(options_.index) +
@@ -27,6 +33,12 @@ Backend::Backend(const BackendOptions& options)
 void Backend::status(const std::string& line) {
   if (options_.status_out == nullptr) return;
   *options_.status_out << line << std::endl;
+}
+
+int Backend::connected_links() const {
+  int count = 0;
+  for (const Link& link : links_) count += link.connected ? 1 : 0;
+  return count;
 }
 
 void Backend::run(const std::atomic<bool>* stop_flag) {
@@ -40,17 +52,27 @@ void Backend::run(const std::atomic<bool>* stop_flag) {
 }
 
 void Backend::send_hello() {
-  if (!connected_) {
-    udp_send(udp_fd_.get(), options_.report_to,
-             format_hello(HelloMsg{options_.index, tcp_port_}));
+  // Broadcast until every dispatcher holds a data-plane connection. The
+  // backend cannot tell which dispatchers those are (accept() gives an
+  // ephemeral peer port), so it HELLOs all of them; an already-connected
+  // dispatcher treats the duplicate as a heartbeat and ignores it.
+  if (connected_links() < static_cast<int>(links_.size())) {
+    for (const Endpoint& endpoint : options_.report_to) {
+      udp_send(udp_fd_.get(), endpoint,
+               format_hello(HelloMsg{options_.index, tcp_port_}));
+    }
     loop_.add_timer(options_.hello_period, [this] { send_hello(); });
   }
 }
 
 void Backend::send_load_report() {
-  udp_send(udp_fd_.get(), options_.report_to,
-           format_load(LoadMsg{options_.index, queue_len(), report_seq_++}));
-  ++stats_.reports_sent;
+  // One measurement, fanned out: every dispatcher's board samples the same
+  // ground-truth queue at the same instant, with the same sequence number.
+  const LoadMsg msg{options_.index, queue_len(), report_seq_++};
+  for (const Endpoint& endpoint : options_.report_to) {
+    udp_send(udp_fd_.get(), endpoint, format_load(msg));
+    ++stats_.reports_sent;
+  }
   loop_.add_timer(options_.update_period, [this] { send_load_report(); });
 }
 
@@ -58,50 +80,62 @@ void Backend::accept_dispatcher() {
   for (;;) {
     Fd conn = tcp_accept(listen_fd_.get());
     if (!conn.valid()) return;
-    if (connected_) continue;  // one dispatcher only; drop extras
-    conn_ = std::move(conn);
-    in_ = LineBuffer();
-    out_ = WriteBuffer();
-    connected_ = true;
-    loop_.watch(conn_.get(), /*want_read=*/true, /*want_write=*/false,
-                [this](std::uint32_t events) {
+    int slot = -1;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (!links_[i].connected) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) continue;  // all dispatchers connected; drop extras
+    Link& link = links_[static_cast<std::size_t>(slot)];
+    link.fd = std::move(conn);
+    link.in = LineBuffer();
+    link.out = WriteBuffer();
+    link.connected = true;
+    loop_.watch(link.fd.get(), /*want_read=*/true, /*want_write=*/false,
+                [this, slot](std::uint32_t events) {
+                  Link& l = links_[static_cast<std::size_t>(slot)];
                   if (events & EventLoop::kError) {
-                    drop_conn();
+                    drop_link(slot);
                     return;
                   }
                   if (events & EventLoop::kWritable) {
-                    out_.flush(conn_.get());
-                    loop_.set_interest(conn_.get(), true, out_.wants_write());
+                    l.out.flush(l.fd.get());
+                    loop_.set_interest(l.fd.get(), true, l.out.wants_write());
                   }
-                  if (events & EventLoop::kReadable) on_conn_readable();
+                  if (events & EventLoop::kReadable) on_link_readable(slot);
                 });
-    status("BACKEND CONNECTED index=" + std::to_string(options_.index));
+    status("BACKEND CONNECTED index=" + std::to_string(options_.index) +
+           " link=" + std::to_string(slot) + "/" +
+           std::to_string(links_.size()));
   }
 }
 
-void Backend::on_conn_readable() {
+void Backend::on_link_readable(int link_index) {
+  Link& link = links_[static_cast<std::size_t>(link_index)];
   char buffer[4096];
   for (;;) {
-    const ssize_t n = recv(conn_.get(), buffer, sizeof(buffer), 0);
+    const ssize_t n = recv(link.fd.get(), buffer, sizeof(buffer), 0);
     if (n > 0) {
-      in_.append(buffer, static_cast<std::size_t>(n));
+      link.in.append(buffer, static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    drop_conn();
+    drop_link(link_index);
     return;
   }
-  if (in_.poisoned()) {
-    drop_conn();
+  if (link.in.poisoned()) {
+    drop_link(link_index);
     return;
   }
   std::string line;
-  while (connected_ && in_.next_line(&line)) {
+  while (link.connected && link.in.next_line(&line)) {
     const auto job = parse_job(line);
     if (!job) continue;
     ++stats_.jobs_accepted;
-    queue_.push_back(job->id);
+    queue_.push_back(QueuedJob{job->id, link_index});
     stats_.max_queue_len = std::max(stats_.max_queue_len, queue_len());
     start_service_if_idle();
   }
@@ -120,23 +154,35 @@ void Backend::start_service_if_idle() {
 void Backend::finish_job() {
   busy_ = false;
   ++stats_.jobs_served;
-  if (connected_) {
-    out_.append(format_done(DoneMsg{in_service_, queue_len()}));
-    out_.flush(conn_.get());
-    loop_.set_interest(conn_.get(), true, out_.wants_write());
+  // DONE goes back over the connection the job arrived on — each dispatcher
+  // tracks only its own in-flight jobs. A link that died mid-service just
+  // loses the reply; that dispatcher's timeout path owns the job now.
+  Link& link = links_[static_cast<std::size_t>(in_service_.link)];
+  if (link.connected) {
+    link.out.append(format_done(DoneMsg{in_service_.gid, queue_len()}));
+    link.out.flush(link.fd.get());
+    loop_.set_interest(link.fd.get(), true, link.out.wants_write());
   }
   start_service_if_idle();
 }
 
-void Backend::drop_conn() {
-  if (!connected_) return;
-  loop_.forget(conn_.get());
-  conn_.reset();
-  connected_ = false;
-  queue_.clear();
+void Backend::drop_link(int link_index) {
+  Link& link = links_[static_cast<std::size_t>(link_index)];
+  if (!link.connected) return;
+  loop_.forget(link.fd.get());
+  link.fd.reset();
+  link.connected = false;
+  // Drop only the dead dispatcher's queued jobs: the survivors' jobs are
+  // still owed DONEs on their own live connections.
+  std::deque<QueuedJob> kept;
+  for (const QueuedJob& job : queue_) {
+    if (job.link != link_index) kept.push_back(job);
+  }
+  queue_.swap(kept);
   // Re-announce so a restarted dispatcher can pick this backend up again.
   send_hello();
-  status("BACKEND DISCONNECTED index=" + std::to_string(options_.index));
+  status("BACKEND DISCONNECTED index=" + std::to_string(options_.index) +
+         " link=" + std::to_string(link_index));
 }
 
 }  // namespace stale::net

@@ -1,15 +1,19 @@
 // staleload_backend: the toy FIFO server behind the live dispatcher.
 //
 // One queue, one (virtual) processor: jobs arrive as `JOB <gid>` lines from
-// the dispatcher's persistent TCP connection, wait FIFO, occupy the server
+// a dispatcher's persistent TCP connection, wait FIFO, occupy the server
 // for an exponential service time (an event-loop timer — no thread sleeps),
-// and leave as `DONE <gid> <queue_len_after>` replies. This is exactly the
-// paper's M/M/1-ish server, except time is physical.
+// and leave as `DONE <gid> <queue_len_after>` replies routed back over the
+// connection the job arrived on. This is exactly the paper's M/M/1-ish
+// server, except time is physical.
 //
-// Control plane: the backend announces itself to the dispatcher with
-// periodic `HELLO` datagrams until the dispatcher's data-plane connection
-// arrives, then posts `LOAD` reports every update period (0 disables
-// standing reports — the piggyback schedule needs none).
+// Control plane: the backend announces itself with periodic `HELLO`
+// datagrams to every configured dispatcher until each one's data-plane
+// connection has arrived, then posts `LOAD` reports every update period,
+// fanned out to all dispatchers (0 disables standing reports — the
+// piggyback schedule needs none). In the sharded-dispatcher topology the
+// backend is the shared ground truth all D bulletin boards sample; the
+// queue it reports is the one FIFO queue, whoever asks.
 #pragma once
 
 #include <atomic>
@@ -17,6 +21,7 @@
 #include <deque>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "net/buffer.h"
 #include "net/event_loop.h"
@@ -29,8 +34,11 @@ namespace stale::net {
 struct BackendOptions {
   std::string host = "127.0.0.1";
   std::uint16_t tcp_port = 0;  // 0 = ephemeral
-  int index = 0;               // this backend's slot at the dispatcher
-  Endpoint report_to;          // dispatcher's UDP control endpoint
+  int index = 0;               // this backend's slot at the dispatchers
+
+  // UDP control endpoints, one per dispatcher. The backend keeps HELLOing
+  // until it holds one data-plane connection per entry.
+  std::vector<Endpoint> report_to;
 
   double update_period = 0.0;  // seconds between LOAD reports; 0 = off
   double mean_service = 0.05;  // exponential service time mean, seconds
@@ -43,7 +51,7 @@ struct BackendOptions {
 struct BackendStats {
   std::uint64_t jobs_accepted = 0;
   std::uint64_t jobs_served = 0;
-  std::uint64_t reports_sent = 0;
+  std::uint64_t reports_sent = 0;  // datagrams (fan-out counts each)
   int max_queue_len = 0;
 };
 
@@ -58,13 +66,29 @@ class Backend {
   const BackendStats& stats() const { return stats_; }
 
  private:
+  // One dispatcher's data-plane connection. Links are slots filled in
+  // accept order — the backend never needs to know *which* dispatcher is on
+  // the other end, only that each job's DONE goes back where it came from.
+  struct Link {
+    Fd fd;
+    LineBuffer in;
+    WriteBuffer out;
+    bool connected = false;
+  };
+
+  struct QueuedJob {
+    std::uint64_t gid = 0;
+    int link = -1;  // originating dispatcher connection
+  };
+
   void accept_dispatcher();
-  void on_conn_readable();
+  void on_link_readable(int link);
   void start_service_if_idle();
   void finish_job();
   void send_hello();
   void send_load_report();
-  void drop_conn();
+  void drop_link(int link);
+  int connected_links() const;
   int queue_len() const {
     return static_cast<int>(queue_.size()) + (busy_ ? 1 : 0);
   }
@@ -76,14 +100,11 @@ class Backend {
   Fd udp_fd_;
   std::uint16_t tcp_port_ = 0;
 
-  Fd conn_;  // the dispatcher's data-plane connection
-  LineBuffer in_;
-  WriteBuffer out_;
-  bool connected_ = false;
+  std::vector<Link> links_;  // one slot per dispatcher
 
-  std::deque<std::uint64_t> queue_;  // waiting gids (excludes in-service)
+  std::deque<QueuedJob> queue_;  // waiting jobs (excludes in-service)
   bool busy_ = false;
-  std::uint64_t in_service_ = 0;
+  QueuedJob in_service_;
 
   sim::Rng rng_;
   std::uint64_t report_seq_ = 0;

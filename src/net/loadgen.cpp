@@ -17,12 +17,18 @@ namespace stale::net {
 
 LoadGen::LoadGen(const LoadGenOptions& options)
     : options_(options), rng_(options.seed) {
+  if (options.targets.empty()) {
+    throw std::invalid_argument("loadgen needs at least one target");
+  }
   if (options.lambda <= 0.0) {
     throw std::invalid_argument("loadgen lambda must be > 0");
   }
   if (options.duration <= 0.0 && options.max_jobs == 0) {
     throw std::invalid_argument("loadgen needs a duration or a job cap");
   }
+  targets_.resize(options.targets.size());
+  report_.per_target_sent.assign(options.targets.size(), 0);
+  report_.per_target_completed.assign(options.targets.size(), 0);
 }
 
 void LoadGen::status(const std::string& line) {
@@ -30,9 +36,18 @@ void LoadGen::status(const std::string& line) {
   *options_.status_out << line << std::endl;
 }
 
+bool LoadGen::any_active() const {
+  for (const Target& target : targets_) {
+    if (!target.abandoned) return true;
+  }
+  return false;
+}
+
 void LoadGen::run(const std::atomic<bool>* stop_flag) {
   const double started = loop_.now();
-  connect_now();
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    connect_now(static_cast<int>(i));
+  }
   if (options_.duration > 0.0) {
     loop_.add_timer(options_.duration, [this] {
       sending_ = false;
@@ -45,7 +60,12 @@ void LoadGen::run(const std::atomic<bool>* stop_flag) {
   // process.
   loop_.add_timer(sim::Exponential(1.0 / options_.lambda).sample(rng_),
                   [this] { send_next_job(); });
-  status("LOADGEN RUNNING target=" + options_.target.to_string());
+  std::string names = options_.targets.front().to_string();
+  for (std::size_t i = 1; i < options_.targets.size(); ++i) {
+    names += ',';
+    names += options_.targets[i].to_string();
+  }
+  status("LOADGEN RUNNING targets=" + names);
   loop_.run(stop_flag);
   report_.elapsed = loop_.now() - started;
 
@@ -63,53 +83,68 @@ void LoadGen::run(const std::atomic<bool>* stop_flag) {
          " completed=" + std::to_string(report_.completed));
 }
 
-void LoadGen::connect_now() {
+void LoadGen::connect_now(int target_index) {
+  Target& target = targets_[static_cast<std::size_t>(target_index)];
   try {
-    conn_ = tcp_connect(options_.target);
+    target.fd = tcp_connect(options_.targets[static_cast<std::size_t>(
+        target_index)]);
   } catch (const std::exception&) {
-    on_conn_lost();  // immediate refusal; schedule the next attempt
+    on_conn_lost(target_index);  // immediate refusal; schedule the next try
     return;
   }
-  in_ = LineBuffer();
-  out_ = WriteBuffer();
-  loop_.watch(conn_.get(), /*want_read=*/true, /*want_write=*/false,
-              [this](std::uint32_t events) {
+  target.in = LineBuffer();
+  target.out = WriteBuffer();
+  loop_.watch(target.fd.get(), /*want_read=*/true, /*want_write=*/false,
+              [this, target_index](std::uint32_t events) {
+                Target& t = targets_[static_cast<std::size_t>(target_index)];
                 if (events & EventLoop::kError) {
-                  on_conn_lost();
+                  on_conn_lost(target_index);
                   return;
                 }
                 if (events & EventLoop::kWritable) {
-                  out_.flush(conn_.get());
-                  loop_.set_interest(conn_.get(), true, out_.wants_write());
+                  t.out.flush(t.fd.get());
+                  loop_.set_interest(t.fd.get(), true, t.out.wants_write());
                 }
-                if (events & EventLoop::kReadable) on_readable();
+                if (events & EventLoop::kReadable) on_readable(target_index);
               });
 }
 
-void LoadGen::on_conn_lost() {
-  if (conn_.valid()) {
-    loop_.forget(conn_.get());
-    conn_.reset();
+void LoadGen::on_conn_lost(int target_index) {
+  Target& target = targets_[static_cast<std::size_t>(target_index)];
+  if (target.fd.valid()) {
+    loop_.forget(target.fd.get());
+    target.fd.reset();
   }
   // Replies in flight on the dead connection will never arrive; they are
-  // client-visible failures, like an ERR.
-  report_.errors += outstanding_.size();
-  outstanding_.clear();
-  if (!sending_) {
+  // client-visible failures, like an ERR. Other targets' jobs live on.
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.target == target_index) {
+      ++report_.errors;
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!sending_ && outstanding_.empty()) {
     loop_.stop();  // drain phase: nothing left to wait for
     return;
   }
-  if (connect_attempts_ >= options_.connect_retries) {
-    status("LOADGEN GIVE-UP attempts=" + std::to_string(connect_attempts_));
-    sending_ = false;
-    loop_.stop();
+  if (target.attempts >= options_.connect_retries) {
+    target.abandoned = true;
+    status("LOADGEN GIVE-UP target=" + std::to_string(target_index) +
+           " attempts=" + std::to_string(target.attempts));
+    if (!any_active()) {
+      sending_ = false;
+      loop_.stop();
+    }
     return;
   }
   const double delay = std::min(
-      options_.connect_backoff * std::ldexp(1.0, connect_attempts_), 2.0);
-  ++connect_attempts_;
-  status("LOADGEN RECONNECT attempt=" + std::to_string(connect_attempts_));
-  loop_.add_timer(delay, [this] { connect_now(); });
+      options_.connect_backoff * std::ldexp(1.0, target.attempts), 2.0);
+  ++target.attempts;
+  status("LOADGEN RECONNECT target=" + std::to_string(target_index) +
+         " attempt=" + std::to_string(target.attempts));
+  loop_.add_timer(delay, [this, target_index] { connect_now(target_index); });
 }
 
 void LoadGen::send_next_job() {
@@ -121,46 +156,63 @@ void LoadGen::send_next_job() {
   }
   loop_.add_timer(sim::Exponential(1.0 / options_.lambda).sample(rng_),
                   [this] { send_next_job(); });
-  if (!conn_.valid()) {
-    // Disconnected gap: the open-loop arrival happens regardless and fails
-    // at the client.
+  // Round-robin with failover: this arrival belongs to the cursor's shard,
+  // but a disconnected shard passes it to the next connected one so an
+  // open-loop arrival is never silently skipped while any shard lives.
+  int chosen = -1;
+  for (std::size_t probe = 0; probe < targets_.size(); ++probe) {
+    const std::size_t i = (rr_next_ + probe) % targets_.size();
+    if (targets_[i].fd.valid()) {
+      chosen = static_cast<int>(i);
+      break;
+    }
+  }
+  rr_next_ = (rr_next_ + 1) % targets_.size();
+  if (chosen < 0) {
+    // Fully disconnected gap: the open-loop arrival happens regardless and
+    // fails at the client.
     ++report_.errors;
     return;
   }
+  Target& target = targets_[static_cast<std::size_t>(chosen)];
   const std::uint64_t id = next_id_++;
-  outstanding_[id] = loop_.now();
+  outstanding_[id] = Pending{loop_.now(), chosen};
   ++report_.sent;
-  out_.append(format_job(JobMsg{id}));
-  out_.flush(conn_.get());
-  loop_.set_interest(conn_.get(), true, out_.wants_write());
+  ++report_.per_target_sent[static_cast<std::size_t>(chosen)];
+  target.out.append(format_job(JobMsg{id}));
+  target.out.flush(target.fd.get());
+  loop_.set_interest(target.fd.get(), true, target.out.wants_write());
 }
 
-void LoadGen::on_readable() {
+void LoadGen::on_readable(int target_index) {
+  Target& target = targets_[static_cast<std::size_t>(target_index)];
   char buffer[4096];
   for (;;) {
-    const ssize_t n = recv(conn_.get(), buffer, sizeof(buffer), 0);
+    const ssize_t n = recv(target.fd.get(), buffer, sizeof(buffer), 0);
     if (n > 0) {
-      in_.append(buffer, static_cast<std::size_t>(n));
+      target.in.append(buffer, static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    on_conn_lost();  // dispatcher hung up or reset
+    on_conn_lost(target_index);  // dispatcher hung up or reset
     return;
   }
   std::string line;
-  while (in_.next_line(&line)) handle_line(line);
+  while (target.in.next_line(&line)) handle_line(target_index, line);
   if (!sending_ && outstanding_.empty()) loop_.stop();
 }
 
-void LoadGen::handle_line(const std::string& line) {
-  connect_attempts_ = 0;  // the dispatcher is talking; reconnects start fresh
+void LoadGen::handle_line(int target_index, const std::string& line) {
+  // This shard is talking; its reconnects start fresh.
+  targets_[static_cast<std::size_t>(target_index)].attempts = 0;
   if (const auto done = parse_client_done(line)) {
     const auto it = outstanding_.find(done->id);
     if (it == outstanding_.end()) return;
-    const double latency = loop_.now() - it->second;
+    const double latency = loop_.now() - it->second.sent_at;
     outstanding_.erase(it);
     ++report_.completed;
+    ++report_.per_target_completed[static_cast<std::size_t>(target_index)];
     if (report_.completed > options_.warmup_jobs) latencies_.push_back(latency);
     const auto backend = static_cast<std::size_t>(done->backend);
     if (report_.per_backend_completions.size() <= backend) {
@@ -186,8 +238,13 @@ void write_loadgen_json(std::ostream& os, const LoadGenOptions& options,
   const auto saved_precision = os.precision();
   os.precision(std::numeric_limits<double>::max_digits10);
   os << "{\"config\": {"
-     << "\"target\": \"" << options.target.to_string() << "\""
-     << ", \"lambda\": " << options.lambda
+     << "\"target\": \"" << options.targets.front().to_string() << "\""
+     << ", \"targets\": [";
+  for (std::size_t i = 0; i < options.targets.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << options.targets[i].to_string() << "\"";
+  }
+  os << "], \"lambda\": " << options.lambda
      << ", \"duration\": " << options.duration
      << ", \"warmup_jobs\": " << options.warmup_jobs
      << ", \"seed\": " << options.seed << "}, \"result\": {"
@@ -198,7 +255,17 @@ void write_loadgen_json(std::ostream& os, const LoadGenOptions& options,
      << ", \"errors\": " << report.errors
      << ", \"measured\": " << report.measured
      << ", \"elapsed\": " << report.elapsed
-     << ", \"per_backend_completions\": [";
+     << ", \"per_target_sent\": [";
+  for (std::size_t i = 0; i < report.per_target_sent.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << report.per_target_sent[i];
+  }
+  os << "], \"per_target_completed\": [";
+  for (std::size_t i = 0; i < report.per_target_completed.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << report.per_target_completed[i];
+  }
+  os << "], \"per_backend_completions\": [";
   for (std::size_t i = 0; i < report.per_backend_completions.size(); ++i) {
     if (i > 0) os << ", ";
     os << report.per_backend_completions[i];

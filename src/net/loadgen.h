@@ -1,11 +1,15 @@
 // staleload_loadgen: open-loop Poisson client for the live dispatcher.
 //
-// Sends `JOB <id>` lines to the dispatcher on one persistent TCP connection
+// Sends `JOB <id>` lines to the dispatcher(s) on persistent TCP connections
 // with exponential inter-arrival gaps (an open-loop arrival process: the
 // send schedule never waits for completions, so an overloaded dispatcher
-// builds real queues instead of throttling its own offered load). Records
-// per-job response times (send -> DONE) and reports mean + percentiles in
-// the same {"config": ..., "result": ...} JSON shape as staleload_sim, so
+// builds real queues instead of throttling its own offered load). With more
+// than one target the arrivals round-robin across the dispatcher shards,
+// failing over past disconnected ones — the live analogue of the
+// simulator's ArrivalSplitter, minus the randomness (round-robin keeps the
+// per-shard offered load exactly matched). Records per-job response times
+// (send -> DONE) and reports mean + percentiles in the same
+// {"config": ..., "result": ...} JSON shape as staleload_sim, so
 // sim-vs-live comparisons are one jq expression apart.
 #pragma once
 
@@ -24,7 +28,9 @@
 namespace stale::net {
 
 struct LoadGenOptions {
-  Endpoint target;       // dispatcher's client-facing TCP endpoint
+  // Dispatchers' client-facing TCP endpoints; one connection each, arrivals
+  // round-robined across them.
+  std::vector<Endpoint> targets;
   double lambda = 10.0;  // aggregate arrival rate, jobs/second
   double duration = 5.0; // send window, seconds
   double drain = 2.0;    // post-window grace for outstanding replies
@@ -34,8 +40,10 @@ struct LoadGenOptions {
   // Bounded reconnect: a refused or lost dispatcher connection is retried up
   // to connect_retries times, waiting connect_backoff * 2^attempt (capped at
   // 2s) between attempts, so the loadgen survives a dispatcher that starts
-  // late or restarts mid-run. The counter resets once a reply arrives; jobs
-  // whose send window falls in a disconnected gap count as errors (open-loop
+  // late or restarts mid-run. The counter is per target and resets once that
+  // target replies; a target past its retry budget is abandoned, and its
+  // share of the arrivals fails over to the surviving targets. Jobs whose
+  // send window finds no connected target count as errors (open-loop
   // arrivals never pause). 0 restores the old exit-on-first-failure.
   int connect_retries = 10;
   double connect_backoff = 0.2;
@@ -53,6 +61,9 @@ struct LoadGenReport {
   double p90 = 0.0;
   double p99 = 0.0;
   std::vector<std::uint64_t> per_backend_completions;
+  // Per dispatcher shard, indexed like LoadGenOptions::targets.
+  std::vector<std::uint64_t> per_target_sent;
+  std::vector<std::uint64_t> per_target_completed;
 };
 
 class LoadGen {
@@ -65,24 +76,37 @@ class LoadGen {
   const LoadGenReport& report() const { return report_; }
 
  private:
-  void connect_now();
-  void on_conn_lost();
+  // One dispatcher shard's connection state.
+  struct Target {
+    Fd fd;
+    LineBuffer in;
+    WriteBuffer out;
+    int attempts = 0;       // consecutive connect failures
+    bool abandoned = false; // retry budget exhausted
+  };
+
+  struct Pending {
+    double sent_at = 0.0;
+    int target = -1;
+  };
+
+  void connect_now(int target);
+  void on_conn_lost(int target);
   void send_next_job();
-  void on_readable();
-  void handle_line(const std::string& line);
+  void on_readable(int target);
+  void handle_line(int target, const std::string& line);
+  bool any_active() const;
   void status(const std::string& line);
 
   LoadGenOptions options_;
   EventLoop loop_;
-  Fd conn_;
-  LineBuffer in_;
-  WriteBuffer out_;
+  std::vector<Target> targets_;
   sim::Rng rng_;
 
   std::uint64_t next_id_ = 1;
   bool sending_ = true;
-  int connect_attempts_ = 0;  // consecutive failures; reset by any reply
-  std::map<std::uint64_t, double> outstanding_;  // id -> send time
+  std::size_t rr_next_ = 0;  // round-robin cursor over targets
+  std::map<std::uint64_t, Pending> outstanding_;  // id -> send record
   std::vector<double> latencies_;
   LoadGenReport report_;
 };

@@ -164,9 +164,12 @@ void Cluster::recover(double t, int server) {
 }
 
 void Cluster::drain_completions(std::vector<CompletedJob>& out) {
-  for (FifoServer& server : servers_) {
-    std::vector<CompletedJob>& done = server.completions();
-    out.insert(out.end(), done.begin(), done.end());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    std::vector<CompletedJob>& done = servers_[i].completions();
+    for (CompletedJob& job : done) {
+      job.server = static_cast<int>(i);
+      out.push_back(job);
+    }
     done.clear();
   }
 }

@@ -75,7 +75,7 @@ void FifoServer::advance_to(double t) {
     ++completed_;
     if (track_jobs_) {
       const JobMeta& meta = meta_.front();
-      completions_.push_back({meta.tag, dep - meta.born});
+      completions_.push_back({meta.tag, dep - meta.born, dep, -1});
       meta_.pop_front();
     }
     record(dep, length());

@@ -34,6 +34,8 @@ namespace stale::queueing {
 struct CompletedJob {
   std::uint64_t tag = 0;    // caller-assigned id (the arrival index)
   double response = 0.0;    // departure - born
+  double departure = 0.0;   // when the job finished (simulated time)
+  int server = -1;          // filled by Cluster::drain_completions
 };
 
 // A job displaced by a crash, carrying what a dispatcher needs to requeue it.

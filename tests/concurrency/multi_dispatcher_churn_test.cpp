@@ -1,0 +1,73 @@
+// Multi-dispatcher runs under membership churn: D dispatchers each earn
+// their own liveness view from their own board's report recency while the
+// churn injector crashes and restarts servers underneath all of them, and —
+// for JIQ — crash/quarantine sweeps retire idle tokens so none dangle.
+// The whole tangle must stay bit-identical between serial and pooled trial
+// execution, on both board representations. Lives in tests/concurrency/ so
+// the TSan CI job race-checks the per-trial confinement of the injector,
+// the D membership instances, and the shared-within-a-trial token
+// directory. (Token conservation itself is asserted by TokenDirectory::audit
+// inside the engine on STALELOAD_AUDIT builds, which run this same suite.)
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "health/churn_spec.h"
+
+namespace {
+
+using stale::driver::ExperimentConfig;
+using stale::driver::ExperimentResult;
+using stale::driver::run_experiment;
+
+ExperimentConfig churny_multi_config(const std::string& policy,
+                                     stale::policy::BoardRepr repr) {
+  ExperimentConfig config;
+  config.num_servers = 32;
+  config.lambda = 0.85;
+  config.model = stale::driver::UpdateModel::kPeriodic;
+  config.update_interval = 2.0;
+  config.policy = policy;
+  config.board_repr = repr;
+  config.dispatchers = 3;
+  config.num_jobs = 8'000;
+  config.warmup_jobs = 2'000;
+  config.trials = 4;
+  // Rolling restarts reach every server inside the horizon, so each trial
+  // exercises crash-time token invalidation and per-dispatcher quarantine.
+  config.churn = stale::health::ChurnSpec::parse(
+      "restart=60,restartdown=4,leave=0.002,rejoin=2,semantics=requeue,"
+      "suspect=2T,evict=4T,probation=2,coverage=0.5,fallback=random");
+  return config;
+}
+
+void expect_parallel_matches_serial(ExperimentConfig config) {
+  config.jobs = 1;
+  const ExperimentResult serial = run_experiment(config);
+  config.jobs = 4;
+  const ExperimentResult parallel = run_experiment(config);
+  ASSERT_EQ(serial.trial_means.size(), parallel.trial_means.size());
+  for (std::size_t trial = 0; trial < serial.trial_means.size(); ++trial) {
+    EXPECT_EQ(serial.trial_means[trial], parallel.trial_means[trial])
+        << "trial " << trial;
+  }
+  EXPECT_EQ(serial.faults, parallel.faults);
+  // The run must have actually churned for the equality to mean anything.
+  EXPECT_GT(serial.faults.crashes, 0u);
+}
+
+TEST(MultiDispatcherChurnTest, JiqVectorBitIdenticalAcrossJobs) {
+  expect_parallel_matches_serial(
+      churny_multi_config("jiq", stale::policy::BoardRepr::kVector));
+}
+
+TEST(MultiDispatcherChurnTest, JiqBucketedBitIdenticalAcrossJobs) {
+  expect_parallel_matches_serial(
+      churny_multi_config("jiq", stale::policy::BoardRepr::kBucketed));
+}
+
+TEST(MultiDispatcherChurnTest, BasicLiBucketedBitIdenticalAcrossJobs) {
+  expect_parallel_matches_serial(
+      churny_multi_config("basic_li", stale::policy::BoardRepr::kBucketed));
+}
+
+}  // namespace

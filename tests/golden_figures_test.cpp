@@ -147,6 +147,64 @@ TEST(GoldenFigureTest, Fig06ContinuousUpdate) {
       run_figure(base, {1.0, 8.0}, figure_policies()));
 }
 
+// Herd amplification under dispatcher scale-out (ISSUE 9): D cooperating
+// dispatchers over one cluster, with the update interval scaled as T = 2*D
+// so the cluster-wide LI message rate stays matched while each dispatcher's
+// view grows staler. Greedy-on-stale (basic_li) degrades monotonically in D
+// — every dispatcher herds onto the same reported-shortest servers, and
+// deeper staleness makes the herds worse. JIQ-SQ(2) never reads the stale
+// board (idle tokens are exact), so it stays comparatively flat; plain
+// JIQ-Random sits between (its tokens are exact too, but splitting them
+// across D independent idle queues wastes some). The golden file pins the
+// exact means; the explicit assertions pin the shape of the story so a
+// regenerated golden can't silently invert it.
+TEST(GoldenFigureTest, HerdAmplificationDispatcherSweep) {
+  const std::vector<int> d_values = {1, 2, 4, 8};
+  const std::vector<std::string> policies = {"basic_li", "jiq", "jiq:sq:2"};
+  std::vector<GoldenRow> rows;
+  std::map<std::string, std::vector<double>> by_policy;
+  for (int d : d_values) {
+    for (const std::string& policy : policies) {
+      ExperimentConfig config;
+      config.num_servers = 32;
+      config.lambda = 0.8;
+      config.model = UpdateModel::kPeriodic;
+      config.update_interval = 2.0 * d;
+      config.dispatchers = d;
+      config.policy = policy;
+      config.num_jobs = 24'000;
+      config.warmup_jobs = 5'000;
+      config.trials = 3;
+      config.base_seed = kSeed;
+      const ExperimentResult result = run_experiment(config);
+      // The D value rides in the golden file's T column.
+      rows.push_back({policy, static_cast<double>(d), result.mean()});
+      by_policy[policy].push_back(result.mean());
+    }
+  }
+
+  // Greedy-on-stale degrades monotonically in D.
+  const std::vector<double>& greedy = by_policy["basic_li"];
+  for (std::size_t i = 1; i < greedy.size(); ++i) {
+    EXPECT_GT(greedy[i], greedy[i - 1])
+        << "basic_li mean did not degrade from D=" << d_values[i - 1]
+        << " to D=" << d_values[i];
+  }
+  // JIQ beats the stale board at every scale, and JIQ-SQ(2)'s total drift
+  // across the sweep is less than half the greedy degradation: the policy
+  // without a staleness channel is the flat line in the figure.
+  const std::vector<double>& jiq_sq = by_policy["jiq:sq:2"];
+  for (std::size_t i = 0; i < d_values.size(); ++i) {
+    EXPECT_LT(by_policy["jiq"][i], greedy[i]) << "at D=" << d_values[i];
+    EXPECT_LT(jiq_sq[i], greedy[i]) << "at D=" << d_values[i];
+  }
+  EXPECT_LT(jiq_sq.back() - jiq_sq.front(),
+            0.5 * (greedy.back() - greedy.front()))
+      << "JIQ-SQ(2) drifted like a herding policy across the D sweep";
+
+  check_against_golden("dsweep_multi_dispatcher", rows);
+}
+
 TEST(GoldenFigureTest, Fig08UpdateOnAccess) {
   ExperimentConfig base;
   base.num_servers = 10;

@@ -1,0 +1,8 @@
+// Lint fixture: scanned under src/net/fixture.cpp. The live service shards
+// across dispatchers by running whole cooperating processes; it never links
+// the simulator's dispatch layer, so a net -> dispatch include is a
+// layering violation. One L1 finding expected.
+#include "dispatch/dispatcher_set.h"
+#include "net/dispatcher.h"
+
+int shards() { return 3; }

@@ -1,0 +1,12 @@
+// Lint fixture: dispatch-scoped violations, every one carrying a NOLINT
+// suppression, so the scan must come back empty. Scanned under
+// src/dispatch/fixture.cpp — proves the new module participates in the
+// same suppression machinery as the rest of src/.
+#include "net/dispatcher.h"  // NOLINT(staleload-l1-layering) fixture: testing suppression
+
+int tokens() {
+  std::mt19937 engine(7);  // NOLINT(staleload-d2-raw-rng) fixture: testing suppression
+  // NOLINTNEXTLINE(staleload-d4-host-state) fixture: testing next-line form
+  const char* jobs = std::getenv("STALE_JOBS");
+  return static_cast<int>(engine()) + (jobs != nullptr ? 1 : 0);
+}

@@ -75,6 +75,8 @@ INSTANTIATE_TEST_SUITE_P(
                     "staleload-l1-layering"},
         FixtureCase{"l1_health_to_net.cpp", "src/health/fixture.cpp",
                     "staleload-l1-layering"},
+        FixtureCase{"l1_net_to_dispatch.cpp", "src/net/fixture.cpp",
+                    "staleload-l1-layering"},
         FixtureCase{"r1_unsplit_stream.cpp", "src/policy/fixture.cpp",
                     "staleload-r1-unsplit-stream"},
         FixtureCase{"r2_shared_capture.cpp", "src/driver/fixture.cpp",
@@ -125,6 +127,54 @@ TEST(LintSuppressionTest, BalancedBlockSilencesItsRegion) {
   EXPECT_TRUE(findings.empty())
       << "first unsuppressed: "
       << (findings.empty() ? "" : findings.front().rule);
+}
+
+TEST(LintSuppressionTest, DispatchModuleHonorsEverySuppressionForm) {
+  const std::vector<Finding> findings = scan_file(
+      "src/dispatch/fixture.cpp", read_fixture("suppressed_dispatch.cpp"));
+  EXPECT_TRUE(findings.empty())
+      << "first unsuppressed: "
+      << (findings.empty() ? "" : findings.front().rule);
+}
+
+TEST(LintScopeTest, CleanDispatchCodePasses) {
+  // The dispatch module's declared edges, a contracted mutator, and a
+  // split()-derived stream scan clean — the new layer is registered in
+  // every rule scope without tripping any of them.
+  EXPECT_TRUE(scan_file("src/dispatch/fixture.cpp",
+                        read_fixture("dispatch_clean.cpp"))
+                  .empty());
+}
+
+TEST(LintLayeringTest, DispatchEdgesMatchTheDeclaredArchitecture) {
+  // dispatch may reach down to policy/loadinfo/queueing and the substrate.
+  for (const char* header :
+       {"policy/policy.h", "loadinfo/periodic_board.h", "queueing/cluster.h",
+        "sim/rng.h", "obs/trace_sink.h", "check/contracts.h"}) {
+    EXPECT_TRUE(scan_file("src/dispatch/x.cpp",
+                          "#include \"" + std::string(header) + "\"\n")
+                    .empty())
+        << header;
+  }
+  // driver sits above dispatch; nothing else may include it, and dispatch
+  // may not reach up into driver, health, or net.
+  EXPECT_TRUE(scan_file("src/driver/x.cpp",
+                        "#include \"dispatch/dispatcher_set.h\"\n")
+                  .empty());
+  for (const char* bad_edge :
+       {"src/policy/x.cpp", "src/loadinfo/x.cpp", "src/health/x.cpp"}) {
+    const std::vector<Finding> up = scan_file(
+        bad_edge, "#include \"dispatch/jiq.h\"\n");
+    ASSERT_EQ(up.size(), 1u) << bad_edge;
+    EXPECT_EQ(up[0].rule, "staleload-l1-layering") << bad_edge;
+  }
+  for (const char* header : {"driver/experiment.h", "health/membership.h",
+                             "net/dispatcher.h"}) {
+    const std::vector<Finding> up = scan_file(
+        "src/dispatch/x.cpp", "#include \"" + std::string(header) + "\"\n");
+    ASSERT_EQ(up.size(), 1u) << header;
+    EXPECT_EQ(up[0].rule, "staleload-l1-layering") << header;
+  }
 }
 
 TEST(LintSuppressionTest, NewRuleFamiliesHonorEverySuppressionForm) {

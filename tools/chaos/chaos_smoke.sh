@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Chaos smoke for the live dispatcher's health subsystem: boots staleload_lb
-# with membership health enabled plus 12 staleload_backend processes, drives
-# load through staleload_loadgen, SIGKILLs a third of the backends mid-run,
-# and restarts them 2 seconds later. Asserts, from the loadgen report and the
+# Chaos smoke for the live service. Two topologies:
+#
+# single (default) — the health-subsystem drill: boots one staleload_lb with
+# membership health enabled plus 12 staleload_backend processes, drives load
+# through staleload_loadgen, SIGKILLs a third of the backends mid-run, and
+# restarts them 2 seconds later. Asserts, from the loadgen report and the
 # dispatcher's exported event trace, that:
 #   1. >= 99% of the jobs the loadgen sent were answered (re-dispatch saved
 #      the in-flight jobs of the killed backends);
@@ -13,15 +15,30 @@
 #   4. the degraded-mode crossing shows up in the trace (coverage 8/12 dips
 #      below the configured 0.7 threshold while the four are down).
 #
-# Usage: tools/chaos/chaos_smoke.sh [BIN_DIR] [OUT_DIR]
-#   BIN_DIR: directory with the three binaries (default build/tools)
-#   OUT_DIR: artifact directory (default chaos-smoke)
+# sharded — the multi-dispatcher drill: boots D=3 cooperating staleload_lb
+# shards over the same 12 backends (each backend HELLOs and LOAD-reports to
+# all three; the loadgen round-robins arrivals across the three TCP ports),
+# then SIGKILLs one dispatcher mid-run. Asserts from the loadgen report and
+# the survivors' exported traces that:
+#   1. zero jobs were silently lost (sent == completed + errors; the only
+#      errors allowed are the handful in flight on the dead shard's
+#      connection at the instant of the kill);
+#   2. >= 97% of all jobs were answered despite losing a third of the
+#      dispatch plane;
+#   3. the survivors absorbed the dead shard's arrival share (each
+#      survivor's per-target send count exceeds the dead shard's);
+#   4. every surviving dispatcher exported a non-empty per-dispatcher trace.
+#
+# Usage: tools/chaos/chaos_smoke.sh [BIN_DIR] [OUT_DIR] [TOPOLOGY]
+#   BIN_DIR:  directory with the three binaries (default build/tools)
+#   OUT_DIR:  artifact directory (default chaos-smoke)
+#   TOPOLOGY: single | sharded (default single)
 set -euo pipefail
 
 BIN=${1:-build/tools}
 OUT=${2:-chaos-smoke}
+TOPOLOGY=${3:-single}
 BACKENDS=12
-KILL="0 1 2 3"  # the third we murder mid-run
 mkdir -p "$OUT"
 
 PIDS=()
@@ -40,67 +57,73 @@ wait_for_line() { # file token tries
   return 1
 }
 
-start_backend() { # index seed logfile
-  "$BIN/staleload_backend" --index "$1" --report-to "127.0.0.1:$UDP" \
+start_backend() { # index seed logfile report_to
+  "$BIN/staleload_backend" --index "$1" --report-to "$4" \
     --update-period 0.1 --mean-service 0.02 --seed "$2" \
     --duration 60 > "$3" 2>&1 &
   echo $!
 }
 
-# Suspect after 0.4s of silence, evict at 0.8s; two clean reports to rejoin;
-# degraded below 70% coverage (8/12 = 0.667 qualifies while the four are
-# down). The per-job timer is a backstop — SIGKILL closes the TCP socket, so
-# connection errors usually beat it.
-"$BIN/staleload_lb" --backends $BACKENDS --policy basic_li \
-  --schedule periodic --update-period 0.1 --duration 45 --seed 3 \
-  --health "suspect=0.4,evict=0.8,probation=2,probe=0.25,probemax=2,coverage=0.7,fallback=random,retries=3" \
-  --dispatch-timeout 1.0 \
-  --trace-out "$OUT/lb" > "$OUT/lb.out" 2> "$OUT/lb.err" &
-LB_PID=$!
-PIDS+=("$LB_PID")
-wait_for_line "$OUT/lb.out" "LB LISTENING"
-TCP=$(sed -n 's/.*tcp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
-UDP=$(sed -n 's/.*udp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
-echo "dispatcher up: tcp=$TCP udp=$UDP"
+# ---------------------------------------------------------------------------
+run_single() {
+  KILL="0 1 2 3" # the third we murder mid-run
 
-declare -A BACKEND_PID
-for i in $(seq 0 $((BACKENDS - 1))); do
-  BACKEND_PID[$i]=$(start_backend "$i" $((20 + i)) "$OUT/backend$i.out")
-  PIDS+=("${BACKEND_PID[$i]}")
-done
-wait_for_line "$OUT/lb.out" "LB READY"
-echo "all $BACKENDS backends registered"
+  # Suspect after 0.4s of silence, evict at 0.8s; two clean reports to
+  # rejoin; degraded below 70% coverage (8/12 = 0.667 qualifies while the
+  # four are down). The per-job timer is a backstop — SIGKILL closes the TCP
+  # socket, so connection errors usually beat it.
+  "$BIN/staleload_lb" --backends $BACKENDS --policy basic_li \
+    --schedule periodic --update-period 0.1 --duration 45 --seed 3 \
+    --health "suspect=0.4,evict=0.8,probation=2,probe=0.25,probemax=2,coverage=0.7,fallback=random,retries=3" \
+    --dispatch-timeout 1.0 \
+    --trace-out "$OUT/lb" > "$OUT/lb.out" 2> "$OUT/lb.err" &
+  LB_PID=$!
+  PIDS+=("$LB_PID")
+  wait_for_line "$OUT/lb.out" "LB LISTENING"
+  TCP=$(sed -n 's/.*tcp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
+  UDP=$(sed -n 's/.*udp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
+  echo "dispatcher up: tcp=$TCP udp=$UDP"
 
-"$BIN/staleload_loadgen" --target "127.0.0.1:$TCP" --lambda 60 \
-  --duration 12 --drain 4 --warmup 20 --seed 7 \
-  --json "$OUT/loadgen.json" 2> "$OUT/loadgen.err" &
-LG_PID=$!
-PIDS+=("$LG_PID")
+  declare -A BACKEND_PID
+  for i in $(seq 0 $((BACKENDS - 1))); do
+    BACKEND_PID[$i]=$(start_backend "$i" $((20 + i)) "$OUT/backend$i.out" \
+      "127.0.0.1:$UDP")
+    PIDS+=("${BACKEND_PID[$i]}")
+  done
+  wait_for_line "$OUT/lb.out" "LB READY"
+  echo "all $BACKENDS backends registered"
 
-sleep 3
-for i in $KILL; do
-  kill -9 "${BACKEND_PID[$i]}" 2>/dev/null || true
-done
-echo "killed backends: $KILL"
+  "$BIN/staleload_loadgen" --target "127.0.0.1:$TCP" --lambda 60 \
+    --duration 12 --drain 4 --warmup 20 --seed 7 \
+    --json "$OUT/loadgen.json" 2> "$OUT/loadgen.err" &
+  LG_PID=$!
+  PIDS+=("$LG_PID")
 
-sleep 2
-for i in $KILL; do
-  BACKEND_PID[$i]=$(start_backend "$i" $((40 + i)) "$OUT/backend$i.restart.out")
-  PIDS+=("${BACKEND_PID[$i]}")
-done
-echo "restarted backends: $KILL"
+  sleep 3
+  for i in $KILL; do
+    kill -9 "${BACKEND_PID[$i]}" 2>/dev/null || true
+  done
+  echo "killed backends: $KILL"
 
-wait "$LG_PID"
-kill "$LB_PID" 2>/dev/null || true
-wait "$LB_PID" 2>/dev/null || true
-PIDS=("${PIDS[@]/$LG_PID}")
+  sleep 2
+  for i in $KILL; do
+    BACKEND_PID[$i]=$(start_backend "$i" $((40 + i)) \
+      "$OUT/backend$i.restart.out" "127.0.0.1:$UDP")
+    PIDS+=("${BACKEND_PID[$i]}")
+  done
+  echo "restarted backends: $KILL"
 
-test -s "$OUT/lb.events.csv" || {
-  echo "chaos_smoke: dispatcher wrote no trace" >&2
-  exit 1
-}
+  wait "$LG_PID"
+  kill "$LB_PID" 2>/dev/null || true
+  wait "$LB_PID" 2>/dev/null || true
+  PIDS=("${PIDS[@]/$LG_PID}")
 
-python3 - "$OUT/loadgen.json" "$OUT/lb.events.csv" "$KILL" <<'EOF'
+  test -s "$OUT/lb.events.csv" || {
+    echo "chaos_smoke: dispatcher wrote no trace" >&2
+    exit 1
+  }
+
+  python3 - "$OUT/loadgen.json" "$OUT/lb.events.csv" "$KILL" <<'EOF'
 import csv, json, sys
 
 with open(sys.argv[1]) as f:
@@ -146,5 +169,116 @@ for server in map(int, sys.argv[3].split()):
 
 print("chaos smoke OK")
 EOF
+}
+
+# ---------------------------------------------------------------------------
+run_sharded() {
+  DISPATCHERS=3
+  KILL_LB=1 # the shard we murder mid-run
+
+  declare -a LB_PID TCP UDP
+  for d in $(seq 0 $((DISPATCHERS - 1))); do
+    "$BIN/staleload_lb" --backends $BACKENDS --policy basic_li \
+      --schedule periodic --update-period 0.1 --duration 45 \
+      --seed $((3 + d)) \
+      --trace-out "$OUT/lb$d" > "$OUT/lb$d.out" 2> "$OUT/lb$d.err" &
+    LB_PID[$d]=$!
+    PIDS+=("${LB_PID[$d]}")
+    wait_for_line "$OUT/lb$d.out" "LB LISTENING"
+    TCP[$d]=$(sed -n 's/.*tcp=\([0-9]*\).*/\1/p' "$OUT/lb$d.out" | head -1)
+    UDP[$d]=$(sed -n 's/.*udp=\([0-9]*\).*/\1/p' "$OUT/lb$d.out" | head -1)
+    echo "dispatcher $d up: tcp=${TCP[$d]} udp=${UDP[$d]}"
+  done
+
+  REPORT_TO="127.0.0.1:${UDP[0]}"
+  TARGETS="127.0.0.1:${TCP[0]}"
+  for d in $(seq 1 $((DISPATCHERS - 1))); do
+    REPORT_TO="$REPORT_TO,127.0.0.1:${UDP[$d]}"
+    TARGETS="$TARGETS,127.0.0.1:${TCP[$d]}"
+  done
+
+  for i in $(seq 0 $((BACKENDS - 1))); do
+    PIDS+=("$(start_backend "$i" $((20 + i)) "$OUT/backend$i.out" \
+      "$REPORT_TO")")
+  done
+  for d in $(seq 0 $((DISPATCHERS - 1))); do
+    wait_for_line "$OUT/lb$d.out" "LB READY"
+  done
+  echo "all $BACKENDS backends registered with all $DISPATCHERS dispatchers"
+
+  "$BIN/staleload_loadgen" --target "$TARGETS" --lambda 60 \
+    --duration 12 --drain 4 --warmup 20 --seed 7 \
+    --json "$OUT/loadgen.json" 2> "$OUT/loadgen.err" &
+  LG_PID=$!
+  PIDS+=("$LG_PID")
+
+  sleep 3
+  kill -9 "${LB_PID[$KILL_LB]}" 2>/dev/null || true
+  echo "killed dispatcher: $KILL_LB"
+
+  wait "$LG_PID"
+  for d in $(seq 0 $((DISPATCHERS - 1))); do
+    kill "${LB_PID[$d]}" 2>/dev/null || true
+    wait "${LB_PID[$d]}" 2>/dev/null || true
+  done
+  PIDS=("${PIDS[@]/$LG_PID}")
+
+  for d in $(seq 0 $((DISPATCHERS - 1))); do
+    if [ "$d" -ne "$KILL_LB" ]; then
+      test -s "$OUT/lb$d.events.csv" || {
+        echo "chaos_smoke: surviving dispatcher $d wrote no trace" >&2
+        exit 1
+      }
+    fi
+  done
+
+  python3 - "$OUT/loadgen.json" "$KILL_LB" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)["result"]
+killed = int(sys.argv[2])
+sent, completed = report["sent"], report["completed"]
+errors = report["errors"]
+answered = completed / sent if sent else 0.0
+print(f"loadgen: sent={sent} completed={completed} errors={errors} "
+      f"answered={answered:.4f}")
+print(f"per_target_sent={report['per_target_sent']} "
+      f"per_target_completed={report['per_target_completed']}")
+assert sent > 0, "loadgen sent nothing"
+# Zero silently-lost jobs: every arrival either completed or surfaced as a
+# client-visible error (in flight on the dead shard at the kill instant).
+assert sent == completed + errors, (
+    f"{sent - completed - errors} jobs vanished without completion or error")
+assert answered >= 0.97, f"only {answered:.4f} of jobs answered"
+
+per_sent = report["per_target_sent"]
+per_done = report["per_target_completed"]
+# The survivors absorbed the dead shard's arrival share: the kill lands a
+# quarter of the way through the send window, so each survivor ends up with
+# strictly more arrivals than the shard that stopped accepting them.
+for d, (s, c) in enumerate(zip(per_sent, per_done)):
+    if d == killed:
+        continue
+    assert s > per_sent[killed], (
+        f"survivor {d} sent {s} <= dead shard's {per_sent[killed]}: "
+        f"failover did not absorb the share")
+    assert c == s, f"survivor {d} lost {s - c} of its own jobs"
+assert errors == per_sent[killed] - per_done[killed], (
+    "errors beyond the dead shard's unanswered jobs")
+
+print("sharded chaos smoke OK")
+EOF
+}
+
+# ---------------------------------------------------------------------------
+case "$TOPOLOGY" in
+  single) run_single ;;
+  sharded) run_sharded ;;
+  *)
+    echo "chaos_smoke: unknown topology '$TOPOLOGY' (single|sharded)" >&2
+    exit 2
+    ;;
+esac
 
 echo "chaos smoke OK"

@@ -252,6 +252,14 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
       {"fault",
        {"fault", "policy", "loadinfo", "queueing", "core", "sim", "obs",
         "check"}},
+      // dispatch is the multi-dispatcher scale-out layer: DispatcherSet
+      // fans one cluster out to D per-dispatcher board instances, and the
+      // JIQ token directory lives beside the boards it replaces. It sits
+      // directly above policy/loadinfo; only driver may include it (net
+      // shards by running whole processes, not by linking this layer).
+      {"dispatch",
+       {"dispatch", "policy", "loadinfo", "queueing", "core", "sim", "obs",
+        "check"}},
       // health is the membership layer shared by both stacks: it reuses the
       // fault layer's crash semantics and stats, and both net and driver sit
       // above it.
@@ -266,8 +274,9 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
        {"net", "health", "fault", "policy", "loadinfo", "queueing", "core",
         "sim", "obs", "check"}},
       {"driver",
-       {"driver", "health", "fault", "policy", "loadinfo", "queueing",
-        "core", "sim", "obs", "workload", "analysis", "runtime", "check"}},
+       {"driver", "dispatch", "health", "fault", "policy", "loadinfo",
+        "queueing", "core", "sim", "obs", "workload", "analysis", "runtime",
+        "check"}},
   };
   return kDag;
 }
@@ -402,7 +411,7 @@ const std::set<std::string>& std_headers() {
 bool in_simulation_scope(const FileScope& scope) {
   static const std::set<std::string> kSim = {
       "sim",      "queueing", "core",   "loadinfo", "policy", "fault",
-      "workload", "analysis", "driver", "obs",      "health"};
+      "workload", "analysis", "driver", "obs",      "health", "dispatch"};
   return scope.in_src && kSim.count(scope.module) > 0;
 }
 
@@ -411,7 +420,8 @@ bool in_simulation_scope(const FileScope& scope) {
 // to the host.
 bool in_host_state_scope(const FileScope& scope) {
   static const std::set<std::string> kInner = {
-      "sim", "queueing", "policy", "loadinfo", "fault", "obs", "health"};
+      "sim",   "queueing", "policy", "loadinfo",
+      "fault", "obs",      "health", "dispatch"};
   return scope.in_src && kInner.count(scope.module) > 0;
 }
 
@@ -422,8 +432,8 @@ bool in_host_state_scope(const FileScope& scope) {
 // inside R2/R3.
 bool in_rng_stream_scope(const FileScope& scope) {
   static const std::set<std::string> kRng = {
-      "sim",    "queueing", "core",     "loadinfo", "policy",
-      "fault",  "health",   "workload", "analysis", "obs"};
+      "sim",      "queueing", "core", "loadinfo", "policy",   "fault",
+      "health",   "workload", "analysis", "obs",  "dispatch"};
   return scope.in_src && kRng.count(scope.module) > 0;
 }
 
@@ -432,7 +442,7 @@ bool in_rng_stream_scope(const FileScope& scope) {
 // paper's numbers are computed from.
 bool in_contract_scope(const FileScope& scope) {
   static const std::set<std::string> kContract = {"sim", "queueing",
-                                                  "loadinfo"};
+                                                  "loadinfo", "dispatch"};
   return scope.in_src && kContract.count(scope.module) > 0;
 }
 

@@ -7,9 +7,12 @@
 //
 // Prints "BACKEND LISTENING index=<i> tcp=<port>" once bound, then HELLOs
 // the dispatcher's UDP control endpoint until the data-plane connection
-// arrives. --update-period 0 (the default) sends no standing LOAD reports —
-// the dispatcher's piggyback schedule learns queue lengths from DONE replies
-// instead. Runs until SIGINT/SIGTERM or --duration seconds.
+// arrives. --report-to accepts a comma-separated list for the sharded
+// topology (one HELLO target + LOAD fan-out per dispatcher; DONE replies
+// route back over the connection each job arrived on). --update-period 0
+// (the default) sends no standing LOAD reports — the dispatcher's piggyback
+// schedule learns queue lengths from DONE replies instead. Runs until
+// SIGINT/SIGTERM or --duration seconds.
 #include <atomic>
 #include <cmath>
 #include <csignal>
@@ -36,11 +39,27 @@ void install_signal_handlers() {
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "staleload_backend: " << error << "\n"
-            << "usage: staleload_backend --index I --report-to HOST:PORT\n"
+            << "usage: staleload_backend --index I "
+               "--report-to HOST:PORT[,HOST:PORT...]\n"
             << "  [--host H] [--port P] [--update-period T]\n"
             << "  [--mean-service S] [--hello-period S] [--seed S]\n"
             << "  [--duration S]\n";
   std::exit(2);
+}
+
+// "HOST:PORT[,HOST:PORT...]" -> endpoints, one per dispatcher shard.
+std::vector<stale::net::Endpoint> parse_endpoint_list(const std::string& text) {
+  std::vector<stale::net::Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string one = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    endpoints.push_back(stale::net::parse_endpoint(one));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return endpoints;
 }
 
 }  // namespace
@@ -64,7 +83,7 @@ int main(int argc, char** argv) {
       } else if (flag == "--index") {
         options.index = std::stoi(value());
       } else if (flag == "--report-to") {
-        options.report_to = stale::net::parse_endpoint(value());
+        options.report_to = parse_endpoint_list(value());
         have_report_to = true;
       } else if (flag == "--update-period") {
         options.update_period = std::stod(value());

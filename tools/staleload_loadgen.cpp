@@ -6,9 +6,11 @@
 //       [--json PATH]
 //
 // Offered load is open loop: the exponential send schedule never waits for
-// completions. The response-time report (mean/p50/p90/p99 plus per-backend
-// completion counts) is written as one staleload_sim-shaped JSON object to
-// --json (default stdout). Exits nonzero when nothing completed — a dead
+// completions. --target accepts a comma-separated list of dispatcher shards;
+// arrivals round-robin across them with failover past disconnected shards.
+// The response-time report (mean/p50/p90/p99 plus per-backend and per-target
+// counts) is written as one staleload_sim-shaped JSON object to --json
+// (default stdout). Exits nonzero when nothing completed — a dead
 // dispatcher should fail a CI smoke step loudly.
 #include <atomic>
 #include <csignal>
@@ -34,11 +36,26 @@ void install_signal_handlers() {
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "staleload_loadgen: " << error << "\n"
-            << "usage: staleload_loadgen --target HOST:PORT [--lambda R]\n"
-            << "  [--duration S] [--drain S] [--warmup N] [--max-jobs N]\n"
-            << "  [--seed S] [--connect-retries N] [--connect-backoff S]\n"
-            << "  [--json PATH]\n";
+            << "usage: staleload_loadgen --target HOST:PORT[,HOST:PORT...]\n"
+            << "  [--lambda R] [--duration S] [--drain S] [--warmup N]\n"
+            << "  [--max-jobs N] [--seed S] [--connect-retries N]\n"
+            << "  [--connect-backoff S] [--json PATH]\n";
   std::exit(2);
+}
+
+// "HOST:PORT[,HOST:PORT...]" -> endpoints, one per dispatcher shard.
+std::vector<stale::net::Endpoint> parse_endpoint_list(const std::string& text) {
+  std::vector<stale::net::Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string one = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    endpoints.push_back(stale::net::parse_endpoint(one));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return endpoints;
 }
 
 }  // namespace
@@ -56,7 +73,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (flag == "--target") {
-        options.target = stale::net::parse_endpoint(value());
+        options.targets = parse_endpoint_list(value());
         have_target = true;
       } else if (flag == "--lambda") {
         options.lambda = std::stod(value());

@@ -7,7 +7,14 @@
 //
 // Models: periodic | continuous | update_on_access | individual
 // Policies: random | k_subset:K | threshold:K:T | basic_li | aggressive_li |
-//           hybrid_li | basic_li_k:K
+//           hybrid_li | basic_li_k:K | jiq | jiq:sq[:K]
+//
+// Multi-dispatcher scale-out (board models only):
+//   --dispatchers D            D cooperating dispatchers over one cluster,
+//                              each with its own board + staleness schedule
+//                              (D=1 is the legacy engine, bit-for-bit)
+//   --dispatcher-split uniform|weighted   arrival thinning across dispatchers
+//   --token-budget B           JIQ: per-dispatcher idle-token cap (0 = off)
 //
 // Large clusters: --board-repr auto|vector|bucketed selects the dispatch
 // representation. "bucketed" runs the O(#levels) counted-board path (same
@@ -149,6 +156,12 @@ int main(int argc, char** argv) {
                   << ", lambda = " << config.lambda
                   << ", T = " << config.update_interval
                   << ", jobs = " << config.job_size << ")\n";
+        if (config.dispatchers > 1) {
+          std::cout << "# dispatchers = " << config.dispatchers << " ("
+                    << stale::dispatch::dispatcher_split_name(
+                           config.dispatcher_split)
+                    << " split)\n";
+        }
 
         stale::driver::ExperimentResult result;
         int trials_used = config.trials;
