@@ -9,6 +9,7 @@
 #include "core/rate_estimator.h"
 #include "dispatch/jiq.h"
 #include "driver/multi_dispatcher.h"
+#include "driver/trial_workload.h"
 #include "driver/update_on_access.h"
 #include "fault/fault_injector.h"
 #include "fault/hardened_policy.h"
@@ -23,8 +24,10 @@
 #include "queueing/metrics.h"
 #include "runtime/thread_pool.h"
 #include "sim/rng.h"
+#include "workload/arrival_spec.h"
 #include "workload/bursty_process.h"
 #include "workload/job_size.h"
+#include "workload/rate_estimator.h"
 
 namespace stale::driver {
 
@@ -101,6 +104,16 @@ void validate(const ExperimentConfig& config) {
           "each dispatcher its own earned liveness view)");
     }
   }
+  if (config.replay == nullptr) {
+    workload::validate_arrival_spec(config.arrival_spec);
+  }
+  if (config.model == UpdateModel::kUpdateOnAccess &&
+      (config.replay != nullptr || config.arrival_spec != "poisson")) {
+    throw std::invalid_argument(
+        "ExperimentConfig: the update_on_access model owns its own client "
+        "arrival processes (--bursty); --arrival-spec and replay apply to "
+        "the board models only");
+  }
   if (config.fault.any() && config.model == UpdateModel::kUpdateOnAccess) {
     throw std::invalid_argument(
         "ExperimentConfig: fault injection is not supported for the "
@@ -126,13 +139,32 @@ void validate(const ExperimentConfig& config) {
 // for "told" (the fixed believed_total_rate is used instead).
 core::RateEstimatorPtr make_rate_estimator(const ExperimentConfig& config) {
   const std::string& spec = config.rate_estimator;
-  if (spec == "told") return nullptr;
+  // "fixed" is the live dispatcher's name for the same ablation: the policy
+  // believes the configured rate forever, however the traffic moves.
+  if (spec == "told" || spec == "fixed") return nullptr;
   const double max_throughput = static_cast<double>(config.num_servers);
   if (spec == "conservative") {
     return std::make_unique<core::ConservativeRateEstimator>(max_throughput);
   }
   const auto colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
+  if (kind == "cema") {
+    // cema[:ALPHA[:BUCKET]] — defaults: alpha 0.1, bucket T/2 (two samples
+    // per staleness phase, so lambda-hat re-converges within a few phases of
+    // a rate shift), initial estimate the conservative max throughput.
+    double alpha = 0.1;
+    double bucket = config.update_interval / 2.0;
+    if (colon != std::string::npos) {
+      const std::string rest = spec.substr(colon + 1);
+      const auto second = rest.find(':');
+      alpha = std::stod(rest.substr(0, second));
+      if (second != std::string::npos) {
+        bucket = std::stod(rest.substr(second + 1));
+      }
+    }
+    return std::make_unique<workload::CemaRateEstimator>(alpha, bucket,
+                                                         max_throughput);
+  }
   const double param =
       colon == std::string::npos ? 0.0 : std::stod(spec.substr(colon + 1));
   if (kind == "ewma") {
@@ -154,6 +186,7 @@ void fill_percentiles(const queueing::ResponseMetrics& metrics,
   std::vector<double> sorted = metrics.samples();
   std::sort(sorted.begin(), sorted.end());
   result.p50_response = sim::percentile_sorted(sorted, 0.50);
+  result.p90_response = sim::percentile_sorted(sorted, 0.90);
   result.p95_response = sim::percentile_sorted(sorted, 0.95);
   result.p99_response = sim::percentile_sorted(sorted, 0.99);
 }
@@ -170,10 +203,9 @@ TrialResult run_board_trial(const ExperimentConfig& config,
   queueing::ResponseMetrics metrics(config.warmup_jobs,
                                     config.keep_response_samples);
   const auto policy = policy::make_policy(config.policy);
-  const auto job_size = workload::make_job_size(config.job_size);
+  TrialWorkload workload = make_trial_workload(config);
   const auto estimator = make_rate_estimator(config);
   const double believed_rate = config.believed_total_rate();
-  const double arrival_rate = config.total_rate();
 
   loadinfo::PeriodicBoard board(config.num_servers, config.update_interval);
   sim::Rng offsets_rng = rng.split();
@@ -213,7 +245,7 @@ TrialResult run_board_trial(const ExperimentConfig& config,
 
   double t = 0.0;
   for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
-    t += -std::log(rng.next_double_open0()) / arrival_rate;
+    t += workload.arrivals->next_gap(rng);
 
     policy::DispatchContext context;
     if (estimator) {
@@ -254,7 +286,7 @@ TrialResult run_board_trial(const ExperimentConfig& config,
 
     const int server = policy->select(context, rng);
     if (trace) trace->on_decision(t, server, context.age);
-    const double size = job_size->sample(rng);
+    const double size = workload.sizes->sample(rng);
     // Snapshot the true pre-dispatch queue lengths (arrival epochs give
     // unbiased time averages) once the warmup has passed. The histogram
     // overload computes the same statistics in O(#levels) from the same
@@ -279,6 +311,7 @@ TrialResult run_board_trial(const ExperimentConfig& config,
       .mean_queue_stddev = imbalance.mean_within_snapshot_stddev(),
       .mean_queue_max = imbalance.mean_snapshot_max(),
       .mean_queue_length = imbalance.mean_queue_length()};
+  result.trace_wraps = workload.wraps();
   fill_percentiles(metrics, result);
   return result;
 }
@@ -313,10 +346,9 @@ TrialResult run_fault_board_trial(const ExperimentConfig& config,
   queueing::ResponseMetrics metrics(config.warmup_jobs,
                                     config.keep_response_samples);
   policy::PolicyPtr policy = policy::make_policy(config.policy);
-  const auto job_size = workload::make_job_size(config.job_size);
+  TrialWorkload workload = make_trial_workload(config);
   const auto estimator = make_rate_estimator(config);
   const double believed_rate = config.believed_total_rate();
-  const double arrival_rate = config.total_rate();
 
   loadinfo::PeriodicBoard board(config.num_servers, config.update_interval);
   sim::Rng offsets_rng = rng.split();
@@ -373,7 +405,7 @@ TrialResult run_fault_board_trial(const ExperimentConfig& config,
 
   double t = 0.0;
   for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
-    t += -std::log(rng.next_double_open0()) / arrival_rate;
+    t += workload.arrivals->next_gap(rng);
 
     // Crash/recovery transitions and board refreshes interleave in global
     // time order: a board boundary before a crash must measure the
@@ -445,7 +477,7 @@ TrialResult run_fault_board_trial(const ExperimentConfig& config,
     cluster.advance_to(t);
     if (job >= config.warmup_jobs) imbalance.observe(cluster.loads());
     if (dispatched) {
-      const double size = job_size->sample(rng);
+      const double size = workload.sizes->sample(rng);
       cluster.assign_tagged(t, server, size, job, t);
       penalty[job] = backoff_penalty;
     } else {
@@ -468,6 +500,7 @@ TrialResult run_fault_board_trial(const ExperimentConfig& config,
       .mean_queue_max = imbalance.mean_snapshot_max(),
       .mean_queue_length = imbalance.mean_queue_length()};
   result.faults = stats;
+  result.trace_wraps = workload.wraps();
   fill_percentiles(metrics, result);
   return result;
 }
@@ -500,10 +533,9 @@ TrialResult run_churn_board_trial(const ExperimentConfig& config,
                                     config.keep_response_samples);
   policy::PolicyPtr policy = policy::make_policy(config.policy);
   policy::PolicyPtr fallback = policy::make_policy(spec.fallback_policy);
-  const auto job_size = workload::make_job_size(config.job_size);
+  TrialWorkload workload = make_trial_workload(config);
   const auto estimator = make_rate_estimator(config);
   const double believed_rate = config.believed_total_rate();
-  const double arrival_rate = config.total_rate();
 
   loadinfo::PeriodicBoard board(config.num_servers, config.update_interval);
   sim::Rng offsets_rng = rng.split();
@@ -607,7 +639,7 @@ TrialResult run_churn_board_trial(const ExperimentConfig& config,
   queueing::LoadImbalanceStats imbalance;
   double t = 0.0;
   for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
-    t += -std::log(rng.next_double_open0()) / arrival_rate;
+    t += workload.arrivals->next_gap(rng);
 
     // Ground-truth transitions and board refreshes interleave in global time
     // order (a publish boundary before a departure must measure the
@@ -683,7 +715,7 @@ TrialResult run_churn_board_trial(const ExperimentConfig& config,
     cluster.advance_to(t);
     if (job >= config.warmup_jobs) imbalance.observe(cluster.loads());
     if (dispatched) {
-      const double size = job_size->sample(rng);
+      const double size = workload.sizes->sample(rng);
       cluster.assign_tagged(t, server, size, job, t);
       penalty[job] = backoff_penalty;
     } else {
@@ -706,6 +738,7 @@ TrialResult run_churn_board_trial(const ExperimentConfig& config,
       .mean_queue_max = imbalance.mean_snapshot_max(),
       .mean_queue_length = imbalance.mean_queue_length()};
   result.faults = stats;
+  result.trace_wraps = workload.wraps();
   fill_percentiles(metrics, result);
   return result;
 }
@@ -823,6 +856,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.across_trials.add(outcome.mean_response);
     result.trial_means.push_back(outcome.mean_response);
     result.faults.merge(outcome.faults);
+    result.trace_wraps = std::max(result.trace_wraps, outcome.trace_wraps);
   }
   return result;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "obs/trace_sink.h"
 #include "policy/policy.h"
 #include "sim/stats.h"
+#include "workload/replay.h"
 
 namespace stale::driver {
 
@@ -81,6 +83,19 @@ struct ExperimentConfig {
 
   // --- workload ---
   std::string job_size = "exp:1";  // see workload/job_size.h
+
+  // Arrival-process spec (workload/arrival_spec.h): "poisson" (default,
+  // bit-identical to the historical inline draw), "mmpp:...", "ramp:...",
+  // "flash:...", or "trace:FILE". The base rate is total_rate(), so --lambda
+  // still sets the overall scale. Board models only for non-poisson specs.
+  std::string arrival_spec = "poisson";
+
+  // Replay of a recorded live run (workload/replay.h), set up by
+  // configure_replay(): arrivals and job sizes come from the trace, verbatim.
+  // Overrides arrival_spec and job_size when non-null. Shared because trials
+  // run on worker threads; the trace itself is immutable (each trial builds
+  // its own cursor-holding ReplayProcess/TraceSizes from it).
+  std::shared_ptr<const workload::ReplayTrace> replay;
 
   // --- fault injection (src/fault/) ---
   // Default-constructed spec = no faults; the fault trial path is only taken
@@ -175,8 +190,13 @@ struct TrialResult {
   // Response-time percentiles; populated only when
   // ExperimentConfig::keep_response_samples is set.
   double p50_response = 0.0;
+  double p90_response = 0.0;
   double p95_response = 0.0;
   double p99_response = 0.0;
+  // Times a finite arrival/size trace looped back to its start to keep
+  // feeding the trial (trace/replay workloads only; 0 elsewhere). Nonzero
+  // means the run consumed more jobs than the recording holds.
+  std::uint64_t trace_wraps = 0;
   // Fault/degradation counters (all zero for fault-free runs). The explicit
   // {} gives the member a default member initializer, so designated-init
   // construction sites that omit it stay -Wmissing-field-initializers-clean.
@@ -187,6 +207,7 @@ struct ExperimentResult {
   sim::RunningStats across_trials;  // of per-trial mean response times
   std::vector<double> trial_means;
   fault::FaultStats faults{};  // summed across trials
+  std::uint64_t trace_wraps = 0;  // max over trials (see TrialResult)
 
   double mean() const { return across_trials.mean(); }
   double ci90() const { return across_trials.ci90_half_width(); }

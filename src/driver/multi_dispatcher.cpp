@@ -16,8 +16,9 @@
 #include "queueing/cluster.h"
 #include "queueing/load_stats.h"
 #include "queueing/metrics.h"
+#include "driver/trial_workload.h"
 #include "sim/rng.h"
-#include "workload/job_size.h"
+#include "workload/rate_estimator.h"
 
 namespace stale::driver {
 
@@ -28,16 +29,30 @@ bool uses_multi_dispatcher(const ExperimentConfig& config) {
 namespace {
 
 // Builds the online rate estimator named by config.rate_estimator, or null
-// for "told". Mirrors the legacy engine's helper (anonymous there).
+// for "told"/"fixed". Mirrors the legacy engine's helper (anonymous there).
 core::RateEstimatorPtr make_estimator(const ExperimentConfig& config) {
   const std::string& spec = config.rate_estimator;
-  if (spec == "told") return nullptr;
+  if (spec == "told" || spec == "fixed") return nullptr;
   const double max_throughput = static_cast<double>(config.num_servers);
   if (spec == "conservative") {
     return std::make_unique<core::ConservativeRateEstimator>(max_throughput);
   }
   const auto colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
+  if (kind == "cema") {
+    double alpha = 0.1;
+    double bucket = config.update_interval / 2.0;
+    if (colon != std::string::npos) {
+      const std::string rest = spec.substr(colon + 1);
+      const auto second = rest.find(':');
+      alpha = std::stod(rest.substr(0, second));
+      if (second != std::string::npos) {
+        bucket = std::stod(rest.substr(second + 1));
+      }
+    }
+    return std::make_unique<workload::CemaRateEstimator>(alpha, bucket,
+                                                         max_throughput);
+  }
   const double param =
       colon == std::string::npos ? 0.0 : std::stod(spec.substr(colon + 1));
   if (kind == "ewma") {
@@ -57,6 +72,7 @@ void fill_result_percentiles(const queueing::ResponseMetrics& metrics,
   std::vector<double> sorted = metrics.samples();
   std::sort(sorted.begin(), sorted.end());
   result.p50_response = sim::percentile_sorted(sorted, 0.50);
+  result.p90_response = sim::percentile_sorted(sorted, 0.90);
   result.p95_response = sim::percentile_sorted(sorted, 0.95);
   result.p99_response = sim::percentile_sorted(sorted, 0.99);
 }
@@ -125,10 +141,9 @@ TrialResult run_multi_dispatcher_trial(const ExperimentConfig& config,
     if (churn) fallbacks.push_back(policy::make_policy(cspec.fallback_policy));
   }
 
-  const auto job_size = workload::make_job_size(config.job_size);
+  TrialWorkload trial_workload = make_trial_workload(config);
   const auto estimator = make_estimator(config);
   const double believed_rate = config.believed_total_rate();
-  const double arrival_rate = config.total_rate();
 
   dispatch::DispatcherSet boards(D, config.num_servers,
                                  config.update_interval, use_individual, rng);
@@ -268,7 +283,7 @@ TrialResult run_multi_dispatcher_trial(const ExperimentConfig& config,
   queueing::LoadImbalanceStats imbalance;
   double t = 0.0;
   for (std::uint64_t job = 0; job < config.num_jobs; ++job) {
-    t += -std::log(rng.next_double_open0()) / arrival_rate;
+    t += trial_workload.arrivals->next_gap(rng);
 
     if (churn) {
       // Ground-truth transitions and board refreshes interleave in global
@@ -397,7 +412,7 @@ TrialResult run_multi_dispatcher_trial(const ExperimentConfig& config,
       }
     }
     if (dispatched) {
-      const double size = job_size->sample(rng);
+      const double size = trial_workload.sizes->sample(rng);
       if (tracking) {
         const double departure = cluster.assign_tagged(t, server, size, job, t);
         if (churn) {
@@ -440,6 +455,7 @@ TrialResult run_multi_dispatcher_trial(const ExperimentConfig& config,
       .mean_queue_max = imbalance.mean_snapshot_max(),
       .mean_queue_length = imbalance.mean_queue_length()};
   if (churn) result.faults = stats;
+  result.trace_wraps = trial_workload.wraps();
   fill_result_percentiles(metrics, result);
   return result;
 }

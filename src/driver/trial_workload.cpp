@@ -1,0 +1,63 @@
+#include "driver/trial_workload.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "workload/arrival_spec.h"
+#include "workload/job_size.h"
+#include "workload/replay.h"
+#include "workload/trace.h"
+
+namespace stale::driver {
+
+TrialWorkload make_trial_workload(const ExperimentConfig& config) {
+  TrialWorkload workload;
+  if (config.replay != nullptr) {
+    workload.arrivals =
+        std::make_unique<stale::workload::ReplayProcess>(
+            config.replay->arrivals);
+    workload.sizes = std::make_unique<stale::workload::TraceSizes>(
+        config.replay->arrivals);
+    return workload;
+  }
+  workload.arrivals = stale::workload::make_arrival_process(
+      config.arrival_spec, config.total_rate());
+  workload.sizes = stale::workload::make_job_size(config.job_size);
+  return workload;
+}
+
+void configure_replay(ExperimentConfig& config, const std::string& dir) {
+  auto trace = std::make_shared<stale::workload::ReplayTrace>(
+      stale::workload::load_replay_trace(dir));
+  if (trace->arrivals.size() < 8) {
+    throw std::invalid_argument(
+        "configure_replay: trace '" + dir + "' holds only " +
+        std::to_string(trace->arrivals.size()) +
+        " completed jobs — too short to measure");
+  }
+  if (trace->manifest.schedule != "periodic") {
+    throw std::invalid_argument(
+        "configure_replay: only 'periodic' recordings replay (got schedule '" +
+        trace->manifest.schedule + "'; the piggyback board has no "
+        "standalone report stream to reconstruct)");
+  }
+  const double rate = trace->empirical_rate();
+  if (rate <= 0.0) {
+    throw std::invalid_argument(
+        "configure_replay: trace '" + dir + "' spans zero time");
+  }
+  config.num_servers = trace->manifest.backends;
+  config.update_interval = trace->manifest.update_period;
+  // Live "periodic" reporting is each backend on its own timer — de-phased
+  // per-server refresh, which is the simulator's individual model, not the
+  // phase-locked bulletin board.
+  config.model = UpdateModel::kIndividual;
+  config.num_jobs = trace->arrivals.size();
+  config.warmup_jobs = config.num_jobs / 4;
+  config.trials = 1;
+  config.lambda = rate / trace->manifest.backends;
+  config.arrival_spec = "poisson";  // ignored once replay is set; keep valid
+  config.replay = std::move(trace);
+}
+
+}  // namespace stale::driver

@@ -146,9 +146,8 @@ void Backend::start_service_if_idle() {
   busy_ = true;
   in_service_ = queue_.front();
   queue_.pop_front();
-  const double service =
-      sim::Exponential(options_.mean_service).sample(rng_);
-  loop_.add_timer(service, [this] { finish_job(); });
+  in_service_duration_ = sim::Exponential(options_.mean_service).sample(rng_);
+  loop_.add_timer(in_service_duration_, [this] { finish_job(); });
 }
 
 void Backend::finish_job() {
@@ -159,7 +158,10 @@ void Backend::finish_job() {
   // loses the reply; that dispatcher's timeout path owns the job now.
   Link& link = links_[static_cast<std::size_t>(in_service_.link)];
   if (link.connected) {
-    link.out.append(format_done(DoneMsg{in_service_.gid, queue_len()}));
+    // The drawn service time rides along so a recording dispatcher can write
+    // replayable job sizes (trace-v2).
+    link.out.append(format_done(
+        DoneMsg{in_service_.gid, queue_len(), in_service_duration_}));
     link.out.flush(link.fd.get());
     loop_.set_interest(link.fd.get(), true, link.out.wants_write());
   }

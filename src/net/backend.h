@@ -3,8 +3,8 @@
 // One queue, one (virtual) processor: jobs arrive as `JOB <gid>` lines from
 // a dispatcher's persistent TCP connection, wait FIFO, occupy the server
 // for an exponential service time (an event-loop timer — no thread sleeps),
-// and leave as `DONE <gid> <queue_len_after>` replies routed back over the
-// connection the job arrived on. This is exactly the paper's M/M/1-ish
+// and leave as `DONE <gid> <queue_len_after> <service>` replies routed back
+// over the connection the job arrived on. This is exactly the paper's M/M/1-ish
 // server, except time is physical.
 //
 // Control plane: the backend announces itself with periodic `HELLO`
@@ -105,6 +105,7 @@ class Backend {
   std::deque<QueuedJob> queue_;  // waiting jobs (excludes in-service)
   bool busy_ = false;
   QueuedJob in_service_;
+  double in_service_duration_ = 0.0;  // drawn service time, reported in DONE
 
   sim::Rng rng_;
   std::uint64_t report_seq_ = 0;

@@ -8,7 +8,9 @@
 #include <cerrno>
 #include <stdexcept>
 
+#include "net/record.h"
 #include "sim/distributions.h"
+#include "workload/rate_estimator.h"
 
 namespace stale::net {
 
@@ -20,6 +22,81 @@ sim::Rng split_stream(std::uint64_t seed, int stream) {
   sim::Rng rng(seed);
   for (int i = 0; i < stream; ++i) rng.long_jump();
   return rng;
+}
+
+double parse_spec_field(const std::string& spec, const std::string& field) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(field, &used);
+    if (used != field.size()) throw std::invalid_argument(field);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("estimator spec '" + spec +
+                                "': bad number '" + field + "'");
+  }
+}
+
+// --estimator grammar (see DispatcherOptions::estimator_spec). Near-zero
+// initial rates (the estimators reject exactly 0): until arrivals accumulate,
+// LI degrades toward "interpret the board as fresh" — the paper's K = 0.
+core::RateEstimatorPtr make_live_estimator(const std::string& spec,
+                                           double update_period,
+                                           double rate_window) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  const std::string& kind = parts[0];
+  if (kind == "windowed") {
+    if (parts.size() > 2) {
+      throw std::invalid_argument("estimator spec: expected windowed[:W]");
+    }
+    double window = parts.size() == 2 ? parse_spec_field(spec, parts[1])
+                                      : rate_window;
+    if (window <= 0.0) window = 4.0 * std::max(update_period, 0.25);
+    return std::make_unique<core::WindowedRateEstimator>(window, 1e-9);
+  }
+  if (kind == "ewma") {
+    if (parts.size() != 2) {
+      throw std::invalid_argument("estimator spec: expected ewma:TAU");
+    }
+    const double tau = parse_spec_field(spec, parts[1]);
+    if (tau <= 0.0) {
+      throw std::invalid_argument("estimator spec: ewma tau must be > 0");
+    }
+    return std::make_unique<core::EwmaRateEstimator>(tau, 1e-9);
+  }
+  if (kind == "cema") {
+    if (parts.size() > 3) {
+      throw std::invalid_argument("estimator spec: expected cema[:A[:B]]");
+    }
+    const double alpha =
+        parts.size() >= 2 ? parse_spec_field(spec, parts[1]) : 0.1;
+    const double bucket = parts.size() == 3
+                              ? parse_spec_field(spec, parts[2])
+                              : std::max(update_period, 0.05) / 2.0;
+    return std::make_unique<workload::CemaRateEstimator>(alpha, bucket, 1e-9);
+  }
+  if (kind == "fixed") {
+    if (parts.size() != 2) {
+      throw std::invalid_argument("estimator spec: expected fixed:RATE");
+    }
+    const double rate = parse_spec_field(spec, parts[1]);
+    if (rate <= 0.0) {
+      throw std::invalid_argument("estimator spec: fixed rate must be > 0");
+    }
+    return std::make_unique<core::ConservativeRateEstimator>(rate);
+  }
+  throw std::invalid_argument(
+      "unknown estimator spec '" + spec +
+      "' (expected windowed[:W] | ewma:TAU | cema[:A[:B]] | fixed:RATE)");
 }
 
 }  // namespace
@@ -58,13 +135,8 @@ Dispatcher::Dispatcher(const DispatcherOptions& options)
     health_tick_period_ =
         std::max(0.05, options_.health.suspect_timeout / 4.0);
   }
-  const double window = options.rate_window > 0.0
-                            ? options.rate_window
-                            : 4.0 * std::max(options.update_period, 0.25);
-  // Near-zero initial rate (the estimator rejects exactly 0): until arrivals
-  // fill the window, LI degrades toward "interpret the board as fresh",
-  // which is the paper's K = 0 behaviour.
-  rate_ = std::make_unique<core::WindowedRateEstimator>(window, 1e-9);
+  rate_ = make_live_estimator(options_.estimator_spec, options_.update_period,
+                              options_.rate_window);
 
   listen_fd_ = tcp_listen(options.host, options.tcp_port, &tcp_port_);
   udp_fd_ = udp_bind(options.host, options.udp_port, &udp_port_);
@@ -259,6 +331,9 @@ void Dispatcher::apply_report(const LoadMsg& msg) {
     membership_->note_report(msg.index, now);
   }
   board_.apply_report(msg.index, msg.queue_len, now);
+  if (options_.record != nullptr) {
+    options_.record->note_load(now, msg.index, msg.queue_len);
+  }
   if (options_.trace != nullptr) {
     options_.trace->on_board_refresh(now, now, board_.version(),
                                      board_.loads());
@@ -443,6 +518,11 @@ void Dispatcher::dispatch_attempt(int client_fd, std::uint64_t client_id,
   }
 
   const std::uint64_t gid = next_gid_++;
+  if (options_.record != nullptr && attempts == 0) {
+    // Re-dispatches keep the arrival pinned to the original gid; the retry's
+    // gid never completes in the recorder and is dropped at write time.
+    options_.record->note_arrival(gid, now);
+  }
   InFlightJob job{client_fd, client_id, backend, attempts, 0};
   if (options_.dispatch_timeout > 0.0) {
     job.timeout_timer = loop_.add_timer(
@@ -535,6 +615,9 @@ void Dispatcher::handle_backend_line(int index, const std::string& line) {
     --outstanding_[static_cast<std::size_t>(index)];
   }
   ++stats_.jobs_completed;
+  if (options_.record != nullptr) {
+    options_.record->note_done(done->id, now, done->service);
+  }
   if (options_.trace != nullptr) {
     options_.trace->on_departure(now, index, done->queue_len);
   }

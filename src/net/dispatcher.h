@@ -57,6 +57,8 @@
 
 namespace stale::net {
 
+class TraceV2Recorder;
+
 struct DispatcherOptions {
   std::string host = "127.0.0.1";
   std::uint16_t tcp_port = 0;  // client-facing; 0 = ephemeral
@@ -69,8 +71,18 @@ struct DispatcherOptions {
   double update_period = 1.0;  // T (phase length LI interprets against)
 
   // Arrival-rate estimation window for DispatchContext::lambda_total;
-  // <= 0 picks 4 * update_period.
+  // <= 0 picks 4 * update_period. Applies to the default windowed estimator
+  // only (see estimator_spec).
   double rate_window = 0.0;
+
+  // Which lambda-hat feeds the LI policies (--estimator):
+  //   windowed[:W]   sliding-window count/W (the default; W from rate_window)
+  //   ewma:TAU       exponential moving average with time constant TAU
+  //   cema[:A[:B]]   bias-corrected bucketed CEMA (alpha A, bucket width B;
+  //                  defaults 0.1 and update_period/2)
+  //   fixed:RATE     a constant — the paper's "operator tells the dispatcher
+  //                  lambda" baseline, deliberately blind to load shifts
+  std::string estimator_spec = "windowed";
 
   double duration = 0.0;  // seconds; <= 0 = run until stopped
   std::uint64_t seed = 1;
@@ -104,6 +116,10 @@ struct DispatcherOptions {
   std::ostream* status_out = nullptr;
 
   obs::TraceSink* trace = nullptr;
+
+  // Trace-v2 recording (--record): arrival/LOAD/DONE events flow into the
+  // recorder during the run; the owner writes the directory afterwards.
+  TraceV2Recorder* record = nullptr;
 };
 
 struct DispatcherStats {

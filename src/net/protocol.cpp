@@ -29,6 +29,15 @@ bool parse_uint(std::string_view text, Int* out) {
   return result.ec == std::errc() && result.ptr == text.data() + text.size();
 }
 
+// Non-negative decimals: the DONE service-time field.
+bool parse_udouble(std::string_view text, double* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return result.ec == std::errc() &&
+         result.ptr == text.data() + text.size() && *out >= 0.0;
+}
+
 }  // namespace
 
 std::optional<HelloMsg> parse_hello(std::string_view line) {
@@ -67,9 +76,12 @@ std::optional<JobMsg> parse_job(std::string_view line) {
 std::optional<DoneMsg> parse_done(std::string_view line) {
   const auto fields = split_fields(line);
   DoneMsg msg;
-  if (fields.size() != 3 || fields[0] != "DONE" ||
+  if ((fields.size() != 3 && fields.size() != 4) || fields[0] != "DONE" ||
       !parse_uint(fields[1], &msg.id) ||
       !parse_uint(fields[2], &msg.queue_len)) {
+    return std::nullopt;
+  }
+  if (fields.size() == 4 && !parse_udouble(fields[3], &msg.service)) {
     return std::nullopt;
   }
   return msg;
@@ -101,8 +113,16 @@ std::string format_job(const JobMsg& msg) {
 }
 
 std::string format_done(const DoneMsg& msg) {
-  return "DONE " + std::to_string(msg.id) + " " +
-         std::to_string(msg.queue_len) + "\n";
+  std::string line = "DONE ";
+  line += std::to_string(msg.id);
+  line += ' ';
+  line += std::to_string(msg.queue_len);
+  if (msg.service >= 0.0) {
+    line += ' ';
+    line += std::to_string(msg.service);
+  }
+  line += '\n';
+  return line;
 }
 
 std::string format_client_done(const ClientDoneMsg& msg) {

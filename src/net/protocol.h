@@ -10,8 +10,14 @@
 //   LB -> backend (TCP, data plane):
 //     JOB <gid>                       dispatch one job
 //   backend -> LB (TCP):
-//     DONE <gid> <queue_len_after>    job finished; current queue length is
-//                                     piggybacked (the update-on-access path)
+//     DONE <gid> <queue_len_after> [<service>]
+//                                     job finished; current queue length is
+//                                     piggybacked (the update-on-access path).
+//                                     The optional 4th field is the service
+//                                     time the backend drew (seconds) — the
+//                                     trace recorder needs it to write
+//                                     replayable job sizes; old backends omit
+//                                     it and old LBs skip it
 //   client -> LB (TCP):
 //     JOB <id>                        submit one job
 //   LB -> client (TCP):
@@ -44,6 +50,7 @@ struct JobMsg {
 struct DoneMsg {
   std::uint64_t id = 0;
   int queue_len = 0;
+  double service = -1.0;  // seconds the job held the server; < 0 = unreported
 };
 
 struct ClientDoneMsg {

@@ -1,0 +1,146 @@
+#include "net/record.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/stats.h"
+
+namespace stale::net {
+
+void TraceV2Recorder::note_arrival(std::uint64_t gid, double now) {
+  by_gid_.emplace(gid, jobs_.size());
+  jobs_.push_back(Job{now, -1.0, -1.0});
+}
+
+void TraceV2Recorder::note_load(double now, int server, int queue_len) {
+  loads_.push_back(workload::LoadEvent{now, server, queue_len});
+}
+
+void TraceV2Recorder::note_done(std::uint64_t gid, double now,
+                                double service) {
+  const auto it = by_gid_.find(gid);
+  if (it == by_gid_.end()) return;  // straggler for a job we never saw
+  Job& job = jobs_[it->second];
+  if (job.done >= 0.0) return;  // duplicate DONE
+  job.done = now;
+  job.service = service;
+  ++completed_;
+}
+
+std::vector<workload::TraceRecord> TraceV2Recorder::completed_arrivals()
+    const {
+  std::vector<workload::TraceRecord> records;
+  records.reserve(jobs_.size());
+  dropped_ = 0;
+  double origin = -1.0;
+  for (const Job& job : jobs_) {
+    if (job.done < 0.0) {
+      ++dropped_;
+      continue;
+    }
+    if (origin < 0.0) origin = job.arrival;
+    // A backend too old to report service times yields size 1.0, the trace
+    // format's default.
+    const double size = job.service >= 0.0 ? job.service : 1.0;
+    records.push_back(workload::TraceRecord{job.arrival - origin, size});
+  }
+  return records;
+}
+
+std::vector<workload::LoadEvent> TraceV2Recorder::normalized_loads() const {
+  double origin = -1.0;
+  for (const Job& job : jobs_) {
+    if (job.done < 0.0) continue;
+    origin = job.arrival;
+    break;
+  }
+  std::vector<workload::LoadEvent> events;
+  events.reserve(loads_.size());
+  for (const workload::LoadEvent& event : loads_) {
+    // Reports before the first completed arrival predate the replay clock.
+    if (origin < 0.0 || event.time < origin) continue;
+    events.push_back(
+        workload::LoadEvent{event.time - origin, event.server,
+                            event.queue_len});
+  }
+  return events;
+}
+
+std::uint64_t TraceV2Recorder::write_trace(
+    const std::string& dir, workload::ReplayManifest manifest) const {
+  const std::vector<workload::TraceRecord> records = completed_arrivals();
+  const std::uint64_t skipped = dropped_;
+  manifest.arrivals = records.size();
+  manifest.duration = records.empty() ? 0.0 : records.back().arrival;
+
+  const auto open = [&dir](const char* name) {
+    std::ofstream out(dir + "/" + name);
+    if (!out) {
+      throw std::runtime_error("trace-v2: cannot write '" + dir + "/" + name +
+                               "'");
+    }
+    return out;
+  };
+  {
+    std::ofstream out = open(workload::kManifestFile);
+    workload::write_manifest(out, manifest);
+  }
+  {
+    std::ofstream out = open(workload::kArrivalsFile);
+    workload::write_arrivals(out, records);
+  }
+  {
+    std::ofstream out = open(workload::kLoadsFile);
+    workload::write_loads(out, normalized_loads());
+  }
+  return skipped;
+}
+
+obs::ReplayMetrics TraceV2Recorder::live_metrics(
+    const std::vector<std::uint64_t>& per_backend_dispatched) const {
+  obs::ReplayMetrics metrics;
+  metrics.source = "live";
+
+  std::vector<const Job*> done;
+  done.reserve(jobs_.size());
+  for (const Job& job : jobs_) {
+    if (job.done >= 0.0) done.push_back(&job);
+  }
+  // Mirror the sim driver's warmup convention (first quarter of the jobs by
+  // arrival order) so the two sides measure the same steady-state window.
+  const std::size_t warmup = done.size() / 4;
+  std::vector<double> responses;
+  responses.reserve(done.size() - warmup);
+  double span_begin = 0.0;
+  double span_end = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = warmup; i < done.size(); ++i) {
+    const Job& job = *done[i];
+    if (responses.empty()) span_begin = job.arrival;
+    span_end = std::max(span_end, job.done);
+    responses.push_back(job.done - job.arrival);
+    sum += job.done - job.arrival;
+  }
+  metrics.jobs = responses.size();
+  metrics.duration = responses.empty() ? 0.0 : span_end - span_begin;
+  if (!responses.empty()) {
+    metrics.mean_response = sum / static_cast<double>(responses.size());
+    std::sort(responses.begin(), responses.end());
+    metrics.p50_response = sim::percentile_sorted(responses, 0.50);
+    metrics.p90_response = sim::percentile_sorted(responses, 0.90);
+    metrics.p99_response = sim::percentile_sorted(responses, 0.99);
+  }
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : per_backend_dispatched) total += count;
+  metrics.dispatch_share.reserve(per_backend_dispatched.size());
+  for (const std::uint64_t count : per_backend_dispatched) {
+    metrics.dispatch_share.push_back(
+        total == 0 ? 0.0
+                   : static_cast<double>(count) / static_cast<double>(total));
+  }
+  return metrics;
+}
+
+}  // namespace stale::net

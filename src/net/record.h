@@ -1,0 +1,77 @@
+// Live-side trace-v2 recording (`staleload_lb --record DIR`). The dispatcher
+// calls the note_* hooks from its event loop; write_trace() dumps the
+// workload::ReplayTrace files once the run ends, and live_metrics() distills
+// the same recording into the obs::ReplayMetrics that playdiff compares
+// against the simulated replay.
+//
+// Scope: the recorder captures *completed* jobs. A job whose DONE never
+// arrived — client gone, backend crashed, or a re-dispatch that moved the
+// job to a fresh gid — is dropped at write time (counted, reported on the
+// manifest owner's stderr). Record on a fault-free run; replaying a churny
+// recording is not what the format promises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/replay_metrics.h"
+#include "workload/replay.h"
+
+namespace stale::net {
+
+class TraceV2Recorder {
+ public:
+  // A job arrived at the dispatcher (first dispatch attempt only).
+  void note_arrival(std::uint64_t gid, double now);
+  // A LOAD report reached the board.
+  void note_load(double now, int server, int queue_len);
+  // The job's DONE came back; `service` is the backend-reported service time
+  // (< 0 when the backend predates the field — recorded as size 1.0).
+  void note_done(std::uint64_t gid, double now, double service);
+
+  std::uint64_t arrivals() const { return jobs_.size(); }
+  std::uint64_t completed() const { return completed_; }
+
+  // Completed jobs in arrival order, times normalized so the first recorded
+  // arrival is t = 0. Incomplete jobs are skipped (see dropped()).
+  std::vector<workload::TraceRecord> completed_arrivals() const;
+  // LOAD events under the same normalized clock.
+  std::vector<workload::LoadEvent> normalized_loads() const;
+  // Jobs skipped by the last completed_arrivals() call.
+  std::uint64_t dropped() const { return dropped_; }
+
+  // Writes DIR/{manifest.txt,arrivals.trace,loads.csv}. DIR must already
+  // exist. `manifest` supplies the configuration fields; arrivals / duration
+  // are filled from the recording. Returns the number of incomplete jobs
+  // dropped. Throws std::runtime_error if a file cannot be written. The
+  // caller writes DIR/metrics.json from live_metrics() — it needs the
+  // dispatcher's per-backend counts and the herd verdict, which the recorder
+  // does not have.
+  std::uint64_t write_trace(const std::string& dir,
+                            workload::ReplayManifest manifest) const;
+
+  // The live half of the playdiff comparison: response-time quantiles over
+  // completed jobs (the first quarter by arrival order dropped as warmup, to
+  // mirror the sim driver's num_jobs/4 convention) plus the dispatch shares.
+  // Herd fields are left unset; the caller folds in a detect_herd() result
+  // when it has one.
+  obs::ReplayMetrics live_metrics(
+      const std::vector<std::uint64_t>& per_backend_dispatched) const;
+
+ private:
+  struct Job {
+    double arrival = 0.0;
+    double done = -1.0;     // < 0: DONE never arrived
+    double service = -1.0;  // < 0: backend did not report it
+  };
+
+  std::vector<Job> jobs_;  // arrival order
+  std::unordered_map<std::uint64_t, std::size_t> by_gid_;
+  std::vector<workload::LoadEvent> loads_;
+  std::uint64_t completed_ = 0;
+  mutable std::uint64_t dropped_ = 0;
+};
+
+}  // namespace stale::net

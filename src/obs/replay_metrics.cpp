@@ -1,0 +1,212 @@
+#include "obs/replay_metrics.h"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::obs {
+
+namespace {
+
+[[noreturn]] void bad_metrics(const std::string& why) {
+  throw std::invalid_argument("replay metrics: " + why);
+}
+
+// Minimal extractor over the write_replay_metrics output (not a general JSON
+// parser): finds "key" and returns the raw token between its ':' and the
+// next ',' / '}' / newline.
+std::string raw_value(const std::string& text, const std::string& key,
+                      bool required) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    if (required) bad_metrics("missing field '" + key + "'");
+    return {};
+  }
+  std::size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) bad_metrics("no value for '" + key + "'");
+  std::size_t start = colon + 1;
+  while (start < text.size() &&
+         (text[start] == ' ' || text[start] == '\t')) {
+    ++start;
+  }
+  std::size_t end = start;
+  if (start < text.size() && text[start] == '[') {
+    end = text.find(']', start);
+    if (end == std::string::npos) bad_metrics("unterminated array for '" +
+                                              key + "'");
+    ++end;
+  } else {
+    while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+           text[end] != '\n') {
+      ++end;
+    }
+  }
+  return text.substr(start, end - start);
+}
+
+double parse_number(const std::string& token, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used == 0 || !std::isfinite(value)) throw std::invalid_argument(key);
+    return value;
+  } catch (const std::exception&) {
+    bad_metrics("bad number for '" + key + "': '" + token + "'");
+  }
+}
+
+std::string parse_string(const std::string& token, const std::string& key) {
+  const std::size_t open = token.find('"');
+  const std::size_t close = token.rfind('"');
+  if (open == std::string::npos || close <= open) {
+    bad_metrics("bad string for '" + key + "': '" + token + "'");
+  }
+  return token.substr(open + 1, close - open - 1);
+}
+
+bool parse_bool(const std::string& token, const std::string& key) {
+  if (token.find("true") != std::string::npos) return true;
+  if (token.find("false") != std::string::npos) return false;
+  bad_metrics("bad bool for '" + key + "': '" + token + "'");
+}
+
+std::vector<double> parse_array(const std::string& token,
+                                const std::string& key) {
+  std::vector<double> values;
+  std::string body = token;
+  for (char& c : body) {
+    if (c == '[' || c == ']' || c == ',') c = ' ';
+  }
+  std::istringstream fields(body);
+  double value = 0.0;
+  while (fields >> value) {
+    if (!std::isfinite(value)) bad_metrics("non-finite entry in '" + key + "'");
+    values.push_back(value);
+  }
+  return values;
+}
+
+double relative_gap(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  if (scale <= 0.0) return 0.0;
+  return std::abs(a - b) / scale;
+}
+
+void check_quantile(std::vector<std::string>& failures, const char* name,
+                    double a, double b, double tolerance) {
+  const double gap = relative_gap(a, b);
+  if (gap <= tolerance) return;
+  std::ostringstream os;
+  os << name << ": " << a << " vs " << b << " (relative gap "
+     << std::setprecision(3) << gap << " > " << tolerance << ")";
+  failures.push_back(os.str());
+}
+
+}  // namespace
+
+void write_replay_metrics(std::ostream& out, const ReplayMetrics& metrics) {
+  out << std::setprecision(17);
+  out << "{\n"
+      << "  \"source\": \"" << metrics.source << "\",\n"
+      << "  \"jobs\": " << metrics.jobs << ",\n"
+      << "  \"duration\": " << metrics.duration << ",\n"
+      << "  \"mean_response\": " << metrics.mean_response << ",\n"
+      << "  \"p50_response\": " << metrics.p50_response << ",\n"
+      << "  \"p90_response\": " << metrics.p90_response << ",\n"
+      << "  \"p99_response\": " << metrics.p99_response << ",\n";
+  out << "  \"dispatch_share\": [";
+  for (std::size_t i = 0; i < metrics.dispatch_share.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << metrics.dispatch_share[i];
+  }
+  out << "],\n";
+  out << "  \"has_herd\": " << (metrics.has_herd ? "true" : "false") << ",\n"
+      << "  \"herd_autocorr\": " << metrics.herd_autocorr << ",\n"
+      << "  \"herd_amplitude\": " << metrics.herd_amplitude << ",\n"
+      << "  \"herding\": " << (metrics.herding ? "true" : "false") << "\n"
+      << "}\n";
+}
+
+ReplayMetrics parse_replay_metrics(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  ReplayMetrics metrics;
+  metrics.source = parse_string(raw_value(text, "source", true), "source");
+  metrics.jobs = static_cast<std::uint64_t>(
+      parse_number(raw_value(text, "jobs", true), "jobs"));
+  metrics.duration =
+      parse_number(raw_value(text, "duration", true), "duration");
+  metrics.mean_response = parse_number(
+      raw_value(text, "mean_response", true), "mean_response");
+  metrics.p50_response =
+      parse_number(raw_value(text, "p50_response", true), "p50_response");
+  metrics.p90_response =
+      parse_number(raw_value(text, "p90_response", true), "p90_response");
+  metrics.p99_response =
+      parse_number(raw_value(text, "p99_response", true), "p99_response");
+  metrics.dispatch_share = parse_array(
+      raw_value(text, "dispatch_share", true), "dispatch_share");
+  const std::string has_herd = raw_value(text, "has_herd", false);
+  if (!has_herd.empty()) {
+    metrics.has_herd = parse_bool(has_herd, "has_herd");
+  }
+  if (metrics.has_herd) {
+    metrics.herd_autocorr = parse_number(
+        raw_value(text, "herd_autocorr", true), "herd_autocorr");
+    metrics.herd_amplitude = parse_number(
+        raw_value(text, "herd_amplitude", true), "herd_amplitude");
+    metrics.herding = parse_bool(raw_value(text, "herding", true), "herding");
+  }
+  return metrics;
+}
+
+std::vector<std::string> diff_replay_metrics(const ReplayMetrics& a,
+                                             const ReplayMetrics& b,
+                                             const DiffTolerance& tolerance) {
+  std::vector<std::string> failures;
+  check_quantile(failures, "mean_response", a.mean_response, b.mean_response,
+                 tolerance.response);
+  check_quantile(failures, "p50_response", a.p50_response, b.p50_response,
+                 tolerance.response);
+  check_quantile(failures, "p90_response", a.p90_response, b.p90_response,
+                 tolerance.response);
+  check_quantile(failures, "p99_response", a.p99_response, b.p99_response,
+                 tolerance.response);
+
+  if (a.dispatch_share.size() != b.dispatch_share.size()) {
+    std::ostringstream os;
+    os << "dispatch_share: " << a.dispatch_share.size() << " vs "
+       << b.dispatch_share.size() << " servers";
+    failures.push_back(os.str());
+  } else if (!a.dispatch_share.empty()) {
+    double tv = 0.0;
+    for (std::size_t i = 0; i < a.dispatch_share.size(); ++i) {
+      tv += std::abs(a.dispatch_share[i] - b.dispatch_share[i]);
+    }
+    tv *= 0.5;
+    if (tv > tolerance.share_tv) {
+      std::ostringstream os;
+      os << "dispatch_share: total-variation distance " << std::setprecision(3)
+         << tv << " > " << tolerance.share_tv;
+      failures.push_back(os.str());
+    }
+  }
+
+  if (tolerance.require_herd_match && a.has_herd && b.has_herd &&
+      a.herding != b.herding) {
+    std::ostringstream os;
+    os << "herding verdict: " << (a.herding ? "yes" : "no") << " ("
+       << a.source << ") vs " << (b.herding ? "yes" : "no") << " ("
+       << b.source << ")";
+    failures.push_back(os.str());
+  }
+  return failures;
+}
+
+}  // namespace stale::obs

@@ -1,0 +1,63 @@
+// The record->replay comparison schema. A live run (staleload_lb --record)
+// and its simulated replay (staleload_sim --workload replay:DIR) each distill
+// into one ReplayMetrics value — response-time quantiles, per-server dispatch
+// shares, and the herd-detector verdict — and tools/playdiff diffs the two
+// under an explicit tolerance. Keeping the schema here (obs) lets both the
+// net recorder and the sim driver fill it without either including the other.
+//
+// I/O is stream-only: obs is inside the host-state lint scope (D4), so this
+// layer never opens files — callers own the std::ostream / std::istream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stale::obs {
+
+struct ReplayMetrics {
+  std::string source;  // "live" or "sim"
+  std::uint64_t jobs = 0;
+  double duration = 0.0;  // measured span, seconds
+
+  // Response-time statistics over the post-warmup jobs, seconds.
+  double mean_response = 0.0;
+  double p50_response = 0.0;
+  double p90_response = 0.0;
+  double p99_response = 0.0;
+
+  // Fraction of dispatches each server received (sums to ~1).
+  std::vector<double> dispatch_share;
+
+  // Herd-detector summary (valid only when has_herd).
+  bool has_herd = false;
+  double herd_autocorr = 0.0;
+  double herd_amplitude = 0.0;
+  bool herding = false;
+};
+
+// JSON, one key per line (stable field order — diffable in CI artifacts).
+void write_replay_metrics(std::ostream& out, const ReplayMetrics& metrics);
+
+// Parses the write_replay_metrics format. Throws std::invalid_argument on
+// missing or malformed required fields.
+ReplayMetrics parse_replay_metrics(std::istream& in);
+
+// Tolerances for diff_replay_metrics. The defaults are the CI gate's
+// documented budget: live and sim runs share a workload but not service-time
+// draws or network jitter, so quantiles are compared at 30% relative error
+// and dispatch shares at 0.15 total-variation distance.
+struct DiffTolerance {
+  double response = 0.30;       // relative, on mean/p50/p90/p99
+  double share_tv = 0.15;       // total-variation distance on shares
+  bool require_herd_match = false;
+};
+
+// Returns one human-readable line per tolerance violation; empty means the
+// two runs agree within tolerance.
+std::vector<std::string> diff_replay_metrics(const ReplayMetrics& a,
+                                             const ReplayMetrics& b,
+                                             const DiffTolerance& tolerance);
+
+}  // namespace stale::obs

@@ -3,6 +3,7 @@
 // (Sections 5.3-5.4) decompose it into independent per-client streams.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -22,6 +23,17 @@ class ArrivalProcess {
   virtual double mean_gap() const = 0;
 
   virtual std::string describe() const = 0;
+
+  // Rewinds internal state (cursors, modulation clocks) to the construction
+  // state so one process object can drive several trials without leaking the
+  // previous trial's position. Memoryless processes need no action.
+  virtual void reset() {}
+
+  // How many times a finite source (a recorded trace) was exhausted and
+  // looped back to its start. Always 0 for generative processes. Callers
+  // surface a nonzero count as a warning: a wrapped trace is a documented
+  // approximation, not a fresh sample.
+  virtual std::uint64_t wraps() const { return 0; }
 };
 
 using ArrivalProcessPtr = std::unique_ptr<ArrivalProcess>;

@@ -1,0 +1,114 @@
+// Parsed nonstationary arrival specs (--arrival-spec). The paper's open
+// model assumes a stationary Poisson stream whose rate the dispatcher knows;
+// these processes produce the regimes where that assumption breaks — the
+// exact regimes (flash crowds, ramps, regime-switching bursts) where a
+// mis-estimated lambda makes K = lambda*T interpretation herd. All specs are
+// phrased relative to a base rate (lambda * n from the experiment config),
+// so --lambda still sets the overall scale:
+//
+//   poisson                      stationary Poisson at the base rate
+//                                (bit-identical to the legacy inline draw)
+//   mmpp:M1:M2:D1:D2             2-state Markov-modulated Poisson process:
+//                                rate multipliers M1/M2 of the base rate,
+//                                exponential dwell times with means D1/D2
+//   ramp:PERIOD:AMP              diurnal sinusoid,
+//                                rate(t) = base * (1 + AMP*sin(2*pi*t/PERIOD)),
+//                                0 <= AMP < 1
+//   flash:AT:MULT:RAMP:HOLD:DECAY  flash crowd: rate 1x until AT, climbs
+//                                linearly to MULT x over RAMP, holds for
+//                                HOLD, decays linearly back over DECAY
+//   trace:PATH                   replay the inter-arrival gaps of a trace
+//                                file (workload/trace.h format; loops with a
+//                                counted wrap when exhausted)
+//
+// Every process draws exclusively from the sim::Rng handed to next_gap and
+// keeps time on an internal clock advanced by the gaps it emits (arrivals
+// define the clock), so replacing the inline Poisson draw with
+// make_arrival_process("poisson", rate) preserves the historical draw
+// sequence bit for bit.
+#pragma once
+
+#include <string>
+
+#include "workload/arrival_process.h"
+
+namespace stale::workload {
+
+// Builds the process named by `spec` at base rate `base_rate` (> 0).
+// Throws std::invalid_argument on an unknown or malformed spec.
+ArrivalProcessPtr make_arrival_process(const std::string& spec,
+                                       double base_rate);
+
+// Parse-only validation: throws like make_arrival_process but builds
+// nothing heavier than the parse (trace specs check the file exists).
+void validate_arrival_spec(const std::string& spec);
+
+// 2-state Markov-modulated Poisson process. Arrivals in state s form a
+// Poisson stream at rate[s]; the state itself switches after an exponential
+// dwell. Exactness: within a dwell the stream is memoryless, so a candidate
+// exponential gap that would overshoot the switch boundary is truncated at
+// the boundary and redrawn at the new state's rate.
+class MmppProcess final : public ArrivalProcess {
+ public:
+  MmppProcess(double rate0, double rate1, double dwell0, double dwell1);
+
+  double next_gap(sim::Rng& rng) override;
+  double mean_gap() const override { return mean_gap_; }
+  std::string describe() const override;
+  void reset() override;
+
+ private:
+  double rates_[2];
+  double dwells_[2];
+  double mean_gap_;
+  int state_ = 0;
+  double now_ = 0.0;
+  double switch_at_ = -1.0;  // < 0: dwell not drawn yet
+};
+
+// Deterministically time-varying Poisson process sampled by thinning: draw
+// candidate gaps from a homogeneous process at rate_max and accept each
+// candidate with probability rate(t)/rate_max. The rate function is fixed at
+// construction; subclass-free by taking the shape as an enum + parameters so
+// the process stays trivially copyable and describable.
+class ModulatedPoissonProcess final : public ArrivalProcess {
+ public:
+  enum class Shape {
+    kRamp,   // base * (1 + amp * sin(2*pi*t/period))
+    kFlash,  // base, ramp to base*mult at `at`, hold, decay back
+  };
+  struct RampParams {
+    double period = 0.0;
+    double amplitude = 0.0;  // in [0, 1)
+  };
+  struct FlashParams {
+    double at = 0.0;      // flash onset time
+    double mult = 1.0;    // peak multiplier (>= 1)
+    double ramp = 0.0;    // climb duration (>= 0)
+    double hold = 0.0;    // plateau duration (>= 0)
+    double decay = 0.0;   // fall duration (>= 0)
+  };
+
+  ModulatedPoissonProcess(double base_rate, const RampParams& ramp);
+  ModulatedPoissonProcess(double base_rate, const FlashParams& flash);
+
+  double next_gap(sim::Rng& rng) override;
+  // Long-run mean: the sinusoid averages out; the flash transient is
+  // measure-zero in the long run. Both report the base rate.
+  double mean_gap() const override { return 1.0 / base_rate_; }
+  std::string describe() const override;
+  void reset() override { now_ = 0.0; }
+
+  // The instantaneous rate at absolute time t (exposed for tests).
+  double rate_at(double t) const;
+
+ private:
+  Shape shape_;
+  double base_rate_;
+  double max_rate_;
+  RampParams ramp_{};
+  FlashParams flash_{};
+  double now_ = 0.0;
+};
+
+}  // namespace stale::workload

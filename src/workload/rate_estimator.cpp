@@ -1,0 +1,85 @@
+#include "workload/rate_estimator.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::workload {
+
+void Cema::update(double value, double alpha) {
+  exponential = alpha * value + (1.0 - alpha) * exponential;
+  decay_factor *= 1.0 - alpha;
+  ++updates;
+}
+
+void Cema::bulk_update(double value, std::uint64_t repeat, double alpha) {
+  if (repeat == 0) return;
+  // Repeating x' = a*v + (1-a)*x k times telescopes to
+  //   x' = v * (1 - (1-a)^k) + (1-a)^k * x.
+  const double keep = std::pow(1.0 - alpha, static_cast<double>(repeat));
+  exponential = value * (1.0 - keep) + keep * exponential;
+  decay_factor *= keep;
+  updates += repeat;
+}
+
+double Cema::value() const {
+  if (updates == 0) return 0.0;
+  const double absorbed = 1.0 - decay_factor;
+  // After astronomically many updates decay_factor underflows to 0 and the
+  // correction is exactly 1 — the plain EMA.
+  if (absorbed <= 0.0) return exponential;
+  return exponential / absorbed;
+}
+
+CemaRateEstimator::CemaRateEstimator(double alpha, double bucket_width,
+                                     double initial_rate)
+    : alpha_(alpha), bucket_(bucket_width), initial_rate_(initial_rate) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument("CemaRateEstimator: alpha must be in (0, 1)");
+  }
+  if (bucket_width <= 0.0) {
+    throw std::invalid_argument(
+        "CemaRateEstimator: bucket width must be > 0");
+  }
+  if (initial_rate <= 0.0) {
+    throw std::invalid_argument(
+        "CemaRateEstimator: initial rate must be > 0");
+  }
+}
+
+void CemaRateEstimator::on_arrival(double t) {
+  if (!started_) {
+    // Buckets are aligned to the first arrival, so the estimator needs no
+    // external clock origin.
+    started_ = true;
+    bucket_start_ = t;
+    in_bucket_ = 1;
+    return;
+  }
+  if (t < bucket_start_ + bucket_) {
+    ++in_bucket_;
+    return;
+  }
+  // Close the current bucket, fold the empty buckets the gap skipped over in
+  // one bulk update, and open the bucket containing t.
+  cema_.update(static_cast<double>(in_bucket_) / bucket_, alpha_);
+  const auto skipped = static_cast<std::uint64_t>(
+      std::floor((t - bucket_start_) / bucket_)) - 1;
+  cema_.bulk_update(0.0, skipped, alpha_);
+  bucket_start_ += static_cast<double>(skipped + 1) * bucket_;
+  in_bucket_ = 1;
+}
+
+double CemaRateEstimator::rate() const {
+  if (cema_.updates == 0) return initial_rate_;
+  return cema_.value();
+}
+
+std::string CemaRateEstimator::describe() const {
+  std::ostringstream os;
+  os << "cema(alpha " << alpha_ << ", bucket " << bucket_ << ", initial "
+     << initial_rate_ << ")";
+  return os.str();
+}
+
+}  // namespace stale::workload

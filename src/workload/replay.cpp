@@ -1,0 +1,219 @@
+#include "workload/replay.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::workload {
+
+const char kManifestFile[] = "manifest.txt";
+const char kArrivalsFile[] = "arrivals.trace";
+const char kLoadsFile[] = "loads.csv";
+const char kMetricsFile[] = "metrics.json";
+
+namespace {
+
+constexpr char kMagic[] = "staleload-trace";
+
+[[noreturn]] void bad_manifest(const std::string& why) {
+  throw std::invalid_argument("trace-v2 manifest: " + why);
+}
+
+}  // namespace
+
+double ReplayTrace::empirical_rate() const {
+  if (arrivals.size() < 2) return 0.0;
+  const double span = arrivals.back().arrival - arrivals.front().arrival;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(arrivals.size() - 1) / span;
+}
+
+void write_manifest(std::ostream& out, const ReplayManifest& manifest) {
+  out << kMagic << " v" << manifest.version << "\n";
+  out << std::setprecision(17);
+  out << "backends " << manifest.backends << "\n"
+      << "update_period " << manifest.update_period << "\n"
+      << "schedule " << manifest.schedule << "\n"
+      << "policy " << manifest.policy << "\n"
+      << "seed " << manifest.seed << "\n"
+      << "duration " << manifest.duration << "\n"
+      << "arrivals " << manifest.arrivals << "\n";
+}
+
+ReplayManifest parse_manifest(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) bad_manifest("empty file");
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    if (magic != kMagic) bad_manifest("bad magic '" + magic + "'");
+    if (version != "v2") {
+      bad_manifest("unsupported version '" + version + "' (expected v2)");
+    }
+  }
+  ReplayManifest manifest;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    bool ok = true;
+    if (key == "backends") {
+      ok = static_cast<bool>(fields >> manifest.backends);
+    } else if (key == "update_period") {
+      ok = static_cast<bool>(fields >> manifest.update_period);
+    } else if (key == "schedule") {
+      ok = static_cast<bool>(fields >> manifest.schedule);
+    } else if (key == "policy") {
+      ok = static_cast<bool>(fields >> manifest.policy);
+    } else if (key == "seed") {
+      ok = static_cast<bool>(fields >> manifest.seed);
+    } else if (key == "duration") {
+      ok = static_cast<bool>(fields >> manifest.duration);
+    } else if (key == "arrivals") {
+      ok = static_cast<bool>(fields >> manifest.arrivals);
+    } else {
+      // Unknown keys are skipped so v2 readers tolerate additive fields.
+      continue;
+    }
+    if (!ok) {
+      bad_manifest("line " + std::to_string(line_number) + ": bad value for '" +
+                   key + "'");
+    }
+  }
+  if (manifest.backends <= 0) bad_manifest("backends must be > 0");
+  if (manifest.update_period <= 0.0) bad_manifest("update_period must be > 0");
+  return manifest;
+}
+
+void write_loads(std::ostream& out, const std::vector<LoadEvent>& loads) {
+  out << "time,server,queue_len\n";
+  out << std::setprecision(17);
+  for (const LoadEvent& event : loads) {
+    out << event.time << ',' << event.server << ',' << event.queue_len << '\n';
+  }
+}
+
+std::vector<LoadEvent> parse_loads(std::istream& in) {
+  std::vector<LoadEvent> loads;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    if (line_number == 1 && line.rfind("time,", 0) == 0) continue;  // header
+    std::istringstream fields(line);
+    LoadEvent event;
+    char comma1 = 0;
+    char comma2 = 0;
+    if (!(fields >> event.time >> comma1 >> event.server >> comma2 >>
+          event.queue_len) ||
+        comma1 != ',' || comma2 != ',') {
+      throw std::invalid_argument("trace-v2 loads line " +
+                                  std::to_string(line_number) +
+                                  ": expected time,server,queue_len");
+    }
+    if (event.server < 0 || event.queue_len < 0) {
+      throw std::invalid_argument("trace-v2 loads line " +
+                                  std::to_string(line_number) +
+                                  ": negative server or queue length");
+    }
+    loads.push_back(event);
+  }
+  return loads;
+}
+
+void write_arrivals(std::ostream& out,
+                    const std::vector<TraceRecord>& arrivals) {
+  out << "# trace-v2 arrivals: <arrival-time> <service-time>\n";
+  out << std::setprecision(17);
+  for (const TraceRecord& record : arrivals) {
+    out << record.arrival << ' ' << record.size << '\n';
+  }
+}
+
+ReplayTrace load_replay_trace(const std::string& dir) {
+  ReplayTrace trace;
+  {
+    std::ifstream in(dir + "/" + kManifestFile);
+    if (!in) {
+      throw std::runtime_error("load_replay_trace: cannot open '" + dir + "/" +
+                               kManifestFile + "'");
+    }
+    trace.manifest = parse_manifest(in);
+  }
+  {
+    std::ifstream in(dir + "/" + kArrivalsFile);
+    if (!in) {
+      throw std::runtime_error("load_replay_trace: cannot open '" + dir + "/" +
+                               kArrivalsFile + "'");
+    }
+    trace.arrivals = parse_trace(in);
+  }
+  {
+    std::ifstream in(dir + "/" + kLoadsFile);
+    if (!in) {
+      throw std::runtime_error("load_replay_trace: cannot open '" + dir + "/" +
+                               kLoadsFile + "'");
+    }
+    trace.loads = parse_loads(in);
+  }
+  if (trace.arrivals.size() != trace.manifest.arrivals) {
+    throw std::invalid_argument(
+        "load_replay_trace: manifest promises " +
+        std::to_string(trace.manifest.arrivals) + " arrivals but " +
+        kArrivalsFile + " holds " + std::to_string(trace.arrivals.size()));
+  }
+  return trace;
+}
+
+ReplayProcess::ReplayProcess(const std::vector<TraceRecord>& records) {
+  if (records.size() < 2) {
+    throw std::invalid_argument("ReplayProcess: need at least two arrivals");
+  }
+  gaps_.reserve(records.size());
+  // The first gap places the first arrival at its recorded offset; the rest
+  // are plain inter-arrival gaps. Emitting |records| gaps (not |records|-1)
+  // lets a replay deliver exactly the recorded job count before wrapping.
+  double previous = 0.0;
+  for (const TraceRecord& record : records) {
+    const double gap = record.arrival - previous;
+    if (gap < 0.0) {
+      throw std::invalid_argument("ReplayProcess: arrival times not sorted");
+    }
+    gaps_.push_back(gap);
+    previous = record.arrival;
+  }
+  const double span = records.back().arrival;
+  mean_gap_ = span > 0.0 ? span / static_cast<double>(gaps_.size()) : 1.0;
+}
+
+double ReplayProcess::next_gap(sim::Rng&) {
+  // Wrap lazily: a run that consumes exactly the recorded job count never
+  // recycles a gap and must report zero wraps.
+  if (next_ == gaps_.size()) {
+    next_ = 0;
+    ++wraps_;
+  }
+  return gaps_[next_++];
+}
+
+void ReplayProcess::reset() {
+  next_ = 0;
+  wraps_ = 0;
+}
+
+std::string ReplayProcess::describe() const {
+  std::ostringstream os;
+  os << "replay(" << gaps_.size() << " arrivals, mean gap " << mean_gap_
+     << ")";
+  return os.str();
+}
+
+}  // namespace stale::workload

@@ -1,0 +1,104 @@
+// Trace-v2: the versioned on-disk format closing the live<->sim loop.
+// `staleload_lb --record DIR` writes one directory per recording; the sim
+// replays it with `staleload_sim --workload replay:DIR`; `tools/playdiff`
+// diffs the two metric files. Layout:
+//
+//   DIR/manifest.txt    key/value header ("staleload-trace v2" first line):
+//                       backends, update_period, schedule, policy, seed,
+//                       duration, arrivals (record-count cross-check)
+//   DIR/arrivals.trace  one completed job per line, "<arrival> <size>" —
+//                       the workload/trace.h text format, times relative to
+//                       the first arrival, sizes the service times the
+//                       backends actually drew
+//   DIR/loads.csv       "time,server,queue_len" — every LOAD report the
+//                       dispatcher applied to its board (diagnostics; the
+//                       sim regenerates board state from its own queues)
+//   DIR/metrics.json    obs::ReplayMetrics of the live run (written by the
+//                       recorder's owner, read by playdiff)
+//
+// ReplayProcess feeds the recorded inter-arrival gaps through the sim driver
+// deterministically: it draws nothing from the Rng, so a replayed experiment
+// is bit-identical run to run and across --jobs values.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/arrival_process.h"
+#include "workload/trace.h"
+
+namespace stale::workload {
+
+struct ReplayManifest {
+  int version = 2;
+  int backends = 0;
+  double update_period = 1.0;
+  std::string schedule = "periodic";
+  std::string policy = "basic_li";
+  std::uint64_t seed = 0;
+  double duration = 0.0;       // recorded wall span, seconds
+  std::uint64_t arrivals = 0;  // rows in arrivals.trace
+};
+
+// A LOAD report as the dispatcher's board saw it.
+struct LoadEvent {
+  double time = 0.0;
+  int server = 0;
+  int queue_len = 0;
+};
+
+struct ReplayTrace {
+  ReplayManifest manifest;
+  std::vector<TraceRecord> arrivals;  // times relative to recording start
+  std::vector<LoadEvent> loads;
+
+  // Empirical aggregate arrival rate over the recorded span.
+  double empirical_rate() const;
+};
+
+void write_manifest(std::ostream& out, const ReplayManifest& manifest);
+// Throws std::invalid_argument on a malformed or wrong-version manifest.
+ReplayManifest parse_manifest(std::istream& in);
+
+void write_loads(std::ostream& out, const std::vector<LoadEvent>& loads);
+std::vector<LoadEvent> parse_loads(std::istream& in);
+
+void write_arrivals(std::ostream& out,
+                    const std::vector<TraceRecord>& arrivals);
+
+// Loads DIR/{manifest.txt,arrivals.trace,loads.csv}; metrics.json is not
+// read here (it belongs to playdiff). Throws std::runtime_error on missing
+// files, std::invalid_argument on malformed content or an arrivals-count
+// mismatch against the manifest.
+ReplayTrace load_replay_trace(const std::string& dir);
+
+// File names inside a trace-v2 directory.
+extern const char kManifestFile[];
+extern const char kArrivalsFile[];
+extern const char kLoadsFile[];
+extern const char kMetricsFile[];
+
+// Replays recorded absolute arrival times as inter-arrival gaps. Ignores the
+// Rng entirely (zero draws). Wraps like TraceProcess when asked for more
+// gaps than the trace holds — counted, never silent; drivers cap the job
+// count at the trace length so replays normally end before the wrap.
+class ReplayProcess final : public ArrivalProcess {
+ public:
+  explicit ReplayProcess(const std::vector<TraceRecord>& records);
+
+  double next_gap(sim::Rng&) override;
+  double mean_gap() const override { return mean_gap_; }
+  std::string describe() const override;
+  void reset() override;
+  std::uint64_t wraps() const override { return wraps_; }
+
+ private:
+  std::vector<double> gaps_;  // gaps_[0] is the first arrival's offset
+  double mean_gap_;
+  std::size_t next_ = 0;
+  std::uint64_t wraps_ = 0;
+};
+
+}  // namespace stale::workload

@@ -75,12 +75,20 @@ TraceProcess::TraceProcess(std::vector<TraceRecord> records,
 }
 
 double TraceProcess::next_gap(sim::Rng&) {
-  const double gap = gaps_[next_];
-  next_ = (next_ + 1) % gaps_.size();
-  return gap;
+  // Wrap lazily: consuming exactly the trace once is zero wraps.
+  if (next_ == gaps_.size()) {
+    next_ = 0;
+    ++wraps_;
+  }
+  return gaps_[next_++];
 }
 
 double TraceProcess::mean_gap() const { return mean_gap_; }
+
+void TraceProcess::reset() {
+  next_ = 0;
+  wraps_ = 0;
+}
 
 std::string TraceProcess::describe() const {
   std::ostringstream os;
@@ -106,9 +114,17 @@ TraceSizes::TraceSizes(std::vector<TraceRecord> records) {
 }
 
 double TraceSizes::sample(sim::Rng&) const {
-  const double size = sizes_[next_];
-  next_ = (next_ + 1) % sizes_.size();
-  return size;
+  // Lazy wrap, matching TraceProcess::next_gap.
+  if (next_ == sizes_.size()) {
+    next_ = 0;
+    ++wraps_;
+  }
+  return sizes_[next_++];
+}
+
+void TraceSizes::reset() {
+  next_ = 0;
+  wraps_ = 0;
 }
 
 std::string TraceSizes::describe() const {

@@ -33,7 +33,11 @@ std::vector<TraceRecord> parse_trace(std::istream& in);
 std::vector<TraceRecord> load_trace(const std::string& path);
 
 // Replays a trace's inter-arrival gaps. With `rate_scale` != 1 all gaps are
-// divided by it (doubling the scale doubles the arrival rate).
+// divided by it (doubling the scale doubles the arrival rate). The cursor
+// persists across next_gap calls; reset() rewinds it (and the wrap counter)
+// so one process can drive several trials without leaking position, and
+// wraps() reports how many times the finite trace looped so callers can
+// surface the approximation instead of silently recycling gaps.
 class TraceProcess final : public ArrivalProcess {
  public:
   explicit TraceProcess(std::vector<TraceRecord> records,
@@ -42,15 +46,20 @@ class TraceProcess final : public ArrivalProcess {
   double next_gap(sim::Rng&) override;
   double mean_gap() const override;
   std::string describe() const override;
+  void reset() override;
+  std::uint64_t wraps() const override { return wraps_; }
 
  private:
   std::vector<double> gaps_;
   double mean_gap_;
   std::size_t next_ = 0;
+  std::uint64_t wraps_ = 0;
 };
 
-// Replays a trace's job sizes as a Distribution (wraps around; ignores the
-// Rng). mean()/variance() are the trace's empirical moments.
+// Replays a trace's job sizes as a Distribution (ignores the Rng).
+// mean()/variance() are the trace's empirical moments. Like TraceProcess the
+// cursor survives across sample calls and loops at end-of-trace; reset()
+// rewinds it and wraps() counts the loops.
 class TraceSizes final : public sim::Distribution {
  public:
   explicit TraceSizes(std::vector<TraceRecord> records);
@@ -59,12 +68,15 @@ class TraceSizes final : public sim::Distribution {
   double mean() const override { return mean_; }
   double variance() const override { return variance_; }
   std::string describe() const override;
+  void reset();
+  std::uint64_t wraps() const { return wraps_; }
 
  private:
   std::vector<double> sizes_;
   double mean_;
   double variance_;
   mutable std::size_t next_ = 0;
+  mutable std::uint64_t wraps_ = 0;
 };
 
 }  // namespace stale::workload

@@ -1,0 +1,175 @@
+// Tests for the --arrival-spec grammar and the nonstationary processes it
+// builds (src/workload/arrival_spec.h): parse/validate errors, the
+// bit-identity of "poisson" with the legacy inline draw, MMPP long-run rate,
+// and the ramp/flash rate envelopes that thinning samples from.
+#include "workload/arrival_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace stale::workload {
+namespace {
+
+TEST(ArrivalSpecTest, PoissonMatchesLegacyInlineDrawBitForBit) {
+  // Every trial engine used to draw `-log(U) / rate` inline; the spec path
+  // must reproduce that sequence exactly or every golden test shifts.
+  const double rate = 7.5;
+  ArrivalProcessPtr process = make_arrival_process("poisson", rate);
+  sim::Rng spec_rng(123);
+  sim::Rng legacy_rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double legacy =
+        -std::log(legacy_rng.next_double_open0()) / rate;
+    EXPECT_DOUBLE_EQ(process->next_gap(spec_rng), legacy);
+  }
+}
+
+TEST(ArrivalSpecTest, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"", "poison", "poisson:1", "mmpp", "mmpp:1:2:3", "mmpp:1:2:3:4:5",
+        "mmpp:a:2:3:4", "ramp:10", "ramp:10:1.5", "ramp:0:0.5",
+        "flash:1:2:3:4", "flash:1:0.5:1:1:1", "trace", "trace:"}) {
+    EXPECT_THROW(validate_arrival_spec(spec), std::invalid_argument) << spec;
+  }
+}
+
+TEST(ArrivalSpecTest, ValidateAcceptsEveryFormWithoutBuilding) {
+  for (const char* spec :
+       {"poisson", "mmpp:0.5:3:20:5", "mmpp:0:2:10:10", "ramp:100:0.5",
+        "flash:50:8:5:10:5"}) {
+    EXPECT_NO_THROW(validate_arrival_spec(spec)) << spec;
+  }
+  // Dry-run validation must not open trace files (the driver validates specs
+  // before any trial starts, possibly on a machine without the trace).
+  EXPECT_NO_THROW(validate_arrival_spec("trace:/nonexistent/path"));
+  EXPECT_THROW(make_arrival_process("trace:/nonexistent/path", 1.0),
+               std::runtime_error);
+}
+
+TEST(ArrivalSpecTest, RejectsNonPositiveBaseRate) {
+  EXPECT_THROW(make_arrival_process("poisson", 0.0), std::invalid_argument);
+  EXPECT_THROW(make_arrival_process("poisson", -1.0), std::invalid_argument);
+}
+
+TEST(MmppProcessTest, MeanGapIsTheDwellWeightedLongRunRate) {
+  // rates 2 and 10 with dwells 3 and 1: long-run rate (2*3 + 10*1)/4 = 4.
+  MmppProcess process(2.0, 10.0, 3.0, 1.0);
+  EXPECT_NEAR(process.mean_gap(), 0.25, 1e-12);
+}
+
+TEST(MmppProcessTest, EmpiricalRateMatchesLongRunRate) {
+  ArrivalProcessPtr process = make_arrival_process("mmpp:0.5:3:20:5", 8.0);
+  // Long-run rate: 8 * (0.5*20 + 3*5)/25 = 8.
+  sim::Rng rng(99);
+  double t = 0.0;
+  const int arrivals = 200000;
+  for (int i = 0; i < arrivals; ++i) t += process->next_gap(rng);
+  EXPECT_NEAR(arrivals / t, 8.0, 0.4);
+}
+
+TEST(MmppProcessTest, ZeroRateStateEmitsNoArrivalsInState) {
+  // State 1 has rate 0: all arrivals come from state 0 bursts, and gaps are
+  // still finite because dwells are.
+  MmppProcess process(10.0, 0.0, 1.0, 1.0);
+  sim::Rng rng(5);
+  double t = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double gap = process.next_gap(rng);
+    ASSERT_GT(gap, 0.0);
+    t += gap;
+  }
+  // Long-run rate 10*1/(1+1) = 5.
+  EXPECT_NEAR(10000.0 / t, 5.0, 0.5);
+}
+
+TEST(MmppProcessTest, ResetRestoresTheInitialState) {
+  MmppProcess process(1.0, 100.0, 0.5, 0.5);
+  sim::Rng rng_a(7);
+  std::vector<double> first;
+  for (int i = 0; i < 100; ++i) first.push_back(process.next_gap(rng_a));
+  process.reset();
+  sim::Rng rng_b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(process.next_gap(rng_b), first[i]) << i;
+  }
+}
+
+TEST(ModulatedPoissonTest, RampEnvelopeIsTheSinusoid) {
+  ModulatedPoissonProcess::RampParams ramp;
+  ramp.period = 100.0;
+  ramp.amplitude = 0.5;
+  ModulatedPoissonProcess process(10.0, ramp);
+  EXPECT_NEAR(process.rate_at(0.0), 10.0, 1e-9);
+  EXPECT_NEAR(process.rate_at(25.0), 15.0, 1e-9);   // sin peak
+  EXPECT_NEAR(process.rate_at(75.0), 5.0, 1e-9);    // sin trough
+  EXPECT_NEAR(process.rate_at(100.0), 10.0, 1e-6);  // full period
+}
+
+TEST(ModulatedPoissonTest, FlashEnvelopeRampsHoldsAndDecays) {
+  ModulatedPoissonProcess::FlashParams flash;
+  flash.at = 50.0;
+  flash.mult = 8.0;
+  flash.ramp = 5.0;
+  flash.hold = 10.0;
+  flash.decay = 5.0;
+  ModulatedPoissonProcess process(4.0, flash);
+  EXPECT_DOUBLE_EQ(process.rate_at(0.0), 4.0);    // before onset
+  EXPECT_DOUBLE_EQ(process.rate_at(50.0), 4.0);   // onset boundary
+  EXPECT_NEAR(process.rate_at(52.5), 4.0 * 4.5, 1e-9);  // mid-ramp
+  EXPECT_DOUBLE_EQ(process.rate_at(60.0), 32.0);  // plateau
+  EXPECT_NEAR(process.rate_at(67.5), 4.0 * 4.5, 1e-9);  // mid-decay
+  EXPECT_DOUBLE_EQ(process.rate_at(70.0), 4.0);   // back to base
+  EXPECT_DOUBLE_EQ(process.rate_at(1000.0), 4.0);
+}
+
+TEST(ModulatedPoissonTest, ThinningTracksTheEnvelopeEmpirically) {
+  // Count arrivals inside vs outside the flash window; the plateau runs 8x
+  // the base rate, so the within-window arrival count must reflect it.
+  ArrivalProcessPtr process =
+      make_arrival_process("flash:100:8:0:100:0", 2.0);
+  sim::Rng rng(21);
+  double t = 0.0;
+  int inside = 0;
+  int before = 0;
+  while (t < 200.0) {
+    t += process->next_gap(rng);
+    if (t < 100.0) {
+      ++before;
+    } else if (t < 200.0) {
+      ++inside;
+    }
+  }
+  // Expect ~200 arrivals before (rate 2 * 100s) and ~1600 inside.
+  EXPECT_NEAR(before, 200, 60);
+  EXPECT_NEAR(inside, 1600, 200);
+}
+
+TEST(ModulatedPoissonTest, ResetRewindsTheInternalClock) {
+  ArrivalProcessPtr process = make_arrival_process("ramp:50:0.9", 5.0);
+  sim::Rng rng_a(3);
+  std::vector<double> first;
+  for (int i = 0; i < 200; ++i) first.push_back(process->next_gap(rng_a));
+  process->reset();
+  sim::Rng rng_b(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(process->next_gap(rng_b), first[i]) << i;
+  }
+}
+
+TEST(ArrivalSpecTest, DescribeNamesTheProcess) {
+  EXPECT_NE(make_arrival_process("mmpp:1:2:3:4", 1.0)->describe().find("mmpp"),
+            std::string::npos);
+  EXPECT_NE(make_arrival_process("ramp:10:0.5", 1.0)->describe().find("ramp"),
+            std::string::npos);
+  EXPECT_NE(
+      make_arrival_process("flash:1:2:1:1:1", 1.0)->describe().find("flash"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace stale::workload

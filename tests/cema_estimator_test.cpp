@@ -1,0 +1,158 @@
+// Property tests for the CEMA estimator (src/workload/rate_estimator.h):
+// the closed-form bulk update must be indistinguishable from the sample-at-
+// a-time path, warm-up must behave like an unbiased cumulative mean, and the
+// bucketed rate estimator must converge on Poisson input and re-converge
+// with bounded lag after a rate step — the property that keeps K =
+// lambda_hat * T honest through a flash crowd.
+#include "workload/rate_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace stale::workload {
+namespace {
+
+TEST(CemaTest, ValueIsZeroBeforeFirstUpdate) {
+  Cema cema;
+  EXPECT_DOUBLE_EQ(cema.value(), 0.0);
+}
+
+TEST(CemaTest, FirstUpdateReturnsTheSample) {
+  // The bias correction makes value() the weighted mean of observed samples
+  // only — after one update that mean is the sample, whatever alpha is. The
+  // correction divides by 1-(1-alpha)^1, which is alpha up to rounding, so
+  // the comparison allows a few ulps rather than demanding bit equality.
+  for (const double alpha : {0.01, 0.1, 0.5, 0.9}) {
+    Cema cema;
+    cema.update(13.75, alpha);
+    EXPECT_NEAR(cema.value(), 13.75, 1e-12 * 13.75) << "alpha " << alpha;
+  }
+}
+
+TEST(CemaTest, WarmupMatchesCumulativeMeanForTinyAlpha) {
+  // As alpha -> 0 the geometric weights flatten, so early on the CEMA is a
+  // plain running mean of its samples.
+  Cema cema;
+  const double samples[] = {2.0, 4.0, 9.0, 1.0};
+  double sum = 0.0;
+  int count = 0;
+  for (const double sample : samples) {
+    cema.update(sample, 1e-9);
+    sum += sample;
+    ++count;
+    EXPECT_NEAR(cema.value(), sum / count, 1e-6);
+  }
+}
+
+TEST(CemaTest, BulkUpdateEqualsRepeatedSingles) {
+  const double alpha = 0.07;
+  Cema bulk;
+  Cema singles;
+  // Interleave history so the equivalence holds from any starting state,
+  // not just the empty one.
+  bulk.update(3.0, alpha);
+  singles.update(3.0, alpha);
+
+  for (const auto& [value, repeat] :
+       {std::pair<double, std::uint64_t>{0.0, 17},
+        std::pair<double, std::uint64_t>{5.5, 1},
+        std::pair<double, std::uint64_t>{2.25, 400}}) {
+    bulk.bulk_update(value, repeat, alpha);
+    for (std::uint64_t i = 0; i < repeat; ++i) singles.update(value, alpha);
+    EXPECT_NEAR(bulk.value(), singles.value(), 1e-12);
+    EXPECT_EQ(bulk.updates, singles.updates);
+  }
+}
+
+TEST(CemaTest, BulkUpdateWithZeroRepeatIsANoop) {
+  Cema cema;
+  cema.update(4.0, 0.1);
+  const double before = cema.value();
+  cema.bulk_update(99.0, 0, 0.1);
+  EXPECT_DOUBLE_EQ(cema.value(), before);
+  EXPECT_EQ(cema.updates, 1u);
+}
+
+TEST(CemaTest, ConvergesToConstantSample) {
+  Cema cema;
+  for (int i = 0; i < 1000; ++i) cema.update(6.0, 0.05);
+  EXPECT_NEAR(cema.value(), 6.0, 1e-9);
+}
+
+TEST(CemaRateEstimatorTest, ReportsInitialRateBeforeFirstBucketCloses) {
+  CemaRateEstimator estimator(0.1, 1.0, 40.0);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 40.0);
+  estimator.on_arrival(0.25);  // inside the first bucket
+  EXPECT_DOUBLE_EQ(estimator.rate(), 40.0);
+  EXPECT_EQ(estimator.buckets_closed(), 0u);
+}
+
+TEST(CemaRateEstimatorTest, ConvergesToTruePoissonRate) {
+  const double rate = 12.0;
+  CemaRateEstimator estimator(0.05, 0.5, 100.0);
+  sim::Rng rng(42);
+  double t = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    t += -std::log(rng.next_double_open0()) / rate;
+    estimator.on_arrival(t);
+  }
+  // Bucket counts estimate the rate unbiasedly, but the EMA's effective
+  // window is only ~2/alpha buckets no matter how many arrivals feed it, so
+  // the tolerance covers ~2.5 sigma of that bucket-count noise (the run is
+  // seed-fixed, so this is a regression pin, not a flake budget).
+  EXPECT_NEAR(estimator.rate(), rate, 0.15 * rate);
+}
+
+TEST(CemaRateEstimatorTest, LongIdleGapFoldsEmptyBucketsInConstantTime) {
+  CemaRateEstimator estimator(0.1, 1.0, 50.0);
+  estimator.on_arrival(0.5);
+  // A gap spanning ~1e9 empty buckets must neither hang nor overflow: the
+  // estimate collapses toward zero because the stream went quiet.
+  estimator.on_arrival(1.0e9);
+  EXPECT_GT(estimator.buckets_closed(), 1000u);
+  EXPECT_LT(estimator.rate(), 0.1);
+}
+
+TEST(CemaRateEstimatorTest, BoundedLagAfterRateStep) {
+  // Rate steps 4 -> 40 at t = 500. The estimate must reach the new rate's
+  // neighbourhood within ~2/alpha buckets — the adaptation-lag bound that
+  // makes `--estimator cema` track a flash crowd while fixed-lambda herds.
+  const double alpha = 0.1;
+  const double bucket = 0.5;
+  CemaRateEstimator estimator(alpha, bucket, 4.0);
+  sim::Rng rng(7);
+  double t = 0.0;
+  while (t < 500.0) {
+    t += -std::log(rng.next_double_open0()) / 4.0;
+    estimator.on_arrival(t);
+  }
+  const double low_estimate = estimator.rate();
+  EXPECT_NEAR(low_estimate, 4.0, 1.5);
+
+  const double lag_window = 2.0 / alpha * bucket;  // 2/alpha buckets
+  while (t < 500.0 + lag_window) {
+    t += -std::log(rng.next_double_open0()) / 40.0;
+    estimator.on_arrival(t);
+  }
+  EXPECT_GT(estimator.rate(), 0.75 * 40.0);
+  EXPECT_LT(estimator.rate(), 1.25 * 40.0);
+}
+
+TEST(CemaRateEstimatorTest, RejectsBadParameters) {
+  EXPECT_THROW(CemaRateEstimator(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CemaRateEstimator(1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CemaRateEstimator(0.1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CemaRateEstimator(0.1, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(CemaRateEstimatorTest, DescribeNamesTheParameters) {
+  CemaRateEstimator estimator(0.1, 0.5, 20.0);
+  EXPECT_NE(estimator.describe().find("cema"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stale::workload

@@ -1,0 +1,98 @@
+// Determinism of trace replay under trial parallelism: a replay-driven
+// experiment must produce bit-identical results whether trials run serially
+// or on a worker pool, and replaying the same trace twice must agree bit for
+// bit — the property the record->replay CI gate stands on. The replay
+// workload shares one immutable ReplayTrace across worker threads while each
+// trial builds its own cursor objects, so TSan checks the sharing wholesale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "driver/experiment.h"
+#include "sim/rng.h"
+#include "workload/replay.h"
+
+namespace {
+
+using stale::driver::ExperimentConfig;
+using stale::driver::ExperimentResult;
+using stale::driver::run_experiment;
+
+// A synthetic recording: Poisson arrivals with exponential service draws,
+// the same shape `staleload_lb --record` produces on a loopback run.
+std::shared_ptr<const stale::workload::ReplayTrace> synthetic_trace() {
+  auto trace = std::make_shared<stale::workload::ReplayTrace>();
+  trace->manifest.backends = 4;
+  trace->manifest.update_period = 0.5;
+  trace->manifest.schedule = "periodic";
+  trace->manifest.policy = "basic_li";
+  stale::sim::Rng rng(0xBEEFULL);
+  double t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    t += -std::log(rng.next_double_open0()) / 8.0;
+    const double size = -std::log(rng.next_double_open0()) * 0.05;
+    trace->arrivals.push_back({t, size});
+  }
+  trace->manifest.arrivals = trace->arrivals.size();
+  trace->manifest.duration = t;
+  return trace;
+}
+
+ExperimentConfig replay_config() {
+  const auto trace = synthetic_trace();
+  ExperimentConfig config;
+  config.num_servers = trace->manifest.backends;
+  config.lambda = trace->empirical_rate() / trace->manifest.backends;
+  config.model = stale::driver::UpdateModel::kIndividual;
+  config.update_interval = trace->manifest.update_period;
+  config.policy = "basic_li";
+  config.num_jobs = trace->arrivals.size();
+  config.warmup_jobs = trace->arrivals.size() / 4;
+  config.trials = 4;
+  config.replay = trace;
+  return config;
+}
+
+TEST(ReplayDeterminismTest, BitIdenticalAcrossWorkerCounts) {
+  ExperimentConfig config = replay_config();
+  config.jobs = 1;
+  const ExperimentResult serial = run_experiment(config);
+  config.jobs = 4;
+  const ExperimentResult parallel = run_experiment(config);
+  ASSERT_EQ(serial.trial_means.size(), parallel.trial_means.size());
+  for (std::size_t trial = 0; trial < serial.trial_means.size(); ++trial) {
+    EXPECT_EQ(serial.trial_means[trial], parallel.trial_means[trial])
+        << "trial " << trial;
+  }
+  EXPECT_EQ(serial.trace_wraps, parallel.trace_wraps);
+}
+
+TEST(ReplayDeterminismTest, ReplayingTwiceIsBitIdentical) {
+  const ExperimentConfig config = replay_config();
+  const ExperimentResult first = run_experiment(config);
+  const ExperimentResult second = run_experiment(config);
+  ASSERT_EQ(first.trial_means.size(), second.trial_means.size());
+  for (std::size_t trial = 0; trial < first.trial_means.size(); ++trial) {
+    EXPECT_EQ(first.trial_means[trial], second.trial_means[trial])
+        << "trial " << trial;
+  }
+}
+
+TEST(ReplayDeterminismTest, ExactJobCountNeverWraps) {
+  // One pass through the recorded arrivals consumes exactly |trace| gaps;
+  // any wrap here means record and replay disagree about the job count.
+  const ExperimentConfig config = replay_config();
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.trace_wraps, 0u);
+}
+
+TEST(ReplayDeterminismTest, OverdrawnReplayWrapsAndReports) {
+  ExperimentConfig config = replay_config();
+  config.num_jobs = config.replay->arrivals.size() * 2 + 7;
+  config.warmup_jobs = config.num_jobs / 4;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.trace_wraps, 2u);
+}
+
+}  // namespace

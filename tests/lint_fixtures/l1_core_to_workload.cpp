@@ -1,0 +1,8 @@
+// Lint fixture: scanned under src/core/fixture.cpp. workload sits above
+// core (the CEMA rate estimator implements core::RateEstimator), so the
+// dependency may only point downward — core reaching up into workload is a
+// cycle in the making. One L1 finding expected.
+#include "workload/rate_estimator.h"
+#include "core/rate_estimator.h"
+
+double width() { return 0.0; }

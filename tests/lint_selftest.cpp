@@ -77,6 +77,8 @@ INSTANTIATE_TEST_SUITE_P(
                     "staleload-l1-layering"},
         FixtureCase{"l1_net_to_dispatch.cpp", "src/net/fixture.cpp",
                     "staleload-l1-layering"},
+        FixtureCase{"l1_core_to_workload.cpp", "src/core/fixture.cpp",
+                    "staleload-l1-layering"},
         FixtureCase{"r1_unsplit_stream.cpp", "src/policy/fixture.cpp",
                     "staleload-r1-unsplit-stream"},
         FixtureCase{"r2_shared_capture.cpp", "src/driver/fixture.cpp",
@@ -523,6 +525,37 @@ TEST(LintLayeringTest, NetIsTheLiveBoundaryLayer) {
       scan_file("src/driver/x.cpp", "#include \"net/dispatcher.h\"\n");
   ASSERT_EQ(driver_to_net.size(), 1u);
   EXPECT_EQ(driver_to_net[0].rule, "staleload-l1-layering");
+}
+
+TEST(LintLayeringTest, WorkloadSitsAboveCoreAndBelowNet) {
+  // workload reaches down to core (CemaRateEstimator implements
+  // core::RateEstimator) and the sim substrate...
+  for (const char* header :
+       {"core/rate_estimator.h", "sim/rng.h", "check/contracts.h"}) {
+    EXPECT_TRUE(scan_file("src/workload/x.cpp",
+                          "#include \"" + std::string(header) + "\"\n")
+                    .empty())
+        << "workload must be allowed to include " << header;
+  }
+  // ...and net reaches down to workload (trace-v2 recording, CEMA live
+  // estimation), but neither edge reverses.
+  for (const char* header :
+       {"workload/replay.h", "workload/rate_estimator.h"}) {
+    EXPECT_TRUE(scan_file("src/net/x.cpp",
+                          "#include \"" + std::string(header) + "\"\n")
+                    .empty())
+        << "net must be allowed to include " << header;
+  }
+  for (const char* bad_edge : {"src/core/x.cpp", "src/sim/x.cpp"}) {
+    const std::vector<Finding> up =
+        scan_file(bad_edge, "#include \"workload/trace.h\"\n");
+    ASSERT_EQ(up.size(), 1u) << bad_edge;
+    EXPECT_EQ(up[0].rule, "staleload-l1-layering") << bad_edge;
+  }
+  const std::vector<Finding> up =
+      scan_file("src/workload/x.cpp", "#include \"net/dispatcher.h\"\n");
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].rule, "staleload-l1-layering");
 }
 
 TEST(LintScopeTest, NetIsExemptFromSimulationDeterminismRules) {

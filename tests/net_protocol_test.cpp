@@ -58,6 +58,15 @@ TEST(ProtocolRoundTripTest, EveryMessageTypeRoundTrips) {
     ASSERT_TRUE(done2.has_value());
     EXPECT_EQ(done2->id, done.id);
     EXPECT_EQ(done2->queue_len, done.queue_len);
+    EXPECT_LT(done2->service, 0.0);  // unreported stays unreported
+
+    // With the optional service field (DONE v2) the round trip carries it.
+    done.service = rng.next_double() * 10.0;
+    const auto done3 = parse_done(strip_newline(format_done(done)));
+    ASSERT_TRUE(done3.has_value());
+    EXPECT_EQ(done3->id, done.id);
+    EXPECT_EQ(done3->queue_len, done.queue_len);
+    EXPECT_NEAR(done3->service, done.service, 1e-5);  // %f formatting
 
     ClientDoneMsg cdone;
     cdone.id = rng.next_u64();
@@ -104,10 +113,32 @@ TEST(ProtocolParseTest, RejectsMalformedLines) {
   EXPECT_FALSE(parse_job("JOB 99999999999999999999999").has_value());
 
   EXPECT_FALSE(parse_done("DONE 1").has_value());
-  EXPECT_FALSE(parse_done("DONE 1 2 3").has_value());
   EXPECT_FALSE(parse_done("DONE one 2").has_value());
+  EXPECT_FALSE(parse_done("DONE 1 2 3 4").has_value());     // five fields
+  EXPECT_FALSE(parse_done("DONE 1 2 -0.5").has_value());    // negative service
+  EXPECT_FALSE(parse_done("DONE 1 2 +0.5").has_value());    // signed service
+  EXPECT_FALSE(parse_done("DONE 1 2 0.5x").has_value());    // trailing junk
   EXPECT_FALSE(parse_client_done("DONE 1").has_value());
   EXPECT_FALSE(parse_client_done("ERR 1 2").has_value());
+}
+
+TEST(ProtocolParseTest, DoneServiceFieldIsOptional) {
+  // A v1 backend sends three fields; the parser reports "unreported" via a
+  // negative service so the recorder can fall back to size 1.0.
+  const auto old_form = parse_done("DONE 7 2");
+  ASSERT_TRUE(old_form.has_value());
+  EXPECT_LT(old_form->service, 0.0);
+
+  const auto new_form = parse_done("DONE 7 2 0.125");
+  ASSERT_TRUE(new_form.has_value());
+  EXPECT_EQ(new_form->id, 7u);
+  EXPECT_EQ(new_form->queue_len, 2);
+  EXPECT_DOUBLE_EQ(new_form->service, 0.125);
+
+  // Zero is a legal (if improbable) service time.
+  const auto zero = parse_done("DONE 7 2 0");
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_DOUBLE_EQ(zero->service, 0.0);
 }
 
 // Runs every parser over the same line; none may crash, and any accepted

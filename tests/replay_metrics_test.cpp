@@ -1,0 +1,132 @@
+// Tests for obs::ReplayMetrics (src/obs/replay_metrics.h): the JSON
+// round-trip both playdiff endpoints rely on, and the diff semantics that
+// make the record->replay CI gate pass on agreement and fail loudly on
+// divergence.
+#include "obs/replay_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace stale::obs {
+namespace {
+
+ReplayMetrics sample_metrics() {
+  ReplayMetrics metrics;
+  metrics.source = "live";
+  metrics.jobs = 300;
+  metrics.duration = 7.5;
+  metrics.mean_response = 0.1;
+  metrics.p50_response = 0.08;
+  metrics.p90_response = 0.22;
+  metrics.p99_response = 0.34;
+  metrics.dispatch_share = {0.26, 0.24, 0.25, 0.25};
+  metrics.has_herd = true;
+  metrics.herd_autocorr = 0.4;
+  metrics.herd_amplitude = 2.5;
+  metrics.herding = false;
+  return metrics;
+}
+
+TEST(ReplayMetricsJsonTest, RoundTripsEveryField) {
+  std::stringstream stream;
+  write_replay_metrics(stream, sample_metrics());
+  const ReplayMetrics parsed = parse_replay_metrics(stream);
+  EXPECT_EQ(parsed.source, "live");
+  EXPECT_EQ(parsed.jobs, 300u);
+  EXPECT_DOUBLE_EQ(parsed.duration, 7.5);
+  EXPECT_DOUBLE_EQ(parsed.mean_response, 0.1);
+  EXPECT_DOUBLE_EQ(parsed.p50_response, 0.08);
+  EXPECT_DOUBLE_EQ(parsed.p90_response, 0.22);
+  EXPECT_DOUBLE_EQ(parsed.p99_response, 0.34);
+  ASSERT_EQ(parsed.dispatch_share.size(), 4u);
+  EXPECT_DOUBLE_EQ(parsed.dispatch_share[1], 0.24);
+  EXPECT_TRUE(parsed.has_herd);
+  EXPECT_DOUBLE_EQ(parsed.herd_autocorr, 0.4);
+  EXPECT_DOUBLE_EQ(parsed.herd_amplitude, 2.5);
+  EXPECT_FALSE(parsed.herding);
+}
+
+TEST(ReplayMetricsJsonTest, RoundTripsWithoutHerdBlock) {
+  ReplayMetrics metrics = sample_metrics();
+  metrics.has_herd = false;
+  std::stringstream stream;
+  write_replay_metrics(stream, metrics);
+  const ReplayMetrics parsed = parse_replay_metrics(stream);
+  EXPECT_FALSE(parsed.has_herd);
+}
+
+TEST(ReplayMetricsJsonTest, RejectsGarbage) {
+  for (const char* text : {"", "{}", "not json at all",
+                           "{\"source\": \"live\"}"}) {
+    std::istringstream stream{std::string(text)};
+    EXPECT_THROW(parse_replay_metrics(stream), std::invalid_argument) << text;
+  }
+}
+
+TEST(ReplayMetricsDiffTest, IdenticalMetricsPass) {
+  const ReplayMetrics metrics = sample_metrics();
+  EXPECT_TRUE(diff_replay_metrics(metrics, metrics, DiffTolerance{}).empty());
+}
+
+TEST(ReplayMetricsDiffTest, SmallGapsWithinTolerancePass) {
+  const ReplayMetrics live = sample_metrics();
+  ReplayMetrics sim = live;
+  sim.source = "sim";
+  sim.mean_response = live.mean_response * 1.2;  // 20% < default 30%
+  sim.p99_response = live.p99_response * 0.8;
+  sim.dispatch_share = {0.28, 0.22, 0.26, 0.24};  // TV 0.04 < 0.15
+  EXPECT_TRUE(diff_replay_metrics(live, sim, DiffTolerance{}).empty());
+}
+
+TEST(ReplayMetricsDiffTest, ResponseDivergenceFails) {
+  const ReplayMetrics live = sample_metrics();
+  ReplayMetrics sim = live;
+  sim.p90_response = live.p90_response * 2.0;  // 50% relative gap
+  const auto failures = diff_replay_metrics(live, sim, DiffTolerance{});
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("p90"), std::string::npos);
+}
+
+TEST(ReplayMetricsDiffTest, DispatchShareDivergenceFails) {
+  const ReplayMetrics live = sample_metrics();
+  ReplayMetrics sim = live;
+  sim.dispatch_share = {0.70, 0.10, 0.10, 0.10};  // herded replay
+  const auto failures = diff_replay_metrics(live, sim, DiffTolerance{});
+  ASSERT_FALSE(failures.empty());
+  EXPECT_NE(failures[0].find("share"), std::string::npos);
+}
+
+TEST(ReplayMetricsDiffTest, HerdVerdictGatedByFlag) {
+  const ReplayMetrics live = sample_metrics();
+  ReplayMetrics sim = live;
+  sim.herding = true;
+  // Off by default: a verdict flip on a short run is reported as noise.
+  EXPECT_TRUE(diff_replay_metrics(live, sim, DiffTolerance{}).empty());
+  DiffTolerance strict;
+  strict.require_herd_match = true;
+  const auto failures = diff_replay_metrics(live, sim, strict);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("herd"), std::string::npos);
+}
+
+TEST(ReplayMetricsDiffTest, LooseToleranceAcceptsWhatDefaultRejects) {
+  const ReplayMetrics live = sample_metrics();
+  ReplayMetrics sim = live;
+  sim.mean_response = live.mean_response * 1.45;
+  EXPECT_FALSE(diff_replay_metrics(live, sim, DiffTolerance{}).empty());
+  DiffTolerance loose;
+  loose.response = 0.5;
+  EXPECT_TRUE(diff_replay_metrics(live, sim, loose).empty());
+}
+
+TEST(ReplayMetricsDiffTest, BothZeroResponsesAgree) {
+  // relative_gap must treat 0-vs-0 as equal, not divide by zero.
+  ReplayMetrics a;
+  a.dispatch_share = {1.0};
+  EXPECT_TRUE(diff_replay_metrics(a, a, DiffTolerance{}).empty());
+}
+
+}  // namespace
+}  // namespace stale::obs

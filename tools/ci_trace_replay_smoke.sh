@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# CI record->replay gate: boots the live dispatcher with --record, drives it
+# with four backends and a Poisson loadgen on 127.0.0.1, then replays the
+# recorded trace-v2 directory through the simulator and diffs the two
+# metrics files with tools/playdiff.
+#
+# Tolerances (documented contract of the gate): live and sim share the exact
+# recorded arrivals and service times, but not dispatch decisions — the live
+# run pays real network latency and scheduling jitter, and the board phases
+# are not aligned. So response-time quantiles must agree within 50% relative
+# and dispatch shares within 0.35 total-variation distance; herd verdicts
+# are reported but not required to match on a run this short. Anything
+# outside that band means record or replay is broken, not noisy.
+#
+# Usage: tools/ci_trace_replay_smoke.sh [BIN_DIR] [OUT_DIR]
+#   BIN_DIR: directory with the binaries (default build/tools)
+#   OUT_DIR: artifact directory (default trace-replay-smoke)
+set -euo pipefail
+
+BIN=${1:-build/tools}
+OUT=${2:-trace-replay-smoke}
+BACKENDS=4
+TRACE="$OUT/trace"
+mkdir -p "$OUT"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+wait_for_line() { # file token tries
+  for _ in $(seq "${3:-100}"); do
+    grep -q "$2" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "ci_trace_replay_smoke: timed out waiting for '$2' in $1" >&2
+  cat "$1" >&2 || true
+  return 1
+}
+
+# --- record: live loopback run with the trace-v2 recorder attached --------
+"$BIN/staleload_lb" --backends $BACKENDS --policy basic_li \
+  --schedule periodic --update-period 0.5 --duration 60 --seed 3 \
+  --estimator cema --record "$TRACE" \
+  > "$OUT/lb.out" 2> "$OUT/lb.err" &
+LB_PID=$!
+PIDS+=("$LB_PID")
+wait_for_line "$OUT/lb.out" "LB LISTENING"
+TCP=$(sed -n 's/.*tcp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
+UDP=$(sed -n 's/.*udp=\([0-9]*\).*/\1/p' "$OUT/lb.out" | head -1)
+echo "dispatcher up: tcp=$TCP udp=$UDP"
+
+for i in $(seq 0 $((BACKENDS - 1))); do
+  "$BIN/staleload_backend" --index "$i" --report-to "127.0.0.1:$UDP" \
+    --update-period 0.5 --mean-service 0.05 --seed $((20 + i)) \
+    --duration 61 > "$OUT/backend$i.out" 2>&1 &
+  PIDS+=("$!")
+done
+wait_for_line "$OUT/lb.out" "LB READY"
+echo "all $BACKENDS backends registered"
+
+"$BIN/staleload_loadgen" --target "127.0.0.1:$TCP" --lambda 40 \
+  --duration 10 --drain 3 --warmup 20 --seed 7 \
+  --json "$OUT/loadgen.json" 2> "$OUT/loadgen.err"
+
+kill "$LB_PID" 2>/dev/null || true
+wait "$LB_PID" 2>/dev/null || true
+PIDS=()
+
+for f in manifest.txt arrivals.trace loads.csv metrics.json; do
+  test -s "$TRACE/$f" || {
+    echo "ci_trace_replay_smoke: recorder wrote no $f" >&2
+    cat "$OUT/lb.err" >&2 || true
+    exit 1
+  }
+done
+echo "recorded $(awk '$1 == "arrivals" {print $2}' "$TRACE/manifest.txt") jobs"
+
+# --- replay: feed the recording through the sim driver --------------------
+POLICY=$(awk '$1 == "policy" {print $2}' "$TRACE/manifest.txt")
+"$BIN/staleload_sim" --workload "replay:$TRACE" --policy "$POLICY" \
+  --estimator cema --replay-metrics-out "$OUT/sim-metrics.json" \
+  > "$OUT/sim.out" 2> "$OUT/sim.err"
+if grep -q "trace wrapped" "$OUT/sim.err"; then
+  echo "ci_trace_replay_smoke: replay wrapped the trace (non-deterministic " \
+       "job count?)" >&2
+  cat "$OUT/sim.err" >&2
+  exit 1
+fi
+
+# --- gate: live metrics vs replayed metrics -------------------------------
+"$BIN/playdiff" "$TRACE/metrics.json" "$OUT/sim-metrics.json" \
+  --tol-response 0.5 --tol-share 0.35 --report "$OUT/playdiff.txt"
+
+echo "trace-replay smoke OK"

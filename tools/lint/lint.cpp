@@ -245,7 +245,9 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
       {"runtime", {"runtime", "check"}},
       {"queueing", {"queueing", "sim", "obs", "check"}},
       {"core", {"core", "sim", "check"}},
-      {"workload", {"workload", "sim", "check"}},
+      // workload sits above core so the CEMA rate estimator can implement
+      // core::RateEstimator — the interface LI policies consume.
+      {"workload", {"workload", "core", "sim", "check"}},
       {"analysis", {"analysis", "sim", "check"}},
       {"loadinfo", {"loadinfo", "queueing", "sim", "obs", "check"}},
       {"policy", {"policy", "core", "sim", "obs", "check"}},
@@ -270,9 +272,12 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
       // dispatcher). It drives the same policy/loadinfo/obs/fault stack as
       // the simulator but sits beside driver: neither may include the other,
       // and no simulation layer may reach up into net.
+      // net additionally reaches workload for the trace-v2 recorder
+      // (net/record writes workload::ReplayTrace files) and the CEMA
+      // estimator behind `staleload_lb --estimator cema`.
       {"net",
-       {"net", "health", "fault", "policy", "loadinfo", "queueing", "core",
-        "sim", "obs", "check"}},
+       {"net", "workload", "health", "fault", "policy", "loadinfo", "queueing",
+        "core", "sim", "obs", "check"}},
       {"driver",
        {"driver", "dispatch", "health", "fault", "policy", "loadinfo",
         "queueing", "core", "sim", "obs", "workload", "analysis", "runtime",

@@ -1,0 +1,131 @@
+// playdiff: the record->replay comparison gate.
+//
+//   playdiff LIVE.json SIM.json [--tol-response R] [--tol-share S]
+//            [--require-herd-match] [--report OUT.txt]
+//
+// Reads two obs::ReplayMetrics files (a live recording's metrics.json and
+// the output of `staleload_sim --workload replay:DIR --replay-metrics-out`),
+// prints a side-by-side comparison, and exits 0 when every metric agrees
+// within tolerance, 1 when any diverges, 2 on usage/parse errors. The
+// default tolerances are the documented CI budget (see
+// obs::DiffTolerance): live and sim share the workload but not service
+// draws or network jitter, so this is a consistency gate, not bit-equality.
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/replay_metrics.h"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: playdiff A.json B.json [--tol-response R] [--tol-share S]\n"
+         "                [--require-herd-match] [--report OUT]\n";
+}
+
+stale::obs::ReplayMetrics load_metrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("playdiff: cannot open '" + path + "'");
+  }
+  return stale::obs::parse_replay_metrics(in);
+}
+
+void print_row(std::ostream& out, const char* name, double a, double b) {
+  out << "  " << std::left << std::setw(16) << name << std::right
+      << std::setw(12) << a << std::setw(12) << b << "\n";
+}
+
+void write_report(std::ostream& out, const stale::obs::ReplayMetrics& a,
+                  const stale::obs::ReplayMetrics& b,
+                  const std::vector<std::string>& failures) {
+  out << std::setprecision(5);
+  out << "playdiff: " << a.source << " (" << a.jobs << " jobs) vs "
+      << b.source << " (" << b.jobs << " jobs)\n";
+  out << "  " << std::left << std::setw(16) << "metric" << std::right
+      << std::setw(12) << a.source << std::setw(12) << b.source << "\n";
+  print_row(out, "mean_response", a.mean_response, b.mean_response);
+  print_row(out, "p50_response", a.p50_response, b.p50_response);
+  print_row(out, "p90_response", a.p90_response, b.p90_response);
+  print_row(out, "p99_response", a.p99_response, b.p99_response);
+  out << "  dispatch_share  ";
+  for (double share : a.dispatch_share) out << " " << share;
+  out << "  vs ";
+  for (double share : b.dispatch_share) out << " " << share;
+  out << "\n";
+  if (a.has_herd || b.has_herd) {
+    out << "  herding          " << (a.herding ? "yes" : "no") << " vs "
+        << (b.herding ? "yes" : "no") << "\n";
+  }
+  if (failures.empty()) {
+    out << "PASS: metrics agree within tolerance\n";
+  } else {
+    for (const std::string& failure : failures) {
+      out << "FAIL: " << failure << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  stale::obs::DiffTolerance tolerance;
+  std::string report_path;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::runtime_error("playdiff: " + arg + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--tol-response") {
+        tolerance.response = std::stod(value());
+      } else if (arg == "--tol-share") {
+        tolerance.share_tv = std::stod(value());
+      } else if (arg == "--require-herd-match") {
+        tolerance.require_herd_match = true;
+      } else if (arg == "--report") {
+        report_path = value();
+      } else if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw std::runtime_error("playdiff: unknown flag '" + arg + "'");
+      } else {
+        paths.push_back(arg);
+      }
+    }
+    if (paths.size() != 2) {
+      usage(std::cerr);
+      return 2;
+    }
+    if (tolerance.response <= 0.0 || tolerance.share_tv <= 0.0) {
+      throw std::runtime_error("playdiff: tolerances must be > 0");
+    }
+
+    const stale::obs::ReplayMetrics a = load_metrics(paths[0]);
+    const stale::obs::ReplayMetrics b = load_metrics(paths[1]);
+    const std::vector<std::string> failures =
+        stale::obs::diff_replay_metrics(a, b, tolerance);
+
+    write_report(std::cout, a, b, failures);
+    if (!report_path.empty()) {
+      std::ofstream report(report_path);
+      if (!report) {
+        throw std::runtime_error("playdiff: cannot write '" + report_path +
+                                 "'");
+      }
+      write_report(report, a, b, failures);
+    }
+    return failures.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+}

@@ -15,7 +15,19 @@
 // and writes PREFIX.events.csv (replayable via obs::import_events_csv) plus
 // PREFIX.herd.json — the herd-diagnostic verdict (obs::detect_herd) over the
 // live trace. On exit a one-line stats JSON goes to stdout.
+//
+// --record DIR writes a trace-v2 directory — manifest.txt, arrivals.trace,
+// loads.csv, metrics.json — that `staleload_sim --workload replay:DIR`
+// replays deterministically and `tools/playdiff` gates against. Requires
+// --schedule periodic and a fault-free run (see src/net/record.h).
+//
+// --estimator SPEC picks how the dispatcher learns the arrival rate that
+// LI policies turn into K = lambda*T:
+//   windowed[:W] | ewma:TAU | cema[:ALPHA[:BUCKET]] | fixed:RATE
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -28,9 +40,12 @@
 #include "fault/fault_spec.h"
 #include "health/churn_spec.h"
 #include "net/dispatcher.h"
+#include "net/record.h"
 #include "obs/export_csv.h"
 #include "obs/herd.h"
+#include "obs/replay_metrics.h"
 #include "obs/trace_recorder.h"
+#include "workload/replay.h"
 
 namespace {
 
@@ -48,6 +63,7 @@ void install_signal_handlers() {
 struct Args {
   stale::net::DispatcherOptions options;
   std::string trace_out;
+  std::string record_dir;
 };
 
 [[noreturn]] void usage(const std::string& error) {
@@ -55,9 +71,10 @@ struct Args {
             << "usage: staleload_lb --backends N [--policy SPEC]\n"
             << "  [--schedule periodic|piggyback] [--update-period T]\n"
             << "  [--host H] [--tcp-port P] [--udp-port P] [--rate-window W]\n"
+            << "  [--estimator windowed[:W]|ewma:TAU|cema[:A[:B]]|fixed:R]\n"
             << "  [--duration S] [--seed S] [--faults SPEC]\n"
             << "  [--health SPEC] [--dispatch-timeout S]\n"
-            << "  [--trace-out PREFIX]\n"
+            << "  [--trace-out PREFIX] [--record DIR]\n"
             << "--health takes the health keys of a churn spec, e.g.\n"
             << "  suspect=2T,evict=4T,probation=2,probe=0.5,probemax=8,\n"
             << "  coverage=0.5,fallback=random,retries=3\n"
@@ -104,11 +121,25 @@ Args parse_args(int argc, char** argv) {
       args.options.dispatch_timeout = std::stod(value());
     } else if (flag == "--trace-out") {
       args.trace_out = value();
+    } else if (flag == "--record") {
+      args.record_dir = value();
+    } else if (flag == "--estimator") {
+      args.options.estimator_spec = value();
     } else {
       usage("unknown flag '" + flag + "'");
     }
   }
   if (args.options.num_backends <= 0) usage("--backends must be >= 1");
+  if (!args.record_dir.empty()) {
+    if (args.options.schedule != stale::net::UpdateSchedule::kPeriodic) {
+      usage("--record requires --schedule periodic (the replay driver maps "
+            "the recorded LOAD cadence onto the individual-timer model)");
+    }
+    if (args.options.faults.any()) {
+      usage("--record with --faults would bake lost jobs into the trace; "
+            "record a fault-free run");
+    }
+  }
   if (!health_spec.empty()) {
     const auto spec = stale::health::ChurnSpec::parse(health_spec);
     if (spec.any()) {
@@ -181,6 +212,11 @@ void write_artifact(const std::string& path,
   std::cerr << "# wrote " << path << "\n";
 }
 
+void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0775) == 0 || errno == EEXIST) return;
+  throw std::runtime_error("cannot create directory '" + path + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,28 +224,76 @@ int main(int argc, char** argv) {
     Args args = parse_args(argc, argv);
     install_signal_handlers();
 
+    // --record needs the obs recorder too: its decision events feed the
+    // herd verdict folded into metrics.json.
     stale::obs::TraceRecorder recorder;
-    if (!args.trace_out.empty()) args.options.trace = &recorder;
+    if (!args.trace_out.empty() || !args.record_dir.empty()) {
+      args.options.trace = &recorder;
+    }
+    stale::net::TraceV2Recorder trace_v2;
+    if (!args.record_dir.empty()) {
+      ensure_dir(args.record_dir);  // fail before serving, not after
+      args.options.record = &trace_v2;
+    }
 
     stale::net::Dispatcher dispatcher(args.options);
     dispatcher.run(&g_stop);
 
-    write_stats_json(std::cout, args, dispatcher.stats());
+    const stale::net::DispatcherStats stats = dispatcher.stats();
+    write_stats_json(std::cout, args, stats);
+
+    // The herd verdict over the live trace, shared by --trace-out's
+    // herd.json and --record's metrics.json.
+    bool have_herd = false;
+    stale::obs::HerdReport herd;
+    if (recorder.count(stale::obs::TraceEventKind::kDecision) > 0) {
+      stale::obs::HerdOptions herd_options;
+      herd_options.phase_length = args.options.update_period;
+      herd_options.num_servers = args.options.num_backends;
+      herd = stale::obs::detect_herd(recorder, herd_options);
+      have_herd = true;
+    }
 
     if (!args.trace_out.empty()) {
       write_artifact(args.trace_out + ".events.csv", [&](std::ostream& out) {
         stale::obs::write_events_csv(out, recorder);
       });
-      if (recorder.count(stale::obs::TraceEventKind::kDecision) > 0) {
-        stale::obs::HerdOptions herd_options;
-        herd_options.phase_length = args.options.update_period;
-        herd_options.num_servers = args.options.num_backends;
-        const stale::obs::HerdReport herd =
-            stale::obs::detect_herd(recorder, herd_options);
+      if (have_herd) {
         write_artifact(args.trace_out + ".herd.json", [&](std::ostream& out) {
           write_herd_json(out, herd);
         });
       }
+    }
+
+    if (!args.record_dir.empty()) {
+      stale::workload::ReplayManifest manifest;
+      manifest.backends = args.options.num_backends;
+      manifest.update_period = args.options.update_period;
+      manifest.schedule =
+          stale::net::update_schedule_name(args.options.schedule);
+      manifest.policy = args.options.policy_spec;
+      manifest.seed = args.options.seed;
+      const std::uint64_t skipped =
+          trace_v2.write_trace(args.record_dir, manifest);
+      if (skipped > 0) {
+        std::cerr << "# record: dropped " << skipped
+                  << " incomplete jobs (no DONE before shutdown)\n";
+      }
+
+      stale::obs::ReplayMetrics metrics =
+          trace_v2.live_metrics(stats.per_backend_dispatched);
+      if (have_herd) {
+        metrics.has_herd = true;
+        metrics.herd_autocorr = herd.autocorr_peak;
+        metrics.herd_amplitude = herd.amplitude;
+        metrics.herding = herd.herding();
+      }
+      write_artifact(args.record_dir + "/" + stale::workload::kMetricsFile,
+                     [&](std::ostream& out) {
+                       stale::obs::write_replay_metrics(out, metrics);
+                     });
+      std::cerr << "# record: trace-v2 with " << trace_v2.completed()
+                << " completed jobs in " << args.record_dir << "\n";
     }
     return 0;
   } catch (const std::exception& error) {

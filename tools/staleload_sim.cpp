@@ -27,6 +27,19 @@
 // Fault runs report the per-fault counters; --json emits the full record as
 // one JSON object instead of the table.
 //
+// Workloads beyond homogeneous Poisson (src/workload/):
+//   --arrival-spec S      poisson | mmpp:M1:M2:D1:D2 | ramp:PERIOD:AMP |
+//                         flash:AT:MULT:RAMP:HOLD:DECAY | trace:PATH
+//   --workload replay:DIR replay a recorded trace-v2 directory (from
+//                         `staleload_lb --record DIR`); overrides n, T,
+//                         model, jobs, and lambda from the manifest
+//   --estimator E         told | fixed | cema[:ALPHA[:BUCKET]] — how LI
+//                         policies learn lambda for K = lambda*T (alias of
+//                         the older --rate-est)
+//   --replay-metrics-out F  re-run trial 0 traced and write the
+//                         obs::ReplayMetrics JSON that tools/playdiff
+//                         compares against a live recording's metrics.json
+//
 // Observability (src/obs/):
 //   --trace               re-run trial 0 with a trace recorder attached and
 //                         print the event/herd-diagnostic summary block
@@ -39,15 +52,18 @@
 #include <functional>
 #include <iostream>
 #include <stdexcept>
+#include <string_view>
 
 #include "bench_common.h"
 #include "driver/adaptive.h"
 #include "driver/report.h"
 #include "driver/table.h"
 #include "driver/trace_support.h"
+#include "driver/trial_workload.h"
 #include "loadinfo/delay_distribution.h"
 #include "obs/chrome_trace.h"
 #include "obs/export_csv.h"
+#include "obs/replay_metrics.h"
 #include "obs/svg_timeline.h"
 #include "queueing/theory.h"
 #include "sim/rng.h"
@@ -113,13 +129,57 @@ void run_trace(const stale::driver::Cli& cli,
   });
 }
 
+// Re-runs trial 0 traced (percentiles + dispatch shares + herd verdict) and
+// writes the obs::ReplayMetrics record tools/playdiff consumes. This is the
+// sim half of the record->replay gate: the live half is the metrics.json
+// that `staleload_lb --record` drops next to the trace.
+void write_sim_replay_metrics(const stale::driver::Cli& cli,
+                              const stale::driver::ExperimentConfig& base,
+                              const std::string& path) {
+  stale::driver::ExperimentConfig config = base;
+  config.keep_response_samples = true;
+  stale::driver::TraceRunOptions options;
+  options.probe_interval = cli.get_double("probe-interval", 0.0);
+  const stale::driver::TraceReport report = stale::driver::run_traced_trial(
+      config, stale::sim::trial_seed(config.base_seed, 0), options);
+
+  stale::obs::ReplayMetrics metrics;
+  metrics.source = "sim";
+  metrics.jobs = report.trial.measured_jobs;
+  metrics.duration = report.t_end - report.t_begin;
+  metrics.mean_response = report.trial.mean_response;
+  metrics.p50_response = report.trial.p50_response;
+  metrics.p90_response = report.trial.p90_response;
+  metrics.p99_response = report.trial.p99_response;
+  metrics.dispatch_share.reserve(report.share.counts.size());
+  for (const std::uint64_t count : report.share.counts) {
+    metrics.dispatch_share.push_back(
+        report.share.total == 0 ? 0.0
+                                : static_cast<double>(count) /
+                                      static_cast<double>(report.share.total));
+  }
+  metrics.has_herd = true;
+  metrics.herd_autocorr = report.herd.autocorr_peak;
+  metrics.herd_amplitude = report.herd.amplitude;
+  metrics.herding = report.herd.herding();
+
+  write_artifact(path, [&](std::ostream& out) {
+    stale::obs::write_replay_metrics(out, metrics);
+  });
+  if (report.trial.trace_wraps > 0) {
+    std::cerr << "# warning: trace wrapped " << report.trial.trace_wraps
+              << " times during the metrics trial\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> flags = {
       "policy", "model",    "t",         "lambda",    "n",
       "job-size", "delay",  "rate-est",  "lambda-err", "precision",
-      "probe-interval", "trace-out"};
+      "probe-interval", "trace-out", "arrival-spec", "workload",
+      "estimator", "replay-metrics-out"};
   const std::vector<std::string> switches = {"bursty", "know-age", "adaptive",
                                              "json", "trace"};
   return stale::bench::run_bench(
@@ -135,18 +195,49 @@ int main(int argc, char** argv) {
         config.bursty = cli.has("bursty");
         config.policy = cli.get("policy", "basic_li");
         config.job_size = cli.get("job-size", "exp:1");
-        config.rate_estimator = cli.get("rate-est", "told");
+        config.arrival_spec = cli.get("arrival-spec", "poisson");
+        // --estimator is the canonical spelling; --rate-est stays as the
+        // pre-replay alias so existing sweep scripts keep working.
+        config.rate_estimator =
+            cli.get("estimator", cli.get("rate-est", "told"));
         config.lambda_error_factor = cli.get_double("lambda-err", 1.0);
         cli.apply_run_scale(config);
 
+        // Replay overrides cluster shape, update model, and job count from
+        // the recorded manifest, so it is applied after every other flag.
+        const std::string workload_spec = cli.get("workload", "");
+        if (!workload_spec.empty()) {
+          constexpr std::string_view kReplayPrefix = "replay:";
+          if (workload_spec.rfind(kReplayPrefix, 0) != 0 ||
+              workload_spec.size() == kReplayPrefix.size()) {
+            throw std::invalid_argument(
+                "--workload expects replay:DIR, got '" + workload_spec + "'");
+          }
+          const std::string dir =
+              workload_spec.substr(kReplayPrefix.size());
+          stale::driver::configure_replay(config, dir);
+          std::cerr << "# replay: " << dir << " (" << config.num_jobs
+                    << " recorded jobs, n = " << config.num_servers
+                    << ", T = " << config.update_interval << ")\n";
+        }
+
         const bool tracing = cli.has("trace") || cli.has("trace-out");
+
+        const std::string metrics_out = cli.get("replay-metrics-out", "");
 
         if (cli.has("json")) {
           const auto result = stale::driver::run_experiment(config);
+          if (result.trace_wraps > 0) {
+            std::cerr << "# warning: trace wrapped " << result.trace_wraps
+                      << " times\n";
+          }
           stale::driver::write_json_report(std::cout, config, result,
                                            config.trials);
           // Keep stdout valid JSON: artifacts only, no summary block.
           if (cli.has("trace-out")) run_trace(cli, config, false);
+          if (!metrics_out.empty()) {
+            write_sim_replay_metrics(cli, config, metrics_out);
+          }
           return;
         }
 
@@ -177,6 +268,10 @@ int main(int argc, char** argv) {
                     << "\n";
         } else {
           result = stale::driver::run_experiment(config);
+        }
+        if (result.trace_wraps > 0) {
+          std::cerr << "# warning: trace wrapped " << result.trace_wraps
+                    << " times\n";
         }
 
         using stale::driver::Table;
@@ -231,5 +326,8 @@ int main(int argc, char** argv) {
         }
         table.print(std::cout, cli.csv());
         if (tracing) run_trace(cli, config, true);
+        if (!metrics_out.empty()) {
+          write_sim_replay_metrics(cli, config, metrics_out);
+        }
       });
 }
